@@ -1,0 +1,50 @@
+//! Wall-clock microbenchmarks of the local dense kernels (the BLAS
+//! substitute the simulated processors run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dense::{gen, gemm, tri_invert, trsm, Diag, Matrix, Triangle};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_gemm");
+    for n in [64usize, 128, 256] {
+        let a = gen::uniform(n, n, 1);
+        let b = gen::uniform(n, n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            let mut out = Matrix::zeros(n, n);
+            bench.iter(|| {
+                gemm(1.0, &a, &b, 0.0, &mut out).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_trsm");
+    for n in [64usize, 128, 256] {
+        let l = gen::well_conditioned_lower(n, 3);
+        let b = gen::rhs(n, 32, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| trsm(Triangle::Lower, Diag::NonUnit, &l, &b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_tri_invert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_tri_invert");
+    for n in [64usize, 128, 256] {
+        let l = gen::well_conditioned_lower(n, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| tri_invert(Triangle::Lower, &l).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gemm, bench_trsm, bench_tri_invert
+}
+criterion_main!(kernels);

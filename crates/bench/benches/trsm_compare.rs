@@ -1,0 +1,45 @@
+//! Wall-clock comparison of the three TRSM algorithms on the simulated
+//! machine (the α–β–γ comparison — the paper's actual claim — is produced by
+//! `exp_conclusion_table`; this bench tracks simulator throughput).
+
+use catrsm::it_inv_trsm::ItInvConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harness::{run_trsm, TrsmAlgo, TrsmInstance};
+use simnet::MachineParams;
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trsm_algorithms");
+    let inst = TrsmInstance {
+        n: 128,
+        k: 32,
+        pr: 2,
+        pc: 2,
+        seed: 7,
+    };
+    let algos: Vec<(&str, TrsmAlgo)> = vec![
+        ("recursive", TrsmAlgo::Recursive { base: 32 }),
+        (
+            "iterative_inversion",
+            TrsmAlgo::Iterative(ItInvConfig {
+                p1: 2,
+                p2: 1,
+                n0: 32,
+                inv_base: 16,
+            }),
+        ),
+        ("wavefront", TrsmAlgo::Wavefront),
+    ];
+    for (name, algo) in algos {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &algo, |bench, &algo| {
+            bench.iter(|| run_trsm(&inst, algo, MachineParams::unit()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = trsm_compare;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trsm
+}
+criterion_main!(trsm_compare);

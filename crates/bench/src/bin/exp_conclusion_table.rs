@@ -1,0 +1,117 @@
+//! Experiment T1 — the conclusion table of Section IX: standard (recursive)
+//! TRSM versus the new iterative inversion-based method, in all three
+//! regimes.
+//!
+//! For every regime the two algorithms are run on the simulated machine with
+//! the parameters the planner (Section VIII) selects, and the measured
+//! critical-path S/W/F are printed next to the asymptotic entries of the
+//! paper's table.  The paper's claims to check:
+//!
+//! * both algorithms move the same order of words (W) and do the same order
+//!   of flops (F, at most 2× for the new method in the 3D regime);
+//! * the new method needs far fewer messages (S) in the 2D and 3D regimes,
+//!   with the gap growing as `(n/k)^{1/6}·p^{2/3}`;
+//! * in the 1D regime the new method pays a modest extra `log p` in S.
+
+use catrsm::planner;
+use costmodel::compare;
+use harness::{banner, run_trsm, write_csv, TrsmAlgo, TrsmInstance};
+use simnet::MachineParams;
+
+struct Case {
+    label: &'static str,
+    n: usize,
+    k: usize,
+    pr: usize,
+    pc: usize,
+    rec_base: usize,
+}
+
+fn main() {
+    banner("T1: conclusion table (paper Section IX) — standard vs new method");
+    let cases = [
+        Case { label: "1 large dim  (n < 4k/p)", n: 32, k: 2048, pr: 4, pc: 4, rec_base: 16 },
+        Case { label: "3 large dims (4k/p<=n<=4k sqrt(p))", n: 256, k: 64, pr: 4, pc: 4, rec_base: 32 },
+        Case { label: "3 large dims (4k/p<=n<=4k sqrt(p))", n: 512, k: 128, pr: 4, pc: 4, rec_base: 64 },
+        Case { label: "2 large dims (n > 4k sqrt(p))", n: 512, k: 16, pr: 4, pc: 4, rec_base: 64 },
+        Case { label: "2 large dims (n > 4k sqrt(p))", n: 1024, k: 16, pr: 4, pc: 4, rec_base: 64 },
+    ];
+    let mut rows = Vec::new();
+    for case in &cases {
+        let p = case.pr * case.pc;
+        let plan = planner::plan(case.n, case.k, p);
+        let inst = TrsmInstance {
+            n: case.n,
+            k: case.k,
+            pr: case.pr,
+            pc: case.pc,
+            seed: 29,
+        };
+        let std = run_trsm(&inst, TrsmAlgo::Recursive { base: case.rec_base }, MachineParams::unit());
+        let new = run_trsm(&inst, TrsmAlgo::Iterative(plan.it_inv), MachineParams::unit());
+        assert!(std.error < 1e-7 && new.error < 1e-7, "both must solve correctly");
+
+        let row_model = compare::conclusion_row(case.n as f64, case.k as f64, p as f64);
+        println!("\n{}  n={} k={} p={}  (plan: {:?})", case.label, case.n, case.k, p, plan.it_inv);
+        println!("  {:<10} {}", "standard", std.row());
+        println!("  {:<10} {}", "new", new.row());
+        println!(
+            "  measured ratios: S {:.2}x   W {:.2}x   F {:.2}x      model S ratio {:.2}x",
+            std.latency as f64 / new.latency as f64,
+            std.bandwidth as f64 / new.bandwidth as f64,
+            std.flops as f64 / new.flops as f64,
+            row_model.standard.latency / row_model.new.latency,
+        );
+        rows.push(format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            case.label.replace(',', ";"),
+            case.n,
+            case.k,
+            p,
+            std.latency,
+            std.bandwidth,
+            std.flops,
+            new.latency,
+            new.bandwidth,
+            new.flops,
+            row_model.standard.latency / row_model.new.latency,
+            std.latency as f64 / new.latency as f64,
+        ));
+    }
+
+    banner("T1b: asymptotic model at paper scale (no simulation)");
+    println!(
+        "{:>10} {:>10} {:>10} | {:>12} {:>12} {:>10} | regime",
+        "n", "k", "p", "S standard", "S new", "S ratio"
+    );
+    for (n, k, p) in [
+        (1.0e6, 1.0e6, 1024.0),
+        (1.0e6, 1.0e5, 4096.0),
+        (1.0e6, 1.0e4, 16384.0),
+        (1.0e7, 1.0e4, 65536.0),
+        (1.0e5, 1.0e7, 1024.0),
+    ] {
+        let row = compare::conclusion_row(n, k, p);
+        println!(
+            "{:>10.0e} {:>10.0e} {:>10.0e} | {:>12.3e} {:>12.3e} {:>10.1} | {}",
+            n,
+            k,
+            p,
+            row.standard.latency,
+            row.new.latency,
+            row.standard.latency / row.new.latency,
+            format!("{:?}", row.regime)
+        );
+    }
+    let path = write_csv(
+        "exp_conclusion_table",
+        "regime,n,k,p,S_std,W_std,F_std,S_new,W_new,F_new,model_S_ratio,measured_S_ratio",
+        &rows,
+    );
+    println!("\nCSV written to {}", path.display());
+    println!(
+        "\nExpectation (paper): in the 2D/3D rows the new method wins on S while\n\
+         matching W and F (within 2x on F); in the 1D row it pays a small extra\n\
+         S. At paper scale (T1b) the S ratio grows like (n/k)^(1/6)·p^(2/3)."
+    );
+}

@@ -1,0 +1,80 @@
+//! Experiment F1 — Figure 1 of the paper: the processor-grid layout (1D, 2D
+//! or 3D cuboid) selected as a function of the relative matrix sizes.
+//!
+//! The figure is reproduced as an ASCII strip per processor count: for a
+//! sweep of `n/k` ratios the selected regime and the cuboid dimensions
+//! `p1 × p1 × p2` are printed (and written to CSV for plotting).
+
+use costmodel::tuning::{self, Regime};
+use harness::{banner, write_csv};
+
+fn glyph(regime: Regime) -> char {
+    match regime {
+        Regime::OneLargeDim => '1',
+        Regime::ThreeLargeDims => '3',
+        Regime::TwoLargeDims => '2',
+    }
+}
+
+fn cuboid(p1: f64, p2: f64) -> String {
+    format!("{:>5.1} x {:>5.1} x {:>6.1}", p1, p1, p2)
+}
+
+fn main() {
+    banner("F1: layout selection vs. relative matrix size (paper Figure 1)");
+    let k = 1 << 14;
+    let mut rows = Vec::new();
+    for p in [64usize, 256, 4096, 65536] {
+        println!("\np = {p}   (k = {k}, n sweeps over n/k from 2^-8 to 2^8)");
+        println!("{:>10} {:>10} | {:>6} | {:>24} | layout", "n", "n/k", "regime", "grid p1 x p1 x p2");
+        let mut strip = String::new();
+        for exp in -8i32..=8 {
+            let n = if exp >= 0 {
+                k << exp as usize
+            } else {
+                k >> (-exp) as usize
+            };
+            let plan = tuning::plan(n, k, p);
+            strip.push(glyph(plan.regime));
+            println!(
+                "{:>10} {:>10.4} | {:>6} | {:>24} | {}",
+                n,
+                n as f64 / k as f64,
+                glyph(plan.regime),
+                cuboid(plan.p1, plan.p2),
+                plan.regime.name()
+            );
+            rows.push(format!(
+                "{p},{n},{k},{},{},{},{},{},{}",
+                n as f64 / k as f64,
+                glyph(plan.regime),
+                plan.p1,
+                plan.p2,
+                plan.n0,
+                plan.r1
+            ));
+        }
+        println!("  n/k from 2^-8 to 2^8:  [{strip}]   (1 = 1D slab, 3 = 3D cuboid, 2 = 2D face)");
+    }
+    println!(
+        "\nASCII rendering of the three layouts (paper Figure 1):\n\
+         \n\
+         1D (n < 4k/p)            3D (4k/p <= n <= 4k sqrt(p))      2D (n > 4k sqrt(p))\n\
+         +--+--+--+--+            +------+------+                  +------+------+\n\
+         |##|  |  |  |  B slabs   | p1 x p1 face |  p2 layers      | sqrt(p) x sqrt(p)  |\n\
+         |##|  |  |  |            |  (L face)    | of B slabs      |  face holds L and B |\n\
+         +--+--+--+--+            +------+------+                  +------+------+\n\
+         whole L inverted         diagonal blocks of size n0       small n0 blocks inverted\n"
+    );
+    let path = write_csv(
+        "exp_figure1",
+        "p,n,k,n_over_k,regime,p1,p2,n0,r1",
+        &rows,
+    );
+    println!("CSV written to {}", path.display());
+    println!(
+        "Expectation (paper): for every p the strip reads 1…1 3…3 2…2 — the\n\
+         layout moves from a 1D slab through the 3D cuboid to the 2D face as\n\
+         n/k grows, with the 3D window spanning [4/p, 4·sqrt(p)]."
+    );
+}

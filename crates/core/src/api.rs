@@ -1,0 +1,200 @@
+//! High-level solver entry point.
+//!
+//! [`solve_lower`] solves `L·X = B` for a lower-triangular `L` distributed
+//! over a processor grid, selecting the algorithm and its parameters from
+//! the paper's cost model unless the caller pins them explicitly.
+
+use crate::it_inv_trsm::{it_inv_trsm, ItInvConfig};
+use crate::planner;
+use crate::rec_trsm::{rec_trsm, RecTrsmConfig};
+use crate::wavefront::wavefront_trsm;
+use crate::Result;
+use pgrid::DistMatrix;
+
+/// Which TRSM algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Pick the iterative inversion-based algorithm with parameters from the
+    /// Section VIII cost model (the paper's recommendation).
+    Auto,
+    /// The recursive baseline of Section IV with an explicit base-case size.
+    Recursive {
+        /// Dimension below which the recursion stops.
+        base_size: usize,
+    },
+    /// The iterative inversion-based algorithm with explicit parameters.
+    IterativeInversion(ItInvConfig),
+    /// The row-fan-out baseline (Heath–Romine style).
+    Wavefront,
+}
+
+/// Solve `U·X = B` for an **upper**-triangular `U`, returning `X` in the same
+/// distribution as `B`.
+///
+/// The upper solve is reduced to a lower solve through the reversal
+/// permutation `J` (reversing row and column order): `J·U·J` is lower
+/// triangular, so `U·X = B ⟺ (J·U·J)·(J·X) = J·B`.  The permutations are
+/// plain layout remappings (one keyed all-to-all each), so the asymptotic
+/// costs are those of the underlying lower solve.
+pub fn solve_upper(u: &DistMatrix, b: &DistMatrix, algorithm: Algorithm) -> Result<DistMatrix> {
+    let u_rev = reverse_both(u);
+    let b_rev = reverse_rows(b);
+    let x_rev = solve_lower(&u_rev, &b_rev, algorithm)?;
+    Ok(reverse_rows(&x_rev))
+}
+
+/// Reverse the row order of a distributed matrix (the permutation `J·A`).
+pub fn reverse_rows(a: &DistMatrix) -> DistMatrix {
+    let grid = a.grid().clone();
+    let (rows, cols) = a.dims();
+    let (pr, pc) = (grid.rows(), grid.cols());
+    let received = pgrid::redist::remap_elements(
+        a,
+        |i, j| grid.rank_of((rows - 1 - i) % pr, j % pc),
+        true,
+    );
+    let mut out = DistMatrix::zeros(&grid, rows, cols);
+    for (i, j, v) in received {
+        let ri = rows - 1 - i;
+        out.local_mut()[(ri / pr, j / pc)] = v;
+    }
+    out
+}
+
+/// Reverse both the row and the column order of a distributed matrix
+/// (the permutation `J·A·J`).
+pub fn reverse_both(a: &DistMatrix) -> DistMatrix {
+    let grid = a.grid().clone();
+    let (rows, cols) = a.dims();
+    let (pr, pc) = (grid.rows(), grid.cols());
+    let received = pgrid::redist::remap_elements(
+        a,
+        |i, j| grid.rank_of((rows - 1 - i) % pr, (cols - 1 - j) % pc),
+        true,
+    );
+    let mut out = DistMatrix::zeros(&grid, rows, cols);
+    for (i, j, v) in received {
+        let ri = rows - 1 - i;
+        let rj = cols - 1 - j;
+        out.local_mut()[(ri / pr, rj / pc)] = v;
+    }
+    out
+}
+
+/// Solve `L·X = B`, returning `X` in the same distribution as `B`.
+pub fn solve_lower(l: &DistMatrix, b: &DistMatrix, algorithm: Algorithm) -> Result<DistMatrix> {
+    match algorithm {
+        Algorithm::Auto => {
+            let p = l.grid().comm().size();
+            let plan = planner::plan(l.rows(), b.cols(), p);
+            let (x, _) = it_inv_trsm(l, b, &plan.it_inv)?;
+            Ok(x)
+        }
+        Algorithm::IterativeInversion(cfg) => {
+            let (x, _) = it_inv_trsm(l, b, &cfg)?;
+            Ok(x)
+        }
+        Algorithm::Recursive { base_size } => rec_trsm(
+            l,
+            b,
+            &RecTrsmConfig {
+                base_size,
+                log_latency: true,
+            },
+        ),
+        Algorithm::Wavefront => wavefront_trsm(l, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::gen;
+    use pgrid::Grid2D;
+    use simnet::{Machine, MachineParams};
+
+    fn solve_with(algorithm: Algorithm, n: usize, k: usize) -> Vec<f64> {
+        Machine::new(4, MachineParams::cluster())
+            .run(move |comm| {
+                let grid = Grid2D::new(comm, 2, 2).unwrap();
+                let l_global = gen::well_conditioned_lower(n, 21);
+                let x_true = gen::rhs(n, k, 22);
+                let b_global = dense::matmul(&l_global, &x_true);
+                let l = DistMatrix::from_global(&grid, &l_global);
+                let b = DistMatrix::from_global(&grid, &b_global);
+                let x = solve_lower(&l, &b, algorithm).unwrap();
+                dense::norms::rel_diff(&x.to_global(), &x_true)
+            })
+            .unwrap()
+            .results
+    }
+
+    #[test]
+    fn auto_selects_a_working_configuration() {
+        for (n, k) in [(64usize, 16usize), (32, 64), (128, 4)] {
+            for d in solve_with(Algorithm::Auto, n, k) {
+                assert!(d < 1e-8, "auto n={n} k={k}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn upper_solve_via_reversal() {
+        let out = Machine::new(4, MachineParams::unit())
+            .run(|comm| {
+                let grid = Grid2D::new(comm, 2, 2).unwrap();
+                let n = 32;
+                let k = 8;
+                let u_global = gen::well_conditioned_upper(n, 13);
+                let x_true = gen::rhs(n, k, 14);
+                let b_global = dense::matmul(&u_global, &x_true);
+                let u = DistMatrix::from_global(&grid, &u_global);
+                let b = DistMatrix::from_global(&grid, &b_global);
+                let x = solve_upper(&u, &b, Algorithm::Recursive { base_size: 8 }).unwrap();
+                dense::norms::rel_diff(&x.to_global(), &x_true)
+            })
+            .unwrap();
+        assert!(out.results.into_iter().all(|d| d < 1e-8));
+    }
+
+    #[test]
+    fn reversal_helpers_are_involutions() {
+        let out = Machine::new(4, MachineParams::unit())
+            .run(|comm| {
+                let grid = Grid2D::new(comm, 2, 2).unwrap();
+                let a = DistMatrix::from_fn(&grid, 10, 6, |i, j| (i * 6 + j) as f64);
+                let rr = reverse_rows(&reverse_rows(&a));
+                let rb = reverse_both(&reverse_both(&a));
+                let first = reverse_rows(&a).to_global()[(0, 0)];
+                (rr.rel_diff(&a).unwrap(), rb.rel_diff(&a).unwrap(), first)
+            })
+            .unwrap();
+        for (rr, rb, first) in out.results {
+            assert_eq!(rr, 0.0);
+            assert_eq!(rb, 0.0);
+            // Row 0 of the row-reversed matrix is the old last row.
+            assert_eq!(first, (9 * 6) as f64);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree() {
+        let n = 64;
+        let k = 16;
+        for alg in [
+            Algorithm::Auto,
+            Algorithm::Recursive { base_size: 16 },
+            Algorithm::IterativeInversion(ItInvConfig {
+                p1: 2,
+                p2: 1,
+                n0: 16,
+                inv_base: 8,
+            }),
+            Algorithm::Wavefront,
+        ] {
+            for d in solve_with(alg, n, k) {
+                assert!(d < 1e-8, "{alg:?}: {d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Example applications built on the distributed TRSM and matrix
+//! multiplication primitives.
+//!
+//! The introduction of the paper motivates TRSM through its two dominant
+//! uses: computing triangular factorizations (Cholesky, LU, QR) and solving
+//! linear systems once such a factorization exists.  These modules implement
+//! both uses end-to-end on the simulated machine:
+//!
+//! * [`cholesky`] — a distributed recursive Cholesky factorization whose
+//!   panel solves are TRSMs, plus an SPD linear-system solver built on it;
+//! * [`lu`] — a distributed recursive LU factorization (without pivoting,
+//!   for diagonally dominant systems) plus a general linear-system solver.
+
+pub mod cholesky;
+pub mod lu;
+
+pub use cholesky::{cholesky_factor, cholesky_solve};
+pub use lu::{lu_factor, lu_solve};

@@ -1,0 +1,365 @@
+//! Block-diagonal triangular inversion (`Diagonal-Inverter`, Section VI-A).
+//!
+//! Before the iterative solve starts, the `n/n0` diagonal blocks
+//! `L(S_g, S_g)` of size `n0 × n0` are inverted, each by a *distinct* group
+//! of processors working concurrently.  The result `L̃` equals `L` except
+//! that every diagonal block is replaced by its inverse; the off-diagonal
+//! panels are untouched.  Replacing the small, latency-bound triangular
+//! solves with multiplications by these explicit inverses is what removes the
+//! `Θ(n/n0)` synchronisation bottleneck from the solve phase.
+//!
+//! Two cases, both handled here:
+//!
+//! * **fewer blocks than processors** — each block is redistributed onto its
+//!   own sub-grid (the keyed all-to-all the paper bounds "by an all-to-all")
+//!   and inverted with the distributed recursion of [`crate::tri_inv`];
+//! * **more blocks than processors** — blocks are assigned round-robin, each
+//!   processor inverts its blocks locally.
+//!
+//! Deviation recorded in DESIGN.md: the groups are formed from the processors
+//! of the grid that owns `L` (the face of the 3D grid in `It-Inv-TRSM`)
+//! rather than from all `p` processors; the phase remains non-dominant, which
+//! experiment E5 verifies.
+
+use crate::error::config_error;
+use crate::tri_inv::{tri_inv, TriInvConfig};
+use crate::Result;
+use dense::{Matrix, Triangle};
+use pgrid::redist::scatter_elements;
+use pgrid::{DistMatrix, Grid2D};
+
+/// Configuration of the block-diagonal inverter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiagInvConfig {
+    /// Diagonal block size (`n0`); must divide the matrix dimension.
+    pub n0: usize,
+    /// Base-case size handed to the distributed triangular inversion.
+    pub inv_base: usize,
+    /// Route redistributions through the Bruck all-to-all.
+    pub log_latency: bool,
+}
+
+/// Invert the diagonal blocks of a lower-triangular matrix distributed
+/// cyclically over a square grid.  Returns `L̃`: a copy of `L` whose diagonal
+/// `n0 × n0` blocks are replaced by their inverses.
+pub fn diagonal_inverter(l: &DistMatrix, cfg: &DiagInvConfig) -> Result<DistMatrix> {
+    let grid = l.grid();
+    let q = grid.rows();
+    let n = l.rows();
+    let n0 = cfg.n0;
+
+    if grid.rows() != grid.cols() {
+        return Err(config_error(
+            "diagonal_inverter",
+            format!("grid must be square, got {}x{}", grid.rows(), grid.cols()),
+        ));
+    }
+    if l.rows() != l.cols() {
+        return Err(config_error(
+            "diagonal_inverter",
+            format!("matrix must be square, got {}x{}", l.rows(), l.cols()),
+        ));
+    }
+    if n0 == 0 || n % n0 != 0 {
+        return Err(config_error(
+            "diagonal_inverter",
+            format!("block size n0 = {n0} must divide n = {n}"),
+        ));
+    }
+
+    let comm = grid.comm();
+    let p_face = q * q;
+    let nblocks = n / n0;
+    let mut l_tilde = l.clone();
+
+    if p_face == 1 {
+        // Single processor: invert every block locally, no communication.
+        let local = l_tilde.local_mut();
+        for g in 0..nblocks {
+            let block = local.block(g * n0, g * n0, n0, n0);
+            let (inv, flops) = dense::tri_invert(Triangle::Lower, &block)?;
+            local.set_block(g * n0, g * n0, &inv);
+            comm.charge_flops(flops.get());
+        }
+        return Ok(l_tilde);
+    }
+
+    if nblocks >= p_face {
+        // --- More blocks than processors: round-robin local inversions. ----
+        // Collect each block on processor (g mod p_face).
+        let mut elements = Vec::new();
+        let local = l.local();
+        for li in 0..local.rows() {
+            let gi = l.global_row(li);
+            for lj in 0..local.cols() {
+                let gj = l.global_col(lj);
+                if gj > gi || gi / n0 != gj / n0 {
+                    continue;
+                }
+                let g = gi / n0;
+                elements.push((gi, gj, local[(li, lj)], g % p_face));
+            }
+        }
+        let received = scatter_elements(comm, n, elements, cfg.log_latency);
+
+        // Invert the blocks this rank owns.
+        let my_rank = comm.rank();
+        let mut blocks: Vec<Matrix> = (0..nblocks)
+            .map(|_| Matrix::zeros(n0, n0))
+            .collect();
+        for (gi, gj, v) in received {
+            let g = gi / n0;
+            debug_assert_eq!(g % p_face, my_rank);
+            blocks[g][(gi - g * n0, gj - g * n0)] = v;
+        }
+        let mut outgoing = Vec::new();
+        for g in (my_rank..nblocks).step_by(p_face) {
+            let (inv, flops) = dense::tri_invert(Triangle::Lower, &blocks[g])?;
+            comm.charge_flops(flops.get());
+            for bi in 0..n0 {
+                for bj in 0..=bi {
+                    let gi = g * n0 + bi;
+                    let gj = g * n0 + bj;
+                    outgoing.push((gi, gj, inv[(bi, bj)], grid.rank_of(gi % q, gj % q)));
+                }
+            }
+        }
+        let incoming = scatter_elements(comm, n, outgoing, cfg.log_latency);
+        place_into(&mut l_tilde, &incoming, q);
+        return Ok(l_tilde);
+    }
+
+    // --- Fewer blocks than processors: one sub-grid per block. -------------
+    let group_size = p_face / nblocks;
+    // Largest power-of-two square that fits in the group.
+    let mut side = 1usize;
+    while 4 * side * side <= group_size {
+        side *= 2;
+    }
+    if side * side * 2 <= group_size && (side * 2) * (side * 2) <= group_size {
+        side *= 2;
+    }
+    let active = side * side;
+
+    // Route each diagonal-block element to its destination inside the block's
+    // sub-grid (cyclic layout over side × side).
+    let mut elements = Vec::new();
+    let local = l.local();
+    for li in 0..local.rows() {
+        let gi = l.global_row(li);
+        for lj in 0..local.cols() {
+            let gj = l.global_col(lj);
+            if gj > gi || gi / n0 != gj / n0 {
+                continue;
+            }
+            let g = gi / n0;
+            let bi = gi - g * n0;
+            let bj = gj - g * n0;
+            let dest = g * group_size + (bi % side) * side + (bj % side);
+            elements.push((gi, gj, local[(li, lj)], dest));
+        }
+    }
+    let received = scatter_elements(comm, n, elements, cfg.log_latency);
+
+    // Every rank joins exactly one subgroup call so communicator bookkeeping
+    // stays aligned; ranks that are not active members get `Err` and skip.
+    let my_rank = comm.rank();
+    let my_group = my_rank / group_size;
+    let my_slot = my_rank % group_size;
+    let members: Vec<usize> = if my_group < nblocks && my_slot < active {
+        (my_group * group_size..my_group * group_size + active).collect()
+    } else {
+        Vec::new()
+    };
+    let sub_comm = comm.subgroup(&members);
+
+    let mut outgoing = Vec::new();
+    if let Ok(sub) = &sub_comm {
+        let g = my_group;
+        let sub_grid = Grid2D::new(sub, side, side)?;
+        let mut block = DistMatrix::zeros(&sub_grid, n0, n0);
+        {
+            let (sx, sy) = sub_grid.my_coords();
+            for &(gi, gj, v) in &received {
+                let bi = gi - g * n0;
+                let bj = gj - g * n0;
+                debug_assert_eq!(bi % side, sx);
+                debug_assert_eq!(bj % side, sy);
+                block.local_mut()[(bi / side, bj / side)] = v;
+            }
+        }
+        let inv = if side == 1 {
+            let (inv, flops) = dense::tri_invert(Triangle::Lower, block.local())?;
+            comm.charge_flops(flops.get());
+            DistMatrix::from_local(&sub_grid, n0, n0, inv)?
+        } else {
+            tri_inv(
+                &block,
+                &TriInvConfig {
+                    base_size: cfg.inv_base,
+                    log_latency: cfg.log_latency,
+                },
+            )?
+        };
+        // Send the inverted block back to the cyclic owners on the face grid.
+        let inv_local = inv.local();
+        for li in 0..inv_local.rows() {
+            let bi = inv.global_row(li);
+            for lj in 0..inv_local.cols() {
+                let bj = inv.global_col(lj);
+                if bj > bi {
+                    continue;
+                }
+                let gi = g * n0 + bi;
+                let gj = g * n0 + bj;
+                outgoing.push((gi, gj, inv_local[(li, lj)], grid.rank_of(gi % q, gj % q)));
+            }
+        }
+    }
+    let incoming = scatter_elements(comm, n, outgoing, cfg.log_latency);
+    place_into(&mut l_tilde, &incoming, q);
+    Ok(l_tilde)
+}
+
+/// Overwrite the local entries of `mat` (cyclic over a `side × side` grid)
+/// with the received `(global row, global col, value)` triples.
+fn place_into(mat: &mut DistMatrix, triples: &[(usize, usize, f64)], side: usize) {
+    let (x, y) = mat.grid().my_coords();
+    for &(gi, gj, v) in triples {
+        debug_assert_eq!(gi % side, x);
+        debug_assert_eq!(gj % side, y);
+        mat.local_mut()[(gi / side, gj / side)] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::gen;
+    use simnet::{Machine, MachineParams};
+
+    fn on_grid<T: Send>(
+        q: usize,
+        f: impl Fn(&Grid2D) -> T + Send + Sync,
+    ) -> (Vec<T>, simnet::CostReport) {
+        let out = Machine::new(q * q, MachineParams::unit())
+            .run(|comm| {
+                let grid = Grid2D::new(comm, q, q).unwrap();
+                f(&grid)
+            })
+            .unwrap();
+        (out.results, out.report)
+    }
+
+    /// Check that L̃ has inverted diagonal blocks and untouched panels.
+    fn check(q: usize, n: usize, n0: usize) {
+        let (results, _) = on_grid(q, move |grid| {
+            let l_global = gen::well_conditioned_lower(n, 17);
+            let l = DistMatrix::from_global(grid, &l_global);
+            let lt = diagonal_inverter(
+                &l,
+                &DiagInvConfig {
+                    n0,
+                    inv_base: 8,
+                    log_latency: true,
+                },
+            )
+            .unwrap();
+            let got = lt.to_global();
+            // Expected: diagonal blocks inverted, off-diagonal unchanged.
+            let mut max_err: f64 = 0.0;
+            for g in 0..n / n0 {
+                let blk = l_global.block(g * n0, g * n0, n0, n0);
+                let (inv, _) = dense::tri_invert(Triangle::Lower, &blk).unwrap();
+                let got_blk = got.block(g * n0, g * n0, n0, n0);
+                max_err = max_err.max(inv.max_abs_diff(&got_blk).unwrap());
+            }
+            // Off-diagonal panels must be bit-identical to L.
+            let mut panels_equal = true;
+            for i in 0..n {
+                for j in 0..=i {
+                    if i / n0 != j / n0 && got[(i, j)] != l_global[(i, j)] {
+                        panels_equal = false;
+                    }
+                }
+            }
+            (max_err, panels_equal, got.is_lower_triangular())
+        });
+        for (err, panels_equal, lower) in results {
+            assert!(err < 1e-8, "q={q} n={n} n0={n0}: diagonal block error {err}");
+            assert!(panels_equal, "off-diagonal panels must be untouched");
+            assert!(lower, "L̃ must stay lower triangular");
+        }
+    }
+
+    #[test]
+    fn single_processor_all_block_sizes() {
+        check(1, 32, 8);
+        check(1, 32, 32);
+        check(1, 32, 4);
+    }
+
+    #[test]
+    fn more_blocks_than_processors() {
+        // 2x2 grid (4 procs), 8 blocks → round-robin local inversions.
+        check(2, 64, 8);
+    }
+
+    #[test]
+    fn fewer_blocks_than_processors() {
+        // 4x4 grid (16 procs), 2 blocks → each block inverted on a sub-grid.
+        check(4, 64, 32);
+        // One block = the full matrix (n0 = n): equivalent to tri_inv.
+        check(4, 64, 64);
+    }
+
+    #[test]
+    fn equal_blocks_and_processors() {
+        check(2, 32, 8); // 4 blocks on 4 processors
+    }
+
+    #[test]
+    fn block_size_one_degenerates_to_reciprocals() {
+        let (results, _) = on_grid(2, |grid| {
+            let l_global = gen::well_conditioned_lower(8, 3);
+            let l = DistMatrix::from_global(grid, &l_global);
+            let lt = diagonal_inverter(
+                &l,
+                &DiagInvConfig {
+                    n0: 1,
+                    inv_base: 8,
+                    log_latency: true,
+                },
+            )
+            .unwrap();
+            let got = lt.to_global();
+            (0..8).map(|i| (got[(i, i)] - 1.0 / l_global[(i, i)]).abs()).fold(0.0, f64::max)
+        });
+        assert!(results.into_iter().all(|e| e < 1e-12));
+    }
+
+    #[test]
+    fn invalid_block_sizes_rejected() {
+        let (results, _) = on_grid(2, |grid| {
+            let l = DistMatrix::zeros(grid, 16, 16);
+            let bad_zero = diagonal_inverter(
+                &l,
+                &DiagInvConfig { n0: 0, inv_base: 8, log_latency: true },
+            )
+            .is_err();
+            let bad_divide = diagonal_inverter(
+                &l,
+                &DiagInvConfig { n0: 5, inv_base: 8, log_latency: true },
+            )
+            .is_err();
+            let rect = DistMatrix::zeros(grid, 16, 8);
+            let bad_rect = diagonal_inverter(
+                &rect,
+                &DiagInvConfig { n0: 4, inv_base: 8, log_latency: true },
+            )
+            .is_err();
+            bad_zero && bad_divide && bad_rect
+        });
+        assert!(results.into_iter().all(|v| v));
+    }
+}

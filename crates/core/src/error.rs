@@ -1,0 +1,80 @@
+//! Error type for the distributed TRSM algorithms.
+
+use std::fmt;
+
+/// Errors surfaced by the distributed algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrsmError {
+    /// A problem/grid parameter violates a divisibility or shape requirement
+    /// of the algorithm.
+    InvalidConfig {
+        /// Which algorithm complained.
+        algorithm: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Error from the dense local kernels.
+    Dense(dense::DenseError),
+    /// Error from the grid / distribution layer.
+    Grid(pgrid::GridError),
+    /// Error from the simulated machine.
+    Sim(simnet::SimError),
+}
+
+impl fmt::Display for TrsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrsmError::InvalidConfig { algorithm, reason } => {
+                write!(f, "{algorithm}: invalid configuration: {reason}")
+            }
+            TrsmError::Dense(e) => write!(f, "dense kernel error: {e}"),
+            TrsmError::Grid(e) => write!(f, "grid error: {e}"),
+            TrsmError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrsmError {}
+
+impl From<dense::DenseError> for TrsmError {
+    fn from(e: dense::DenseError) -> Self {
+        TrsmError::Dense(e)
+    }
+}
+
+impl From<pgrid::GridError> for TrsmError {
+    fn from(e: pgrid::GridError) -> Self {
+        TrsmError::Grid(e)
+    }
+}
+
+impl From<simnet::SimError> for TrsmError {
+    fn from(e: simnet::SimError) -> Self {
+        TrsmError::Sim(e)
+    }
+}
+
+/// Convenience constructor for configuration errors.
+pub fn config_error(algorithm: &'static str, reason: impl Into<String>) -> TrsmError {
+    TrsmError::InvalidConfig {
+        algorithm,
+        reason: reason.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = config_error("mm3d", "n must be divisible by the grid");
+        assert!(e.to_string().contains("mm3d"));
+        let e: TrsmError = dense::DenseError::NotSquare { op: "x", dims: (2, 3) }.into();
+        assert!(e.to_string().contains("dense"));
+        let e: TrsmError = simnet::SimError::EmptyMachine.into();
+        assert!(e.to_string().contains("simulator"));
+        let e: TrsmError = pgrid::GridError::GridMismatch { op: "y" }.into();
+        assert!(e.to_string().contains("grid"));
+    }
+}

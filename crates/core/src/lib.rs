@@ -1,0 +1,71 @@
+//! # `catrsm` — communication-avoiding parallel TRSM
+//!
+//! A from-scratch Rust reproduction of
+//! *"Communication-Avoiding Parallel Algorithms for Solving Triangular
+//! Systems of Linear Equations"* (Wicky, Solomonik, Hoefler, IPDPS 2017).
+//!
+//! The crate implements every algorithm the paper describes, on top of the
+//! simulated distributed-memory machine of the `simnet` crate (which measures
+//! messages `S`, words `W`, flops `F` and virtual time along the critical
+//! path in the α–β–γ model the paper uses):
+//!
+//! | paper section | algorithm | module |
+//! |---|---|---|
+//! | III  | 3D matrix multiplication from a 2D cyclic layout | [`mm3d`] |
+//! | IV   | recursive TRSM (the "standard" baseline)        | [`rec_trsm`] |
+//! | V    | recursive distributed triangular inversion       | [`tri_inv`] |
+//! | VI-A | block-diagonal inverter                          | [`diag_inv`] |
+//! | VI   | iterative inversion-based TRSM (main contribution) | [`it_inv_trsm`] |
+//! | VIII | a-priori parameter / processor-grid selection    | [`planner`] |
+//! | —    | 2D wavefront TRSM (extra sanity baseline)        | [`wavefront`] |
+//! | I    | applications: distributed Cholesky and LU solvers | [`apps`] |
+//!
+//! The high-level entry point is [`api::solve_lower`], which picks the
+//! algorithm and its parameters from the cost model unless told otherwise.
+//!
+//! ## Example
+//!
+//! ```
+//! use simnet::{Machine, MachineParams};
+//! use pgrid::{Grid2D, DistMatrix};
+//! use catrsm::api::{solve_lower, Algorithm};
+//!
+//! let n = 64;
+//! let k = 16;
+//! let out = Machine::new(4, MachineParams::cluster())
+//!     .run(|comm| {
+//!         let grid = Grid2D::new(comm, 2, 2).unwrap();
+//!         let l_global = dense::gen::well_conditioned_lower(n, 7);
+//!         let x_true = dense::gen::rhs(n, k, 8);
+//!         let b_global = dense::matmul(&l_global, &x_true);
+//!         let l = DistMatrix::from_global(&grid, &l_global);
+//!         let b = DistMatrix::from_global(&grid, &b_global);
+//!         let x = solve_lower(&l, &b, Algorithm::Auto).unwrap();
+//!         // Compare against the sequential solution.
+//!         let x_ref = DistMatrix::from_global(&grid, &x_true);
+//!         x.rel_diff(&x_ref).unwrap()
+//!     })
+//!     .unwrap();
+//! assert!(out.results.iter().all(|&d| d < 1e-8));
+//! ```
+
+pub mod error;
+pub mod planner;
+pub mod mm3d;
+pub mod rec_trsm;
+pub mod tri_inv;
+pub mod diag_inv;
+pub mod it_inv_trsm;
+pub mod wavefront;
+pub mod api;
+pub mod apps;
+pub mod verify;
+
+pub use api::{solve_lower, solve_upper, Algorithm};
+pub use error::TrsmError;
+pub use it_inv_trsm::{ItInvConfig, PhaseBreakdown};
+pub use mm3d::MmConfig;
+pub use planner::Plan;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TrsmError>;

@@ -1,0 +1,345 @@
+//! Recursive TRSM (Section IV of the paper) — the "standard" baseline.
+//!
+//! The algorithm follows Elmroth et al.'s recursive blocking:
+//!
+//! * when the processor grid is wider than it is tall (`pc > pr`, the case of
+//!   many right-hand sides), the right-hand side is split into `pc/pr`
+//!   independent column groups, the triangular matrix is **replicated** onto
+//!   each square `pr × pr` sub-grid (an allgather), and the groups proceed
+//!   independently;
+//! * on a square grid the triangular matrix is split in half,
+//!   `X₁ = L₁₁⁻¹·B₁` is solved recursively, the trailing right-hand side is
+//!   updated with a 3D matrix multiplication (`B₂ ← B₂ − L₂₁·X₁`, Section III)
+//!   and `X₂` is solved recursively;
+//! * at the base case the triangular matrix is gathered everywhere and each
+//!   processor solves a subset of complete right-hand-side columns locally.
+//!
+//! The recursion over `L` is what gives this algorithm its `Θ(poly(p))`
+//! synchronization cost: every level performs at least one full collective,
+//! and there are `n / n0` sequentialised levels on the critical path.
+
+use crate::error::config_error;
+use crate::mm3d::{mm3d, MmConfig};
+use crate::planner::choose_mm_p1;
+use crate::Result;
+use dense::{Diag, Matrix, Triangle};
+use pgrid::distmat::cyclic_local_count;
+use pgrid::redist::{remap_elements, scatter_elements};
+use pgrid::{DistMatrix, Grid2D};
+use simnet::coll;
+
+/// Configuration of the recursive TRSM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecTrsmConfig {
+    /// Matrix dimension at or below which the base case (gather `L`, solve
+    /// complete columns locally) is used.
+    pub base_size: usize,
+    /// Route redistributions through the Bruck all-to-all (`log p` latency).
+    pub log_latency: bool,
+}
+
+impl Default for RecTrsmConfig {
+    fn default() -> Self {
+        RecTrsmConfig {
+            base_size: 64,
+            log_latency: true,
+        }
+    }
+}
+
+/// Solve `L·X = B` with the recursive algorithm.  `L` (`n×n`, lower
+/// triangular) and `B` (`n×k`) must be distributed cyclically over the same
+/// `pr × pc` grid with `pr ≤ pc` and `pr | pc`.
+pub fn rec_trsm(l: &DistMatrix, b: &DistMatrix, cfg: &RecTrsmConfig) -> Result<DistMatrix> {
+    let grid = l.grid();
+    let (pr, pc) = (grid.rows(), grid.cols());
+    let n = l.rows();
+    let k = b.cols();
+
+    if l.cols() != n {
+        return Err(config_error("rec_trsm", format!("L must be square, got {}x{}", n, l.cols())));
+    }
+    if b.rows() != n {
+        return Err(config_error(
+            "rec_trsm",
+            format!("dimension mismatch: L is {}x{}, B is {}x{}", n, n, b.rows(), k),
+        ));
+    }
+    if b.grid().rows() != pr || b.grid().cols() != pc {
+        return Err(config_error("rec_trsm", "L and B must be distributed over the same grid"));
+    }
+    if pr > pc || pc % pr != 0 {
+        return Err(config_error(
+            "rec_trsm",
+            format!("grid must satisfy pr ≤ pc and pr | pc, got {pr}x{pc}"),
+        ));
+    }
+    if pr * pc > 1 && (n % pr != 0 || n % pc != 0 || k % pc != 0) {
+        return Err(config_error(
+            "rec_trsm",
+            format!("n = {n} must be divisible by pr = {pr} and pc = {pc}, and k = {k} by pc"),
+        ));
+    }
+    rec_trsm_inner(l, b, cfg)
+}
+
+fn rec_trsm_inner(l: &DistMatrix, b: &DistMatrix, cfg: &RecTrsmConfig) -> Result<DistMatrix> {
+    let grid = l.grid();
+    let (pr, pc) = (grid.rows(), grid.cols());
+    let n = l.rows();
+    let k = b.cols();
+    let p = pr * pc;
+
+    // --- Column split onto square sub-grids (pc > pr). -------------------
+    if pc > pr {
+        let q = pc / pr;
+        let (x, y) = grid.my_coords();
+        let z = y / pr; // which square sub-grid this rank belongs to
+
+        // Replicate L: allgather the pieces of L(·, cols ≡ y (mod pr)) over
+        // the q ranks that share this rank's row and column residue.
+        let lr = cyclic_local_count(n, pr, x);
+        let lc_rep = cyclic_local_count(n, pr, y % pr);
+        let l_rep = if q == 1 {
+            l.local().clone()
+        } else {
+            let group = grid.subgroup_where(|r, c| r == x && c % pr == y % pr)?;
+            let pieces = coll::allgatherv(&group, l.local().as_slice());
+            let mut rep = Matrix::zeros(lr, lc_rep);
+            for (m, piece) in pieces.into_iter().enumerate() {
+                // Member m sits at grid column (y mod pr) + m·pr; its columns
+                // interleave with stride q in the replicated piece.
+                let src_cols = cyclic_local_count(n, pc, y % pr + m * pr);
+                if src_cols == 0 || lr == 0 {
+                    continue;
+                }
+                let block = Matrix::from_vec(lr, src_cols, piece).expect("piece dims");
+                rep.set_strided_block(0, 1, m, q, &block);
+            }
+            rep
+        };
+
+        // The square sub-grid of this rank (columns y with y/pr == z).
+        let sub_members: Vec<usize> = (0..p)
+            .filter(|&r| {
+                let (_, c) = grid.coords_of(r);
+                c / pr == z
+            })
+            .collect();
+        let sub_comm = grid.comm().subgroup(&sub_members)?;
+        let sub_grid = Grid2D::new(&sub_comm, pr, pr)?;
+
+        let l_sub = DistMatrix::from_local(&sub_grid, n, n, l_rep)?;
+        // B's columns owned by this sub-grid form a k/q-column problem whose
+        // local pieces coincide with the existing ones (see DESIGN.md).
+        let b_sub = DistMatrix::from_local(&sub_grid, n, k / q, b.local().clone())?;
+        let x_sub = rec_trsm_inner(&l_sub, &b_sub, cfg)?;
+        return DistMatrix::from_local(grid, n, k, x_sub.local().clone()).map_err(Into::into);
+    }
+
+    // --- Base case. -------------------------------------------------------
+    let splittable = p > 1 && n % (2 * pr) == 0 && n / 2 >= pr && n > cfg.base_size;
+    if !splittable {
+        let l_full = l.to_global();
+        // Give every rank complete columns: column c goes to rank c mod p.
+        let triples = remap_elements(b, |_, c| c % p, cfg.log_latency);
+        let my_rank = grid.comm().rank();
+        let my_cols = cyclic_local_count(k, p, my_rank);
+        let mut b_cols = Matrix::zeros(n, my_cols);
+        for (gi, gj, v) in triples {
+            debug_assert_eq!(gj % p, my_rank);
+            b_cols[(gi, gj / p)] = v;
+        }
+        let x_cols = if my_cols > 0 {
+            let x = dense::trsm(Triangle::Lower, Diag::NonUnit, &l_full, &b_cols)?;
+            grid.comm()
+                .charge_flops(dense::flops::trsm_flops(n, my_cols).get());
+            x
+        } else {
+            b_cols
+        };
+        // Scatter the solution back to the cyclic layout.
+        let mut elements = Vec::with_capacity(x_cols.len());
+        for lj in 0..my_cols {
+            let gj = lj * p + my_rank;
+            for gi in 0..n {
+                elements.push((gi, gj, x_cols[(gi, lj)], grid.rank_of(gi % pr, gj % pc)));
+            }
+        }
+        let incoming = scatter_elements(grid.comm(), k, elements, cfg.log_latency);
+        let mut x = DistMatrix::zeros(grid, n, k);
+        for (gi, gj, v) in incoming {
+            x.local_mut()[(gi / pr, gj / pc)] = v;
+        }
+        return Ok(x);
+    }
+
+    // --- Recursive split of L on a square grid. ---------------------------
+    let h = n / 2;
+    let l11 = l.subview(0, h, 0, h)?;
+    let l21 = l.subview(h, h, 0, h)?;
+    let l22 = l.subview(h, h, h, h)?;
+    let b1 = b.subview(0, h, 0, k)?;
+    let b2 = b.subview(h, h, 0, k)?;
+
+    let x1 = rec_trsm_inner(&l11, &b1, cfg)?;
+
+    let mm_cfg = MmConfig {
+        p1: choose_mm_p1(h, k, pr),
+        log_latency: cfg.log_latency,
+    };
+    let update = mm3d(&l21, &x1, &mm_cfg)?;
+    let mut b2_new = b2;
+    b2_new.sub_assign(&update)?;
+
+    let x2 = rec_trsm_inner(&l22, &b2_new, cfg)?;
+
+    let mut x = DistMatrix::zeros(grid, n, k);
+    x.set_subview(0, 0, &x1)?;
+    x.set_subview(h, 0, &x2)?;
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::gen;
+    use simnet::{Machine, MachineParams};
+
+    fn on_grid<T: Send>(
+        pr: usize,
+        pc: usize,
+        f: impl Fn(&Grid2D) -> T + Send + Sync,
+    ) -> (Vec<T>, simnet::CostReport) {
+        let out = Machine::new(pr * pc, MachineParams::unit())
+            .run(|comm| {
+                let grid = Grid2D::new(comm, pr, pc).unwrap();
+                f(&grid)
+            })
+            .unwrap();
+        (out.results, out.report)
+    }
+
+    fn check_solve(pr: usize, pc: usize, n: usize, k: usize, base: usize) {
+        let (results, _) = on_grid(pr, pc, move |grid| {
+            let l_global = gen::well_conditioned_lower(n, 9);
+            let x_true = gen::rhs(n, k, 10);
+            let b_global = dense::matmul(&l_global, &x_true);
+            let l = DistMatrix::from_global(grid, &l_global);
+            let b = DistMatrix::from_global(grid, &b_global);
+            let x = rec_trsm(
+                &l,
+                &b,
+                &RecTrsmConfig {
+                    base_size: base,
+                    log_latency: true,
+                },
+            )
+            .unwrap();
+            dense::norms::rel_diff(&x.to_global(), &x_true)
+        });
+        for (rank, d) in results.into_iter().enumerate() {
+            assert!(d < 1e-8, "pr={pr} pc={pc} n={n} k={k} rank={rank}: diff {d}");
+        }
+    }
+
+    #[test]
+    fn single_processor_base_case() {
+        check_solve(1, 1, 32, 8, 64);
+    }
+
+    #[test]
+    fn square_grid_recursion() {
+        check_solve(2, 2, 32, 8, 8);
+        check_solve(2, 2, 64, 16, 16);
+    }
+
+    #[test]
+    fn four_by_four_grid() {
+        check_solve(4, 4, 64, 16, 16);
+    }
+
+    #[test]
+    fn rectangular_grid_splits_columns() {
+        // pc > pr: the right-hand side is split over two / four square grids.
+        check_solve(2, 4, 32, 32, 8);
+        check_solve(1, 4, 16, 32, 8);
+        check_solve(2, 8, 32, 64, 8);
+    }
+
+    #[test]
+    fn base_case_only_when_base_size_large() {
+        check_solve(2, 2, 32, 8, 1024);
+    }
+
+    #[test]
+    fn deep_recursion_with_small_base() {
+        check_solve(2, 2, 128, 8, 8);
+    }
+
+    #[test]
+    fn wide_right_hand_side() {
+        check_solve(2, 2, 32, 128, 8);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let (results, _) = on_grid(2, 2, |grid| {
+            let l = DistMatrix::zeros(grid, 16, 16);
+            let b = DistMatrix::zeros(grid, 16, 8);
+            let rect_l = DistMatrix::zeros(grid, 16, 12);
+            let bad_l = rec_trsm(&rect_l, &b, &RecTrsmConfig::default()).is_err();
+            let wrong_rows = {
+                let b_bad = DistMatrix::zeros(grid, 12, 8);
+                rec_trsm(&l, &b_bad, &RecTrsmConfig::default()).is_err()
+            };
+            let bad_divisibility = {
+                let l_odd = DistMatrix::zeros(grid, 18, 18);
+                let b_odd = DistMatrix::zeros(grid, 18, 8);
+                rec_trsm(&l_odd, &b_odd, &RecTrsmConfig::default()).is_err()
+            };
+            bad_l && wrong_rows && bad_divisibility
+        });
+        assert!(results.into_iter().all(|v| v));
+    }
+
+    #[test]
+    fn rejects_tall_grids() {
+        let out = Machine::new(8, MachineParams::unit())
+            .run(|comm| {
+                let grid = Grid2D::new(comm, 4, 2).unwrap();
+                let l = DistMatrix::zeros(&grid, 16, 16);
+                let b = DistMatrix::zeros(&grid, 16, 8);
+                rec_trsm(&l, &b, &RecTrsmConfig::default()).is_err()
+            })
+            .unwrap();
+        assert!(out.results.into_iter().all(|v| v));
+    }
+
+    #[test]
+    fn latency_grows_with_recursion_depth() {
+        // The recursive algorithm's message count grows with n/base_size —
+        // the behaviour the iterative algorithm is designed to avoid.
+        let run = |n: usize, base: usize| {
+            let (_, report) = on_grid(2, 2, move |grid| {
+                let l_global = gen::well_conditioned_lower(n, 3);
+                let b_global = gen::rhs(n, 8, 4);
+                let l = DistMatrix::from_global(grid, &l_global);
+                let b = DistMatrix::from_global(grid, &b_global);
+                rec_trsm(
+                    &l,
+                    &b,
+                    &RecTrsmConfig {
+                        base_size: base,
+                        log_latency: true,
+                    },
+                )
+                .unwrap();
+            });
+            report.max_messages()
+        };
+        let shallow = run(128, 64);
+        let deep = run(128, 8);
+        assert!(deep > shallow, "deeper recursion must cost more messages ({deep} vs {shallow})");
+    }
+}

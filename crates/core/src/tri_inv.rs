@@ -1,0 +1,332 @@
+//! Distributed recursive triangular inversion (Section V of the paper).
+//!
+//! The inverse of a blocked lower-triangular matrix is
+//!
+//! ```text
+//! [ L11   0  ]⁻¹   =   [        L11⁻¹          0    ]
+//! [ L21  L22 ]          [ -L22⁻¹·L21·L11⁻¹    L22⁻¹ ]
+//! ```
+//!
+//! The two diagonal blocks are **independent**, so the paper assigns each to
+//! half of the processors and inverts them *concurrently*; the off-diagonal
+//! block then needs two matrix multiplications on the full grid.  Because the
+//! recursion depth is `log n` (bounded by `log q` here, since the processor
+//! grid halves at every level) and every level costs only `O(log p)` messages,
+//! the total synchronization cost is `O(log² p)` — the key property that lets
+//! the iterative TRSM avoid the `Θ(√p)`-type latency of the recursive solver.
+//!
+//! Deviation from the paper's pseudocode (documented in DESIGN.md): the two
+//! children use the diagonal `(q/2)×(q/2)` quadrants of the parent grid (p/4
+//! processors each, p/2 in total), exactly as the paper's `dim(Π1) = dim(Π2) =
+//! (√p/2 × √p/2)` split; redistribution between parent and child grids is the
+//! keyed all-to-all the paper bounds "by an all-to-all".
+
+use crate::error::config_error;
+use crate::mm3d::{mm3d, MmConfig};
+use crate::planner::choose_mm_p1;
+use crate::Result;
+use dense::{Matrix, Triangle};
+use pgrid::redist::scatter_elements;
+use pgrid::{DistMatrix, Grid2D};
+
+/// Configuration of the distributed triangular inversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriInvConfig {
+    /// Matrix dimension at or below which the matrix is gathered and inverted
+    /// redundantly by every processor of the (sub-)grid.
+    pub base_size: usize,
+    /// Route redistributions through the Bruck all-to-all (`log p` latency).
+    pub log_latency: bool,
+}
+
+impl Default for TriInvConfig {
+    fn default() -> Self {
+        TriInvConfig {
+            base_size: 64,
+            log_latency: true,
+        }
+    }
+}
+
+/// Invert a lower-triangular matrix distributed cyclically over a square
+/// processor grid.  Returns the inverse in the same distribution.
+pub fn tri_inv(l: &DistMatrix, cfg: &TriInvConfig) -> Result<DistMatrix> {
+    let grid = l.grid();
+    if grid.rows() != grid.cols() {
+        return Err(config_error(
+            "tri_inv",
+            format!("grid must be square, got {}x{}", grid.rows(), grid.cols()),
+        ));
+    }
+    if l.rows() != l.cols() {
+        return Err(config_error(
+            "tri_inv",
+            format!("matrix must be square, got {}x{}", l.rows(), l.cols()),
+        ));
+    }
+    tri_inv_inner(l, cfg)
+}
+
+fn tri_inv_inner(l: &DistMatrix, cfg: &TriInvConfig) -> Result<DistMatrix> {
+    let grid = l.grid();
+    let q = grid.rows();
+    let n = l.rows();
+
+    // Base case: gather the whole matrix and invert it redundantly on every
+    // processor of this (sub-)grid, as the paper's pseudocode does once the
+    // grid is one-dimensional.
+    let splittable = q >= 2 && q % 2 == 0 && n % (2 * q) == 0 && n > cfg.base_size;
+    if !splittable {
+        let full = l.to_global();
+        let (inv, flops) = dense::tri_invert(Triangle::Lower, &full)?;
+        grid.comm().charge_flops(flops.get());
+        return Ok(DistMatrix::from_global(grid, &inv));
+    }
+
+    let h = n / 2;
+    let qh = q / 2;
+    let comm = grid.comm();
+
+    let l11 = l.subview(0, h, 0, h)?;
+    let l21 = l.subview(h, h, 0, h)?;
+    let l22 = l.subview(h, h, h, h)?;
+
+    // Children: the two diagonal (q/2)×(q/2) quadrants of the grid.
+    let child_a_members: Vec<usize> = (0..q * q)
+        .filter(|&r| {
+            let (row, col) = grid.coords_of(r);
+            row < qh && col < qh
+        })
+        .collect();
+    let child_b_members: Vec<usize> = (0..q * q)
+        .filter(|&r| {
+            let (row, col) = grid.coords_of(r);
+            row >= qh && col >= qh
+        })
+        .collect();
+    // Every rank calls both subgroups so the context derivation stays aligned.
+    let child_a_comm = comm.subgroup(&child_a_members);
+    let child_b_comm = comm.subgroup(&child_b_members);
+
+    // Send each child its diagonal block, redistributed to the child grid's
+    // cyclic layout (only the lower-triangular part carries information).
+    let send_block_to_child = |block: &DistMatrix, child_base: (usize, usize)| {
+        let mut elements = Vec::new();
+        let local = block.local();
+        for li in 0..local.rows() {
+            let gi = block.global_row(li);
+            for lj in 0..local.cols() {
+                let gj = block.global_col(lj);
+                if gj > gi {
+                    continue;
+                }
+                let dest = grid.rank_of(child_base.0 + gi % qh, child_base.1 + gj % qh);
+                elements.push((gi, gj, local[(li, lj)], dest));
+            }
+        }
+        scatter_elements(comm, h, elements, cfg.log_latency)
+    };
+    let recv_a = send_block_to_child(&l11, (0, 0));
+    let recv_b = send_block_to_child(&l22, (qh, qh));
+
+    // Each child inverts its block concurrently on its own grid.
+    let my_inverse_piece: Option<(Matrix, bool)> = if let Ok(sub) = &child_a_comm {
+        let child_grid = Grid2D::new(sub, qh, qh)?;
+        let mut child_l = DistMatrix::zeros(&child_grid, h, h);
+        fill_from_triples(&mut child_l, &recv_a, qh);
+        let inv = tri_inv_inner(&child_l, cfg)?;
+        Some((inv.local().clone(), true))
+    } else if let Ok(sub) = &child_b_comm {
+        let child_grid = Grid2D::new(sub, qh, qh)?;
+        let mut child_l = DistMatrix::zeros(&child_grid, h, h);
+        fill_from_triples(&mut child_l, &recv_b, qh);
+        let inv = tri_inv_inner(&child_l, cfg)?;
+        Some((inv.local().clone(), false))
+    } else {
+        None
+    };
+
+    // Redistribute both inverted diagonal blocks back to the parent grid.
+    let send_back = |piece: Option<&Matrix>, is_first: bool| {
+        let mut elements = Vec::new();
+        if let Some(local) = piece {
+            // This rank is a member of the corresponding child grid; its
+            // child-grid coordinates are its parent coordinates modulo qh.
+            let (row, col) = grid.my_coords();
+            let (cx, cy) = (row % qh, col % qh);
+            for li in 0..local.rows() {
+                let gi = li * qh + cx;
+                for lj in 0..local.cols() {
+                    let gj = lj * qh + cy;
+                    if gj > gi {
+                        continue;
+                    }
+                    let dest = grid.rank_of(gi % q, gj % q);
+                    elements.push((gi, gj, local[(li, lj)], dest));
+                }
+            }
+        }
+        let _ = is_first;
+        scatter_elements(comm, h, elements, cfg.log_latency)
+    };
+    let (piece_a, piece_b) = match &my_inverse_piece {
+        Some((m, true)) => (Some(m), None),
+        Some((m, false)) => (None, Some(m)),
+        None => (None, None),
+    };
+    let back_a = send_back(piece_a, true);
+    let back_b = send_back(piece_b, false);
+
+    let mut inv11 = DistMatrix::zeros(grid, h, h);
+    fill_from_triples(&mut inv11, &back_a, q);
+    let mut inv22 = DistMatrix::zeros(grid, h, h);
+    fill_from_triples(&mut inv22, &back_b, q);
+
+    // Off-diagonal block: inv21 = −inv22 · L21 · inv11, as two multiplications
+    // on the full grid.
+    let mm_cfg = MmConfig {
+        p1: choose_mm_p1(h, h, q),
+        log_latency: cfg.log_latency,
+    };
+    let t = mm3d(&inv22, &l21, &mm_cfg)?;
+    let mut inv21 = mm3d(&t, &inv11, &mm_cfg)?;
+    inv21.local_mut().scale_in_place(-1.0);
+
+    // Assemble the inverse.
+    let mut out = DistMatrix::zeros(grid, n, n);
+    out.set_subview(0, 0, &inv11)?;
+    out.set_subview(h, 0, &inv21)?;
+    out.set_subview(h, h, &inv22)?;
+    Ok(out)
+}
+
+/// Place `(global row, global col, value)` triples into the local piece of a
+/// matrix distributed cyclically over a `side × side` grid.
+fn fill_from_triples(mat: &mut DistMatrix, triples: &[(usize, usize, f64)], side: usize) {
+    let (x, y) = mat.grid().my_coords();
+    for &(gi, gj, v) in triples {
+        debug_assert_eq!(gi % side, x);
+        debug_assert_eq!(gj % side, y);
+        mat.local_mut()[(gi / side, gj / side)] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::gen;
+    use simnet::{Machine, MachineParams};
+
+    fn on_grid<T: Send>(
+        q: usize,
+        f: impl Fn(&Grid2D) -> T + Send + Sync,
+    ) -> (Vec<T>, simnet::CostReport) {
+        let out = Machine::new(q * q, MachineParams::unit())
+            .run(|comm| {
+                let grid = Grid2D::new(comm, q, q).unwrap();
+                f(&grid)
+            })
+            .unwrap();
+        (out.results, out.report)
+    }
+
+    fn check_inverse(q: usize, n: usize, base: usize) {
+        let (results, _) = on_grid(q, move |grid| {
+            let l_global = gen::well_conditioned_lower(n, 42);
+            let l = DistMatrix::from_global(grid, &l_global);
+            let inv = tri_inv(
+                &l,
+                &TriInvConfig {
+                    base_size: base,
+                    log_latency: true,
+                },
+            )
+            .unwrap();
+            let got = inv.to_global();
+            let prod = dense::matmul(&l_global, &got);
+            let lower_ok = got.is_lower_triangular();
+            (
+                dense::norms::rel_diff(&prod, &Matrix::identity(n)),
+                lower_ok,
+            )
+        });
+        for (d, lower_ok) in results {
+            assert!(d < 1e-8, "q={q} n={n}: L·L⁻¹ differs from I by {d}");
+            assert!(lower_ok, "inverse must stay lower triangular");
+        }
+    }
+
+    #[test]
+    fn single_processor_inverts() {
+        check_inverse(1, 32, 8);
+    }
+
+    #[test]
+    fn two_by_two_grid_recursion() {
+        check_inverse(2, 32, 8);
+    }
+
+    #[test]
+    fn four_by_four_grid_two_levels() {
+        check_inverse(4, 64, 8);
+    }
+
+    #[test]
+    fn base_size_forces_early_gather() {
+        // With base_size >= n the whole inversion happens in the base case.
+        check_inverse(2, 32, 64);
+    }
+
+    #[test]
+    fn non_power_of_two_dimension_falls_back() {
+        // n = 48 on a 2x2 grid: first split gives h = 24, which on the child
+        // 1x1 grids is a plain local inversion.
+        check_inverse(2, 48, 8);
+    }
+
+    #[test]
+    fn rejects_rectangular_inputs() {
+        let (results, _) = on_grid(2, |grid| {
+            let rect = DistMatrix::zeros(grid, 8, 12);
+            tri_inv(&rect, &TriInvConfig::default()).is_err()
+        });
+        assert!(results.into_iter().all(|v| v));
+    }
+
+    #[test]
+    fn rejects_non_square_grid() {
+        let out = Machine::new(2, MachineParams::unit())
+            .run(|comm| {
+                let grid = Grid2D::new(comm, 1, 2).unwrap();
+                let l = DistMatrix::zeros(&grid, 8, 8);
+                tri_inv(&l, &TriInvConfig::default()).is_err()
+            })
+            .unwrap();
+        assert!(out.results.into_iter().all(|v| v));
+    }
+
+    #[test]
+    fn latency_stays_polylogarithmic() {
+        // The whole point of the inversion: on a 4x4 grid the number of
+        // messages along the critical path stays small (O(log² p) collective
+        // rounds), far below the O(n/q) rounds a wavefront solve would need.
+        let n = 128;
+        let (_, report) = on_grid(4, move |grid| {
+            let l_global = gen::well_conditioned_lower(n, 1);
+            let l = DistMatrix::from_global(grid, &l_global);
+            tri_inv(
+                &l,
+                &TriInvConfig {
+                    base_size: 16,
+                    log_latency: true,
+                },
+            )
+            .unwrap();
+        });
+        assert!(
+            report.max_messages() < 300,
+            "latency {} should be polylogarithmic, not O(n)",
+            report.max_messages()
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! The conclusion table of the paper (Section IX): standard (recursive) TRSM
+//! versus the new iterative inversion-based method, per regime.
+//!
+//! | regime | method | S | W | F |
+//! |---|---|---|---|---|
+//! | `n < 4k/p`        | standard | `log p`                     | `n²`           | `n²k/p`  |
+//! |                   | new      | `log² p`                    | `n²`           | `n²k/p`  |
+//! | `n > 4k√p`        | standard | `√p·log p`                  | `nk/√p`        | `n²k/p`  |
+//! |                   | new      | `log² p + (n/k)^{3/4}·log p / p^{1/8}` | `nk/√p` | `n²k/p` |
+//! | `4k/p ≤ n ≤ 4k√p` | standard | `(np/k)^{2/3}·log p`        | `(n²k/p)^{2/3}`| `n²k/p`  |
+//! |                   | new      | `log² p + √(n/k)·log p`     | `(n²k/p)^{2/3}`| `2n²k/p` |
+//!
+//! [`conclusion_row`] evaluates both columns for a concrete `(n, k, p)` and
+//! [`latency_improvement`] returns the headline speedup factor, which reaches
+//! `Θ((n/k)^{1/6}·p^{2/3})` in the 3D regime.
+
+use crate::cost::{log2c, Cost};
+use crate::tuning::{classify, Regime};
+
+/// One row of the Section IX table: the asymptotic cost of the standard
+/// (recursive) algorithm and of the new method for a concrete input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConclusionRow {
+    /// Problem size.
+    pub n: f64,
+    /// Number of right-hand sides.
+    pub k: f64,
+    /// Number of processors.
+    pub p: f64,
+    /// Regime the input falls into.
+    pub regime: Regime,
+    /// Cost of the standard (recursive) algorithm.
+    pub standard: Cost,
+    /// Cost of the new iterative inversion-based algorithm.
+    pub new: Cost,
+}
+
+/// The "standard" column of the conclusion table (note the extra `log p`
+/// latency factor relative to `T_RT2D/3D`, which the table includes).
+pub fn standard_cost(n: f64, k: f64, p: f64) -> Cost {
+    match classify(n, k, p) {
+        Regime::OneLargeDim => Cost {
+            latency: log2c(p),
+            bandwidth: n * n,
+            flops: n * n * k / p,
+        },
+        Regime::TwoLargeDims => Cost {
+            latency: p.sqrt() * log2c(p),
+            bandwidth: n * k / p.sqrt(),
+            flops: n * n * k / p,
+        },
+        Regime::ThreeLargeDims => Cost {
+            latency: (n * p / k).powf(2.0 / 3.0) * log2c(p),
+            bandwidth: (n * n * k / p).powf(2.0 / 3.0),
+            flops: n * n * k / p,
+        },
+    }
+}
+
+/// The "new method" column of the conclusion table.
+pub fn new_cost(n: f64, k: f64, p: f64) -> Cost {
+    match classify(n, k, p) {
+        Regime::OneLargeDim => Cost {
+            latency: log2c(p) * log2c(p),
+            bandwidth: n * n,
+            flops: n * n * k / p,
+        },
+        Regime::TwoLargeDims => Cost {
+            latency: log2c(p) * log2c(p) + (n / k).powf(0.75) / p.powf(0.125) * log2c(p),
+            bandwidth: n * k / p.sqrt(),
+            flops: n * n * k / p,
+        },
+        Regime::ThreeLargeDims => Cost {
+            latency: log2c(p) * log2c(p) + (n / k).sqrt().max(1.0) * log2c(p),
+            bandwidth: (n * n * k / p).powf(2.0 / 3.0),
+            flops: 2.0 * n * n * k / p,
+        },
+    }
+}
+
+/// Evaluate one conclusion-table row for `(n, k, p)`.
+pub fn conclusion_row(n: f64, k: f64, p: f64) -> ConclusionRow {
+    ConclusionRow {
+        n,
+        k,
+        p,
+        regime: classify(n, k, p),
+        standard: standard_cost(n, k, p),
+        new: new_cost(n, k, p),
+    }
+}
+
+/// The latency (synchronization) improvement factor `S_standard / S_new`.
+///
+/// In the 3D regime this approaches the paper's headline
+/// `Θ((n/k)^{1/6}·p^{2/3})`.
+pub fn latency_improvement(n: f64, k: f64, p: f64) -> f64 {
+    let row = conclusion_row(n, k, p);
+    row.standard.latency / row.new.latency
+}
+
+/// The paper's asymptotic improvement factor `(n/k)^{1/6}·p^{2/3}` for the 3D
+/// regime (used by the experiments as the reference curve).
+pub fn asymptotic_improvement_3d(n: f64, k: f64, p: f64) -> f64 {
+    (n / k).powf(1.0 / 6.0) * p.powf(2.0 / 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_methods_have_equal_bandwidth_everywhere() {
+        for (n, k, p) in [(32.0, 8192.0, 512.0), (4096.0, 1024.0, 64.0), (1.0e6, 64.0, 256.0)] {
+            let row = conclusion_row(n, k, p);
+            assert_eq!(row.standard.bandwidth, row.new.bandwidth);
+        }
+    }
+
+    #[test]
+    fn flops_at_most_doubled() {
+        for (n, k, p) in [(32.0, 8192.0, 512.0), (4096.0, 1024.0, 64.0), (1.0e6, 64.0, 256.0)] {
+            let row = conclusion_row(n, k, p);
+            assert!(row.new.flops <= 2.0 * row.standard.flops + 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_d_regime_trades_a_log_factor() {
+        // In the 1D regime the new method pays log p extra latency.
+        let row = conclusion_row(16.0, 65536.0, 256.0);
+        assert_eq!(row.regime, Regime::OneLargeDim);
+        assert!(row.new.latency > row.standard.latency);
+        assert!((row.new.latency / row.standard.latency - log2c(256.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_and_three_d_regimes_win() {
+        // 2D regime: the win requires n/k < p^{5/6} (otherwise the
+        // (n/k)^{3/4}·log p / p^{1/8} term dominates); pick such a point.
+        let (n2, k2, p2) = (524_288.0, 256.0, 65_536.0);
+        let row2 = conclusion_row(n2, k2, p2);
+        assert_eq!(row2.regime, Regime::TwoLargeDims);
+        assert!(latency_improvement(n2, k2, p2) > 2.0);
+
+        // 3D regime: the headline (n/k)^{1/6}·p^{2/3} factor is large.
+        let row3 = conclusion_row(65536.0, 8192.0, 4096.0);
+        assert_eq!(row3.regime, Regime::ThreeLargeDims);
+        assert!(latency_improvement(65536.0, 8192.0, 4096.0) > 10.0);
+    }
+
+    #[test]
+    fn improvement_tracks_asymptotic_factor_in_3d() {
+        // As p grows with n/k fixed, the measured improvement should grow
+        // proportionally to the asymptotic factor (within a constant).
+        let n = 1.0e6;
+        let k = 1.0e5;
+        let small = latency_improvement(n, k, 256.0) / asymptotic_improvement_3d(n, k, 256.0);
+        let large = latency_improvement(n, k, 16384.0) / asymptotic_improvement_3d(n, k, 16384.0);
+        assert!(small > 0.0 && large > 0.0);
+        let ratio = large / small;
+        assert!(ratio > 0.2 && ratio < 5.0, "constant factor drifted: {ratio}");
+    }
+
+    #[test]
+    fn improvement_grows_with_p() {
+        let n = 1.0e6;
+        let k = 1.0e4;
+        let mut last = 0.0;
+        for p in [64.0, 512.0, 4096.0, 32768.0] {
+            let imp = latency_improvement(n, k, p);
+            assert!(imp > last, "improvement must grow with p");
+            last = imp;
+        }
+    }
+}

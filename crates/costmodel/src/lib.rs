@@ -1,0 +1,39 @@
+//! # `costmodel` — the paper's analytic α–β–γ cost model
+//!
+//! Every section of Wicky, Solomonik & Hoefler (IPDPS 2017) derives
+//! closed-form costs in the α–β–γ model: the collectives of Section II-C1,
+//! the 3D matrix multiplication of Section III, the recursive TRSM of
+//! Section IV, the recursive triangular inversion of Section V, the iterative
+//! inversion-based TRSM of Sections VI–VII, the optimal parameters of
+//! Section VIII and the comparison table of Section IX.
+//!
+//! This crate implements all of those formulas as plain functions so that
+//!
+//! 1. the experiment harness can print *predicted* S/W/F next to the values
+//!    *measured* on the simulated machine (`simnet`), and
+//! 2. the parameter planner in `catrsm` can pick processor grids and block
+//!    sizes **a priori**, which is one of the paper's stated contributions.
+//!
+//! The crate is dependency-free and purely numeric: costs are returned as
+//! [`Cost`] records with fractional counts (leading-order expressions, not
+//! integer message counts).
+//!
+//! ```
+//! use costmodel::tuning::{plan, Regime};
+//! // 4k/p ≤ n ≤ 4k√p  →  three large dimensions, 3D processor grid.
+//! let plan = plan(4096, 1024, 64);
+//! assert_eq!(plan.regime, Regime::ThreeLargeDims);
+//! assert!(plan.p1 * plan.p1 * plan.p2 <= 64.0);
+//! ```
+
+pub mod cost;
+pub mod collectives;
+pub mod mm;
+pub mod rec_trsm;
+pub mod inversion;
+pub mod itinv;
+pub mod tuning;
+pub mod compare;
+
+pub use cost::{Cost, Machine};
+pub use tuning::{plan, Regime, TrsmPlan};

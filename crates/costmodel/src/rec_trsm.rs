@@ -1,0 +1,114 @@
+//! Cost of the recursive TRSM algorithm (Section IV of the paper).
+//!
+//! This is the "standard" baseline of the conclusion table: a recursive
+//! splitting of the triangular matrix, with a column split of the right-hand
+//! side when `k > n`.  The paper derives its cost in the three regimes; the
+//! functions here reproduce those expressions so the experiments can compare
+//! the baseline against the iterative inversion-based algorithm.
+
+use crate::cost::{log2c, Cost};
+use crate::tuning::{classify, Regime};
+
+/// Processor-grid shape `(pr, pc)` the recursive algorithm selects:
+/// `pc = max(√p, min(p, √(p·k/n)))`, `pr = p / pc`.
+pub fn rec_grid(n: f64, k: f64, p: f64) -> (f64, f64) {
+    let pc = p.sqrt().max((p * k / n).sqrt().min(p));
+    let pr = p / pc;
+    (pr, pc)
+}
+
+/// `T_RT1D(n, k, p) = O(α·log p + β·n² + γ·n²k/p)` — one large dimension
+/// (`n < k/p`).
+pub fn rec_trsm_1d(n: f64, k: f64, p: f64) -> Cost {
+    Cost {
+        latency: log2c(p),
+        bandwidth: n * n,
+        flops: n * n * k / p,
+    }
+}
+
+/// `T_RT2D(n, k, p) = O(α·√p + β·nk·log p/√p + γ·n²k/p)` — two large
+/// dimensions (`n > k·√p`).
+pub fn rec_trsm_2d(n: f64, k: f64, p: f64) -> Cost {
+    Cost {
+        latency: p.sqrt(),
+        bandwidth: n * k * log2c(p) / p.sqrt(),
+        flops: n * n * k / p,
+    }
+}
+
+/// `T_RT3D(n, k, p) = O(α·(np/k)^{2/3}·log p + β·(n²k/p)^{2/3} + γ·n²k/p)` —
+/// three large dimensions (`k/p ≤ n ≤ k·√p`).
+pub fn rec_trsm_3d(n: f64, k: f64, p: f64) -> Cost {
+    Cost {
+        latency: (n * p / k).powf(2.0 / 3.0) * log2c(p),
+        bandwidth: (n * n * k / p).powf(2.0 / 3.0),
+        flops: n * n * k / p,
+    }
+}
+
+/// Cost of the recursive TRSM with the regime chosen as in Section VIII
+/// (`n < 4k/p` → 1D, `n > 4k√p` → 2D, otherwise 3D), so that it can be
+/// compared term-by-term with the iterative algorithm.
+pub fn rec_trsm_cost(n: f64, k: f64, p: f64) -> Cost {
+    match classify(n, k, p) {
+        Regime::OneLargeDim => rec_trsm_1d(n, k, p),
+        Regime::TwoLargeDims => rec_trsm_2d(n, k, p),
+        Regime::ThreeLargeDims => rec_trsm_3d(n, k, p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_selection_matches_paper() {
+        // n >= k: square grid.
+        let (pr, pc) = rec_grid(4096.0, 1024.0, 64.0);
+        assert_eq!((pr, pc), (8.0, 8.0));
+        // n << k: wide rectangular grid pc = p (as long as p < k/n).
+        let (pr, pc) = rec_grid(16.0, 65536.0, 16.0);
+        assert_eq!(pr, 1.0);
+        assert_eq!(pc, 16.0);
+        // In between: pc = sqrt(p k / n).
+        let (pr, pc) = rec_grid(1024.0, 4096.0, 64.0);
+        assert!((pc - (64.0f64 * 4.0).sqrt()).abs() < 1e-9);
+        assert!((pr * pc - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regime_dispatch() {
+        let p = 64.0;
+        let k = 1024.0;
+        // n < 4k/p = 64 → 1D.
+        assert_eq!(rec_trsm_cost(32.0, k, p), rec_trsm_1d(32.0, k, p));
+        // n > 4k√p = 32768 → 2D.
+        assert_eq!(rec_trsm_cost(65536.0, k, p), rec_trsm_2d(65536.0, k, p));
+        // Otherwise 3D.
+        assert_eq!(rec_trsm_cost(2048.0, k, p), rec_trsm_3d(2048.0, k, p));
+    }
+
+    #[test]
+    fn two_d_latency_scales_as_sqrt_p() {
+        let a = rec_trsm_2d(1.0e6, 16.0, 64.0);
+        let b = rec_trsm_2d(1.0e6, 16.0, 256.0);
+        assert!((b.latency / a.latency - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_d_latency_grows_with_n_over_k() {
+        let p = 4096.0;
+        let a = rec_trsm_3d(4096.0, 4096.0, p);
+        let b = rec_trsm_3d(16384.0, 4096.0, p);
+        // (n/k)^{2/3} factor: 4^{2/3} ≈ 2.52.
+        assert!((b.latency / a.latency - 4.0f64.powf(2.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flops_always_optimal() {
+        for (n, k, p) in [(100.0, 1.0e6, 64.0), (1.0e5, 10.0, 64.0), (4096.0, 4096.0, 512.0)] {
+            assert_eq!(rec_trsm_cost(n, k, p).flops, n * n * k / p);
+        }
+    }
+}

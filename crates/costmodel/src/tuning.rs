@@ -1,0 +1,217 @@
+//! Optimal parameter selection (Section VIII of the paper) and the total
+//! costs `T_IT1D`, `T_IT2D`, `T_IT3D` of the tuned iterative algorithm.
+//!
+//! The paper's Figure 1 shows the three processor-grid layouts — 1D, 2D and
+//! 3D cuboids — selected by the relative sizes of the triangular matrix
+//! (`n × n`) and the right-hand side (`n × k`):
+//!
+//! * `n < 4k/p`   → **1D**: every processor owns a column slab of `B`; the
+//!   whole matrix `L` is inverted (`n0 = n`).
+//! * `n > 4k√p`   → **2D**: a `√p × √p` grid; small diagonal blocks of size
+//!   `n0 = Θ((n·k³·√p)^{1/4})` are inverted.
+//! * otherwise    → **3D**: a `p1 × p1 × p2` cuboid with
+//!   `p1 = (p·n/(4k))^{1/3}`, `n0 = Θ(min(√(nk), n))`.
+
+use crate::cost::{log2c, Cost};
+
+/// The layout regime of Section VIII / Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// `n < 4k/p`: one large dimension, 1D processor layout.
+    OneLargeDim,
+    /// `4k/p ≤ n ≤ 4k√p`: three large dimensions, 3D processor layout.
+    ThreeLargeDims,
+    /// `n > 4k√p`: two large dimensions, 2D processor layout.
+    TwoLargeDims,
+}
+
+impl Regime {
+    /// Human-readable name used by the experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Regime::OneLargeDim => "1 large dimension (1D layout)",
+            Regime::ThreeLargeDims => "3 large dimensions (3D layout)",
+            Regime::TwoLargeDims => "2 large dimensions (2D layout)",
+        }
+    }
+}
+
+/// Classify `(n, k, p)` into the Section VIII regime.
+pub fn classify(n: f64, k: f64, p: f64) -> Regime {
+    if n < 4.0 * k / p {
+        Regime::OneLargeDim
+    } else if n > 4.0 * k * p.sqrt() {
+        Regime::TwoLargeDims
+    } else {
+        Regime::ThreeLargeDims
+    }
+}
+
+/// The asymptotically optimal parameters of the iterative inversion-based
+/// TRSM for one `(n, k, p)` input (real-valued; the `catrsm` planner rounds
+/// them to feasible integer grids).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrsmPlan {
+    /// Triangular matrix dimension.
+    pub n: f64,
+    /// Number of right-hand sides.
+    pub k: f64,
+    /// Number of processors.
+    pub p: f64,
+    /// The selected regime / layout.
+    pub regime: Regime,
+    /// Square-face dimension of the `p1 × p1 × p2` grid.
+    pub p1: f64,
+    /// Depth of the grid (number of right-hand-side layers).
+    pub p2: f64,
+    /// Diagonal-block size that is inverted.
+    pub n0: f64,
+    /// Square-face dimension of each inversion sub-grid.
+    pub r1: f64,
+    /// Depth of each inversion sub-grid (`r2 ≈ 4·r1` at the optimum).
+    pub r2: f64,
+}
+
+/// Compute the Section VIII optimal parameters for `(n, k, p)`.
+pub fn plan(n: usize, k: usize, p: usize) -> TrsmPlan {
+    let nf = n as f64;
+    let kf = k as f64;
+    let pf = p as f64;
+    let regime = classify(nf, kf, pf);
+    let (p1, p2, n0) = match regime {
+        Regime::OneLargeDim => (1.0, pf, nf),
+        Regime::TwoLargeDims => {
+            let n0 = (nf * kf.powi(3) * pf.sqrt()).powf(0.25).min(nf).max(1.0);
+            (pf.sqrt(), 1.0, n0)
+        }
+        Regime::ThreeLargeDims => {
+            let p1 = (pf * nf / (4.0 * kf)).powf(1.0 / 3.0).clamp(1.0, pf.sqrt());
+            let p2 = (pf / (p1 * p1)).max(1.0);
+            let n0 = (nf * kf).sqrt().min(nf).max(1.0);
+            (p1, p2, n0)
+        }
+    };
+    // Inversion sub-grids: q = p·n0/n processors per diagonal block, split
+    // with the optimal ratio r2 = 4·r1 (Section VII-A).
+    let q = (pf * n0 / nf).max(1.0);
+    let (r1, r2) = crate::inversion::optimal_inv_grid(q);
+    TrsmPlan {
+        n: nf,
+        k: kf,
+        p: pf,
+        regime,
+        p1,
+        p2,
+        n0,
+        r1,
+        r2,
+    }
+}
+
+/// `T_IT1D(n, k, p) = O(α·(log² p + log p) + β·n² + γ·n²k/p)`.
+pub fn it_trsm_1d(n: f64, k: f64, p: f64) -> Cost {
+    Cost {
+        latency: log2c(p) * log2c(p) + log2c(p),
+        bandwidth: n * n,
+        flops: n * n * k / p,
+    }
+}
+
+/// `T_IT2D(n, k, p) = O(α·(log² p + (n/k)^{3/4}·log p / p^{1/8}) + β·nk/√p + γ·n²k/p)`.
+pub fn it_trsm_2d(n: f64, k: f64, p: f64) -> Cost {
+    Cost {
+        latency: log2c(p) * log2c(p) + (n / k).powf(0.75) / p.powf(0.125) * log2c(p),
+        bandwidth: n * k / p.sqrt(),
+        flops: n * n * k / p,
+    }
+}
+
+/// `T_IT3D(n, k, p) = O(α·(log² p + max(√(n/k), 1)·log p) + β·(n²k/p)^{2/3} + γ·n²k/p)`.
+pub fn it_trsm_3d(n: f64, k: f64, p: f64) -> Cost {
+    Cost {
+        latency: log2c(p) * log2c(p) + (n / k).sqrt().max(1.0) * log2c(p),
+        bandwidth: (n * n * k / p).powf(2.0 / 3.0),
+        flops: n * n * k / p,
+    }
+}
+
+/// Total cost of the tuned iterative algorithm, dispatched by regime.
+pub fn it_trsm_cost(n: f64, k: f64, p: f64) -> Cost {
+    match classify(n, k, p) {
+        Regime::OneLargeDim => it_trsm_1d(n, k, p),
+        Regime::TwoLargeDims => it_trsm_2d(n, k, p),
+        Regime::ThreeLargeDims => it_trsm_3d(n, k, p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regime_boundaries() {
+        let p = 64.0;
+        let k = 1024.0;
+        assert_eq!(classify(32.0, k, p), Regime::OneLargeDim); // 4k/p = 64
+        assert_eq!(classify(64.0, k, p), Regime::ThreeLargeDims);
+        assert_eq!(classify(32768.0, k, p), Regime::ThreeLargeDims); // 4k√p = 32768
+        assert_eq!(classify(40000.0, k, p), Regime::TwoLargeDims);
+        assert!(classify(32.0, k, p).name().contains("1 large"));
+    }
+
+    #[test]
+    fn one_d_plan_inverts_everything() {
+        let plan = plan(16, 65536, 64);
+        assert_eq!(plan.regime, Regime::OneLargeDim);
+        assert_eq!(plan.p1, 1.0);
+        assert_eq!(plan.p2, 64.0);
+        assert_eq!(plan.n0, 16.0);
+    }
+
+    #[test]
+    fn two_d_plan_uses_square_grid() {
+        let plan = plan(1 << 20, 16, 256);
+        assert_eq!(plan.regime, Regime::TwoLargeDims);
+        assert_eq!(plan.p1, 16.0);
+        assert_eq!(plan.p2, 1.0);
+        assert!(plan.n0 >= 1.0 && plan.n0 <= plan.n);
+        // n0 ~ (n k³ √p)^{1/4}
+        let expect = ((1u64 << 20) as f64 * 16.0f64.powi(3) * 16.0).powf(0.25);
+        assert!((plan.n0 - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn three_d_plan_grid_multiplies_to_p() {
+        let plan = plan(4096, 1024, 64);
+        assert_eq!(plan.regime, Regime::ThreeLargeDims);
+        assert!((plan.p1 * plan.p1 * plan.p2 - 64.0).abs() < 1e-9);
+        assert!((plan.n0 - (4096.0f64 * 1024.0).sqrt()).abs() < 1e-9);
+        assert!(plan.r1 >= 1.0 && plan.r2 >= 1.0);
+        // p1 = (pn/4k)^{1/3} = (64*4096/4096)^{1/3} = 4
+        assert!((plan.p1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inversion_subgrid_size_matches_block_share() {
+        let plan = plan(16384, 4096, 256);
+        let q = plan.p * plan.n0 / plan.n;
+        assert!((plan.r1 * plan.r1 * plan.r2 - q).abs() / q < 1e-6);
+    }
+
+    #[test]
+    fn tuned_cost_dispatches_by_regime() {
+        let p = 64.0;
+        let k = 1024.0;
+        assert_eq!(it_trsm_cost(32.0, k, p), it_trsm_1d(32.0, k, p));
+        assert_eq!(it_trsm_cost(65536.0, k, p), it_trsm_2d(65536.0, k, p));
+        assert_eq!(it_trsm_cost(4096.0, k, p), it_trsm_3d(4096.0, k, p));
+    }
+
+    #[test]
+    fn bandwidth_matches_matrix_multiplication_lower_bound() {
+        // In the 3D regime the tuned algorithm reaches the MM bandwidth.
+        let (n, k, p) = (8192.0, 2048.0, 512.0);
+        let c = it_trsm_3d(n, k, p);
+        assert!((c.bandwidth - crate::mm::wmm(n, k, p)).abs() / c.bandwidth < 1e-9);
+    }
+}

@@ -1,0 +1,284 @@
+//! Local Cholesky and LU factorizations.
+//!
+//! TRSM's raison d'être in the paper is its use inside triangular
+//! factorizations (Cholesky, LU, QR) and for solving linear systems once such
+//! a factorization exists.  These local kernels back the example applications
+//! (`examples/cholesky_solver.rs`, `examples/lu_solver.rs`) and the
+//! distributed factorizations in `catrsm::apps`.
+
+use crate::error::DenseError;
+use crate::flops::{cholesky_flops, lu_flops, FlopCount};
+use crate::matrix::Matrix;
+use crate::Result;
+
+const PIVOT_TOL: f64 = 1e-300;
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
+///
+/// Only the lower triangle of `a` is read.  Returns the lower-triangular
+/// factor and the flop count.
+pub fn cholesky(a: &Matrix) -> Result<(Matrix, FlopCount)> {
+    if !a.is_square() {
+        return Err(DenseError::NotSquare {
+            op: "cholesky",
+            dims: a.dims(),
+        });
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        // Diagonal entry.
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d <= 0.0 {
+            return Err(DenseError::NotPositiveDefinite { index: j, value: d });
+        }
+        let djj = d.sqrt();
+        l[(j, j)] = djj;
+        // Column below the diagonal.
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / djj;
+        }
+    }
+    Ok((l, cholesky_flops(n)))
+}
+
+/// The result of an LU factorization with partial pivoting: `P·A = L·U`.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Unit lower-triangular factor.
+    pub l: Matrix,
+    /// Upper-triangular factor.
+    pub u: Matrix,
+    /// Row permutation: row `i` of `P·A` is row `perm[i]` of `A`.
+    pub perm: Vec<usize>,
+    /// Flops spent in the factorization.
+    pub flops: FlopCount,
+}
+
+impl LuFactors {
+    /// Apply the row permutation to a right-hand-side matrix: returns `P·B`.
+    pub fn permute(&self, b: &Matrix) -> Matrix {
+        Matrix::from_fn(b.rows(), b.cols(), |i, j| b[(self.perm[i], j)])
+    }
+}
+
+/// LU factorization without pivoting: `A = L·U`.
+///
+/// Fails with [`DenseError::SingularPivot`] when a pivot underflows; use
+/// [`lu_partial_pivot`] for general matrices.
+pub fn lu(a: &Matrix) -> Result<(Matrix, Matrix, FlopCount)> {
+    if !a.is_square() {
+        return Err(DenseError::NotSquare {
+            op: "lu",
+            dims: a.dims(),
+        });
+    }
+    let n = a.rows();
+    let mut u = a.clone();
+    let mut l = Matrix::identity(n);
+    for k in 0..n {
+        let pivot = u[(k, k)];
+        if pivot.abs() < PIVOT_TOL {
+            return Err(DenseError::SingularPivot {
+                index: k,
+                value: pivot,
+            });
+        }
+        for i in (k + 1)..n {
+            let factor = u[(i, k)] / pivot;
+            l[(i, k)] = factor;
+            for j in k..n {
+                let v = u[(k, j)];
+                u[(i, j)] -= factor * v;
+            }
+        }
+    }
+    // Zero the strictly-lower part of U that now contains stale values.
+    for i in 0..n {
+        for j in 0..i {
+            u[(i, j)] = 0.0;
+        }
+    }
+    Ok((l, u, lu_flops(n)))
+}
+
+/// LU factorization with partial (row) pivoting: `P·A = L·U`.
+pub fn lu_partial_pivot(a: &Matrix) -> Result<LuFactors> {
+    if !a.is_square() {
+        return Err(DenseError::NotSquare {
+            op: "lu_partial_pivot",
+            dims: a.dims(),
+        });
+    }
+    let n = a.rows();
+    let mut u = a.clone();
+    let mut l = Matrix::zeros(n, n);
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for k in 0..n {
+        // Find pivot row.
+        let mut best = k;
+        let mut best_val = u[(k, k)].abs();
+        for i in (k + 1)..n {
+            if u[(i, k)].abs() > best_val {
+                best = i;
+                best_val = u[(i, k)].abs();
+            }
+        }
+        if best_val < PIVOT_TOL {
+            return Err(DenseError::SingularPivot {
+                index: k,
+                value: u[(k, k)],
+            });
+        }
+        if best != k {
+            swap_rows(&mut u, k, best);
+            swap_rows(&mut l, k, best);
+            perm.swap(k, best);
+        }
+        let pivot = u[(k, k)];
+        for i in (k + 1)..n {
+            let factor = u[(i, k)] / pivot;
+            l[(i, k)] = factor;
+            for j in k..n {
+                let v = u[(k, j)];
+                u[(i, j)] -= factor * v;
+            }
+        }
+    }
+    for i in 0..n {
+        l[(i, i)] = 1.0;
+        for j in 0..i {
+            u[(i, j)] = 0.0;
+        }
+    }
+    Ok(LuFactors {
+        l,
+        u,
+        perm,
+        flops: lu_flops(n),
+    })
+}
+
+fn swap_rows(m: &mut Matrix, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let cols = m.cols();
+    for j in 0..cols {
+        let va = m[(a, j)];
+        let vb = m[(b, j)];
+        m[(a, j)] = vb;
+        m[(b, j)] = va;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::norms;
+
+    fn spd(n: usize) -> Matrix {
+        // A = M Mᵀ + n·I is symmetric positive definite.
+        let m = Matrix::from_fn(n, n, |i, j| (((i * 13 + j * 7) % 11) as f64 - 5.0) / 11.0);
+        let mut a = matmul(&m, &m.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    fn general(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            (((i * 23 + j * 31) % 17) as f64 - 8.0) / 17.0 + if i == j { 3.0 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd(24);
+        let (l, flops) = cholesky(&a).unwrap();
+        assert!(l.is_lower_triangular());
+        let rec = matmul(&l, &l.transpose());
+        assert!(norms::rel_diff(&rec, &a) < 1e-12);
+        assert!(flops.get() > 0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = spd(5);
+        a[(2, 2)] = -10.0;
+        match cholesky(&a) {
+            Err(DenseError::NotPositiveDefinite { .. }) => {}
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_rectangular() {
+        assert!(cholesky(&Matrix::zeros(3, 4)).is_err());
+    }
+
+    #[test]
+    fn lu_reconstructs() {
+        let a = general(20);
+        let (l, u, _) = lu(&a).unwrap();
+        assert!(l.is_lower_triangular());
+        assert!(u.is_upper_triangular());
+        assert!(norms::rel_diff(&matmul(&l, &u), &a) < 1e-10);
+        for i in 0..20 {
+            assert_eq!(l[(i, i)], 1.0);
+        }
+    }
+
+    #[test]
+    fn lu_partial_pivot_reconstructs() {
+        // A matrix that needs pivoting: zero on the leading diagonal entry.
+        let mut a = general(16);
+        a[(0, 0)] = 0.0;
+        let f = lu_partial_pivot(&a).unwrap();
+        let pa = f.permute(&a);
+        assert!(norms::rel_diff(&matmul(&f.l, &f.u), &pa) < 1e-10);
+        assert!(f.l.is_lower_triangular());
+        assert!(f.u.is_upper_triangular());
+        // Permutation must be a bijection on 0..n.
+        let mut sorted = f.perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lu_no_pivot_fails_on_zero_pivot() {
+        let mut a = general(6);
+        a[(0, 0)] = 0.0;
+        assert!(lu(&a).is_err());
+    }
+
+    #[test]
+    fn lu_singular_matrix_detected() {
+        // Two identical rows -> singular.
+        let mut a = general(6);
+        for j in 0..6 {
+            let v = a[(0, j)];
+            a[(1, j)] = v;
+        }
+        assert!(lu_partial_pivot(&a).is_err());
+    }
+
+    #[test]
+    fn pivoting_improves_on_growth() {
+        // Classic example where no-pivot LU is unstable but partial pivot is fine.
+        let a = Matrix::from_row_major(2, 2, &[1e-20, 1.0, 1.0, 1.0]).unwrap();
+        let f = lu_partial_pivot(&a).unwrap();
+        let pa = f.permute(&a);
+        assert!(norms::rel_diff(&matmul(&f.l, &f.u), &pa) < 1e-12);
+    }
+}

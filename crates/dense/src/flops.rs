@@ -1,0 +1,120 @@
+//! Flop-count bookkeeping for local kernels.
+//!
+//! The α–β–γ execution-time model of the paper charges `γ · F` for the `F`
+//! floating-point operations a processor performs along the critical path.
+//! Every kernel in this crate reports the number of flops it performed so that
+//! the distributed algorithms (in the `catrsm` crate) can charge them to the
+//! simulated machine's clock.  The counts follow the usual dense
+//! linear-algebra conventions (a fused multiply–add counts as two flops).
+
+/// Number of floating-point operations performed by a kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlopCount(pub u64);
+
+impl FlopCount {
+    /// Zero flops.
+    pub const ZERO: FlopCount = FlopCount(0);
+
+    /// Create a flop count from a raw number of operations.
+    pub fn new(count: u64) -> Self {
+        FlopCount(count)
+    }
+
+    /// The raw count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Sum of two counts.
+    pub fn plus(self, other: FlopCount) -> FlopCount {
+        FlopCount(self.0 + other.0)
+    }
+}
+
+impl std::ops::Add for FlopCount {
+    type Output = FlopCount;
+    fn add(self, rhs: FlopCount) -> FlopCount {
+        FlopCount(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for FlopCount {
+    fn add_assign(&mut self, rhs: FlopCount) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for FlopCount {
+    fn sum<I: Iterator<Item = FlopCount>>(iter: I) -> FlopCount {
+        FlopCount(iter.map(|f| f.0).sum())
+    }
+}
+
+/// Flops of a general `m×k · k×n` matrix multiplication (multiply + add).
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> FlopCount {
+    FlopCount(2 * m as u64 * k as u64 * n as u64)
+}
+
+/// Flops of a triangular solve `L X = B` with `L` of dimension `n` and `k`
+/// right-hand sides: `n²` multiply–adds per column.
+pub fn trsm_flops(n: usize, k: usize) -> FlopCount {
+    FlopCount(n as u64 * n as u64 * k as u64)
+}
+
+/// Flops of a triangular matrix inversion of dimension `n` (≈ n³/3).
+pub fn tri_inv_flops(n: usize) -> FlopCount {
+    FlopCount((n as u64).pow(3) / 3)
+}
+
+/// Flops of a triangular times dense multiplication (`n×n` triangular times
+/// `n×k` dense): about half of the general product.
+pub fn trmm_flops(n: usize, k: usize) -> FlopCount {
+    FlopCount(n as u64 * n as u64 * k as u64)
+}
+
+/// Flops of a Cholesky factorization of dimension `n` (≈ n³/3).
+pub fn cholesky_flops(n: usize) -> FlopCount {
+    FlopCount((n as u64).pow(3) / 3)
+}
+
+/// Flops of an LU factorization of dimension `n` (≈ 2n³/3).
+pub fn lu_flops(n: usize) -> FlopCount {
+    FlopCount(2 * (n as u64).pow(3) / 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_flops_formula() {
+        assert_eq!(gemm_flops(2, 3, 4), FlopCount(48));
+        assert_eq!(gemm_flops(0, 3, 4), FlopCount::ZERO);
+    }
+
+    #[test]
+    fn trsm_flops_formula() {
+        assert_eq!(trsm_flops(4, 2), FlopCount(32));
+    }
+
+    #[test]
+    fn inv_and_factor_flops_scale_cubically() {
+        assert!(tri_inv_flops(64).get() > 8 * tri_inv_flops(32).get() / 2);
+        assert!(cholesky_flops(100).get() < lu_flops(100).get());
+    }
+
+    #[test]
+    fn flop_count_arithmetic() {
+        let a = FlopCount(3);
+        let b = FlopCount(4);
+        assert_eq!(a + b, FlopCount(7));
+        assert_eq!(a.plus(b), FlopCount(7));
+        let mut c = a;
+        c += b;
+        assert_eq!(c.get(), 7);
+        let total: FlopCount = vec![a, b, c].into_iter().sum();
+        assert_eq!(total, FlopCount(14));
+        assert_eq!(FlopCount::new(5).get(), 5);
+        assert_eq!(FlopCount::default(), FlopCount::ZERO);
+    }
+}

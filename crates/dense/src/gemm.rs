@@ -1,0 +1,231 @@
+//! General matrix–matrix multiplication kernels.
+//!
+//! The workhorse is [`gemm`], a cache-blocked implementation of
+//! `C ← α · A · B + β · C`.  Convenience wrappers [`matmul`], [`gemm_at_b`]
+//! and [`gemm_a_bt`] cover the transposed variants the distributed algorithms
+//! need (the paper's `MM` subroutine and the triangular-inversion updates).
+
+use crate::error::DenseError;
+use crate::flops::{gemm_flops, FlopCount};
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Cache-block edge length used by the blocked kernel.  Chosen so three
+/// `BLOCK × BLOCK` f64 tiles fit comfortably in a typical L1 cache.
+const BLOCK: usize = 64;
+
+/// `C ← alpha * A * B + beta * C`.
+///
+/// `A` is `m×p`, `B` is `p×n`, `C` must be `m×n`.  Returns the number of
+/// flops performed so callers can charge them to the simulated machine.
+pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) -> Result<FlopCount> {
+    let (m, p) = a.dims();
+    let (p2, n) = b.dims();
+    if p != p2 {
+        return Err(DenseError::DimensionMismatch {
+            op: "gemm",
+            lhs: a.dims(),
+            rhs: b.dims(),
+        });
+    }
+    if c.dims() != (m, n) {
+        return Err(DenseError::DimensionMismatch {
+            op: "gemm (output)",
+            lhs: (m, n),
+            rhs: c.dims(),
+        });
+    }
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.fill_zero();
+        } else {
+            c.scale_in_place(beta);
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || p == 0 {
+        return Ok(FlopCount::ZERO);
+    }
+
+    // Blocked i-k-j loop order: the innermost loop walks rows of B and C
+    // contiguously, which is the cache-friendly order for row-major storage.
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let c_data = c.as_mut_slice();
+    for ib in (0..m).step_by(BLOCK) {
+        let i_end = (ib + BLOCK).min(m);
+        for kb in (0..p).step_by(BLOCK) {
+            let k_end = (kb + BLOCK).min(p);
+            for jb in (0..n).step_by(BLOCK) {
+                let j_end = (jb + BLOCK).min(n);
+                for i in ib..i_end {
+                    let a_row = &a_data[i * p..(i + 1) * p];
+                    let c_row = &mut c_data[i * n..(i + 1) * n];
+                    for k in kb..k_end {
+                        let aik = alpha * a_row[k];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b_data[k * n..(k + 1) * n];
+                        for j in jb..j_end {
+                            c_row[j] += aik * b_row[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(gemm_flops(m, p, n))
+}
+
+/// Convenience wrapper: returns `A · B` as a fresh matrix.
+///
+/// Panics only on internal errors; dimension mismatches panic with a clear
+/// message because they indicate a programming error at the call site.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(1.0, a, b, 0.0, &mut c).expect("matmul: incompatible dimensions");
+    c
+}
+
+/// `C ← alpha * Aᵀ * B + beta * C` (A is `p×m`, B is `p×n`, C is `m×n`).
+pub fn gemm_at_b(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) -> Result<FlopCount> {
+    let at = a.transpose();
+    gemm(alpha, &at, b, beta, c)
+}
+
+/// `C ← alpha * A * Bᵀ + beta * C` (A is `m×p`, B is `n×p`, C is `m×n`).
+pub fn gemm_a_bt(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) -> Result<FlopCount> {
+    let bt = b.transpose();
+    gemm(alpha, a, &bt, beta, c)
+}
+
+/// Reference (non-blocked) triple-loop multiplication used by the tests to
+/// validate the blocked kernel.
+pub fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul_reference: inner dims must agree");
+    let (m, p) = a.dims();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..p {
+                acc += a[(i, k)] * b[(k, j)];
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn near(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.max_abs_diff(b).map(|d| d < tol).unwrap_or(false)
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_row_major(2, 2, &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = matmul(&a, &b);
+        let expect = Matrix::from_row_major(2, 2, &[19.0, 22.0, 43.0, 50.0]).unwrap();
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_fn(7, 7, |i, j| ((i * 13 + j * 7) % 11) as f64 - 5.0);
+        let id = Matrix::identity(7);
+        assert!(near(&matmul(&a, &id), &a, 1e-14));
+        assert!(near(&matmul(&id, &a), &a, 1e-14));
+    }
+
+    #[test]
+    fn blocked_matches_reference_rectangular() {
+        let a = Matrix::from_fn(70, 130, |i, j| ((i * 31 + j * 17) % 23) as f64 / 23.0 - 0.5);
+        let b = Matrix::from_fn(130, 50, |i, j| ((i * 7 + j * 41) % 19) as f64 / 19.0 - 0.5);
+        let c1 = matmul(&a, &b);
+        let c2 = matmul_reference(&a, &b);
+        assert!(near(&c1, &c2, 1e-10));
+    }
+
+    #[test]
+    fn gemm_accumulate_and_scale() {
+        let a = Matrix::from_fn(5, 4, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(4, 3, |i, j| (i as f64) - (j as f64));
+        let mut c = Matrix::filled(5, 3, 1.0);
+        // C = 2*A*B + 3*C
+        gemm(2.0, &a, &b, 3.0, &mut c).unwrap();
+        let mut expect = matmul(&a, &b).scale(2.0);
+        expect.axpy(3.0, &Matrix::filled(5, 3, 1.0)).unwrap();
+        assert!(near(&c, &expect, 1e-12));
+    }
+
+    #[test]
+    fn gemm_beta_zero_overwrites_nan_free() {
+        let a = Matrix::identity(3);
+        let b = Matrix::identity(3);
+        let mut c = Matrix::filled(3, 3, f64::NAN);
+        // beta = 0 must not propagate NaNs from the old C.
+        gemm(1.0, &a, &b, 0.0, &mut c).unwrap();
+        assert_eq!(c, Matrix::identity(3));
+    }
+
+    #[test]
+    fn gemm_alpha_zero_only_scales() {
+        let a = Matrix::filled(3, 3, 1.0);
+        let b = Matrix::filled(3, 3, 1.0);
+        let mut c = Matrix::filled(3, 3, 2.0);
+        let flops = gemm(0.0, &a, &b, 0.5, &mut c).unwrap();
+        assert_eq!(flops, FlopCount::ZERO);
+        assert_eq!(c, Matrix::filled(3, 3, 1.0));
+    }
+
+    #[test]
+    fn gemm_dimension_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut c = Matrix::zeros(2, 2);
+        assert!(gemm(1.0, &a, &b, 0.0, &mut c).is_err());
+        let b_ok = Matrix::zeros(3, 2);
+        let mut c_bad = Matrix::zeros(3, 3);
+        assert!(gemm(1.0, &a, &b_ok, 0.0, &mut c_bad).is_err());
+    }
+
+    #[test]
+    fn gemm_reports_flops() {
+        let a = Matrix::zeros(4, 5);
+        let b = Matrix::zeros(5, 6);
+        let mut c = Matrix::zeros(4, 6);
+        let f = gemm(1.0, &a, &b, 0.0, &mut c).unwrap();
+        assert_eq!(f, gemm_flops(4, 5, 6));
+    }
+
+    #[test]
+    fn transposed_variants() {
+        let a = Matrix::from_fn(4, 6, |i, j| (i * 6 + j) as f64 / 10.0);
+        let b = Matrix::from_fn(4, 3, |i, j| (i + 2 * j) as f64 / 7.0);
+        // Aᵀ B : (6x4)(4x3) = 6x3
+        let mut c = Matrix::zeros(6, 3);
+        gemm_at_b(1.0, &a, &b, 0.0, &mut c).unwrap();
+        assert!(near(&c, &matmul(&a.transpose(), &b), 1e-12));
+
+        let b2 = Matrix::from_fn(5, 6, |i, j| (i * j) as f64 / 3.0);
+        // A B2ᵀ : (4x6)(6x5) = 4x5
+        let mut c2 = Matrix::zeros(4, 5);
+        gemm_a_bt(1.0, &a, &b2, 0.0, &mut c2).unwrap();
+        assert!(near(&c2, &matmul(&a, &b2.transpose()), 1e-12));
+    }
+
+    #[test]
+    fn empty_dimensions_are_ok() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        let mut c = Matrix::zeros(0, 3);
+        assert_eq!(gemm(1.0, &a, &b, 0.0, &mut c).unwrap(), FlopCount::ZERO);
+    }
+}

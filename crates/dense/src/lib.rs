@@ -1,0 +1,57 @@
+//! # `dense` — local dense linear-algebra kernels
+//!
+//! This crate is the *BLAS substitute* for the communication-avoiding TRSM
+//! reproduction (Wicky, Solomonik, Hoefler, IPDPS 2017).  The paper's
+//! algorithms only need a small set of local kernels on each processor:
+//!
+//! * general matrix–matrix multiplication ([`gemm`], [`matmul`]),
+//! * triangular solve with one or many right-hand sides ([`trsm`]),
+//! * triangular matrix inversion ([`tri_invert`]),
+//! * triangular matrix–matrix multiplication ([`trmm`]),
+//! * Cholesky and LU factorization ([`cholesky`], [`lu`], [`lu_partial_pivot`])
+//!   for the example applications,
+//! * norms and residual checks ([`norms`]),
+//! * random well-conditioned test matrices ([`gen`]).
+//!
+//! All kernels operate on the row-major [`Matrix`] type and are written in
+//! safe Rust.  They are deliberately straightforward (cache-blocked where it
+//! is cheap to do so) because in the reproduction the local kernels only
+//! contribute to the `γ·F` term of the α–β–γ execution-time model; the paper's
+//! claims are about communication, which is handled by the `simnet`, `pgrid`
+//! and `catrsm` crates.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dense::{Matrix, Triangle, Diag, trsm, gen};
+//! let n = 32;
+//! let k = 8;
+//! let l = gen::well_conditioned_lower(n, 42);
+//! let x_true = Matrix::from_fn(n, k, |i, j| (i + j) as f64 / (n + k) as f64);
+//! let b = dense::matmul(&l, &x_true);
+//! let x = trsm(Triangle::Lower, Diag::NonUnit, &l, &b).unwrap();
+//! assert!(dense::norms::rel_diff(&x, &x_true) < 1e-10);
+//! ```
+
+pub mod error;
+pub mod matrix;
+pub mod gemm;
+pub mod trsm;
+pub mod trmm;
+pub mod trinv;
+pub mod factor;
+pub mod norms;
+pub mod gen;
+pub mod flops;
+
+pub use error::DenseError;
+pub use matrix::Matrix;
+pub use gemm::{gemm, matmul, gemm_at_b, gemm_a_bt};
+pub use trsm::{trsm, trsm_in_place, trsv, Side, Triangle, Diag};
+pub use trmm::trmm;
+pub use trinv::{tri_invert, tri_invert_blocked};
+pub use factor::{cholesky, lu, lu_partial_pivot, LuFactors};
+pub use flops::FlopCount;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DenseError>;

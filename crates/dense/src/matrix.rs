@@ -1,0 +1,663 @@
+//! Row-major dense matrix type and block/strided access helpers.
+//!
+//! [`Matrix`] is the single storage type used throughout the reproduction.
+//! Besides the usual constructors and element access it provides the two
+//! access patterns the paper's algorithms rely on:
+//!
+//! * **contiguous blocks** (`block`, `set_block`) used by the blocked kernels
+//!   and the block distributions, and
+//! * **strided (cyclic) sub-matrices** (`strided_block`, `set_strided_block`)
+//!   which extract `A(r0 : sr : rows, c0 : sc : cols)` in the colon notation of
+//!   the paper — exactly the pieces a processor owns under a cyclic layout.
+
+use crate::error::DenseError;
+use crate::Result;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major, heap-allocated `f64` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a generating function `f(row, col)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a row-major slice of `rows * cols` elements.
+    ///
+    /// Returns an error if the slice length does not match the dimensions.
+    pub fn from_row_major(rows: usize, cols: usize, data: &[f64]) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(DenseError::InvalidParameter {
+                name: "data",
+                reason: format!(
+                    "expected {} elements for a {}x{} matrix, got {}",
+                    rows * cols,
+                    rows,
+                    cols,
+                    data.len()
+                ),
+            });
+        }
+        Ok(Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        })
+    }
+
+    /// Creates a matrix taking ownership of a row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(DenseError::InvalidParameter {
+                name: "data",
+                reason: format!(
+                    "expected {} elements for a {}x{} matrix, got {}",
+                    rows * cols,
+                    rows,
+                    cols,
+                    data.len()
+                ),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Total number of stored elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return its row-major storage.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Checked element access.
+    pub fn get(&self, i: usize, j: usize) -> Result<f64> {
+        if i >= self.rows || j >= self.cols {
+            return Err(DenseError::OutOfBounds {
+                op: "get",
+                index: (i, j),
+                dims: (self.rows, self.cols),
+            });
+        }
+        Ok(self.data[i * self.cols + j])
+    }
+
+    /// Checked element update.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) -> Result<()> {
+        if i >= self.rows || j >= self.cols {
+            return Err(DenseError::OutOfBounds {
+                op: "set",
+                index: (i, j),
+                dims: (self.rows, self.cols),
+            });
+        }
+        self.data[i * self.cols + j] = v;
+        Ok(())
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a freshly allocated vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Extract the contiguous block `A[r0 .. r0+nr, c0 .. c0+nc]`.
+    pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Matrix {
+        debug_assert!(r0 + nr <= self.rows && c0 + nc <= self.cols);
+        let mut out = Matrix::zeros(nr, nc);
+        for i in 0..nr {
+            let src = &self.data[(r0 + i) * self.cols + c0..(r0 + i) * self.cols + c0 + nc];
+            out.row_mut(i).copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Overwrite the contiguous block starting at `(r0, c0)` with `b`.
+    pub fn set_block(&mut self, r0: usize, c0: usize, b: &Matrix) {
+        debug_assert!(r0 + b.rows <= self.rows && c0 + b.cols <= self.cols);
+        for i in 0..b.rows {
+            let dst_start = (r0 + i) * self.cols + c0;
+            self.data[dst_start..dst_start + b.cols].copy_from_slice(b.row(i));
+        }
+    }
+
+    /// Add `b` into the contiguous block starting at `(r0, c0)`.
+    pub fn add_block(&mut self, r0: usize, c0: usize, b: &Matrix) {
+        debug_assert!(r0 + b.rows <= self.rows && c0 + b.cols <= self.cols);
+        for i in 0..b.rows {
+            let dst_start = (r0 + i) * self.cols + c0;
+            for j in 0..b.cols {
+                self.data[dst_start + j] += b[(i, j)];
+            }
+        }
+    }
+
+    /// Extract the strided sub-matrix `A(r0 : sr : rows, c0 : sc : cols)` in the
+    /// paper's colon notation, i.e. rows `r0, r0+sr, r0+2sr, …` and columns
+    /// `c0, c0+sc, …`.  This is the piece of a matrix a processor with grid
+    /// coordinates `(r0, c0)` owns under a cyclic layout over an `sr × sc`
+    /// processor grid.
+    pub fn strided_block(&self, r0: usize, sr: usize, c0: usize, sc: usize) -> Matrix {
+        assert!(sr > 0 && sc > 0, "strides must be positive");
+        let nr = if r0 < self.rows {
+            (self.rows - r0).div_ceil(sr)
+        } else {
+            0
+        };
+        let nc = if c0 < self.cols {
+            (self.cols - c0).div_ceil(sc)
+        } else {
+            0
+        };
+        Matrix::from_fn(nr, nc, |i, j| self[(r0 + i * sr, c0 + j * sc)])
+    }
+
+    /// Scatter `b` back into the strided positions `(r0 : sr, c0 : sc)`.
+    /// Inverse of [`Matrix::strided_block`].
+    pub fn set_strided_block(&mut self, r0: usize, sr: usize, c0: usize, sc: usize, b: &Matrix) {
+        assert!(sr > 0 && sc > 0, "strides must be positive");
+        for i in 0..b.rows {
+            for j in 0..b.cols {
+                let gi = r0 + i * sr;
+                let gj = c0 + j * sc;
+                debug_assert!(gi < self.rows && gj < self.cols);
+                self[(gi, gj)] = b[(i, j)];
+            }
+        }
+    }
+
+    /// Element-wise sum `self + other`.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        if self.dims() != other.dims() {
+            return Err(DenseError::DimensionMismatch {
+                op: "axpy",
+                lhs: self.dims(),
+                rhs: other.dims(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Returns `alpha * self`.
+    pub fn scale(&self, alpha: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| alpha * v).collect(),
+        }
+    }
+
+    /// In-place multiplication by a scalar.
+    pub fn scale_in_place(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Set every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Returns a copy with everything strictly above the diagonal zeroed.
+    pub fn lower_triangular_part(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| if j <= i { self[(i, j)] } else { 0.0 })
+    }
+
+    /// Returns a copy with everything strictly below the diagonal zeroed.
+    pub fn upper_triangular_part(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| if j >= i { self[(i, j)] } else { 0.0 })
+    }
+
+    /// `true` if every element strictly above the diagonal is `0.0`.
+    pub fn is_lower_triangular(&self) -> bool {
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if self[(i, j)] != 0.0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` if every element strictly below the diagonal is `0.0`.
+    pub fn is_upper_triangular(&self) -> bool {
+        for j in 0..self.cols {
+            for i in (j + 1)..self.rows {
+                if self[(i, j)] != 0.0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Horizontally concatenate `[self | other]`.
+    pub fn hcat(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(DenseError::DimensionMismatch {
+                op: "hcat",
+                lhs: self.dims(),
+                rhs: other.dims(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        out.set_block(0, 0, self);
+        out.set_block(0, self.cols, other);
+        Ok(out)
+    }
+
+    /// Vertically concatenate `[self; other]`.
+    pub fn vcat(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(DenseError::DimensionMismatch {
+                op: "vcat",
+                lhs: self.dims(),
+                rhs: other.dims(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows + other.rows, self.cols);
+        out.set_block(0, 0, self);
+        out.set_block(self.rows, 0, other);
+        Ok(out)
+    }
+
+    /// Maximum absolute difference to `other`; `None` on dimension mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Option<f64> {
+        if self.dims() != other.dims() {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max),
+        )
+    }
+
+    fn zip_with<F: Fn(f64, f64) -> f64>(
+        &self,
+        other: &Matrix,
+        op: &'static str,
+        f: F,
+    ) -> Result<Matrix> {
+        if self.dims() != other.dims() {
+            return Err(DenseError::DimensionMismatch {
+                op,
+                lhs: self.dims(),
+                rhs: other.dims(),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| f(*a, *b))
+                .collect(),
+        })
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_show = 8;
+        for i in 0..self.rows.min(max_show) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(max_show) {
+                write!(f, "{:10.4}", self[(i, j)])?;
+                if j + 1 < self.cols.min(max_show) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > max_show {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_show {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_dims() {
+        let m = Matrix::zeros(3, 5);
+        assert_eq!(m.dims(), (3, 5));
+        assert_eq!(m.len(), 15);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert!(!m.is_empty());
+        assert!(Matrix::zeros(0, 0).is_empty());
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let m = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+        assert!(m.is_square());
+    }
+
+    #[test]
+    fn from_fn_and_index() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 2)], 12.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+        assert_eq!(m.col(2), vec![2.0, 12.0]);
+    }
+
+    #[test]
+    fn from_row_major_checks_length() {
+        assert!(Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0]).is_err());
+        let m = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 3, vec![0.0; 5]).is_err());
+        assert!(Matrix::from_vec(2, 3, vec![0.0; 6]).is_ok());
+    }
+
+    #[test]
+    fn get_set_checked() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(m.get(2, 0).is_err());
+        assert!(m.set(0, 2, 1.0).is_err());
+        m.set(1, 1, 5.0).unwrap();
+        assert_eq!(m.get(1, 1).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 7 + j * 3) as f64);
+        let t = m.transpose();
+        assert_eq!(t.dims(), (5, 3));
+        assert_eq!(t.transpose(), m);
+        for i in 0..3 {
+            for j in 0..5 {
+                assert_eq!(m[(i, j)], t[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn block_extract_insert_round_trip() {
+        let m = Matrix::from_fn(6, 6, |i, j| (i * 6 + j) as f64);
+        let b = m.block(2, 3, 3, 2);
+        assert_eq!(b.dims(), (3, 2));
+        assert_eq!(b[(0, 0)], m[(2, 3)]);
+        assert_eq!(b[(2, 1)], m[(4, 4)]);
+
+        let mut m2 = Matrix::zeros(6, 6);
+        m2.set_block(2, 3, &b);
+        assert_eq!(m2[(2, 3)], m[(2, 3)]);
+        assert_eq!(m2[(4, 4)], m[(4, 4)]);
+        assert_eq!(m2[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn add_block_accumulates() {
+        let mut m = Matrix::filled(4, 4, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        m.add_block(1, 1, &b);
+        assert_eq!(m[(1, 1)], 3.0);
+        assert_eq!(m[(2, 2)], 3.0);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(3, 3)], 1.0);
+    }
+
+    #[test]
+    fn strided_block_matches_cyclic_ownership() {
+        // 6x6 matrix, 2x3 processor grid, processor (1, 2) owns rows 1,3,5 and cols 2,5.
+        let m = Matrix::from_fn(6, 6, |i, j| (i * 6 + j) as f64);
+        let b = m.strided_block(1, 2, 2, 3);
+        assert_eq!(b.dims(), (3, 2));
+        assert_eq!(b[(0, 0)], m[(1, 2)]);
+        assert_eq!(b[(1, 1)], m[(3, 5)]);
+        assert_eq!(b[(2, 0)], m[(5, 2)]);
+    }
+
+    #[test]
+    fn strided_block_round_trip() {
+        let m = Matrix::from_fn(8, 8, |i, j| (i * 8 + j) as f64 + 1.0);
+        let mut rebuilt = Matrix::zeros(8, 8);
+        for r0 in 0..2 {
+            for c0 in 0..4 {
+                let b = m.strided_block(r0, 2, c0, 4);
+                rebuilt.set_strided_block(r0, 2, c0, 4, &b);
+            }
+        }
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn strided_block_uneven_dims() {
+        // 5 rows over stride 2 starting at 0 -> 3 rows; starting at 1 -> 2 rows.
+        let m = Matrix::from_fn(5, 5, |i, j| (i + j) as f64);
+        assert_eq!(m.strided_block(0, 2, 0, 2).dims(), (3, 3));
+        assert_eq!(m.strided_block(1, 2, 1, 2).dims(), (2, 2));
+        assert_eq!(m.strided_block(4, 5, 4, 5).dims(), (1, 1));
+        assert_eq!(m.strided_block(5, 5, 0, 1).dims(), (0, 5));
+    }
+
+    #[test]
+    fn add_sub_axpy_scale() {
+        let a = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Matrix::filled(2, 2, 1.0);
+        let s = a.add(&b).unwrap();
+        assert_eq!(s[(1, 1)], 3.0);
+        let d = s.sub(&b).unwrap();
+        assert_eq!(d, a);
+        let mut c = a.clone();
+        c.axpy(2.0, &b).unwrap();
+        assert_eq!(c[(0, 0)], 2.0);
+        assert_eq!(a.scale(3.0)[(1, 1)], 6.0);
+        let mut e = a.clone();
+        e.scale_in_place(0.0);
+        assert!(e.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mismatched_dims_error() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(3, 3);
+        assert!(a.add(&b).is_err());
+        assert!(a.sub(&b).is_err());
+        assert!(a.clone().axpy(1.0, &b).is_err());
+        assert!(a.max_abs_diff(&b).is_none());
+    }
+
+    #[test]
+    fn triangular_predicates() {
+        let l = Matrix::from_fn(4, 4, |i, j| if j <= i { 1.0 } else { 0.0 });
+        assert!(l.is_lower_triangular());
+        assert!(!l.is_upper_triangular());
+        let u = l.transpose();
+        assert!(u.is_upper_triangular());
+        assert!(!u.is_lower_triangular());
+        let full = Matrix::filled(3, 3, 1.0);
+        assert_eq!(full.lower_triangular_part(), Matrix::from_fn(3, 3, |i, j| if j <= i { 1.0 } else { 0.0 }));
+        assert_eq!(full.upper_triangular_part(), Matrix::from_fn(3, 3, |i, j| if j >= i { 1.0 } else { 0.0 }));
+    }
+
+    #[test]
+    fn concatenation() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 3, 2.0);
+        let h = a.hcat(&b).unwrap();
+        assert_eq!(h.dims(), (2, 5));
+        assert_eq!(h[(0, 4)], 2.0);
+        let c = Matrix::filled(3, 2, 4.0);
+        let v = a.vcat(&c).unwrap();
+        assert_eq!(v.dims(), (5, 2));
+        assert_eq!(v[(4, 0)], 4.0);
+        assert!(a.hcat(&c).is_err());
+        assert!(a.vcat(&b).is_err());
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let mut b = a.clone();
+        b[(1, 0)] = 1.5;
+        assert_eq!(a.max_abs_diff(&b), Some(0.5));
+        assert_eq!(a.max_abs_diff(&a), Some(0.0));
+    }
+
+    #[test]
+    fn debug_format_is_bounded() {
+        let m = Matrix::zeros(100, 100);
+        let s = format!("{m:?}");
+        assert!(s.len() < 4000);
+        assert!(s.contains("100x100"));
+    }
+}

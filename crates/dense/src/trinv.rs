@@ -1,0 +1,228 @@
+//! Triangular matrix inversion.
+//!
+//! The paper's key primitive (Section V) is the inversion of lower-triangular
+//! matrices, used for the diagonal blocks of `L` in the iterative TRSM.  The
+//! sequential kernel here implements the same recursive scheme the paper
+//! cites (Borodin & Munro / Balle–Hansen–Higham): split
+//!
+//! ```text
+//! L = [ L11   0  ]        L⁻¹ = [      L11⁻¹          0    ]
+//!     [ L21  L22 ]              [ -L22⁻¹ L21 L11⁻¹  L22⁻¹  ]
+//! ```
+//!
+//! and recurse on the two diagonal blocks.  [`tri_invert`] is the plain
+//! recursive version; [`tri_invert_blocked`] stops the recursion at a block
+//! size and finishes with direct substitution, which is the variant used as
+//! the base case of the distributed inversion.
+
+use crate::error::DenseError;
+use crate::flops::{tri_inv_flops, FlopCount};
+use crate::gemm::gemm;
+use crate::matrix::Matrix;
+use crate::trsm::Triangle;
+use crate::Result;
+
+const PIVOT_TOL: f64 = 1e-300;
+
+/// Invert a triangular matrix, returning `(inverse, flops)`.
+///
+/// For `Triangle::Lower` the strictly-upper part of `a` is ignored (assumed
+/// zero); symmetrically for `Triangle::Upper`.
+pub fn tri_invert(tri: Triangle, a: &Matrix) -> Result<(Matrix, FlopCount)> {
+    tri_invert_blocked(tri, a, 16)
+}
+
+/// Invert a triangular matrix with a configurable recursion cut-off.
+///
+/// `block` is the dimension at or below which the direct (column-by-column
+/// substitution) inversion is used instead of recursing further.
+pub fn tri_invert_blocked(tri: Triangle, a: &Matrix, block: usize) -> Result<(Matrix, FlopCount)> {
+    if !a.is_square() {
+        return Err(DenseError::NotSquare {
+            op: "tri_invert",
+            dims: a.dims(),
+        });
+    }
+    if block == 0 {
+        return Err(DenseError::InvalidParameter {
+            name: "block",
+            reason: "recursion cut-off must be at least 1".to_string(),
+        });
+    }
+    let n = a.rows();
+    for i in 0..n {
+        if a[(i, i)].abs() < PIVOT_TOL {
+            return Err(DenseError::SingularPivot {
+                index: i,
+                value: a[(i, i)],
+            });
+        }
+    }
+    match tri {
+        Triangle::Lower => {
+            let mut flops = FlopCount::ZERO;
+            let inv = invert_lower_rec(a, block, &mut flops)?;
+            Ok((inv, flops))
+        }
+        Triangle::Upper => {
+            // Invert the transpose (lower) and transpose back.
+            let at = a.transpose();
+            let mut flops = FlopCount::ZERO;
+            let inv = invert_lower_rec(&at, block, &mut flops)?;
+            Ok((inv.transpose(), flops))
+        }
+    }
+}
+
+fn invert_lower_rec(l: &Matrix, block: usize, flops: &mut FlopCount) -> Result<Matrix> {
+    let n = l.rows();
+    if n <= block {
+        *flops += tri_inv_flops(n);
+        return invert_lower_direct(l);
+    }
+    let h = n / 2;
+    let l11 = l.block(0, 0, h, h);
+    let l21 = l.block(h, 0, n - h, h);
+    let l22 = l.block(h, h, n - h, n - h);
+
+    let inv11 = invert_lower_rec(&l11, block, flops)?;
+    let inv22 = invert_lower_rec(&l22, block, flops)?;
+
+    // inv21 = -inv22 * l21 * inv11
+    let mut tmp = Matrix::zeros(n - h, h);
+    *flops += gemm(1.0, &inv22, &l21, 0.0, &mut tmp)?;
+    let mut inv21 = Matrix::zeros(n - h, h);
+    *flops += gemm(-1.0, &tmp, &inv11, 0.0, &mut inv21)?;
+
+    let mut out = Matrix::zeros(n, n);
+    out.set_block(0, 0, &inv11);
+    out.set_block(h, 0, &inv21);
+    out.set_block(h, h, &inv22);
+    Ok(out)
+}
+
+/// Direct inversion of a lower-triangular matrix by forward substitution on
+/// the identity, column by column.
+fn invert_lower_direct(l: &Matrix) -> Result<Matrix> {
+    let n = l.rows();
+    let mut inv = Matrix::zeros(n, n);
+    for j in 0..n {
+        // Solve L * x = e_j ; x has zeros above index j.
+        inv[(j, j)] = 1.0 / l[(j, j)];
+        for i in (j + 1)..n {
+            let mut acc = 0.0;
+            for t in j..i {
+                acc += l[(i, t)] * inv[(t, j)];
+            }
+            inv[(i, j)] = -acc / l[(i, i)];
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::norms;
+
+    fn lower(n: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            if j < i {
+                (((i * 31 + j * 17 + seed as usize) % 13) as f64 - 6.0) / 13.0
+            } else if j == i {
+                2.0 + ((i + seed as usize) % 4) as f64 * 0.5
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn check_inverse(l: &Matrix, inv: &Matrix, tol: f64) {
+        let prod = matmul(l, inv);
+        let id = Matrix::identity(l.rows());
+        assert!(
+            norms::max_norm(&prod.sub(&id).unwrap()) < tol,
+            "L * Linv should be the identity"
+        );
+    }
+
+    #[test]
+    fn direct_inverse_small() {
+        let l = lower(6, 1);
+        let (inv, _) = tri_invert_blocked(Triangle::Lower, &l, 8).unwrap();
+        check_inverse(&l, &inv, 1e-12);
+        assert!(inv.is_lower_triangular());
+    }
+
+    #[test]
+    fn recursive_inverse_medium() {
+        let l = lower(64, 3);
+        let (inv, flops) = tri_invert(Triangle::Lower, &l).unwrap();
+        check_inverse(&l, &inv, 1e-9);
+        assert!(flops.get() > 0);
+    }
+
+    #[test]
+    fn recursive_inverse_odd_size() {
+        let l = lower(37, 7);
+        let (inv, _) = tri_invert(Triangle::Lower, &l).unwrap();
+        check_inverse(&l, &inv, 1e-9);
+    }
+
+    #[test]
+    fn upper_inverse() {
+        let u = lower(20, 5).transpose();
+        let (inv, _) = tri_invert(Triangle::Upper, &u).unwrap();
+        let prod = matmul(&u, &inv);
+        assert!(norms::max_norm(&prod.sub(&Matrix::identity(20)).unwrap()) < 1e-10);
+        assert!(inv.is_upper_triangular());
+    }
+
+    #[test]
+    fn block_size_does_not_change_result() {
+        let l = lower(48, 11);
+        let (a, _) = tri_invert_blocked(Triangle::Lower, &l, 1).unwrap();
+        let (b, _) = tri_invert_blocked(Triangle::Lower, &l, 48).unwrap();
+        let (c, _) = tri_invert_blocked(Triangle::Lower, &l, 7).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-9);
+        assert!(a.max_abs_diff(&c).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn identity_inverts_to_identity() {
+        let id = Matrix::identity(10);
+        let (inv, _) = tri_invert(Triangle::Lower, &id).unwrap();
+        assert!(inv.max_abs_diff(&id).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let mut l = lower(5, 2);
+        l[(2, 2)] = 0.0;
+        match tri_invert(Triangle::Lower, &l) {
+            Err(DenseError::SingularPivot { index, .. }) => assert_eq!(index, 2),
+            other => panic!("expected SingularPivot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let m = Matrix::zeros(3, 4);
+        assert!(tri_invert(Triangle::Lower, &m).is_err());
+    }
+
+    #[test]
+    fn zero_block_parameter_rejected() {
+        let l = lower(4, 0);
+        assert!(tri_invert_blocked(Triangle::Lower, &l, 0).is_err());
+    }
+
+    #[test]
+    fn inverse_of_inverse_is_original() {
+        let l = lower(32, 9);
+        let (inv, _) = tri_invert(Triangle::Lower, &l).unwrap();
+        let (invinv, _) = tri_invert(Triangle::Lower, &inv).unwrap();
+        assert!(norms::rel_diff(&invinv, &l) < 1e-8);
+    }
+}

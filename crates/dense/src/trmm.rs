@@ -1,0 +1,105 @@
+//! Triangular × dense matrix multiplication.
+//!
+//! `trmm` computes `B ← L · B` (or the upper variant) exploiting the
+//! triangular structure so only the nonzero half is touched.  It is used by
+//! the residual checks and by the solve phase of the iterative TRSM, where
+//! the inverted diagonal block is (lower) triangular.
+
+use crate::error::DenseError;
+use crate::flops::{trmm_flops, FlopCount};
+use crate::matrix::Matrix;
+use crate::trsm::Triangle;
+use crate::Result;
+
+/// Compute `A · B` where `A` is triangular, returning a fresh matrix along
+/// with the number of flops spent.
+pub fn trmm(tri: Triangle, a: &Matrix, b: &Matrix) -> Result<(Matrix, FlopCount)> {
+    if !a.is_square() {
+        return Err(DenseError::NotSquare {
+            op: "trmm",
+            dims: a.dims(),
+        });
+    }
+    if a.cols() != b.rows() {
+        return Err(DenseError::DimensionMismatch {
+            op: "trmm",
+            lhs: a.dims(),
+            rhs: b.dims(),
+        });
+    }
+    let n = a.rows();
+    let k = b.cols();
+    let mut c = Matrix::zeros(n, k);
+    match tri {
+        Triangle::Lower => {
+            for i in 0..n {
+                for j in 0..=i {
+                    let aij = a[(i, j)];
+                    if aij == 0.0 {
+                        continue;
+                    }
+                    for col in 0..k {
+                        c[(i, col)] += aij * b[(j, col)];
+                    }
+                }
+            }
+        }
+        Triangle::Upper => {
+            for i in 0..n {
+                for j in i..n {
+                    let aij = a[(i, j)];
+                    if aij == 0.0 {
+                        continue;
+                    }
+                    for col in 0..k {
+                        c[(i, col)] += aij * b[(j, col)];
+                    }
+                }
+            }
+        }
+    }
+    Ok((c, trmm_flops(n, k)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    #[test]
+    fn lower_trmm_matches_gemm() {
+        let n = 13;
+        let l = Matrix::from_fn(n, n, |i, j| if j <= i { ((i + j) % 5) as f64 - 2.0 } else { 0.0 });
+        let b = Matrix::from_fn(n, 4, |i, j| (i * 4 + j) as f64 / 7.0);
+        let (c, flops) = trmm(Triangle::Lower, &l, &b).unwrap();
+        let expect = matmul(&l, &b);
+        assert!(c.max_abs_diff(&expect).unwrap() < 1e-12);
+        assert_eq!(flops, trmm_flops(n, 4));
+    }
+
+    #[test]
+    fn upper_trmm_matches_gemm() {
+        let n = 9;
+        let u = Matrix::from_fn(n, n, |i, j| if j >= i { 1.0 + (i * j % 3) as f64 } else { 0.0 });
+        let b = Matrix::from_fn(n, 3, |i, j| (i as f64 + 1.0) * (j as f64 - 1.0));
+        let (c, _) = trmm(Triangle::Upper, &u, &b).unwrap();
+        assert!(c.max_abs_diff(&matmul(&u, &b)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn trmm_validates_inputs() {
+        let rect = Matrix::zeros(3, 4);
+        let b = Matrix::zeros(4, 2);
+        assert!(trmm(Triangle::Lower, &rect, &b).is_err());
+        let sq = Matrix::zeros(3, 3);
+        assert!(trmm(Triangle::Lower, &sq, &b).is_err());
+    }
+
+    #[test]
+    fn trmm_with_identity() {
+        let id = Matrix::identity(5);
+        let b = Matrix::from_fn(5, 2, |i, j| (i + j) as f64);
+        let (c, _) = trmm(Triangle::Lower, &id, &b).unwrap();
+        assert_eq!(c, b);
+    }
+}

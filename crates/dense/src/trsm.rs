@@ -1,0 +1,371 @@
+//! Local triangular solves.
+//!
+//! [`trsm`] solves `L · X = B` (or the upper/right/unit variants) for a dense
+//! block of right-hand sides by forward/backward substitution, which is the
+//! base-case kernel of both the recursive TRSM of Section IV and the
+//! iterative inversion-based TRSM of Section VI of the paper.
+
+use crate::error::DenseError;
+use crate::flops::{trsm_flops, FlopCount};
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Which side of the unknown the triangular matrix is on: `A·X = B` (left) or
+/// `X·A = B` (right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Solve `A · X = B`.
+    Left,
+    /// Solve `X · A = B`.
+    Right,
+}
+
+/// Whether the triangular operand is lower or upper triangular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Triangle {
+    /// Lower triangular (the paper's main case).
+    Lower,
+    /// Upper triangular.
+    Upper,
+}
+
+/// Whether the diagonal of the triangular operand is taken to be all ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Diag {
+    /// Use the stored diagonal entries.
+    NonUnit,
+    /// Assume an implicit unit diagonal (the stored diagonal is ignored).
+    Unit,
+}
+
+const PIVOT_TOL: f64 = 1e-300;
+
+/// Solve `A · X = B` where `A` is triangular, returning `X` as a new matrix.
+///
+/// * `tri` selects lower or upper triangular `A`.
+/// * `diag` selects whether the diagonal is implicit ones.
+/// * `a` must be square `n×n`, `b` must be `n×k`.
+pub fn trsm(tri: Triangle, diag: Diag, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let mut x = b.clone();
+    trsm_in_place(Side::Left, tri, diag, a, &mut x)?;
+    Ok(x)
+}
+
+/// Solve a triangular system in place, overwriting `b` with the solution.
+///
+/// Supports both `A·X = B` (`Side::Left`) and `X·A = B` (`Side::Right`).
+/// Returns the flop count of the substitution.
+pub fn trsm_in_place(
+    side: Side,
+    tri: Triangle,
+    diag: Diag,
+    a: &Matrix,
+    b: &mut Matrix,
+) -> Result<FlopCount> {
+    if !a.is_square() {
+        return Err(DenseError::NotSquare {
+            op: "trsm",
+            dims: a.dims(),
+        });
+    }
+    let n = a.rows();
+    match side {
+        Side::Left => {
+            if b.rows() != n {
+                return Err(DenseError::DimensionMismatch {
+                    op: "trsm (left)",
+                    lhs: a.dims(),
+                    rhs: b.dims(),
+                });
+            }
+        }
+        Side::Right => {
+            if b.cols() != n {
+                return Err(DenseError::DimensionMismatch {
+                    op: "trsm (right)",
+                    lhs: b.dims(),
+                    rhs: a.dims(),
+                });
+            }
+        }
+    }
+    if diag == Diag::NonUnit {
+        for i in 0..n {
+            if a[(i, i)].abs() < PIVOT_TOL {
+                return Err(DenseError::SingularPivot {
+                    index: i,
+                    value: a[(i, i)],
+                });
+            }
+        }
+    }
+
+    let k = match side {
+        Side::Left => b.cols(),
+        Side::Right => b.rows(),
+    };
+
+    match (side, tri) {
+        (Side::Left, Triangle::Lower) => solve_left_lower(diag, a, b),
+        (Side::Left, Triangle::Upper) => solve_left_upper(diag, a, b),
+        (Side::Right, Triangle::Lower) => solve_right_lower(diag, a, b),
+        (Side::Right, Triangle::Upper) => solve_right_upper(diag, a, b),
+    }
+
+    Ok(trsm_flops(n, k))
+}
+
+/// Triangular solve with a single right-hand side vector: `A · x = b`.
+pub fn trsv(tri: Triangle, diag: Diag, a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if b.len() != a.rows() {
+        return Err(DenseError::DimensionMismatch {
+            op: "trsv",
+            lhs: a.dims(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let rhs = Matrix::from_vec(b.len(), 1, b.to_vec())?;
+    let x = trsm(tri, diag, a, &rhs)?;
+    Ok(x.into_vec())
+}
+
+fn solve_left_lower(diag: Diag, a: &Matrix, b: &mut Matrix) {
+    let n = a.rows();
+    let k = b.cols();
+    for i in 0..n {
+        // b[i, :] -= sum_{j<i} a[i,j] * b[j, :]
+        for j in 0..i {
+            let aij = a[(i, j)];
+            if aij == 0.0 {
+                continue;
+            }
+            let (head, tail) = b.as_mut_slice().split_at_mut(i * k);
+            let row_j = &head[j * k..(j + 1) * k];
+            let row_i = &mut tail[..k];
+            for c in 0..k {
+                row_i[c] -= aij * row_j[c];
+            }
+        }
+        if diag == Diag::NonUnit {
+            let inv = 1.0 / a[(i, i)];
+            for c in 0..k {
+                b[(i, c)] *= inv;
+            }
+        }
+    }
+}
+
+fn solve_left_upper(diag: Diag, a: &Matrix, b: &mut Matrix) {
+    let n = a.rows();
+    let k = b.cols();
+    for i in (0..n).rev() {
+        for j in (i + 1)..n {
+            let aij = a[(i, j)];
+            if aij == 0.0 {
+                continue;
+            }
+            for c in 0..k {
+                let v = b[(j, c)];
+                b[(i, c)] -= aij * v;
+            }
+        }
+        if diag == Diag::NonUnit {
+            let inv = 1.0 / a[(i, i)];
+            for c in 0..k {
+                b[(i, c)] *= inv;
+            }
+        }
+    }
+}
+
+fn solve_right_lower(diag: Diag, a: &Matrix, b: &mut Matrix) {
+    // X * L = B  =>  process columns from last to first:
+    // x[:, j] = (b[:, j] - sum_{i > j} x[:, i] * l[i, j]) / l[j, j]
+    let n = a.rows();
+    let m = b.rows();
+    for j in (0..n).rev() {
+        for i in (j + 1)..n {
+            let lij = a[(i, j)];
+            if lij == 0.0 {
+                continue;
+            }
+            for r in 0..m {
+                let v = b[(r, i)];
+                b[(r, j)] -= v * lij;
+            }
+        }
+        if diag == Diag::NonUnit {
+            let inv = 1.0 / a[(j, j)];
+            for r in 0..m {
+                b[(r, j)] *= inv;
+            }
+        }
+    }
+}
+
+fn solve_right_upper(diag: Diag, a: &Matrix, b: &mut Matrix) {
+    // X * U = B  =>  process columns from first to last:
+    // x[:, j] = (b[:, j] - sum_{i < j} x[:, i] * u[i, j]) / u[j, j]
+    let n = a.rows();
+    let m = b.rows();
+    for j in 0..n {
+        for i in 0..j {
+            let uij = a[(i, j)];
+            if uij == 0.0 {
+                continue;
+            }
+            for r in 0..m {
+                let v = b[(r, i)];
+                b[(r, j)] -= v * uij;
+            }
+        }
+        if diag == Diag::NonUnit {
+            let inv = 1.0 / a[(j, j)];
+            for r in 0..m {
+                b[(r, j)] *= inv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    fn lower(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            if j < i {
+                ((i * 7 + j * 3) % 5) as f64 * 0.1 - 0.2
+            } else if j == i {
+                2.0 + (i % 3) as f64
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn near(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.max_abs_diff(b).map(|d| d < tol).unwrap_or(false)
+    }
+
+    #[test]
+    fn left_lower_solves() {
+        let n = 24;
+        let k = 5;
+        let l = lower(n);
+        let x_true = Matrix::from_fn(n, k, |i, j| ((i + j) % 7) as f64 - 3.0);
+        let b = matmul(&l, &x_true);
+        let x = trsm(Triangle::Lower, Diag::NonUnit, &l, &b).unwrap();
+        assert!(near(&x, &x_true, 1e-9));
+    }
+
+    #[test]
+    fn left_upper_solves() {
+        let n = 17;
+        let k = 3;
+        let u = lower(n).transpose();
+        let x_true = Matrix::from_fn(n, k, |i, j| (i as f64 - j as f64) / 10.0);
+        let b = matmul(&u, &x_true);
+        let x = trsm(Triangle::Upper, Diag::NonUnit, &u, &b).unwrap();
+        assert!(near(&x, &x_true, 1e-9));
+    }
+
+    #[test]
+    fn right_lower_solves() {
+        let n = 12;
+        let m = 4;
+        let l = lower(n);
+        let x_true = Matrix::from_fn(m, n, |i, j| ((i * 3 + j) % 5) as f64 / 5.0);
+        let b = matmul(&x_true, &l);
+        let mut x = b.clone();
+        trsm_in_place(Side::Right, Triangle::Lower, Diag::NonUnit, &l, &mut x).unwrap();
+        assert!(near(&x, &x_true, 1e-9));
+    }
+
+    #[test]
+    fn right_upper_solves() {
+        let n = 12;
+        let m = 4;
+        let u = lower(n).transpose();
+        let x_true = Matrix::from_fn(m, n, |i, j| ((i * 3 + j) % 5) as f64 / 5.0 - 0.3);
+        let b = matmul(&x_true, &u);
+        let mut x = b.clone();
+        trsm_in_place(Side::Right, Triangle::Upper, Diag::NonUnit, &u, &mut x).unwrap();
+        assert!(near(&x, &x_true, 1e-9));
+    }
+
+    #[test]
+    fn unit_diagonal_ignores_stored_diagonal() {
+        let n = 10;
+        let mut l = lower(n);
+        // Solve with an implicit unit diagonal.
+        let x_true = Matrix::from_fn(n, 2, |i, j| (i + j) as f64 / 5.0);
+        let mut l_unit = l.clone();
+        for i in 0..n {
+            l_unit[(i, i)] = 1.0;
+        }
+        let b = matmul(&l_unit, &x_true);
+        // Put garbage on the stored diagonal; Diag::Unit must ignore it.
+        for i in 0..n {
+            l[(i, i)] = 1.0e9;
+        }
+        let mut l_garbage = l_unit.clone();
+        for i in 0..n {
+            l_garbage[(i, i)] = 123.0;
+        }
+        let x = trsm(Triangle::Lower, Diag::Unit, &l_garbage, &b).unwrap();
+        assert!(near(&x, &x_true, 1e-9));
+    }
+
+    #[test]
+    fn trsv_single_rhs() {
+        let n = 9;
+        let l = lower(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) * 0.25 - 1.0).collect();
+        let xt = Matrix::from_vec(n, 1, x_true.clone()).unwrap();
+        let b = matmul(&l, &xt).into_vec();
+        let x = trsv(Triangle::Lower, Diag::NonUnit, &l, &b).unwrap();
+        for (a, b) in x.iter().zip(x_true.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn singular_pivot_is_detected() {
+        let mut l = lower(5);
+        l[(3, 3)] = 0.0;
+        let b = Matrix::filled(5, 2, 1.0);
+        match trsm(Triangle::Lower, Diag::NonUnit, &l, &b) {
+            Err(DenseError::SingularPivot { index, .. }) => assert_eq!(index, 3),
+            other => panic!("expected SingularPivot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let l = lower(4);
+        let b = Matrix::zeros(5, 2);
+        assert!(trsm(Triangle::Lower, Diag::NonUnit, &l, &b).is_err());
+        let rect = Matrix::zeros(3, 4);
+        assert!(trsm(Triangle::Lower, Diag::NonUnit, &rect, &b).is_err());
+        let mut r = Matrix::zeros(2, 5);
+        assert!(trsm_in_place(Side::Right, Triangle::Lower, Diag::NonUnit, &l, &mut r).is_err());
+    }
+
+    #[test]
+    fn flop_count_matches_formula() {
+        let l = lower(8);
+        let mut b = Matrix::filled(8, 3, 1.0);
+        let f = trsm_in_place(Side::Left, Triangle::Lower, Diag::NonUnit, &l, &mut b).unwrap();
+        assert_eq!(f, trsm_flops(8, 3));
+    }
+
+    #[test]
+    fn solving_identity_returns_rhs() {
+        let id = Matrix::identity(6);
+        let b = Matrix::from_fn(6, 4, |i, j| (i * 4 + j) as f64);
+        let x = trsm(Triangle::Lower, Diag::NonUnit, &id, &b).unwrap();
+        assert_eq!(x, b);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the dense kernels.
+//!
+//! These check the algebraic invariants the distributed algorithms rely on:
+//! GEMM linearity and associativity with the identity, TRSM ↔ TRMM round
+//! trips, triangular inversion correctness, and factorization reconstruction
+//! — on randomly sized and randomly filled matrices.
+
+use dense::{gen, gemm, matmul, norms, tri_invert, trmm, trsm, Diag, Matrix, Triangle};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-8;
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(r, c, seed)| gen::uniform(r, c, seed))
+}
+
+fn square_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, any::<u64>()).prop_map(|(n, seed)| gen::uniform(n, n, seed))
+}
+
+fn lower_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, any::<u64>()).prop_map(|(n, seed)| gen::well_conditioned_lower(n, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A·B)·C == A·(B·C) for compatible random shapes.
+    #[test]
+    fn gemm_is_associative(
+        (m, k, n, q) in (1usize..24, 1usize..24, 1usize..24, 1usize..24),
+        s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>(),
+    ) {
+        let a = gen::uniform(m, k, s1);
+        let b = gen::uniform(k, n, s2);
+        let c = gen::uniform(n, q, s3);
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        prop_assert!(norms::rel_diff(&left, &right) < TOL);
+    }
+
+    /// A·(B + C) == A·B + A·C.
+    #[test]
+    fn gemm_is_distributive(
+        (m, k, n) in (1usize..24, 1usize..24, 1usize..24),
+        s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>(),
+    ) {
+        let a = gen::uniform(m, k, s1);
+        let b = gen::uniform(k, n, s2);
+        let c = gen::uniform(k, n, s3);
+        let left = matmul(&a, &b.add(&c).unwrap());
+        let right = matmul(&a, &b).add(&matmul(&a, &c)).unwrap();
+        prop_assert!(norms::rel_diff(&left, &right) < TOL);
+    }
+
+    /// gemm with beta accumulates: gemm(α,A,B,β,C) == α·A·B + β·C.
+    #[test]
+    fn gemm_accumulation_semantics(
+        (m, k, n) in (1usize..16, 1usize..16, 1usize..16),
+        alpha in -2.0f64..2.0, beta in -2.0f64..2.0,
+        s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>(),
+    ) {
+        let a = gen::uniform(m, k, s1);
+        let b = gen::uniform(k, n, s2);
+        let c0 = gen::uniform(m, n, s3);
+        let mut c = c0.clone();
+        gemm(alpha, &a, &b, beta, &mut c).unwrap();
+        let expect = matmul(&a, &b).scale(alpha).add(&c0.scale(beta)).unwrap();
+        prop_assert!(norms::rel_diff(&c, &expect) < TOL);
+    }
+
+    /// Transposition reverses multiplication: (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_reverses_product(
+        (m, k, n) in (1usize..20, 1usize..20, 1usize..20),
+        s1 in any::<u64>(), s2 in any::<u64>(),
+    ) {
+        let a = gen::uniform(m, k, s1);
+        let b = gen::uniform(k, n, s2);
+        let left = matmul(&a, &b).transpose();
+        let right = matmul(&b.transpose(), &a.transpose());
+        prop_assert!(norms::rel_diff(&left, &right) < TOL);
+    }
+
+    /// trsm(L, L·X) == X for well-conditioned lower-triangular L.
+    #[test]
+    fn trsm_inverts_trmm(
+        l in lower_strategy(48),
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let n = l.rows();
+        let x_true = gen::rhs(n, k, seed);
+        let (b, _) = trmm(Triangle::Lower, &l, &x_true).unwrap();
+        let x = trsm(Triangle::Lower, Diag::NonUnit, &l, &b).unwrap();
+        prop_assert!(norms::rel_diff(&x, &x_true) < TOL);
+    }
+
+    /// The computed triangular inverse actually inverts: L·L⁻¹ ≈ I.
+    #[test]
+    fn tri_inverse_is_inverse(l in lower_strategy(48)) {
+        let n = l.rows();
+        let (inv, _) = tri_invert(Triangle::Lower, &l).unwrap();
+        let prod = matmul(&l, &inv);
+        prop_assert!(norms::rel_diff(&prod, &Matrix::identity(n)) < TOL);
+        prop_assert!(inv.is_lower_triangular());
+    }
+
+    /// Solving via the explicit inverse agrees with substitution
+    /// (the numerical-stability premise of the paper's selective inversion).
+    #[test]
+    fn inverse_solve_matches_substitution(
+        l in lower_strategy(40),
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let n = l.rows();
+        let b = gen::rhs(n, k, seed);
+        let x_sub = trsm(Triangle::Lower, Diag::NonUnit, &l, &b).unwrap();
+        let (inv, _) = tri_invert(Triangle::Lower, &l).unwrap();
+        let x_inv = matmul(&inv, &b);
+        prop_assert!(norms::rel_diff(&x_inv, &x_sub) < 1e-6);
+    }
+
+    /// Cholesky reconstructs A = L·Lᵀ on random SPD matrices.
+    #[test]
+    fn cholesky_reconstructs(n in 1usize..40, seed in any::<u64>()) {
+        let a = gen::spd(n, seed);
+        let (l, _) = dense::cholesky(&a).unwrap();
+        let rec = matmul(&l, &l.transpose());
+        prop_assert!(norms::rel_diff(&rec, &a) < TOL);
+    }
+
+    /// LU with partial pivoting reconstructs P·A = L·U on random matrices.
+    #[test]
+    fn lu_reconstructs(n in 1usize..32, seed in any::<u64>()) {
+        let a = gen::diagonally_dominant(n, seed);
+        let f = dense::lu_partial_pivot(&a).unwrap();
+        let pa = f.permute(&a);
+        prop_assert!(norms::rel_diff(&matmul(&f.l, &f.u), &pa) < TOL);
+    }
+
+    /// Block extract / insert round-trips arbitrary blocks.
+    #[test]
+    fn block_round_trip(
+        m in matrix_strategy(24),
+        fr in 0.0f64..1.0, fc in 0.0f64..1.0, fh in 0.0f64..1.0, fw in 0.0f64..1.0,
+    ) {
+        let (rows, cols) = m.dims();
+        let r0 = ((rows - 1) as f64 * fr) as usize;
+        let c0 = ((cols - 1) as f64 * fc) as usize;
+        let nr = 1 + ((rows - r0 - 1) as f64 * fh) as usize;
+        let nc = 1 + ((cols - c0 - 1) as f64 * fw) as usize;
+        let b = m.block(r0, c0, nr, nc);
+        let mut copy = m.clone();
+        copy.set_block(r0, c0, &b);
+        prop_assert_eq!(copy, m);
+    }
+
+    /// Strided (cyclic) decomposition covers the matrix exactly once.
+    #[test]
+    fn cyclic_decomposition_partitions(
+        m in square_strategy(24),
+        pr in 1usize..5,
+        pc in 1usize..5,
+    ) {
+        let mut rebuilt = Matrix::zeros(m.rows(), m.cols());
+        let mut count = 0usize;
+        for r0 in 0..pr.min(m.rows()) {
+            for c0 in 0..pc.min(m.cols()) {
+                let b = m.strided_block(r0, pr, c0, pc);
+                count += b.len();
+                rebuilt.set_strided_block(r0, pr, c0, pc, &b);
+            }
+        }
+        prop_assert_eq!(count, m.len());
+        prop_assert_eq!(rebuilt, m);
+    }
+}

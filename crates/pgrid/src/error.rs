@@ -1,0 +1,76 @@
+//! Error type for grid and distribution operations.
+
+use std::fmt;
+
+/// Errors raised by processor-grid and distributed-matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// The communicator size does not match the requested grid shape.
+    GridSizeMismatch {
+        /// Number of ranks in the communicator.
+        comm_size: usize,
+        /// Product of the requested grid dimensions.
+        grid_size: usize,
+    },
+    /// A matrix dimension is incompatible with the grid or with a divisibility
+    /// requirement of an algorithm.
+    BadDimensions {
+        /// Description of the operation.
+        op: &'static str,
+        /// Explanation of the constraint that was violated.
+        reason: String,
+    },
+    /// Two distributed matrices live on different grids / communicators.
+    GridMismatch {
+        /// Description of the operation.
+        op: &'static str,
+    },
+    /// An error bubbled up from the simulated machine.
+    Sim(simnet::SimError),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::GridSizeMismatch { comm_size, grid_size } => write!(
+                f,
+                "grid of {grid_size} processors does not fit communicator of size {comm_size}"
+            ),
+            GridError::BadDimensions { op, reason } => write!(f, "{op}: {reason}"),
+            GridError::GridMismatch { op } => {
+                write!(f, "{op}: operands are distributed on different grids")
+            }
+            GridError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+impl From<simnet::SimError> for GridError {
+    fn from(e: simnet::SimError) -> Self {
+        GridError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GridError::GridSizeMismatch {
+            comm_size: 4,
+            grid_size: 6,
+        };
+        assert!(e.to_string().contains("6"));
+        let e = GridError::BadDimensions {
+            op: "subview",
+            reason: "not aligned".into(),
+        };
+        assert!(e.to_string().contains("subview"));
+        assert!(GridError::GridMismatch { op: "add" }.to_string().contains("different grids"));
+        let e: GridError = simnet::SimError::EmptyMachine.into();
+        assert!(e.to_string().contains("simulator"));
+    }
+}

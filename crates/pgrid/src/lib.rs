@@ -1,0 +1,29 @@
+//! # `pgrid` — processor grids, cyclic layouts and distributed matrices
+//!
+//! The algorithms in the paper (Wicky, Solomonik, Hoefler, IPDPS 2017) are
+//! formulated on 2D, 3D and 4D processor grids with matrices distributed in a
+//! **cyclic** layout: processor `(x, y)` of a `pr × pc` grid owns the matrix
+//! entries `A(x : pr : m, y : pc : n)` in the paper's colon notation.  This
+//! crate provides those building blocks on top of the simulated machine:
+//!
+//! * [`Grid2D`] and [`Grid3D`] — Cartesian views over a [`simnet::Communicator`]
+//!   with cheap (communication-free) row / column / fiber sub-communicators,
+//! * [`DistMatrix`] — a matrix distributed cyclically over a [`Grid2D`], with
+//!   construction from / collection to a replicated global matrix, aligned
+//!   sub-views (the recursive algorithms split matrices in halves), and
+//!   residual helpers,
+//! * [`redist`] — generic element remapping between arbitrary layouts using a
+//!   Bruck all-to-all-v, the primitive the paper charges as "an all-to-all"
+//!   for its layout transposes and redistributions.
+
+pub mod error;
+pub mod grid;
+pub mod distmat;
+pub mod redist;
+
+pub use distmat::DistMatrix;
+pub use error::GridError;
+pub use grid::{Grid2D, Grid3D};
+
+/// Result alias for grid operations.
+pub type Result<T> = std::result::Result<T, GridError>;

@@ -1,0 +1,304 @@
+//! Generic data redistribution between layouts.
+//!
+//! The paper's algorithms change data layouts in a few places — the
+//! transposes inside the 3D matrix multiplication (Section III), the move of
+//! sub-matrices onto smaller processor grids inside the recursive inversion
+//! (Section V), and the collection of diagonal blocks onto dedicated
+//! sub-grids in the `Diagonal-Inverter` (Section VI-A).  In every case the
+//! paper bounds the cost by that of an **all-to-all**:
+//! `O(α·log p + β·(volume/p)·log p)` per processor.
+//!
+//! [`exchange_keyed`] is the corresponding primitive here: every rank hands
+//! in `(key, value)` pairs per destination, the pairs are routed with the
+//! Bruck all-to-all-v of `simnet::coll` (log p rounds, store-and-forward),
+//! and each rank gets back the pairs addressed to it.  Keys are typically
+//! encoded global matrix indices, so the receiver can place values without
+//! any out-of-band coordination.  The key/value encoding doubles the word
+//! count of these transfers; since they are lower-order terms in every
+//! algorithm (see DESIGN.md), the asymptotic costs are unaffected.
+
+use crate::distmat::DistMatrix;
+use simnet::{coll, Communicator};
+
+/// Exchange `(key, value)` pairs between all ranks of `comm`.
+///
+/// `outgoing[d]` contains the pairs destined for local rank `d`.  The result
+/// is indexed by source rank.  Keys must be representable exactly as `f64`
+/// (i.e. `< 2^53`), which holds for any encoded matrix index in this project.
+///
+/// When `log_latency` is true (the default used by the algorithms) the
+/// exchange is routed through the Bruck all-to-all-v (`⌈log₂ p⌉` messages per
+/// rank, each word forwarded up to `⌈log₂ p⌉` times); otherwise a direct
+/// pairwise exchange is used (`p − 1` messages, no forwarding).
+pub fn exchange_keyed(
+    comm: &Communicator,
+    outgoing: &[Vec<(u64, f64)>],
+    log_latency: bool,
+) -> Vec<Vec<(u64, f64)>> {
+    debug_assert_eq!(outgoing.len(), comm.size());
+    let blocks: Vec<Vec<f64>> = outgoing
+        .iter()
+        .map(|pairs| {
+            let mut flat = Vec::with_capacity(pairs.len() * 2);
+            for (k, v) in pairs {
+                flat.push(*k as f64);
+                flat.push(*v);
+            }
+            flat
+        })
+        .collect();
+    let received = if log_latency {
+        coll::alltoallv_bruck(comm, &blocks).expect("block count matches comm size")
+    } else {
+        coll::alltoallv_direct(comm, &blocks).expect("block count matches comm size")
+    };
+    received
+        .into_iter()
+        .map(|flat| {
+            flat.chunks_exact(2)
+                .map(|c| (c[0] as u64, c[1]))
+                .collect::<Vec<(u64, f64)>>()
+        })
+        .collect()
+}
+
+/// Encode a global matrix index `(i, j)` of a matrix with `cols` columns into
+/// a redistribution key.
+#[inline]
+pub fn encode_index(i: usize, j: usize, cols: usize) -> u64 {
+    (i * cols + j) as u64
+}
+
+/// Decode a redistribution key back into `(i, j)` for a matrix with `cols`
+/// columns.
+#[inline]
+pub fn decode_index(key: u64, cols: usize) -> (usize, usize) {
+    let k = key as usize;
+    (k / cols, k % cols)
+}
+
+/// Route every locally-owned element of `mat` to the rank selected by
+/// `dest_of(global_row, global_col)` (a local rank of the matrix's grid
+/// communicator) and return the received elements as `(i, j, value)` triples.
+///
+/// This is the workhorse behind the layout changes of the 3D matrix
+/// multiplication and of the diagonal-block inverter.
+pub fn remap_elements<F>(mat: &DistMatrix, dest_of: F, log_latency: bool) -> Vec<(usize, usize, f64)>
+where
+    F: Fn(usize, usize) -> usize,
+{
+    let comm = mat.grid().comm();
+    let p = comm.size();
+    let cols = mat.cols();
+    let mut outgoing: Vec<Vec<(u64, f64)>> = vec![Vec::new(); p];
+    let local = mat.local();
+    for li in 0..local.rows() {
+        let gi = mat.global_row(li);
+        for lj in 0..local.cols() {
+            let gj = mat.global_col(lj);
+            let dest = dest_of(gi, gj);
+            debug_assert!(dest < p, "dest_of returned rank {dest} >= p = {p}");
+            outgoing[dest].push((encode_index(gi, gj, cols), local[(li, lj)]));
+        }
+    }
+    let incoming = exchange_keyed(comm, &outgoing, log_latency);
+    incoming
+        .into_iter()
+        .flatten()
+        .map(|(k, v)| {
+            let (i, j) = decode_index(k, cols);
+            (i, j, v)
+        })
+        .collect()
+}
+
+/// Route elements described by an explicit iterator (global row, global col,
+/// value, destination local rank) and return the received `(i, j, value)`
+/// triples.  `cols` is the column count used for key encoding and must be the
+/// same on every rank.
+pub fn scatter_elements(
+    comm: &Communicator,
+    cols: usize,
+    elements: impl IntoIterator<Item = (usize, usize, f64, usize)>,
+    log_latency: bool,
+) -> Vec<(usize, usize, f64)> {
+    let p = comm.size();
+    let mut outgoing: Vec<Vec<(u64, f64)>> = vec![Vec::new(); p];
+    for (i, j, v, dest) in elements {
+        debug_assert!(dest < p);
+        outgoing[dest].push((encode_index(i, j, cols), v));
+    }
+    let incoming = exchange_keyed(comm, &outgoing, log_latency);
+    incoming
+        .into_iter()
+        .flatten()
+        .map(|(k, v)| {
+            let (i, j) = decode_index(k, cols);
+            (i, j, v)
+        })
+        .collect()
+}
+
+/// Distributed transpose: returns `Aᵀ` distributed cyclically over the same
+/// grid as `A`.  Every element moves to the owner of its transposed position
+/// via one keyed all-to-all (the cost the paper charges for its layout
+/// transposes).
+pub fn transpose(mat: &DistMatrix, log_latency: bool) -> DistMatrix {
+    let grid = mat.grid().clone();
+    let pr = grid.rows();
+    let pc = grid.cols();
+    let received = remap_elements(mat, |i, j| grid.rank_of(j % pr, i % pc), log_latency);
+    let mut out = DistMatrix::zeros(&grid, mat.cols(), mat.rows());
+    for (i, j, v) in received {
+        // We received (i, j) of A because we own (j, i) of Aᵀ.
+        out.local_mut()[(j / pr, i / pc)] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid2D;
+    use dense::Matrix;
+    use simnet::{Machine, MachineParams};
+
+    #[test]
+    fn distributed_transpose_matches_local() {
+        let out = Machine::new(6, MachineParams::unit())
+            .run(|comm| {
+                let grid = Grid2D::new(comm, 2, 3).unwrap();
+                let a = DistMatrix::from_fn(&grid, 8, 10, |i, j| (i * 10 + j) as f64);
+                let at = transpose(&a, true);
+                let expect = a.to_global().transpose();
+                dense::norms::rel_diff(&at.to_global(), &expect)
+            })
+            .unwrap();
+        assert!(out.results.into_iter().all(|d| d == 0.0));
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let out = Machine::new(4, MachineParams::unit())
+            .run(|comm| {
+                let grid = Grid2D::new(comm, 2, 2).unwrap();
+                let a = DistMatrix::from_fn(&grid, 6, 6, |i, j| (i * 7 + j * 3) as f64);
+                let att = transpose(&transpose(&a, false), false);
+                att.rel_diff(&a).unwrap()
+            })
+            .unwrap();
+        assert!(out.results.into_iter().all(|d| d == 0.0));
+    }
+
+    #[test]
+    fn index_encoding_round_trips() {
+        for (i, j, cols) in [(0usize, 0usize, 5usize), (3, 4, 5), (100, 7, 8), (12345, 67, 89)] {
+            let k = encode_index(i, j, cols);
+            assert_eq!(decode_index(k, cols), (i, j));
+        }
+    }
+
+    #[test]
+    fn exchange_keyed_delivers_by_destination() {
+        for log_latency in [true, false] {
+            let out = Machine::new(4, MachineParams::unit())
+                .run(move |comm| {
+                    // Rank r sends the pair (r*10+d, r as value) to every d.
+                    let outgoing: Vec<Vec<(u64, f64)>> = (0..4)
+                        .map(|d| vec![((comm.rank() * 10 + d) as u64, comm.rank() as f64)])
+                        .collect();
+                    exchange_keyed(comm, &outgoing, log_latency)
+                })
+                .unwrap();
+            for (rank, incoming) in out.results.into_iter().enumerate() {
+                for (src, pairs) in incoming.into_iter().enumerate() {
+                    assert_eq!(pairs.len(), 1);
+                    assert_eq!(pairs[0].0, (src * 10 + rank) as u64);
+                    assert_eq!(pairs[0].1, src as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remap_to_transposed_ownership() {
+        // Redistribute a matrix from cyclic ownership on a 2x2 grid to the
+        // ownership pattern of its transpose and check every element arrives
+        // exactly once at the right place.
+        let rows = 6;
+        let cols = 6;
+        let out = Machine::new(4, MachineParams::unit())
+            .run(move |comm| {
+                let grid = Grid2D::new(comm, 2, 2).unwrap();
+                let mat = DistMatrix::from_fn(&grid, rows, cols, |i, j| (i * cols + j) as f64);
+                // Destination: owner of (j, i) instead of (i, j).
+                let received = remap_elements(
+                    &mat,
+                    |i, j| {
+                        let (or, oc) = (j % 2, i % 2);
+                        grid.rank_of(or, oc)
+                    },
+                    true,
+                );
+                // Rebuild the local piece of the transposed-ownership matrix.
+                let mut t_local = DistMatrix::zeros(&grid, cols, rows);
+                let mut count = 0usize;
+                for (i, j, v) in received {
+                    // We now own (i, j) because we own (j, i) under the
+                    // transposed pattern: place the value at (j, i).
+                    let pr = grid.rows();
+                    let pc = grid.cols();
+                    let (x, y) = grid.my_coords();
+                    assert_eq!(j % pr, x);
+                    assert_eq!(i % pc, y);
+                    t_local.local_mut()[((j - x) / pr, (i - y) / pc)] = v;
+                    count += 1;
+                }
+                (count, t_local.to_global())
+            })
+            .unwrap();
+        let expect = Matrix::from_fn(cols, rows, |i, j| (j * cols + i) as f64);
+        let mut total = 0usize;
+        for (count, t) in out.results {
+            total += count;
+            assert_eq!(t, expect);
+        }
+        assert_eq!(total, rows * cols);
+    }
+
+    #[test]
+    fn scatter_elements_addresses_explicit_destinations() {
+        let out = Machine::new(3, MachineParams::unit())
+            .run(|comm| {
+                // Rank 0 scatters a 3x3 diagonal to ranks by row index.
+                let elements: Vec<(usize, usize, f64, usize)> = if comm.rank() == 0 {
+                    (0..3).map(|i| (i, i, (i + 1) as f64, i)).collect()
+                } else {
+                    Vec::new()
+                };
+                scatter_elements(comm, 3, elements, false)
+            })
+            .unwrap();
+        for (rank, received) in out.results.into_iter().enumerate() {
+            assert_eq!(received.len(), 1);
+            assert_eq!(received[0], (rank, rank, (rank + 1) as f64));
+        }
+    }
+
+    #[test]
+    fn bruck_and_direct_remap_agree() {
+        let out = Machine::new(8, MachineParams::unit())
+            .run(|comm| {
+                let grid = Grid2D::new(comm, 2, 4).unwrap();
+                let mat = DistMatrix::from_fn(&grid, 8, 8, |i, j| (i * 8 + j) as f64);
+                let dest = |i: usize, j: usize| (i + j) % 8;
+                let mut a = remap_elements(&mat, dest, true);
+                let mut b = remap_elements(&mat, dest, false);
+                a.sort_by_key(|&(i, j, _)| (i, j));
+                b.sort_by_key(|&(i, j, _)| (i, j));
+                a == b
+            })
+            .unwrap();
+        assert!(out.results.into_iter().all(|v| v));
+    }
+}

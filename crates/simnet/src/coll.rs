@@ -1,0 +1,945 @@
+//! Collective communication operations (Section II-C1 of the paper).
+//!
+//! The paper builds every algorithm out of a small set of collectives and
+//! quotes their α–β–γ costs for butterfly / recursive-doubling schedules
+//! (Chan et al., Thakur et al., Bruck et al.):
+//!
+//! | collective      | cost                                              |
+//! |-----------------|---------------------------------------------------|
+//! | allgather       | `α·log p + β·n·(p−1)/p`                           |
+//! | scatter, gather | `α·log p + β·n·(p−1)/p`                           |
+//! | reduce-scatter  | `α·log p + (β+γ)·n·(p−1)/p`                       |
+//! | all-to-all      | `α·log p + β·(n/2)·log p`                         |
+//! | reduce / allreduce | `2α·log p + 2β·n + γ·n` (reduce-scatter + (all)gather) |
+//! | broadcast       | `2α·log p + 2β·n` (scatter + allgather)           |
+//!
+//! The implementations below realise those schedules on a [`Communicator`]
+//! so the *measured* message/word counters reproduce the formulas (exactly
+//! for power-of-two communicator sizes and divisible vector lengths, which is
+//! what the paper assumes; other sizes fall back to correct but slightly more
+//! expensive schedules).
+
+use crate::comm::Communicator;
+use crate::error::SimError;
+use crate::Result;
+
+/// Reduction operator applied element-wise by the reducing collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    #[inline]
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+
+    /// Combine `incoming` into `acc`, charging one flop per element to `comm`.
+    fn fold_into(self, comm: &Communicator, acc: &mut [f64], incoming: &[f64]) {
+        debug_assert_eq!(acc.len(), incoming.len());
+        for (a, b) in acc.iter_mut().zip(incoming.iter()) {
+            *a = self.apply(*a, *b);
+        }
+        comm.charge_flops(acc.len() as u64);
+    }
+}
+
+/// Dissemination barrier: `⌈log₂ p⌉` zero-payload exchanges.
+pub fn barrier(comm: &Communicator) {
+    let p = comm.size();
+    if p <= 1 {
+        return;
+    }
+    let tag = comm.next_op_tag();
+    let mut d = 1;
+    let mut step = 0;
+    while d < p {
+        let to = (comm.rank() + d) % p;
+        let from = (comm.rank() + p - d) % p;
+        comm.send_raw(to, tag + step, &[]);
+        let _ = comm.recv_raw(from, tag + step);
+        d *= 2;
+        step += 1;
+    }
+}
+
+/// Bruck allgather of equal-sized blocks.
+///
+/// Every rank contributes `local`; the result is the concatenation of all
+/// contributions in rank order (identical on every rank).  All contributions
+/// must have the same length.
+pub fn allgather(comm: &Communicator, local: &[f64]) -> Vec<f64> {
+    let p = comm.size();
+    let rank = comm.rank();
+    let blk = local.len();
+    if p == 1 {
+        return local.to_vec();
+    }
+    let tag = comm.next_op_tag();
+
+    // `collection` holds blocks (rank, rank+1, …) mod p, contiguously.
+    let mut collection: Vec<f64> = local.to_vec();
+    let mut cnt = 1usize;
+    let mut step = 0u64;
+    while cnt < p {
+        let need = cnt.min(p - cnt);
+        let to = (rank + p - cnt) % p;
+        let from = (rank + cnt) % p;
+        comm.send_raw(to, tag + step, &collection[..need * blk]);
+        let received = comm.recv_raw(from, tag + step);
+        collection.extend_from_slice(&received);
+        cnt += need;
+        step += 1;
+    }
+
+    // Un-rotate: position j of the collection is global block (rank + j) % p.
+    let mut out = vec![0.0; p * blk];
+    for j in 0..p {
+        let global = (rank + j) % p;
+        out[global * blk..(global + 1) * blk].copy_from_slice(&collection[j * blk..(j + 1) * blk]);
+    }
+    out
+}
+
+/// Allgather of variable-sized blocks; returns one vector per rank.
+pub fn allgatherv(comm: &Communicator, local: &[f64]) -> Vec<Vec<f64>> {
+    let p = comm.size();
+    // First share the lengths with a fixed-size allgather, then pad to the
+    // maximum length so the Bruck exchange stays block-regular.
+    let lens = allgather(comm, &[local.len() as f64]);
+    let lens: Vec<usize> = lens.iter().map(|&v| v as usize).collect();
+    let max_len = lens.iter().copied().max().unwrap_or(0);
+    let mut padded = local.to_vec();
+    padded.resize(max_len, 0.0);
+    let flat = allgather(comm, &padded);
+    (0..p)
+        .map(|r| flat[r * max_len..r * max_len + lens[r]].to_vec())
+        .collect()
+}
+
+/// Binomial-tree gather of equal-sized blocks to `root`.
+///
+/// Returns `Some(concatenation in rank order)` on the root and `None`
+/// elsewhere.
+pub fn gather(comm: &Communicator, root: usize, local: &[f64]) -> Result<Option<Vec<f64>>> {
+    let p = comm.size();
+    if root >= p {
+        return Err(SimError::InvalidRank { rank: root, size: p });
+    }
+    let blk = local.len();
+    if p == 1 {
+        return Ok(Some(local.to_vec()));
+    }
+    let tag = comm.next_op_tag();
+    let rel = (comm.rank() + p - root) % p;
+
+    // `collection` holds relative blocks [rel, rel + cnt).
+    let mut collection: Vec<f64> = local.to_vec();
+    let mut cnt = 1usize;
+    let mut d = 1usize;
+    let mut step = 0u64;
+    let mut sent = false;
+    while d < p {
+        if rel % (2 * d) == 0 {
+            let src_rel = rel + d;
+            if src_rel < p {
+                let from = (src_rel + root) % p;
+                let received = comm.recv_raw(from, tag + step);
+                collection.extend_from_slice(&received);
+                cnt += received.len() / blk.max(1);
+            }
+        } else if !sent {
+            // Relative ranks with the low bit of `rel / d` set send their
+            // whole collection to rel - d and are done.
+            let dst_rel = rel - d;
+            let to = (dst_rel + root) % p;
+            comm.send_raw(to, tag + step, &collection);
+            sent = true;
+        }
+        d *= 2;
+        step += 1;
+    }
+    let _ = cnt;
+
+    if comm.rank() == root {
+        // Root's collection is in relative order; translate to absolute ranks.
+        let mut out = vec![0.0; p * blk];
+        for j in 0..p {
+            let abs = (j + root) % p;
+            out[abs * blk..(abs + 1) * blk].copy_from_slice(&collection[j * blk..(j + 1) * blk]);
+        }
+        Ok(Some(out))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Binomial-tree scatter of equal-sized blocks from `root`.
+///
+/// On the root, `data` must contain `p` blocks of `block` words each in rank
+/// order; elsewhere `data` is ignored.  Every rank returns its own block.
+pub fn scatter(comm: &Communicator, root: usize, data: &[f64], block: usize) -> Result<Vec<f64>> {
+    let p = comm.size();
+    if root >= p {
+        return Err(SimError::InvalidRank { rank: root, size: p });
+    }
+    if comm.rank() == root && data.len() != p * block {
+        return Err(SimError::BadCollectiveArgs {
+            op: "scatter",
+            reason: format!("root buffer has {} words, expected {}", data.len(), p * block),
+        });
+    }
+    if p == 1 {
+        return Ok(data.to_vec());
+    }
+    let tag = comm.next_op_tag();
+    let rel = (comm.rank() + p - root) % p;
+
+    // Walk the binomial recursion over relative rank ranges [lo, hi), where
+    // `lo` currently holds the data for the whole range.
+    let mut lo = 0usize;
+    let mut hi = p;
+    // Root starts with all blocks ordered by relative rank.
+    let mut held: Vec<f64> = if comm.rank() == root {
+        let mut v = vec![0.0; p * block];
+        for j in 0..p {
+            let abs = (j + root) % p;
+            v[j * block..(j + 1) * block].copy_from_slice(&data[abs * block..(abs + 1) * block]);
+        }
+        v
+    } else {
+        Vec::new()
+    };
+    let mut step = 0u64;
+    while hi - lo > 1 {
+        let half = (hi - lo).div_ceil(2);
+        let mid = lo + half;
+        if rel < mid {
+            // I am in the lower half; if I am `lo`, send the upper half away.
+            if rel == lo {
+                let to = (mid + root) % p;
+                let upper = held.split_off(half * block);
+                comm.send_raw(to, tag + step, &upper);
+            }
+            hi = mid;
+        } else {
+            // I am in the upper half; if I am `mid`, receive the upper half.
+            if rel == mid {
+                let from = (lo + root) % p;
+                held = comm.recv_raw(from, tag + step);
+            }
+            lo = mid;
+        }
+        step += 1;
+    }
+    debug_assert_eq!(lo, rel);
+    held.truncate(block);
+    Ok(held)
+}
+
+/// Recursive-halving reduce-scatter.
+///
+/// Every rank contributes a vector of `p × block` words; rank `r` returns the
+/// element-wise reduction of block `r` over all contributions.  For
+/// non-power-of-two communicators a (correct, slightly costlier)
+/// reduce-then-scatter fallback is used.
+pub fn reduce_scatter(comm: &Communicator, data: &[f64], op: ReduceOp) -> Result<Vec<f64>> {
+    let p = comm.size();
+    if data.len() % p != 0 {
+        return Err(SimError::BadCollectiveArgs {
+            op: "reduce_scatter",
+            reason: format!("buffer length {} not divisible by p = {}", data.len(), p),
+        });
+    }
+    let block = data.len() / p;
+    if p == 1 {
+        return Ok(data.to_vec());
+    }
+    if !p.is_power_of_two() {
+        // Fallback: binomial reduce to rank 0, then binomial scatter.
+        let reduced = reduce(comm, 0, data, op)?;
+        let root_buf = reduced.unwrap_or_default();
+        return scatter(comm, 0, &root_buf, block);
+    }
+
+    let tag = comm.next_op_tag();
+    let rank = comm.rank();
+    // `current` always holds the partially reduced data for the block range
+    // [range_lo, range_hi) that this rank is still responsible for.
+    let mut current: Vec<f64> = data.to_vec();
+    let mut range_lo = 0usize;
+    let mut range_hi = p;
+    let mut d = p / 2;
+    let mut step = 0u64;
+    while d >= 1 {
+        let partner = rank ^ d;
+        let mid = range_lo + (range_hi - range_lo) / 2;
+        // Which half do I keep?  The half containing my own rank.
+        let (keep_lo, keep_hi, send_lo, send_hi) = if rank < partner {
+            (range_lo, mid, mid, range_hi)
+        } else {
+            (mid, range_hi, range_lo, mid)
+        };
+        let send_slice = &current[(send_lo - range_lo) * block..(send_hi - range_lo) * block];
+        comm.send_raw(partner, tag + step, send_slice);
+        let received = comm.recv_raw(partner, tag + step);
+        let mut kept: Vec<f64> =
+            current[(keep_lo - range_lo) * block..(keep_hi - range_lo) * block].to_vec();
+        op.fold_into(comm, &mut kept, &received);
+        current = kept;
+        range_lo = keep_lo;
+        range_hi = keep_hi;
+        d /= 2;
+        step += 1;
+    }
+    debug_assert_eq!(range_hi - range_lo, 1);
+    debug_assert_eq!(range_lo, rank);
+    Ok(current)
+}
+
+/// Binomial-tree reduction to `root`: returns `Some(reduced vector)` on the
+/// root and `None` elsewhere.
+pub fn reduce(
+    comm: &Communicator,
+    root: usize,
+    data: &[f64],
+    op: ReduceOp,
+) -> Result<Option<Vec<f64>>> {
+    let p = comm.size();
+    if root >= p {
+        return Err(SimError::InvalidRank { rank: root, size: p });
+    }
+    if p == 1 {
+        return Ok(Some(data.to_vec()));
+    }
+    let tag = comm.next_op_tag();
+    let rel = (comm.rank() + p - root) % p;
+    let mut acc = data.to_vec();
+    let mut d = 1usize;
+    let mut step = 0u64;
+    let mut sent = false;
+    while d < p {
+        if rel % (2 * d) == 0 {
+            let src_rel = rel + d;
+            if src_rel < p {
+                let from = (src_rel + root) % p;
+                let received = comm.recv_raw(from, tag + step);
+                op.fold_into(comm, &mut acc, &received);
+            }
+        } else if !sent {
+            let to = (rel - d + root) % p;
+            comm.send_raw(to, tag + step, &acc);
+            sent = true;
+        }
+        d *= 2;
+        step += 1;
+    }
+    if comm.rank() == root {
+        Ok(Some(acc))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Allreduce implemented as reduce-scatter followed by allgather
+/// (cost `2α·log p + 2β·n + γ·n`), padding internally when the length is not
+/// divisible by `p`.
+pub fn allreduce(comm: &Communicator, data: &[f64], op: ReduceOp) -> Vec<f64> {
+    let p = comm.size();
+    if p == 1 {
+        return data.to_vec();
+    }
+    let len = data.len();
+    let block = len.div_ceil(p);
+    let mut padded = data.to_vec();
+    padded.resize(block * p, identity_of(op));
+    let mine = reduce_scatter(comm, &padded, op).expect("padded buffer is divisible");
+    let mut full = allgather(comm, &mine);
+    full.truncate(len);
+    full
+}
+
+/// Broadcast implemented as scatter followed by allgather
+/// (cost `2α·log p + 2β·n`).  `data` is only read on the root; every rank
+/// must pass the same `len`.
+pub fn bcast(comm: &Communicator, root: usize, data: &[f64], len: usize) -> Result<Vec<f64>> {
+    let p = comm.size();
+    if root >= p {
+        return Err(SimError::InvalidRank { rank: root, size: p });
+    }
+    if comm.rank() == root && data.len() != len {
+        return Err(SimError::BadCollectiveArgs {
+            op: "bcast",
+            reason: format!("root buffer has {} words, expected {}", data.len(), len),
+        });
+    }
+    if p == 1 {
+        return Ok(data.to_vec());
+    }
+    let block = len.div_ceil(p);
+    let padded_root: Vec<f64> = if comm.rank() == root {
+        let mut v = data.to_vec();
+        v.resize(block * p, 0.0);
+        v
+    } else {
+        Vec::new()
+    };
+    let mine = scatter(comm, root, &padded_root, block)?;
+    let mut full = allgather(comm, &mine);
+    full.truncate(len);
+    Ok(full)
+}
+
+/// Bruck all-to-all of equal-sized blocks.
+///
+/// `data` holds `p` blocks of `block` words; block `j` is delivered to rank
+/// `j`.  The result holds `p` blocks where block `i` came from rank `i`.
+/// Cost `α·⌈log p⌉ + β·(n/2)·⌈log p⌉` with `n = p·block`.
+pub fn alltoall(comm: &Communicator, data: &[f64], block: usize) -> Result<Vec<f64>> {
+    let p = comm.size();
+    if data.len() != p * block {
+        return Err(SimError::BadCollectiveArgs {
+            op: "alltoall",
+            reason: format!("buffer has {} words, expected {}", data.len(), p * block),
+        });
+    }
+    if p == 1 {
+        return Ok(data.to_vec());
+    }
+    let rank = comm.rank();
+    let tag = comm.next_op_tag();
+
+    // Phase 1: local rotation so slot j holds the block destined to (rank+j)%p.
+    let mut slots: Vec<Vec<f64>> = (0..p)
+        .map(|j| {
+            let dest = (rank + j) % p;
+            data[dest * block..(dest + 1) * block].to_vec()
+        })
+        .collect();
+
+    // Phase 2: log p exchange rounds.
+    let mut d = 1usize;
+    let mut step = 0u64;
+    while d < p {
+        let to = (rank + d) % p;
+        let from = (rank + p - d) % p;
+        // Collect the slots whose index has bit `d` set.
+        let mut payload = Vec::new();
+        let mut moved = Vec::new();
+        for (j, slot) in slots.iter().enumerate() {
+            if j & d != 0 {
+                payload.extend_from_slice(slot);
+                moved.push(j);
+            }
+        }
+        comm.send_raw(to, tag + step, &payload);
+        let received = comm.recv_raw(from, tag + step);
+        for (idx, j) in moved.iter().enumerate() {
+            slots[*j].copy_from_slice(&received[idx * block..(idx + 1) * block]);
+        }
+        d *= 2;
+        step += 1;
+    }
+
+    // Phase 3: slot j now holds the block that rank (rank - j + p) % p sent to me.
+    let mut out = vec![0.0; p * block];
+    for (j, slot) in slots.iter().enumerate() {
+        let src = (rank + p - j) % p;
+        out[src * block..(src + 1) * block].copy_from_slice(slot);
+    }
+    Ok(out)
+}
+
+/// Personalised all-to-all with per-destination payloads of arbitrary length,
+/// delivered directly with `p − 1` pairwise exchanges (latency `O(p)`,
+/// bandwidth optimal).  `blocks[j]` is sent to rank `j`; the result is indexed
+/// by source rank.
+pub fn alltoallv_direct(comm: &Communicator, blocks: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+    let p = comm.size();
+    if blocks.len() != p {
+        return Err(SimError::BadCollectiveArgs {
+            op: "alltoallv_direct",
+            reason: format!("expected {} destination blocks, got {}", p, blocks.len()),
+        });
+    }
+    let rank = comm.rank();
+    let tag = comm.next_op_tag();
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
+    out[rank] = blocks[rank].clone();
+    for offset in 1..p {
+        let to = (rank + offset) % p;
+        let from = (rank + p - offset) % p;
+        comm.send_raw(to, tag + offset as u64, &blocks[to]);
+        out[from] = comm.recv_raw(from, tag + offset as u64);
+    }
+    Ok(out)
+}
+
+/// Personalised all-to-all routed through a Bruck-style store-and-forward
+/// network: `⌈log₂ p⌉` rounds, each word travels at most `⌈log₂ p⌉` hops.
+///
+/// This is the schedule the paper charges for its layout transposes:
+/// `O(α·log p + β·(total volume / p)·log p)` per processor.  `blocks[j]` is
+/// sent to rank `j`; the result is indexed by source rank.
+pub fn alltoallv_bruck(comm: &Communicator, blocks: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+    let p = comm.size();
+    if blocks.len() != p {
+        return Err(SimError::BadCollectiveArgs {
+            op: "alltoallv_bruck",
+            reason: format!("expected {} destination blocks, got {}", p, blocks.len()),
+        });
+    }
+    if p == 1 {
+        return Ok(vec![blocks[0].clone()]);
+    }
+    let rank = comm.rank();
+    let tag = comm.next_op_tag();
+
+    // Items in flight: (final destination, original source, payload).
+    let mut items: Vec<(usize, usize, Vec<f64>)> = blocks
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| !b.is_empty())
+        .map(|(dest, b)| (dest, rank, b.clone()))
+        .collect();
+
+    let mut d = 1usize;
+    let mut step = 0u64;
+    while d < p {
+        let to = (rank + d) % p;
+        let from = (rank + p - d) % p;
+        // Forward every item whose remaining hop distance has bit `d` set.
+        let (forward, keep): (Vec<_>, Vec<_>) = items
+            .into_iter()
+            .partition(|(dest, _, _)| ((dest + p - rank) % p) & d != 0);
+        // Serialise: [count, (dest, src, len, payload…)*].
+        let mut payload: Vec<f64> = vec![forward.len() as f64];
+        for (dest, src, data) in &forward {
+            payload.push(*dest as f64);
+            payload.push(*src as f64);
+            payload.push(data.len() as f64);
+            payload.extend_from_slice(data);
+        }
+        comm.send_raw(to, tag + step, &payload);
+        let received = comm.recv_raw(from, tag + step);
+        items = keep;
+        let mut cursor = 1usize;
+        let count = received.first().copied().unwrap_or(0.0) as usize;
+        for _ in 0..count {
+            let dest = received[cursor] as usize;
+            let src = received[cursor + 1] as usize;
+            let len = received[cursor + 2] as usize;
+            cursor += 3;
+            let data = received[cursor..cursor + len].to_vec();
+            cursor += len;
+            items.push((dest, src, data));
+        }
+        d *= 2;
+        step += 1;
+    }
+
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
+    for (dest, src, data) in items {
+        debug_assert_eq!(dest, rank, "item should have arrived at its destination");
+        out[src] = data;
+    }
+    Ok(out)
+}
+
+fn identity_of(op: ReduceOp) -> f64 {
+    match op {
+        ReduceOp::Sum => 0.0,
+        ReduceOp::Max => f64::NEG_INFINITY,
+        ReduceOp::Min => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::params::MachineParams;
+
+    fn run<T: Send>(
+        p: usize,
+        f: impl Fn(&Communicator) -> T + Send + Sync,
+    ) -> (Vec<T>, crate::cost::CostReport) {
+        let out = Machine::new(p, MachineParams::unit()).run(f).unwrap();
+        (out.results, out.report)
+    }
+
+    #[test]
+    fn barrier_completes_and_costs_log_p() {
+        let (_, report) = run(8, |comm| barrier(comm));
+        assert_eq!(report.max_messages(), 3);
+        assert_eq!(report.max_words(), 0);
+    }
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        for p in [1usize, 2, 3, 4, 7, 8, 16] {
+            let (results, _) = run(p, |comm| {
+                let local = vec![comm.rank() as f64 * 10.0, comm.rank() as f64 * 10.0 + 1.0];
+                allgather(comm, &local)
+            });
+            let expected: Vec<f64> = (0..p)
+                .flat_map(|r| vec![r as f64 * 10.0, r as f64 * 10.0 + 1.0])
+                .collect();
+            for r in results {
+                assert_eq!(r, expected, "p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_cost_matches_formula_for_power_of_two() {
+        // n total words = p * blk; cost: log p messages, blk*(p-1) words.
+        let p = 16;
+        let blk = 32;
+        let (_, report) = run(p, move |comm| {
+            let local = vec![comm.rank() as f64; blk];
+            allgather(comm, &local)
+        });
+        assert_eq!(report.max_messages(), 4);
+        assert_eq!(report.max_words(), (blk * (p - 1)) as u64);
+    }
+
+    #[test]
+    fn allgatherv_supports_ragged_blocks() {
+        let (results, _) = run(5, |comm| {
+            let local = vec![comm.rank() as f64; comm.rank() + 1];
+            allgatherv(comm, &local)
+        });
+        for r in results {
+            for (rank, blockv) in r.iter().enumerate() {
+                assert_eq!(blockv.len(), rank + 1);
+                assert!(blockv.iter().all(|&v| v == rank as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_only_at_root() {
+        for p in [2usize, 4, 6, 8] {
+            for root in [0usize, 1, p - 1] {
+                let (results, _) = run(p, move |comm| {
+                    let local = vec![comm.rank() as f64; 3];
+                    gather(comm, root, &local).unwrap()
+                });
+                for (rank, r) in results.into_iter().enumerate() {
+                    if rank == root {
+                        let data = r.expect("root gets data");
+                        let expected: Vec<f64> =
+                            (0..p).flat_map(|q| vec![q as f64; 3]).collect();
+                        assert_eq!(data, expected);
+                    } else {
+                        assert!(r.is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_cost_matches_formula() {
+        let p = 8;
+        let blk = 16;
+        let (_, report) = run(p, move |comm| {
+            let local = vec![1.0; blk];
+            gather(comm, 0, &local).unwrap()
+        });
+        // Root receives blk*(p-1) words in log p messages.
+        assert_eq!(report.max_messages(), 3);
+        assert_eq!(report.max_words(), (blk * (p - 1)) as u64);
+    }
+
+    #[test]
+    fn scatter_distributes_blocks() {
+        for p in [2usize, 3, 4, 8] {
+            for root in [0usize, p / 2] {
+                let (results, _) = run(p, move |comm| {
+                    let data: Vec<f64> = if comm.rank() == root {
+                        (0..p * 2).map(|v| v as f64).collect()
+                    } else {
+                        Vec::new()
+                    };
+                    scatter(comm, root, &data, 2).unwrap()
+                });
+                for (rank, r) in results.into_iter().enumerate() {
+                    assert_eq!(r, vec![(rank * 2) as f64, (rank * 2 + 1) as f64]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_cost_matches_formula() {
+        let p = 8;
+        let blk = 10;
+        let (_, report) = run(p, move |comm| {
+            let data: Vec<f64> = if comm.rank() == 0 { vec![1.0; p * blk] } else { Vec::new() };
+            scatter(comm, 0, &data, blk).unwrap()
+        });
+        // Root sends blk*(p-1) words in log p messages.
+        assert_eq!(report.max_messages(), 3);
+        assert_eq!(report.max_words(), (blk * (p - 1)) as u64);
+    }
+
+    #[test]
+    fn reduce_scatter_sums_blocks() {
+        for p in [2usize, 4, 8, 6] {
+            let (results, _) = run(p, move |comm| {
+                // Every rank contributes [0,1,..,p*2-1] + rank.
+                let data: Vec<f64> = (0..p * 2).map(|v| v as f64 + comm.rank() as f64).collect();
+                reduce_scatter(comm, &data, ReduceOp::Sum).unwrap()
+            });
+            let rank_sum: f64 = (0..p).map(|r| r as f64).sum();
+            for (rank, r) in results.into_iter().enumerate() {
+                assert_eq!(r.len(), 2);
+                assert_eq!(r[0], (rank * 2) as f64 * p as f64 + rank_sum);
+                assert_eq!(r[1], (rank * 2 + 1) as f64 * p as f64 + rank_sum);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_cost_matches_formula() {
+        let p = 8;
+        let blk = 4;
+        let (_, report) = run(p, move |comm| {
+            let data = vec![1.0; p * blk];
+            reduce_scatter(comm, &data, ReduceOp::Sum).unwrap()
+        });
+        // log p messages; words = blk * (p-1); flops = words.
+        assert_eq!(report.max_messages(), 3);
+        assert_eq!(report.max_words(), (blk * (p - 1)) as u64);
+        assert_eq!(report.max_flops(), (blk * (p - 1)) as u64);
+    }
+
+    #[test]
+    fn reduce_to_root() {
+        let (results, _) = run(6, |comm| {
+            let data = vec![comm.rank() as f64, 1.0];
+            reduce(comm, 2, &data, ReduceOp::Sum).unwrap()
+        });
+        for (rank, r) in results.into_iter().enumerate() {
+            if rank == 2 {
+                assert_eq!(r.unwrap(), vec![15.0, 6.0]);
+            } else {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_max_and_min() {
+        let (results, _) = run(4, |comm| {
+            let data = vec![comm.rank() as f64];
+            let mx = allreduce(comm, &data, ReduceOp::Max);
+            let mn = allreduce(comm, &data, ReduceOp::Min);
+            (mx[0], mn[0])
+        });
+        for (mx, mn) in results {
+            assert_eq!(mx, 3.0);
+            assert_eq!(mn, 0.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_everywhere_even_with_ragged_length() {
+        for p in [2usize, 4, 5, 8] {
+            for len in [1usize, 3, 17] {
+                let (results, _) = run(p, move |comm| {
+                    let data = vec![comm.rank() as f64 + 1.0; len];
+                    allreduce(comm, &data, ReduceOp::Sum)
+                });
+                let expect = (p * (p + 1) / 2) as f64;
+                for r in results {
+                    assert_eq!(r.len(), len);
+                    assert!(r.iter().all(|&v| (v - expect).abs() < 1e-12));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_cost_matches_formula() {
+        let p = 16;
+        let n = 64;
+        let (_, report) = run(p, move |comm| {
+            let data = vec![1.0; n];
+            allreduce(comm, &data, ReduceOp::Sum)
+        });
+        // reduce-scatter + allgather: 2 log p messages, 2 n (p-1)/p words, n(p-1)/p flops.
+        assert_eq!(report.max_messages(), 8);
+        assert_eq!(report.max_words() as usize, 2 * n * (p - 1) / p);
+        assert_eq!(report.max_flops() as usize, n * (p - 1) / p);
+    }
+
+    #[test]
+    fn bcast_delivers_to_everyone() {
+        for p in [2usize, 4, 8, 5] {
+            for root in [0usize, p - 1] {
+                let (results, _) = run(p, move |comm| {
+                    let data: Vec<f64> = if comm.rank() == root {
+                        (0..10).map(|v| v as f64 * 3.0).collect()
+                    } else {
+                        Vec::new()
+                    };
+                    bcast(comm, root, &data, 10).unwrap()
+                });
+                let expected: Vec<f64> = (0..10).map(|v| v as f64 * 3.0).collect();
+                for r in results {
+                    assert_eq!(r, expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_cost_matches_formula() {
+        let p = 8;
+        let n = 80;
+        let (_, report) = run(p, move |comm| {
+            let data: Vec<f64> = if comm.rank() == 0 { vec![2.0; n] } else { Vec::new() };
+            bcast(comm, 0, &data, n).unwrap()
+        });
+        // scatter + allgather: 2 log p messages, 2 n (p-1)/p words.
+        assert_eq!(report.max_messages(), 6);
+        assert_eq!(report.max_words() as usize, 2 * n * (p - 1) / p);
+    }
+
+    #[test]
+    fn alltoall_transposes_blocks() {
+        for p in [2usize, 4, 8, 5] {
+            let (results, _) = run(p, move |comm| {
+                // Block destined to rank j carries value rank*100 + j.
+                let data: Vec<f64> = (0..p)
+                    .flat_map(|j| vec![(comm.rank() * 100 + j) as f64; 2])
+                    .collect();
+                alltoall(comm, &data, 2).unwrap()
+            });
+            for (rank, r) in results.into_iter().enumerate() {
+                for src in 0..p {
+                    assert_eq!(r[src * 2], (src * 100 + rank) as f64);
+                    assert_eq!(r[src * 2 + 1], (src * 100 + rank) as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_cost_matches_formula() {
+        let p = 8;
+        let blk = 6;
+        let (_, report) = run(p, move |comm| {
+            let data = vec![1.0; p * blk];
+            alltoall(comm, &data, blk).unwrap()
+        });
+        // Bruck: log p rounds, each sending p/2 blocks.
+        assert_eq!(report.max_messages(), 3);
+        assert_eq!(report.max_words() as usize, 3 * (p / 2) * blk);
+    }
+
+    #[test]
+    fn alltoallv_direct_and_bruck_agree() {
+        for p in [2usize, 3, 4, 8] {
+            let (results, _) = run(p, move |comm| {
+                let rank = comm.rank();
+                // Send `dest+1` copies of rank*10+dest to each dest (rank 0 sends nothing to itself).
+                let blocks: Vec<Vec<f64>> = (0..p)
+                    .map(|dest| {
+                        if rank == 0 && dest == 0 {
+                            Vec::new()
+                        } else {
+                            vec![(rank * 10 + dest) as f64; dest + 1]
+                        }
+                    })
+                    .collect();
+                let a = alltoallv_direct(comm, &blocks).unwrap();
+                let b = alltoallv_bruck(comm, &blocks).unwrap();
+                (a, b)
+            });
+            for (rank, (a, b)) in results.into_iter().enumerate() {
+                assert_eq!(a, b, "p={p} rank={rank}");
+                for src in 0..p {
+                    if rank == 0 && src == 0 {
+                        assert!(a[src].is_empty());
+                    } else {
+                        assert_eq!(a[src].len(), rank + 1);
+                        assert!(a[src].iter().all(|&v| v == (src * 10 + rank) as f64));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_bruck_latency_is_logarithmic() {
+        let p = 16;
+        let (_, report) = run(p, move |comm| {
+            let blocks: Vec<Vec<f64>> = (0..p).map(|d| vec![d as f64; 4]).collect();
+            alltoallv_bruck(comm, &blocks).unwrap()
+        });
+        assert_eq!(report.max_messages(), 4);
+
+        let (_, report_direct) = run(p, move |comm| {
+            let blocks: Vec<Vec<f64>> = (0..p).map(|d| vec![d as f64; 4]).collect();
+            alltoallv_direct(comm, &blocks).unwrap()
+        });
+        assert_eq!(report_direct.max_messages(), (p - 1) as u64);
+    }
+
+    #[test]
+    fn collectives_validate_arguments() {
+        let (results, _) = run(4, |comm| {
+            let bad_root_gather = gather(comm, 9, &[1.0]).is_err();
+            let bad_root_scatter = scatter(comm, 9, &[1.0; 4], 1).is_err();
+            let bad_rs = reduce_scatter(comm, &[1.0; 5], ReduceOp::Sum).is_err();
+            let bad_a2a = alltoall(comm, &[1.0; 5], 1).is_err();
+            let bad_a2av = alltoallv_direct(comm, &[vec![], vec![]]).is_err();
+            bad_root_gather && bad_root_scatter && bad_rs && bad_a2a && bad_a2av
+        });
+        assert!(results.into_iter().all(|v| v));
+    }
+
+    #[test]
+    fn collectives_work_on_subcommunicators() {
+        let (results, _) = run(8, |comm| {
+            // Two groups of 4 by parity of the rank.
+            let sub = comm.split_by(|r| r % 2).unwrap();
+            let local = vec![comm.rank() as f64];
+            let summed = allreduce(&sub, &local, ReduceOp::Sum);
+            summed[0]
+        });
+        // Even ranks: 0+2+4+6 = 12; odd ranks: 1+3+5+7 = 16.
+        for (rank, r) in results.into_iter().enumerate() {
+            assert_eq!(r, if rank % 2 == 0 { 12.0 } else { 16.0 });
+        }
+    }
+
+    #[test]
+    fn back_to_back_collectives_do_not_interfere() {
+        let (results, _) = run(4, |comm| {
+            let a = allgather(comm, &[comm.rank() as f64]);
+            let b = allgather(comm, &[comm.rank() as f64 * 2.0]);
+            let c = allreduce(comm, &[1.0], ReduceOp::Sum);
+            (a, b, c)
+        });
+        for (a, b, c) in results {
+            assert_eq!(a, vec![0.0, 1.0, 2.0, 3.0]);
+            assert_eq!(b, vec![0.0, 2.0, 4.0, 6.0]);
+            assert_eq!(c, vec![4.0]);
+        }
+    }
+}

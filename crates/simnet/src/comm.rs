@@ -1,0 +1,363 @@
+//! Communicators: point-to-point messaging, cost accounting and sub-groups.
+//!
+//! A [`Communicator`] is a handle to a group of simulated processors.  Each
+//! rank's SPMD closure receives the *world* communicator; sub-communicators
+//! (rows/columns/fibers of processor grids, the recursive halves of the
+//! triangular inversion, the diagonal-block groups of the iterative TRSM) are
+//! created with [`Communicator::subgroup`] / [`Communicator::split_by`]
+//! without any communication — membership must be computable from rank
+//! arithmetic alone, which is the case for every algorithm in the paper.
+//!
+//! All communicators created on one rank share that rank's *endpoint*: the
+//! incoming message queue, the virtual clock and the cost counters.
+
+use crate::cost::CostCounters;
+use crate::error::SimError;
+use crate::message::{Envelope, MatchKey};
+use crate::params::MachineParams;
+use crate::Result;
+use crossbeam::channel::{Receiver, Sender};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Context id reserved for the poison message broadcast when a rank panics.
+pub(crate) const POISON_CONTEXT: u64 = u64::MAX;
+
+/// Context id of the world communicator.
+const WORLD_CONTEXT: u64 = 1;
+
+/// Per-rank communication endpoint: everything that is shared between all
+/// communicators of one simulated processor.
+pub(crate) struct Endpoint {
+    /// This rank's index in the world communicator.
+    pub world_rank: usize,
+    /// Total number of ranks in the machine.
+    pub world_size: usize,
+    /// Channel senders to every rank (indexed by world rank).
+    pub senders: Arc<Vec<Sender<Envelope>>>,
+    /// This rank's receiving channel.
+    pub receiver: Receiver<Envelope>,
+    /// Messages that arrived but have not been matched by a `recv` yet.
+    pub pending: HashMap<MatchKey, VecDeque<(Vec<f64>, f64)>>,
+    /// α–β–γ parameters.
+    pub params: MachineParams,
+    /// Virtual clock (seconds of model time).
+    pub clock: f64,
+    /// Cost counters.
+    pub counters: CostCounters,
+}
+
+impl Endpoint {
+    fn charge_send(&mut self, words: usize) -> f64 {
+        self.counters.msgs_sent += 1;
+        self.counters.words_sent += words as u64;
+        self.clock += self.params.alpha + self.params.beta * words as f64;
+        self.counters.time = self.clock;
+        self.clock
+    }
+
+    fn charge_recv(&mut self, words: usize, avail_time: f64) {
+        self.counters.msgs_recv += 1;
+        self.counters.words_recv += words as u64;
+        if avail_time > self.clock {
+            self.clock = avail_time;
+        }
+        self.counters.time = self.clock;
+    }
+
+    fn charge_flops(&mut self, flops: u64) {
+        self.counters.flops += flops;
+        self.clock += self.params.gamma * flops as f64;
+        self.counters.time = self.clock;
+    }
+
+    /// Block until a message matching `key` is available and return it.
+    fn wait_for(&mut self, key: MatchKey) -> (Vec<f64>, f64) {
+        loop {
+            if let Some(queue) = self.pending.get_mut(&key) {
+                if let Some(msg) = queue.pop_front() {
+                    if queue.is_empty() {
+                        self.pending.remove(&key);
+                    }
+                    return msg;
+                }
+            }
+            let env = self
+                .receiver
+                .recv()
+                .expect("simnet: message channel closed unexpectedly");
+            if env.context == POISON_CONTEXT {
+                panic!(
+                    "simnet: rank {} aborted because rank {} panicked",
+                    self.world_rank, env.src
+                );
+            }
+            self.pending
+                .entry(env.key())
+                .or_default()
+                .push_back((env.data, env.avail_time));
+        }
+    }
+}
+
+/// A handle to a group of simulated processors sharing a communication
+/// context.
+///
+/// Cloning a communicator is cheap (it shares the rank endpoint); clones keep
+/// independent collective-operation counters, so use the *same* communicator
+/// value across ranks for matching collective calls.
+#[derive(Clone)]
+pub struct Communicator {
+    endpoint: Rc<RefCell<Endpoint>>,
+    /// World ranks of the members, indexed by local rank.
+    members: Arc<Vec<usize>>,
+    /// This rank's index within `members`.
+    my_index: usize,
+    /// Context id distinguishing this communicator's traffic.
+    context: u64,
+    /// Number of collective/split operations issued so far on this handle.
+    op_counter: Rc<RefCell<u64>>,
+}
+
+impl Communicator {
+    /// Create the world communicator for one rank (used by [`crate::Machine`]).
+    pub(crate) fn world(endpoint: Endpoint) -> Self {
+        let size = endpoint.world_size;
+        let rank = endpoint.world_rank;
+        Communicator {
+            endpoint: Rc::new(RefCell::new(endpoint)),
+            members: Arc::new((0..size).collect()),
+            my_index: rank,
+            context: WORLD_CONTEXT,
+            op_counter: Rc::new(RefCell::new(0)),
+        }
+    }
+
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> usize {
+        self.my_index
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This rank's index in the world communicator.
+    pub fn world_rank(&self) -> usize {
+        self.endpoint.borrow().world_rank
+    }
+
+    /// The world rank of local rank `r` in this communicator.
+    pub fn world_rank_of(&self, r: usize) -> usize {
+        self.members[r]
+    }
+
+    /// The machine parameters in effect.
+    pub fn params(&self) -> MachineParams {
+        self.endpoint.borrow().params
+    }
+
+    /// Current virtual clock of this rank.
+    pub fn clock(&self) -> f64 {
+        self.endpoint.borrow().clock
+    }
+
+    /// Snapshot of this rank's cost counters.
+    pub fn counters(&self) -> CostCounters {
+        self.endpoint.borrow().counters
+    }
+
+    /// Charge `flops` floating-point operations to this rank.
+    pub fn charge_flops(&self, flops: u64) {
+        self.endpoint.borrow_mut().charge_flops(flops);
+    }
+
+    /// Send `data` to local rank `dest` with a user tag.
+    ///
+    /// The sender is charged `α + β·len(data)`; the message carries the
+    /// sender's clock so the receiver's clock catches up on receipt.
+    pub fn send(&self, dest: usize, tag: u64, data: &[f64]) -> Result<()> {
+        if dest >= self.size() {
+            return Err(SimError::InvalidRank {
+                rank: dest,
+                size: self.size(),
+            });
+        }
+        self.send_raw(dest, user_tag(tag), data);
+        Ok(())
+    }
+
+    /// Receive a message with a user tag from local rank `src` (blocking).
+    pub fn recv(&self, src: usize, tag: u64) -> Result<Vec<f64>> {
+        if src >= self.size() {
+            return Err(SimError::InvalidRank {
+                rank: src,
+                size: self.size(),
+            });
+        }
+        Ok(self.recv_raw(src, user_tag(tag)))
+    }
+
+    /// Combined exchange with a partner: send `data` to `partner` and receive
+    /// that partner's message with the same tag.
+    pub fn sendrecv(&self, partner: usize, tag: u64, data: &[f64]) -> Result<Vec<f64>> {
+        self.send(partner, tag, data)?;
+        self.recv(partner, tag)
+    }
+
+    /// Internal send used by the collectives (separate tag namespace).
+    pub(crate) fn send_raw(&self, dest: usize, tag: u64, data: &[f64]) {
+        let world_dest = self.members[dest];
+        let mut ep = self.endpoint.borrow_mut();
+        let avail_time = ep.charge_send(data.len());
+        let env = Envelope {
+            src: ep.world_rank,
+            context: self.context,
+            tag,
+            data: data.to_vec(),
+            avail_time,
+        };
+        // The channel is unbounded; sending never blocks.  The receiver may
+        // already have exited if it panicked, in which case we ignore the
+        // failure (the poison mechanism will unwind everything).
+        let _ = ep.senders[world_dest].send(env);
+    }
+
+    /// Internal receive used by the collectives.
+    pub(crate) fn recv_raw(&self, src: usize, tag: u64) -> Vec<f64> {
+        let world_src = self.members[src];
+        let key = MatchKey {
+            src: world_src,
+            context: self.context,
+            tag,
+        };
+        let mut ep = self.endpoint.borrow_mut();
+        let (data, avail) = ep.wait_for(key);
+        ep.charge_recv(data.len(), avail);
+        data
+    }
+
+    /// Allocate a fresh base tag for a collective operation on this
+    /// communicator.  Each collective call gets a disjoint tag range so that
+    /// back-to-back collectives cannot confuse each other's messages.
+    pub(crate) fn next_op_tag(&self) -> u64 {
+        let mut c = self.op_counter.borrow_mut();
+        *c += 1;
+        *c * COLLECTIVE_TAG_STRIDE
+    }
+
+    /// Create a sub-communicator from an explicit member list (local ranks of
+    /// this communicator, identical on every caller).  Returns
+    /// `Err(SimError::NotInGroup)` if this rank is not in the list.
+    ///
+    /// No communication is performed and no cost is charged; membership must
+    /// be derivable from rank arithmetic (true for all grids in the paper).
+    pub fn subgroup(&self, members: &[usize]) -> Result<Communicator> {
+        let op = self.next_op_tag();
+        let my_index = match members.iter().position(|&m| m == self.my_index) {
+            Some(i) => i,
+            None => return Err(SimError::NotInGroup),
+        };
+        let world_members: Vec<usize> = members.iter().map(|&m| self.members[m]).collect();
+        let context = derive_context(self.context, op, &world_members);
+        Ok(Communicator {
+            endpoint: Rc::clone(&self.endpoint),
+            members: Arc::new(world_members),
+            my_index,
+            context,
+            op_counter: Rc::new(RefCell::new(0)),
+        })
+    }
+
+    /// Split the communicator by a color function evaluated on every local
+    /// rank (the function must be identical on every caller).  Returns the
+    /// sub-communicator containing this rank; local ranks keep their relative
+    /// order.
+    pub fn split_by<F: Fn(usize) -> usize>(&self, color_of: F) -> Result<Communicator> {
+        let my_color = color_of(self.my_index);
+        let members: Vec<usize> = (0..self.size()).filter(|&r| color_of(r) == my_color).collect();
+        // Keep op counters aligned across siblings: subgroup() bumps it once.
+        self.subgroup(&members)
+    }
+
+    /// Duplicate the communicator with a fresh context (useful to isolate the
+    /// traffic of concurrent algorithm phases).
+    pub fn duplicate(&self) -> Communicator {
+        let op = self.next_op_tag();
+        let context = derive_context(self.context, op, &self.members);
+        Communicator {
+            endpoint: Rc::clone(&self.endpoint),
+            members: Arc::clone(&self.members),
+            my_index: self.my_index,
+            context,
+            op_counter: Rc::new(RefCell::new(0)),
+        }
+    }
+
+    /// Translate a world rank into a local rank of this communicator, if the
+    /// rank is a member.
+    pub fn local_rank_of_world(&self, world_rank: usize) -> Option<usize> {
+        self.members.iter().position(|&m| m == world_rank)
+    }
+}
+
+/// Tag-space layout: user tags live in the upper half of the tag space so
+/// they can never collide with collective-internal tags.
+const USER_TAG_BASE: u64 = 1 << 63;
+/// Each collective call owns a contiguous block of this many tags.
+const COLLECTIVE_TAG_STRIDE: u64 = 1 << 20;
+
+fn user_tag(tag: u64) -> u64 {
+    USER_TAG_BASE | tag
+}
+
+/// Deterministically derive a child context id from the parent context, the
+/// split operation index and the member list.  All members compute the same
+/// value; different member sets get different contexts with overwhelming
+/// probability (64-bit FNV-1a).
+fn derive_context(parent: u64, op: u64, world_members: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    mix(parent);
+    mix(op);
+    mix(world_members.len() as u64);
+    for &m in world_members {
+        mix(m as u64);
+    }
+    // Avoid colliding with the reserved world/poison contexts.
+    if h == POISON_CONTEXT || h == WORLD_CONTEXT {
+        h ^= 0x5555_5555_5555_5555;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_context_is_deterministic_and_distinguishes_groups() {
+        let a = derive_context(1, 7, &[0, 1, 2, 3]);
+        let b = derive_context(1, 7, &[0, 1, 2, 3]);
+        let c = derive_context(1, 7, &[4, 5, 6, 7]);
+        let d = derive_context(1, 8, &[0, 1, 2, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_ne!(a, POISON_CONTEXT);
+    }
+
+    #[test]
+    fn user_tags_do_not_collide_with_collective_tags() {
+        assert!(user_tag(0) > 100 * COLLECTIVE_TAG_STRIDE);
+        assert_eq!(user_tag(5) & !USER_TAG_BASE, 5);
+    }
+}

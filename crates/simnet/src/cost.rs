@@ -1,0 +1,237 @@
+//! Per-rank cost counters and machine-wide cost reports.
+
+use crate::params::MachineParams;
+use std::fmt;
+
+/// Raw communication / computation counters accumulated by one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostCounters {
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages received.
+    pub msgs_recv: u64,
+    /// Words (f64 values) sent.
+    pub words_sent: u64,
+    /// Words (f64 values) received.
+    pub words_recv: u64,
+    /// Floating-point operations charged.
+    pub flops: u64,
+    /// Final value of the rank's virtual clock (seconds in model time).
+    pub time: f64,
+}
+
+impl CostCounters {
+    /// Latency count `S` for this rank: the larger of messages sent and
+    /// received (they overlap in the full-duplex model the paper assumes).
+    pub fn latency(&self) -> u64 {
+        self.msgs_sent.max(self.msgs_recv)
+    }
+
+    /// Bandwidth count `W` for this rank: the larger of words sent and
+    /// received.
+    pub fn bandwidth(&self) -> u64 {
+        self.words_sent.max(self.words_recv)
+    }
+
+    /// Element-wise sum of two counter sets (virtual time takes the max,
+    /// since times on different ranks do not add).
+    pub fn merge(&self, other: &CostCounters) -> CostCounters {
+        CostCounters {
+            msgs_sent: self.msgs_sent + other.msgs_sent,
+            msgs_recv: self.msgs_recv + other.msgs_recv,
+            words_sent: self.words_sent + other.words_sent,
+            words_recv: self.words_recv + other.words_recv,
+            flops: self.flops + other.flops,
+            time: self.time.max(other.time),
+        }
+    }
+
+    /// Difference of two counter snapshots taken on the *same* rank
+    /// (`self` must be the later snapshot).  Used to attribute costs to a
+    /// phase of an algorithm.
+    pub fn since(&self, earlier: &CostCounters) -> CostCounters {
+        CostCounters {
+            msgs_sent: self.msgs_sent - earlier.msgs_sent,
+            msgs_recv: self.msgs_recv - earlier.msgs_recv,
+            words_sent: self.words_sent - earlier.words_sent,
+            words_recv: self.words_recv - earlier.words_recv,
+            flops: self.flops - earlier.flops,
+            time: self.time - earlier.time,
+        }
+    }
+}
+
+/// Aggregated cost report for a whole machine run.
+///
+/// The paper's quantities are the *critical-path* values: the maximum over
+/// ranks of S, W and F, and the virtual execution time
+/// `T = α·S + β·W + γ·F` accumulated along the slowest dependency chain.
+#[derive(Debug, Clone)]
+pub struct CostReport {
+    /// Counters of every rank, indexed by rank.
+    pub per_rank: Vec<CostCounters>,
+    /// Machine parameters the run used.
+    pub params: MachineParams,
+}
+
+impl CostReport {
+    /// Create a report from per-rank counters.
+    pub fn new(per_rank: Vec<CostCounters>, params: MachineParams) -> Self {
+        CostReport { per_rank, params }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.per_rank.len()
+    }
+
+    /// Critical-path latency count `S` (max over ranks).
+    pub fn max_messages(&self) -> u64 {
+        self.per_rank.iter().map(|c| c.latency()).max().unwrap_or(0)
+    }
+
+    /// Critical-path bandwidth count `W` (max over ranks).
+    pub fn max_words(&self) -> u64 {
+        self.per_rank.iter().map(|c| c.bandwidth()).max().unwrap_or(0)
+    }
+
+    /// Critical-path flop count `F` (max over ranks).
+    pub fn max_flops(&self) -> u64 {
+        self.per_rank.iter().map(|c| c.flops).max().unwrap_or(0)
+    }
+
+    /// Virtual execution time: the maximum final clock over all ranks.
+    pub fn virtual_time(&self) -> f64 {
+        self.per_rank.iter().map(|c| c.time).fold(0.0, f64::max)
+    }
+
+    /// Total words sent by all ranks (communication volume).
+    pub fn total_words(&self) -> u64 {
+        self.per_rank.iter().map(|c| c.words_sent).sum()
+    }
+
+    /// Total messages sent by all ranks.
+    pub fn total_messages(&self) -> u64 {
+        self.per_rank.iter().map(|c| c.msgs_sent).sum()
+    }
+
+    /// Total flops over all ranks.
+    pub fn total_flops(&self) -> u64 {
+        self.per_rank.iter().map(|c| c.flops).sum()
+    }
+
+    /// The model time implied by the critical-path counters,
+    /// `α·max S + β·max W + γ·max F`.  This is an upper bound proxy; the
+    /// measured [`CostReport::virtual_time`] tracks the actual dependency
+    /// chain and is never larger than `p` times this value.
+    pub fn counter_time(&self) -> f64 {
+        self.params
+            .time(self.max_messages(), self.max_words(), self.max_flops())
+    }
+
+    /// One-line summary used by the experiment binaries.
+    pub fn summary(&self) -> String {
+        format!(
+            "p={:4}  S={:10}  W={:12}  F={:14}  T={:.6e}",
+            self.num_ranks(),
+            self.max_messages(),
+            self.max_words(),
+            self.max_flops(),
+            self.virtual_time()
+        )
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CostReport over {} ranks", self.num_ranks())?;
+        writeln!(
+            f,
+            "  critical path: S = {} messages, W = {} words, F = {} flops",
+            self.max_messages(),
+            self.max_words(),
+            self.max_flops()
+        )?;
+        writeln!(f, "  virtual time:  {:.6e} s (model)", self.virtual_time())?;
+        writeln!(
+            f,
+            "  totals:        {} messages, {} words, {} flops",
+            self.total_messages(),
+            self.total_words(),
+            self.total_flops()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: u64, r: u64, ws: u64, wr: u64, f: u64, t: f64) -> CostCounters {
+        CostCounters {
+            msgs_sent: s,
+            msgs_recv: r,
+            words_sent: ws,
+            words_recv: wr,
+            flops: f,
+            time: t,
+        }
+    }
+
+    #[test]
+    fn latency_and_bandwidth_take_max_direction() {
+        let x = c(3, 5, 10, 2, 0, 0.0);
+        assert_eq!(x.latency(), 5);
+        assert_eq!(x.bandwidth(), 10);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_maxes_time() {
+        let a = c(1, 1, 10, 10, 100, 2.0);
+        let b = c(2, 2, 20, 20, 200, 5.0);
+        let m = a.merge(&b);
+        assert_eq!(m.msgs_sent, 3);
+        assert_eq!(m.words_recv, 30);
+        assert_eq!(m.flops, 300);
+        assert_eq!(m.time, 5.0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let before = c(1, 1, 10, 10, 100, 2.0);
+        let after = c(3, 4, 30, 15, 150, 6.0);
+        let d = after.since(&before);
+        assert_eq!(d.msgs_sent, 2);
+        assert_eq!(d.msgs_recv, 3);
+        assert_eq!(d.words_sent, 20);
+        assert_eq!(d.words_recv, 5);
+        assert_eq!(d.flops, 50);
+        assert_eq!(d.time, 4.0);
+    }
+
+    #[test]
+    fn report_maxima_and_totals() {
+        let report = CostReport::new(
+            vec![c(1, 2, 10, 20, 5, 1.0), c(4, 3, 40, 30, 50, 3.0)],
+            MachineParams::unit(),
+        );
+        assert_eq!(report.num_ranks(), 2);
+        assert_eq!(report.max_messages(), 4);
+        assert_eq!(report.max_words(), 40);
+        assert_eq!(report.max_flops(), 50);
+        assert_eq!(report.virtual_time(), 3.0);
+        assert_eq!(report.total_messages(), 5);
+        assert_eq!(report.total_words(), 50);
+        assert_eq!(report.total_flops(), 55);
+        assert_eq!(report.counter_time(), (4 + 40 + 50) as f64);
+        assert!(report.to_string().contains("2 ranks"));
+        assert!(report.summary().contains("p="));
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let report = CostReport::new(vec![], MachineParams::unit());
+        assert_eq!(report.max_messages(), 0);
+        assert_eq!(report.virtual_time(), 0.0);
+    }
+}

@@ -1,0 +1,341 @@
+//! The simulated machine: spawns ranks, runs the SPMD program, collects costs.
+
+use crate::comm::{Communicator, Endpoint, POISON_CONTEXT};
+use crate::cost::{CostCounters, CostReport};
+use crate::error::SimError;
+use crate::message::Envelope;
+use crate::params::MachineParams;
+use crate::Result;
+use crossbeam::channel::unbounded;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// A simulated machine with `p` processors and α–β–γ parameters.
+///
+/// [`Machine::run`] executes one SPMD closure on every processor (each on its
+/// own OS thread), moving real data between them, and returns both the
+/// per-rank results and the aggregated [`CostReport`].
+#[derive(Debug, Clone)]
+pub struct Machine {
+    procs: usize,
+    params: MachineParams,
+}
+
+/// The outcome of a machine run: one result per rank plus the cost report.
+#[derive(Debug, Clone)]
+pub struct RunOutput<T> {
+    /// Value returned by each rank's closure, indexed by world rank.
+    pub results: Vec<T>,
+    /// Aggregated communication/computation costs.
+    pub report: CostReport,
+}
+
+impl Machine {
+    /// Create a machine with `procs` processors.
+    pub fn new(procs: usize, params: MachineParams) -> Self {
+        Machine { procs, params }
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// The machine parameters.
+    pub fn params(&self) -> MachineParams {
+        self.params
+    }
+
+    /// Run an SPMD closure on every processor and collect results and costs.
+    ///
+    /// The closure receives this rank's world [`Communicator`].  If any rank
+    /// panics, the run is aborted (a poison message wakes up ranks blocked in
+    /// `recv`) and an [`SimError::RankPanicked`] is returned.
+    pub fn run<T, F>(&self, f: F) -> Result<RunOutput<T>>
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Send + Sync,
+    {
+        if self.procs == 0 {
+            return Err(SimError::EmptyMachine);
+        }
+        let p = self.procs;
+        let params = self.params;
+
+        // Build the all-to-all channel fabric.
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded::<Envelope>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+
+        let f = &f;
+        let mut rank_outputs: Vec<Option<(T, CostCounters)>> = Vec::with_capacity(p);
+        for _ in 0..p {
+            rank_outputs.push(None);
+        }
+
+        let mut panicked: Vec<usize> = Vec::new();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, receiver) in receivers.into_iter().enumerate() {
+                let senders = Arc::clone(&senders);
+                let handle = scope.spawn(move || {
+                    let endpoint = Endpoint {
+                        world_rank: rank,
+                        world_size: p,
+                        senders: Arc::clone(&senders),
+                        receiver,
+                        pending: Default::default(),
+                        params,
+                        clock: 0.0,
+                        counters: CostCounters::default(),
+                    };
+                    let comm = Communicator::world(endpoint);
+                    let result = catch_unwind(AssertUnwindSafe(|| f(&comm)));
+                    match result {
+                        Ok(value) => {
+                            let counters = comm.counters();
+                            Ok((value, counters))
+                        }
+                        Err(_) => {
+                            // Wake up every other rank that might be blocked
+                            // waiting for a message from us (or anyone).
+                            for (dest, tx) in senders.iter().enumerate() {
+                                if dest != rank {
+                                    let _ = tx.send(Envelope {
+                                        src: rank,
+                                        context: POISON_CONTEXT,
+                                        tag: 0,
+                                        data: Vec::new(),
+                                        avail_time: 0.0,
+                                    });
+                                }
+                            }
+                            Err(rank)
+                        }
+                    }
+                });
+                handles.push(handle);
+            }
+            for (rank, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(Ok(output)) => rank_outputs[rank] = Some(output),
+                    Ok(Err(panicked_rank)) => panicked.push(panicked_rank),
+                    Err(_) => panicked.push(rank),
+                }
+            }
+        });
+
+        if let Some(&rank) = panicked.first() {
+            return Err(SimError::RankPanicked { rank });
+        }
+
+        let mut results = Vec::with_capacity(p);
+        let mut counters = Vec::with_capacity(p);
+        for output in rank_outputs {
+            let (value, c) = output.expect("all ranks completed");
+            results.push(value);
+            counters.push(c);
+        }
+        Ok(RunOutput {
+            results,
+            report: CostReport::new(counters, params),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_machine_is_rejected() {
+        let m = Machine::new(0, MachineParams::unit());
+        assert!(matches!(m.run(|_| ()), Err(SimError::EmptyMachine)));
+    }
+
+    #[test]
+    fn single_rank_runs_without_communication() {
+        let m = Machine::new(1, MachineParams::unit());
+        let out = m.run(|comm| comm.rank() * 10).unwrap();
+        assert_eq!(out.results, vec![0]);
+        assert_eq!(out.report.max_messages(), 0);
+        assert_eq!(out.report.max_words(), 0);
+    }
+
+    #[test]
+    fn ring_pass_moves_data_and_charges_costs() {
+        let p = 8;
+        let m = Machine::new(p, MachineParams::unit());
+        let out = m
+            .run(|comm| {
+                let rank = comm.rank();
+                let next = (rank + 1) % comm.size();
+                let prev = (rank + comm.size() - 1) % comm.size();
+                comm.send(next, 0, &[rank as f64; 4]).unwrap();
+                let got = comm.recv(prev, 0).unwrap();
+                got[0] as usize
+            })
+            .unwrap();
+        for rank in 0..p {
+            assert_eq!(out.results[rank], (rank + p - 1) % p);
+        }
+        // Each rank sent exactly one 4-word message and received one.
+        for c in &out.report.per_rank {
+            assert_eq!(c.msgs_sent, 1);
+            assert_eq!(c.msgs_recv, 1);
+            assert_eq!(c.words_sent, 4);
+            assert_eq!(c.words_recv, 4);
+        }
+        assert_eq!(out.report.max_messages(), 1);
+        assert_eq!(out.report.max_words(), 4);
+        // Unit params: one message of 4 words costs 1 + 4 = 5 time units on
+        // the sender; the matching receive happens concurrently.
+        assert!((out.report.virtual_time() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flops_are_charged_to_clock() {
+        let m = Machine::new(2, MachineParams::new(0.0, 0.0, 2.0));
+        let out = m
+            .run(|comm| {
+                comm.charge_flops(10);
+                comm.clock()
+            })
+            .unwrap();
+        assert_eq!(out.results, vec![20.0, 20.0]);
+        assert_eq!(out.report.max_flops(), 10);
+    }
+
+    #[test]
+    fn clock_propagates_through_messages() {
+        // Rank 0 does a lot of local work, then sends to rank 1; rank 1's
+        // clock must catch up to rank 0's send time.
+        let m = Machine::new(2, MachineParams::unit());
+        let out = m
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.charge_flops(100);
+                    comm.send(1, 0, &[1.0]).unwrap();
+                } else {
+                    let _ = comm.recv(0, 0).unwrap();
+                }
+                comm.clock()
+            })
+            .unwrap();
+        // Sender: 100 flops + (α + β·1) = 102.  Receiver clock catches up to 102.
+        assert!((out.results[0] - 102.0).abs() < 1e-12);
+        assert!((out.results[1] - 102.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn panic_in_one_rank_is_reported_not_hung() {
+        let m = Machine::new(4, MachineParams::unit());
+        let res: Result<RunOutput<()>> = m.run(|comm| {
+            if comm.rank() == 2 {
+                panic!("boom");
+            }
+            // Other ranks block waiting for rank 2 and must be woken by the
+            // poison message instead of hanging forever.
+            let _ = comm.recv(2, 0);
+        });
+        assert!(matches!(res, Err(SimError::RankPanicked { .. })));
+    }
+
+    #[test]
+    fn sendrecv_exchanges_symmetrically() {
+        let m = Machine::new(2, MachineParams::unit());
+        let out = m
+            .run(|comm| {
+                let partner = 1 - comm.rank();
+                let data = vec![comm.rank() as f64 + 10.0; 3];
+                let got = comm.sendrecv(partner, 7, &data).unwrap();
+                got[0]
+            })
+            .unwrap();
+        assert_eq!(out.results, vec![11.0, 10.0]);
+    }
+
+    #[test]
+    fn out_of_range_ranks_are_rejected() {
+        let m = Machine::new(2, MachineParams::unit());
+        let out = m
+            .run(|comm| {
+                let send_err = comm.send(5, 0, &[1.0]).is_err();
+                let recv_err = comm.recv(9, 0).is_err();
+                send_err && recv_err
+            })
+            .unwrap();
+        assert_eq!(out.results, vec![true, true]);
+    }
+
+    #[test]
+    fn tags_keep_messages_apart() {
+        let m = Machine::new(2, MachineParams::unit());
+        let out = m
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 1, &[1.0]).unwrap();
+                    comm.send(1, 2, &[2.0]).unwrap();
+                    0.0
+                } else {
+                    // Receive in the opposite order of sending.
+                    let two = comm.recv(0, 2).unwrap();
+                    let one = comm.recv(0, 1).unwrap();
+                    two[0] * 10.0 + one[0]
+                }
+            })
+            .unwrap();
+        assert_eq!(out.results[1], 21.0);
+    }
+
+    #[test]
+    fn subgroups_communicate_independently() {
+        let m = Machine::new(4, MachineParams::unit());
+        let out = m
+            .run(|comm| {
+                // Two pairs: {0,1} and {2,3}; each pair exchanges its ranks.
+                let sub = comm.split_by(|r| r / 2).unwrap();
+                assert_eq!(sub.size(), 2);
+                let partner = 1 - sub.rank();
+                let got = sub.sendrecv(partner, 0, &[comm.rank() as f64]).unwrap();
+                got[0] as usize
+            })
+            .unwrap();
+        assert_eq!(out.results, vec![1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn subgroup_membership_errors() {
+        let m = Machine::new(3, MachineParams::unit());
+        let out = m
+            .run(|comm| comm.subgroup(&[0, 1]).is_err())
+            .unwrap();
+        assert_eq!(out.results, vec![false, false, true]);
+    }
+
+    #[test]
+    fn world_rank_mapping_in_subgroup() {
+        let m = Machine::new(4, MachineParams::unit());
+        let out = m
+            .run(|comm| {
+                let sub = comm.subgroup(&[1, 3]);
+                match sub {
+                    Ok(s) => {
+                        assert_eq!(s.world_rank_of(0), 1);
+                        assert_eq!(s.world_rank_of(1), 3);
+                        assert_eq!(s.local_rank_of_world(3), Some(1));
+                        s.rank() as i64
+                    }
+                    Err(_) => -1,
+                }
+            })
+            .unwrap();
+        assert_eq!(out.results, vec![-1, 0, -1, 1]);
+    }
+}

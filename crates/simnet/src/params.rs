@@ -1,0 +1,120 @@
+//! The α–β–γ machine parameters.
+
+/// Machine parameters of the α–β–γ execution-time model (Section II-A of the
+/// paper): per-message latency `alpha`, per-word inverse bandwidth `beta` and
+/// per-flop time `gamma`.
+///
+/// The absolute values only matter for the virtual execution time
+/// `T = α·S + β·W + γ·F`; the S/W/F counters themselves are independent of
+/// them.  Presets are provided for a "unit" machine (α = β = γ = 1, useful in
+/// tests), a commodity cluster and a supercomputer-like machine where the
+/// α/β/γ ratios are large — the regime in which communication avoidance pays
+/// off and which the paper targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineParams {
+    /// Latency charged per message (seconds per message).
+    pub alpha: f64,
+    /// Inverse bandwidth charged per word (seconds per 8-byte word).
+    pub beta: f64,
+    /// Time charged per floating-point operation (seconds per flop).
+    pub gamma: f64,
+}
+
+impl MachineParams {
+    /// All three constants equal to one; time then equals `S + W + F`.
+    pub fn unit() -> Self {
+        MachineParams {
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 1.0,
+        }
+    }
+
+    /// A commodity-cluster-like machine: ~1 µs latency, ~1 GB/s per-word
+    /// bandwidth for 8-byte words, ~10 Gflop/s per processor.
+    pub fn cluster() -> Self {
+        MachineParams {
+            alpha: 1.0e-6,
+            beta: 8.0e-9,
+            gamma: 1.0e-10,
+        }
+    }
+
+    /// A supercomputer-like machine (higher bandwidth and flop rate, similar
+    /// latency): the α ≫ β ≫ γ regime in which latency avoidance matters most.
+    pub fn supercomputer() -> Self {
+        MachineParams {
+            alpha: 2.0e-6,
+            beta: 8.0e-10,
+            gamma: 2.0e-11,
+        }
+    }
+
+    /// A machine where only latency is charged (β = γ = 0): isolates the
+    /// synchronization cost `S` in measured virtual time.
+    pub fn latency_only() -> Self {
+        MachineParams {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+        }
+    }
+
+    /// A machine where only bandwidth is charged (α = γ = 0).
+    pub fn bandwidth_only() -> Self {
+        MachineParams {
+            alpha: 0.0,
+            beta: 1.0,
+            gamma: 0.0,
+        }
+    }
+
+    /// Custom parameters.
+    pub fn new(alpha: f64, beta: f64, gamma: f64) -> Self {
+        MachineParams { alpha, beta, gamma }
+    }
+
+    /// Execution time of `(s, w, f)` counts under these parameters.
+    pub fn time(&self, s: u64, w: u64, f: u64) -> f64 {
+        self.alpha * s as f64 + self.beta * w as f64 + self.gamma * f as f64
+    }
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        MachineParams::cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        let c = MachineParams::cluster();
+        let s = MachineParams::supercomputer();
+        assert!(c.alpha > c.beta && c.beta > c.gamma);
+        assert!(s.alpha > s.beta && s.beta > s.gamma);
+        assert!(s.beta < c.beta);
+    }
+
+    #[test]
+    fn unit_time_is_sum() {
+        let u = MachineParams::unit();
+        assert_eq!(u.time(1, 2, 3), 6.0);
+    }
+
+    #[test]
+    fn latency_only_ignores_words_and_flops() {
+        let l = MachineParams::latency_only();
+        assert_eq!(l.time(5, 1000, 1000), 5.0);
+        let b = MachineParams::bandwidth_only();
+        assert_eq!(b.time(5, 1000, 1000), 1000.0);
+    }
+
+    #[test]
+    fn default_is_cluster() {
+        assert_eq!(MachineParams::default(), MachineParams::cluster());
+    }
+}

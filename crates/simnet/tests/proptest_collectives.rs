@@ -1,0 +1,125 @@
+//! Property-based tests of the collective library: for arbitrary processor
+//! counts and payload sizes the collectives must deliver the mathematically
+//! correct result and charge costs consistent with the α–β–γ schedules.
+
+use proptest::prelude::*;
+use simnet::{coll, Machine, MachineParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Allgather returns every rank's contribution in rank order, for any
+    /// processor count (including non-powers of two) and block size.
+    #[test]
+    fn allgather_is_correct(p in 1usize..10, blk in 1usize..40) {
+        let out = Machine::new(p, MachineParams::unit())
+            .run(move |comm| {
+                let mine: Vec<f64> = (0..blk).map(|w| (comm.rank() * 100 + w) as f64).collect();
+                coll::allgather(comm, &mine)
+            })
+            .unwrap();
+        for result in out.results {
+            prop_assert_eq!(result.len(), p * blk);
+            for r in 0..p {
+                for w in 0..blk {
+                    prop_assert_eq!(result[r * blk + w], (r * 100 + w) as f64);
+                }
+            }
+        }
+    }
+
+    /// Reduce-scatter + allgather equals allreduce equals the element-wise sum.
+    #[test]
+    fn reduction_collectives_agree(p in 1usize..9, blk in 1usize..16) {
+        let out = Machine::new(p, MachineParams::unit())
+            .run(move |comm| {
+                let len = blk * comm.size();
+                let mine: Vec<f64> = (0..len).map(|w| (comm.rank() + w) as f64).collect();
+                let via_allreduce = coll::allreduce(comm, &mine, coll::ReduceOp::Sum);
+                let scattered = coll::reduce_scatter(comm, &mine, coll::ReduceOp::Sum).unwrap();
+                let via_pieces = coll::allgather(comm, &scattered);
+                via_allreduce == via_pieces
+            })
+            .unwrap();
+        prop_assert!(out.results.into_iter().all(|v| v));
+    }
+
+    /// Broadcast delivers the root's data to everyone, for any root.
+    #[test]
+    fn bcast_from_any_root(p in 1usize..10, len in 1usize..50, root_sel in 0usize..10) {
+        let root = root_sel % p;
+        let out = Machine::new(p, MachineParams::unit())
+            .run(move |comm| {
+                let data: Vec<f64> = if comm.rank() == root {
+                    (0..len).map(|w| (w * 3 + 1) as f64).collect()
+                } else {
+                    Vec::new()
+                };
+                coll::bcast(comm, root, &data, len).unwrap()
+            })
+            .unwrap();
+        let expect: Vec<f64> = (0..len).map(|w| (w * 3 + 1) as f64).collect();
+        for r in out.results {
+            prop_assert_eq!(r, expect.clone());
+        }
+    }
+
+    /// Gather followed by scatter from the same root is the identity.
+    #[test]
+    fn gather_scatter_round_trip(p in 1usize..9, blk in 1usize..20, root_sel in 0usize..9) {
+        let root = root_sel % p;
+        let out = Machine::new(p, MachineParams::unit())
+            .run(move |comm| {
+                let mine: Vec<f64> = (0..blk).map(|w| (comm.rank() * 7 + w) as f64).collect();
+                let gathered = coll::gather(comm, root, &mine).unwrap();
+                let buffer = gathered.unwrap_or_default();
+                let back = coll::scatter(comm, root, &buffer, blk).unwrap();
+                back == mine
+            })
+            .unwrap();
+        prop_assert!(out.results.into_iter().all(|v| v));
+    }
+
+    /// All-to-all is an involution when applied twice with transposed blocks.
+    #[test]
+    fn alltoall_twice_restores(p in 1usize..9, blk in 1usize..8) {
+        let out = Machine::new(p, MachineParams::unit())
+            .run(move |comm| {
+                let p = comm.size();
+                let data: Vec<f64> = (0..p * blk)
+                    .map(|w| (comm.rank() * 1000 + w) as f64)
+                    .collect();
+                let once = coll::alltoall(comm, &data, blk).unwrap();
+                let twice = coll::alltoall(comm, &once, blk).unwrap();
+                twice == data
+            })
+            .unwrap();
+        prop_assert!(out.results.into_iter().all(|v| v));
+    }
+
+    /// Latency of the power-of-two collectives is exactly log2(p) rounds and
+    /// the bandwidth of allgather is exactly blk·(p−1).
+    #[test]
+    fn allgather_cost_formula(p_exp in 1u32..5, blk in 1usize..64) {
+        let p = 1usize << p_exp;
+        let out = Machine::new(p, MachineParams::unit())
+            .run(move |comm| {
+                coll::allgather(comm, &vec![1.0; blk]);
+            })
+            .unwrap();
+        prop_assert_eq!(out.report.max_messages(), p_exp as u64);
+        prop_assert_eq!(out.report.max_words(), (blk * (p - 1)) as u64);
+    }
+
+    /// The barrier never moves payload words and always completes.
+    #[test]
+    fn barrier_costs_only_latency(p in 1usize..12) {
+        let out = Machine::new(p, MachineParams::unit())
+            .run(|comm| coll::barrier(comm))
+            .unwrap();
+        prop_assert_eq!(out.report.max_words(), 0);
+        if p > 1 {
+            prop_assert!(out.report.max_messages() >= (p as f64).log2().ceil() as u64);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! A small strong-scaling study on the simulated machine: fix the problem
+//! and grow the processor count, comparing the measured critical-path costs
+//! of the recursive baseline and the iterative inversion-based algorithm,
+//! and extending the curve with the analytic model beyond what is practical
+//! to simulate.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use catrsm::planner;
+use catrsm_suite::prelude::*;
+
+fn measure(n: usize, k: usize, grid_dim: usize, algorithm: Algorithm) -> (u64, u64, f64) {
+    let out = Machine::new(grid_dim * grid_dim, MachineParams::cluster())
+        .run(move |comm| {
+            let grid = Grid2D::new(comm, grid_dim, grid_dim).expect("grid");
+            let l_global = gen::well_conditioned_lower(n, 1);
+            let x_true = gen::rhs(n, k, 2);
+            let b_global = dense::matmul(&l_global, &x_true);
+            let l = DistMatrix::from_global(&grid, &l_global);
+            let b = DistMatrix::from_global(&grid, &b_global);
+            let x = solve_lower(&l, &b, algorithm).expect("solve");
+            let x_ref = DistMatrix::from_global(&grid, &x_true);
+            assert!(x.rel_diff(&x_ref).expect("conformal") < 1e-8);
+        })
+        .expect("machine run");
+    (
+        out.report.max_messages(),
+        out.report.max_words(),
+        out.report.virtual_time(),
+    )
+}
+
+fn main() {
+    let n = 256;
+    let k = 64;
+    println!("strong scaling on the simulated machine: n = {n}, k = {k}");
+    println!(
+        "{:>5} | {:>28} | {:>28} | S ratio",
+        "p", "recursive (S, W, T)", "inversion-based (S, W, T)"
+    );
+    for grid_dim in [1usize, 2, 4] {
+        let p = grid_dim * grid_dim;
+        let plan = planner::plan(n, k, p);
+        let rec = measure(n, k, grid_dim, Algorithm::Recursive { base_size: 32 });
+        let new = measure(n, k, grid_dim, Algorithm::IterativeInversion(plan.it_inv));
+        println!(
+            "{:>5} | S={:>6} W={:>9} T={:>8.2e} | S={:>6} W={:>9} T={:>8.2e} | {:>5.2}x",
+            p,
+            rec.0,
+            rec.1,
+            rec.2,
+            new.0,
+            new.1,
+            new.2,
+            rec.0 as f64 / new.0.max(1) as f64
+        );
+    }
+
+    println!("\nanalytic model beyond simulation scale (same n/k ratio, larger n and p):");
+    println!("{:>9} {:>11} {:>11} | {:>13} {:>13} | ratio", "p", "n", "k", "S standard", "S new");
+    for (p, n, k) in [
+        (256usize, 1usize << 14, 1usize << 12),
+        (4096, 1 << 16, 1 << 14),
+        (65536, 1 << 18, 1 << 16),
+        (1 << 20, 1 << 20, 1 << 18),
+    ] {
+        let row = costmodel::compare::conclusion_row(n as f64, k as f64, p as f64);
+        println!(
+            "{:>9} {:>11} {:>11} | {:>13.3e} {:>13.3e} | {:>7.1}x",
+            p,
+            n,
+            k,
+            row.standard.latency,
+            row.new.latency,
+            row.standard.latency / row.new.latency
+        );
+    }
+    println!(
+        "\nThe measured ratios at small p and the model ratios at large p follow the\n\
+         same trend: the synchronization advantage of the inversion-based algorithm\n\
+         grows with the processor count (Section IX of the paper)."
+    );
+}

@@ -1,0 +1,43 @@
+//! Umbrella crate for the communication-avoiding TRSM reproduction.
+//!
+//! This crate only exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the actual functionality lives
+//! in the workspace crates, re-exported here for convenience:
+//!
+//! * [`dense`] — local dense kernels (the BLAS substitute),
+//! * [`simnet`] — the simulated distributed-memory machine (the MPI
+//!   substitute) with α–β–γ cost accounting,
+//! * [`pgrid`] — processor grids, cyclic layouts and distributed matrices,
+//! * [`costmodel`] — the paper's analytic cost model and parameter tuning,
+//! * [`catrsm`] — the paper's algorithms: 3D matrix multiplication,
+//!   recursive TRSM, distributed triangular inversion, the block-diagonal
+//!   inverter, the iterative inversion-based TRSM, and the Cholesky/LU
+//!   applications.
+
+pub use catrsm;
+pub use costmodel;
+pub use dense;
+pub use pgrid;
+pub use simnet;
+
+/// Convenience prelude for the examples and integration tests.
+pub mod prelude {
+    pub use catrsm::api::{solve_lower, solve_upper, Algorithm};
+    pub use catrsm::it_inv_trsm::{it_inv_trsm, ItInvConfig};
+    pub use catrsm::rec_trsm::{rec_trsm, RecTrsmConfig};
+    pub use dense::{gen, Matrix};
+    pub use pgrid::{DistMatrix, Grid2D};
+    pub use simnet::{coll, Machine, MachineParams};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_are_wired() {
+        // A smoke test that the re-exported crates are usable together.
+        let plan = costmodel::plan(1024, 256, 64);
+        assert!(plan.p1 >= 1.0);
+        let m = dense::Matrix::identity(3);
+        assert_eq!(m[(2, 2)], 1.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Cross-crate integration tests: the full stack (dense kernels → simulated
+//! machine → grids → algorithms → cost model) exercised together the way the
+//! experiments and examples use it.
+
+use catrsm::api::{solve_lower, solve_upper, Algorithm};
+use catrsm::it_inv_trsm::{it_inv_trsm, ItInvConfig};
+use catrsm::planner;
+use catrsm::rec_trsm::{rec_trsm, RecTrsmConfig};
+use catrsm_suite::prelude::*;
+use pgrid::redist;
+use simnet::coll;
+
+/// Build a solvable instance and return (L, B, X_true) as global matrices.
+fn instance(n: usize, k: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+    let l = gen::well_conditioned_lower(n, seed);
+    let x = gen::rhs(n, k, seed + 1);
+    let b = dense::matmul(&l, &x);
+    (l, b, x)
+}
+
+#[test]
+fn all_trsm_algorithms_agree_with_the_sequential_solution() {
+    let n = 128;
+    let k = 32;
+    let out = Machine::new(16, MachineParams::cluster())
+        .run(|comm| {
+            let grid = Grid2D::new(comm, 4, 4).unwrap();
+            let (l_g, b_g, x_g) = instance(n, k, 77);
+            let l = DistMatrix::from_global(&grid, &l_g);
+            let b = DistMatrix::from_global(&grid, &b_g);
+            let reference = DistMatrix::from_global(&grid, &x_g);
+
+            let mut errors = Vec::new();
+            for algorithm in [
+                Algorithm::Auto,
+                Algorithm::Recursive { base_size: 16 },
+                Algorithm::IterativeInversion(ItInvConfig {
+                    p1: 2,
+                    p2: 4,
+                    n0: 32,
+                    inv_base: 16,
+                }),
+                Algorithm::Wavefront,
+            ] {
+                let x = solve_lower(&l, &b, algorithm).unwrap();
+                errors.push(x.rel_diff(&reference).unwrap());
+            }
+            errors
+        })
+        .unwrap();
+    for per_rank in out.results {
+        for err in per_rank {
+            assert!(err < 1e-8, "error {err}");
+        }
+    }
+}
+
+#[test]
+fn iterative_algorithm_beats_recursive_latency_as_p_grows() {
+    // The paper's headline claim, measured end to end: at fixed (n, k) the
+    // latency gap between the recursive baseline and the inversion-based
+    // algorithm widens as processors are added.
+    let n = 256;
+    let k = 64;
+    let mut ratios = Vec::new();
+    for q in [2usize, 4] {
+        let p = q * q;
+        let plan = planner::plan(n, k, p);
+        let run = |alg: Algorithm| {
+            Machine::new(p, MachineParams::unit())
+                .run(move |comm| {
+                    let grid = Grid2D::new(comm, q, q).unwrap();
+                    let (l_g, b_g, _) = instance(n, k, 3);
+                    let l = DistMatrix::from_global(&grid, &l_g);
+                    let b = DistMatrix::from_global(&grid, &b_g);
+                    solve_lower(&l, &b, alg).unwrap();
+                })
+                .unwrap()
+                .report
+                .max_messages()
+        };
+        let rec = run(Algorithm::Recursive { base_size: 32 });
+        let itr = run(Algorithm::IterativeInversion(plan.it_inv));
+        assert!(itr < rec, "iterative must need fewer messages (p = {p}: {itr} vs {rec})");
+        ratios.push(rec as f64 / itr as f64);
+    }
+    assert!(
+        ratios[1] >= ratios[0],
+        "the latency advantage should not shrink with p: {ratios:?}"
+    );
+}
+
+#[test]
+fn both_algorithms_move_the_same_order_of_words() {
+    // Section IX: W is asymptotically identical for both methods.
+    let n = 256;
+    let k = 64;
+    let q = 4;
+    let p = q * q;
+    let plan = planner::plan(n, k, p);
+    let words = |alg: Algorithm| {
+        Machine::new(p, MachineParams::unit())
+            .run(move |comm| {
+                let grid = Grid2D::new(comm, q, q).unwrap();
+                let (l_g, b_g, _) = instance(n, k, 5);
+                let l = DistMatrix::from_global(&grid, &l_g);
+                let b = DistMatrix::from_global(&grid, &b_g);
+                solve_lower(&l, &b, alg).unwrap();
+            })
+            .unwrap()
+            .report
+            .max_words()
+    };
+    let rec = words(Algorithm::Recursive { base_size: 32 }) as f64;
+    let itr = words(Algorithm::IterativeInversion(plan.it_inv)) as f64;
+    let ratio = itr / rec;
+    assert!(
+        (0.25..4.0).contains(&ratio),
+        "bandwidths should be within a small constant factor, got ratio {ratio}"
+    );
+}
+
+#[test]
+fn planner_configurations_are_always_runnable() {
+    // Whatever the planner returns for a feasible (n, k, p) must execute and
+    // produce a correct solution.
+    for (n, k, q) in [(64usize, 16usize, 2usize), (64, 256, 2), (256, 16, 4), (128, 128, 4)] {
+        let p = q * q;
+        let plan = planner::plan(n, k, p);
+        let out = Machine::new(p, MachineParams::unit())
+            .run(move |comm| {
+                let grid = Grid2D::new(comm, q, q).unwrap();
+                let (l_g, b_g, x_g) = instance(n, k, 11);
+                let l = DistMatrix::from_global(&grid, &l_g);
+                let b = DistMatrix::from_global(&grid, &b_g);
+                let (x, _) = it_inv_trsm(&l, &b, &plan.it_inv).unwrap();
+                let x_ref = DistMatrix::from_global(&grid, &x_g);
+                x.rel_diff(&x_ref).unwrap()
+            })
+            .unwrap();
+        for err in out.results {
+            assert!(err < 1e-8, "n={n} k={k} p={p}: {err}");
+        }
+    }
+}
+
+#[test]
+fn distributed_residual_checks_work_end_to_end() {
+    let out = Machine::new(4, MachineParams::unit())
+        .run(|comm| {
+            let grid = Grid2D::new(comm, 2, 2).unwrap();
+            let (l_g, b_g, _) = instance(64, 16, 13);
+            let l = DistMatrix::from_global(&grid, &l_g);
+            let b = DistMatrix::from_global(&grid, &b_g);
+            let x = rec_trsm(&l, &b, &RecTrsmConfig::default()).unwrap();
+            catrsm::verify::residual(&l, &x, &b).unwrap()
+        })
+        .unwrap();
+    assert!(out.results.into_iter().all(|r| r < 1e-10));
+}
+
+#[test]
+fn upper_triangular_systems_solve_via_reversal() {
+    let out = Machine::new(4, MachineParams::unit())
+        .run(|comm| {
+            let grid = Grid2D::new(comm, 2, 2).unwrap();
+            let n = 64;
+            let k = 8;
+            let u_g = gen::well_conditioned_upper(n, 17);
+            let x_g = gen::rhs(n, k, 18);
+            let b_g = dense::matmul(&u_g, &x_g);
+            let u = DistMatrix::from_global(&grid, &u_g);
+            let b = DistMatrix::from_global(&grid, &b_g);
+            let x = solve_upper(&u, &b, Algorithm::Auto).unwrap();
+            let x_ref = DistMatrix::from_global(&grid, &x_g);
+            x.rel_diff(&x_ref).unwrap()
+        })
+        .unwrap();
+    assert!(out.results.into_iter().all(|r| r < 1e-8));
+}
+
+#[test]
+fn measured_collective_costs_match_the_cost_model() {
+    // The glue between `simnet` and `costmodel`: measured allgather and
+    // allreduce word counts equal the Section II-C1 formulas.
+    let p = 16;
+    let words = 1 << 12;
+    let out = Machine::new(p, MachineParams::unit())
+        .run(move |comm| {
+            let mine = vec![comm.rank() as f64; words / comm.size()];
+            coll::allgather(comm, &mine);
+        })
+        .unwrap();
+    let model = costmodel::collectives::allgather(words as f64, p as f64);
+    assert_eq!(out.report.max_messages() as f64, model.latency);
+    assert_eq!(out.report.max_words(), (words - words / p) as u64);
+
+    let out = Machine::new(p, MachineParams::unit())
+        .run(move |comm| {
+            coll::allreduce(comm, &vec![1.0; words], coll::ReduceOp::Sum);
+        })
+        .unwrap();
+    let model = costmodel::collectives::allreduction(words as f64, p as f64);
+    assert_eq!(out.report.max_messages() as f64, model.latency);
+    // Measured is the exact (p−1)/p fraction of the leading-order 2n model term.
+    let expected = 2 * (words - words / p);
+    assert_eq!(out.report.max_words(), expected as u64);
+}
+
+#[test]
+fn redistribution_round_trips_between_grids() {
+    // Move a matrix from a 4x1 grid layout to 2x2 ownership and back using
+    // the keyed exchange, preserving every element.
+    let out = Machine::new(4, MachineParams::unit())
+        .run(|comm| {
+            let tall = Grid2D::new(comm, 4, 1).unwrap();
+            let square = Grid2D::new(comm, 2, 2).unwrap();
+            let a = DistMatrix::from_fn(&tall, 12, 8, |i, j| (i * 8 + j) as f64);
+            // To the square grid…
+            let received = redist::remap_elements(&a, |i, j| square.rank_of(i % 2, j % 2), true);
+            let mut on_square = DistMatrix::zeros(&square, 12, 8);
+            for (i, j, v) in received {
+                on_square.local_mut()[(i / 2, j / 2)] = v;
+            }
+            // …and back to the tall grid.
+            let back = redist::remap_elements(&on_square, |i, j| tall.rank_of(i % 4, j % 1), true);
+            let mut again = DistMatrix::zeros(&tall, 12, 8);
+            for (i, j, v) in back {
+                again.local_mut()[(i / 4, j)] = v;
+            }
+            again.rel_diff(&a).unwrap()
+        })
+        .unwrap();
+    assert!(out.results.into_iter().all(|d| d == 0.0));
+}
+
+#[test]
+fn virtual_time_is_consistent_with_counters() {
+    // On a unit machine the virtual time can never exceed the counter bound
+    // p · (S + W + F) and never be smaller than the per-rank maximum phase.
+    let out = Machine::new(4, MachineParams::unit())
+        .run(|comm| {
+            let grid = Grid2D::new(comm, 2, 2).unwrap();
+            let (l_g, b_g, _) = instance(64, 16, 23);
+            let l = DistMatrix::from_global(&grid, &l_g);
+            let b = DistMatrix::from_global(&grid, &b_g);
+            solve_lower(&l, &b, Algorithm::Auto).unwrap();
+        })
+        .unwrap();
+    let report = out.report;
+    let counter_bound =
+        (report.max_messages() + report.max_words() + report.max_flops()) as f64 * report.num_ranks() as f64;
+    assert!(report.virtual_time() <= counter_bound);
+    assert!(report.virtual_time() > 0.0);
+}
