@@ -1,8 +1,14 @@
 //! Wall-clock microbenchmarks of the local dense kernels (the BLAS
 //! substitute the simulated processors run).
+//!
+//! The `gemm_naive_vs_packed` group is the acceptance check for the packed
+//! microkernel: at 512³ the packed path must beat the naive i-k-j triple
+//! loop by at least 2×.  Run with `cargo bench -p bench --bench kernels`;
+//! `cargo run --release -p bench --bin emit_bench_baseline` writes the same
+//! measurements to `BENCH_kernels.json` for cross-PR comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dense::{gen, gemm, tri_invert, trsm, Diag, Matrix, Triangle};
+use dense::{gemm, gen, reference, tri_invert, trsm, Diag, Matrix, Triangle};
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_gemm");
@@ -16,6 +22,26 @@ fn bench_gemm(c: &mut Criterion) {
             });
         });
     }
+    group.finish();
+}
+
+fn bench_gemm_naive_vs_packed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_naive_vs_packed");
+    let n = 512usize;
+    let a = gen::uniform(n, n, 1);
+    let b = gen::uniform(n, n, 2);
+    group.bench_with_input(BenchmarkId::new("naive_ikj", n), &n, |bench, _| {
+        let mut out = Matrix::zeros(n, n);
+        bench.iter(|| {
+            reference::gemm_naive_ikj(1.0, &a, &b, 0.0, &mut out);
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("packed", n), &n, |bench, _| {
+        let mut out = Matrix::zeros(n, n);
+        bench.iter(|| {
+            gemm(1.0, &a, &b, 0.0, &mut out).unwrap();
+        });
+    });
     group.finish();
 }
 
@@ -45,6 +71,6 @@ fn bench_tri_invert(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_gemm, bench_trsm, bench_tri_invert
+    targets = bench_gemm, bench_gemm_naive_vs_packed, bench_trsm, bench_tri_invert
 }
 criterion_main!(kernels);

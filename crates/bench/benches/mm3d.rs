@@ -8,31 +8,40 @@ use simnet::{Machine, MachineParams};
 
 fn bench_mm3d(c: &mut Criterion) {
     let mut group = c.benchmark_group("mm3d");
-    for (q, p1, n, k) in [(2usize, 2usize, 128usize, 32usize), (4, 2, 128, 32), (4, 4, 128, 32)] {
+    for (q, p1, n, k) in [
+        (2usize, 2usize, 128usize, 32usize),
+        (4, 2, 128, 32),
+        (4, 4, 128, 32),
+    ] {
         let id = format!("p{}_p1{}_n{}_k{}", q * q, p1, n, k);
-        group.bench_with_input(BenchmarkId::from_parameter(id), &(q, p1, n, k), |bench, &(q, p1, n, k)| {
-            bench.iter(|| {
-                Machine::new(q * q, MachineParams::unit())
-                    .run(move |comm| {
-                        let grid = Grid2D::new(comm, q, q).unwrap();
-                        let a = DistMatrix::from_fn(&grid, n, n, |i, j| ((i + j) % 17) as f64);
-                        let x = DistMatrix::from_fn(&grid, n, k, |i, j| ((i * 3 + j) % 13) as f64);
-                        let b = catrsm::mm3d::mm3d(
-                            &a,
-                            &x,
-                            &catrsm::mm3d::MmConfig {
-                                p1,
-                                log_latency: true,
-                            },
-                        )
-                        .unwrap();
-                        // Reduce to a Send-able scalar so the machine can
-                        // collect the per-rank results.
-                        b.local().as_slice().iter().sum::<f64>()
-                    })
-                    .unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(id),
+            &(q, p1, n, k),
+            |bench, &(q, p1, n, k)| {
+                bench.iter(|| {
+                    Machine::new(q * q, MachineParams::unit())
+                        .run(move |comm| {
+                            let grid = Grid2D::new(comm, q, q).unwrap();
+                            let a = DistMatrix::from_fn(&grid, n, n, |i, j| ((i + j) % 17) as f64);
+                            let x =
+                                DistMatrix::from_fn(&grid, n, k, |i, j| ((i * 3 + j) % 13) as f64);
+                            let b = catrsm::mm3d::mm3d(
+                                &a,
+                                &x,
+                                &catrsm::mm3d::MmConfig {
+                                    p1,
+                                    log_latency: true,
+                                },
+                            )
+                            .unwrap();
+                            // Reduce to a Send-able scalar so the machine can
+                            // collect the per-rank results.
+                            b.local().as_slice().iter().sum::<f64>()
+                        })
+                        .unwrap()
+                });
+            },
+        );
     }
     group.finish();
     // Keep the generator referenced so the bench exercises realistic inputs

@@ -1,0 +1,142 @@
+//! Emits `BENCH_kernels.json`: a machine-readable baseline of the local
+//! kernel throughput, so future PRs have a perf trajectory to compare
+//! against.
+//!
+//! Run with `cargo run --release -p bench --bin emit_bench_baseline` from
+//! the repository root.  The JSON is written by hand (no serde in the
+//! offline build) with one record per measurement:
+//!
+//! ```json
+//! { "kernel": "gemm_packed", "n": 512, "median_ms": 8.9, "gflops": 30.1 }
+//! ```
+//!
+//! plus a top-level `gemm_speedup_512` field — the packed-vs-naive ratio the
+//! acceptance criterion tracks.
+
+use dense::{gemm, gen, reference, tri_invert, trmm, trsm, Diag, Matrix, Triangle};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median-of-`samples` wall time of `f`, in seconds.
+fn time_median<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    // One warm-up run (fills pack buffers, warms caches).
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+struct Record {
+    kernel: &'static str,
+    n: usize,
+    median_ms: f64,
+    gflops: f64,
+}
+
+fn main() {
+    let mut records: Vec<Record> = Vec::new();
+    let samples = 5;
+
+    // --- GEMM: naive baseline vs packed path, including the 512³ check. ---
+    let mut naive_512 = 0.0;
+    let mut packed_512 = 0.0;
+    for n in [128usize, 256, 512] {
+        let a = gen::uniform(n, n, 1);
+        let b = gen::uniform(n, n, 2);
+        let mut c = Matrix::zeros(n, n);
+        let flops = 2.0 * (n as f64).powi(3);
+
+        let t = time_median(samples, || {
+            reference::gemm_naive_ikj(1.0, &a, &b, 0.0, &mut c);
+        });
+        if n == 512 {
+            naive_512 = t;
+        }
+        records.push(Record {
+            kernel: "gemm_naive_ikj",
+            n,
+            median_ms: t * 1e3,
+            gflops: flops / t / 1e9,
+        });
+
+        let t = time_median(samples, || {
+            gemm(1.0, &a, &b, 0.0, &mut c).unwrap();
+        });
+        if n == 512 {
+            packed_512 = t;
+        }
+        records.push(Record {
+            kernel: "gemm_packed",
+            n,
+            median_ms: t * 1e3,
+            gflops: flops / t / 1e9,
+        });
+    }
+
+    // --- Blocked triangular kernels (flops per the crate's formulas). -----
+    for n in [256usize, 512] {
+        let l = gen::well_conditioned_lower(n, 3);
+        let b = gen::rhs(n, 64, 4);
+
+        let t = time_median(samples, || {
+            trsm(Triangle::Lower, Diag::NonUnit, &l, &b).unwrap();
+        });
+        records.push(Record {
+            kernel: "trsm_blocked",
+            n,
+            median_ms: t * 1e3,
+            gflops: (n * n * 64) as f64 / t / 1e9,
+        });
+
+        let t = time_median(samples, || {
+            trmm(Triangle::Lower, &l, &b).unwrap();
+        });
+        records.push(Record {
+            kernel: "trmm_blocked",
+            n,
+            median_ms: t * 1e3,
+            gflops: (n * n * 64) as f64 / t / 1e9,
+        });
+
+        let t = time_median(samples, || {
+            tri_invert(Triangle::Lower, &l).unwrap();
+        });
+        records.push(Record {
+            kernel: "tri_invert_blocked",
+            n,
+            median_ms: t * 1e3,
+            gflops: (n as f64).powi(3) / 3.0 / t / 1e9,
+        });
+    }
+
+    let speedup = naive_512 / packed_512;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"catrsm-bench-kernels/v1\",");
+    let _ = writeln!(json, "  \"gemm_speedup_512\": {speedup:.3},");
+    json.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"kernel\": \"{}\", \"n\": {}, \"median_ms\": {:.4}, \"gflops\": {:.3} }}{}",
+            r.kernel, r.n, r.median_ms, r.gflops, comma
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_kernels.json (gemm 512^3 packed vs naive: {speedup:.2}x)");
+    assert!(
+        speedup >= 2.0,
+        "acceptance: packed GEMM must beat the naive i-k-j loop by >= 2x at 512^3, got {speedup:.2}x"
+    );
+}

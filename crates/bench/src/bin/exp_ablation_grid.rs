@@ -63,7 +63,11 @@ fn main() {
         println!("{:>6} {:>8} | {:>8} {:>12}", q * q, n, s, w);
         rows.push(format!("simulated,{},{n},{s},{w}", q * q));
     }
-    let path = write_csv("exp_ablation_grid", "ratio_or_tag,r1_or_p,r2_or_n,W_model_or_S,W", &rows);
+    let path = write_csv(
+        "exp_ablation_grid",
+        "ratio_or_tag,r1_or_p,r2_or_n,W_model_or_S,W",
+        &rows,
+    );
     println!("\nCSV written to {}", path.display());
     println!(
         "\nExpectation: the bandwidth curve is flat within a factor ~1.1 between\n\

@@ -28,8 +28,19 @@ fn main() {
     let mut best: Option<(usize, f64)> = None;
     while n0 <= n {
         if n % n0 == 0 {
-            let cfg = ItInvConfig { p1, p2, n0, inv_base: 16 };
-            let inst = TrsmInstance { n, k, pr, pc, seed: 41 };
+            let cfg = ItInvConfig {
+                p1,
+                p2,
+                n0,
+                inv_base: 16,
+            };
+            let inst = TrsmInstance {
+                n,
+                k,
+                pr,
+                pc,
+                seed: 41,
+            };
             let m = run_trsm(&inst, TrsmAlgo::Iterative(cfg), MachineParams::cluster());
             assert!(m.error < 1e-7);
             println!(
@@ -41,7 +52,14 @@ fn main() {
                 m.flops,
                 m.time
             );
-            rows.push(format!("{n0},{},{},{},{},{}", n / n0, m.latency, m.bandwidth, m.flops, m.time));
+            rows.push(format!(
+                "{n0},{},{},{},{},{}",
+                n / n0,
+                m.latency,
+                m.bandwidth,
+                m.flops,
+                m.time
+            ));
             if best.map(|(_, t)| m.time < t).unwrap_or(true) {
                 best = Some((n0, m.time));
             }
@@ -55,11 +73,7 @@ fn main() {
             model.n0
         );
     }
-    let path = write_csv(
-        "exp_ablation_n0",
-        "n0,blocks,S,W,F,virtual_time",
-        &rows,
-    );
+    let path = write_csv("exp_ablation_n0", "n0,blocks,S,W,F,virtual_time", &rows);
     println!("CSV written to {}", path.display());
     println!(
         "\nExpectation (paper): latency S falls as n0 grows (fewer synchronised\n\

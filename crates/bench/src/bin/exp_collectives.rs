@@ -21,7 +21,11 @@ fn measure(p: usize, words: usize, which: &str) -> (u64, u64) {
                     coll::gather(comm, 0, &vec![rank; words / p]).unwrap();
                 }
                 "scatter" => {
-                    let data = if comm.rank() == 0 { vec![1.0; words] } else { Vec::new() };
+                    let data = if comm.rank() == 0 {
+                        vec![1.0; words]
+                    } else {
+                        Vec::new()
+                    };
                     coll::scatter(comm, 0, &data, words / p).unwrap();
                 }
                 "reduce_scatter" => {
@@ -31,7 +35,11 @@ fn measure(p: usize, words: usize, which: &str) -> (u64, u64) {
                     coll::allreduce(comm, &vec![rank; words], coll::ReduceOp::Sum);
                 }
                 "bcast" => {
-                    let data = if comm.rank() == 0 { vec![1.0; words] } else { Vec::new() };
+                    let data = if comm.rank() == 0 {
+                        vec![1.0; words]
+                    } else {
+                        Vec::new()
+                    };
                     coll::bcast(comm, 0, &data, words).unwrap();
                 }
                 "alltoall" => {

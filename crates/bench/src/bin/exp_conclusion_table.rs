@@ -30,11 +30,46 @@ struct Case {
 fn main() {
     banner("T1: conclusion table (paper Section IX) — standard vs new method");
     let cases = [
-        Case { label: "1 large dim  (n < 4k/p)", n: 32, k: 2048, pr: 4, pc: 4, rec_base: 16 },
-        Case { label: "3 large dims (4k/p<=n<=4k sqrt(p))", n: 256, k: 64, pr: 4, pc: 4, rec_base: 32 },
-        Case { label: "3 large dims (4k/p<=n<=4k sqrt(p))", n: 512, k: 128, pr: 4, pc: 4, rec_base: 64 },
-        Case { label: "2 large dims (n > 4k sqrt(p))", n: 512, k: 16, pr: 4, pc: 4, rec_base: 64 },
-        Case { label: "2 large dims (n > 4k sqrt(p))", n: 1024, k: 16, pr: 4, pc: 4, rec_base: 64 },
+        Case {
+            label: "1 large dim  (n < 4k/p)",
+            n: 32,
+            k: 2048,
+            pr: 4,
+            pc: 4,
+            rec_base: 16,
+        },
+        Case {
+            label: "3 large dims (4k/p<=n<=4k sqrt(p))",
+            n: 256,
+            k: 64,
+            pr: 4,
+            pc: 4,
+            rec_base: 32,
+        },
+        Case {
+            label: "3 large dims (4k/p<=n<=4k sqrt(p))",
+            n: 512,
+            k: 128,
+            pr: 4,
+            pc: 4,
+            rec_base: 64,
+        },
+        Case {
+            label: "2 large dims (n > 4k sqrt(p))",
+            n: 512,
+            k: 16,
+            pr: 4,
+            pc: 4,
+            rec_base: 64,
+        },
+        Case {
+            label: "2 large dims (n > 4k sqrt(p))",
+            n: 1024,
+            k: 16,
+            pr: 4,
+            pc: 4,
+            rec_base: 64,
+        },
     ];
     let mut rows = Vec::new();
     for case in &cases {
@@ -47,12 +82,28 @@ fn main() {
             pc: case.pc,
             seed: 29,
         };
-        let std = run_trsm(&inst, TrsmAlgo::Recursive { base: case.rec_base }, MachineParams::unit());
-        let new = run_trsm(&inst, TrsmAlgo::Iterative(plan.it_inv), MachineParams::unit());
-        assert!(std.error < 1e-7 && new.error < 1e-7, "both must solve correctly");
+        let std = run_trsm(
+            &inst,
+            TrsmAlgo::Recursive {
+                base: case.rec_base,
+            },
+            MachineParams::unit(),
+        );
+        let new = run_trsm(
+            &inst,
+            TrsmAlgo::Iterative(plan.it_inv),
+            MachineParams::unit(),
+        );
+        assert!(
+            std.error < 1e-7 && new.error < 1e-7,
+            "both must solve correctly"
+        );
 
         let row_model = compare::conclusion_row(case.n as f64, case.k as f64, p as f64);
-        println!("\n{}  n={} k={} p={}  (plan: {:?})", case.label, case.n, case.k, p, plan.it_inv);
+        println!(
+            "\n{}  n={} k={} p={}  (plan: {:?})",
+            case.label, case.n, case.k, p, plan.it_inv
+        );
         println!("  {:<10} {}", "standard", std.row());
         println!("  {:<10} {}", "new", new.row());
         println!(
@@ -93,14 +144,14 @@ fn main() {
     ] {
         let row = compare::conclusion_row(n, k, p);
         println!(
-            "{:>10.0e} {:>10.0e} {:>10.0e} | {:>12.3e} {:>12.3e} {:>10.1} | {}",
+            "{:>10.0e} {:>10.0e} {:>10.0e} | {:>12.3e} {:>12.3e} {:>10.1} | {:?}",
             n,
             k,
             p,
             row.standard.latency,
             row.new.latency,
             row.standard.latency / row.new.latency,
-            format!("{:?}", row.regime)
+            row.regime
         );
     }
     let path = write_csv(

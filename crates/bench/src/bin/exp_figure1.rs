@@ -26,7 +26,10 @@ fn main() {
     let mut rows = Vec::new();
     for p in [64usize, 256, 4096, 65536] {
         println!("\np = {p}   (k = {k}, n sweeps over n/k from 2^-8 to 2^8)");
-        println!("{:>10} {:>10} | {:>6} | {:>24} | layout", "n", "n/k", "regime", "grid p1 x p1 x p2");
+        println!(
+            "{:>10} {:>10} | {:>6} | {:>24} | layout",
+            "n", "n/k", "regime", "grid p1 x p1 x p2"
+        );
         let mut strip = String::new();
         for exp in -8i32..=8 {
             let n = if exp >= 0 {
@@ -66,11 +69,7 @@ fn main() {
          +--+--+--+--+            +------+------+                  +------+------+\n\
          whole L inverted         diagonal blocks of size n0       small n0 blocks inverted\n"
     );
-    let path = write_csv(
-        "exp_figure1",
-        "p,n,k,n_over_k,regime,p1,p2,n0,r1",
-        &rows,
-    );
+    let path = write_csv("exp_figure1", "p,n,k,n_over_k,regime,p1,p2,n0,r1", &rows);
     println!("CSV written to {}", path.display());
     println!(
         "Expectation (paper): for every p the strip reads 1…1 3…3 2…2 — the\n\

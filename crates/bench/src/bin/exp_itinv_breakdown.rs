@@ -24,8 +24,19 @@ fn main() {
         (128, 512, 4, 4, 1, 16, 128),
     ];
     for (n, k, pr, pc, p1, p2, n0) in cases {
-        let inst = TrsmInstance { n, k, pr, pc, seed: 11 };
-        let cfg = ItInvConfig { p1, p2, n0, inv_base: 16 };
+        let inst = TrsmInstance {
+            n,
+            k,
+            pr,
+            pc,
+            seed: 11,
+        };
+        let cfg = ItInvConfig {
+            p1,
+            p2,
+            n0,
+            inv_base: 16,
+        };
         let (measured, phases) = run_itinv_with_phases(&inst, cfg, MachineParams::unit());
         assert!(measured.error < 1e-7, "solution must stay correct");
 
@@ -38,11 +49,11 @@ fn main() {
             pr * pc,
             measured.row()
         );
-        println!("  {:<10} {:<52} | model W {:>12.0}  model F {:>14.0}", "phase", "measured", 0.0, 0.0);
         println!(
-            "  {:<10} {:<52} |",
-            "setup", phases.setup.row()
+            "  {:<10} {:<52} | model W {:>12.0}  model F {:>14.0}",
+            "phase", "measured", 0.0, 0.0
         );
+        println!("  {:<10} {:<52} |", "setup", phases.setup.row());
         println!(
             "  {:<10} {:<52} | model W {:>12.0}  model F {:>14.0}",
             "inversion",

@@ -47,14 +47,25 @@ fn main() {
         "p", "p1", "p2", "n", "k", "S", "W meas", "F meas", "W model", "F model"
     );
     let mut rows = Vec::new();
-    for (q, n, k) in [(2usize, 128usize, 64usize), (4, 256, 64), (4, 256, 256), (8, 256, 64)] {
+    for (q, n, k) in [
+        (2usize, 128usize, 64usize),
+        (4, 256, 64),
+        (4, 256, 256),
+        (8, 256, 64),
+    ] {
         let mut p1 = 1;
         while p1 <= q {
             let s = q / p1;
             let p2 = s * s;
             if n % (p1 * p1) == 0 && k % p2 == 0 && n % q == 0 && k % q == 0 {
                 let (smeas, wmeas, fmeas, err) = run_mm(q, p1, n, k);
-                let model = costmodel::mm::mm_cost(n as f64, k as f64, (q * q) as f64, p1 as f64, p2 as f64);
+                let model = costmodel::mm::mm_cost(
+                    n as f64,
+                    k as f64,
+                    (q * q) as f64,
+                    p1 as f64,
+                    p2 as f64,
+                );
                 println!(
                     "{:>4} {:>4} {:>4} {:>6} {:>6} | {:>6} {:>10} {:>12} | {:>10.0} {:>12.0} | {:.1e}",
                     q * q,

@@ -18,7 +18,14 @@ fn main() {
     let mut rows = Vec::new();
     let cases = [
         // (label, n, k, pr, pc, base)
-        ("1 large dim (n < 4k/p)", 32usize, 2048usize, 2usize, 2usize, 16usize),
+        (
+            "1 large dim (n < 4k/p)",
+            32usize,
+            2048usize,
+            2usize,
+            2usize,
+            16usize,
+        ),
         ("1 large dim (n < 4k/p)", 32, 4096, 4, 4, 16),
         ("3 large dims", 256, 64, 2, 2, 32),
         ("3 large dims", 256, 64, 4, 4, 32),

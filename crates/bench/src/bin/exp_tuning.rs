@@ -45,8 +45,15 @@ fn main() {
             );
             rows.push(format!(
                 "{n},{k},{p},{:?},{},{},{},{},{},{},{},{}",
-                model.regime, model.p1, model.p2, model.n0, model.r1, model.r2,
-                plan.it_inv.p1, plan.it_inv.p2, plan.it_inv.n0
+                model.regime,
+                model.p1,
+                model.p2,
+                model.n0,
+                model.r1,
+                model.r2,
+                plan.it_inv.p1,
+                plan.it_inv.p2,
+                plan.it_inv.n0
             ));
         }
     }
@@ -58,14 +65,34 @@ fn main() {
     );
     for (n, k) in [(256usize, 64usize), (512, 16), (64, 1024)] {
         let plan = planner::plan(n, k, 16);
-        let inst = TrsmInstance { n, k, pr: 4, pc: 4, seed: 31 };
-        let planned = run_trsm(&inst, TrsmAlgo::Iterative(plan.it_inv), MachineParams::cluster());
+        let inst = TrsmInstance {
+            n,
+            k,
+            pr: 4,
+            pc: 4,
+            seed: 31,
+        };
+        let planned = run_trsm(
+            &inst,
+            TrsmAlgo::Iterative(plan.it_inv),
+            MachineParams::cluster(),
+        );
         println!(
             "{:>6} {:>6} | planner {:<18?} | {:>8} {:>12} {:>12.4e}",
-            n, k, (plan.it_inv.p1, plan.it_inv.p2, plan.it_inv.n0), planned.latency, planned.bandwidth, planned.time
+            n,
+            k,
+            (plan.it_inv.p1, plan.it_inv.p2, plan.it_inv.n0),
+            planned.latency,
+            planned.bandwidth,
+            planned.time
         );
         // A deliberately mis-shaped configuration for contrast: 1D layout.
-        let naive = catrsm::it_inv_trsm::ItInvConfig { p1: 1, p2: 16, n0: n, inv_base: 16 };
+        let naive = catrsm::it_inv_trsm::ItInvConfig {
+            p1: 1,
+            p2: 16,
+            n0: n,
+            inv_base: 16,
+        };
         if k % 16 == 0 {
             let m = run_trsm(&inst, TrsmAlgo::Iterative(naive), MachineParams::cluster());
             println!(

@@ -188,7 +188,10 @@ impl PhaseCost {
 
     /// Render as a compact table cell group.
     pub fn row(&self) -> String {
-        format!("S={:>8}  W={:>12}  F={:>14}", self.latency, self.bandwidth, self.flops)
+        format!(
+            "S={:>8}  W={:>12}  F={:>14}",
+            self.latency, self.bandwidth, self.flops
+        )
     }
 }
 
@@ -241,7 +244,11 @@ mod tests {
             pc: 2,
             seed: 1,
         };
-        let rec = run_trsm(&inst, TrsmAlgo::Recursive { base: 8 }, MachineParams::unit());
+        let rec = run_trsm(
+            &inst,
+            TrsmAlgo::Recursive { base: 8 },
+            MachineParams::unit(),
+        );
         assert!(rec.error < 1e-8);
         assert!(rec.latency > 0 && rec.bandwidth > 0 && rec.flops > 0);
         let it = run_trsm(
@@ -285,8 +292,15 @@ mod tests {
         assert!(phases.solve.flops > 0);
         assert!(phases.update.flops > 0);
         assert!(phases.inversion.flops > 0);
-        let sum = phases.setup.flops + phases.inversion.flops + phases.solve.flops + phases.update.flops + phases.finalize.flops;
-        assert!(sum <= m.flops * 2, "phase sums should be comparable to the total");
+        let sum = phases.setup.flops
+            + phases.inversion.flops
+            + phases.solve.flops
+            + phases.update.flops
+            + phases.finalize.flops;
+        assert!(
+            sum <= m.flops * 2,
+            "phase sums should be comparable to the total"
+        );
     }
 
     #[test]

@@ -48,11 +48,8 @@ pub fn reverse_rows(a: &DistMatrix) -> DistMatrix {
     let grid = a.grid().clone();
     let (rows, cols) = a.dims();
     let (pr, pc) = (grid.rows(), grid.cols());
-    let received = pgrid::redist::remap_elements(
-        a,
-        |i, j| grid.rank_of((rows - 1 - i) % pr, j % pc),
-        true,
-    );
+    let received =
+        pgrid::redist::remap_elements(a, |i, j| grid.rank_of((rows - 1 - i) % pr, j % pc), true);
     let mut out = DistMatrix::zeros(&grid, rows, cols);
     for (i, j, v) in received {
         let ri = rows - 1 - i;

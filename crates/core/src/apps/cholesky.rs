@@ -63,7 +63,7 @@ fn cholesky_inner(a: &DistMatrix, cfg: &FactorConfig) -> Result<DistMatrix> {
     let q = grid.rows();
     let n = a.rows();
 
-    let splittable = q > 1 && n % (2 * q) == 0 && n > cfg.base_size;
+    let splittable = q > 1 && n.is_multiple_of(2 * q) && n > cfg.base_size;
     if !splittable {
         let full = a.to_global();
         let (l, flops) = dense::cholesky(&full)?;

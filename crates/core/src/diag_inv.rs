@@ -28,6 +28,13 @@ use dense::{Matrix, Triangle};
 use pgrid::redist::scatter_elements;
 use pgrid::{DistMatrix, Grid2D};
 
+/// Recursion cut-off of the *local* in-place inversions — fixed at the same
+/// base size `dense::tri_invert` has always used, so local flop accounting
+/// is independent of the configuration.  [`DiagInvConfig::inv_base`] is a
+/// different knob: it controls the base case of the *distributed* inversion
+/// used when several ranks share one diagonal block.
+const INV_BASE: usize = 16;
+
 /// Configuration of the block-diagonal inverter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiagInvConfig {
@@ -60,7 +67,7 @@ pub fn diagonal_inverter(l: &DistMatrix, cfg: &DiagInvConfig) -> Result<DistMatr
             format!("matrix must be square, got {}x{}", l.rows(), l.cols()),
         ));
     }
-    if n0 == 0 || n % n0 != 0 {
+    if n0 == 0 || !n.is_multiple_of(n0) {
         return Err(config_error(
             "diagonal_inverter",
             format!("block size n0 = {n0} must divide n = {n}"),
@@ -73,12 +80,15 @@ pub fn diagonal_inverter(l: &DistMatrix, cfg: &DiagInvConfig) -> Result<DistMatr
     let mut l_tilde = l.clone();
 
     if p_face == 1 {
-        // Single processor: invert every block locally, no communication.
+        // Single processor: invert every block locally, in place where it
+        // lives — no extraction, inversion copy, or re-insertion.
         let local = l_tilde.local_mut();
         for g in 0..nblocks {
-            let block = local.block(g * n0, g * n0, n0, n0);
-            let (inv, flops) = dense::tri_invert(Triangle::Lower, &block)?;
-            local.set_block(g * n0, g * n0, &inv);
+            let flops = dense::tri_invert_in_place(
+                Triangle::Lower,
+                &mut local.view_mut(g * n0, g * n0, n0, n0),
+                INV_BASE,
+            )?;
             comm.charge_flops(flops.get());
         }
         return Ok(l_tilde);
@@ -104,9 +114,7 @@ pub fn diagonal_inverter(l: &DistMatrix, cfg: &DiagInvConfig) -> Result<DistMatr
 
         // Invert the blocks this rank owns.
         let my_rank = comm.rank();
-        let mut blocks: Vec<Matrix> = (0..nblocks)
-            .map(|_| Matrix::zeros(n0, n0))
-            .collect();
+        let mut blocks: Vec<Matrix> = (0..nblocks).map(|_| Matrix::zeros(n0, n0)).collect();
         for (gi, gj, v) in received {
             let g = gi / n0;
             debug_assert_eq!(g % p_face, my_rank);
@@ -114,13 +122,15 @@ pub fn diagonal_inverter(l: &DistMatrix, cfg: &DiagInvConfig) -> Result<DistMatr
         }
         let mut outgoing = Vec::new();
         for g in (my_rank..nblocks).step_by(p_face) {
-            let (inv, flops) = dense::tri_invert(Triangle::Lower, &blocks[g])?;
+            let block = &mut blocks[g];
+            let flops =
+                dense::tri_invert_in_place(Triangle::Lower, &mut block.as_view_mut(), INV_BASE)?;
             comm.charge_flops(flops.get());
             for bi in 0..n0 {
                 for bj in 0..=bi {
                     let gi = g * n0 + bi;
                     let gj = g * n0 + bj;
-                    outgoing.push((gi, gj, inv[(bi, bj)], grid.rank_of(gi % q, gj % q)));
+                    outgoing.push((gi, gj, blocks[g][(bi, bj)], grid.rank_of(gi % q, gj % q)));
                 }
             }
         }
@@ -189,9 +199,13 @@ pub fn diagonal_inverter(l: &DistMatrix, cfg: &DiagInvConfig) -> Result<DistMatr
             }
         }
         let inv = if side == 1 {
-            let (inv, flops) = dense::tri_invert(Triangle::Lower, block.local())?;
+            let flops = dense::tri_invert_in_place(
+                Triangle::Lower,
+                &mut block.local_mut().as_view_mut(),
+                INV_BASE,
+            )?;
             comm.charge_flops(flops.get());
-            DistMatrix::from_local(&sub_grid, n0, n0, inv)?
+            block
         } else {
             tri_inv(
                 &block,
@@ -286,7 +300,10 @@ mod tests {
             (max_err, panels_equal, got.is_lower_triangular())
         });
         for (err, panels_equal, lower) in results {
-            assert!(err < 1e-8, "q={q} n={n} n0={n0}: diagonal block error {err}");
+            assert!(
+                err < 1e-8,
+                "q={q} n={n} n0={n0}: diagonal block error {err}"
+            );
             assert!(panels_equal, "off-diagonal panels must be untouched");
             assert!(lower, "L̃ must stay lower triangular");
         }
@@ -333,7 +350,9 @@ mod tests {
             )
             .unwrap();
             let got = lt.to_global();
-            (0..8).map(|i| (got[(i, i)] - 1.0 / l_global[(i, i)]).abs()).fold(0.0, f64::max)
+            (0..8)
+                .map(|i| (got[(i, i)] - 1.0 / l_global[(i, i)]).abs())
+                .fold(0.0, f64::max)
         });
         assert!(results.into_iter().all(|e| e < 1e-12));
     }
@@ -344,18 +363,30 @@ mod tests {
             let l = DistMatrix::zeros(grid, 16, 16);
             let bad_zero = diagonal_inverter(
                 &l,
-                &DiagInvConfig { n0: 0, inv_base: 8, log_latency: true },
+                &DiagInvConfig {
+                    n0: 0,
+                    inv_base: 8,
+                    log_latency: true,
+                },
             )
             .is_err();
             let bad_divide = diagonal_inverter(
                 &l,
-                &DiagInvConfig { n0: 5, inv_base: 8, log_latency: true },
+                &DiagInvConfig {
+                    n0: 5,
+                    inv_base: 8,
+                    log_latency: true,
+                },
             )
             .is_err();
             let rect = DistMatrix::zeros(grid, 16, 8);
             let bad_rect = diagonal_inverter(
                 &rect,
-                &DiagInvConfig { n0: 4, inv_base: 8, log_latency: true },
+                &DiagInvConfig {
+                    n0: 4,
+                    inv_base: 8,
+                    log_latency: true,
+                },
             )
             .is_err();
             bad_zero && bad_divide && bad_rect

@@ -70,7 +70,11 @@ mod tests {
     fn display_and_conversions() {
         let e = config_error("mm3d", "n must be divisible by the grid");
         assert!(e.to_string().contains("mm3d"));
-        let e: TrsmError = dense::DenseError::NotSquare { op: "x", dims: (2, 3) }.into();
+        let e: TrsmError = dense::DenseError::NotSquare {
+            op: "x",
+            dims: (2, 3),
+        }
+        .into();
         assert!(e.to_string().contains("dense"));
         let e: TrsmError = simnet::SimError::EmptyMachine.into();
         assert!(e.to_string().contains("simulator"));

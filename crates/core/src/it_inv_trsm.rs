@@ -104,7 +104,10 @@ pub fn it_inv_trsm(
     let (p1, p2, n0) = (cfg.p1, cfg.p2, cfg.n0);
 
     if l.cols() != n {
-        return Err(config_error("it_inv_trsm", format!("L must be square, got {}x{}", n, l.cols())));
+        return Err(config_error(
+            "it_inv_trsm",
+            format!("L must be square, got {}x{}", n, l.cols()),
+        ));
     }
     if b.rows() != n {
         return Err(config_error(
@@ -113,21 +116,27 @@ pub fn it_inv_trsm(
         ));
     }
     if b.grid().rows() != caller_grid.rows() || b.grid().cols() != caller_grid.cols() {
-        return Err(config_error("it_inv_trsm", "L and B must be distributed over the same grid"));
+        return Err(config_error(
+            "it_inv_trsm",
+            "L and B must be distributed over the same grid",
+        ));
     }
     if p1 == 0 || p2 == 0 || p1 * p1 * p2 != p {
         return Err(config_error(
             "it_inv_trsm",
-            format!("p1²·p2 = {} must equal the communicator size {p}", p1 * p1 * p2),
+            format!(
+                "p1²·p2 = {} must equal the communicator size {p}",
+                p1 * p1 * p2
+            ),
         ));
     }
-    if n0 == 0 || n % n0 != 0 || n0 % p1 != 0 || n % p1 != 0 {
+    if n0 == 0 || !n.is_multiple_of(n0) || n0 % p1 != 0 || !n.is_multiple_of(p1) {
         return Err(config_error(
             "it_inv_trsm",
             format!("need n0 | n, p1 | n0 and p1 | n (n = {n}, n0 = {n0}, p1 = {p1})"),
         ));
     }
-    if k % p2 != 0 {
+    if !k.is_multiple_of(p2) {
         return Err(config_error(
             "it_inv_trsm",
             format!("k = {k} must be divisible by p2 = {p2}"),
@@ -161,9 +170,7 @@ pub fn it_inv_trsm(
     let nb_loc = n0 / p1; // rows of one diagonal block per face coordinate
 
     // Face communicator (z = 0) and the face grid holding L.
-    let face_members: Vec<usize> = (0..p)
-        .filter(|&r| grid3d.coords_of(r).2 == 0)
-        .collect();
+    let face_members: Vec<usize> = (0..p).filter(|&r| grid3d.coords_of(r).2 == 0).collect();
     let face_comm = comm.subgroup(&face_members);
     let face_grid = match &face_comm {
         Ok(c) => Some(Grid2D::new(c, p1, p1)?),
@@ -260,7 +267,9 @@ pub fn it_inv_trsm(
             }
         }
         let incoming = scatter_elements(fg.comm(), n, outgoing, cfg.log_latency());
-        let mut per_block: Vec<Matrix> = (0..nblocks).map(|_| Matrix::zeros(nb_loc, nb_loc)).collect();
+        let mut per_block: Vec<Matrix> = (0..nblocks)
+            .map(|_| Matrix::zeros(nb_loc, nb_loc))
+            .collect();
         for (gi, gj, v) in incoming {
             let g = gi / n0;
             let bi = gi - g * n0;
@@ -297,10 +306,15 @@ pub fn it_inv_trsm(
         let diag_flat = coll::bcast(&z_comm, 0, &diag_flat, nb_loc * nb_loc)?;
         let diag_piece = Matrix::from_vec(nb_loc, nb_loc, diag_flat).expect("diag piece dims");
 
-        // (b) multiply with the current right-hand-side block.
-        let b_si = b_rem.block(i * nb_loc, 0, nb_loc, kw);
+        // (b) multiply with the current right-hand-side block, read in place.
         let mut x_part = Matrix::zeros(nb_loc, kw);
-        let flops = dense::gemm(1.0, &diag_piece, &b_si, 0.0, &mut x_part)?;
+        let flops = dense::gemm_views(
+            1.0,
+            diag_piece.as_view(),
+            b_rem.view(i * nb_loc, 0, nb_loc, kw),
+            0.0,
+            &mut x_part.as_view_mut(),
+        )?;
         comm.charge_flops(flops.get());
 
         // (c) sum the partial products over the x axis.
@@ -329,11 +343,16 @@ pub fn it_inv_trsm(
             let panel_flat = coll::bcast(&z_comm, 0, &panel_flat, panel_rows * nb_loc)?;
             let panel = Matrix::from_vec(panel_rows, nb_loc, panel_flat).expect("panel dims");
 
-            // (e) accumulate the trailing update locally.
-            let mut contribution = Matrix::zeros(panel_rows, kw);
-            let flops = dense::gemm(1.0, &panel, &x_block, 0.0, &mut contribution)?;
+            // (e) accumulate the trailing update directly into the
+            //     accumulator block (β = 1), with no intermediate matrix.
+            let flops = dense::gemm_views(
+                1.0,
+                panel.as_view(),
+                x_block.as_view(),
+                1.0,
+                &mut b_update_acc.view_mut((i + 1) * nb_loc, 0, panel_rows, kw),
+            )?;
             comm.charge_flops(flops.get());
-            b_update_acc.add_block((i + 1) * nb_loc, 0, &contribution);
 
             // (f) lazily reduce only the next block row over the y axis and
             //     subtract it from the remaining right-hand side.
@@ -344,11 +363,9 @@ pub fn it_inv_trsm(
                 let reduced = coll::allreduce(&y_comm, next.as_slice(), coll::ReduceOp::Sum);
                 Matrix::from_vec(nb_loc, kw, reduced).expect("allreduce dims")
             };
-            for r in 0..nb_loc {
-                for c in 0..kw {
-                    b_rem[((i + 1) * nb_loc + r, c)] -= next_sum[(r, c)];
-                }
-            }
+            b_rem
+                .view_mut((i + 1) * nb_loc, 0, nb_loc, kw)
+                .axpy(-1.0, next_sum.as_view());
             comm.charge_flops((nb_loc * kw) as u64);
 
             mark(comm, &mut breakdown.update);
@@ -426,50 +443,160 @@ mod tests {
 
     #[test]
     fn single_processor() {
-        check(1, 1, ItInvConfig { p1: 1, p2: 1, n0: 8, inv_base: 8 }, 32, 8);
+        check(
+            1,
+            1,
+            ItInvConfig {
+                p1: 1,
+                p2: 1,
+                n0: 8,
+                inv_base: 8,
+            },
+            32,
+            8,
+        );
     }
 
     #[test]
     fn one_d_layout_whole_matrix_inverted() {
         // p1 = 1, p2 = 4: the 1D regime of Figure 1, n0 = n.
-        check(2, 2, ItInvConfig { p1: 1, p2: 4, n0: 32, inv_base: 8 }, 32, 16);
+        check(
+            2,
+            2,
+            ItInvConfig {
+                p1: 1,
+                p2: 4,
+                n0: 32,
+                inv_base: 8,
+            },
+            32,
+            16,
+        );
     }
 
     #[test]
     fn two_d_layout_small_blocks() {
         // p1 = 2, p2 = 1: the 2D regime, several diagonal blocks.
-        check(2, 2, ItInvConfig { p1: 2, p2: 1, n0: 8, inv_base: 8 }, 32, 8);
+        check(
+            2,
+            2,
+            ItInvConfig {
+                p1: 2,
+                p2: 1,
+                n0: 8,
+                inv_base: 8,
+            },
+            32,
+            8,
+        );
     }
 
     #[test]
     fn three_d_layout() {
         // p1 = 2, p2 = 4 on 16 processors: the full 3D cuboid of Figure 1.
-        check(4, 4, ItInvConfig { p1: 2, p2: 4, n0: 16, inv_base: 8 }, 64, 16);
+        check(
+            4,
+            4,
+            ItInvConfig {
+                p1: 2,
+                p2: 4,
+                n0: 16,
+                inv_base: 8,
+            },
+            64,
+            16,
+        );
     }
 
     #[test]
     fn three_d_layout_larger_face() {
-        check(4, 4, ItInvConfig { p1: 4, p2: 1, n0: 16, inv_base: 8 }, 64, 16);
+        check(
+            4,
+            4,
+            ItInvConfig {
+                p1: 4,
+                p2: 1,
+                n0: 16,
+                inv_base: 8,
+            },
+            64,
+            16,
+        );
     }
 
     #[test]
     fn n0_extremes_generalise_both_classical_schemes() {
         // n0 = n (full inversion) and n0 = p1 (minimal blocks) both solve.
-        check(2, 2, ItInvConfig { p1: 2, p2: 1, n0: 64, inv_base: 8 }, 64, 8);
-        check(2, 2, ItInvConfig { p1: 2, p2: 1, n0: 2, inv_base: 8 }, 64, 8);
+        check(
+            2,
+            2,
+            ItInvConfig {
+                p1: 2,
+                p2: 1,
+                n0: 64,
+                inv_base: 8,
+            },
+            64,
+            8,
+        );
+        check(
+            2,
+            2,
+            ItInvConfig {
+                p1: 2,
+                p2: 1,
+                n0: 2,
+                inv_base: 8,
+            },
+            64,
+            8,
+        );
     }
 
     #[test]
     fn wide_right_hand_side() {
-        check(2, 2, ItInvConfig { p1: 1, p2: 4, n0: 16, inv_base: 8 }, 32, 64);
+        check(
+            2,
+            2,
+            ItInvConfig {
+                p1: 1,
+                p2: 4,
+                n0: 16,
+                inv_base: 8,
+            },
+            32,
+            64,
+        );
     }
 
     #[test]
     fn caller_grid_shape_does_not_matter() {
         // The caller may hold L and B on a rectangular grid; the algorithm
         // re-grids internally.
-        check(1, 4, ItInvConfig { p1: 2, p2: 1, n0: 8, inv_base: 8 }, 32, 8);
-        check(4, 1, ItInvConfig { p1: 2, p2: 1, n0: 8, inv_base: 8 }, 32, 8);
+        check(
+            1,
+            4,
+            ItInvConfig {
+                p1: 2,
+                p2: 1,
+                n0: 8,
+                inv_base: 8,
+            },
+            32,
+            8,
+        );
+        check(
+            4,
+            1,
+            ItInvConfig {
+                p1: 2,
+                p2: 1,
+                n0: 8,
+                inv_base: 8,
+            },
+            32,
+            8,
+        );
     }
 
     #[test]
@@ -477,14 +604,54 @@ mod tests {
         let (results, _) = on_grid(2, 2, |grid| {
             let l = DistMatrix::zeros(grid, 32, 32);
             let b = DistMatrix::zeros(grid, 32, 8);
-            let bad_grid = it_inv_trsm(&l, &b, &ItInvConfig { p1: 2, p2: 2, n0: 8, inv_base: 8 }).is_err();
-            let bad_n0 = it_inv_trsm(&l, &b, &ItInvConfig { p1: 2, p2: 1, n0: 5, inv_base: 8 }).is_err();
+            let bad_grid = it_inv_trsm(
+                &l,
+                &b,
+                &ItInvConfig {
+                    p1: 2,
+                    p2: 2,
+                    n0: 8,
+                    inv_base: 8,
+                },
+            )
+            .is_err();
+            let bad_n0 = it_inv_trsm(
+                &l,
+                &b,
+                &ItInvConfig {
+                    p1: 2,
+                    p2: 1,
+                    n0: 5,
+                    inv_base: 8,
+                },
+            )
+            .is_err();
             let bad_k = {
                 let b_odd = DistMatrix::zeros(grid, 32, 6);
-                it_inv_trsm(&l, &b_odd, &ItInvConfig { p1: 1, p2: 4, n0: 8, inv_base: 8 }).is_err()
+                it_inv_trsm(
+                    &l,
+                    &b_odd,
+                    &ItInvConfig {
+                        p1: 1,
+                        p2: 4,
+                        n0: 8,
+                        inv_base: 8,
+                    },
+                )
+                .is_err()
             };
             let rect_l = DistMatrix::zeros(grid, 32, 16);
-            let bad_l = it_inv_trsm(&rect_l, &b, &ItInvConfig { p1: 2, p2: 1, n0: 8, inv_base: 8 }).is_err();
+            let bad_l = it_inv_trsm(
+                &rect_l,
+                &b,
+                &ItInvConfig {
+                    p1: 2,
+                    p2: 1,
+                    n0: 8,
+                    inv_base: 8,
+                },
+            )
+            .is_err();
             bad_grid && bad_n0 && bad_k && bad_l
         });
         assert!(results.into_iter().all(|v| v));
@@ -503,7 +670,12 @@ mod tests {
             let (_, phases) = it_inv_trsm(
                 &l,
                 &b,
-                &ItInvConfig { p1: 2, p2: 1, n0: 16, inv_base: 8 },
+                &ItInvConfig {
+                    p1: 2,
+                    p2: 1,
+                    n0: 16,
+                    inv_base: 8,
+                },
             )
             .unwrap();
             phases
@@ -534,13 +706,26 @@ mod tests {
                 let b_global = gen::rhs(n, 8, 4);
                 let l = DistMatrix::from_global(grid, &l_global);
                 let b = DistMatrix::from_global(grid, &b_global);
-                it_inv_trsm(&l, &b, &ItInvConfig { p1: 2, p2: 1, n0: n / 4, inv_base: 8 }).unwrap();
+                it_inv_trsm(
+                    &l,
+                    &b,
+                    &ItInvConfig {
+                        p1: 2,
+                        p2: 1,
+                        n0: n / 4,
+                        inv_base: 8,
+                    },
+                )
+                .unwrap();
             });
             report.max_messages()
         };
         let small = run(64);
         let large = run(128);
         // Same number of blocks (4) → similar message counts.
-        assert!((large as f64) < 1.5 * small as f64, "latency should depend on n/n0, not n ({small} vs {large})");
+        assert!(
+            (large as f64) < 1.5 * small as f64,
+            "latency should depend on n/n0, not n ({small} vs {large})"
+        );
     }
 }

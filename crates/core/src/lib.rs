@@ -49,17 +49,17 @@
 //! assert!(out.results.iter().all(|&d| d < 1e-8));
 //! ```
 
-pub mod error;
-pub mod planner;
-pub mod mm3d;
-pub mod rec_trsm;
-pub mod tri_inv;
-pub mod diag_inv;
-pub mod it_inv_trsm;
-pub mod wavefront;
 pub mod api;
 pub mod apps;
+pub mod diag_inv;
+pub mod error;
+pub mod it_inv_trsm;
+pub mod mm3d;
+pub mod planner;
+pub mod rec_trsm;
+pub mod tri_inv;
 pub mod verify;
+pub mod wavefront;
 
 pub use api::{solve_lower, solve_upper, Algorithm};
 pub use error::TrsmError;

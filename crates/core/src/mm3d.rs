@@ -74,19 +74,34 @@ pub fn mm3d(a: &DistMatrix, x: &DistMatrix, cfg: &MmConfig) -> Result<DistMatrix
     let k = x.cols();
 
     if grid.rows() != grid.cols() {
-        return Err(config_error("mm3d", format!("grid must be square, got {}x{}", grid.rows(), grid.cols())));
+        return Err(config_error(
+            "mm3d",
+            format!("grid must be square, got {}x{}", grid.rows(), grid.cols()),
+        ));
     }
     if a.cols() != n {
-        return Err(config_error("mm3d", format!("A must be square, got {}x{}", n, a.cols())));
+        return Err(config_error(
+            "mm3d",
+            format!("A must be square, got {}x{}", n, a.cols()),
+        ));
     }
     if x.rows() != n {
         return Err(config_error(
             "mm3d",
-            format!("inner dimensions disagree: A is {}x{}, X is {}x{}", n, n, x.rows(), k),
+            format!(
+                "inner dimensions disagree: A is {}x{}, X is {}x{}",
+                n,
+                n,
+                x.rows(),
+                k
+            ),
         ));
     }
     if x.grid().rows() != q || x.grid().cols() != q {
-        return Err(config_error("mm3d", "A and X must be distributed over the same grid"));
+        return Err(config_error(
+            "mm3d",
+            "A and X must be distributed over the same grid",
+        ));
     }
 
     // Single processor: plain local multiplication.
@@ -98,22 +113,31 @@ pub fn mm3d(a: &DistMatrix, x: &DistMatrix, cfg: &MmConfig) -> Result<DistMatrix
     }
 
     let p1 = cfg.p1;
-    if p1 == 0 || q % p1 != 0 {
-        return Err(config_error("mm3d", format!("p1 = {p1} must divide the grid dimension q = {q}")));
+    if p1 == 0 || !q.is_multiple_of(p1) {
+        return Err(config_error(
+            "mm3d",
+            format!("p1 = {p1} must divide the grid dimension q = {q}"),
+        ));
     }
     let s = q / p1;
     let p2 = s * s;
-    if n % q != 0 || k % q != 0 {
+    if !n.is_multiple_of(q) || !k.is_multiple_of(q) {
         return Err(config_error(
             "mm3d",
             format!("n = {n} and k = {k} must be divisible by the grid dimension q = {q}"),
         ));
     }
-    if n % (p1 * p1) != 0 {
-        return Err(config_error("mm3d", format!("n = {n} must be divisible by p1² = {}", p1 * p1)));
+    if !n.is_multiple_of(p1 * p1) {
+        return Err(config_error(
+            "mm3d",
+            format!("n = {n} must be divisible by p1² = {}", p1 * p1),
+        ));
     }
-    if k % p2 != 0 {
-        return Err(config_error("mm3d", format!("k = {k} must be divisible by p2 = {p2}")));
+    if !k.is_multiple_of(p2) {
+        return Err(config_error(
+            "mm3d",
+            format!("k = {k} must be divisible by p2 = {p2}"),
+        ));
     }
 
     let comm = grid.comm();
@@ -138,8 +162,12 @@ pub fn mm3d(a: &DistMatrix, x: &DistMatrix, cfg: &MmConfig) -> Result<DistMatrix
         for m in 0..p2 {
             let ui = m / s;
             let uj = m % s;
-            let piece = Matrix::from_vec(n / q, n / q, gathered[m * piece_len..(m + 1) * piece_len].to_vec())
-                .expect("allgather piece has the right size");
+            let piece = Matrix::from_vec(
+                n / q,
+                n / q,
+                gathered[m * piece_len..(m + 1) * piece_len].to_vec(),
+            )
+            .expect("allgather piece has the right size");
             blk.set_strided_block(ui, s, uj, s, &piece);
         }
         blk
@@ -174,8 +202,12 @@ pub fn mm3d(a: &DistMatrix, x: &DistMatrix, cfg: &MmConfig) -> Result<DistMatrix
         let piece_len = contrib_rows * kw;
         let mut blk = Matrix::zeros(nb, kw);
         for m in 0..p1 {
-            let piece = Matrix::from_vec(contrib_rows, kw, gathered[m * piece_len..(m + 1) * piece_len].to_vec())
-                .expect("allgather piece has the right size");
+            let piece = Matrix::from_vec(
+                contrib_rows,
+                kw,
+                gathered[m * piece_len..(m + 1) * piece_len].to_vec(),
+            )
+            .expect("allgather piece has the right size");
             blk.set_strided_block(m, p1, 0, 1, &piece);
         }
         blk
@@ -251,13 +283,24 @@ mod tests {
             let x_global = gen::uniform(n, k, 22);
             let a = DistMatrix::from_global(grid, &a_global);
             let x = DistMatrix::from_global(grid, &x_global);
-            let b = mm3d(&a, &x, &MmConfig { p1, log_latency: true }).unwrap();
+            let b = mm3d(
+                &a,
+                &x,
+                &MmConfig {
+                    p1,
+                    log_latency: true,
+                },
+            )
+            .unwrap();
             let expect = dense::matmul(&a_global, &x_global);
             let got = b.to_global();
             dense::norms::rel_diff(&got, &expect)
         });
         for (rank, d) in results.into_iter().enumerate() {
-            assert!(d < 1e-10, "q={q} p1={p1} n={n} k={k} rank={rank}: rel diff {d}");
+            assert!(
+                d < 1e-10,
+                "q={q} p1={p1} n={n} k={k} rank={rank}: rel diff {d}"
+            );
         }
     }
 
@@ -307,8 +350,24 @@ mod tests {
             let x_global = gen::uniform(16, 8, 6);
             let a = DistMatrix::from_global(grid, &a_global);
             let x = DistMatrix::from_global(grid, &x_global);
-            let b1 = mm3d(&a, &x, &MmConfig { p1: 2, log_latency: true }).unwrap();
-            let b2 = mm3d(&a, &x, &MmConfig { p1: 2, log_latency: false }).unwrap();
+            let b1 = mm3d(
+                &a,
+                &x,
+                &MmConfig {
+                    p1: 2,
+                    log_latency: true,
+                },
+            )
+            .unwrap();
+            let b2 = mm3d(
+                &a,
+                &x,
+                &MmConfig {
+                    p1: 2,
+                    log_latency: false,
+                },
+            )
+            .unwrap();
             b1.rel_diff(&b2).unwrap()
         });
         assert!(results.into_iter().all(|d| d < 1e-14));
@@ -319,17 +378,49 @@ mod tests {
         let (results, _) = on_grid(2, |grid| {
             let a = DistMatrix::zeros(grid, 16, 16);
             let x = DistMatrix::zeros(grid, 16, 8);
-            let bad_p1 = mm3d(&a, &x, &MmConfig { p1: 3, log_latency: true }).is_err();
+            let bad_p1 = mm3d(
+                &a,
+                &x,
+                &MmConfig {
+                    p1: 3,
+                    log_latency: true,
+                },
+            )
+            .is_err();
             let rect_a = DistMatrix::zeros(grid, 16, 12);
-            let bad_square = mm3d(&rect_a, &x, &MmConfig { p1: 2, log_latency: true }).is_err();
+            let bad_square = mm3d(
+                &rect_a,
+                &x,
+                &MmConfig {
+                    p1: 2,
+                    log_latency: true,
+                },
+            )
+            .is_err();
             let mismatched = {
                 let y = DistMatrix::zeros(grid, 12, 8);
-                mm3d(&a, &y, &MmConfig { p1: 2, log_latency: true }).is_err()
+                mm3d(
+                    &a,
+                    &y,
+                    &MmConfig {
+                        p1: 2,
+                        log_latency: true,
+                    },
+                )
+                .is_err()
             };
             let bad_divisibility = {
                 let a2 = DistMatrix::zeros(grid, 18, 18);
                 let x2 = DistMatrix::zeros(grid, 18, 8);
-                mm3d(&a2, &x2, &MmConfig { p1: 2, log_latency: true }).is_err()
+                mm3d(
+                    &a2,
+                    &x2,
+                    &MmConfig {
+                        p1: 2,
+                        log_latency: true,
+                    },
+                )
+                .is_err()
             };
             bad_p1 && bad_square && mismatched && bad_divisibility
         });
@@ -347,7 +438,15 @@ mod tests {
         let (_, report) = on_grid(q, move |grid| {
             let a = DistMatrix::from_fn(grid, n, n, |i, j| ((i * 7 + j) % 13) as f64);
             let x = DistMatrix::from_fn(grid, n, k, |i, j| ((i + j * 3) % 7) as f64);
-            mm3d(&a, &x, &MmConfig { p1, log_latency: true }).unwrap();
+            mm3d(
+                &a,
+                &x,
+                &MmConfig {
+                    p1,
+                    log_latency: true,
+                },
+            )
+            .unwrap();
         });
         let p2 = (q / p1) * (q / p1);
         let main = (n * n / (p1 * p1) + 2 * n * k / (p1 * p2)) as f64;

@@ -33,7 +33,7 @@ pub fn largest_pow2_divisor_at_most(value: usize, limit: usize) -> usize {
     let mut best = 1;
     let mut candidate = 1;
     while candidate <= limit {
-        if value % candidate == 0 {
+        if value.is_multiple_of(candidate) {
             best = candidate;
         }
         candidate *= 2;
@@ -47,7 +47,7 @@ pub fn closest_divisor(value: usize, target: usize, multiple_of: usize) -> usize
     let mut best = value;
     let mut best_dist = f64::INFINITY;
     for d in 1..=value {
-        if value % d != 0 || d % multiple_of != 0 {
+        if !value.is_multiple_of(d) || d % multiple_of != 0 {
             continue;
         }
         let dist = (d as f64).ln() - (target.max(1) as f64).ln();
@@ -73,7 +73,10 @@ pub fn choose_mm_p1(n: usize, k: usize, q: usize) -> usize {
     let mut cand = 1usize;
     while cand <= q {
         let s = q / cand;
-        let feasible = q % cand == 0 && n % (cand * cand) == 0 && k % (s * s) == 0 && k % q == 0;
+        let feasible = q.is_multiple_of(cand)
+            && n.is_multiple_of(cand * cand)
+            && k.is_multiple_of(s * s)
+            && k.is_multiple_of(q);
         if feasible {
             let dist = ((cand as f64).ln() - target.ln()).abs();
             if dist < best_dist {
@@ -100,7 +103,7 @@ pub fn plan(n: usize, k: usize, p: usize) -> Plan {
     let mut best_dist = f64::INFINITY;
     let mut cand = 1usize;
     while cand * cand <= p {
-        if p % (cand * cand) == 0 && n % cand == 0 {
+        if p.is_multiple_of(cand * cand) && n.is_multiple_of(cand) {
             let dist = ((cand as f64).ln() - model.p1.max(1.0).ln()).abs();
             if dist < best_dist {
                 best_dist = dist;
@@ -111,18 +114,18 @@ pub fn plan(n: usize, k: usize, p: usize) -> Plan {
     }
     let mut p2 = p / (p1 * p1);
     // k must be divisible by p2 (the right-hand side is split into p2 slabs).
-    while p2 > 1 && k % p2 != 0 {
+    while p2 > 1 && !k.is_multiple_of(p2) {
         // Fall back to a flatter grid: fold excess depth into idle replication
         // by halving p2 and doubling nothing (the implementation requires
         // p1²·p2 = p exactly, so instead shrink p1 if possible).
-        if p1 > 1 && p % ((p1 / 2) * (p1 / 2)) == 0 {
+        if p1 > 1 && p.is_multiple_of((p1 / 2) * (p1 / 2)) {
             p1 /= 2;
             p2 = p / (p1 * p1);
         } else {
             break;
         }
     }
-    if k % p2 != 0 || p1 * p1 * p2 != p {
+    if !k.is_multiple_of(p2) || p1 * p1 * p2 != p {
         // Last resort: 1D layout (always feasible when k % p == 0, otherwise
         // the caller should pad; we still return a structurally valid plan).
         p1 = 1;
@@ -178,7 +181,12 @@ mod tests {
 
     #[test]
     fn mm_p1_is_feasible() {
-        for (n, k, q) in [(256usize, 64usize, 4usize), (512, 512, 8), (64, 4096, 8), (1024, 32, 16)] {
+        for (n, k, q) in [
+            (256usize, 64usize, 4usize),
+            (512, 512, 8),
+            (64, 4096, 8),
+            (1024, 32, 16),
+        ] {
             let p1 = choose_mm_p1(n, k, q);
             assert!(q % p1 == 0);
             assert_eq!(n % (p1 * p1), 0);
@@ -189,7 +197,12 @@ mod tests {
 
     #[test]
     fn plan_produces_exact_grid_factorisation() {
-        for (n, k, p) in [(256usize, 64usize, 16usize), (512, 128, 64), (128, 4096, 64), (4096, 64, 16)] {
+        for (n, k, p) in [
+            (256usize, 64usize, 16usize),
+            (512, 128, 64),
+            (128, 4096, 64),
+            (4096, 64, 16),
+        ] {
             let plan = plan(n, k, p);
             assert_eq!(plan.it_inv.p1 * plan.it_inv.p1 * plan.it_inv.p2, p);
             assert_eq!(n % plan.it_inv.n0, 0);

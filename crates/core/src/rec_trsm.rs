@@ -57,16 +57,28 @@ pub fn rec_trsm(l: &DistMatrix, b: &DistMatrix, cfg: &RecTrsmConfig) -> Result<D
     let k = b.cols();
 
     if l.cols() != n {
-        return Err(config_error("rec_trsm", format!("L must be square, got {}x{}", n, l.cols())));
+        return Err(config_error(
+            "rec_trsm",
+            format!("L must be square, got {}x{}", n, l.cols()),
+        ));
     }
     if b.rows() != n {
         return Err(config_error(
             "rec_trsm",
-            format!("dimension mismatch: L is {}x{}, B is {}x{}", n, n, b.rows(), k),
+            format!(
+                "dimension mismatch: L is {}x{}, B is {}x{}",
+                n,
+                n,
+                b.rows(),
+                k
+            ),
         ));
     }
     if b.grid().rows() != pr || b.grid().cols() != pc {
-        return Err(config_error("rec_trsm", "L and B must be distributed over the same grid"));
+        return Err(config_error(
+            "rec_trsm",
+            "L and B must be distributed over the same grid",
+        ));
     }
     if pr > pc || pc % pr != 0 {
         return Err(config_error(
@@ -74,7 +86,7 @@ pub fn rec_trsm(l: &DistMatrix, b: &DistMatrix, cfg: &RecTrsmConfig) -> Result<D
             format!("grid must satisfy pr ≤ pc and pr | pc, got {pr}x{pc}"),
         ));
     }
-    if pr * pc > 1 && (n % pr != 0 || n % pc != 0 || k % pc != 0) {
+    if pr * pc > 1 && (!n.is_multiple_of(pr) || !n.is_multiple_of(pc) || !k.is_multiple_of(pc)) {
         return Err(config_error(
             "rec_trsm",
             format!("n = {n} must be divisible by pr = {pr} and pc = {pc}, and k = {k} by pc"),
@@ -138,7 +150,7 @@ fn rec_trsm_inner(l: &DistMatrix, b: &DistMatrix, cfg: &RecTrsmConfig) -> Result
     }
 
     // --- Base case. -------------------------------------------------------
-    let splittable = p > 1 && n % (2 * pr) == 0 && n / 2 >= pr && n > cfg.base_size;
+    let splittable = p > 1 && n.is_multiple_of(2 * pr) && n / 2 >= pr && n > cfg.base_size;
     if !splittable {
         let l_full = l.to_global();
         // Give every rank complete columns: column c goes to rank c mod p.
@@ -150,14 +162,19 @@ fn rec_trsm_inner(l: &DistMatrix, b: &DistMatrix, cfg: &RecTrsmConfig) -> Result
             debug_assert_eq!(gj % p, my_rank);
             b_cols[(gi, gj / p)] = v;
         }
-        let x_cols = if my_cols > 0 {
-            let x = dense::trsm(Triangle::Lower, Diag::NonUnit, &l_full, &b_cols)?;
+        if my_cols > 0 {
+            // Solve in place: the gathered columns are overwritten with X.
+            dense::trsm_in_place(
+                dense::Side::Left,
+                Triangle::Lower,
+                Diag::NonUnit,
+                &l_full,
+                &mut b_cols,
+            )?;
             grid.comm()
                 .charge_flops(dense::flops::trsm_flops(n, my_cols).get());
-            x
-        } else {
-            b_cols
-        };
+        }
+        let x_cols = b_cols;
         // Scatter the solution back to the cyclic layout.
         let mut elements = Vec::with_capacity(x_cols.len());
         for lj in 0..my_cols {
@@ -239,7 +256,10 @@ mod tests {
             dense::norms::rel_diff(&x.to_global(), &x_true)
         });
         for (rank, d) in results.into_iter().enumerate() {
-            assert!(d < 1e-8, "pr={pr} pc={pc} n={n} k={k} rank={rank}: diff {d}");
+            assert!(
+                d < 1e-8,
+                "pr={pr} pc={pc} n={n} k={k} rank={rank}: diff {d}"
+            );
         }
     }
 
@@ -340,6 +360,9 @@ mod tests {
         };
         let shallow = run(128, 64);
         let deep = run(128, 8);
-        assert!(deep > shallow, "deeper recursion must cost more messages ({deep} vs {shallow})");
+        assert!(
+            deep > shallow,
+            "deeper recursion must cost more messages ({deep} vs {shallow})"
+        );
     }
 }

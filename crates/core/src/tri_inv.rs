@@ -75,12 +75,15 @@ fn tri_inv_inner(l: &DistMatrix, cfg: &TriInvConfig) -> Result<DistMatrix> {
     // Base case: gather the whole matrix and invert it redundantly on every
     // processor of this (sub-)grid, as the paper's pseudocode does once the
     // grid is one-dimensional.
-    let splittable = q >= 2 && q % 2 == 0 && n % (2 * q) == 0 && n > cfg.base_size;
+    let splittable = q >= 2 && q.is_multiple_of(2) && n.is_multiple_of(2 * q) && n > cfg.base_size;
     if !splittable {
-        let full = l.to_global();
-        let (inv, flops) = dense::tri_invert(Triangle::Lower, &full)?;
+        // Keep only the lower triangle so the returned inverse has a clean
+        // zero upper part regardless of what the storage held there (the
+        // recursive path below drops those entries too).
+        let mut full = l.to_global().lower_triangular_part();
+        let flops = dense::tri_invert_in_place(Triangle::Lower, &mut full.as_view_mut(), 16)?;
         grid.comm().charge_flops(flops.get());
-        return Ok(DistMatrix::from_global(grid, &inv));
+        return Ok(DistMatrix::from_global(grid, &full));
     }
 
     let h = n / 2;

@@ -17,7 +17,12 @@ pub fn residual(l: &DistMatrix, x: &DistMatrix, b: &DistMatrix) -> Result<f64> {
     let comm = l.grid().comm();
     let mut diff_sq = 0.0;
     let mut b_sq = 0.0;
-    for (got, want) in lx.local().as_slice().iter().zip(b.local().as_slice().iter()) {
+    for (got, want) in lx
+        .local()
+        .as_slice()
+        .iter()
+        .zip(b.local().as_slice().iter())
+    {
         diff_sq += (got - want) * (got - want);
         b_sq += want * want;
     }
@@ -25,7 +30,11 @@ pub fn residual(l: &DistMatrix, x: &DistMatrix, b: &DistMatrix) -> Result<f64> {
     let x_sq: f64 = x.local().as_slice().iter().map(|v| v * v).sum();
     let sums = coll::allreduce(comm, &[diff_sq, b_sq, l_sq, x_sq], coll::ReduceOp::Sum);
     let denom = sums[2].sqrt() * sums[3].sqrt() + sums[1].sqrt();
-    Ok(if denom == 0.0 { sums[0].sqrt() } else { sums[0].sqrt() / denom })
+    Ok(if denom == 0.0 {
+        sums[0].sqrt()
+    } else {
+        sums[0].sqrt() / denom
+    })
 }
 
 /// Relative Frobenius error between a distributed matrix and a replicated

@@ -29,7 +29,10 @@ pub fn wavefront_trsm(l: &DistMatrix, b: &DistMatrix) -> Result<DistMatrix> {
     let n = l.rows();
     let k = b.cols();
     if l.cols() != n {
-        return Err(config_error("wavefront_trsm", format!("L must be square, got {}x{}", n, l.cols())));
+        return Err(config_error(
+            "wavefront_trsm",
+            format!("L must be square, got {}x{}", n, l.cols()),
+        ));
     }
     if b.rows() != n {
         return Err(config_error(
@@ -59,7 +62,11 @@ pub fn wavefront_trsm(l: &DistMatrix, b: &DistMatrix) -> Result<DistMatrix> {
             let li = i / p;
             let pivot = l_local[(li, i)];
             if pivot.abs() < 1e-300 {
-                return Err(dense::DenseError::SingularPivot { index: i, value: pivot }.into());
+                return Err(dense::DenseError::SingularPivot {
+                    index: i,
+                    value: pivot,
+                }
+                .into());
             }
             let mut row: Vec<f64> = (0..k).map(|c| b_local[(li, c)] / pivot).collect();
             comm.charge_flops(k as u64);
@@ -157,7 +164,10 @@ mod tests {
         };
         let small = run(32);
         let large = run(64);
-        assert!(large as f64 > 1.6 * small as f64, "wavefront latency must grow ~linearly in n");
+        assert!(
+            large as f64 > 1.6 * small as f64,
+            "wavefront latency must grow ~linearly in n"
+        );
     }
 
     #[test]

@@ -53,7 +53,15 @@ mod tests {
 
     #[test]
     fn single_processor_moves_no_data() {
-        for f in [allgather, scatter, gather, reduce_scatter, alltoall, reduction, bcast] {
+        for f in [
+            allgather,
+            scatter,
+            gather,
+            reduce_scatter,
+            alltoall,
+            reduction,
+            bcast,
+        ] {
             let c = f(1000.0, 1.0);
             assert_eq!(c.bandwidth, 0.0, "p = 1 must move no words");
         }

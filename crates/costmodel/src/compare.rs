@@ -111,7 +111,11 @@ mod tests {
 
     #[test]
     fn both_methods_have_equal_bandwidth_everywhere() {
-        for (n, k, p) in [(32.0, 8192.0, 512.0), (4096.0, 1024.0, 64.0), (1.0e6, 64.0, 256.0)] {
+        for (n, k, p) in [
+            (32.0, 8192.0, 512.0),
+            (4096.0, 1024.0, 64.0),
+            (1.0e6, 64.0, 256.0),
+        ] {
             let row = conclusion_row(n, k, p);
             assert_eq!(row.standard.bandwidth, row.new.bandwidth);
         }
@@ -119,7 +123,11 @@ mod tests {
 
     #[test]
     fn flops_at_most_doubled() {
-        for (n, k, p) in [(32.0, 8192.0, 512.0), (4096.0, 1024.0, 64.0), (1.0e6, 64.0, 256.0)] {
+        for (n, k, p) in [
+            (32.0, 8192.0, 512.0),
+            (4096.0, 1024.0, 64.0),
+            (1.0e6, 64.0, 256.0),
+        ] {
             let row = conclusion_row(n, k, p);
             assert!(row.new.flops <= 2.0 * row.standard.flops + 1e-9);
         }
@@ -159,7 +167,10 @@ mod tests {
         let large = latency_improvement(n, k, 16384.0) / asymptotic_improvement_3d(n, k, 16384.0);
         assert!(small > 0.0 && large > 0.0);
         let ratio = large / small;
-        assert!(ratio > 0.2 && ratio < 5.0, "constant factor drifted: {ratio}");
+        assert!(
+            ratio > 0.2 && ratio < 5.0,
+            "constant factor drifted: {ratio}"
+        );
     }
 
     #[test]

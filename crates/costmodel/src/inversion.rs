@@ -112,7 +112,10 @@ mod tests {
         }
         assert!(steps > 50);
         // The paper's ratio-4 split is within a few percent of optimal …
-        assert!(w_paper <= 1.10 * w_best, "paper split should be near-optimal");
+        assert!(
+            w_paper <= 1.10 * w_best,
+            "paper split should be near-optimal"
+        );
         // … while extreme splits are clearly worse.
         for extreme in [0.25, 64.0, 256.0] {
             let r1 = (q / extreme).powf(1.0 / 3.0);

@@ -26,14 +26,14 @@
 //! assert!(plan.p1 * plan.p1 * plan.p2 <= 64.0);
 //! ```
 
-pub mod cost;
 pub mod collectives;
-pub mod mm;
-pub mod rec_trsm;
+pub mod compare;
+pub mod cost;
 pub mod inversion;
 pub mod itinv;
+pub mod mm;
+pub mod rec_trsm;
 pub mod tuning;
-pub mod compare;
 
 pub use cost::{Cost, Machine};
 pub use tuning::{plan, Regime, TrsmPlan};

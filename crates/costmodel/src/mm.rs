@@ -127,7 +127,11 @@ mod tests {
 
     #[test]
     fn mm_grid_is_valid_and_optimal_shape() {
-        for (n, k, p) in [(4096.0, 4096.0, 64.0), (65536.0, 64.0, 256.0), (64.0, 65536.0, 256.0)] {
+        for (n, k, p) in [
+            (4096.0, 4096.0, 64.0),
+            (65536.0, 64.0, 256.0),
+            (64.0, 65536.0, 256.0),
+        ] {
             let (p1, p2) = mm_grid_for(n, k, p);
             assert!(p1 >= 1.0 && p1 <= p.sqrt() + 1e-9);
             assert!((p1 * p1 * p2 - p).abs() / p < 1e-9 || p2 == 1.0);

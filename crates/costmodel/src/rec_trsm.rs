@@ -107,7 +107,11 @@ mod tests {
 
     #[test]
     fn flops_always_optimal() {
-        for (n, k, p) in [(100.0, 1.0e6, 64.0), (1.0e5, 10.0, 64.0), (4096.0, 4096.0, 512.0)] {
+        for (n, k, p) in [
+            (100.0, 1.0e6, 64.0),
+            (1.0e5, 10.0, 64.0),
+            (4096.0, 4096.0, 512.0),
+        ] {
             assert_eq!(rec_trsm_cost(n, k, p).flops, n * n * k / p);
         }
     }

@@ -6,9 +6,8 @@ use proptest::prelude::*;
 
 fn problem() -> impl Strategy<Value = (f64, f64, f64)> {
     // n, k in [2^4, 2^24], p in [4, 2^20] as powers of two.
-    (4u32..24, 4u32..24, 2u32..20).prop_map(|(n, k, p)| {
-        ((1u64 << n) as f64, (1u64 << k) as f64, (1u64 << p) as f64)
-    })
+    (4u32..24, 4u32..24, 2u32..20)
+        .prop_map(|(n, k, p)| ((1u64 << n) as f64, (1u64 << k) as f64, (1u64 << p) as f64))
 }
 
 proptest! {

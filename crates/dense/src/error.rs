@@ -68,7 +68,11 @@ impl fmt::Display for DenseError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             DenseError::NotSquare { op, dims } => {
-                write!(f, "{op}: expected a square matrix, got {}x{}", dims.0, dims.1)
+                write!(
+                    f,
+                    "{op}: expected a square matrix, got {}x{}",
+                    dims.0, dims.1
+                )
             }
             DenseError::SingularPivot { index, value } => {
                 write!(f, "singular pivot at index {index}: {value}")

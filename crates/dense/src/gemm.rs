@@ -1,24 +1,60 @@
 //! General matrix–matrix multiplication kernels.
 //!
-//! The workhorse is [`gemm`], a cache-blocked implementation of
-//! `C ← α · A · B + β · C`.  Convenience wrappers [`matmul`], [`gemm_at_b`]
-//! and [`gemm_a_bt`] cover the transposed variants the distributed algorithms
-//! need (the paper's `MM` subroutine and the triangular-inversion updates).
+//! The workhorse is [`gemm`], `C ← α · A · B + β · C`, which routes every
+//! non-trivial product through the packed-panel microkernel of
+//! [`crate::microkernel`] (pack `A` into `MR`-row column panels and `B` into
+//! `NR`-column row panels at an `(MC, KC, NC)` tiling, then drive an `MR×NR`
+//! register tile over the packed buffers).  [`gemm_views`] is the same
+//! operation on borrowed sub-blocks, which is what the blocked triangular
+//! kernels and the `catrsm` algorithms use to update blocks in place without
+//! cloning them.  Convenience wrappers [`matmul`], [`gemm_at_b`] and
+//! [`gemm_a_bt`] cover the transposed variants the distributed algorithms
+//! need.
 
 use crate::error::DenseError;
 use crate::flops::{gemm_flops, FlopCount};
-use crate::matrix::Matrix;
+use crate::matrix::{MatMut, MatRef, Matrix};
+use crate::microkernel::gemm_accumulate;
 use crate::Result;
-
-/// Cache-block edge length used by the blocked kernel.  Chosen so three
-/// `BLOCK × BLOCK` f64 tiles fit comfortably in a typical L1 cache.
-const BLOCK: usize = 64;
 
 /// `C ← alpha * A * B + beta * C`.
 ///
 /// `A` is `m×p`, `B` is `p×n`, `C` must be `m×n`.  Returns the number of
 /// flops performed so callers can charge them to the simulated machine.
 pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) -> Result<FlopCount> {
+    let (m, p) = a.dims();
+    let (p2, n) = b.dims();
+    if p != p2 {
+        return Err(DenseError::DimensionMismatch {
+            op: "gemm",
+            lhs: a.dims(),
+            rhs: b.dims(),
+        });
+    }
+    if c.dims() != (m, n) {
+        return Err(DenseError::DimensionMismatch {
+            op: "gemm (output)",
+            lhs: (m, n),
+            rhs: c.dims(),
+        });
+    }
+    gemm_views(alpha, a.as_view(), b.as_view(), beta, &mut c.as_view_mut())
+}
+
+/// `C ← alpha * A * B + beta * C` on borrowed sub-blocks.
+///
+/// This is the block-update primitive behind the blocked triangular kernels:
+/// the operands may be [`Matrix::view`]s of larger matrices, so callers
+/// update sub-blocks in place instead of extracting, multiplying, and
+/// re-inserting copies.  Borrow rules guarantee `c` cannot overlap `a` or
+/// `b`.
+pub fn gemm_views(
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+) -> Result<FlopCount> {
     let (m, p) = a.dims();
     let (p2, n) = b.dims();
     if p != p2 {
@@ -47,33 +83,21 @@ pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) -> Re
         return Ok(FlopCount::ZERO);
     }
 
-    // Blocked i-k-j loop order: the innermost loop walks rows of B and C
-    // contiguously, which is the cache-friendly order for row-major storage.
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    let c_data = c.as_mut_slice();
-    for ib in (0..m).step_by(BLOCK) {
-        let i_end = (ib + BLOCK).min(m);
-        for kb in (0..p).step_by(BLOCK) {
-            let k_end = (kb + BLOCK).min(p);
-            for jb in (0..n).step_by(BLOCK) {
-                let j_end = (jb + BLOCK).min(n);
-                for i in ib..i_end {
-                    let a_row = &a_data[i * p..(i + 1) * p];
-                    let c_row = &mut c_data[i * n..(i + 1) * n];
-                    for k in kb..k_end {
-                        let aik = alpha * a_row[k];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b_data[k * n..(k + 1) * n];
-                        for j in jb..j_end {
-                            c_row[j] += aik * b_row[j];
-                        }
-                    }
-                }
-            }
-        }
+    // SAFETY: the views describe in-bounds blocks of live allocations, and
+    // `c` is a mutable borrow so it cannot alias `a` or `b`.
+    unsafe {
+        gemm_accumulate(
+            m,
+            n,
+            p,
+            alpha,
+            a.as_ptr(),
+            a.stride(),
+            b.as_ptr(),
+            b.stride(),
+            c.as_mut_ptr(),
+            c.stride(),
+        );
     }
     Ok(gemm_flops(m, p, n))
 }
@@ -89,21 +113,37 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// `C ← alpha * Aᵀ * B + beta * C` (A is `p×m`, B is `p×n`, C is `m×n`).
-pub fn gemm_at_b(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) -> Result<FlopCount> {
+pub fn gemm_at_b(
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) -> Result<FlopCount> {
     let at = a.transpose();
     gemm(alpha, &at, b, beta, c)
 }
 
 /// `C ← alpha * A * Bᵀ + beta * C` (A is `m×p`, B is `n×p`, C is `m×n`).
-pub fn gemm_a_bt(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) -> Result<FlopCount> {
+pub fn gemm_a_bt(
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) -> Result<FlopCount> {
     let bt = b.transpose();
     gemm(alpha, a, &bt, beta, c)
 }
 
 /// Reference (non-blocked) triple-loop multiplication used by the tests to
-/// validate the blocked kernel.
+/// validate the packed kernel.
 pub fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.rows(), "matmul_reference: inner dims must agree");
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_reference: inner dims must agree"
+    );
     let (m, p) = a.dims();
     let n = b.cols();
     let mut c = Matrix::zeros(m, n);
@@ -151,6 +191,59 @@ mod tests {
         let c1 = matmul(&a, &b);
         let c2 = matmul_reference(&a, &b);
         assert!(near(&c1, &c2, 1e-10));
+    }
+
+    #[test]
+    fn packed_path_matches_reference_at_scale() {
+        // Large enough to exercise every level of the (MC, KC, NC) tiling,
+        // with ragged edges on all three dimensions.
+        let a = Matrix::from_fn(261, 300, |i, j| {
+            ((i * 31 + j * 17) % 23) as f64 / 23.0 - 0.5
+        });
+        let b = Matrix::from_fn(300, 137, |i, j| ((i * 7 + j * 41) % 19) as f64 / 19.0 - 0.5);
+        let c1 = matmul(&a, &b);
+        let c2 = matmul_reference(&a, &b);
+        assert!(near(&c1, &c2, 1e-9));
+    }
+
+    #[test]
+    fn gemm_views_updates_blocks_in_place() {
+        let big_a = Matrix::from_fn(9, 9, |i, j| (i + j) as f64 / 5.0);
+        let big_b = Matrix::from_fn(9, 9, |i, j| (i as f64) - (j as f64));
+        let mut c = Matrix::zeros(6, 6);
+        // C[2..5, 1..4] += 2 · A[0..3, 3..7] · B[2..6, 4..7]
+        let f = gemm_views(
+            2.0,
+            big_a.view(0, 3, 3, 4),
+            big_b.view(2, 4, 4, 3),
+            1.0,
+            &mut c.view_mut(2, 1, 3, 3),
+        )
+        .unwrap();
+        assert_eq!(f, gemm_flops(3, 4, 3));
+        let expect = matmul(&big_a.block(0, 3, 3, 4), &big_b.block(2, 4, 4, 3)).scale(2.0);
+        assert!(near(&c.block(2, 1, 3, 3), &expect, 1e-12));
+        // Everything outside the target block is untouched.
+        assert_eq!(c[(0, 0)], 0.0);
+        assert_eq!(c[(5, 5)], 0.0);
+    }
+
+    #[test]
+    fn gemm_views_dimension_errors() {
+        let a = Matrix::zeros(3, 4);
+        let b = Matrix::zeros(5, 2);
+        let mut c = Matrix::zeros(3, 2);
+        assert!(gemm_views(1.0, a.as_view(), b.as_view(), 0.0, &mut c.as_view_mut()).is_err());
+        let b_ok = Matrix::zeros(4, 2);
+        let mut c_bad = Matrix::zeros(2, 2);
+        assert!(gemm_views(
+            1.0,
+            a.as_view(),
+            b_ok.as_view(),
+            0.0,
+            &mut c_bad.as_view_mut()
+        )
+        .is_err());
     }
 
     #[test]

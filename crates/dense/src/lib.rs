@@ -13,12 +13,24 @@
 //! * norms and residual checks ([`norms`]),
 //! * random well-conditioned test matrices ([`gen`]).
 //!
-//! All kernels operate on the row-major [`Matrix`] type and are written in
-//! safe Rust.  They are deliberately straightforward (cache-blocked where it
-//! is cheap to do so) because in the reproduction the local kernels only
-//! contribute to the `γ·F` term of the α–β–γ execution-time model; the paper's
-//! claims are about communication, which is handled by the `simnet`, `pgrid`
-//! and `catrsm` crates.
+//! All kernels operate on the row-major [`Matrix`] type.  The O(n³) hot
+//! paths all funnel through one packed-panel GEMM: [`pack`] copies `(MC, KC)`
+//! blocks of `A` and `(KC, NC)` blocks of `B` into thread-local micro-panel
+//! buffers, and [`microkernel`] drives an `MR×NR` register tile over them.
+//! The triangular kernels ([`trsm`], [`trmm`], [`trinv`]) are blocked so
+//! their off-diagonal updates — where almost all of their flops are — run
+//! through that same GEMM; only small diagonal blocks use substitution
+//! loops.  [`reference`] keeps the original unblocked kernels as the ground
+//! truth for tests and benches.  Block-level operations avoid copies via the
+//! borrowed views [`MatRef`] / [`MatMut`] and [`gemm_views`].
+//!
+//! Every kernel reports a [`FlopCount`] following the classical formulas, so
+//! the `γ·F` term of the paper's α–β–γ execution-time model is unchanged by
+//! how the arithmetic is scheduled; the distributed algorithms in `catrsm`
+//! charge these counts to the simulated machine.
+//!
+//! See `crates/dense/README.md` for the kernel architecture and the
+//! `(MC, KC, NC, MR, NR)` tuning knobs.
 //!
 //! ## Quick example
 //!
@@ -34,24 +46,27 @@
 //! ```
 
 pub mod error;
-pub mod matrix;
-pub mod gemm;
-pub mod trsm;
-pub mod trmm;
-pub mod trinv;
 pub mod factor;
-pub mod norms;
-pub mod gen;
 pub mod flops;
+pub mod gemm;
+pub mod gen;
+pub mod matrix;
+pub mod microkernel;
+pub mod norms;
+pub mod pack;
+pub mod reference;
+pub mod trinv;
+pub mod trmm;
+pub mod trsm;
 
 pub use error::DenseError;
-pub use matrix::Matrix;
-pub use gemm::{gemm, matmul, gemm_at_b, gemm_a_bt};
-pub use trsm::{trsm, trsm_in_place, trsv, Side, Triangle, Diag};
-pub use trmm::trmm;
-pub use trinv::{tri_invert, tri_invert_blocked};
 pub use factor::{cholesky, lu, lu_partial_pivot, LuFactors};
 pub use flops::FlopCount;
+pub use gemm::{gemm, gemm_a_bt, gemm_at_b, gemm_views, matmul};
+pub use matrix::{MatMut, MatRef, Matrix};
+pub use trinv::{tri_invert, tri_invert_blocked, tri_invert_in_place};
+pub use trmm::trmm;
+pub use trsm::{trsm, trsm_in_place, trsv, Diag, Side, Triangle};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, DenseError>;

@@ -316,12 +316,24 @@ impl Matrix {
 
     /// Returns a copy with everything strictly above the diagonal zeroed.
     pub fn lower_triangular_part(&self) -> Matrix {
-        Matrix::from_fn(self.rows, self.cols, |i, j| if j <= i { self[(i, j)] } else { 0.0 })
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            if j <= i {
+                self[(i, j)]
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Returns a copy with everything strictly below the diagonal zeroed.
     pub fn upper_triangular_part(&self) -> Matrix {
-        Matrix::from_fn(self.rows, self.cols, |i, j| if j >= i { self[(i, j)] } else { 0.0 })
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            if j >= i {
+                self[(i, j)]
+            } else {
+                0.0
+            }
+        })
     }
 
     /// `true` if every element strictly above the diagonal is `0.0`.
@@ -392,6 +404,79 @@ impl Matrix {
         )
     }
 
+    /// Borrow the rectangular block `A[r0 .. r0+nr, c0 .. c0+nc]` without
+    /// copying it.
+    pub fn view(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatRef<'_> {
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "view: block ({r0}+{nr}, {c0}+{nc}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        if nr == 0 || nc == 0 {
+            // Degenerate views keep their dims but use a zero stride so row
+            // arithmetic stays in bounds of the empty slice.
+            return MatRef {
+                data: &[],
+                rows: nr,
+                cols: nc,
+                stride: 0,
+            };
+        }
+        MatRef {
+            data: &self.data[r0 * self.cols + c0..],
+            rows: nr,
+            cols: nc,
+            stride: self.cols,
+        }
+    }
+
+    /// Mutably borrow the rectangular block `A[r0 .. r0+nr, c0 .. c0+nc]`
+    /// without copying it.
+    pub fn view_mut(&mut self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatMut<'_> {
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "view_mut: block ({r0}+{nr}, {c0}+{nc}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        if nr == 0 || nc == 0 {
+            return MatMut {
+                data: &mut [],
+                rows: nr,
+                cols: nc,
+                stride: 0,
+            };
+        }
+        let stride = self.cols;
+        MatMut {
+            data: &mut self.data[r0 * self.cols + c0..],
+            rows: nr,
+            cols: nc,
+            stride,
+        }
+    }
+
+    /// The whole matrix as an immutable view.
+    pub fn as_view(&self) -> MatRef<'_> {
+        MatRef {
+            data: &self.data,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+        }
+    }
+
+    /// The whole matrix as a mutable view.
+    pub fn as_view_mut(&mut self) -> MatMut<'_> {
+        MatMut {
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+            data: &mut self.data,
+        }
+    }
+
     fn zip_with<F: Fn(f64, f64) -> f64>(
         &self,
         other: &Matrix,
@@ -415,6 +500,328 @@ impl Matrix {
                 .map(|(a, b)| f(*a, *b))
                 .collect(),
         })
+    }
+}
+
+/// Immutable borrowed view of a rectangular block of a [`Matrix`].
+///
+/// The view references the owner's row-major storage in place: element
+/// `(i, j)` lives at `data[i * stride + j]`.  Views are what let the blocked
+/// kernels (and the `catrsm` algorithms) update sub-blocks without cloning
+/// them first.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a> {
+    data: &'a [f64],
+    rows: usize,
+    cols: usize,
+    stride: usize,
+}
+
+impl<'a> MatRef<'a> {
+    /// View a contiguous row-major slice as a `rows×cols` matrix.
+    pub fn from_slice(data: &'a [f64], rows: usize, cols: usize) -> MatRef<'a> {
+        assert_eq!(data.len(), rows * cols, "from_slice: length mismatch");
+        MatRef {
+            data,
+            rows,
+            cols,
+            stride: cols,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Distance in elements between consecutive rows.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.stride + j]
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.stride..i * self.stride + self.cols]
+    }
+
+    /// Pointer to element `(0, 0)`.
+    #[inline]
+    pub fn as_ptr(&self) -> *const f64 {
+        self.data.as_ptr()
+    }
+
+    /// A sub-view of this view.
+    pub fn subview(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatRef<'a> {
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "subview out of bounds"
+        );
+        if nr == 0 || nc == 0 {
+            return MatRef {
+                data: &[],
+                rows: nr,
+                cols: nc,
+                stride: 0,
+            };
+        }
+        MatRef {
+            data: &self.data[r0 * self.stride + c0..],
+            rows: nr,
+            cols: nc,
+            stride: self.stride,
+        }
+    }
+
+    /// Copy the viewed block into a freshly allocated [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| self.at(i, j))
+    }
+}
+
+/// Mutable borrowed view of a rectangular block of a [`Matrix`].
+///
+/// See [`MatRef`]; the mutable variant additionally supports in-place
+/// updates, which is how the blocked triangular kernels write their results
+/// without intermediate clones.
+pub struct MatMut<'a> {
+    data: &'a mut [f64],
+    rows: usize,
+    cols: usize,
+    stride: usize,
+}
+
+impl<'a> MatMut<'a> {
+    /// View a contiguous row-major slice as a mutable `rows×cols` matrix.
+    pub fn from_slice(data: &'a mut [f64], rows: usize, cols: usize) -> MatMut<'a> {
+        assert_eq!(data.len(), rows * cols, "from_slice: length mismatch");
+        MatMut {
+            data,
+            rows,
+            cols,
+            stride: cols,
+        }
+    }
+
+    /// Reborrow: a shorter-lived mutable view of the same block, leaving
+    /// `self` usable again afterwards.
+    #[inline]
+    pub fn reborrow(&mut self) -> MatMut<'_> {
+        MatMut {
+            data: &mut *self.data,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.stride,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Distance in elements between consecutive rows.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.stride + j]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.stride + j]
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.stride..i * self.stride + self.cols]
+    }
+
+    /// Row `i` as a contiguous mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.stride..i * self.stride + self.cols]
+    }
+
+    /// Pointer to element `(0, 0)`.
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut f64 {
+        self.data.as_mut_ptr()
+    }
+
+    /// Reborrow as an immutable view.
+    #[inline]
+    pub fn rb(&self) -> MatRef<'_> {
+        MatRef {
+            data: self.data,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.stride,
+        }
+    }
+
+    /// A mutable sub-view; consumes the borrow for the lifetime of the result.
+    pub fn subview_mut(self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatMut<'a> {
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "subview_mut out of bounds"
+        );
+        if nr == 0 || nc == 0 {
+            return MatMut {
+                data: &mut [],
+                rows: nr,
+                cols: nc,
+                stride: 0,
+            };
+        }
+        let stride = self.stride;
+        MatMut {
+            data: &mut self.data[r0 * stride + c0..],
+            rows: nr,
+            cols: nc,
+            stride,
+        }
+    }
+
+    /// Split into the rows above `r` and the rows from `r` down.
+    pub fn split_rows_at_mut(self, r: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(r <= self.rows, "split_rows_at_mut out of bounds");
+        let stride = self.stride;
+        let (rows, cols) = (self.rows, self.cols);
+        if r == 0 {
+            return (
+                MatMut {
+                    data: &mut [],
+                    rows: 0,
+                    cols,
+                    stride,
+                },
+                self,
+            );
+        }
+        if r == rows {
+            return (
+                self,
+                MatMut {
+                    data: &mut [],
+                    rows: 0,
+                    cols,
+                    stride,
+                },
+            );
+        }
+        let (head, tail) = self.data.split_at_mut(r * stride);
+        (
+            MatMut {
+                data: head,
+                rows: r,
+                cols,
+                stride,
+            },
+            MatMut {
+                data: tail,
+                rows: rows - r,
+                cols,
+                stride,
+            },
+        )
+    }
+
+    /// Borrow row `i` mutably and row `j` immutably at the same time
+    /// (`i != j`) — the split borrow the substitution kernels need for
+    /// `row_i -= a · row_j` updates.
+    pub fn row_pair_mut(&mut self, i: usize, j: usize) -> (&mut [f64], &[f64]) {
+        assert!(
+            i != j && i < self.rows && j < self.rows,
+            "row_pair_mut: bad rows {i}, {j}"
+        );
+        let cols = self.cols;
+        let stride = self.stride;
+        if j < i {
+            let (head, tail) = self.data.split_at_mut(i * stride);
+            (&mut tail[..cols], &head[j * stride..j * stride + cols])
+        } else {
+            let (head, tail) = self.data.split_at_mut(j * stride);
+            (&mut head[i * stride..i * stride + cols], &tail[..cols])
+        }
+    }
+
+    /// Set every element of the viewed block to zero.
+    pub fn fill_zero(&mut self) {
+        for i in 0..self.rows {
+            self.row_mut(i).fill(0.0);
+        }
+    }
+
+    /// Scale every element of the viewed block in place.
+    pub fn scale_in_place(&mut self, alpha: f64) {
+        for i in 0..self.rows {
+            for v in self.row_mut(i) {
+                *v *= alpha;
+            }
+        }
+    }
+
+    /// In-place `self += alpha * other` over the viewed block.
+    pub fn axpy(&mut self, alpha: f64, other: MatRef<'_>) {
+        assert_eq!(self.dims(), other.dims(), "axpy: dimension mismatch");
+        for i in 0..self.rows {
+            let src = other.row(i);
+            for (d, s) in self.row_mut(i).iter_mut().zip(src) {
+                *d += alpha * s;
+            }
+        }
+    }
+
+    /// Overwrite the viewed block with `other`.
+    pub fn copy_from(&mut self, other: MatRef<'_>) {
+        assert_eq!(self.dims(), other.dims(), "copy_from: dimension mismatch");
+        for i in 0..self.rows {
+            self.row_mut(i).copy_from_slice(other.row(i));
+        }
     }
 }
 
@@ -625,8 +1032,14 @@ mod tests {
         assert!(u.is_upper_triangular());
         assert!(!u.is_lower_triangular());
         let full = Matrix::filled(3, 3, 1.0);
-        assert_eq!(full.lower_triangular_part(), Matrix::from_fn(3, 3, |i, j| if j <= i { 1.0 } else { 0.0 }));
-        assert_eq!(full.upper_triangular_part(), Matrix::from_fn(3, 3, |i, j| if j >= i { 1.0 } else { 0.0 }));
+        assert_eq!(
+            full.lower_triangular_part(),
+            Matrix::from_fn(3, 3, |i, j| if j <= i { 1.0 } else { 0.0 })
+        );
+        assert_eq!(
+            full.upper_triangular_part(),
+            Matrix::from_fn(3, 3, |i, j| if j >= i { 1.0 } else { 0.0 })
+        );
     }
 
     #[test]

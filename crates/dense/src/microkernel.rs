@@ -1,0 +1,414 @@
+//! Register-blocked microkernel and the packed-panel GEMM driver.
+//!
+//! This is the crate's hot path: a BLIS-style three-level blocking scheme
+//!
+//! ```text
+//! for jc in 0..n  step NC          // B column panel  (streams through L3)
+//!   for pc in 0..k  step KC        // pack B[pc..pc+KC, jc..jc+NC]
+//!     for ic in 0..m  step MC      // pack A[ic..ic+MC, pc..pc+KC]  (fits L2)
+//!       for jr in 0..NC step NR    // micro-panel of packed B
+//!         for ir in 0..MC step MR  // micro-panel of packed A
+//!           C[MR×NR] += Apanel · Bpanel   // the microkernel, registers only
+//! ```
+//!
+//! driving an `MR×NR` register tile over panels packed by [`crate::pack`].
+//! The packed layouts make every `k`-step of the microkernel two contiguous
+//! loads, which is what lets the compiler keep the `MR×NR` accumulator in
+//! vector registers.
+//!
+//! ## Tuning knobs
+//!
+//! | knob | default | meaning |
+//! |------|---------|---------|
+//! | `MR` | 4  | microkernel rows (one accumulator column of SIMD lanes) |
+//! | `NR` | 8  | microkernel columns (two 4-wide SIMD vectors)  |
+//! | `MC` | 128 | rows of the packed A block — `MC·KC` doubles ≈ ¼ L2 |
+//! | `KC` | 256 | shared inner dimension of both packed blocks |
+//! | `NC` | 1024 | columns of the packed B block — `KC·NC` doubles ≈ L3 share |
+//!
+//! `MC` must be a multiple of `MR` and `NC` a multiple of `NR` (checked at
+//! compile time below).  See `crates/dense/README.md` for how to re-run the
+//! kernel benches after changing them.
+
+use crate::pack::{pack_a, pack_b, with_gemm_scratch};
+#[cfg(target_arch = "x86_64")]
+use std::sync::OnceLock;
+
+/// Microkernel tile rows.
+pub const MR: usize = 4;
+/// Microkernel tile columns.
+pub const NR: usize = 8;
+/// Row-blocking of the packed `A` block.
+pub const MC: usize = 128;
+/// Inner-dimension blocking shared by the packed `A` and `B` blocks.
+pub const KC: usize = 256;
+/// Column-blocking of the packed `B` block.
+pub const NC: usize = 1024;
+
+const _: () = assert!(MC.is_multiple_of(MR), "MC must be a multiple of MR");
+const _: () = assert!(NC.is_multiple_of(NR), "NC must be a multiple of NR");
+
+/// Below this many multiply–adds the panel-packing overhead outweighs its
+/// cache benefits and [`gemm_accumulate`] falls back to a simple loop.
+const PACK_THRESHOLD: usize = 32 * 32 * 32;
+
+/// `C[m×n] += alpha · A[m×k] · B[k×n]` on raw strided storage, choosing the
+/// packed path for large products and a register-blocked loop for small ones.
+///
+/// # Safety
+/// * `a` must be valid for reads of an `m×kdim` block at row stride `a_rs`;
+/// * `b` must be valid for reads of a `kdim×n` block at row stride `b_rs`;
+/// * `c` must be valid for reads and writes of an `m×n` block at row stride
+///   `c_rs`;
+/// * the `m×n` region written through `c` must not overlap the regions read
+///   through `a` or `b` (the blocks may belong to the same allocation, e.g.
+///   disjoint column ranges of one matrix).
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel signature
+pub(crate) unsafe fn gemm_accumulate(
+    m: usize,
+    n: usize,
+    kdim: usize,
+    alpha: f64,
+    a: *const f64,
+    a_rs: usize,
+    b: *const f64,
+    b_rs: usize,
+    c: *mut f64,
+    c_rs: usize,
+) {
+    if m == 0 || n == 0 || kdim == 0 || alpha == 0.0 {
+        return;
+    }
+    if m * n * kdim < PACK_THRESHOLD {
+        gemm_small(m, n, kdim, alpha, a, a_rs, b, b_rs, c, c_rs);
+    } else {
+        gemm_packed(m, n, kdim, alpha, a, a_rs, b, b_rs, c, c_rs);
+    }
+}
+
+/// The packed-panel driver (see the module docs for the loop structure).
+///
+/// # Safety
+/// Same contract as [`gemm_accumulate`].
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel signature
+unsafe fn gemm_packed(
+    m: usize,
+    n: usize,
+    kdim: usize,
+    alpha: f64,
+    a: *const f64,
+    a_rs: usize,
+    b: *const f64,
+    b_rs: usize,
+    c: *mut f64,
+    c_rs: usize,
+) {
+    let macro_kernel = select_macro_kernel();
+    with_gemm_scratch(|apack, bpack| {
+        let mut jc = 0;
+        while jc < n {
+            let nc = NC.min(n - jc);
+            let mut pc = 0;
+            while pc < kdim {
+                let kc = KC.min(kdim - pc);
+                pack_b(b.add(pc * b_rs + jc), b_rs, kc, nc, bpack);
+                let mut ic = 0;
+                while ic < m {
+                    let mc = MC.min(m - ic);
+                    pack_a(alpha, a.add(ic * a_rs + pc), a_rs, mc, kc, apack);
+                    macro_kernel(mc, nc, kc, apack, bpack, c.add(ic * c_rs + jc), c_rs);
+                    ic += MC;
+                }
+                pc += KC;
+            }
+            jc += NC;
+        }
+    });
+}
+
+/// Signature shared by the macro-kernel instantiations.
+type MacroKernelFn = unsafe fn(usize, usize, usize, &[f64], &[f64], *mut f64, usize);
+
+/// Picks the best macro-kernel for this CPU, once per process.
+///
+/// On x86-64 with AVX2+FMA the kernel is compiled with those features
+/// enabled (and uses `mul_add`, which lowers to `vfmadd`); everywhere else
+/// the portable mul-then-add version is used.
+fn select_macro_kernel() -> MacroKernelFn {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static KERNEL: OnceLock<MacroKernelFn> = OnceLock::new();
+        *KERNEL.get_or_init(|| {
+            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                macro_kernel_avx2
+            } else {
+                macro_kernel_portable
+            }
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        macro_kernel_portable
+    }
+}
+
+/// AVX2+FMA instantiation of the macro kernel.
+///
+/// # Safety
+/// Same contract as [`macro_kernel_impl`]; additionally the CPU must support
+/// AVX2 and FMA (guaranteed by [`select_macro_kernel`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn macro_kernel_avx2(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    apack: &[f64],
+    bpack: &[f64],
+    c: *mut f64,
+    c_rs: usize,
+) {
+    macro_kernel_impl::<true>(mc, nc, kc, apack, bpack, c, c_rs);
+}
+
+/// Portable instantiation of the macro kernel.
+///
+/// # Safety
+/// Same contract as [`macro_kernel_impl`].
+unsafe fn macro_kernel_portable(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    apack: &[f64],
+    bpack: &[f64],
+    c: *mut f64,
+    c_rs: usize,
+) {
+    macro_kernel_impl::<false>(mc, nc, kc, apack, bpack, c, c_rs);
+}
+
+/// Drives the microkernel over every `MR×NR` tile of one packed block pair.
+///
+/// `FMA` selects `mul_add` in the inner loop; it must only be `true` inside
+/// a `target_feature(enable = "fma")` context, where it lowers to hardware
+/// FMA instead of a libm call.
+///
+/// # Safety
+/// `c` must be valid for reads/writes of the `mc×nc` block at row stride
+/// `c_rs`; the packed slices must hold `⌈mc/MR⌉` / `⌈nc/NR⌉` panels of depth
+/// `kc`.
+#[inline(always)]
+unsafe fn macro_kernel_impl<const FMA: bool>(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    apack: &[f64],
+    bpack: &[f64],
+    c: *mut f64,
+    c_rs: usize,
+) {
+    let mut jr = 0;
+    while jr < nc {
+        let nr = NR.min(nc - jr);
+        let bpanel = &bpack[(jr / NR) * kc * NR..][..kc * NR];
+        let mut ir = 0;
+        while ir < mc {
+            let mr = MR.min(mc - ir);
+            let apanel = &apack[(ir / MR) * kc * MR..][..kc * MR];
+            let ctile = c.add(ir * c_rs + jr);
+            let acc = accumulate_tile::<FMA>(kc, apanel, bpanel);
+            if mr == MR && nr == NR {
+                for (i, row) in acc.iter().enumerate() {
+                    let crow = ctile.add(i * c_rs);
+                    for (j, v) in row.iter().enumerate() {
+                        *crow.add(j) += v;
+                    }
+                }
+            } else {
+                // Edge tile: the panels are zero-padded, so the full product
+                // is computed and the write-back masked to the valid region.
+                for (i, row) in acc.iter().enumerate().take(mr) {
+                    let crow = ctile.add(i * c_rs);
+                    for (j, v) in row.iter().enumerate().take(nr) {
+                        *crow.add(j) += v;
+                    }
+                }
+            }
+            ir += MR;
+        }
+        jr += NR;
+    }
+}
+
+/// The `MR×NR` register tile: `Apanel · Bpanel` over `kc` steps.  Each step
+/// is one contiguous `MR`-load of packed `A` and one contiguous `NR`-load of
+/// packed `B`, so the accumulator stays in vector registers.
+#[inline(always)]
+fn accumulate_tile<const FMA: bool>(kc: usize, apanel: &[f64], bpanel: &[f64]) -> [[f64; NR]; MR] {
+    let mut acc = [[0.0f64; NR]; MR];
+    for k in 0..kc {
+        let a = &apanel[k * MR..k * MR + MR];
+        let b = &bpanel[k * NR..k * NR + NR];
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                if FMA {
+                    acc[i][j] = ai.mul_add(b[j], acc[i][j]);
+                } else {
+                    acc[i][j] += ai * b[j];
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Register-blocked i-k-j loop for products too small to be worth packing.
+///
+/// # Safety
+/// Same contract as [`gemm_accumulate`].
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel signature
+unsafe fn gemm_small(
+    m: usize,
+    n: usize,
+    kdim: usize,
+    alpha: f64,
+    a: *const f64,
+    a_rs: usize,
+    b: *const f64,
+    b_rs: usize,
+    c: *mut f64,
+    c_rs: usize,
+) {
+    for i in 0..m {
+        let arow = a.add(i * a_rs);
+        let crow = c.add(i * c_rs);
+        for k in 0..kdim {
+            let aik = alpha * *arow.add(k);
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = b.add(k * b_rs);
+            for j in 0..n {
+                *crow.add(j) += aik * *brow.add(j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn accumulate(
+        m: usize,
+        n: usize,
+        kdim: usize,
+        alpha: f64,
+        a: &Matrix,
+        b: &Matrix,
+        c: &mut Matrix,
+    ) {
+        unsafe {
+            gemm_accumulate(
+                m,
+                n,
+                kdim,
+                alpha,
+                a.as_slice().as_ptr(),
+                a.cols(),
+                b.as_slice().as_ptr(),
+                b.cols(),
+                c.as_mut_slice().as_mut_ptr(),
+                n,
+            );
+        }
+    }
+
+    #[test]
+    fn packed_matches_small_on_every_edge_shape() {
+        // Shapes straddling the MR/NR/MC/KC edges, including ragged tiles.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 8, 8), (5, 9, 17), (33, 40, 35)] {
+            let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 17) % 23) as f64 - 11.0);
+            let b = Matrix::from_fn(k, n, |i, j| ((i * 7 + j * 41) % 19) as f64 - 9.0);
+            let mut c_small = Matrix::zeros(m, n);
+            let mut c_packed = Matrix::zeros(m, n);
+            unsafe {
+                gemm_small(
+                    m,
+                    n,
+                    k,
+                    1.5,
+                    a.as_slice().as_ptr(),
+                    k,
+                    b.as_slice().as_ptr(),
+                    n,
+                    c_small.as_mut_slice().as_mut_ptr(),
+                    n,
+                );
+                gemm_packed(
+                    m,
+                    n,
+                    k,
+                    1.5,
+                    a.as_slice().as_ptr(),
+                    k,
+                    b.as_slice().as_ptr(),
+                    n,
+                    c_packed.as_mut_slice().as_mut_ptr(),
+                    n,
+                );
+            }
+            assert!(
+                c_small.max_abs_diff(&c_packed).unwrap() < 1e-10,
+                "mismatch at shape ({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let a = Matrix::filled(2, 3, 1.0);
+        let b = Matrix::filled(3, 2, 1.0);
+        let mut c = Matrix::filled(2, 2, 10.0);
+        accumulate(2, 2, 3, 2.0, &a, &b, &mut c);
+        assert_eq!(c, Matrix::filled(2, 2, 16.0));
+    }
+
+    #[test]
+    fn zero_alpha_is_a_noop() {
+        let a = Matrix::filled(2, 2, f64::NAN);
+        let b = Matrix::filled(2, 2, f64::NAN);
+        let mut c = Matrix::filled(2, 2, 3.0);
+        accumulate(2, 2, 2, 0.0, &a, &b, &mut c);
+        assert_eq!(c, Matrix::filled(2, 2, 3.0));
+    }
+
+    #[test]
+    fn strided_subblocks_multiply_correctly() {
+        // Multiply interior blocks of larger matrices through raw strides.
+        let big_a = Matrix::from_fn(10, 12, |i, j| (i * 12 + j) as f64);
+        let big_b = Matrix::from_fn(9, 11, |i, j| (i as f64) - (j as f64));
+        let (m, kdim, n) = (4, 5, 6);
+        let mut c = Matrix::zeros(m, n);
+        unsafe {
+            gemm_accumulate(
+                m,
+                n,
+                kdim,
+                1.0,
+                big_a.as_slice().as_ptr().add(2 * 12 + 3),
+                12,
+                big_b.as_slice().as_ptr().add(11 + 2),
+                11,
+                c.as_mut_slice().as_mut_ptr(),
+                n,
+            );
+        }
+        let a_blk = big_a.block(2, 3, m, kdim);
+        let b_blk = big_b.block(1, 2, kdim, n);
+        let expect = crate::gemm::matmul(&a_blk, &b_blk);
+        assert!(c.max_abs_diff(&expect).unwrap() < 1e-12);
+    }
+}

@@ -1,0 +1,207 @@
+//! Panel packing and the thread-local scratch arena for the packed GEMM.
+//!
+//! The packed kernel (see [`crate::microkernel`]) never multiplies out of the
+//! caller's matrices directly.  Instead each `MC×KC` block of `A` and each
+//! `KC×NC` block of `B` is first copied into a scratch buffer in *micro-panel*
+//! order:
+//!
+//! * `A` is packed into `⌈mc/MR⌉` panels of `MR` rows each; within a panel the
+//!   storage is column-major (`k`-major), so the microkernel reads one
+//!   contiguous `MR`-vector of `A` per `k` step;
+//! * `B` is packed into `⌈nc/NR⌉` panels of `NR` columns each, row-major
+//!   within the panel, so the microkernel reads one contiguous `NR`-vector of
+//!   `B` per `k` step.
+//!
+//! Ragged edges are zero-padded to full `MR`/`NR` width so the microkernel
+//! never branches on the panel interior; the write-back masks the padding.
+//!
+//! Both pack buffers live in a **thread-local arena** sized once at
+//! `MC·KC + KC·NC` doubles (≈2.3 MiB with the default tuning), so steady-state
+//! GEMM performs no heap allocation at all.
+
+use crate::microkernel::{KC, MC, MR, NC, NR};
+use std::cell::RefCell;
+
+thread_local! {
+    /// `(A-pack, B-pack)` buffers, grown on first use and reused thereafter.
+    static GEMM_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    /// General-purpose f64 scratch for blocked kernels (e.g. the triangular
+    /// inversion's temporary product).
+    static GENERAL_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with the thread-local `(A-pack, B-pack)` buffers.
+///
+/// Falls back to fresh allocations in the (unexpected) re-entrant case so a
+/// nested GEMM can never observe a torn buffer.
+pub(crate) fn with_gemm_scratch<R>(f: impl FnOnce(&mut [f64], &mut [f64]) -> R) -> R {
+    GEMM_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut bufs) => {
+            if bufs.0.len() < MC * KC {
+                bufs.0.resize(MC * KC, 0.0);
+            }
+            if bufs.1.len() < KC * NC {
+                bufs.1.resize(KC * NC, 0.0);
+            }
+            let (a, b) = &mut *bufs;
+            f(a, b)
+        }
+        Err(_) => {
+            let mut a = vec![0.0; MC * KC];
+            let mut b = vec![0.0; KC * NC];
+            f(&mut a, &mut b)
+        }
+    })
+}
+
+/// Runs `f` with a thread-local scratch slice of `len` doubles.
+///
+/// The slice's contents are **unspecified** (stale data from earlier calls);
+/// callers must fully overwrite it — e.g. via a `beta = 0` GEMM, which
+/// zeroes its destination first.
+pub(crate) fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    GENERAL_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buf) => {
+            if buf.len() < len {
+                buf.resize(len, 0.0);
+            }
+            f(&mut buf[..len])
+        }
+        Err(_) => f(&mut vec![0.0; len]),
+    })
+}
+
+/// Packs the `mc×kc` block of `A` at `a` (row stride `a_rs`), scaled by
+/// `alpha`, into `MR`-row micro-panels in `dst`, zero-padding the last panel.
+///
+/// # Safety
+/// `a` must be valid for reads of the `mc×kc` block at row stride `a_rs`, and
+/// `dst` must hold at least `⌈mc/MR⌉·kc·MR` elements.
+pub(crate) unsafe fn pack_a(
+    alpha: f64,
+    a: *const f64,
+    a_rs: usize,
+    mc: usize,
+    kc: usize,
+    dst: &mut [f64],
+) {
+    let panels = mc.div_ceil(MR);
+    debug_assert!(dst.len() >= panels * kc * MR);
+    for p in 0..panels {
+        let ir = p * MR;
+        let rows = MR.min(mc - ir);
+        let panel = &mut dst[p * kc * MR..(p + 1) * kc * MR];
+        if rows == MR {
+            for k in 0..kc {
+                for i in 0..MR {
+                    *panel.get_unchecked_mut(k * MR + i) = alpha * *a.add((ir + i) * a_rs + k);
+                }
+            }
+        } else {
+            for k in 0..kc {
+                for i in 0..MR {
+                    let v = if i < rows {
+                        *a.add((ir + i) * a_rs + k)
+                    } else {
+                        0.0
+                    };
+                    *panel.get_unchecked_mut(k * MR + i) = alpha * v;
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kc×nc` block of `B` at `b` (row stride `b_rs`) into `NR`-column
+/// micro-panels in `dst`, zero-padding the last panel.
+///
+/// # Safety
+/// `b` must be valid for reads of the `kc×nc` block at row stride `b_rs`, and
+/// `dst` must hold at least `⌈nc/NR⌉·kc·NR` elements.
+pub(crate) unsafe fn pack_b(b: *const f64, b_rs: usize, kc: usize, nc: usize, dst: &mut [f64]) {
+    let panels = nc.div_ceil(NR);
+    debug_assert!(dst.len() >= panels * kc * NR);
+    for q in 0..panels {
+        let jr = q * NR;
+        let cols = NR.min(nc - jr);
+        let panel = &mut dst[q * kc * NR..(q + 1) * kc * NR];
+        if cols == NR {
+            for k in 0..kc {
+                let src = b.add(k * b_rs + jr);
+                for j in 0..NR {
+                    *panel.get_unchecked_mut(k * NR + j) = *src.add(j);
+                }
+            }
+        } else {
+            for k in 0..kc {
+                let src = b.add(k * b_rs + jr);
+                for j in 0..NR {
+                    *panel.get_unchecked_mut(k * NR + j) = if j < cols { *src.add(j) } else { 0.0 };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_layout_and_padding() {
+        // 5×3 block with MR=4: two panels, second padded with 3 zero rows.
+        let (mc, kc) = (5usize, 3usize);
+        let a: Vec<f64> = (0..mc * kc).map(|v| v as f64).collect();
+        let mut dst = vec![f64::NAN; mc.div_ceil(MR) * kc * MR];
+        unsafe { pack_a(1.0, a.as_ptr(), kc, mc, kc, &mut dst) };
+        // Panel 0, k=1 holds column 1 of rows 0..4 contiguously.
+        for i in 0..MR {
+            assert_eq!(dst[MR + i], a[i * kc + 1]);
+        }
+        // Panel 1 holds row 4 then zero padding.
+        let p1 = &dst[kc * MR..];
+        assert_eq!(p1[0], a[4 * kc]);
+        for &v in &p1[1..MR] {
+            assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn pack_a_applies_alpha() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let mut dst = vec![0.0; MR];
+        unsafe { pack_a(-2.0, a.as_ptr(), 1, 4, 1, &mut dst) };
+        assert_eq!(dst, vec![-2.0, -4.0, -6.0, -8.0]);
+    }
+
+    #[test]
+    fn pack_b_layout_and_padding() {
+        // 2×10 block with NR=8: two panels, second padded to 8 columns.
+        let (kc, nc) = (2usize, 10usize);
+        let b: Vec<f64> = (0..kc * nc).map(|v| v as f64).collect();
+        let mut dst = vec![f64::NAN; nc.div_ceil(NR) * kc * NR];
+        unsafe { pack_b(b.as_ptr(), nc, kc, nc, &mut dst) };
+        // Panel 0, k=1 holds row 1, columns 0..8 contiguously.
+        for j in 0..NR {
+            assert_eq!(dst[NR + j], b[nc + j]);
+        }
+        // Panel 1, k=0 holds columns 8..10 then zeros.
+        let p1 = &dst[kc * NR..];
+        assert_eq!(p1[0], b[8]);
+        assert_eq!(p1[1], b[9]);
+        for &v in &p1[2..NR] {
+            assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused() {
+        let ptr1 = with_scratch(64, |buf| {
+            assert_eq!(buf.len(), 64);
+            buf[0] = 7.0;
+            buf.as_ptr() as usize
+        });
+        let ptr2 = with_scratch(64, |buf| buf.as_ptr() as usize);
+        assert_eq!(ptr1, ptr2, "scratch buffer should be reused");
+    }
+}

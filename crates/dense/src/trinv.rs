@@ -2,23 +2,29 @@
 //!
 //! The paper's key primitive (Section V) is the inversion of lower-triangular
 //! matrices, used for the diagonal blocks of `L` in the iterative TRSM.  The
-//! sequential kernel here implements the same recursive scheme the paper
-//! cites (Borodin & Munro / Balle–Hansen–Higham): split
+//! sequential kernel implements the recursive scheme the paper cites
+//! (Borodin & Munro / Balle–Hansen–Higham): split
 //!
 //! ```text
 //! L = [ L11   0  ]        L⁻¹ = [      L11⁻¹          0    ]
 //!     [ L21  L22 ]              [ -L22⁻¹ L21 L11⁻¹  L22⁻¹  ]
 //! ```
 //!
-//! and recurse on the two diagonal blocks.  [`tri_invert`] is the plain
-//! recursive version; [`tri_invert_blocked`] stops the recursion at a block
-//! size and finishes with direct substitution, which is the variant used as
-//! the base case of the distributed inversion.
+//! recurse on the two diagonal blocks, and form the off-diagonal block with
+//! two GEMMs — which therefore run on the packed microkernel and carry
+//! almost all of the flops.  Unlike the original version, the recursion
+//! works **in place** on views ([`tri_invert_in_place`]): the off-diagonal
+//! block is overwritten where it lives, with a single thread-local scratch
+//! panel for the intermediate product, instead of extracting, multiplying
+//! and re-inserting copies of every block.  [`tri_invert`] /
+//! [`tri_invert_blocked`] are the allocating wrappers; the recursion stops
+//! at `block` and finishes with direct in-place substitution.
 
 use crate::error::DenseError;
 use crate::flops::{tri_inv_flops, FlopCount};
-use crate::gemm::gemm;
-use crate::matrix::Matrix;
+use crate::gemm::gemm_views;
+use crate::matrix::{MatMut, Matrix};
+use crate::pack::with_scratch;
 use crate::trsm::Triangle;
 use crate::Result;
 
@@ -43,81 +49,159 @@ pub fn tri_invert_blocked(tri: Triangle, a: &Matrix, block: usize) -> Result<(Ma
             dims: a.dims(),
         });
     }
+    let mut out = match tri {
+        Triangle::Lower => a.lower_triangular_part(),
+        Triangle::Upper => a.upper_triangular_part(),
+    };
+    let n = out.rows();
+    let flops = tri_invert_in_place(tri, &mut out.view_mut(0, 0, n, n), block)?;
+    Ok((out, flops))
+}
+
+/// Invert a triangular matrix **in place** on a borrowed block.
+///
+/// This is the zero-copy entry point the distributed algorithms use to
+/// invert diagonal blocks where they live (e.g. `catrsm`'s block-diagonal
+/// inverter).  The strictly-opposite triangle of the view is ignored and
+/// left untouched.  Returns the flop count.
+pub fn tri_invert_in_place(tri: Triangle, a: &mut MatMut<'_>, block: usize) -> Result<FlopCount> {
+    let (rows, cols) = a.dims();
+    if rows != cols {
+        return Err(DenseError::NotSquare {
+            op: "tri_invert",
+            dims: (rows, cols),
+        });
+    }
     if block == 0 {
         return Err(DenseError::InvalidParameter {
             name: "block",
             reason: "recursion cut-off must be at least 1".to_string(),
         });
     }
-    let n = a.rows();
-    for i in 0..n {
-        if a[(i, i)].abs() < PIVOT_TOL {
+    for i in 0..rows {
+        if a.at(i, i).abs() < PIVOT_TOL {
             return Err(DenseError::SingularPivot {
                 index: i,
-                value: a[(i, i)],
+                value: a.at(i, i),
             });
         }
     }
+    let mut flops = FlopCount::ZERO;
     match tri {
-        Triangle::Lower => {
-            let mut flops = FlopCount::ZERO;
-            let inv = invert_lower_rec(a, block, &mut flops)?;
-            Ok((inv, flops))
-        }
-        Triangle::Upper => {
-            // Invert the transpose (lower) and transpose back.
-            let at = a.transpose();
-            let mut flops = FlopCount::ZERO;
-            let inv = invert_lower_rec(&at, block, &mut flops)?;
-            Ok((inv.transpose(), flops))
-        }
+        Triangle::Lower => invert_lower_in_place(a.reborrow(), block, &mut flops)?,
+        Triangle::Upper => invert_upper_in_place(a.reborrow(), block, &mut flops)?,
     }
+    Ok(flops)
 }
 
-fn invert_lower_rec(l: &Matrix, block: usize, flops: &mut FlopCount) -> Result<Matrix> {
+fn invert_lower_in_place(l: MatMut<'_>, block: usize, flops: &mut FlopCount) -> Result<()> {
     let n = l.rows();
     if n <= block {
+        invert_lower_base(l);
         *flops += tri_inv_flops(n);
-        return invert_lower_direct(l);
+        return Ok(());
     }
     let h = n / 2;
-    let l11 = l.block(0, 0, h, h);
-    let l21 = l.block(h, 0, n - h, h);
-    let l22 = l.block(h, h, n - h, n - h);
+    let (mut top, mut bottom) = l.split_rows_at_mut(h);
+    invert_lower_in_place(top.reborrow().subview_mut(0, 0, h, h), block, flops)?;
+    invert_lower_in_place(
+        bottom.reborrow().subview_mut(0, h, n - h, n - h),
+        block,
+        flops,
+    )?;
 
-    let inv11 = invert_lower_rec(&l11, block, flops)?;
-    let inv22 = invert_lower_rec(&l22, block, flops)?;
-
-    // inv21 = -inv22 * l21 * inv11
-    let mut tmp = Matrix::zeros(n - h, h);
-    *flops += gemm(1.0, &inv22, &l21, 0.0, &mut tmp)?;
-    let mut inv21 = Matrix::zeros(n - h, h);
-    *flops += gemm(-1.0, &tmp, &inv11, 0.0, &mut inv21)?;
-
-    let mut out = Matrix::zeros(n, n);
-    out.set_block(0, 0, &inv11);
-    out.set_block(h, 0, &inv21);
-    out.set_block(h, h, &inv22);
-    Ok(out)
+    // inv21 = -inv22 · L21 · inv11, with one scratch panel for the
+    // intermediate product (both factors live in `bottom` / `top`).
+    with_scratch((n - h) * h, |tmp| -> Result<()> {
+        let mut t = MatMut::from_slice(tmp, n - h, h);
+        *flops += gemm_views(
+            1.0,
+            bottom.rb().subview(0, h, n - h, n - h),
+            bottom.rb().subview(0, 0, n - h, h),
+            0.0,
+            &mut t,
+        )?;
+        let mut l21 = bottom.reborrow().subview_mut(0, 0, n - h, h);
+        *flops += gemm_views(-1.0, t.rb(), top.rb().subview(0, 0, h, h), 0.0, &mut l21)?;
+        Ok(())
+    })
 }
 
-/// Direct inversion of a lower-triangular matrix by forward substitution on
-/// the identity, column by column.
-fn invert_lower_direct(l: &Matrix) -> Result<Matrix> {
+fn invert_upper_in_place(u: MatMut<'_>, block: usize, flops: &mut FlopCount) -> Result<()> {
+    let n = u.rows();
+    if n <= block {
+        invert_upper_base(u);
+        *flops += tri_inv_flops(n);
+        return Ok(());
+    }
+    let h = n / 2;
+    let (mut top, mut bottom) = u.split_rows_at_mut(h);
+    invert_upper_in_place(top.reborrow().subview_mut(0, 0, h, h), block, flops)?;
+    invert_upper_in_place(
+        bottom.reborrow().subview_mut(0, h, n - h, n - h),
+        block,
+        flops,
+    )?;
+
+    // inv12 = -inv11 · U12 · inv22.
+    with_scratch(h * (n - h), |tmp| -> Result<()> {
+        let mut t = MatMut::from_slice(tmp, h, n - h);
+        *flops += gemm_views(
+            1.0,
+            top.rb().subview(0, 0, h, h),
+            top.rb().subview(0, h, h, n - h),
+            0.0,
+            &mut t,
+        )?;
+        let mut u12 = top.reborrow().subview_mut(0, h, h, n - h);
+        *flops += gemm_views(
+            -1.0,
+            t.rb(),
+            bottom.rb().subview(0, h, n - h, n - h),
+            0.0,
+            &mut u12,
+        )?;
+        Ok(())
+    })
+}
+
+/// Direct in-place inversion of a lower-triangular block: columns from last
+/// to first, each updated with the already-inverted trailing block
+/// (LAPACK's `trti2` scheme).
+fn invert_lower_base(mut l: MatMut<'_>) {
     let n = l.rows();
-    let mut inv = Matrix::zeros(n, n);
-    for j in 0..n {
-        // Solve L * x = e_j ; x has zeros above index j.
-        inv[(j, j)] = 1.0 / l[(j, j)];
-        for i in (j + 1)..n {
+    for j in (0..n).rev() {
+        let ajj = 1.0 / l.at(j, j);
+        *l.at_mut(j, j) = ajj;
+        // x = L[j+1.., j] (original); y = L22⁻¹ · x computed bottom-up so
+        // every read of x happens before its overwrite.
+        for i in ((j + 1)..n).rev() {
             let mut acc = 0.0;
-            for t in j..i {
-                acc += l[(i, t)] * inv[(t, j)];
+            for t in (j + 1)..=i {
+                acc += l.at(i, t) * l.at(t, j);
             }
-            inv[(i, j)] = -acc / l[(i, i)];
+            *l.at_mut(i, j) = -acc * ajj;
         }
     }
-    Ok(inv)
+}
+
+/// Direct in-place inversion of an upper-triangular block: columns from
+/// first to last, mirroring [`invert_lower_base`].
+fn invert_upper_base(mut u: MatMut<'_>) {
+    let n = u.rows();
+    for j in 0..n {
+        let ajj = 1.0 / u.at(j, j);
+        // x = U[0..j, j] (original); y = U11⁻¹ · x computed top-down so
+        // every read of x happens before its overwrite.
+        for i in 0..j {
+            let mut acc = 0.0;
+            for t in i..j {
+                acc += u.at(i, t) * u.at(t, j);
+            }
+            *u.at_mut(i, j) = -acc * ajj;
+        }
+        *u.at_mut(j, j) = ajj;
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +209,7 @@ mod tests {
     use super::*;
     use crate::gemm::matmul;
     use crate::norms;
+    use crate::reference;
 
     fn lower(n: usize, seed: u64) -> Matrix {
         Matrix::from_fn(n, n, |i, j| {
@@ -156,6 +241,17 @@ mod tests {
     }
 
     #[test]
+    fn base_case_matches_reference_direct_inversion() {
+        for n in [1usize, 2, 5, 11, 16] {
+            let l = lower(n, n as u64);
+            let (fast, f1) = tri_invert_blocked(Triangle::Lower, &l, n).unwrap();
+            let (slow, f2) = reference::invert_lower_direct(&l);
+            assert!(fast.max_abs_diff(&slow).unwrap() < 1e-10, "n={n}");
+            assert_eq!(f1, f2, "flop accounting must match the reference");
+        }
+    }
+
+    #[test]
     fn recursive_inverse_medium() {
         let l = lower(64, 3);
         let (inv, flops) = tri_invert(Triangle::Lower, &l).unwrap();
@@ -177,6 +273,40 @@ mod tests {
         let prod = matmul(&u, &inv);
         assert!(norms::max_norm(&prod.sub(&Matrix::identity(20)).unwrap()) < 1e-10);
         assert!(inv.is_upper_triangular());
+    }
+
+    #[test]
+    fn upper_flops_match_lower_flops() {
+        // The recursion splits identically for both triangles, so the
+        // structural flop accounting must agree.
+        for n in [9usize, 24, 37] {
+            let l = lower(n, 2);
+            let u = l.transpose();
+            let (_, fl) = tri_invert(Triangle::Lower, &l).unwrap();
+            let (_, fu) = tri_invert(Triangle::Upper, &u).unwrap();
+            assert_eq!(fl, fu, "n={n}");
+        }
+    }
+
+    #[test]
+    fn in_place_inversion_of_a_diagonal_block() {
+        // Invert an interior diagonal block of a bigger matrix in place and
+        // leave everything else untouched.
+        let n = 24;
+        let mut big = Matrix::from_fn(40, 40, |i, j| (i * 40 + j) as f64);
+        let l = lower(n, 4);
+        big.set_block(8, 8, &l);
+        let flops = tri_invert_in_place(Triangle::Lower, &mut big.view_mut(8, 8, n, n), 8).unwrap();
+        assert!(flops.get() > 0);
+        let (expect, _) = tri_invert_blocked(Triangle::Lower, &l, 8).unwrap();
+        // The block itself: lower triangle holds the inverse, upper triangle
+        // of the *view* is untouched garbage from `big`.
+        let got = big.block(8, 8, n, n).lower_triangular_part();
+        assert!(got.max_abs_diff(&expect).unwrap() < 1e-10);
+        // Outside the block: untouched.
+        assert_eq!(big[(0, 0)], 0.0);
+        assert_eq!(big[(39, 39)], (39 * 40 + 39) as f64);
+        assert_eq!(big[(7, 8)], (7 * 40 + 8) as f64);
     }
 
     #[test]

@@ -1,15 +1,22 @@
 //! Triangular × dense matrix multiplication.
 //!
-//! `trmm` computes `B ← L · B` (or the upper variant) exploiting the
-//! triangular structure so only the nonzero half is touched.  It is used by
-//! the residual checks and by the solve phase of the iterative TRSM, where
-//! the inverted diagonal block is (lower) triangular.
+//! `trmm` computes `C ← A · B` for triangular `A`, exploiting the triangular
+//! structure so only the nonzero half is touched.  The product is *blocked*:
+//! only the `NB×NB` diagonal blocks use the triangular loop, and all
+//! off-diagonal block products are delegated to the packed GEMM, so the bulk
+//! of the flops runs at microkernel speed.  It is used by the residual
+//! checks and by the solve phase of the iterative TRSM, where the inverted
+//! diagonal block is (lower) triangular.
 
 use crate::error::DenseError;
 use crate::flops::{trmm_flops, FlopCount};
-use crate::matrix::Matrix;
+use crate::gemm::gemm_views;
+use crate::matrix::{MatMut, MatRef, Matrix};
 use crate::trsm::Triangle;
 use crate::Result;
+
+/// Row-panel width of the blocked product.
+const NB: usize = 64;
 
 /// Compute `A · B` where `A` is triangular, returning a fresh matrix along
 /// with the number of flops spent.
@@ -30,46 +37,105 @@ pub fn trmm(tri: Triangle, a: &Matrix, b: &Matrix) -> Result<(Matrix, FlopCount)
     let n = a.rows();
     let k = b.cols();
     let mut c = Matrix::zeros(n, k);
-    match tri {
-        Triangle::Lower => {
-            for i in 0..n {
-                for j in 0..=i {
-                    let aij = a[(i, j)];
-                    if aij == 0.0 {
-                        continue;
-                    }
-                    for col in 0..k {
-                        c[(i, col)] += aij * b[(j, col)];
-                    }
+    let mut i0 = 0;
+    while i0 < n {
+        let i1 = (i0 + NB).min(n);
+        let nb = i1 - i0;
+        match tri {
+            Triangle::Lower => {
+                // C[i0..i1] = L[i0..i1, 0..i0] · B[0..i0]  (full blocks, GEMM)
+                //           + tril(L[i0..i1, i0..i1]) · B[i0..i1]
+                if i0 > 0 {
+                    gemm_views(
+                        1.0,
+                        a.view(i0, 0, nb, i0),
+                        b.view(0, 0, i0, k),
+                        1.0,
+                        &mut c.view_mut(i0, 0, nb, k),
+                    )
+                    .expect("blocked trmm: update dims");
                 }
+                diag_block_lower(
+                    a.view(i0, i0, nb, nb),
+                    b.view(i0, 0, nb, k),
+                    c.view_mut(i0, 0, nb, k),
+                );
+            }
+            Triangle::Upper => {
+                // C[i0..i1] = U[i0..i1, i1..n] · B[i1..n]  (full blocks, GEMM)
+                //           + triu(U[i0..i1, i0..i1]) · B[i0..i1]
+                if i1 < n {
+                    gemm_views(
+                        1.0,
+                        a.view(i0, i1, nb, n - i1),
+                        b.view(i1, 0, n - i1, k),
+                        1.0,
+                        &mut c.view_mut(i0, 0, nb, k),
+                    )
+                    .expect("blocked trmm: update dims");
+                }
+                diag_block_upper(
+                    a.view(i0, i0, nb, nb),
+                    b.view(i0, 0, nb, k),
+                    c.view_mut(i0, 0, nb, k),
+                );
             }
         }
-        Triangle::Upper => {
-            for i in 0..n {
-                for j in i..n {
-                    let aij = a[(i, j)];
-                    if aij == 0.0 {
-                        continue;
-                    }
-                    for col in 0..k {
-                        c[(i, col)] += aij * b[(j, col)];
-                    }
-                }
+        i0 = i1;
+    }
+    Ok((c, trmm_flops(n, k)))
+}
+
+/// `C += tril(A) · B` on an `nb`-sized diagonal block.
+fn diag_block_lower(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let nb = a.rows();
+    for i in 0..nb {
+        let crow = c.row_mut(i);
+        for j in 0..=i {
+            let aij = a.at(i, j);
+            if aij == 0.0 {
+                continue;
+            }
+            for (cv, bv) in crow.iter_mut().zip(b.row(j)) {
+                *cv += aij * bv;
             }
         }
     }
-    Ok((c, trmm_flops(n, k)))
+}
+
+/// `C += triu(A) · B` on an `nb`-sized diagonal block.
+fn diag_block_upper(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let nb = a.rows();
+    for i in 0..nb {
+        let crow = c.row_mut(i);
+        for j in i..nb {
+            let aij = a.at(i, j);
+            if aij == 0.0 {
+                continue;
+            }
+            for (cv, bv) in crow.iter_mut().zip(b.row(j)) {
+                *cv += aij * bv;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gemm::matmul;
+    use crate::reference;
 
     #[test]
     fn lower_trmm_matches_gemm() {
         let n = 13;
-        let l = Matrix::from_fn(n, n, |i, j| if j <= i { ((i + j) % 5) as f64 - 2.0 } else { 0.0 });
+        let l = Matrix::from_fn(n, n, |i, j| {
+            if j <= i {
+                ((i + j) % 5) as f64 - 2.0
+            } else {
+                0.0
+            }
+        });
         let b = Matrix::from_fn(n, 4, |i, j| (i * 4 + j) as f64 / 7.0);
         let (c, flops) = trmm(Triangle::Lower, &l, &b).unwrap();
         let expect = matmul(&l, &b);
@@ -80,10 +146,40 @@ mod tests {
     #[test]
     fn upper_trmm_matches_gemm() {
         let n = 9;
-        let u = Matrix::from_fn(n, n, |i, j| if j >= i { 1.0 + (i * j % 3) as f64 } else { 0.0 });
+        let u = Matrix::from_fn(n, n, |i, j| {
+            if j >= i {
+                1.0 + (i * j % 3) as f64
+            } else {
+                0.0
+            }
+        });
         let b = Matrix::from_fn(n, 3, |i, j| (i as f64 + 1.0) * (j as f64 - 1.0));
         let (c, _) = trmm(Triangle::Upper, &u, &b).unwrap();
         assert!(c.max_abs_diff(&matmul(&u, &b)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn blocked_matches_unblocked_reference_across_nb_boundaries() {
+        for &n in &[1usize, 63, 64, 65, 150] {
+            let l = Matrix::from_fn(n, n, |i, j| {
+                if j <= i {
+                    ((i * 3 + j * 7) % 11) as f64 / 11.0 - 0.4
+                } else {
+                    0.0
+                }
+            });
+            let u = l.transpose();
+            let b = Matrix::from_fn(n, 9, |i, j| ((i * 13 + j) % 17) as f64 / 17.0 - 0.5);
+            for (tri, a) in [(Triangle::Lower, &l), (Triangle::Upper, &u)] {
+                let (fast, f1) = trmm(tri, a, &b).unwrap();
+                let (slow, f2) = reference::trmm_unblocked(tri, a, &b);
+                assert!(
+                    fast.max_abs_diff(&slow).unwrap() < 1e-10,
+                    "mismatch at n={n} {tri:?}"
+                );
+                assert_eq!(f1, f2, "flop accounting must match the reference");
+            }
+        }
     }
 
     #[test]

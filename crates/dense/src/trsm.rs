@@ -1,13 +1,19 @@
 //! Local triangular solves.
 //!
 //! [`trsm`] solves `L · X = B` (or the upper/right/unit variants) for a dense
-//! block of right-hand sides by forward/backward substitution, which is the
-//! base-case kernel of both the recursive TRSM of Section IV and the
-//! iterative inversion-based TRSM of Section VI of the paper.
+//! block of right-hand sides.  The solve is *blocked*: the triangular matrix
+//! is processed in `NB`-wide panels, the substitution runs only on the small
+//! diagonal blocks, and all off-diagonal work is delegated to the packed
+//! GEMM ([`crate::gemm::gemm_views`] / the microkernel), so the O(n²k)
+//! update — which is where almost all the flops are — runs at GEMM speed.
+//! This is the base-case kernel of both the recursive TRSM of Section IV and
+//! the iterative inversion-based TRSM of Section VI of the paper.
 
 use crate::error::DenseError;
 use crate::flops::{trsm_flops, FlopCount};
-use crate::matrix::Matrix;
+use crate::gemm::gemm_views;
+use crate::matrix::{MatMut, MatRef, Matrix};
+use crate::microkernel::gemm_accumulate;
 use crate::Result;
 
 /// Which side of the unknown the triangular matrix is on: `A·X = B` (left) or
@@ -39,6 +45,10 @@ pub enum Diag {
 }
 
 const PIVOT_TOL: f64 = 1e-300;
+
+/// Panel width of the blocked solve: the substitution runs on `NB×NB`
+/// diagonal blocks and everything else is GEMM.
+const NB: usize = 64;
 
 /// Solve `A · X = B` where `A` is triangular, returning `X` as a new matrix.
 ///
@@ -106,10 +116,10 @@ pub fn trsm_in_place(
     };
 
     match (side, tri) {
-        (Side::Left, Triangle::Lower) => solve_left_lower(diag, a, b),
-        (Side::Left, Triangle::Upper) => solve_left_upper(diag, a, b),
-        (Side::Right, Triangle::Lower) => solve_right_lower(diag, a, b),
-        (Side::Right, Triangle::Upper) => solve_right_upper(diag, a, b),
+        (Side::Left, Triangle::Lower) => solve_left_lower_blocked(diag, a, b),
+        (Side::Left, Triangle::Upper) => solve_left_upper_blocked(diag, a, b),
+        (Side::Right, Triangle::Lower) => solve_right_lower_blocked(diag, a, b),
+        (Side::Right, Triangle::Upper) => solve_right_upper_blocked(diag, a, b),
     }
 
     Ok(trsm_flops(n, k))
@@ -129,101 +139,228 @@ pub fn trsv(tri: Triangle, diag: Diag, a: &Matrix, b: &[f64]) -> Result<Vec<f64>
     Ok(x.into_vec())
 }
 
-fn solve_left_lower(diag: Diag, a: &Matrix, b: &mut Matrix) {
+// ---------------------------------------------------------------------------
+// Blocked drivers: substitution on NB×NB diagonal blocks, GEMM off-diagonal.
+// ---------------------------------------------------------------------------
+
+fn solve_left_lower_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
     let n = a.rows();
     let k = b.cols();
+    let mut i0 = 0;
+    while i0 < n {
+        let i1 = (i0 + NB).min(n);
+        if i0 > 0 {
+            // B[i0..i1] -= L[i0..i1, 0..i0] · X[0..i0]
+            let (solved, rest) = b.as_view_mut().split_rows_at_mut(i0);
+            let mut target = rest.subview_mut(0, 0, i1 - i0, k);
+            gemm_views(
+                -1.0,
+                a.view(i0, 0, i1 - i0, i0),
+                solved.rb(),
+                1.0,
+                &mut target,
+            )
+            .expect("blocked trsm: update dims");
+        }
+        solve_left_lower_base(
+            diag,
+            a.view(i0, i0, i1 - i0, i1 - i0),
+            b.view_mut(i0, 0, i1 - i0, k),
+        );
+        i0 = i1;
+    }
+}
+
+fn solve_left_upper_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
+    let n = a.rows();
+    let k = b.cols();
+    let mut i1 = n;
+    while i1 > 0 {
+        let i0 = i1.saturating_sub(NB);
+        if i1 < n {
+            // B[i0..i1] -= U[i0..i1, i1..n] · X[i1..n]
+            let (head, solved) = b.as_view_mut().split_rows_at_mut(i1);
+            let mut target = head.subview_mut(i0, 0, i1 - i0, k);
+            gemm_views(
+                -1.0,
+                a.view(i0, i1, i1 - i0, n - i1),
+                solved.rb(),
+                1.0,
+                &mut target,
+            )
+            .expect("blocked trsm: update dims");
+        }
+        solve_left_upper_base(
+            diag,
+            a.view(i0, i0, i1 - i0, i1 - i0),
+            b.view_mut(i0, 0, i1 - i0, k),
+        );
+        i1 = i0;
+    }
+}
+
+fn solve_right_lower_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
+    // X · L = B: columns are solved from last to first; the trailing update
+    // reads already-solved columns of B while writing the current block, so
+    // it goes through the raw GEMM entry point (the regions are
+    // column-disjoint).
+    let n = a.rows();
+    let m = b.rows();
+    let bcols = b.cols();
+    let mut j1 = n;
+    while j1 > 0 {
+        let j0 = j1.saturating_sub(NB);
+        if j1 < n {
+            // B[:, j0..j1] -= X[:, j1..n] · L[j1..n, j0..j1]
+            let bptr = b.as_mut_slice().as_mut_ptr();
+            // SAFETY: reads columns j1..n and the `a` block; writes columns
+            // j0..j1 only — disjoint from both read regions.
+            unsafe {
+                gemm_accumulate(
+                    m,
+                    j1 - j0,
+                    n - j1,
+                    -1.0,
+                    bptr.add(j1) as *const f64,
+                    bcols,
+                    a.as_slice().as_ptr().add(j1 * n + j0),
+                    n,
+                    bptr.add(j0),
+                    bcols,
+                );
+            }
+        }
+        solve_right_lower_base(
+            diag,
+            a.view(j0, j0, j1 - j0, j1 - j0),
+            b.view_mut(0, j0, m, j1 - j0),
+        );
+        j1 = j0;
+    }
+}
+
+fn solve_right_upper_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
+    // X · U = B: columns are solved first to last; same aliasing argument as
+    // the lower case, mirrored.
+    let n = a.rows();
+    let m = b.rows();
+    let bcols = b.cols();
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + NB).min(n);
+        if j0 > 0 {
+            // B[:, j0..j1] -= X[:, 0..j0] · U[0..j0, j0..j1]
+            let bptr = b.as_mut_slice().as_mut_ptr();
+            // SAFETY: reads columns 0..j0 and the `a` block; writes columns
+            // j0..j1 only — disjoint from both read regions.
+            unsafe {
+                gemm_accumulate(
+                    m,
+                    j1 - j0,
+                    j0,
+                    -1.0,
+                    bptr as *const f64,
+                    bcols,
+                    a.as_slice().as_ptr().add(j0),
+                    n,
+                    bptr.add(j0),
+                    bcols,
+                );
+            }
+        }
+        solve_right_upper_base(
+            diag,
+            a.view(j0, j0, j1 - j0, j1 - j0),
+            b.view_mut(0, j0, m, j1 - j0),
+        );
+        j0 = j1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unblocked base cases on the NB×NB diagonal blocks.
+// ---------------------------------------------------------------------------
+
+fn solve_left_lower_base(diag: Diag, a: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = a.rows();
     for i in 0..n {
-        // b[i, :] -= sum_{j<i} a[i,j] * b[j, :]
         for j in 0..i {
-            let aij = a[(i, j)];
+            let aij = a.at(i, j);
             if aij == 0.0 {
                 continue;
             }
-            let (head, tail) = b.as_mut_slice().split_at_mut(i * k);
-            let row_j = &head[j * k..(j + 1) * k];
-            let row_i = &mut tail[..k];
-            for c in 0..k {
-                row_i[c] -= aij * row_j[c];
+            let (row_i, row_j) = b.row_pair_mut(i, j);
+            for (ri, rj) in row_i.iter_mut().zip(row_j) {
+                *ri -= aij * rj;
             }
         }
         if diag == Diag::NonUnit {
-            let inv = 1.0 / a[(i, i)];
-            for c in 0..k {
-                b[(i, c)] *= inv;
+            let inv = 1.0 / a.at(i, i);
+            for v in b.row_mut(i) {
+                *v *= inv;
             }
         }
     }
 }
 
-fn solve_left_upper(diag: Diag, a: &Matrix, b: &mut Matrix) {
+fn solve_left_upper_base(diag: Diag, a: MatRef<'_>, mut b: MatMut<'_>) {
     let n = a.rows();
-    let k = b.cols();
     for i in (0..n).rev() {
         for j in (i + 1)..n {
-            let aij = a[(i, j)];
+            let aij = a.at(i, j);
             if aij == 0.0 {
                 continue;
             }
-            for c in 0..k {
-                let v = b[(j, c)];
-                b[(i, c)] -= aij * v;
+            let (row_i, row_j) = b.row_pair_mut(i, j);
+            for (ri, rj) in row_i.iter_mut().zip(row_j) {
+                *ri -= aij * rj;
             }
         }
         if diag == Diag::NonUnit {
-            let inv = 1.0 / a[(i, i)];
-            for c in 0..k {
-                b[(i, c)] *= inv;
+            let inv = 1.0 / a.at(i, i);
+            for v in b.row_mut(i) {
+                *v *= inv;
             }
         }
     }
 }
 
-fn solve_right_lower(diag: Diag, a: &Matrix, b: &mut Matrix) {
-    // X * L = B  =>  process columns from last to first:
-    // x[:, j] = (b[:, j] - sum_{i > j} x[:, i] * l[i, j]) / l[j, j]
+fn solve_right_lower_base(diag: Diag, a: MatRef<'_>, mut b: MatMut<'_>) {
+    // Per row r: solve x · L = b over the block, columns last to first.
     let n = a.rows();
     let m = b.rows();
-    for j in (0..n).rev() {
-        for i in (j + 1)..n {
-            let lij = a[(i, j)];
-            if lij == 0.0 {
-                continue;
+    for r in 0..m {
+        let row = b.row_mut(r);
+        for j in (0..n).rev() {
+            let mut v = row[j];
+            for (rv, i) in row[(j + 1)..n].iter().zip((j + 1)..n) {
+                v -= rv * a.at(i, j);
             }
-            for r in 0..m {
-                let v = b[(r, i)];
-                b[(r, j)] -= v * lij;
-            }
-        }
-        if diag == Diag::NonUnit {
-            let inv = 1.0 / a[(j, j)];
-            for r in 0..m {
-                b[(r, j)] *= inv;
-            }
+            row[j] = if diag == Diag::NonUnit {
+                v / a.at(j, j)
+            } else {
+                v
+            };
         }
     }
 }
 
-fn solve_right_upper(diag: Diag, a: &Matrix, b: &mut Matrix) {
-    // X * U = B  =>  process columns from first to last:
-    // x[:, j] = (b[:, j] - sum_{i < j} x[:, i] * u[i, j]) / u[j, j]
+fn solve_right_upper_base(diag: Diag, a: MatRef<'_>, mut b: MatMut<'_>) {
+    // Per row r: solve x · U = b over the block, columns first to last.
     let n = a.rows();
     let m = b.rows();
-    for j in 0..n {
-        for i in 0..j {
-            let uij = a[(i, j)];
-            if uij == 0.0 {
-                continue;
+    for r in 0..m {
+        let row = b.row_mut(r);
+        for j in 0..n {
+            let mut v = row[j];
+            for (rv, i) in row[..j].iter().zip(0..j) {
+                v -= rv * a.at(i, j);
             }
-            for r in 0..m {
-                let v = b[(r, i)];
-                b[(r, j)] -= v * uij;
-            }
-        }
-        if diag == Diag::NonUnit {
-            let inv = 1.0 / a[(j, j)];
-            for r in 0..m {
-                b[(r, j)] *= inv;
-            }
+            row[j] = if diag == Diag::NonUnit {
+                v / a.at(j, j)
+            } else {
+                v
+            };
         }
     }
 }
@@ -232,6 +369,7 @@ fn solve_right_upper(diag: Diag, a: &Matrix, b: &mut Matrix) {
 mod tests {
     use super::*;
     use crate::gemm::matmul;
+    use crate::reference;
 
     fn lower(n: usize) -> Matrix {
         Matrix::from_fn(n, n, |i, j| {
@@ -293,6 +431,38 @@ mod tests {
         let mut x = b.clone();
         trsm_in_place(Side::Right, Triangle::Upper, Diag::NonUnit, &u, &mut x).unwrap();
         assert!(near(&x, &x_true, 1e-9));
+    }
+
+    #[test]
+    fn blocked_matches_unblocked_reference_across_nb_boundaries() {
+        // Sizes straddling the NB=64 panel boundary, every side/triangle.
+        for &n in &[1usize, 63, 64, 65, 130, 200] {
+            let l = lower(n);
+            let u = l.transpose();
+            for &k in &[1usize, 3, 17] {
+                let b_left = Matrix::from_fn(n, k, |i, j| ((i * 5 + j * 11) % 13) as f64 - 6.0);
+                let b_right = Matrix::from_fn(k, n, |i, j| ((i * 5 + j * 11) % 13) as f64 - 6.0);
+                for diag in [Diag::NonUnit, Diag::Unit] {
+                    let cases: [(Side, Triangle, &Matrix, &Matrix); 4] = [
+                        (Side::Left, Triangle::Lower, &l, &b_left),
+                        (Side::Left, Triangle::Upper, &u, &b_left),
+                        (Side::Right, Triangle::Lower, &l, &b_right),
+                        (Side::Right, Triangle::Upper, &u, &b_right),
+                    ];
+                    for (side, tri, a, b) in cases {
+                        let mut fast = b.clone();
+                        let f1 = trsm_in_place(side, tri, diag, a, &mut fast).unwrap();
+                        let mut slow = b.clone();
+                        let f2 = reference::trsm_unblocked(side, tri, diag, a, &mut slow);
+                        assert!(
+                            near(&fast, &slow, 1e-8),
+                            "mismatch at n={n} k={k} {side:?} {tri:?} {diag:?}"
+                        );
+                        assert_eq!(f1, f2, "flop accounting must match the reference");
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -367,5 +537,16 @@ mod tests {
         let b = Matrix::from_fn(6, 4, |i, j| (i * 4 + j) as f64);
         let x = trsm(Triangle::Lower, Diag::NonUnit, &id, &b).unwrap();
         assert_eq!(x, b);
+    }
+
+    #[test]
+    fn large_blocked_solve_is_accurate() {
+        let n = 200;
+        let k = 33;
+        let l = crate::gen::well_conditioned_lower(n, 5);
+        let x_true = crate::gen::rhs(n, k, 6);
+        let b = matmul(&l, &x_true);
+        let x = trsm(Triangle::Lower, Diag::NonUnit, &l, &b).unwrap();
+        assert!(crate::norms::rel_diff(&x, &x_true) < 1e-9);
     }
 }

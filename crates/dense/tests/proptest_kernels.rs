@@ -5,7 +5,10 @@
 //! trips, triangular inversion correctness, and factorization reconstruction
 //! — on randomly sized and randomly filled matrices.
 
-use dense::{gen, gemm, matmul, norms, tri_invert, trmm, trsm, Diag, Matrix, Triangle};
+use dense::{
+    gemm, gen, matmul, norms, reference, tri_invert, tri_invert_blocked, tri_invert_in_place, trmm,
+    trsm, trsm_in_place, Diag, Matrix, Side, Triangle,
+};
 use proptest::prelude::*;
 
 const TOL: f64 = 1e-8;
@@ -155,6 +158,150 @@ proptest! {
         let mut copy = m.clone();
         copy.set_block(r0, c0, &b);
         prop_assert_eq!(copy, m);
+    }
+
+    /// The packed GEMM agrees with the naive i-k-j reference for arbitrary
+    /// shapes (spanning the pack threshold and ragged tile edges) and
+    /// arbitrary alpha/beta, with identical flop accounting.
+    #[test]
+    fn packed_gemm_matches_naive_reference(
+        (m, k, n) in (1usize..96, 1usize..96, 1usize..96),
+        alpha in -2.0f64..2.0, beta in -2.0f64..2.0,
+        s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>(),
+    ) {
+        let a = gen::uniform(m, k, s1);
+        let b = gen::uniform(k, n, s2);
+        let c0 = gen::uniform(m, n, s3);
+        let mut c_fast = c0.clone();
+        let f_fast = gemm(alpha, &a, &b, beta, &mut c_fast).unwrap();
+        let mut c_ref = c0.clone();
+        let f_ref = reference::gemm_naive_ikj(alpha, &a, &b, beta, &mut c_ref);
+        prop_assert!(c_fast.max_abs_diff(&c_ref).unwrap() < TOL);
+        prop_assert_eq!(f_fast, f_ref);
+    }
+
+    /// The transposed GEMM variants agree with the naive reference applied
+    /// to explicitly transposed operands.
+    #[test]
+    fn transposed_gemm_variants_match_naive_reference(
+        (m, k, n) in (1usize..48, 1usize..48, 1usize..48),
+        alpha in -2.0f64..2.0,
+        s1 in any::<u64>(), s2 in any::<u64>(),
+    ) {
+        // Aᵀ·B with A stored as k×m.
+        let a = gen::uniform(k, m, s1);
+        let b = gen::uniform(k, n, s2);
+        let mut c_fast = Matrix::zeros(m, n);
+        dense::gemm_at_b(alpha, &a, &b, 0.0, &mut c_fast).unwrap();
+        let mut c_ref = Matrix::zeros(m, n);
+        reference::gemm_naive_ikj(alpha, &a.transpose(), &b, 0.0, &mut c_ref);
+        prop_assert!(c_fast.max_abs_diff(&c_ref).unwrap() < TOL);
+
+        // A·Bᵀ with B stored as n×k.
+        let a2 = gen::uniform(m, k, s1 ^ 1);
+        let b2 = gen::uniform(n, k, s2 ^ 1);
+        let mut c_fast2 = Matrix::zeros(m, n);
+        dense::gemm_a_bt(alpha, &a2, &b2, 0.0, &mut c_fast2).unwrap();
+        let mut c_ref2 = Matrix::zeros(m, n);
+        reference::gemm_naive_ikj(alpha, &a2, &b2.transpose(), 0.0, &mut c_ref2);
+        prop_assert!(c_fast2.max_abs_diff(&c_ref2).unwrap() < TOL);
+    }
+
+    /// The blocked TRSM agrees with the unblocked substitution reference on
+    /// every side/triangle/diagonal combination, for shapes spanning the
+    /// panel boundary, with identical flop accounting.
+    #[test]
+    fn blocked_trsm_matches_unblocked_reference(
+        n in 1usize..150,
+        k in 1usize..12,
+        side_sel in prop::bool::ANY,
+        tri_sel in prop::bool::ANY,
+        diag_sel in prop::bool::ANY,
+        seed in any::<u64>(),
+    ) {
+        let side = if side_sel { Side::Left } else { Side::Right };
+        let tri = if tri_sel { Triangle::Lower } else { Triangle::Upper };
+        let diag = if diag_sel { Diag::NonUnit } else { Diag::Unit };
+        let a = match tri {
+            Triangle::Lower => gen::well_conditioned_lower(n, seed),
+            Triangle::Upper => gen::well_conditioned_upper(n, seed),
+        };
+        let b = match side {
+            Side::Left => gen::rhs(n, k, seed ^ 0xf00d),
+            Side::Right => gen::rhs(k, n, seed ^ 0xf00d),
+        };
+        let mut fast = b.clone();
+        let f_fast = trsm_in_place(side, tri, diag, &a, &mut fast).unwrap();
+        let mut slow = b.clone();
+        let f_slow = reference::trsm_unblocked(side, tri, diag, &a, &mut slow);
+        prop_assert!(fast.max_abs_diff(&slow).unwrap() < 1e-6);
+        prop_assert_eq!(f_fast, f_slow);
+    }
+
+    /// The blocked TRMM agrees with the unblocked reference on both
+    /// triangles, with identical flop accounting.
+    #[test]
+    fn blocked_trmm_matches_unblocked_reference(
+        n in 1usize..150,
+        k in 1usize..12,
+        tri_sel in prop::bool::ANY,
+        seed in any::<u64>(),
+    ) {
+        let tri = if tri_sel { Triangle::Lower } else { Triangle::Upper };
+        let a = match tri {
+            Triangle::Lower => gen::well_conditioned_lower(n, seed),
+            Triangle::Upper => gen::well_conditioned_upper(n, seed),
+        };
+        let b = gen::rhs(n, k, seed ^ 0xbeef);
+        let (fast, f_fast) = trmm(tri, &a, &b).unwrap();
+        let (slow, f_slow) = reference::trmm_unblocked(tri, &a, &b);
+        prop_assert!(fast.max_abs_diff(&slow).unwrap() < TOL);
+        prop_assert_eq!(f_fast, f_slow);
+    }
+
+    /// The recursive/blocked triangular inversion agrees with the direct
+    /// column-by-column reference for any recursion cut-off, and the direct
+    /// base case carries the reference's flop formula.
+    #[test]
+    fn blocked_trinv_matches_direct_reference(
+        n in 1usize..100,
+        block in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let l = gen::well_conditioned_lower(n, seed);
+        let (fast, _) = tri_invert_blocked(Triangle::Lower, &l, block).unwrap();
+        let (slow, f_slow) = reference::invert_lower_direct(&l);
+        prop_assert!(norms::rel_diff(&fast, &slow) < 1e-6);
+        prop_assert!(fast.is_lower_triangular());
+        // With the cut-off at n the whole inversion is one direct base case
+        // and must report exactly the reference flop count.
+        let (_, f_direct) = tri_invert_blocked(Triangle::Lower, &l, n).unwrap();
+        prop_assert_eq!(f_direct, f_slow);
+    }
+
+    /// The in-place view inversion produces the same inverse (and flops) as
+    /// the allocating wrapper, and touches nothing outside its block.
+    #[test]
+    fn in_place_trinv_matches_wrapper(
+        n in 1usize..64,
+        off in 0usize..16,
+        block in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let l = gen::well_conditioned_lower(n, seed);
+        let dim = n + off + 3;
+        let mut big = gen::uniform(dim, dim, seed ^ 0xabc);
+        big.set_block(off, off, &l);
+        let f_inplace =
+            tri_invert_in_place(Triangle::Lower, &mut big.view_mut(off, off, n, n), block).unwrap();
+        let (expect, f_wrapper) = tri_invert_blocked(Triangle::Lower, &l, block).unwrap();
+        prop_assert_eq!(f_inplace, f_wrapper);
+        let got = big.block(off, off, n, n).lower_triangular_part();
+        prop_assert!(got.max_abs_diff(&expect).unwrap() < TOL);
+        // A sentinel outside the block is untouched.
+        if off > 0 {
+            prop_assert_eq!(big[(off - 1, 0)], gen::uniform(dim, dim, seed ^ 0xabc)[(off - 1, 0)]);
+        }
     }
 
     /// Strided (cyclic) decomposition covers the matrix exactly once.

@@ -190,8 +190,8 @@ impl DistMatrix {
                 ),
             });
         }
-        let row_aligned = r0 % pr == 0 && (nr % pr == 0 || r0 + nr == self.rows);
-        let col_aligned = c0 % pc == 0 && (nc % pc == 0 || c0 + nc == self.cols);
+        let row_aligned = r0.is_multiple_of(pr) && (nr.is_multiple_of(pr) || r0 + nr == self.rows);
+        let col_aligned = c0.is_multiple_of(pc) && (nc.is_multiple_of(pc) || c0 + nc == self.cols);
         if !row_aligned || !col_aligned {
             return Err(GridError::BadDimensions {
                 op: "subview",
@@ -224,7 +224,7 @@ impl DistMatrix {
         let pr = self.grid.rows();
         let pc = self.grid.cols();
         let (nr, nc) = sub.dims();
-        if r0 % pr != 0 || c0 % pc != 0 {
+        if !r0.is_multiple_of(pr) || !c0.is_multiple_of(pc) {
             return Err(GridError::BadDimensions {
                 op: "set_subview",
                 reason: format!("offset ({r0}, {c0}) is not aligned to the {pr}x{pc} grid"),
@@ -243,19 +243,23 @@ impl DistMatrix {
     /// In-place `self ← self - other` (same grid, same dimensions).
     pub fn sub_assign(&mut self, other: &DistMatrix) -> Result<()> {
         self.check_conformal(other, "sub_assign")?;
-        self.local.axpy(-1.0, &other.local).map_err(|e| GridError::BadDimensions {
-            op: "sub_assign",
-            reason: e.to_string(),
-        })
+        self.local
+            .axpy(-1.0, &other.local)
+            .map_err(|e| GridError::BadDimensions {
+                op: "sub_assign",
+                reason: e.to_string(),
+            })
     }
 
     /// In-place `self ← self + other` (same grid, same dimensions).
     pub fn add_assign(&mut self, other: &DistMatrix) -> Result<()> {
         self.check_conformal(other, "add_assign")?;
-        self.local.axpy(1.0, &other.local).map_err(|e| GridError::BadDimensions {
-            op: "add_assign",
-            reason: e.to_string(),
-        })
+        self.local
+            .axpy(1.0, &other.local)
+            .map_err(|e| GridError::BadDimensions {
+                op: "add_assign",
+                reason: e.to_string(),
+            })
     }
 
     /// Distributed relative Frobenius difference `‖A − B‖_F / max(‖B‖_F, 1)`
@@ -319,7 +323,9 @@ mod tests {
     fn cyclic_counts_cover_everything() {
         for global in [0usize, 1, 5, 8, 13] {
             for procs in [1usize, 2, 3, 4, 7] {
-                let total: usize = (0..procs).map(|c| cyclic_local_count(global, procs, c)).sum();
+                let total: usize = (0..procs)
+                    .map(|c| cyclic_local_count(global, procs, c))
+                    .sum();
                 assert_eq!(total, global, "global={global} procs={procs}");
             }
         }
@@ -327,7 +333,12 @@ mod tests {
 
     #[test]
     fn distribute_collect_round_trip() {
-        for (pr, pc, rows, cols) in [(2usize, 2usize, 8usize, 8usize), (2, 3, 7, 11), (1, 4, 5, 12), (4, 1, 9, 3)] {
+        for (pr, pc, rows, cols) in [
+            (2usize, 2usize, 8usize, 8usize),
+            (2, 3, 7, 11),
+            (1, 4, 5, 12),
+            (4, 1, 9, 3),
+        ] {
             let global = test_matrix(rows, cols);
             let g2 = global.clone();
             let results = with_grid(pr * pc, pr, pc, move |grid| {

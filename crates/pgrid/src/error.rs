@@ -32,7 +32,10 @@ pub enum GridError {
 impl fmt::Display for GridError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GridError::GridSizeMismatch { comm_size, grid_size } => write!(
+            GridError::GridSizeMismatch {
+                comm_size,
+                grid_size,
+            } => write!(
                 f,
                 "grid of {grid_size} processors does not fit communicator of size {comm_size}"
             ),
@@ -69,7 +72,9 @@ mod tests {
             reason: "not aligned".into(),
         };
         assert!(e.to_string().contains("subview"));
-        assert!(GridError::GridMismatch { op: "add" }.to_string().contains("different grids"));
+        assert!(GridError::GridMismatch { op: "add" }
+            .to_string()
+            .contains("different grids"));
         let e: GridError = simnet::SimError::EmptyMachine.into();
         assert!(e.to_string().contains("simulator"));
     }

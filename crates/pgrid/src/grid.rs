@@ -256,8 +256,10 @@ mod tests {
         let out = Machine::new(12, MachineParams::unit())
             .run(|comm| {
                 let g = Grid2D::new(comm, 3, 4).unwrap();
-                let row_sum = coll::allreduce(&g.row_comm(), &[comm.rank() as f64], coll::ReduceOp::Sum)[0];
-                let col_sum = coll::allreduce(&g.col_comm(), &[comm.rank() as f64], coll::ReduceOp::Sum)[0];
+                let row_sum =
+                    coll::allreduce(&g.row_comm(), &[comm.rank() as f64], coll::ReduceOp::Sum)[0];
+                let col_sum =
+                    coll::allreduce(&g.col_comm(), &[comm.rank() as f64], coll::ReduceOp::Sum)[0];
                 (row_sum, col_sum)
             })
             .unwrap();

@@ -16,9 +16,9 @@
 //!   Bruck all-to-all-v, the primitive the paper charges as "an all-to-all"
 //!   for its layout transposes and redistributions.
 
+pub mod distmat;
 pub mod error;
 pub mod grid;
-pub mod distmat;
 pub mod redist;
 
 pub use distmat::DistMatrix;

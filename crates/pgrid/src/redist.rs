@@ -83,7 +83,11 @@ pub fn decode_index(key: u64, cols: usize) -> (usize, usize) {
 ///
 /// This is the workhorse behind the layout changes of the 3D matrix
 /// multiplication and of the diagonal-block inverter.
-pub fn remap_elements<F>(mat: &DistMatrix, dest_of: F, log_latency: bool) -> Vec<(usize, usize, f64)>
+pub fn remap_elements<F>(
+    mat: &DistMatrix,
+    dest_of: F,
+    log_latency: bool,
+) -> Vec<(usize, usize, f64)>
 where
     F: Fn(usize, usize) -> usize,
 {
@@ -192,7 +196,12 @@ mod tests {
 
     #[test]
     fn index_encoding_round_trips() {
-        for (i, j, cols) in [(0usize, 0usize, 5usize), (3, 4, 5), (100, 7, 8), (12345, 67, 89)] {
+        for (i, j, cols) in [
+            (0usize, 0usize, 5usize),
+            (3, 4, 5),
+            (100, 7, 8),
+            (12345, 67, 89),
+        ] {
             let k = encode_index(i, j, cols);
             assert_eq!(decode_index(k, cols), (i, j));
         }

@@ -1,0 +1,120 @@
+//! Deterministic case runner and RNG for the proptest shim.
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// SplitMix64 generator: tiny, fast, and good enough for test-case
+/// generation. Deterministically seeded per test from the test's name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Runs `f` once per case with a per-case deterministic RNG, panicking with
+/// the case index on failure so the case can be replayed.
+pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    let base = fnv1a(test_name.as_bytes());
+    for case in 0..config.cases {
+        let mut rng = TestRng::new(base ^ (case as u64).wrapping_mul(0x2545f4914f6cdd1d));
+        if let Err(msg) = f(&mut rng) {
+            panic!("proptest case {case}/{} failed: {msg}", config.cases);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn run_cases_runs_requested_count() {
+        let mut count = 0;
+        run_cases(ProptestConfig::with_cases(17), "counting", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn run_cases_panics_on_error() {
+        run_cases(ProptestConfig::with_cases(4), "failing", |_| {
+            Err("boom".to_string())
+        });
+    }
+}

@@ -134,7 +134,10 @@ pub fn allgatherv(comm: &Communicator, local: &[f64]) -> Vec<Vec<f64>> {
 pub fn gather(comm: &Communicator, root: usize, local: &[f64]) -> Result<Option<Vec<f64>>> {
     let p = comm.size();
     if root >= p {
-        return Err(SimError::InvalidRank { rank: root, size: p });
+        return Err(SimError::InvalidRank {
+            rank: root,
+            size: p,
+        });
     }
     let blk = local.len();
     if p == 1 {
@@ -150,7 +153,7 @@ pub fn gather(comm: &Communicator, root: usize, local: &[f64]) -> Result<Option<
     let mut step = 0u64;
     let mut sent = false;
     while d < p {
-        if rel % (2 * d) == 0 {
+        if rel.is_multiple_of(2 * d) {
             let src_rel = rel + d;
             if src_rel < p {
                 let from = (src_rel + root) % p;
@@ -191,12 +194,19 @@ pub fn gather(comm: &Communicator, root: usize, local: &[f64]) -> Result<Option<
 pub fn scatter(comm: &Communicator, root: usize, data: &[f64], block: usize) -> Result<Vec<f64>> {
     let p = comm.size();
     if root >= p {
-        return Err(SimError::InvalidRank { rank: root, size: p });
+        return Err(SimError::InvalidRank {
+            rank: root,
+            size: p,
+        });
     }
     if comm.rank() == root && data.len() != p * block {
         return Err(SimError::BadCollectiveArgs {
             op: "scatter",
-            reason: format!("root buffer has {} words, expected {}", data.len(), p * block),
+            reason: format!(
+                "root buffer has {} words, expected {}",
+                data.len(),
+                p * block
+            ),
         });
     }
     if p == 1 {
@@ -255,7 +265,7 @@ pub fn scatter(comm: &Communicator, root: usize, data: &[f64], block: usize) -> 
 /// reduce-then-scatter fallback is used.
 pub fn reduce_scatter(comm: &Communicator, data: &[f64], op: ReduceOp) -> Result<Vec<f64>> {
     let p = comm.size();
-    if data.len() % p != 0 {
+    if !data.len().is_multiple_of(p) {
         return Err(SimError::BadCollectiveArgs {
             op: "reduce_scatter",
             reason: format!("buffer length {} not divisible by p = {}", data.len(), p),
@@ -317,7 +327,10 @@ pub fn reduce(
 ) -> Result<Option<Vec<f64>>> {
     let p = comm.size();
     if root >= p {
-        return Err(SimError::InvalidRank { rank: root, size: p });
+        return Err(SimError::InvalidRank {
+            rank: root,
+            size: p,
+        });
     }
     if p == 1 {
         return Ok(Some(data.to_vec()));
@@ -329,7 +342,7 @@ pub fn reduce(
     let mut step = 0u64;
     let mut sent = false;
     while d < p {
-        if rel % (2 * d) == 0 {
+        if rel.is_multiple_of(2 * d) {
             let src_rel = rel + d;
             if src_rel < p {
                 let from = (src_rel + root) % p;
@@ -375,7 +388,10 @@ pub fn allreduce(comm: &Communicator, data: &[f64], op: ReduceOp) -> Vec<f64> {
 pub fn bcast(comm: &Communicator, root: usize, data: &[f64], len: usize) -> Result<Vec<f64>> {
     let p = comm.size();
     if root >= p {
-        return Err(SimError::InvalidRank { rank: root, size: p });
+        return Err(SimError::InvalidRank {
+            rank: root,
+            size: p,
+        });
     }
     if comm.rank() == root && data.len() != len {
         return Err(SimError::BadCollectiveArgs {
@@ -580,7 +596,7 @@ mod tests {
 
     #[test]
     fn barrier_completes_and_costs_log_p() {
-        let (_, report) = run(8, |comm| barrier(comm));
+        let (_, report) = run(8, barrier);
         assert_eq!(report.max_messages(), 3);
         assert_eq!(report.max_words(), 0);
     }
@@ -639,8 +655,7 @@ mod tests {
                 for (rank, r) in results.into_iter().enumerate() {
                     if rank == root {
                         let data = r.expect("root gets data");
-                        let expected: Vec<f64> =
-                            (0..p).flat_map(|q| vec![q as f64; 3]).collect();
+                        let expected: Vec<f64> = (0..p).flat_map(|q| vec![q as f64; 3]).collect();
                         assert_eq!(data, expected);
                     } else {
                         assert!(r.is_none());
@@ -687,7 +702,11 @@ mod tests {
         let p = 8;
         let blk = 10;
         let (_, report) = run(p, move |comm| {
-            let data: Vec<f64> = if comm.rank() == 0 { vec![1.0; p * blk] } else { Vec::new() };
+            let data: Vec<f64> = if comm.rank() == 0 {
+                vec![1.0; p * blk]
+            } else {
+                Vec::new()
+            };
             scatter(comm, 0, &data, blk).unwrap()
         });
         // Root sends blk*(p-1) words in log p messages.
@@ -811,7 +830,11 @@ mod tests {
         let p = 8;
         let n = 80;
         let (_, report) = run(p, move |comm| {
-            let data: Vec<f64> = if comm.rank() == 0 { vec![2.0; n] } else { Vec::new() };
+            let data: Vec<f64> = if comm.rank() == 0 {
+                vec![2.0; n]
+            } else {
+                Vec::new()
+            };
             bcast(comm, 0, &data, n).unwrap()
         });
         // scatter + allgather: 2 log p messages, 2 n (p-1)/p words.
@@ -872,12 +895,12 @@ mod tests {
             });
             for (rank, (a, b)) in results.into_iter().enumerate() {
                 assert_eq!(a, b, "p={p} rank={rank}");
-                for src in 0..p {
+                for (src, piece) in a.iter().enumerate().take(p) {
                     if rank == 0 && src == 0 {
-                        assert!(a[src].is_empty());
+                        assert!(piece.is_empty());
                     } else {
-                        assert_eq!(a[src].len(), rank + 1);
-                        assert!(a[src].iter().all(|&v| v == (src * 10 + rank) as f64));
+                        assert_eq!(piece.len(), rank + 1);
+                        assert!(piece.iter().all(|&v| v == (src * 10 + rank) as f64));
                     }
                 }
             }

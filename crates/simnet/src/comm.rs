@@ -278,7 +278,9 @@ impl Communicator {
     /// order.
     pub fn split_by<F: Fn(usize) -> usize>(&self, color_of: F) -> Result<Communicator> {
         let my_color = color_of(self.my_index);
-        let members: Vec<usize> = (0..self.size()).filter(|&r| color_of(r) == my_color).collect();
+        let members: Vec<usize> = (0..self.size())
+            .filter(|&r| color_of(r) == my_color)
+            .collect();
         // Keep op counters aligned across siblings: subgroup() bumps it once.
         self.subgroup(&members)
     }

@@ -92,7 +92,11 @@ impl CostReport {
 
     /// Critical-path bandwidth count `W` (max over ranks).
     pub fn max_words(&self) -> u64 {
-        self.per_rank.iter().map(|c| c.bandwidth()).max().unwrap_or(0)
+        self.per_rank
+            .iter()
+            .map(|c| c.bandwidth())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Critical-path flop count `F` (max over ranks).

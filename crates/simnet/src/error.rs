@@ -56,7 +56,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SimError::InvalidRank { rank: 5, size: 4 }.to_string().contains("5"));
+        assert!(SimError::InvalidRank { rank: 5, size: 4 }
+            .to_string()
+            .contains("5"));
         assert!(SimError::EmptyMachine.to_string().contains("at least one"));
         assert!(SimError::RankPanicked { rank: 2 }.to_string().contains("2"));
         assert!(SimError::NotInGroup.to_string().contains("member"));

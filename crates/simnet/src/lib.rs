@@ -60,13 +60,13 @@
 //! assert!(out.report.max_messages() > 0);
 //! ```
 
-pub mod params;
-pub mod cost;
-pub mod message;
-pub mod comm;
-pub mod machine;
 pub mod coll;
+pub mod comm;
+pub mod cost;
 pub mod error;
+pub mod machine;
+pub mod message;
+pub mod params;
 
 pub use comm::Communicator;
 pub use cost::{CostCounters, CostReport};

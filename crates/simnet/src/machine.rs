@@ -313,9 +313,7 @@ mod tests {
     #[test]
     fn subgroup_membership_errors() {
         let m = Machine::new(3, MachineParams::unit());
-        let out = m
-            .run(|comm| comm.subgroup(&[0, 1]).is_err())
-            .unwrap();
+        let out = m.run(|comm| comm.subgroup(&[0, 1]).is_err()).unwrap();
         assert_eq!(out.results, vec![false, false, true]);
     }
 

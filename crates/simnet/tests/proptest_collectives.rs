@@ -115,7 +115,7 @@ proptest! {
     #[test]
     fn barrier_costs_only_latency(p in 1usize..12) {
         let out = Machine::new(p, MachineParams::unit())
-            .run(|comm| coll::barrier(comm))
+            .run(coll::barrier)
             .unwrap();
         prop_assert_eq!(out.report.max_words(), 0);
         if p > 1 {

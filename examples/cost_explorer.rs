@@ -27,13 +27,26 @@ fn main() {
     let plan = tuning::plan(n, k, p);
     println!("regime: {}", plan.regime.name());
     println!("recommended parameters (Section VIII):");
-    println!("  processor grid   p1 × p1 × p2 = {:.1} × {:.1} × {:.1}", plan.p1, plan.p1, plan.p2);
-    println!("  inverted blocks  n0 = {:.0}  ({} blocks along the diagonal)", plan.n0, (n as f64 / plan.n0).ceil());
-    println!("  inversion grids  r1 × r1 × r2 = {:.1} × {:.1} × {:.1}", plan.r1, plan.r1, plan.r2);
+    println!(
+        "  processor grid   p1 × p1 × p2 = {:.1} × {:.1} × {:.1}",
+        plan.p1, plan.p1, plan.p2
+    );
+    println!(
+        "  inverted blocks  n0 = {:.0}  ({} blocks along the diagonal)",
+        plan.n0,
+        (n as f64 / plan.n0).ceil()
+    );
+    println!(
+        "  inversion grids  r1 × r1 × r2 = {:.1} × {:.1} × {:.1}",
+        plan.r1, plan.r1, plan.r2
+    );
 
     let row = compare::conclusion_row(n as f64, k as f64, p as f64);
     println!("\npredicted critical-path costs (leading order):");
-    println!("  {:<22} {:>14} {:>16} {:>16}", "algorithm", "S (messages)", "W (words)", "F (flops)");
+    println!(
+        "  {:<22} {:>14} {:>16} {:>16}",
+        "algorithm", "S (messages)", "W (words)", "F (flops)"
+    );
     println!(
         "  {:<22} {:>14.3e} {:>16.3e} {:>16.3e}",
         "standard (recursive)", row.standard.latency, row.standard.bandwidth, row.standard.flops
@@ -62,5 +75,9 @@ fn main() {
         );
     }
 
-    println!("\nregime boundaries at this p: 1D below n = {:.0}, 2D above n = {:.0}", 4.0 * k as f64 / p as f64, 4.0 * k as f64 * (p as f64).sqrt());
+    println!(
+        "\nregime boundaries at this p: 1D below n = {:.0}, 2D above n = {:.0}",
+        4.0 * k as f64 / p as f64,
+        4.0 * k as f64 * (p as f64).sqrt()
+    );
 }

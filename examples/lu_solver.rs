@@ -44,7 +44,10 @@ fn main() {
     let factor_err = output.results.iter().map(|r| r.0).fold(0.0, f64::max);
     let solve_err = output.results.iter().map(|r| r.1).fold(0.0, f64::max);
     println!("distributed LU solver (diagonally dominant system)");
-    println!("  problem:              n = {n}, k = {k}, p = {}", grid_dim * grid_dim);
+    println!(
+        "  problem:              n = {n}, k = {k}, p = {}",
+        grid_dim * grid_dim
+    );
     println!("  ‖L·U − A‖/‖A‖:         {factor_err:.3e}");
     println!("  solution error:        {solve_err:.3e}");
     println!(
@@ -53,6 +56,9 @@ fn main() {
         output.report.max_words(),
         output.report.max_flops()
     );
-    println!("  α–β–γ virtual time:    {:.3e} s", output.report.virtual_time());
+    println!(
+        "  α–β–γ virtual time:    {:.3e} s",
+        output.report.virtual_time()
+    );
     assert!(factor_err < 1e-8 && solve_err < 1e-6);
 }

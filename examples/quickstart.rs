@@ -41,12 +41,21 @@ fn main() {
 
     let worst_error = output.results.iter().copied().fold(0.0, f64::max);
     println!("communication-avoiding TRSM quickstart");
-    println!("  problem:        n = {n}, k = {k}, p = {}", grid_dim * grid_dim);
+    println!(
+        "  problem:        n = {n}, k = {k}, p = {}",
+        grid_dim * grid_dim
+    );
     println!("  max rel error:  {worst_error:.3e}");
-    println!("  critical path:  S = {} messages", output.report.max_messages());
+    println!(
+        "  critical path:  S = {} messages",
+        output.report.max_messages()
+    );
     println!("                  W = {} words", output.report.max_words());
     println!("                  F = {} flops", output.report.max_flops());
-    println!("  model time:     {:.3e} s (α–β–γ virtual time)", output.report.virtual_time());
+    println!(
+        "  model time:     {:.3e} s (α–β–γ virtual time)",
+        output.report.virtual_time()
+    );
     assert!(worst_error < 1e-8, "the solve must be accurate");
 
     // Compare against the recursive baseline on the same instance.

@@ -59,7 +59,10 @@ fn main() {
     }
 
     println!("\nanalytic model beyond simulation scale (same n/k ratio, larger n and p):");
-    println!("{:>9} {:>11} {:>11} | {:>13} {:>13} | ratio", "p", "n", "k", "S standard", "S new");
+    println!(
+        "{:>9} {:>11} {:>11} | {:>13} {:>13} | ratio",
+        "p", "n", "k", "S standard", "S new"
+    );
     for (p, n, k) in [
         (256usize, 1usize << 14, 1usize << 12),
         (4096, 1 << 16, 1 << 14),

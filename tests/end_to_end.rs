@@ -81,7 +81,10 @@ fn iterative_algorithm_beats_recursive_latency_as_p_grows() {
         };
         let rec = run(Algorithm::Recursive { base_size: 32 });
         let itr = run(Algorithm::IterativeInversion(plan.it_inv));
-        assert!(itr < rec, "iterative must need fewer messages (p = {p}: {itr} vs {rec})");
+        assert!(
+            itr < rec,
+            "iterative must need fewer messages (p = {p}: {itr} vs {rec})"
+        );
         ratios.push(rec as f64 / itr as f64);
     }
     assert!(
@@ -124,7 +127,12 @@ fn both_algorithms_move_the_same_order_of_words() {
 fn planner_configurations_are_always_runnable() {
     // Whatever the planner returns for a feasible (n, k, p) must execute and
     // produce a correct solution.
-    for (n, k, q) in [(64usize, 16usize, 2usize), (64, 256, 2), (256, 16, 4), (128, 128, 4)] {
+    for (n, k, q) in [
+        (64usize, 16usize, 2usize),
+        (64, 256, 2),
+        (256, 16, 4),
+        (128, 128, 4),
+    ] {
         let p = q * q;
         let plan = planner::plan(n, k, p);
         let out = Machine::new(p, MachineParams::unit())
@@ -223,7 +231,7 @@ fn redistribution_round_trips_between_grids() {
                 on_square.local_mut()[(i / 2, j / 2)] = v;
             }
             // …and back to the tall grid.
-            let back = redist::remap_elements(&on_square, |i, j| tall.rank_of(i % 4, j % 1), true);
+            let back = redist::remap_elements(&on_square, |i, _j| tall.rank_of(i % 4, 0), true);
             let mut again = DistMatrix::zeros(&tall, 12, 8);
             for (i, j, v) in back {
                 again.local_mut()[(i / 4, j)] = v;
@@ -248,8 +256,8 @@ fn virtual_time_is_consistent_with_counters() {
         })
         .unwrap();
     let report = out.report;
-    let counter_bound =
-        (report.max_messages() + report.max_words() + report.max_flops()) as f64 * report.num_ranks() as f64;
+    let counter_bound = (report.max_messages() + report.max_words() + report.max_flops()) as f64
+        * report.num_ranks() as f64;
     assert!(report.virtual_time() <= counter_bound);
     assert!(report.virtual_time() > 0.0);
 }

@@ -17,9 +17,7 @@ fn itinv_configs() -> impl Strategy<Value = (usize, usize, usize, usize, usize)>
         let k = 4 * b;
         let (p1, p2) = if flat { (2, 1) } else { (1, 4) };
         // n0 must divide n and be a multiple of p1.
-        let candidates: Vec<usize> = (1..=n)
-            .filter(|c| n % c == 0 && c % p1 == 0)
-            .collect();
+        let candidates: Vec<usize> = (1..=n).filter(|c| n % c == 0 && c % p1 == 0).collect();
         let n0 = candidates[n0_choice.min(candidates.len() - 1)];
         (n, k, n0, p1, p2)
     })
