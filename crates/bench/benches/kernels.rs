@@ -8,7 +8,7 @@
 //! measurements to `BENCH_kernels.json` for cross-PR comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dense::{gemm, gen, reference, tri_invert, trsm, Diag, Matrix, Triangle};
+use dense::{gemm, gemm_with_threads, gen, reference, tri_invert, trsm, Diag, Matrix, Triangle};
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_gemm");
@@ -45,6 +45,34 @@ fn bench_gemm_naive_vs_packed(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_gemm_par(c: &mut Criterion) {
+    // The multithreaded packed GEMM at a size where the column partitioning
+    // pays: compare worker counts at 512³ (plus the machine's own default).
+    // Results are bitwise identical across rows; only throughput may differ.
+    let mut group = c.benchmark_group("gemm_par");
+    let n = 512usize;
+    let a = gen::uniform(n, n, 1);
+    let b = gen::uniform(n, n, 2);
+    let mut counts = vec![1usize, 2, 4];
+    let default = dense::dense_threads();
+    if !counts.contains(&default) {
+        counts.push(default);
+    }
+    for threads in counts {
+        group.bench_with_input(
+            BenchmarkId::new(format!("threads_{threads}"), n),
+            &n,
+            |bench, _| {
+                let mut out = Matrix::zeros(n, n);
+                bench.iter(|| {
+                    gemm_with_threads(1.0, &a, &b, 0.0, &mut out, threads).unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_trsm(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_trsm");
     for n in [64usize, 128, 256] {
@@ -71,6 +99,6 @@ fn bench_tri_invert(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_gemm, bench_gemm_naive_vs_packed, bench_trsm, bench_tri_invert
+    targets = bench_gemm, bench_gemm_naive_vs_packed, bench_gemm_par, bench_trsm, bench_tri_invert
 }
 criterion_main!(kernels);

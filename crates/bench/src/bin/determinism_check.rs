@@ -1,0 +1,54 @@
+//! Prints a checksum of a fixed dense-kernel workload so CI can verify that
+//! results are **bitwise identical** under different `DENSE_THREADS`
+//! settings (the multithreaded GEMM must be a throughput knob, not a
+//! semantics knob).
+//!
+//! CI runs this twice — `DENSE_THREADS=1` and `DENSE_THREADS=4` — and diffs
+//! the output; any divergence in a single mantissa bit changes the checksum.
+//! The worker count actually used is printed to stderr only, so stdout is
+//! comparable across runs.
+
+use dense::{gemm, gen, tri_invert, trsm, trsm_in_place, Diag, Matrix, Side, Triangle};
+
+/// FNV-1a over the little-endian bit patterns of every element.
+fn checksum(label: &str, m: &Matrix) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in m.as_slice() {
+        for byte in v.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    format!("{label}: {hash:016x}")
+}
+
+fn main() {
+    eprintln!("dense worker count: {}", dense::dense_threads());
+
+    // Big enough to cross the implicit parallelisation threshold
+    // (PAR_MIN_MADDS = 128^3) with ragged panel edges on every dimension.
+    let a = gen::uniform(261, 300, 11);
+    let b = gen::uniform(300, 517, 12);
+    let mut c = gen::uniform(261, 517, 13);
+    gemm(1.25, &a, &b, -0.5, &mut c).unwrap();
+    println!("{}", checksum("gemm_261x300x517", &c));
+
+    let l = gen::well_conditioned_lower(384, 21);
+    let rhs = gen::rhs(384, 96, 22);
+    let x = trsm(Triangle::Lower, Diag::NonUnit, &l, &rhs).unwrap();
+    println!("{}", checksum("trsm_left_lower_384x96", &x));
+
+    let mut xr = gen::rhs(96, 384, 23);
+    trsm_in_place(
+        Side::Right,
+        Triangle::Upper,
+        Diag::NonUnit,
+        &l.transpose(),
+        &mut xr,
+    )
+    .unwrap();
+    println!("{}", checksum("trsm_right_upper_96x384", &xr));
+
+    let (inv, _) = tri_invert(Triangle::Lower, &l).unwrap();
+    println!("{}", checksum("tri_invert_384", &inv));
+}

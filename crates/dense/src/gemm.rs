@@ -4,41 +4,59 @@
 //! non-trivial product through the packed-panel microkernel of
 //! [`crate::microkernel`] (pack `A` into `MR`-row column panels and `B` into
 //! `NR`-column row panels at an `(MC, KC, NC)` tiling, then drive an `MR×NR`
-//! register tile over the packed buffers).  [`gemm_views`] is the same
-//! operation on borrowed sub-blocks, which is what the blocked triangular
-//! kernels and the `catrsm` algorithms use to update blocks in place without
-//! cloning them.  Convenience wrappers [`matmul`], [`gemm_at_b`] and
-//! [`gemm_a_bt`] cover the transposed variants the distributed algorithms
-//! need.
+//! register tile over the packed buffers).  Products above
+//! [`PAR_MIN_MADDS`] multiply–adds additionally split their column panels
+//! across the [`crate::threads`] worker pool (governed by `DENSE_THREADS`),
+//! with bitwise-identical results at every worker count.  [`gemm_views`] is
+//! the same operation on borrowed sub-blocks, which is what the blocked
+//! triangular kernels and the `catrsm` algorithms use to update blocks in
+//! place without cloning them; [`gemm_with_threads`] /
+//! [`gemm_views_with_threads`] take an explicit worker budget (benches and
+//! determinism tests use them to pin the partitioning).  Convenience
+//! wrappers [`matmul`], [`gemm_at_b`] and [`gemm_a_bt`] cover the transposed
+//! variants the distributed algorithms need.
 
 use crate::error::DenseError;
 use crate::flops::{gemm_flops, FlopCount};
 use crate::matrix::{MatMut, MatRef, Matrix};
-use crate::microkernel::gemm_accumulate;
+use crate::microkernel::gemm_views_accumulate;
+use crate::threads::dense_threads;
 use crate::Result;
+
+/// Below this many multiply–adds a GEMM never goes parallel on its own:
+/// worker spawn/join overhead (tens of microseconds) would rival the compute
+/// itself, and the distributed algorithms issue many small block products.
+/// Explicit [`gemm_with_threads`] callers bypass this gate.
+pub const PAR_MIN_MADDS: usize = 128 * 128 * 128;
 
 /// `C ← alpha * A * B + beta * C`.
 ///
 /// `A` is `m×p`, `B` is `p×n`, `C` must be `m×n`.  Returns the number of
 /// flops performed so callers can charge them to the simulated machine.
+/// Large products run on the worker pool (see [`crate::threads`]).
 pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) -> Result<FlopCount> {
-    let (m, p) = a.dims();
-    let (p2, n) = b.dims();
-    if p != p2 {
-        return Err(DenseError::DimensionMismatch {
-            op: "gemm",
-            lhs: a.dims(),
-            rhs: b.dims(),
-        });
-    }
-    if c.dims() != (m, n) {
-        return Err(DenseError::DimensionMismatch {
-            op: "gemm (output)",
-            lhs: (m, n),
-            rhs: c.dims(),
-        });
-    }
     gemm_views(alpha, a.as_view(), b.as_view(), beta, &mut c.as_view_mut())
+}
+
+/// [`gemm`] with an explicit worker budget instead of the `DENSE_THREADS`
+/// default.  `threads == 1` is the deterministic sequential path; any value
+/// produces bitwise-identical results.
+pub fn gemm_with_threads(
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+    threads: usize,
+) -> Result<FlopCount> {
+    gemm_views_with_threads(
+        alpha,
+        a.as_view(),
+        b.as_view(),
+        beta,
+        &mut c.as_view_mut(),
+        threads,
+    )
 }
 
 /// `C ← alpha * A * B + beta * C` on borrowed sub-blocks.
@@ -47,13 +65,39 @@ pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) -> Re
 /// the operands may be [`Matrix::view`]s of larger matrices, so callers
 /// update sub-blocks in place instead of extracting, multiplying, and
 /// re-inserting copies.  Borrow rules guarantee `c` cannot overlap `a` or
-/// `b`.
+/// `b`.  Products of at least [`PAR_MIN_MADDS`] multiply–adds use the worker
+/// pool; smaller ones stay on the calling thread.
 pub fn gemm_views(
     alpha: f64,
     a: MatRef<'_>,
     b: MatRef<'_>,
     beta: f64,
     c: &mut MatMut<'_>,
+) -> Result<FlopCount> {
+    let (m, p) = a.dims();
+    let n = b.cols();
+    let madds = m.saturating_mul(n).saturating_mul(p);
+    let threads = if madds >= PAR_MIN_MADDS {
+        dense_threads()
+    } else {
+        1
+    };
+    gemm_views_with_threads(alpha, a, b, beta, c, threads)
+}
+
+/// [`gemm_views`] with an explicit worker budget.
+///
+/// Unlike the implicit path this does not apply the [`PAR_MIN_MADDS`] gate:
+/// the caller asked for `threads` workers and gets them whenever the product
+/// is large enough to take the packed path at all (tiny products still run
+/// the sequential small-product loop — identically for every `threads`).
+pub fn gemm_views_with_threads(
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+    threads: usize,
 ) -> Result<FlopCount> {
     let (m, p) = a.dims();
     let (p2, n) = b.dims();
@@ -83,22 +127,7 @@ pub fn gemm_views(
         return Ok(FlopCount::ZERO);
     }
 
-    // SAFETY: the views describe in-bounds blocks of live allocations, and
-    // `c` is a mutable borrow so it cannot alias `a` or `b`.
-    unsafe {
-        gemm_accumulate(
-            m,
-            n,
-            p,
-            alpha,
-            a.as_ptr(),
-            a.stride(),
-            b.as_ptr(),
-            b.stride(),
-            c.as_mut_ptr(),
-            c.stride(),
-        );
-    }
+    gemm_views_accumulate(alpha, a, b, c, threads.max(1));
     Ok(gemm_flops(m, p, n))
 }
 

@@ -17,12 +17,19 @@
 //! paths all funnel through one packed-panel GEMM: [`pack`] copies `(MC, KC)`
 //! blocks of `A` and `(KC, NC)` blocks of `B` into thread-local micro-panel
 //! buffers, and [`microkernel`] drives an `MR×NR` register tile over them.
-//! The triangular kernels ([`trsm`], [`trmm`], [`trinv`]) are blocked so
-//! their off-diagonal updates — where almost all of their flops are — run
-//! through that same GEMM; only small diagonal blocks use substitution
-//! loops.  [`reference`] keeps the original unblocked kernels as the ground
-//! truth for tests and benches.  Block-level operations avoid copies via the
-//! borrowed views [`MatRef`] / [`MatMut`] and [`gemm_views`].
+//! Large products additionally split their column panels across the
+//! [`threads`] worker pool (`DENSE_THREADS` workers, scoped per GEMM call)
+//! with bitwise-identical results at every worker count.  The triangular
+//! kernels ([`trsm`], [`trmm`], [`trinv`]) are blocked so their off-diagonal
+//! updates — where almost all of their flops are — run through that same
+//! GEMM; only small diagonal blocks use substitution loops.  [`reference`]
+//! keeps the original unblocked kernels as the ground truth for tests and
+//! benches.  Block-level operations avoid copies via the borrowed views
+//! [`MatRef`] / [`MatMut`] and [`gemm_views`]; [`MatMut`] is a raw pointer
+//! inside (safe API) so it can split by rows *and* by columns
+//! ([`MatMut::split_cols_at_mut`]), which is what lets every blocked update
+//! — including the right-side TRSM cases — stay on the safe [`gemm_views`]
+//! path.
 //!
 //! Every kernel reports a [`FlopCount`] following the classical formulas, so
 //! the `γ·F` term of the paper's α–β–γ execution-time model is unchanged by
@@ -55,6 +62,7 @@ pub mod microkernel;
 pub mod norms;
 pub mod pack;
 pub mod reference;
+pub mod threads;
 pub mod trinv;
 pub mod trmm;
 pub mod trsm;
@@ -62,8 +70,11 @@ pub mod trsm;
 pub use error::DenseError;
 pub use factor::{cholesky, lu, lu_partial_pivot, LuFactors};
 pub use flops::FlopCount;
-pub use gemm::{gemm, gemm_a_bt, gemm_at_b, gemm_views, matmul};
+pub use gemm::{
+    gemm, gemm_a_bt, gemm_at_b, gemm_views, gemm_views_with_threads, gemm_with_threads, matmul,
+};
 pub use matrix::{MatMut, MatRef, Matrix};
+pub use threads::dense_threads;
 pub use trinv::{tri_invert, tri_invert_blocked, tri_invert_in_place};
 pub use trmm::trmm;
 pub use trsm::{trsm, trsm_in_place, trsv, Diag, Side, Triangle};

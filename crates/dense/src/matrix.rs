@@ -13,6 +13,7 @@
 use crate::error::DenseError;
 use crate::Result;
 use std::fmt;
+use std::marker::PhantomData;
 use std::ops::{Index, IndexMut};
 
 /// A dense, row-major, heap-allocated `f64` matrix.
@@ -414,20 +415,18 @@ impl Matrix {
             self.cols
         );
         if nr == 0 || nc == 0 {
-            // Degenerate views keep their dims but use a zero stride so row
-            // arithmetic stays in bounds of the empty slice.
-            return MatRef {
-                data: &[],
-                rows: nr,
-                cols: nc,
-                stride: 0,
-            };
+            return MatRef::empty(nr, nc, self.cols);
         }
-        MatRef {
-            data: &self.data[r0 * self.cols + c0..],
-            rows: nr,
-            cols: nc,
-            stride: self.cols,
+        // SAFETY: the assert guarantees the block lies inside `self.data`,
+        // which `&self` keeps alive (and un-mutated through any unique
+        // reference) for the view's lifetime.
+        unsafe {
+            MatRef::from_raw_parts(
+                self.data.as_ptr().add(r0 * self.cols + c0),
+                nr,
+                nc,
+                self.cols,
+            )
         }
     }
 
@@ -440,41 +439,26 @@ impl Matrix {
             self.rows,
             self.cols
         );
-        if nr == 0 || nc == 0 {
-            return MatMut {
-                data: &mut [],
-                rows: nr,
-                cols: nc,
-                stride: 0,
-            };
-        }
         let stride = self.cols;
-        MatMut {
-            data: &mut self.data[r0 * self.cols + c0..],
-            rows: nr,
-            cols: nc,
-            stride,
+        if nr == 0 || nc == 0 {
+            return MatMut::empty(nr, nc, stride);
+        }
+        // SAFETY: the assert guarantees the block lies inside `self.data`,
+        // and `&mut self` gives this view exclusive access to it.
+        unsafe {
+            MatMut::from_raw_parts(self.data.as_mut_ptr().add(r0 * stride + c0), nr, nc, stride)
         }
     }
 
     /// The whole matrix as an immutable view.
     pub fn as_view(&self) -> MatRef<'_> {
-        MatRef {
-            data: &self.data,
-            rows: self.rows,
-            cols: self.cols,
-            stride: self.cols,
-        }
+        self.view(0, 0, self.rows, self.cols)
     }
 
     /// The whole matrix as a mutable view.
     pub fn as_view_mut(&mut self) -> MatMut<'_> {
-        MatMut {
-            rows: self.rows,
-            cols: self.cols,
-            stride: self.cols,
-            data: &mut self.data,
-        }
+        let (rows, cols) = (self.rows, self.cols);
+        self.view_mut(0, 0, rows, cols)
     }
 
     fn zip_with<F: Fn(f64, f64) -> f64>(
@@ -506,27 +490,80 @@ impl Matrix {
 /// Immutable borrowed view of a rectangular block of a [`Matrix`].
 ///
 /// The view references the owner's row-major storage in place: element
-/// `(i, j)` lives at `data[i * stride + j]`.  Views are what let the blocked
-/// kernels (and the `catrsm` algorithms) update sub-blocks without cloning
-/// them first.
+/// `(i, j)` lives at `ptr.add(i * stride + j)`.  Views are what let the
+/// blocked kernels (and the `catrsm` algorithms) update sub-blocks without
+/// cloning them first.
+///
+/// Like [`MatMut`], the representation is a raw pointer plus geometry, with
+/// the same invariants (in-bounds, non-aliasing element addresses) minus
+/// exclusivity: a `MatRef` only claims its own `rows × cols` **elements** —
+/// never the gap bytes between rows — so an interleaved sibling view (e.g.
+/// the other half of a [`MatMut::split_cols_at_mut`], reborrowed via
+/// [`MatMut::rb`]) can be written concurrently without the two views'
+/// memory claims overlapping.
 #[derive(Clone, Copy)]
 pub struct MatRef<'a> {
-    data: &'a [f64],
+    ptr: *const f64,
     rows: usize,
     cols: usize,
     stride: usize,
+    _marker: PhantomData<&'a [f64]>,
 }
 
+// SAFETY: a `MatRef` is semantically a `&[f64]` over its disjoint elements
+// (shared read-only access for its lifetime), and `f64` is `Sync`, so both
+// sharing it across threads and moving it are sound — workers of the
+// parallel GEMM read `A`/`B` chunks through it.
+unsafe impl Send for MatRef<'_> {}
+unsafe impl Sync for MatRef<'_> {}
+
 impl<'a> MatRef<'a> {
+    /// Builds a view from raw parts.
+    ///
+    /// # Safety
+    /// The caller must guarantee in-bounds geometry (element `(i, j)` at
+    /// `ptr.add(i*stride + j)` valid for reads for all `i < rows`,
+    /// `j < cols`), `cols <= stride` for multi-row views, and that no unique
+    /// reference to those elements is live for `'a`.
+    #[inline]
+    pub(crate) unsafe fn from_raw_parts(
+        ptr: *const f64,
+        rows: usize,
+        cols: usize,
+        stride: usize,
+    ) -> MatRef<'a> {
+        debug_assert!(rows <= 1 || cols <= stride);
+        MatRef {
+            ptr,
+            rows,
+            cols,
+            stride,
+            _marker: PhantomData,
+        }
+    }
+
+    /// An empty view with the given (degenerate) dimensions.
+    #[inline]
+    fn empty(rows: usize, cols: usize, stride: usize) -> MatRef<'a> {
+        debug_assert!(rows == 0 || cols == 0);
+        MatRef {
+            ptr: std::ptr::NonNull::dangling().as_ptr(),
+            rows,
+            cols,
+            stride,
+            _marker: PhantomData,
+        }
+    }
+
     /// View a contiguous row-major slice as a `rows×cols` matrix.
     pub fn from_slice(data: &'a [f64], rows: usize, cols: usize) -> MatRef<'a> {
         assert_eq!(data.len(), rows * cols, "from_slice: length mismatch");
-        MatRef {
-            data,
-            rows,
-            cols,
-            stride: cols,
+        if rows == 0 || cols == 0 {
+            return MatRef::empty(rows, cols, cols);
         }
+        // SAFETY: the length check makes the `rows×cols` geometry (stride =
+        // cols) exactly cover `data`, which we borrow for `'a`.
+        unsafe { MatRef::from_raw_parts(data.as_ptr(), rows, cols, cols) }
     }
 
     /// Number of rows.
@@ -556,20 +593,26 @@ impl<'a> MatRef<'a> {
     /// Element access.
     #[inline]
     pub fn at(&self, i: usize, j: usize) -> f64 {
-        debug_assert!(i < self.rows && j < self.cols);
-        self.data[i * self.stride + j]
+        assert!(
+            i < self.rows && j < self.cols,
+            "at: ({i}, {j}) out of bounds"
+        );
+        // SAFETY: bounds just checked; in-bounds elements are valid reads.
+        unsafe { *self.ptr.add(i * self.stride + j) }
     }
 
     /// Row `i` as a contiguous slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
-        &self.data[i * self.stride..i * self.stride + self.cols]
+        assert!(i < self.rows, "row: {i} out of bounds");
+        // SAFETY: row `i` is `cols` contiguous in-bounds elements.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(i * self.stride), self.cols) }
     }
 
     /// Pointer to element `(0, 0)`.
     #[inline]
     pub fn as_ptr(&self) -> *const f64 {
-        self.data.as_ptr()
+        self.ptr
     }
 
     /// A sub-view of this view.
@@ -579,19 +622,11 @@ impl<'a> MatRef<'a> {
             "subview out of bounds"
         );
         if nr == 0 || nc == 0 {
-            return MatRef {
-                data: &[],
-                rows: nr,
-                cols: nc,
-                stride: 0,
-            };
+            return MatRef::empty(nr, nc, self.stride);
         }
-        MatRef {
-            data: &self.data[r0 * self.stride + c0..],
-            rows: nr,
-            cols: nc,
-            stride: self.stride,
-        }
+        // SAFETY: `(r0, c0)` is an in-bounds element (both blocks
+        // non-empty) and the sub-block stays inside `self`'s block.
+        unsafe { MatRef::from_raw_parts(self.ptr.add(r0 * self.stride + c0), nr, nc, self.stride) }
     }
 
     /// Copy the viewed block into a freshly allocated [`Matrix`].
@@ -605,23 +640,88 @@ impl<'a> MatRef<'a> {
 /// See [`MatRef`]; the mutable variant additionally supports in-place
 /// updates, which is how the blocked triangular kernels write their results
 /// without intermediate clones.
+///
+/// Internally the view is a raw pointer plus `(rows, cols, stride)` geometry
+/// rather than a `&mut [f64]`.  A slice-backed mutable view cannot be split
+/// **by columns** — the two halves interleave in memory, which is why the
+/// right-side blocked TRSM updates used to drop down to raw-pointer GEMM
+/// calls.  With the pointer representation [`MatMut::split_cols_at_mut`] and
+/// [`MatMut::split_rows_at_mut`] both hand out two provably disjoint views,
+/// and every public method stays safe: all `unsafe` is confined to this type's
+/// implementation.
+///
+/// # Invariants (maintained by every constructor)
+///
+/// * For non-empty views, `ptr` points at element `(0, 0)` and element
+///   `(i, j)` lives at `ptr.add(i * stride + j)` for all `i < rows`,
+///   `j < cols`; every such element is inside one live allocation.
+/// * `cols <= stride` whenever `rows > 1`, so distinct `(i, j)` pairs never
+///   alias.
+/// * The view has exclusive access to its elements for its lifetime `'a`
+///   (enforced by borrowing rules at the safe construction sites:
+///   [`Matrix::view_mut`], [`MatMut::from_slice`], splits and sub-views of
+///   existing views).
+/// * Empty views (`rows == 0 || cols == 0`) never dereference `ptr`.
 pub struct MatMut<'a> {
-    data: &'a mut [f64],
+    ptr: *mut f64,
     rows: usize,
     cols: usize,
     stride: usize,
+    _marker: PhantomData<&'a mut [f64]>,
 }
 
+// SAFETY: a `MatMut` is semantically a `&mut` over its disjoint elements
+// (exclusive access for its lifetime, see the type invariants), and `f64` is
+// `Send`, so moving the view to another thread is sound — this is what lets
+// the parallel GEMM hand disjoint column chunks of `C` to scoped workers.
+unsafe impl Send for MatMut<'_> {}
+
 impl<'a> MatMut<'a> {
+    /// Builds a view from raw parts.
+    ///
+    /// # Safety
+    /// The caller must guarantee the type invariants listed on [`MatMut`]:
+    /// in-bounds geometry, `cols <= stride` (for multi-row views), and
+    /// exclusive access to the viewed elements for `'a`.
+    #[inline]
+    pub(crate) unsafe fn from_raw_parts(
+        ptr: *mut f64,
+        rows: usize,
+        cols: usize,
+        stride: usize,
+    ) -> MatMut<'a> {
+        debug_assert!(rows <= 1 || cols <= stride);
+        MatMut {
+            ptr,
+            rows,
+            cols,
+            stride,
+            _marker: PhantomData,
+        }
+    }
+
+    /// An empty view with the given (degenerate) dimensions.
+    #[inline]
+    fn empty(rows: usize, cols: usize, stride: usize) -> MatMut<'a> {
+        debug_assert!(rows == 0 || cols == 0);
+        MatMut {
+            ptr: std::ptr::NonNull::dangling().as_ptr(),
+            rows,
+            cols,
+            stride,
+            _marker: PhantomData,
+        }
+    }
+
     /// View a contiguous row-major slice as a mutable `rows×cols` matrix.
     pub fn from_slice(data: &'a mut [f64], rows: usize, cols: usize) -> MatMut<'a> {
         assert_eq!(data.len(), rows * cols, "from_slice: length mismatch");
-        MatMut {
-            data,
-            rows,
-            cols,
-            stride: cols,
+        if rows == 0 || cols == 0 {
+            return MatMut::empty(rows, cols, cols);
         }
+        // SAFETY: the length check makes the `rows×cols` geometry (stride =
+        // cols) exactly cover `data`, which we borrow mutably for `'a`.
+        unsafe { MatMut::from_raw_parts(data.as_mut_ptr(), rows, cols, cols) }
     }
 
     /// Reborrow: a shorter-lived mutable view of the same block, leaving
@@ -629,10 +729,11 @@ impl<'a> MatMut<'a> {
     #[inline]
     pub fn reborrow(&mut self) -> MatMut<'_> {
         MatMut {
-            data: &mut *self.data,
+            ptr: self.ptr,
             rows: self.rows,
             cols: self.cols,
             stride: self.stride,
+            _marker: PhantomData,
         }
     }
 
@@ -663,44 +764,61 @@ impl<'a> MatMut<'a> {
     /// Element access.
     #[inline]
     pub fn at(&self, i: usize, j: usize) -> f64 {
-        debug_assert!(i < self.rows && j < self.cols);
-        self.data[i * self.stride + j]
+        assert!(
+            i < self.rows && j < self.cols,
+            "at: ({i}, {j}) out of bounds"
+        );
+        // SAFETY: bounds just checked; in-bounds elements are valid reads.
+        unsafe { *self.ptr.add(i * self.stride + j) }
     }
 
     /// Mutable element access.
     #[inline]
     pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols);
-        &mut self.data[i * self.stride + j]
+        assert!(
+            i < self.rows && j < self.cols,
+            "at_mut: ({i}, {j}) out of bounds"
+        );
+        // SAFETY: bounds just checked; `&mut self` makes the borrow unique.
+        unsafe { &mut *self.ptr.add(i * self.stride + j) }
     }
 
     /// Row `i` as a contiguous slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
-        &self.data[i * self.stride..i * self.stride + self.cols]
+        assert!(i < self.rows, "row: {i} out of bounds");
+        // SAFETY: row `i` is `cols` contiguous in-bounds elements.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(i * self.stride), self.cols) }
     }
 
     /// Row `i` as a contiguous mutable slice.
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        &mut self.data[i * self.stride..i * self.stride + self.cols]
+        assert!(i < self.rows, "row_mut: {i} out of bounds");
+        // SAFETY: row `i` is `cols` contiguous in-bounds elements, and
+        // `&mut self` makes the borrow unique.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(i * self.stride), self.cols) }
     }
 
     /// Pointer to element `(0, 0)`.
     #[inline]
     pub fn as_mut_ptr(&mut self) -> *mut f64 {
-        self.data.as_mut_ptr()
+        self.ptr
     }
 
     /// Reborrow as an immutable view.
+    ///
+    /// The result claims only this view's elements (no gap bytes between
+    /// rows), so it coexists soundly with writes to an interleaved sibling
+    /// view — e.g. the other half of a [`MatMut::split_cols_at_mut`].
     #[inline]
     pub fn rb(&self) -> MatRef<'_> {
-        MatRef {
-            data: self.data,
-            rows: self.rows,
-            cols: self.cols,
-            stride: self.stride,
+        if self.rows == 0 || self.cols == 0 {
+            return MatRef::empty(self.rows, self.cols, self.stride);
         }
+        // SAFETY: same in-bounds geometry as `self`; `&self` freezes this
+        // view's elements for the returned lifetime.
+        unsafe { MatRef::from_raw_parts(self.ptr, self.rows, self.cols, self.stride) }
     }
 
     /// A mutable sub-view; consumes the borrow for the lifetime of the result.
@@ -710,20 +828,19 @@ impl<'a> MatMut<'a> {
             "subview_mut out of bounds"
         );
         if nr == 0 || nc == 0 {
-            return MatMut {
-                data: &mut [],
-                rows: nr,
-                cols: nc,
-                stride: 0,
-            };
+            return MatMut::empty(nr, nc, self.stride);
         }
-        let stride = self.stride;
-        MatMut {
-            data: &mut self.data[r0 * stride + c0..],
-            rows: nr,
-            cols: nc,
-            stride,
-        }
+        // SAFETY: `(r0, c0)` is an in-bounds element (both blocks non-empty),
+        // the sub-block stays inside `self`'s block, and `self` is consumed,
+        // transferring its exclusive access.
+        unsafe { MatMut::from_raw_parts(self.ptr.add(r0 * self.stride + c0), nr, nc, self.stride) }
+    }
+
+    /// A shorter-lived mutable sub-view that leaves `self` usable afterwards
+    /// (shorthand for `reborrow().subview_mut(..)`).
+    #[inline]
+    pub fn submat_mut(&mut self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatMut<'_> {
+        self.reborrow().subview_mut(r0, c0, nr, nc)
     }
 
     /// Split into the rows above `r` and the rows from `r` down.
@@ -732,42 +849,53 @@ impl<'a> MatMut<'a> {
         let stride = self.stride;
         let (rows, cols) = (self.rows, self.cols);
         if r == 0 {
-            return (
-                MatMut {
-                    data: &mut [],
-                    rows: 0,
-                    cols,
-                    stride,
-                },
-                self,
-            );
+            return (MatMut::empty(0, cols, stride), self);
         }
         if r == rows {
-            return (
-                self,
-                MatMut {
-                    data: &mut [],
-                    rows: 0,
-                    cols,
-                    stride,
-                },
-            );
+            return (self, MatMut::empty(0, cols, stride));
         }
-        let (head, tail) = self.data.split_at_mut(r * stride);
-        (
-            MatMut {
-                data: head,
-                rows: r,
-                cols,
-                stride,
-            },
-            MatMut {
-                data: tail,
-                rows: rows - r,
-                cols,
-                stride,
-            },
-        )
+        // SAFETY: both halves are non-empty in-bounds sub-blocks of `self`
+        // covering disjoint row ranges (`0..r` and `r..rows`), so handing
+        // each half exclusive access splits — never duplicates — `self`'s
+        // exclusive access.
+        unsafe {
+            (
+                MatMut::from_raw_parts(self.ptr, r, cols, stride),
+                MatMut::from_raw_parts(self.ptr.add(r * stride), rows - r, cols, stride),
+            )
+        }
+    }
+
+    /// Split into the columns left of `c` and the columns from `c` right.
+    ///
+    /// The two views interleave in memory (each row of the right view sits
+    /// between two rows of the left one), which is exactly what a
+    /// slice-backed view could not express; with the raw-pointer
+    /// representation they are still provably element-disjoint.  This is the
+    /// split the right-side blocked TRSM updates and the parallel GEMM's
+    /// column partitioning are built on.
+    pub fn split_cols_at_mut(self, c: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(c <= self.cols, "split_cols_at_mut out of bounds");
+        let stride = self.stride;
+        let (rows, cols) = (self.rows, self.cols);
+        if c == 0 {
+            return (MatMut::empty(rows, 0, stride), self);
+        }
+        if c == cols {
+            return (self, MatMut::empty(rows, 0, stride));
+        }
+        // SAFETY: both halves are non-empty in-bounds sub-blocks of `self`
+        // covering disjoint column ranges (`0..c` and `c..cols`) of the same
+        // rows: element (i, j) of the left half is `ptr + i*stride + j` with
+        // `j < c`, of the right half `ptr + i*stride + c + j'` with
+        // `j' < cols - c <= stride - c` — the index sets are disjoint, so
+        // `self`'s exclusive access is split, never duplicated.
+        unsafe {
+            (
+                MatMut::from_raw_parts(self.ptr, rows, c, stride),
+                MatMut::from_raw_parts(self.ptr.add(c), rows, cols - c, stride),
+            )
+        }
     }
 
     /// Borrow row `i` mutably and row `j` immutably at the same time
@@ -778,14 +906,14 @@ impl<'a> MatMut<'a> {
             i != j && i < self.rows && j < self.rows,
             "row_pair_mut: bad rows {i}, {j}"
         );
-        let cols = self.cols;
-        let stride = self.stride;
-        if j < i {
-            let (head, tail) = self.data.split_at_mut(i * stride);
-            (&mut tail[..cols], &head[j * stride..j * stride + cols])
-        } else {
-            let (head, tail) = self.data.split_at_mut(j * stride);
-            (&mut head[i * stride..i * stride + cols], &tail[..cols])
+        // SAFETY: rows `i` and `j` are distinct, so with `cols <= stride`
+        // the two `cols`-long ranges cannot overlap; `&mut self` makes the
+        // mutable half unique.
+        unsafe {
+            (
+                std::slice::from_raw_parts_mut(self.ptr.add(i * self.stride), self.cols),
+                std::slice::from_raw_parts(self.ptr.add(j * self.stride), self.cols),
+            )
         }
     }
 
@@ -1064,6 +1192,114 @@ mod tests {
         b[(1, 0)] = 1.5;
         assert_eq!(a.max_abs_diff(&b), Some(0.5));
         assert_eq!(a.max_abs_diff(&a), Some(0.0));
+    }
+
+    #[test]
+    fn split_cols_at_mut_yields_disjoint_strided_views() {
+        let mut m = Matrix::from_fn(5, 8, |i, j| (i * 8 + j) as f64);
+        let orig = m.clone();
+        {
+            let (mut left, mut right) = m.as_view_mut().split_cols_at_mut(3);
+            assert_eq!(left.dims(), (5, 3));
+            assert_eq!(right.dims(), (5, 5));
+            assert_eq!(left.stride(), 8);
+            assert_eq!(right.stride(), 8);
+            // Both halves see the elements of the original matrix…
+            assert_eq!(left.at(4, 2), orig[(4, 2)]);
+            assert_eq!(right.at(4, 0), orig[(4, 3)]);
+            // …and can be written simultaneously.
+            *left.at_mut(1, 2) = -1.0;
+            *right.at_mut(1, 0) = -2.0;
+        }
+        assert_eq!(m[(1, 2)], -1.0);
+        assert_eq!(m[(1, 3)], -2.0);
+        assert_eq!(m[(1, 1)], orig[(1, 1)]);
+        assert_eq!(m[(1, 4)], orig[(1, 4)]);
+    }
+
+    #[test]
+    fn split_cols_at_mut_boundaries() {
+        let mut m = Matrix::from_fn(3, 4, |i, j| (i + j) as f64);
+        let (left, right) = m.as_view_mut().split_cols_at_mut(0);
+        assert_eq!(left.dims(), (3, 0));
+        assert_eq!(right.dims(), (3, 4));
+        let (left, right) = m.as_view_mut().split_cols_at_mut(4);
+        assert_eq!(left.dims(), (3, 4));
+        assert_eq!(right.dims(), (3, 0));
+    }
+
+    #[test]
+    fn split_rows_at_mut_yields_disjoint_views() {
+        let mut m = Matrix::from_fn(6, 4, |i, j| (i * 4 + j) as f64);
+        let orig = m.clone();
+        {
+            let (mut top, mut bottom) = m.as_view_mut().split_rows_at_mut(2);
+            assert_eq!(top.dims(), (2, 4));
+            assert_eq!(bottom.dims(), (4, 4));
+            assert_eq!(bottom.at(0, 0), orig[(2, 0)]);
+            *top.at_mut(1, 3) = -7.0;
+            *bottom.at_mut(0, 3) = -8.0;
+        }
+        assert_eq!(m[(1, 3)], -7.0);
+        assert_eq!(m[(2, 3)], -8.0);
+    }
+
+    #[test]
+    fn nested_col_and_row_splits_compose() {
+        // Quarter a matrix with one row split and two column splits, write a
+        // distinct sentinel through each quadrant, and check placement.
+        let mut m = Matrix::zeros(4, 6);
+        {
+            let (top, bottom) = m.as_view_mut().split_rows_at_mut(2);
+            let (mut tl, mut tr) = top.split_cols_at_mut(3);
+            let (mut bl, mut br) = bottom.split_cols_at_mut(3);
+            tl.fill_zero();
+            *tl.at_mut(0, 0) = 1.0;
+            *tr.at_mut(0, 0) = 2.0;
+            *bl.at_mut(0, 0) = 3.0;
+            *br.at_mut(0, 0) = 4.0;
+        }
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 3)], 2.0);
+        assert_eq!(m[(2, 0)], 3.0);
+        assert_eq!(m[(2, 3)], 4.0);
+    }
+
+    #[test]
+    fn submat_mut_reborrows_without_consuming() {
+        let mut m = Matrix::from_fn(5, 5, |i, j| (i * 5 + j) as f64);
+        let mut v = m.as_view_mut();
+        *v.submat_mut(1, 1, 2, 2).at_mut(0, 0) = -1.0;
+        // `v` is still usable after the sub-borrow ends.
+        *v.at_mut(0, 0) = -2.0;
+        assert_eq!(m[(1, 1)], -1.0);
+        assert_eq!(m[(0, 0)], -2.0);
+    }
+
+    #[test]
+    fn mat_mut_row_pair_and_rb_round_trip() {
+        let mut m = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let orig = m.clone();
+        let mut v = m.view_mut(1, 0, 3, 3);
+        {
+            let (row_i, row_j) = v.row_pair_mut(2, 0);
+            row_i[0] = row_j[0] + 100.0;
+        }
+        assert_eq!(v.rb().at(2, 0), orig[(1, 0)] + 100.0);
+        assert_eq!(v.rb().to_matrix().dims(), (3, 3));
+        assert_eq!(m[(3, 0)], orig[(1, 0)] + 100.0);
+    }
+
+    #[test]
+    fn empty_views_are_harmless() {
+        let mut m = Matrix::zeros(3, 3);
+        let v = m.view_mut(1, 1, 0, 2);
+        assert_eq!(v.dims(), (0, 2));
+        assert_eq!(v.rb().dims(), (0, 2));
+        let v2 = m.view_mut(0, 0, 2, 0);
+        assert_eq!(v2.dims(), (2, 0));
+        let mut whole = m.as_view_mut();
+        whole.reborrow().subview_mut(3, 3, 0, 0).fill_zero();
     }
 
     #[test]

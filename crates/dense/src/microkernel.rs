@@ -30,7 +30,9 @@
 //! compile time below).  See `crates/dense/README.md` for how to re-run the
 //! kernel benches after changing them.
 
-use crate::pack::{pack_a, pack_b, with_gemm_scratch};
+use crate::matrix::{MatMut, MatRef};
+use crate::pack::{pack_a, pack_b, with_gemm_scratch, with_packed_a, PackedA};
+use crate::threads;
 #[cfg(target_arch = "x86_64")]
 use std::sync::OnceLock;
 
@@ -51,6 +53,139 @@ const _: () = assert!(NC.is_multiple_of(NR), "NC must be a multiple of NR");
 /// Below this many multiply–adds the panel-packing overhead outweighs its
 /// cache benefits and [`gemm_accumulate`] falls back to a simple loop.
 const PACK_THRESHOLD: usize = 32 * 32 * 32;
+
+/// `C += alpha · A · B` on borrowed views — the safe entry point the
+/// `gemm`/`gemm_views` layer routes through.
+///
+/// `threads` is the worker budget: with more than one worker (and a product
+/// big enough to be packed, with enough column panels to split) the
+/// multithreaded driver partitions `C` by columns across the pool; otherwise
+/// the sequential kernel runs on the calling thread.  Both paths produce
+/// **bitwise-identical** results: the packed operand values and the
+/// per-element accumulation order (`pc` blocks ascending, `k` ascending
+/// within each tile) do not depend on the column partitioning.
+///
+/// Callers must pre-validate dimensions (`a: m×k`, `b: k×n`, `c: m×n`).
+pub(crate) fn gemm_views_accumulate(
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    c: &mut MatMut<'_>,
+    threads: usize,
+) {
+    let (m, kdim) = a.dims();
+    let n = b.cols();
+    debug_assert_eq!(kdim, b.rows());
+    debug_assert_eq!((m, n), c.dims());
+    if m == 0 || n == 0 || kdim == 0 || alpha == 0.0 {
+        return;
+    }
+    let madds = m.saturating_mul(n).saturating_mul(kdim);
+    if threads > 1 && madds >= PACK_THRESHOLD && n >= 2 * NR {
+        gemm_parallel(alpha, a, b, c, threads);
+    } else {
+        // SAFETY: the views describe in-bounds blocks of live allocations
+        // with the dimensions checked above, and `c` is a mutable borrow so
+        // it cannot alias `a` or `b`.
+        unsafe {
+            gemm_accumulate(
+                m,
+                n,
+                kdim,
+                alpha,
+                a.as_ptr(),
+                a.stride(),
+                b.as_ptr(),
+                b.stride(),
+                c.as_mut_ptr(),
+                c.stride(),
+            );
+        }
+    }
+}
+
+/// The multithreaded packed driver: packs all of `A` once (shared read-only
+/// by every worker), splits `C` and `B` into per-worker column chunks on
+/// `NR`-panel boundaries via [`MatMut::split_cols_at_mut`], and runs one
+/// worker per chunk on the [`threads`] pool.  Each worker packs its own `B`
+/// panels into its thread-local scratch, so the only shared state is the
+/// immutable packed `A`.
+fn gemm_parallel(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, c: &mut MatMut<'_>, threads: usize) {
+    let (_, kdim) = a.dims();
+    let n = b.cols();
+    let panels = n.div_ceil(NR);
+    let workers = threads.min(panels);
+    with_packed_a(alpha, a, |apack| {
+        let base = panels / workers;
+        let extra = panels % workers;
+        let mut jobs = Vec::with_capacity(workers);
+        let mut rest = c.reborrow();
+        let mut j0 = 0;
+        for w in 0..workers {
+            let chunk_panels = base + usize::from(w < extra);
+            let chunk_cols = (chunk_panels * NR).min(n - j0);
+            let (chunk, tail) = rest.split_cols_at_mut(chunk_cols);
+            rest = tail;
+            let b_chunk = b.subview(0, j0, kdim, chunk_cols);
+            jobs.push(move || gemm_chunk_shared_a(apack, b_chunk, chunk));
+            j0 += chunk_cols;
+        }
+        threads::join_all(jobs);
+    });
+}
+
+/// One worker's share of the multithreaded GEMM: the full `(jc, pc, ic)`
+/// loop nest over a column chunk of `B`/`C`, reading `A` blocks from the
+/// shared pack and packing `B` panels into this worker's thread-local
+/// scratch.  The loop order matches the sequential [`gemm_packed`], which is
+/// what keeps the parallel result bitwise identical to the sequential one.
+fn gemm_chunk_shared_a(apack: &PackedA<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let macro_kernel = select_macro_kernel();
+    let (m, n) = c.dims();
+    let kdim = b.rows();
+    let c_rs = c.stride();
+    let c_ptr = c.as_mut_ptr();
+    let b_rs = b.stride();
+    let b_ptr = b.as_ptr();
+    with_gemm_scratch(|_, bpack| {
+        let mut jc = 0;
+        while jc < n {
+            let nc = NC.min(n - jc);
+            let mut pc = 0;
+            let mut pc_idx = 0;
+            while pc < kdim {
+                let kc = KC.min(kdim - pc);
+                // SAFETY: `b` and `c` are live in-bounds views with the
+                // strides captured above; the `kc×nc` block of `b` at
+                // `(pc, jc)` is valid for reads, the `mc×nc` blocks of `c`
+                // are valid for writes, and `c` is exclusively owned by this
+                // worker (disjoint column chunks via `split_cols_at_mut`).
+                unsafe {
+                    pack_b(b_ptr.add(pc * b_rs + jc), b_rs, kc, nc, bpack);
+                    let mut ic = 0;
+                    let mut ic_idx = 0;
+                    while ic < m {
+                        let mc = MC.min(m - ic);
+                        macro_kernel(
+                            mc,
+                            nc,
+                            kc,
+                            apack.block(ic_idx, pc_idx),
+                            bpack,
+                            c_ptr.add(ic * c_rs + jc),
+                            c_rs,
+                        );
+                        ic += MC;
+                        ic_idx += 1;
+                    }
+                }
+                pc += KC;
+                pc_idx += 1;
+            }
+            jc += NC;
+        }
+    });
+}
 
 /// `C[m×n] += alpha · A[m×k] · B[k×n]` on raw strided storage, choosing the
 /// packed path for large products and a register-blocked loop for small ones.
@@ -133,13 +268,21 @@ type MacroKernelFn = unsafe fn(usize, usize, usize, &[f64], &[f64], *mut f64, us
 ///
 /// On x86-64 with AVX2+FMA the kernel is compiled with those features
 /// enabled (and uses `mul_add`, which lowers to `vfmadd`); everywhere else
-/// the portable mul-then-add version is used.
+/// the portable mul-then-add version is used.  Setting the
+/// `DENSE_FORCE_SCALAR` environment variable (to anything but `0` or the
+/// empty string) forces the portable kernel even when AVX2+FMA are
+/// available — CI uses this to keep the scalar dispatch branch exercised on
+/// AVX2 runners.
 fn select_macro_kernel() -> MacroKernelFn {
     #[cfg(target_arch = "x86_64")]
     {
         static KERNEL: OnceLock<MacroKernelFn> = OnceLock::new();
         *KERNEL.get_or_init(|| {
-            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            let forced_scalar = std::env::var("DENSE_FORCE_SCALAR")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false);
+            if !forced_scalar && is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+            {
                 macro_kernel_avx2
             } else {
                 macro_kernel_portable
@@ -383,6 +526,67 @@ mod tests {
         let mut c = Matrix::filled(2, 2, 3.0);
         accumulate(2, 2, 2, 0.0, &a, &b, &mut c);
         assert_eq!(c, Matrix::filled(2, 2, 3.0));
+    }
+
+    #[test]
+    fn parallel_gemm_is_bitwise_identical_to_sequential() {
+        // Shapes with ragged NR/MR/KC edges; every worker count must agree
+        // with the sequential packed path bit for bit.
+        for &(m, k, n) in &[
+            (64, 64, 64),
+            (97, 130, 121),
+            (130, 257, 260),
+            (35, 40, 1029),
+        ] {
+            let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 17) % 23) as f64 / 23.0 - 0.5);
+            let b = Matrix::from_fn(k, n, |i, j| ((i * 7 + j * 41) % 19) as f64 / 19.0 - 0.5);
+            let mut c_seq = Matrix::zeros(m, n);
+            gemm_views_accumulate(1.5, a.as_view(), b.as_view(), &mut c_seq.as_view_mut(), 1);
+            for threads in [2usize, 3, 4, 7] {
+                let mut c_par = Matrix::zeros(m, n);
+                gemm_views_accumulate(
+                    1.5,
+                    a.as_view(),
+                    b.as_view(),
+                    &mut c_par.as_view_mut(),
+                    threads,
+                );
+                assert!(
+                    c_seq == c_par,
+                    "parallel GEMM diverged at shape ({m},{k},{n}) with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_on_strided_views() {
+        // Operate on interior blocks of larger matrices so the chunked
+        // column splits run at a stride different from the block width.
+        let big_a = Matrix::from_fn(80, 100, |i, j| ((i * 13 + j) % 29) as f64 - 14.0);
+        let big_b = Matrix::from_fn(90, 150, |i, j| ((i * 5 + j * 3) % 31) as f64 - 15.0);
+        let (m, kdim, n) = (64, 80, 128);
+        let mut big_c_seq = Matrix::zeros(70, 140);
+        let mut big_c_par = big_c_seq.clone();
+        gemm_views_accumulate(
+            1.0,
+            big_a.view(4, 6, m, kdim),
+            big_b.view(2, 8, kdim, n),
+            &mut big_c_seq.view_mut(3, 5, m, n),
+            1,
+        );
+        gemm_views_accumulate(
+            1.0,
+            big_a.view(4, 6, m, kdim),
+            big_b.view(2, 8, kdim, n),
+            &mut big_c_par.view_mut(3, 5, m, n),
+            4,
+        );
+        assert!(big_c_seq == big_c_par);
+        // Nothing outside the target block was written.
+        assert_eq!(big_c_par[(0, 0)], 0.0);
+        assert_eq!(big_c_par[(69, 139)], 0.0);
+        assert_eq!(big_c_par[(2, 5)], 0.0);
     }
 
     #[test]

@@ -19,12 +19,16 @@
 //! `MC·KC + KC·NC` doubles (≈2.3 MiB with the default tuning), so steady-state
 //! GEMM performs no heap allocation at all.
 
+use crate::matrix::MatRef;
 use crate::microkernel::{KC, MC, MR, NC, NR};
 use std::cell::RefCell;
 
 thread_local! {
     /// `(A-pack, B-pack)` buffers, grown on first use and reused thereafter.
     static GEMM_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Whole-`A` pack buffer for the multithreaded GEMM (every `(MC, KC)`
+    /// block of `A` packed up front, shared read-only by the workers).
+    static APACK_FULL: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
     /// General-purpose f64 scratch for blocked kernels (e.g. the triangular
     /// inversion's temporary product).
     static GENERAL_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
@@ -50,6 +54,98 @@ pub(crate) fn with_gemm_scratch<R>(f: impl FnOnce(&mut [f64], &mut [f64]) -> R) 
             let mut a = vec![0.0; MC * KC];
             let mut b = vec![0.0; KC * NC];
             f(&mut a, &mut b)
+        }
+    })
+}
+
+/// All of `A`, packed: every `(MC, KC)` block in micro-panel order, at a
+/// fixed `MC·KC` stride per block so workers can index blocks without
+/// cumulative offsets.  Produced by [`with_packed_a`], shared read-only
+/// across the parallel GEMM's workers (one packed copy per `ic`/`pc` block
+/// for the whole multiply — the sequential loop nest would re-pack each `A`
+/// block once per `jc` iteration instead).
+pub(crate) struct PackedA<'b> {
+    buf: &'b [f64],
+    /// Number of `KC`-blocks along the inner dimension.
+    nkc: usize,
+}
+
+impl PackedA<'_> {
+    /// The packed `(MC, KC)` block with block indices `(ic_idx, pc_idx)`.
+    #[inline]
+    pub(crate) fn block(&self, ic_idx: usize, pc_idx: usize) -> &[f64] {
+        &self.buf[(ic_idx * self.nkc + pc_idx) * (MC * KC)..][..MC * KC]
+    }
+}
+
+/// Largest whole-`A` pack kept cached in the thread-local arena, in doubles
+/// (16 MiB ≈ a 1448² `A`).  Bigger packs use a fresh allocation per call so
+/// one huge GEMM cannot pin a matrix-sized buffer to the calling thread for
+/// the rest of the process — the allocation is amortized over an O(m·n·k)
+/// multiply anyway.
+const APACK_CACHE_MAX: usize = 2 * 1024 * 1024;
+
+/// Packs all of `alpha · a` into the thread-local whole-`A` arena (or a
+/// fresh buffer above [`APACK_CACHE_MAX`]) and runs `f` on the result.
+///
+/// The buffer is keyed to the calling thread, so the caller must finish with
+/// the [`PackedA`] before returning (enforced by the closure scope); workers
+/// reading it concurrently is fine — it is immutable inside `f`.
+pub(crate) fn with_packed_a<R>(alpha: f64, a: MatRef<'_>, f: impl FnOnce(&PackedA<'_>) -> R) -> R {
+    let (m, kdim) = a.dims();
+    let nmc = m.div_ceil(MC);
+    let nkc = kdim.div_ceil(KC);
+    let len = nmc * nkc * MC * KC;
+    let pack_all = |buf: &mut [f64]| {
+        let mut ic = 0;
+        let mut ic_idx = 0;
+        while ic < m {
+            let mc = MC.min(m - ic);
+            let mut pc = 0;
+            let mut pc_idx = 0;
+            while pc < kdim {
+                let kc = KC.min(kdim - pc);
+                let dst = &mut buf[(ic_idx * nkc + pc_idx) * (MC * KC)..][..MC * KC];
+                // SAFETY: `a` is a live in-bounds view, so the `mc×kc` block
+                // at `(ic, pc)` is valid for reads at `a`'s row stride, and
+                // `dst` holds `MC·KC >= ⌈mc/MR⌉·kc·MR` elements.
+                unsafe {
+                    pack_a(
+                        alpha,
+                        a.as_ptr().add(ic * a.stride() + pc),
+                        a.stride(),
+                        mc,
+                        kc,
+                        dst,
+                    );
+                }
+                pc += KC;
+                pc_idx += 1;
+            }
+            ic += MC;
+            ic_idx += 1;
+        }
+    };
+    if len > APACK_CACHE_MAX {
+        let mut buf = vec![0.0; len];
+        pack_all(&mut buf);
+        return f(&PackedA { buf: &buf, nkc });
+    }
+    APACK_FULL.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buf) => {
+            if buf.len() < len {
+                buf.resize(len, 0.0);
+            }
+            pack_all(&mut buf[..len]);
+            f(&PackedA {
+                buf: &buf[..len],
+                nkc,
+            })
+        }
+        Err(_) => {
+            let mut buf = vec![0.0; len];
+            pack_all(&mut buf);
+            f(&PackedA { buf: &buf, nkc })
         }
     })
 }

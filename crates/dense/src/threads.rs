@@ -1,0 +1,138 @@
+//! The in-tree worker pool behind the multithreaded packed GEMM.
+//!
+//! The pool is deliberately small: a parallel region is a `Vec` of
+//! independent jobs, one per worker, executed by [`join_all`].  Workers are
+//! **scoped** (spawned through the crossbeam shim's `thread::scope`), so jobs
+//! may borrow the caller's stack — packed panels, matrix views — with no
+//! `'static` bounds, no job queue, and no idle threads between regions:
+//! worker lifetime *is* the region.  That matters here because the simulated
+//! machine already provides rank-level parallelism; a persistent pool would
+//! pin threads that sit idle for most of a simulation.
+//!
+//! The worker count comes from [`dense_threads`]: the `DENSE_THREADS`
+//! environment variable when set (clamped to `1..=MAX_THREADS`), otherwise
+//! the machine's available parallelism.  With one worker, [`join_all`] runs
+//! the single job inline on the caller's thread — a deterministic fallback
+//! with no thread machinery at all.  Kernels built on the pool (the packed
+//! GEMM's column partitioning) produce bitwise-identical results for every
+//! worker count; `DENSE_THREADS` is a throughput knob, not a semantics knob.
+
+use std::sync::OnceLock;
+
+/// Upper bound on the worker count accepted from `DENSE_THREADS`.
+pub const MAX_THREADS: usize = 64;
+
+/// Number of workers parallel dense kernels use.
+///
+/// Resolution order, cached for the lifetime of the process:
+/// 1. `DENSE_THREADS` if set to a positive integer (clamped to
+///    [`MAX_THREADS`]); an unparsable value falls back to `1` so a typo
+///    degrades to the deterministic sequential path rather than surprising
+///    oversubscription;
+/// 2. otherwise [`std::thread::available_parallelism`].
+pub fn dense_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| match std::env::var("DENSE_THREADS") {
+        Ok(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+            .min(MAX_THREADS),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_THREADS),
+    })
+}
+
+/// Runs every job to completion, one worker per job, and returns when all
+/// have finished.
+///
+/// Job 0 runs on the calling thread (the caller is always one of the
+/// workers); the rest run on scoped workers.  A single job short-circuits to
+/// a plain inline call.  A panicking job propagates to the caller after the
+/// region is joined.
+pub(crate) fn join_all<J>(jobs: Vec<J>)
+where
+    J: FnOnce() + Send,
+{
+    let mut jobs = jobs;
+    if jobs.len() <= 1 {
+        if let Some(job) = jobs.pop() {
+            job();
+        }
+        return;
+    }
+    let first = jobs.remove(0);
+    crossbeam::thread::scope(|s| {
+        for job in jobs {
+            s.spawn(move |_| job());
+        }
+        first();
+    })
+    .expect("dense worker pool: scope failed");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_all_runs_every_job() {
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..8)
+            .map(|i| {
+                let counter = &counter;
+                move || {
+                    counter.fetch_add(i, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        join_all(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), (0..8).sum());
+    }
+
+    #[test]
+    fn join_all_single_job_runs_inline() {
+        let caller = std::thread::current().id();
+        let mut seen = None;
+        join_all(vec![|| {
+            seen = Some(std::thread::current().id());
+        }]);
+        assert_eq!(seen, Some(caller));
+    }
+
+    #[test]
+    fn join_all_empty_is_a_noop() {
+        join_all(Vec::<fn()>::new());
+    }
+
+    #[test]
+    fn jobs_can_write_disjoint_borrowed_chunks() {
+        let mut data = vec![0u64; 64];
+        let jobs: Vec<_> = data
+            .chunks_mut(16)
+            .enumerate()
+            .map(|(w, chunk)| {
+                move || {
+                    for v in chunk {
+                        *v = w as u64 + 1;
+                    }
+                }
+            })
+            .collect();
+        join_all(jobs);
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 16) as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn dense_threads_is_at_least_one() {
+        assert!(dense_threads() >= 1);
+        assert!(dense_threads() <= MAX_THREADS);
+    }
+}

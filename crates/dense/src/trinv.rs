@@ -103,12 +103,8 @@ fn invert_lower_in_place(l: MatMut<'_>, block: usize, flops: &mut FlopCount) -> 
     }
     let h = n / 2;
     let (mut top, mut bottom) = l.split_rows_at_mut(h);
-    invert_lower_in_place(top.reborrow().subview_mut(0, 0, h, h), block, flops)?;
-    invert_lower_in_place(
-        bottom.reborrow().subview_mut(0, h, n - h, n - h),
-        block,
-        flops,
-    )?;
+    invert_lower_in_place(top.submat_mut(0, 0, h, h), block, flops)?;
+    invert_lower_in_place(bottom.submat_mut(0, h, n - h, n - h), block, flops)?;
 
     // inv21 = -inv22 · L21 · inv11, with one scratch panel for the
     // intermediate product (both factors live in `bottom` / `top`).
@@ -121,7 +117,7 @@ fn invert_lower_in_place(l: MatMut<'_>, block: usize, flops: &mut FlopCount) -> 
             0.0,
             &mut t,
         )?;
-        let mut l21 = bottom.reborrow().subview_mut(0, 0, n - h, h);
+        let mut l21 = bottom.submat_mut(0, 0, n - h, h);
         *flops += gemm_views(-1.0, t.rb(), top.rb().subview(0, 0, h, h), 0.0, &mut l21)?;
         Ok(())
     })
@@ -136,12 +132,8 @@ fn invert_upper_in_place(u: MatMut<'_>, block: usize, flops: &mut FlopCount) -> 
     }
     let h = n / 2;
     let (mut top, mut bottom) = u.split_rows_at_mut(h);
-    invert_upper_in_place(top.reborrow().subview_mut(0, 0, h, h), block, flops)?;
-    invert_upper_in_place(
-        bottom.reborrow().subview_mut(0, h, n - h, n - h),
-        block,
-        flops,
-    )?;
+    invert_upper_in_place(top.submat_mut(0, 0, h, h), block, flops)?;
+    invert_upper_in_place(bottom.submat_mut(0, h, n - h, n - h), block, flops)?;
 
     // inv12 = -inv11 · U12 · inv22.
     with_scratch(h * (n - h), |tmp| -> Result<()> {
@@ -153,7 +145,7 @@ fn invert_upper_in_place(u: MatMut<'_>, block: usize, flops: &mut FlopCount) -> 
             0.0,
             &mut t,
         )?;
-        let mut u12 = top.reborrow().subview_mut(0, h, h, n - h);
+        let mut u12 = top.submat_mut(0, h, h, n - h);
         *flops += gemm_views(
             -1.0,
             t.rb(),

@@ -13,7 +13,6 @@ use crate::error::DenseError;
 use crate::flops::{trsm_flops, FlopCount};
 use crate::gemm::gemm_views;
 use crate::matrix::{MatMut, MatRef, Matrix};
-use crate::microkernel::gemm_accumulate;
 use crate::Result;
 
 /// Which side of the unknown the triangular matrix is on: `A·X = B` (left) or
@@ -202,33 +201,26 @@ fn solve_left_upper_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
 fn solve_right_lower_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
     // X · L = B: columns are solved from last to first; the trailing update
     // reads already-solved columns of B while writing the current block, so
-    // it goes through the raw GEMM entry point (the regions are
-    // column-disjoint).
+    // the two column ranges are separated with `split_cols_at_mut` and the
+    // update runs through the same safe `gemm_views` path as the left-side
+    // cases.
     let n = a.rows();
     let m = b.rows();
-    let bcols = b.cols();
     let mut j1 = n;
     while j1 > 0 {
         let j0 = j1.saturating_sub(NB);
         if j1 < n {
             // B[:, j0..j1] -= X[:, j1..n] · L[j1..n, j0..j1]
-            let bptr = b.as_mut_slice().as_mut_ptr();
-            // SAFETY: reads columns j1..n and the `a` block; writes columns
-            // j0..j1 only — disjoint from both read regions.
-            unsafe {
-                gemm_accumulate(
-                    m,
-                    j1 - j0,
-                    n - j1,
-                    -1.0,
-                    bptr.add(j1) as *const f64,
-                    bcols,
-                    a.as_slice().as_ptr().add(j1 * n + j0),
-                    n,
-                    bptr.add(j0),
-                    bcols,
-                );
-            }
+            let (head, solved) = b.as_view_mut().split_cols_at_mut(j1);
+            let mut target = head.subview_mut(0, j0, m, j1 - j0);
+            gemm_views(
+                -1.0,
+                solved.rb(),
+                a.view(j1, j0, n - j1, j1 - j0),
+                1.0,
+                &mut target,
+            )
+            .expect("blocked trsm: update dims");
         }
         solve_right_lower_base(
             diag,
@@ -240,33 +232,25 @@ fn solve_right_lower_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
 }
 
 fn solve_right_upper_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
-    // X · U = B: columns are solved first to last; same aliasing argument as
-    // the lower case, mirrored.
+    // X · U = B: columns are solved first to last; same column split as the
+    // lower case, mirrored.
     let n = a.rows();
     let m = b.rows();
-    let bcols = b.cols();
     let mut j0 = 0;
     while j0 < n {
         let j1 = (j0 + NB).min(n);
         if j0 > 0 {
             // B[:, j0..j1] -= X[:, 0..j0] · U[0..j0, j0..j1]
-            let bptr = b.as_mut_slice().as_mut_ptr();
-            // SAFETY: reads columns 0..j0 and the `a` block; writes columns
-            // j0..j1 only — disjoint from both read regions.
-            unsafe {
-                gemm_accumulate(
-                    m,
-                    j1 - j0,
-                    j0,
-                    -1.0,
-                    bptr as *const f64,
-                    bcols,
-                    a.as_slice().as_ptr().add(j0),
-                    n,
-                    bptr.add(j0),
-                    bcols,
-                );
-            }
+            let (solved, tail) = b.as_view_mut().split_cols_at_mut(j0);
+            let mut target = tail.subview_mut(0, 0, m, j1 - j0);
+            gemm_views(
+                -1.0,
+                solved.rb(),
+                a.view(0, j0, j0, j1 - j0),
+                1.0,
+                &mut target,
+            )
+            .expect("blocked trsm: update dims");
         }
         solve_right_upper_base(
             diag,

@@ -1,12 +1,113 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! The build environment has no registry access, so this vendored shim
-//! provides exactly the surface `simnet` uses: `channel::unbounded`, a
-//! cloneable [`channel::Sender`], and a blocking [`channel::Receiver`].
-//! Semantics match `crossbeam-channel` for that subset: sends on an
-//! unbounded channel never block, `recv` blocks until a message arrives or
-//! every sender has been dropped (in which case it returns an error once the
-//! queue is drained).
+//! provides exactly the surface the workspace uses:
+//!
+//! * `channel::unbounded` with a cloneable [`channel::Sender`] and a blocking
+//!   [`channel::Receiver`] (used by `simnet`).  Semantics match
+//!   `crossbeam-channel` for that subset: sends on an unbounded channel never
+//!   block, `recv` blocks until a message arrives or every sender has been
+//!   dropped (in which case it returns an error once the queue is drained).
+//! * [`thread::scope`] with borrow-friendly [`thread::Scope::spawn`] (used by
+//!   `dense`'s worker pool).  It is implemented on top of
+//!   `std::thread::scope`, so — unlike real `crossbeam-utils`, which returns
+//!   `Err` when a child panics — a child panic is re-thrown on the spawning
+//!   thread after every worker has been joined, and the returned `Result` is
+//!   always `Ok`.
+
+pub mod thread {
+    //! Scoped threads: spawn workers that may borrow from the caller's stack,
+    //! with a guarantee that every worker is joined before `scope` returns.
+
+    use std::thread::Result;
+
+    /// Handle onto a scope passed to the closure of [`scope`]; lets workers
+    /// spawn further scoped workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped worker, returned by [`Scope::spawn`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker that may borrow anything outliving the scope.  The
+        /// closure receives the scope again (crossbeam's signature) so it can
+        /// spawn nested workers.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the worker to finish and returns its result (`Err` holds
+        /// the worker's panic payload).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]; every worker spawned in it is joined before
+    /// this function returns.
+    ///
+    /// An unjoined worker's panic is re-thrown here once all workers have
+    /// been joined (see the module docs for the difference from real
+    /// crossbeam), so on a panic-free run the result is always `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn workers_can_borrow_from_the_stack() {
+            let data = [1u64, 2, 3, 4];
+            let total = AtomicUsize::new(0);
+            scope(|s| {
+                for chunk in data.chunks(2) {
+                    s.spawn(|_| {
+                        let part: u64 = chunk.iter().sum();
+                        total.fetch_add(part as usize, Ordering::Relaxed);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(total.load(Ordering::Relaxed), 10);
+        }
+
+        #[test]
+        fn join_returns_worker_result() {
+            let answer = scope(|s| s.spawn(|_| 6 * 7).join().unwrap()).unwrap();
+            assert_eq!(answer, 42);
+        }
+
+        #[test]
+        fn nested_spawn_through_the_scope_argument() {
+            let n = scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 5).join().unwrap())
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 5);
+        }
+    }
+}
 
 pub mod channel {
     use std::collections::VecDeque;
