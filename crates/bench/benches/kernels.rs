@@ -73,6 +73,43 @@ fn bench_gemm_par(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sparse_solve(c: &mut Criterion) {
+    // Level-scheduled sparse triangular solve: sequential baseline vs the
+    // level-parallel executor at pinned worker counts, plus the blocked
+    // multi-RHS executor.  Results are bitwise identical across rows; only
+    // throughput may differ (and only on multicore hardware — the committed
+    // baseline machine has one core).
+    let mut group = c.benchmark_group("sparse_solve");
+    let n = 40_000usize;
+    let fill = 12usize;
+    let l = sparse::gen::random_lower(n, fill, 3);
+    let b = sparse::gen::rhs_vec(n, 4);
+    let _ = l.schedule(); // analyze once, outside the timed region
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("threads_{threads}"), n),
+            &n,
+            |bench, _| {
+                let mut x = vec![0.0; n];
+                bench.iter(|| {
+                    x.copy_from_slice(&b);
+                    l.solve_in_place_with_threads(&mut x, threads).unwrap();
+                });
+            },
+        );
+    }
+    let k = 16usize;
+    let bm = Matrix::from_fn(n, k, |i, j| ((i * 5 + j * 11) % 13) as f64 - 6.0);
+    group.bench_with_input(BenchmarkId::new("multi_rhs_16", n), &n, |bench, _| {
+        let mut x = bm.clone();
+        bench.iter(|| {
+            x.as_mut_slice().copy_from_slice(bm.as_slice());
+            l.solve_multi_in_place(&mut x).unwrap();
+        });
+    });
+    group.finish();
+}
+
 fn bench_trsm(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_trsm");
     for n in [64usize, 128, 256] {
@@ -99,6 +136,6 @@ fn bench_tri_invert(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_gemm, bench_gemm_naive_vs_packed, bench_gemm_par, bench_trsm, bench_tri_invert
+    targets = bench_gemm, bench_gemm_naive_vs_packed, bench_gemm_par, bench_sparse_solve, bench_trsm, bench_tri_invert
 }
 criterion_main!(kernels);

@@ -1,7 +1,8 @@
-//! Prints a checksum of a fixed dense-kernel workload so CI can verify that
-//! results are **bitwise identical** under different `DENSE_THREADS`
-//! settings (the multithreaded GEMM must be a throughput knob, not a
-//! semantics knob).
+//! Prints a checksum of a fixed workload of dense kernels and sparse
+//! level-scheduled solves so CI can verify that results are **bitwise
+//! identical** under different `DENSE_THREADS` settings (the multithreaded
+//! GEMM and the sparse level-parallel executors must be throughput knobs,
+//! not semantics knobs).
 //!
 //! CI runs this twice — `DENSE_THREADS=1` and `DENSE_THREADS=4` — and diffs
 //! the output; any divergence in a single mantissa bit changes the checksum.
@@ -11,15 +12,19 @@
 use dense::{gemm, gen, tri_invert, trsm, trsm_in_place, Diag, Matrix, Side, Triangle};
 
 /// FNV-1a over the little-endian bit patterns of every element.
-fn checksum(label: &str, m: &Matrix) -> String {
+fn checksum_slice(label: &str, data: &[f64]) -> String {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for v in m.as_slice() {
+    for v in data {
         for byte in v.to_bits().to_le_bytes() {
             hash ^= u64::from(byte);
             hash = hash.wrapping_mul(0x1000_0000_01b3);
         }
     }
     format!("{label}: {hash:016x}")
+}
+
+fn checksum(label: &str, m: &Matrix) -> String {
+    checksum_slice(label, m.as_slice())
 }
 
 fn main() {
@@ -51,4 +56,18 @@ fn main() {
 
     let (inv, _) = tri_invert(Triangle::Lower, &l).unwrap();
     println!("{}", checksum("tri_invert_384", &inv));
+
+    // Sparse level-scheduled solves: big enough that `nnz·k` clears the
+    // implicit PAR_MIN_WORK gate, so the DENSE_THREADS=4 CI leg runs the
+    // barrier-synchronized parallel executor on the single-RHS solve and
+    // the multi-RHS solve alike.
+    let sl = sparse::gen::random_lower(40_000, 12, 31);
+    let sb = sparse::gen::rhs_vec(40_000, 32);
+    let sx = sl.solve(&sb).unwrap();
+    println!("{}", checksum_slice("sparse_solve_40000x12", &sx));
+
+    let sbm = Matrix::from_fn(8_000, 8, |i, j| ((i * 7 + j * 3) % 17) as f64 - 8.0);
+    let su = sparse::gen::random_upper(8_000, 10, 33);
+    let sxm = su.solve_multi(&sbm).unwrap();
+    println!("{}", checksum("sparse_solve_multi_upper_8000x8", &sxm));
 }

@@ -9,9 +9,8 @@
 use crate::error::DenseError;
 use crate::flops::{cholesky_flops, lu_flops, FlopCount};
 use crate::matrix::Matrix;
+use crate::trsm::PIVOT_TOL;
 use crate::Result;
-
-const PIVOT_TOL: f64 = 1e-300;
 
 /// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
 ///

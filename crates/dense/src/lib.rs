@@ -74,10 +74,10 @@ pub use gemm::{
     gemm, gemm_a_bt, gemm_at_b, gemm_views, gemm_views_with_threads, gemm_with_threads, matmul,
 };
 pub use matrix::{MatMut, MatRef, Matrix};
-pub use threads::dense_threads;
+pub use threads::{dense_threads, run_region};
 pub use trinv::{tri_invert, tri_invert_blocked, tri_invert_in_place};
 pub use trmm::trmm;
-pub use trsm::{trsm, trsm_in_place, trsv, Diag, Side, Triangle};
+pub use trsm::{trsm, trsm_in_place, trsv, trsv_in_place, Diag, Side, Triangle, PIVOT_TOL};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, DenseError>;

@@ -81,8 +81,13 @@ pub(crate) fn gemm_views_accumulate(
         return;
     }
     let madds = m.saturating_mul(n).saturating_mul(kdim);
-    if threads > 1 && madds >= PACK_THRESHOLD && n >= 2 * NR {
+    let parallel = threads > 1 && madds >= PACK_THRESHOLD;
+    if parallel && n >= 2 * NR {
         gemm_parallel(alpha, a, b, c, threads);
+    } else if parallel && m >= 2 * MR {
+        // Tall-skinny product: too few column panels to split, so partition
+        // the `ic` (row) dimension of `A`/`C` instead.
+        gemm_parallel_rows(alpha, a, b, c, threads);
     } else {
         // SAFETY: the views describe in-bounds blocks of live allocations
         // with the dimensions checked above, and `c` is a mutable borrow so
@@ -113,25 +118,39 @@ pub(crate) fn gemm_views_accumulate(
 fn gemm_parallel(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, c: &mut MatMut<'_>, threads: usize) {
     let (_, kdim) = a.dims();
     let n = b.cols();
-    let panels = n.div_ceil(NR);
-    let workers = threads.min(panels);
     with_packed_a(alpha, a, |apack| {
-        let base = panels / workers;
-        let extra = panels % workers;
-        let mut jobs = Vec::with_capacity(workers);
+        let chunks = panel_chunks(n, NR, threads);
+        let mut jobs = Vec::with_capacity(chunks.len());
         let mut rest = c.reborrow();
-        let mut j0 = 0;
-        for w in 0..workers {
-            let chunk_panels = base + usize::from(w < extra);
-            let chunk_cols = (chunk_panels * NR).min(n - j0);
+        for (j0, chunk_cols) in chunks {
             let (chunk, tail) = rest.split_cols_at_mut(chunk_cols);
             rest = tail;
             let b_chunk = b.subview(0, j0, kdim, chunk_cols);
             jobs.push(move || gemm_chunk_shared_a(apack, b_chunk, chunk));
-            j0 += chunk_cols;
         }
         threads::join_all(jobs);
     });
+}
+
+/// Splits `len` items grouped into `panel`-sized units across at most
+/// `workers` contiguous chunks, returning each chunk's `(start, len)`.  The
+/// first `panels % workers` chunks take one extra panel; only the last chunk
+/// may end on a ragged (partial) panel.  Shared by both parallel GEMM
+/// drivers so the column and row partitionings cannot drift apart.
+fn panel_chunks(len: usize, panel: usize, workers: usize) -> Vec<(usize, usize)> {
+    let panels = len.div_ceil(panel);
+    let workers = workers.min(panels);
+    let base = panels / workers;
+    let extra = panels % workers;
+    let mut chunks = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let chunk_panels = base + usize::from(w < extra);
+        let chunk_len = (chunk_panels * panel).min(len - start);
+        chunks.push((start, chunk_len));
+        start += chunk_len;
+    }
+    chunks
 }
 
 /// One worker's share of the multithreaded GEMM: the full `(jc, pc, ic)`
@@ -185,6 +204,64 @@ fn gemm_chunk_shared_a(apack: &PackedA<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
             jc += NC;
         }
     });
+}
+
+/// The row-partitioned multithreaded driver for tall-skinny products
+/// (`n < 2·NR`, so the column split of [`gemm_parallel`] has nothing to
+/// divide): `C` and `A` are split into per-worker row chunks on `MR`-panel
+/// boundaries via [`MatMut::split_rows_at_mut`], and each worker runs the
+/// full sequential packed loop nest ([`gemm_packed`]) over its chunk,
+/// packing its own `A` rows and (small) `B` panels into thread-local
+/// scratch.  Per element of `C` the accumulation order — `pc` blocks
+/// ascending, `k` ascending within each tile — does not depend on where the
+/// row partition starts, so the result stays bitwise identical to the
+/// sequential packed kernel.
+fn gemm_parallel_rows(
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    c: &mut MatMut<'_>,
+    threads: usize,
+) {
+    let (m, kdim) = a.dims();
+    let chunks = panel_chunks(m, MR, threads);
+    let mut jobs = Vec::with_capacity(chunks.len());
+    let mut rest = c.reborrow();
+    for (i0, chunk_rows) in chunks {
+        let (chunk, tail) = rest.split_rows_at_mut(chunk_rows);
+        rest = tail;
+        let a_chunk = a.subview(i0, 0, chunk_rows, kdim);
+        jobs.push(move || gemm_chunk_rows(alpha, a_chunk, b, chunk));
+    }
+    threads::join_all(jobs);
+}
+
+/// One worker's share of the row-partitioned GEMM: the sequential packed
+/// driver over this worker's row chunk.  Always the packed path (never
+/// [`gemm_small`]) so a chunk falling under the pack threshold cannot
+/// diverge bitwise from the sequential whole-matrix run, which took the
+/// packed path to begin with.
+fn gemm_chunk_rows(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let (m, kdim) = a.dims();
+    let n = b.cols();
+    // SAFETY: the views describe live in-bounds blocks with the strides they
+    // report; `c` is this worker's exclusively-owned row chunk (disjoint via
+    // `split_rows_at_mut`), so the written region cannot overlap the blocks
+    // read through `a` and `b`.
+    unsafe {
+        gemm_packed(
+            m,
+            n,
+            kdim,
+            alpha,
+            a.as_ptr(),
+            a.stride(),
+            b.as_ptr(),
+            b.stride(),
+            c.as_mut_ptr(),
+            c.stride(),
+        );
+    }
 }
 
 /// `C[m×n] += alpha · A[m×k] · B[k×n]` on raw strided storage, choosing the
@@ -557,6 +634,68 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn panel_chunks_tile_exactly_on_panel_boundaries() {
+        for len in [1usize, 7, 8, 9, 64, 100, 1029] {
+            for panel in [4usize, 8] {
+                for workers in [1usize, 2, 3, 7, 16] {
+                    let chunks = panel_chunks(len, panel, workers);
+                    assert!(chunks.len() <= workers.min(len.div_ceil(panel)));
+                    let mut expect_start = 0;
+                    for (i, &(start, clen)) in chunks.iter().enumerate() {
+                        assert_eq!(start, expect_start, "chunks must tile contiguously");
+                        assert!(clen > 0);
+                        // Interior chunks end on whole-panel boundaries.
+                        if i + 1 < chunks.len() {
+                            assert_eq!((start + clen) % panel, 0);
+                        }
+                        expect_start = start + clen;
+                    }
+                    assert_eq!(expect_start, len, "chunks must cover everything");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_row_split_is_bitwise_identical_to_sequential() {
+        // Tall-skinny shapes: too few column panels for the jc split
+        // (n < 2·NR), so the ic (row) partitioning must engage — and agree
+        // with the sequential packed kernel bit for bit, including ragged
+        // MR/MC/KC edges and non-divisible worker counts.
+        for &(m, k, n) in &[(1029, 40, 9), (512, 257, 4), (130, 300, 15), (97, 400, 1)] {
+            let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 17) % 23) as f64 / 23.0 - 0.5);
+            let b = Matrix::from_fn(k, n, |i, j| ((i * 7 + j * 41) % 19) as f64 / 19.0 - 0.5);
+            let mut c_seq = Matrix::zeros(m, n);
+            gemm_views_accumulate(1.5, a.as_view(), b.as_view(), &mut c_seq.as_view_mut(), 1);
+            for threads in [2usize, 3, 4, 7] {
+                let mut c_par = Matrix::zeros(m, n);
+                gemm_views_accumulate(
+                    1.5,
+                    a.as_view(),
+                    b.as_view(),
+                    &mut c_par.as_view_mut(),
+                    threads,
+                );
+                assert!(
+                    c_seq == c_par,
+                    "row-split GEMM diverged at shape ({m},{k},{n}) with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_row_split_matches_reference_numerically() {
+        let (m, k, n) = (600, 64, 8);
+        let a = Matrix::from_fn(m, k, |i, j| ((i * 13 + j) % 29) as f64 / 29.0 - 0.5);
+        let b = Matrix::from_fn(k, n, |i, j| ((i * 5 + j * 3) % 31) as f64 / 31.0 - 0.5);
+        let mut c = Matrix::zeros(m, n);
+        gemm_views_accumulate(2.0, a.as_view(), b.as_view(), &mut c.as_view_mut(), 4);
+        let expect = crate::gemm::matmul(&a, &b).scale(2.0);
+        assert!(c.max_abs_diff(&expect).unwrap() < 1e-10);
     }
 
     #[test]

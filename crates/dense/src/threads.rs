@@ -47,6 +47,39 @@ pub fn dense_threads() -> usize {
     })
 }
 
+/// Runs `f(0), f(1), …, f(workers - 1)` concurrently, one scoped worker per
+/// index, and returns when all have finished.
+///
+/// This is the long-lived-region counterpart of [`join_all`]: instead of one
+/// short job per worker, every worker runs the *same* closure for the whole
+/// region and coordinates through whatever synchronization the closure
+/// captures (the `sparse` crate's level-scheduled solver drives one
+/// [`std::sync::Barrier`] wait per dependency level this way, amortizing the
+/// spawn cost over the entire solve).  Worker 0 runs on the calling thread;
+/// with `workers <= 1` the closure runs inline with no thread machinery.
+///
+/// A panicking worker propagates to the caller after the region is joined —
+/// but a closure that blocks on a barrier whose other participants died will
+/// deadlock first, so closures must not panic between barrier waits unless
+/// every worker panics together.
+pub fn run_region<F>(workers: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if workers <= 1 {
+        f(0);
+        return;
+    }
+    crossbeam::thread::scope(|s| {
+        for w in 1..workers {
+            let f = &f;
+            s.spawn(move |_| f(w));
+        }
+        f(0);
+    })
+    .expect("dense worker pool: scope failed");
+}
+
 /// Runs every job to completion, one worker per job, and returns when all
 /// have finished.
 ///
@@ -134,5 +167,42 @@ mod tests {
     fn dense_threads_is_at_least_one() {
         assert!(dense_threads() >= 1);
         assert!(dense_threads() <= MAX_THREADS);
+    }
+
+    #[test]
+    fn run_region_visits_every_worker_index() {
+        let seen = AtomicUsize::new(0);
+        run_region(6, |w| {
+            seen.fetch_add(1 << w, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 0b11_1111);
+    }
+
+    #[test]
+    fn run_region_single_worker_runs_inline() {
+        let caller = std::thread::current().id();
+        let seen = std::sync::Mutex::new(None);
+        run_region(1, |w| {
+            assert_eq!(w, 0);
+            *seen.lock().unwrap() = Some(std::thread::current().id());
+        });
+        assert_eq!(*seen.lock().unwrap(), Some(caller));
+    }
+
+    #[test]
+    fn run_region_workers_synchronize_through_a_barrier() {
+        use std::sync::Barrier;
+        let workers = 4;
+        let barrier = Barrier::new(workers);
+        let phase1 = AtomicUsize::new(0);
+        let phase2 = AtomicUsize::new(0);
+        run_region(workers, |_| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            barrier.wait();
+            // Every worker must have finished phase 1 before any enters 2.
+            assert_eq!(phase1.load(Ordering::SeqCst), workers);
+            phase2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(phase2.load(Ordering::SeqCst), workers);
     }
 }

@@ -25,10 +25,8 @@ use crate::flops::{tri_inv_flops, FlopCount};
 use crate::gemm::gemm_views;
 use crate::matrix::{MatMut, Matrix};
 use crate::pack::with_scratch;
-use crate::trsm::Triangle;
+use crate::trsm::{Triangle, PIVOT_TOL};
 use crate::Result;
-
-const PIVOT_TOL: f64 = 1e-300;
 
 /// Invert a triangular matrix, returning `(inverse, flops)`.
 ///

@@ -43,7 +43,9 @@ pub enum Diag {
     Unit,
 }
 
-const PIVOT_TOL: f64 = 1e-300;
+/// Pivots (or explicit diagonal entries, in the `sparse` crate) smaller
+/// than this in absolute value are treated as singular.
+pub const PIVOT_TOL: f64 = 1e-300;
 
 /// Panel width of the blocked solve: the substitution runs on `NB×NB`
 /// diagonal blocks and everything else is GEMM.
@@ -126,16 +128,68 @@ pub fn trsm_in_place(
 
 /// Triangular solve with a single right-hand side vector: `A · x = b`.
 pub fn trsv(tri: Triangle, diag: Diag, a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
-    if b.len() != a.rows() {
+    let mut x = b.to_vec();
+    trsv_in_place(tri, diag, a, &mut x)?;
+    Ok(x)
+}
+
+/// Single-RHS triangular solve in place: overwrites `x` (holding `b` on
+/// entry) with the solution of `A · x = b`, allocating nothing.
+///
+/// With one right-hand side the blocked [`trsm_in_place`] machinery buys
+/// nothing — the GEMM updates degenerate to dot products — so this runs a
+/// plain substitution over `A`'s rows.  It is the kernel behind [`trsv`] and
+/// the dense-fallback path of the `sparse` crate's triangular solver, both
+/// of which sit on hot iterative-solver loops where a per-call `Matrix`
+/// allocation would dominate.
+pub fn trsv_in_place(tri: Triangle, diag: Diag, a: &Matrix, x: &mut [f64]) -> Result<FlopCount> {
+    if !a.is_square() {
+        return Err(DenseError::NotSquare {
+            op: "trsv",
+            dims: a.dims(),
+        });
+    }
+    let n = a.rows();
+    if x.len() != n {
         return Err(DenseError::DimensionMismatch {
             op: "trsv",
             lhs: a.dims(),
-            rhs: (b.len(), 1),
+            rhs: (x.len(), 1),
         });
     }
-    let rhs = Matrix::from_vec(b.len(), 1, b.to_vec())?;
-    let x = trsm(tri, diag, a, &rhs)?;
-    Ok(x.into_vec())
+    if diag == Diag::NonUnit {
+        for i in 0..n {
+            if a[(i, i)].abs() < PIVOT_TOL {
+                return Err(DenseError::SingularPivot {
+                    index: i,
+                    value: a[(i, i)],
+                });
+            }
+        }
+    }
+    match tri {
+        Triangle::Lower => {
+            for i in 0..n {
+                let row = a.row(i);
+                let mut v = x[i];
+                for (aij, xj) in row[..i].iter().zip(x[..i].iter()) {
+                    v -= aij * xj;
+                }
+                x[i] = if diag == Diag::NonUnit { v / row[i] } else { v };
+            }
+        }
+        Triangle::Upper => {
+            for i in (0..n).rev() {
+                let row = a.row(i);
+                let mut v = x[i];
+                for (aij, xj) in row[(i + 1)..].iter().zip(x[(i + 1)..].iter()) {
+                    v -= aij * xj;
+                }
+                x[i] = if diag == Diag::NonUnit { v / row[i] } else { v };
+            }
+        }
+    }
+    Ok(trsm_flops(n, 1))
 }
 
 // ---------------------------------------------------------------------------
@@ -482,6 +536,47 @@ mod tests {
         let x = trsv(Triangle::Lower, Diag::NonUnit, &l, &b).unwrap();
         for (a, b) in x.iter().zip(x_true.iter()) {
             assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trsv_in_place_matches_trsm_every_variant() {
+        for &n in &[1usize, 2, 9, 40] {
+            let l = lower(n);
+            let u = l.transpose();
+            let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+            let rhs = Matrix::from_vec(n, 1, b.clone()).unwrap();
+            for diag in [Diag::NonUnit, Diag::Unit] {
+                for (tri, a) in [(Triangle::Lower, &l), (Triangle::Upper, &u)] {
+                    let mut x = b.clone();
+                    let f = trsv_in_place(tri, diag, a, &mut x).unwrap();
+                    assert_eq!(f, trsm_flops(n, 1));
+                    let xm = trsm(tri, diag, a, &rhs).unwrap();
+                    for (got, want) in x.iter().zip(xm.as_slice()) {
+                        assert!(
+                            (got - want).abs() < 1e-9,
+                            "trsv_in_place diverged at n={n} {tri:?} {diag:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsv_in_place_rejects_bad_inputs() {
+        let l = lower(4);
+        let mut short = vec![1.0; 3];
+        assert!(trsv_in_place(Triangle::Lower, Diag::NonUnit, &l, &mut short).is_err());
+        let rect = Matrix::zeros(3, 4);
+        let mut x = vec![1.0; 3];
+        assert!(trsv_in_place(Triangle::Lower, Diag::NonUnit, &rect, &mut x).is_err());
+        let mut sing = l.clone();
+        sing[(2, 2)] = 0.0;
+        let mut x4 = vec![1.0; 4];
+        match trsv_in_place(Triangle::Lower, Diag::NonUnit, &sing, &mut x4) {
+            Err(DenseError::SingularPivot { index, .. }) => assert_eq!(index, 2),
+            other => panic!("expected SingularPivot, got {other:?}"),
         }
     }
 

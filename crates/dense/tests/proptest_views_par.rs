@@ -126,6 +126,33 @@ proptest! {
         prop_assert!(c_par.max_abs_diff(&c_ref).unwrap() < 1e-8);
     }
 
+    /// Tall-skinny products (`n` too small for the column split) take the
+    /// `ic`-dimension row partitioning, which must also be bitwise
+    /// identical to the sequential packed kernel for every worker count.
+    #[test]
+    fn parallel_gemm_row_split_matches_sequential_bit_for_bit(
+        m in 64usize..600,
+        k in 32usize..128,
+        n in 1usize..16,
+        threads in 2usize..8,
+        alpha in -2.0f64..2.0,
+        s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>(),
+    ) {
+        let a = gen::uniform(m, k, s1);
+        let b = gen::uniform(k, n, s2);
+        let c0 = gen::uniform(m, n, s3);
+
+        let mut c_seq = c0.clone();
+        gemm_with_threads(alpha, &a, &b, 1.0, &mut c_seq, 1).unwrap();
+        let mut c_par = c0.clone();
+        gemm_with_threads(alpha, &a, &b, 1.0, &mut c_par, threads).unwrap();
+        prop_assert!(c_seq == c_par, "row-split worker count changed the result bits");
+
+        let mut c_ref = c0.clone();
+        reference::gemm_naive_ikj(alpha, &a, &b, 1.0, &mut c_ref);
+        prop_assert!(c_par.max_abs_diff(&c_ref).unwrap() < 1e-8);
+    }
+
     /// Same bitwise guarantee on view-level GEMM over interior blocks, so
     /// the chunk partitioning is also exercised at `stride != cols`.
     #[test]

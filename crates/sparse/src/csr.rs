@@ -1,0 +1,570 @@
+//! CSR storage for sparse triangular matrices.
+//!
+//! [`SparseTri`] is the single storage type of the crate: a square `n × n`
+//! lower- or upper-triangular matrix in **compressed sparse row** form, with
+//! the diagonal held separately from the off-diagonal entries so the solve
+//! executors run one branch-free dot product per row.  Construction
+//! validates the structure eagerly — indices in bounds, every entry on the
+//! declared [`Triangle`], rows sorted without duplicates, and (for
+//! [`Diag::NonUnit`]) an invertible diagonal — so the executors never
+//! re-validate on the hot path.
+//!
+//! The matrix owns its (lazily computed) level-set [`Schedule`]: the
+//! sparsity pattern is immutable after construction, so the analysis is run
+//! at most once per matrix and reused across every subsequent solve, which
+//! is the access pattern of preconditioner applies inside iterative solvers.
+
+use crate::error::SparseError;
+use crate::schedule::Schedule;
+use crate::Result;
+// The dense crate's pivot tolerance governs the diagonal invertibility
+// check, so a diagonal this crate accepts is exactly one the
+// `solve_via_dense` fallback accepts too.
+use dense::PIVOT_TOL;
+use dense::{Diag, Matrix, Triangle};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// A sparse triangular matrix in CSR form.
+///
+/// Off-diagonal entries live in the usual `(row_ptr, col_idx, values)`
+/// arrays with strictly increasing column indices per row; the diagonal is a
+/// dense `n`-vector (all ones for [`Diag::Unit`], where stored diagonal
+/// input is ignored exactly like the dense kernels ignore it).
+pub struct SparseTri {
+    n: usize,
+    tri: Triangle,
+    diag: Diag,
+    /// Off-diagonal CSR row pointer, `n + 1` entries.
+    row_ptr: Vec<usize>,
+    /// Off-diagonal column indices, strictly increasing within each row.
+    col_idx: Vec<usize>,
+    /// Off-diagonal values, parallel to `col_idx`.
+    values: Vec<f64>,
+    /// Dense diagonal, `n` entries (`1.0` everywhere for [`Diag::Unit`]).
+    diag_vals: Vec<f64>,
+    /// Lazily computed level-set schedule (see [`SparseTri::schedule`]).
+    schedule: OnceLock<Schedule>,
+    /// How many times the analysis has actually run for this matrix —
+    /// observable through [`SparseTri::analysis_count`], so tests can assert
+    /// the schedule is reused rather than recomputed per solve.
+    analyses: AtomicUsize,
+}
+
+impl SparseTri {
+    /// Builds a matrix from `(row, col, value)` triplets in any order.
+    ///
+    /// Diagonal triplets populate the diagonal ([`Diag::NonUnit`]) or are
+    /// ignored ([`Diag::Unit`]); every [`Diag::NonUnit`] row must receive a
+    /// diagonal entry of magnitude at least the pivot tolerance.  Duplicate
+    /// positions, out-of-bounds indices, and entries on the wrong side of
+    /// the diagonal are errors.
+    pub fn from_triplets(
+        n: usize,
+        tri: Triangle,
+        diag: Diag,
+        entries: &[(usize, usize, f64)],
+    ) -> Result<SparseTri> {
+        let mut diag_vals = vec![if diag == Diag::Unit { 1.0 } else { 0.0 }; n];
+        let mut diag_seen = vec![false; n];
+        let mut off: Vec<(usize, usize, f64)> = Vec::with_capacity(entries.len());
+        for &(i, j, v) in entries {
+            if i >= n || j >= n {
+                return Err(SparseError::EntryOutOfBounds { index: (i, j), n });
+            }
+            if i == j {
+                if diag_seen[i] {
+                    return Err(SparseError::DuplicateEntry { index: (i, j) });
+                }
+                diag_seen[i] = true;
+                if diag == Diag::NonUnit {
+                    diag_vals[i] = v;
+                }
+                continue;
+            }
+            let on_declared_side = match tri {
+                Triangle::Lower => j < i,
+                Triangle::Upper => j > i,
+            };
+            if !on_declared_side {
+                return Err(SparseError::WrongTriangle { index: (i, j) });
+            }
+            off.push((i, j, v));
+        }
+        off.sort_by_key(|&(i, j, _)| (i, j));
+        for w in off.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 == w[1].1 {
+                return Err(SparseError::DuplicateEntry {
+                    index: (w[1].0, w[1].1),
+                });
+            }
+        }
+
+        let mut row_ptr = vec![0usize; n + 1];
+        for &(i, _, _) in &off {
+            row_ptr[i + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx: Vec<usize> = off.iter().map(|&(_, j, _)| j).collect();
+        let values: Vec<f64> = off.iter().map(|&(_, _, v)| v).collect();
+
+        Self::finish(n, tri, diag, row_ptr, col_idx, values, diag_vals)
+    }
+
+    /// Builds a matrix from raw CSR arrays, which may include diagonal
+    /// entries inline (they are split out; ignored for [`Diag::Unit`]).
+    ///
+    /// `row_ptr` must have `n + 1` monotone entries ending at
+    /// `col_idx.len() == values.len()`, and each row's column indices must
+    /// be strictly increasing.
+    pub fn from_csr(
+        n: usize,
+        tri: Triangle,
+        diag: Diag,
+        row_ptr: &[usize],
+        col_idx: &[usize],
+        values: &[f64],
+    ) -> Result<SparseTri> {
+        if row_ptr.len() != n + 1 {
+            return Err(SparseError::MalformedCsr {
+                reason: format!("row_ptr has {} entries, expected {}", row_ptr.len(), n + 1),
+            });
+        }
+        if col_idx.len() != values.len() {
+            return Err(SparseError::MalformedCsr {
+                reason: format!(
+                    "col_idx has {} entries but values has {}",
+                    col_idx.len(),
+                    values.len()
+                ),
+            });
+        }
+        if row_ptr[0] != 0 || *row_ptr.last().unwrap() != col_idx.len() {
+            return Err(SparseError::MalformedCsr {
+                reason: "row_ptr must start at 0 and end at the entry count".to_string(),
+            });
+        }
+        let mut diag_vals = vec![if diag == Diag::Unit { 1.0 } else { 0.0 }; n];
+        let mut out_ptr = vec![0usize; n + 1];
+        let mut out_idx = Vec::with_capacity(col_idx.len());
+        let mut out_val = Vec::with_capacity(values.len());
+        for i in 0..n {
+            let (start, end) = (row_ptr[i], row_ptr[i + 1]);
+            if start > end || end > col_idx.len() {
+                return Err(SparseError::MalformedCsr {
+                    reason: format!("row_ptr not monotone at row {i}"),
+                });
+            }
+            let mut prev: Option<usize> = None;
+            for (&j, &v) in col_idx[start..end].iter().zip(&values[start..end]) {
+                if j >= n {
+                    return Err(SparseError::EntryOutOfBounds { index: (i, j), n });
+                }
+                if prev == Some(j) {
+                    return Err(SparseError::DuplicateEntry { index: (i, j) });
+                }
+                if prev.is_some_and(|p| j < p) {
+                    return Err(SparseError::UnsortedRow { row: i });
+                }
+                prev = Some(j);
+                if j == i {
+                    if diag == Diag::NonUnit {
+                        diag_vals[i] = v;
+                    }
+                    continue;
+                }
+                let on_declared_side = match tri {
+                    Triangle::Lower => j < i,
+                    Triangle::Upper => j > i,
+                };
+                if !on_declared_side {
+                    return Err(SparseError::WrongTriangle { index: (i, j) });
+                }
+                out_idx.push(j);
+                out_val.push(v);
+            }
+            out_ptr[i + 1] = out_idx.len();
+        }
+        Self::finish(n, tri, diag, out_ptr, out_idx, out_val, diag_vals)
+    }
+
+    /// Shared tail of the constructors: diagonal invertibility check.
+    fn finish(
+        n: usize,
+        tri: Triangle,
+        diag: Diag,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+        diag_vals: Vec<f64>,
+    ) -> Result<SparseTri> {
+        if diag == Diag::NonUnit {
+            for (i, &d) in diag_vals.iter().enumerate() {
+                if d.abs() < PIVOT_TOL {
+                    return Err(SparseError::SingularDiagonal { row: i, value: d });
+                }
+            }
+        }
+        Ok(SparseTri {
+            n,
+            tri,
+            diag,
+            row_ptr,
+            col_idx,
+            values,
+            diag_vals,
+            schedule: OnceLock::new(),
+            analyses: AtomicUsize::new(0),
+        })
+    }
+
+    /// Matrix dimension `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Which triangle the matrix occupies.
+    #[inline]
+    pub fn triangle(&self) -> Triangle {
+        self.tri
+    }
+
+    /// Whether the diagonal is implicit ones.
+    #[inline]
+    pub fn diag(&self) -> Diag {
+        self.diag
+    }
+
+    /// Number of stored entries: off-diagonal entries, plus the `n` diagonal
+    /// entries when they are explicit ([`Diag::NonUnit`]).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz_off_diagonal()
+            + if self.diag == Diag::NonUnit {
+                self.n
+            } else {
+                0
+            }
+    }
+
+    /// Number of stored off-diagonal entries.
+    #[inline]
+    pub fn nnz_off_diagonal(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The off-diagonal entries of row `i` as `(column indices, values)`,
+    /// columns strictly increasing.
+    #[inline]
+    pub fn row_entries(&self, i: usize) -> (&[usize], &[f64]) {
+        let (s, e) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        (&self.col_idx[s..e], &self.values[s..e])
+    }
+
+    /// The diagonal value of row `i` (`1.0` for [`Diag::Unit`]).
+    #[inline]
+    pub fn diag_value(&self, i: usize) -> f64 {
+        self.diag_vals[i]
+    }
+
+    pub(crate) fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    pub(crate) fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// The level-set [`Schedule`] for this matrix, computed on first use and
+    /// cached for the lifetime of the matrix.
+    ///
+    /// Repeated solves with the same matrix — the dominant pattern in
+    /// iterative-solver traffic, where one incomplete factor is applied
+    /// every iteration — re-use the cached analysis; see
+    /// [`SparseTri::analysis_count`].
+    pub fn schedule(&self) -> &Schedule {
+        self.schedule.get_or_init(|| {
+            self.analyses.fetch_add(1, Ordering::Relaxed);
+            Schedule::analyze(self)
+        })
+    }
+
+    /// How many times the level-set analysis has run for this matrix (0
+    /// before the first solve, and 1 forever after — asserted by tests).
+    pub fn analysis_count(&self) -> usize {
+        self.analyses.load(Ordering::Relaxed)
+    }
+
+    /// Densify into a [`dense::Matrix`] (diagonal ones made explicit for
+    /// [`Diag::Unit`]).  This is the bridge the dense-fallback solve path
+    /// and the differential tests use.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n, self.n);
+        for i in 0..self.n {
+            let (cols, vals) = self.row_entries(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                m[(i, j)] = v;
+            }
+            m[(i, i)] = self.diag_vals[i];
+        }
+        m
+    }
+
+    /// The transposed matrix (a lower-triangular matrix becomes upper, and
+    /// vice versa).  The transpose carries the same [`Diag`] kind; its
+    /// schedule is computed fresh on first use.
+    pub fn transpose(&self) -> SparseTri {
+        let tri = match self.tri {
+            Triangle::Lower => Triangle::Upper,
+            Triangle::Upper => Triangle::Lower,
+        };
+        // Column counts of `self` become row counts of the transpose.
+        let mut row_ptr = vec![0usize; self.n + 1];
+        for &j in &self.col_idx {
+            row_ptr[j + 1] += 1;
+        }
+        for i in 0..self.n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut fill = row_ptr.clone();
+        let mut col_idx = vec![0usize; self.col_idx.len()];
+        let mut values = vec![0.0f64; self.values.len()];
+        for i in 0..self.n {
+            let (cols, vals) = self.row_entries(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let slot = fill[j];
+                fill[j] += 1;
+                col_idx[slot] = i;
+                values[slot] = v;
+            }
+        }
+        SparseTri {
+            n: self.n,
+            tri,
+            diag: self.diag,
+            row_ptr,
+            col_idx,
+            values,
+            diag_vals: self.diag_vals.clone(),
+            schedule: OnceLock::new(),
+            analyses: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Clone for SparseTri {
+    /// Clones the matrix *and* its cached schedule (re-analyzing an
+    /// identical pattern would be wasted work); the clone's analysis count
+    /// starts fresh.
+    fn clone(&self) -> SparseTri {
+        SparseTri {
+            n: self.n,
+            tri: self.tri,
+            diag: self.diag,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: self.values.clone(),
+            diag_vals: self.diag_vals.clone(),
+            schedule: self.schedule.clone(),
+            analyses: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for SparseTri {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SparseTri")
+            .field("n", &self.n)
+            .field("tri", &self.tri)
+            .field("diag", &self.diag)
+            .field("nnz", &self.nnz())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_lower() -> SparseTri {
+        // [ 2 . . ]
+        // [ 1 3 . ]
+        // [ . 4 5 ]
+        SparseTri::from_triplets(
+            3,
+            Triangle::Lower,
+            Diag::NonUnit,
+            &[
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (2, 1, 4.0),
+                (2, 2, 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn triplets_build_sorted_csr() {
+        let m = small_lower();
+        assert_eq!(m.n(), 3);
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.nnz_off_diagonal(), 2);
+        assert_eq!(m.row_entries(0), (&[][..], &[][..]));
+        assert_eq!(m.row_entries(1), (&[0usize][..], &[1.0][..]));
+        assert_eq!(m.row_entries(2), (&[1usize][..], &[4.0][..]));
+        assert_eq!(m.diag_value(2), 5.0);
+    }
+
+    #[test]
+    fn triplets_in_any_order_give_the_same_matrix() {
+        let shuffled = SparseTri::from_triplets(
+            3,
+            Triangle::Lower,
+            Diag::NonUnit,
+            &[
+                (2, 2, 5.0),
+                (1, 1, 3.0),
+                (2, 1, 4.0),
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(shuffled.to_dense(), small_lower().to_dense());
+    }
+
+    #[test]
+    fn from_csr_accepts_inline_diagonal() {
+        // Same matrix as `small_lower`, diagonal inline.
+        let m = SparseTri::from_csr(
+            3,
+            Triangle::Lower,
+            Diag::NonUnit,
+            &[0, 1, 3, 5],
+            &[0, 0, 1, 1, 2],
+            &[2.0, 1.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap();
+        assert_eq!(m.to_dense(), small_lower().to_dense());
+    }
+
+    #[test]
+    fn validation_rejects_bad_structure() {
+        let oob = SparseTri::from_triplets(
+            2,
+            Triangle::Lower,
+            Diag::NonUnit,
+            &[(0, 0, 1.0), (1, 5, 1.0)],
+        );
+        assert!(matches!(oob, Err(SparseError::EntryOutOfBounds { .. })));
+
+        let wrong = SparseTri::from_triplets(
+            2,
+            Triangle::Lower,
+            Diag::NonUnit,
+            &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 2.0)],
+        );
+        assert!(matches!(wrong, Err(SparseError::WrongTriangle { .. })));
+
+        let dup = SparseTri::from_triplets(
+            2,
+            Triangle::Lower,
+            Diag::NonUnit,
+            &[(0, 0, 1.0), (1, 1, 1.0), (1, 0, 2.0), (1, 0, 3.0)],
+        );
+        assert!(matches!(dup, Err(SparseError::DuplicateEntry { .. })));
+
+        let sing = SparseTri::from_triplets(2, Triangle::Lower, Diag::NonUnit, &[(0, 0, 1.0)]);
+        assert!(matches!(
+            sing,
+            Err(SparseError::SingularDiagonal { row: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn from_csr_rejects_malformed_arrays() {
+        let bad_ptr = SparseTri::from_csr(2, Triangle::Lower, Diag::Unit, &[0, 2], &[0], &[1.0]);
+        assert!(matches!(bad_ptr, Err(SparseError::MalformedCsr { .. })));
+
+        let shrinking =
+            SparseTri::from_csr(2, Triangle::Lower, Diag::Unit, &[0, 1, 0], &[0], &[1.0]);
+        assert!(matches!(shrinking, Err(SparseError::MalformedCsr { .. })));
+
+        let unsorted = SparseTri::from_csr(
+            3,
+            Triangle::Lower,
+            Diag::Unit,
+            &[0, 0, 0, 2],
+            &[1, 0],
+            &[1.0, 2.0],
+        );
+        assert!(matches!(unsorted, Err(SparseError::UnsortedRow { row: 2 })));
+
+        let dup = SparseTri::from_csr(
+            3,
+            Triangle::Lower,
+            Diag::Unit,
+            &[0, 0, 0, 2],
+            &[0, 0],
+            &[1.0, 2.0],
+        );
+        assert!(matches!(dup, Err(SparseError::DuplicateEntry { .. })));
+    }
+
+    #[test]
+    fn unit_diag_ignores_stored_diagonal() {
+        let m = SparseTri::from_triplets(
+            2,
+            Triangle::Lower,
+            Diag::Unit,
+            &[(0, 0, 123.0), (1, 0, 2.0)],
+        )
+        .unwrap();
+        assert_eq!(m.diag_value(0), 1.0);
+        assert_eq!(m.to_dense()[(0, 0)], 1.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn to_dense_round_trips_structure() {
+        let m = small_lower();
+        let d = m.to_dense();
+        assert!(d.is_lower_triangular());
+        assert_eq!(d[(1, 0)], 1.0);
+        assert_eq!(d[(2, 0)], 0.0);
+        assert_eq!(d[(2, 2)], 5.0);
+    }
+
+    #[test]
+    fn transpose_flips_triangle_and_matches_dense_transpose() {
+        let m = small_lower();
+        let t = m.transpose();
+        assert_eq!(t.triangle(), Triangle::Upper);
+        assert_eq!(t.to_dense(), m.to_dense().transpose());
+        // Transposing back recovers the original.
+        assert_eq!(t.transpose().to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn clone_carries_the_cached_schedule() {
+        let m = small_lower();
+        let _ = m.schedule();
+        assert_eq!(m.analysis_count(), 1);
+        let c = m.clone();
+        assert_eq!(c.analysis_count(), 0);
+        let _ = c.schedule(); // already cached: no new analysis
+        assert_eq!(c.analysis_count(), 0);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let s = format!("{:?}", small_lower());
+        assert!(s.contains("SparseTri"));
+        assert!(s.contains("nnz"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic sparse test-matrix generators.
+//!
+//! Like `dense::gen`, these produce reproducible, *well-conditioned*
+//! triangular matrices: dominant diagonals, off-diagonal entries scaled by
+//! row fill, so residual checks stay meaningful at every size the tests and
+//! benches run.  Patterns are drawn from a seeded RNG and are exactly
+//! reproducible per `(n, parameters, seed)` tuple — the determinism CI job
+//! hashes solves of these matrices across `DENSE_THREADS` settings.
+
+use crate::csr::SparseTri;
+use dense::{Diag, Triangle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random well-conditioned lower-triangular matrix with about
+/// `fill` off-diagonal entries per row (capped by the row index) and a
+/// dominant diagonal in `[1, 2)`.
+///
+/// Column positions are drawn uniformly below the diagonal, so the level
+/// structure is irregular — early rows form wide levels, later rows chain
+/// deeper — which is the shape level scheduling has to cope with in
+/// incomplete-factor traffic.
+pub fn random_lower(n: usize, fill: usize, seed: u64) -> SparseTri {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scale = 1.0 / (fill.max(1) as f64).sqrt();
+    let mut ents: Vec<(usize, usize, f64)> = Vec::with_capacity(n * (fill + 1));
+    let mut cols: Vec<usize> = Vec::with_capacity(fill);
+    for i in 0..n {
+        ents.push((i, i, 1.0 + rng.gen_range(0.0..1.0)));
+        let want = fill.min(i);
+        if want == 0 {
+            continue;
+        }
+        cols.clear();
+        while cols.len() < want {
+            let j = rng.gen_range(0..i);
+            if !cols.contains(&j) {
+                cols.push(j);
+            }
+        }
+        cols.sort_unstable();
+        for &j in cols.iter() {
+            ents.push((i, j, rng.gen_range(-1.0..1.0) * scale));
+        }
+    }
+    SparseTri::from_triplets(n, Triangle::Lower, Diag::NonUnit, &ents)
+        .expect("random_lower: generated structure is valid by construction")
+}
+
+/// A random well-conditioned banded lower-triangular matrix: every entry
+/// within `bandwidth` below the diagonal is present.
+///
+/// An unbroken band chains each row to its predecessor, so the level
+/// schedule is fully sequential — the worst case for level scheduling and
+/// the pattern where the dense-fallback path wins.
+pub fn banded_lower(n: usize, bandwidth: usize, seed: u64) -> SparseTri {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scale = 1.0 / (bandwidth.max(1) as f64).sqrt();
+    let mut ents: Vec<(usize, usize, f64)> = Vec::with_capacity(n * (bandwidth + 1));
+    for i in 0..n {
+        ents.push((i, i, 1.0 + rng.gen_range(0.0..1.0)));
+        for j in i.saturating_sub(bandwidth)..i {
+            ents.push((i, j, rng.gen_range(-1.0..1.0) * scale));
+        }
+    }
+    SparseTri::from_triplets(n, Triangle::Lower, Diag::NonUnit, &ents)
+        .expect("banded_lower: generated structure is valid by construction")
+}
+
+/// A random well-conditioned upper-triangular matrix: the transpose of
+/// [`random_lower`] with the same parameters.
+pub fn random_upper(n: usize, fill: usize, seed: u64) -> SparseTri {
+    random_lower(n, fill, seed).transpose()
+}
+
+/// A right-hand-side vector with `O(1)` entries, matching `dense::gen::rhs`
+/// seeding conventions.
+pub fn rhs_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_lower(50, 4, 7);
+        let b = random_lower(50, 4, 7);
+        assert_eq!(a.to_dense(), b.to_dense());
+        let c = random_lower(50, 4, 8);
+        assert_ne!(a.to_dense(), c.to_dense());
+        assert_eq!(rhs_vec(10, 3), rhs_vec(10, 3));
+    }
+
+    #[test]
+    fn random_lower_has_requested_fill() {
+        let n = 200;
+        let fill = 6;
+        let m = random_lower(n, fill, 1);
+        assert_eq!(m.n(), n);
+        assert!(m.to_dense().is_lower_triangular());
+        // Rows past the warm-up have exactly `fill` off-diagonal entries.
+        for i in fill..n {
+            assert_eq!(m.row_entries(i).0.len(), fill, "row {i}");
+        }
+        for i in 0..n {
+            assert!(m.diag_value(i) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn banded_lower_is_a_full_band_and_sequential() {
+        let m = banded_lower(64, 3, 9);
+        for i in 0..64usize {
+            let expect: Vec<usize> = (i.saturating_sub(3)..i).collect();
+            assert_eq!(m.row_entries(i).0, &expect[..], "row {i}");
+        }
+        assert!(m.schedule().is_sequential());
+        assert_eq!(m.schedule().num_levels(), 64);
+    }
+
+    #[test]
+    fn random_upper_transposes_the_lower_pattern() {
+        let u = random_upper(40, 5, 11);
+        assert_eq!(u.triangle(), Triangle::Upper);
+        assert_eq!(u.to_dense(), random_lower(40, 5, 11).to_dense().transpose());
+    }
+
+    #[test]
+    fn random_patterns_expose_parallelism() {
+        // Sparse random fills have far fewer levels than rows.
+        let m = random_lower(400, 4, 2);
+        let s = m.schedule();
+        assert!(
+            s.num_levels() < 200,
+            "expected level compression, got {} levels",
+            s.num_levels()
+        );
+        assert!(s.max_level_width() > 4);
+    }
+}

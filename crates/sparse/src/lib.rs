@@ -1,0 +1,61 @@
+//! # `sparse` — level-scheduled parallel sparse triangular solves
+//!
+//! The paper's algorithms assume *dense* triangular systems, but most
+//! real-world triangular-solve traffic is sparse: applying incomplete
+//! factorizations (`ILU`/`IC` preconditioners) inside iterative solvers
+//! means solving `L x = b` with an `L` that has a handful of entries per
+//! row, thousands of times per run.  This crate opens that workload for the
+//! reproduction, following the *level scheduling* literature cited in
+//! `PAPERS.md` (Li, *On Parallel Solution of Sparse Triangular Linear
+//! Systems in CUDA*; Böhnlein et al., *Efficient Parallel Scheduling for
+//! Sparse Triangular Solvers*).
+//!
+//! The design splits the classical **analyze / solve** phases:
+//!
+//! * [`SparseTri`] — validated CSR storage for a lower- or upper-triangular
+//!   matrix, reusing the dense crate's [`dense::Triangle`] / [`dense::Diag`]
+//!   vocabulary, with a densify bridge ([`SparseTri::to_dense`]) to the
+//!   dense kernels;
+//! * [`Schedule`] — the analysis phase: an O(nnz) pass grouping rows into
+//!   dependency *levels* (every row of a level depends only on earlier
+//!   levels).  Computed once per matrix and cached
+//!   ([`SparseTri::schedule`]), because iterative-solver traffic re-applies
+//!   one pattern many times;
+//! * solve executors ([`SparseTri::solve`], [`SparseTri::solve_multi`],
+//!   the sequential baselines, and the [`SparseTri::solve_via_dense`]
+//!   fallback) — barrier-separated level sweeps on the `dense::threads`
+//!   worker pool (`DENSE_THREADS` workers), **bitwise identical** at every
+//!   worker count;
+//! * [`gen`] — seeded generators for tests and benches.
+//!
+//! Every solve reports a [`dense::FlopCount`] under the dense crate's
+//! conventions, so sparse applies charge the simulated machine's `γ·F`
+//! term consistently with the dense kernels.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sparse::gen;
+//! let l = gen::random_lower(1000, 8, 42);
+//! let b = gen::rhs_vec(1000, 7);
+//! let sched = l.schedule();                      // analyze once, O(nnz)
+//! assert!(sched.num_levels() < 1000);            // level compression
+//! let mut x = b.clone();
+//! l.solve_in_place_with_threads(&mut x, 4).unwrap();   // level-parallel sweeps
+//! assert_eq!(x, l.solve_seq(&b).unwrap());       // bitwise identical
+//! assert_eq!(l.analysis_count(), 1);             // schedule reused, not re-run
+//! ```
+
+pub mod csr;
+pub mod error;
+pub mod gen;
+pub mod schedule;
+pub mod solve;
+
+pub use csr::SparseTri;
+pub use error::SparseError;
+pub use schedule::Schedule;
+pub use solve::PAR_MIN_WORK;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SparseError>;

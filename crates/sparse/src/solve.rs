@@ -1,0 +1,494 @@
+//! Sparse triangular solve executors.
+//!
+//! Three executors share one row-elimination kernel:
+//!
+//! * [`SparseTri::solve_seq`] / [`SparseTri::solve_multi_seq`] — the
+//!   sequential baseline: rows in dependency order (ascending for lower,
+//!   descending for upper), no analysis needed;
+//! * [`SparseTri::solve`] / [`SparseTri::solve_multi`] — the
+//!   level-scheduled parallel executors: the cached [`crate::Schedule`]'s
+//!   levels run as barrier-separated sweeps on the [`dense::run_region`]
+//!   worker pool, each level's rows split into one contiguous chunk per
+//!   worker;
+//! * [`SparseTri::solve_via_dense`] — the dense-fallback bridge: densify
+//!   and call [`dense::trsv_in_place`], for patterns so dense that CSR
+//!   indirection loses to the vectorized dense substitution.
+//!
+//! Because a row's result depends only on rows in earlier levels — which
+//! are complete before the row runs, in every executor — and the per-row
+//! arithmetic is a fixed-order sweep over the CSR entries, the sequential
+//! and parallel executors are **bitwise identical** at every worker count.
+//! `DENSE_THREADS` is a throughput knob here exactly as it is for the dense
+//! GEMM.  Every solve reports a [`FlopCount`] under the same conventions as
+//! the dense kernels (multiply + subtract = 2 flops per stored off-diagonal
+//! entry, one division per explicit diagonal), so simulated machines can
+//! charge sparse applies to the same γ·F term.
+
+use crate::csr::SparseTri;
+use crate::error::SparseError;
+use crate::Result;
+use dense::{dense_threads, run_region, Diag, FlopCount, Matrix};
+use std::sync::Barrier;
+
+/// Below this many `nnz · k` units of work a solve never goes parallel on
+/// its own: one region spawn costs tens of microseconds, which rivals the
+/// arithmetic of a small solve.  Explicit `*_with_threads` callers bypass
+/// the gate (results are bitwise identical either way).
+pub const PAR_MIN_WORK: usize = 64 * 1024;
+
+/// Shared mutable solution vector handed to the level-sweep workers.
+///
+/// Plain `&mut [f64]` cannot be shared across workers; the level-set
+/// invariant is what makes the sharing sound (see the SAFETY comment at the
+/// use site), so the pointer is wrapped and the invariant documented there.
+struct SharedX(*mut f64);
+
+// SAFETY: workers access disjoint rows within a level (disjoint chunk
+// ranges of the level's row list) and only read rows finalized in earlier
+// levels, with a barrier between levels providing the happens-before edge.
+unsafe impl Send for SharedX {}
+unsafe impl Sync for SharedX {}
+
+impl SharedX {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// `Sync` wrapper as a whole instead of edition-2021 field-precise
+    /// capturing the raw pointer, which is not `Sync`.
+    #[inline]
+    fn get(&self) -> *mut f64 {
+        self.0
+    }
+}
+
+/// `[lo, hi)` bounds of worker `w`'s contiguous share of `len` items split
+/// across `workers` (first `len % workers` workers take one extra item).
+/// Depends only on `(len, workers, w)`, never on timing.
+fn chunk_bounds(len: usize, workers: usize, w: usize) -> (usize, usize) {
+    let base = len / workers;
+    let extra = len % workers;
+    let lo = w * base + w.min(extra);
+    (lo, lo + base + usize::from(w < extra))
+}
+
+impl SparseTri {
+    /// Flops of one solve with `k` right-hand sides under the dense crate's
+    /// conventions: each stored off-diagonal entry is a multiply + subtract,
+    /// each explicit diagonal a division.
+    pub fn solve_flops(&self, k: usize) -> FlopCount {
+        let per_rhs = 2 * self.nnz_off_diagonal() as u64
+            + if self.diag() == Diag::NonUnit {
+                self.n() as u64
+            } else {
+                0
+            };
+        FlopCount::new(per_rhs * k as u64)
+    }
+
+    /// Eliminates row `i`: `x[i] ← (x[i] − Σ_j a_ij · x[j]) / d_i`, over `k`
+    /// interleaved right-hand sides at row stride `stride`.
+    ///
+    /// Every executor funnels through this one kernel, and its entry order
+    /// (CSR order, then the diagonal) is fixed — the root of the bitwise
+    /// determinism guarantee.
+    ///
+    /// # Safety
+    /// `x` must be valid for reads and writes of `n` rows of `k` elements at
+    /// row stride `stride`; rows read here (`i`'s dependencies) must not be
+    /// concurrently written, and row `i` must not be concurrently accessed.
+    #[inline]
+    unsafe fn eliminate_row(&self, x: *mut f64, stride: usize, k: usize, i: usize) {
+        let (cols, vals) = self.row_entries(i);
+        let xi = std::slice::from_raw_parts_mut(x.add(i * stride), k);
+        for (&j, &v) in cols.iter().zip(vals) {
+            let xj = std::slice::from_raw_parts(x.add(j * stride), k);
+            for (xic, xjc) in xi.iter_mut().zip(xj) {
+                *xic -= v * xjc;
+            }
+        }
+        if self.diag() == Diag::NonUnit {
+            let d = self.diag_value(i);
+            for xic in xi.iter_mut() {
+                *xic /= d;
+            }
+        }
+    }
+
+    /// Worker budget for the implicit (non-`_with_threads`) entry points:
+    /// the `DENSE_THREADS` pool size when the solve clears [`PAR_MIN_WORK`],
+    /// else 1.  The decision depends only on the matrix and `k`, never on
+    /// timing, so which path runs is itself deterministic.
+    fn implicit_threads(&self, k: usize) -> usize {
+        if self.nnz().saturating_mul(k) >= PAR_MIN_WORK {
+            dense_threads()
+        } else {
+            1
+        }
+    }
+
+    /// Runs the solve over `x` (`n` rows × `k` columns at row stride
+    /// `stride`, holding `B` on entry and `X` on exit) with the given
+    /// worker budget.
+    fn run_solve(&self, x: *mut f64, stride: usize, k: usize, threads: usize) -> FlopCount {
+        let n = self.n();
+        if n == 0 || k == 0 {
+            return FlopCount::ZERO;
+        }
+        let workers = if threads > 1 {
+            // Workers beyond the widest level would never receive a row.
+            threads.min(self.schedule().max_level_width())
+        } else {
+            1
+        };
+        if workers <= 1 {
+            // Sequential sweep in dependency order; no analysis required.
+            match self.triangle() {
+                dense::Triangle::Lower => {
+                    for i in 0..n {
+                        // SAFETY: single-threaded; dependencies of row `i`
+                        // (columns `< i`) were eliminated earlier in this
+                        // ascending sweep.
+                        unsafe { self.eliminate_row(x, stride, k, i) };
+                    }
+                }
+                dense::Triangle::Upper => {
+                    for i in (0..n).rev() {
+                        // SAFETY: single-threaded; dependencies of row `i`
+                        // (columns `> i`) were eliminated earlier in this
+                        // descending sweep.
+                        unsafe { self.eliminate_row(x, stride, k, i) };
+                    }
+                }
+            }
+        } else {
+            let sched = self.schedule();
+            let shared = SharedX(x);
+            let barrier = Barrier::new(workers);
+            run_region(workers, |w| {
+                for l in 0..sched.num_levels() {
+                    let rows = sched.level_rows(l);
+                    let (lo, hi) = chunk_bounds(rows.len(), workers, w);
+                    for &i in &rows[lo..hi] {
+                        // SAFETY: `chunk_bounds` hands each worker a
+                        // disjoint slice of this level's rows, so row `i` is
+                        // written by exactly this worker; every dependency
+                        // of `i` lies in a level `< l` (the defining
+                        // invariant of `Schedule`), whose writes
+                        // happened-before this read via the barrier below
+                        // (and, for level 0, via the region spawn).
+                        unsafe { self.eliminate_row(shared.get(), stride, k, i) };
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+        self.solve_flops(k)
+    }
+
+    /// Solves `A · x = b` for one right-hand side, level-parallel on the
+    /// `DENSE_THREADS` worker pool; returns the solution vector.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// [`SparseTri::solve`] in place: `x` holds `b` on entry and the
+    /// solution on exit.  Returns the flop count.
+    ///
+    /// Solves of at least [`PAR_MIN_WORK`] `nnz · k` units run on the
+    /// `DENSE_THREADS` worker pool; smaller ones stay on the calling thread.
+    pub fn solve_in_place(&self, x: &mut [f64]) -> Result<FlopCount> {
+        self.solve_in_place_with_threads(x, self.implicit_threads(1))
+    }
+
+    /// [`SparseTri::solve_in_place`] with an explicit worker budget instead
+    /// of the `DENSE_THREADS` default.  Results are bitwise identical for
+    /// every value of `threads`.
+    pub fn solve_in_place_with_threads(&self, x: &mut [f64], threads: usize) -> Result<FlopCount> {
+        if x.len() != self.n() {
+            return Err(SparseError::DimensionMismatch {
+                op: "sparse solve",
+                n: self.n(),
+                rhs: (x.len(), 1),
+            });
+        }
+        Ok(self.run_solve(x.as_mut_ptr(), 1, 1, threads))
+    }
+
+    /// Sequential baseline for [`SparseTri::solve`]: one substitution sweep
+    /// in dependency order, no analysis, no workers.
+    pub fn solve_seq(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = b.to_vec();
+        self.solve_seq_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// [`SparseTri::solve_seq`] in place; returns the flop count.
+    pub fn solve_seq_in_place(&self, x: &mut [f64]) -> Result<FlopCount> {
+        self.solve_in_place_with_threads(x, 1)
+    }
+
+    /// Solves `A · X = B` for a block of right-hand sides (`B` is `n × k`),
+    /// level-parallel across rows and vectorized across the `k` columns.
+    pub fn solve_multi(&self, b: &Matrix) -> Result<Matrix> {
+        let mut x = b.clone();
+        self.solve_multi_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// [`SparseTri::solve_multi`] in place: `x` holds `B` on entry and `X`
+    /// on exit.  Returns the flop count.  Gated on [`PAR_MIN_WORK`] like
+    /// [`SparseTri::solve_in_place`].
+    pub fn solve_multi_in_place(&self, x: &mut Matrix) -> Result<FlopCount> {
+        self.solve_multi_in_place_with_threads(x, self.implicit_threads(x.cols()))
+    }
+
+    /// [`SparseTri::solve_multi_in_place`] with an explicit worker budget;
+    /// bitwise identical for every value of `threads`.
+    pub fn solve_multi_in_place_with_threads(
+        &self,
+        x: &mut Matrix,
+        threads: usize,
+    ) -> Result<FlopCount> {
+        if x.rows() != self.n() {
+            return Err(SparseError::DimensionMismatch {
+                op: "sparse solve_multi",
+                n: self.n(),
+                rhs: x.dims(),
+            });
+        }
+        let k = x.cols();
+        Ok(self.run_solve(x.as_mut_slice().as_mut_ptr(), k, k, threads))
+    }
+
+    /// Sequential baseline for [`SparseTri::solve_multi`].
+    pub fn solve_multi_seq(&self, b: &Matrix) -> Result<Matrix> {
+        let mut x = b.clone();
+        self.solve_multi_in_place_with_threads(&mut x, 1)?;
+        Ok(x)
+    }
+
+    /// Dense-fallback solve: densify ([`SparseTri::to_dense`]) and run the
+    /// no-allocation dense substitution [`dense::trsv_in_place`].
+    ///
+    /// For patterns with most entries present the CSR indirection buys
+    /// nothing over the dense row sweep; this bridge is also what the
+    /// differential tests solve against.  Note the dense kernel accumulates
+    /// over *all* columns (zeros included), so results agree with the sparse
+    /// executors numerically, not bitwise.
+    pub fn solve_via_dense(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = b.to_vec();
+        let a = self.to_dense();
+        dense::trsv_in_place(self.triangle(), self.diag(), &a, &mut x)?;
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::Triangle;
+
+    /// Deterministic lower-triangular test matrix with ~`fill` off-diagonal
+    /// entries per row and a dominant diagonal.
+    fn test_lower(n: usize, fill: usize) -> SparseTri {
+        let mut ents = Vec::new();
+        for i in 0..n {
+            ents.push((i, i, 2.0 + (i % 3) as f64));
+            for f in 0..fill.min(i) {
+                let j = (i * 7 + f * 13) % i;
+                ents.push((i, j, ((i + j * 3) % 5) as f64 * 0.1 + 0.05));
+            }
+        }
+        ents.sort_by_key(|&(i, j, _)| (i, j));
+        ents.dedup_by_key(|&mut (i, j, _)| (i, j));
+        SparseTri::from_triplets(n, Triangle::Lower, Diag::NonUnit, &ents).unwrap()
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let m = SparseTri::from_triplets(
+            4,
+            Triangle::Lower,
+            Diag::NonUnit,
+            &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 3, 1.0)],
+        )
+        .unwrap();
+        let b = vec![1.0, -2.0, 3.0, -4.0];
+        assert_eq!(m.solve(&b).unwrap(), b);
+        assert_eq!(m.solve_seq(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn known_small_system() {
+        // [2 . .] [x0]   [2]          x0 = 1
+        // [1 3 .] [x1] = [4]    =>    x1 = 1
+        // [. 4 5] [x2]   [9]          x2 = 1
+        let m = SparseTri::from_triplets(
+            3,
+            Triangle::Lower,
+            Diag::NonUnit,
+            &[
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (2, 1, 4.0),
+                (2, 2, 5.0),
+            ],
+        )
+        .unwrap();
+        let x = m.solve(&[2.0, 4.0, 9.0]).unwrap();
+        for v in x {
+            assert!((v - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn residual_is_small_and_flops_reported() {
+        let n = 300;
+        let m = test_lower(n, 6);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        // b = A · x_true via the densified matrix.
+        let a = m.to_dense();
+        let xt = Matrix::from_vec(n, 1, x_true.clone()).unwrap();
+        let b = dense::matmul(&a, &xt).into_vec();
+        let mut x = b.clone();
+        let f = m.solve_in_place(&mut x).unwrap();
+        assert_eq!(f, m.solve_flops(1));
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn all_executors_agree_bitwise_lower_and_upper() {
+        let n = 500;
+        let lower = test_lower(n, 8);
+        let upper = lower.transpose();
+        for m in [&lower, &upper] {
+            let b: Vec<f64> = (0..n).map(|i| ((i * 29 + 3) % 17) as f64 - 8.0).collect();
+            let seq = m.solve_seq(&b).unwrap();
+            for threads in [2usize, 3, 4, 7] {
+                let mut x = b.clone();
+                m.solve_in_place_with_threads(&mut x, threads).unwrap();
+                assert_eq!(x, seq, "threads={threads} changed the result bits");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_agrees_bitwise_and_with_column_solves() {
+        let n = 400;
+        let k = 5;
+        let m = test_lower(n, 7);
+        let b = Matrix::from_fn(n, k, |i, j| ((i * 5 + j * 11) % 13) as f64 - 6.0);
+        let seq = m.solve_multi_seq(&b).unwrap();
+        for threads in [2usize, 4] {
+            let mut x = b.clone();
+            m.solve_multi_in_place_with_threads(&mut x, threads)
+                .unwrap();
+            assert!(x == seq, "threads={threads} changed multi-RHS bits");
+        }
+        // Column c of the block solve equals the single-RHS solve of column c.
+        for c in 0..k {
+            let bc = b.col(c);
+            let xc = m.solve(&bc).unwrap();
+            for i in 0..n {
+                assert_eq!(seq[(i, c)], xc[i], "column {c} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_via_dense_matches_sparse_numerically() {
+        let n = 200;
+        let m = test_lower(n, 5);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 3) % 11) as f64 * 0.25 - 1.0).collect();
+        let xs = m.solve(&b).unwrap();
+        let xd = m.solve_via_dense(&b).unwrap();
+        for (s, d) in xs.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_diag_solve_ignores_divisions() {
+        let m =
+            SparseTri::from_triplets(3, Triangle::Lower, Diag::Unit, &[(1, 0, 2.0), (2, 1, 3.0)])
+                .unwrap();
+        let x = m.solve(&[1.0, 0.0, 0.0]).unwrap();
+        assert_eq!(x, vec![1.0, -2.0, 6.0]);
+        assert_eq!(m.solve_flops(1), FlopCount::new(4));
+    }
+
+    #[test]
+    fn analysis_runs_once_across_repeated_solves() {
+        let n = 600;
+        let m = test_lower(n, 8);
+        assert_eq!(m.analysis_count(), 0);
+        let b = vec![1.0; n];
+        // Two parallel solves + a multi-RHS solve: one analysis, total.
+        let mut x1 = b.clone();
+        m.solve_in_place_with_threads(&mut x1, 4).unwrap();
+        assert_eq!(m.analysis_count(), 1, "first parallel solve analyzes");
+        let mut x2 = b.clone();
+        m.solve_in_place_with_threads(&mut x2, 4).unwrap();
+        let mut bm = Matrix::from_fn(n, 3, |i, j| (i + j) as f64);
+        m.solve_multi_in_place_with_threads(&mut bm, 4).unwrap();
+        assert_eq!(x1, x2);
+        assert_eq!(
+            m.analysis_count(),
+            1,
+            "pattern analysis must be cached across solves"
+        );
+    }
+
+    #[test]
+    fn sequential_baseline_never_analyzes() {
+        let m = test_lower(200, 4);
+        let b = vec![1.0; 200];
+        let _ = m.solve_seq(&b).unwrap();
+        assert_eq!(m.analysis_count(), 0);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let m = test_lower(5, 2);
+        assert!(matches!(
+            m.solve(&[1.0; 4]),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+        let mut wrong = Matrix::zeros(4, 2);
+        assert!(m.solve_multi_in_place(&mut wrong).is_err());
+    }
+
+    #[test]
+    fn empty_and_zero_rhs_edges() {
+        let m = SparseTri::from_triplets(0, Triangle::Lower, Diag::NonUnit, &[]).unwrap();
+        assert_eq!(m.solve(&[]).unwrap(), Vec::<f64>::new());
+        let m2 = test_lower(3, 1);
+        let mut empty = Matrix::zeros(3, 0);
+        assert_eq!(
+            m2.solve_multi_in_place(&mut empty).unwrap(),
+            FlopCount::ZERO
+        );
+    }
+
+    #[test]
+    fn chunk_bounds_partition_exactly() {
+        for len in [0usize, 1, 5, 16, 37] {
+            for workers in [1usize, 2, 3, 7, 16] {
+                let mut total = 0;
+                let mut prev_hi = 0;
+                for w in 0..workers {
+                    let (lo, hi) = chunk_bounds(len, workers, w);
+                    assert_eq!(lo, prev_hi, "chunks must tile contiguously");
+                    assert!(hi >= lo);
+                    total += hi - lo;
+                    prev_hi = hi;
+                }
+                assert_eq!(total, len);
+                assert_eq!(prev_hi, len);
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for the sparse triangular solver.
+//!
+//! Two families of properties pin the acceptance criteria:
+//!
+//! * **differential vs dense** — on a densified copy of a random sparse
+//!   pattern, `sparse::solve` / `solve_multi` must agree with
+//!   `dense::trsv` / `dense::trsm` to 1e-12 (the generators keep the
+//!   systems well conditioned, so the two summation orders cannot drift);
+//! * **bitwise determinism** — the level-parallel executors must equal the
+//!   sequential baseline *bit for bit* at every worker count (notably
+//!   `DENSE_THREADS` ∈ {1, 4}, the pair CI pins), for lower and upper
+//!   triangles, unit and explicit diagonals, single and blocked RHS.
+
+use dense::{Diag, Matrix, Triangle};
+use proptest::prelude::*;
+use sparse::gen;
+use sparse::SparseTri;
+
+/// Max |a - b| over two equal-length vectors.
+fn vec_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `sparse::solve` agrees with `dense::trsv` on the densified matrix.
+    #[test]
+    fn solve_matches_dense_trsv_on_densified_pattern(
+        n in 1usize..220,
+        fill in 0usize..9,
+        upper in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let m = if upper {
+            gen::random_upper(n, fill, seed)
+        } else {
+            gen::random_lower(n, fill, seed)
+        };
+        let b = gen::rhs_vec(n, seed ^ 0xb);
+        let xs = m.solve(&b).unwrap();
+        let xd = dense::trsv(m.triangle(), m.diag(), &m.to_dense(), &b).unwrap();
+        prop_assert!(
+            vec_abs_diff(&xs, &xd) < 1e-12,
+            "sparse vs dense trsv diverged beyond 1e-12"
+        );
+    }
+
+    /// `sparse::solve_multi` agrees with `dense::trsm` on the densified
+    /// matrix.
+    #[test]
+    fn solve_multi_matches_dense_trsm_on_densified_pattern(
+        n in 1usize..160,
+        k in 1usize..12,
+        fill in 0usize..7,
+        upper in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let m = if upper {
+            gen::random_upper(n, fill, seed)
+        } else {
+            gen::random_lower(n, fill, seed)
+        };
+        let b = Matrix::from_fn(n, k, |i, j| {
+            (((i * 31 + j * 17 + seed as usize) % 23) as f64) / 11.5 - 1.0
+        });
+        let xs = m.solve_multi(&b).unwrap();
+        let xd = dense::trsm(m.triangle(), m.diag(), &m.to_dense(), &b).unwrap();
+        prop_assert!(
+            xs.max_abs_diff(&xd).unwrap() < 1e-12,
+            "sparse vs dense trsm diverged beyond 1e-12"
+        );
+    }
+
+    /// Level-parallel and sequential executors are bitwise identical at
+    /// every worker count, including the CI-pinned pair {1, 4}.
+    #[test]
+    fn parallel_solve_is_bitwise_identical_to_sequential(
+        n in 2usize..400,
+        fill in 0usize..10,
+        upper in any::<bool>(),
+        threads in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let m = if upper {
+            gen::random_upper(n, fill, seed)
+        } else {
+            gen::random_lower(n, fill, seed)
+        };
+        let b = gen::rhs_vec(n, seed ^ 0x5eed);
+        let seq = m.solve_seq(&b).unwrap();
+        for t in [1usize, 4, threads] {
+            let mut x = b.clone();
+            m.solve_in_place_with_threads(&mut x, t).unwrap();
+            prop_assert!(x == seq, "worker count {t} changed the result bits");
+        }
+    }
+
+    /// Same bitwise guarantee for the blocked right-hand-side executor,
+    /// and for unit-diagonal matrices.
+    #[test]
+    fn parallel_solve_multi_is_bitwise_identical_to_sequential(
+        n in 2usize..250,
+        k in 1usize..10,
+        fill in 0usize..8,
+        threads in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let lower = gen::random_lower(n, fill, seed);
+        // Rebuild as unit-diagonal with the same off-diagonal pattern.
+        let mut ents: Vec<(usize, usize, f64)> = Vec::new();
+        for i in 0..n {
+            let (cols, vals) = lower.row_entries(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                ents.push((i, j, v));
+            }
+        }
+        let unit = SparseTri::from_triplets(n, Triangle::Lower, Diag::Unit, &ents).unwrap();
+        let b = Matrix::from_fn(n, k, |i, j| ((i * 7 + j * 13 + 1) % 19) as f64 / 9.5 - 1.0);
+        for m in [&lower, &unit] {
+            let seq = m.solve_multi_seq(&b).unwrap();
+            for t in [1usize, 4, threads] {
+                let mut x = b.clone();
+                m.solve_multi_in_place_with_threads(&mut x, t).unwrap();
+                prop_assert!(x == seq, "worker count {t} changed multi-RHS bits");
+            }
+        }
+    }
+
+    /// The schedule's defining invariant on random patterns: every
+    /// dependency of a row lives in a strictly earlier level, and the
+    /// levels partition the rows.
+    #[test]
+    fn schedule_levels_respect_dependencies(
+        n in 1usize..300,
+        fill in 0usize..10,
+        upper in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let m = if upper {
+            gen::random_upper(n, fill, seed)
+        } else {
+            gen::random_lower(n, fill, seed)
+        };
+        let s = m.schedule();
+        let mut level_of = vec![usize::MAX; n];
+        for l in 0..s.num_levels() {
+            for &r in s.level_rows(l) {
+                prop_assert!(level_of[r] == usize::MAX, "row {r} scheduled twice");
+                level_of[r] = l;
+            }
+        }
+        for i in 0..n {
+            prop_assert!(level_of[i] != usize::MAX, "row {i} never scheduled");
+            let (cols, _) = m.row_entries(i);
+            for &j in cols {
+                prop_assert!(level_of[j] < level_of[i]);
+            }
+        }
+    }
+
+    /// The dense-fallback path agrees with the sparse executors, and the
+    /// banded generator's fully sequential schedule still solves correctly
+    /// in parallel mode (degenerates to one worker).
+    #[test]
+    fn banded_and_dense_fallback_agree(
+        n in 1usize..200,
+        bw in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let m = gen::banded_lower(n, bw, seed);
+        let b = gen::rhs_vec(n, seed ^ 0xf00d);
+        let xs = m.solve(&b).unwrap();
+        let xd = m.solve_via_dense(&b).unwrap();
+        prop_assert!(vec_abs_diff(&xs, &xd) < 1e-12);
+        let mut xp = b.clone();
+        m.solve_in_place_with_threads(&mut xp, 4).unwrap();
+        prop_assert!(xp == xs);
+    }
+}

@@ -5,6 +5,8 @@
 //! in the workspace crates, re-exported here for convenience:
 //!
 //! * [`dense`] — local dense kernels (the BLAS substitute),
+//! * [`sparse`] — level-scheduled parallel sparse triangular solves
+//!   (CSR storage, dependency-DAG analysis, multi-RHS executors),
 //! * [`simnet`] — the simulated distributed-memory machine (the MPI
 //!   substitute) with α–β–γ cost accounting,
 //! * [`pgrid`] — processor grids, cyclic layouts and distributed matrices,
@@ -19,6 +21,7 @@ pub use costmodel;
 pub use dense;
 pub use pgrid;
 pub use simnet;
+pub use sparse;
 
 /// Convenience prelude for the examples and integration tests.
 pub mod prelude {
@@ -28,6 +31,7 @@ pub mod prelude {
     pub use dense::{gen, Matrix};
     pub use pgrid::{DistMatrix, Grid2D};
     pub use simnet::{coll, Machine, MachineParams};
+    pub use sparse::{Schedule, SparseTri};
 }
 
 #[cfg(test)]
