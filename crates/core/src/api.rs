@@ -1,13 +1,16 @@
-//! High-level solver entry point.
+//! High-level solver entry points (legacy shims) and the distributed layout
+//! permutations they are built on.
 //!
-//! [`solve_lower`] solves `L·X = B` for a lower-triangular `L` distributed
-//! over a processor grid, selecting the algorithm and its parameters from
-//! the paper's cost model unless the caller pins them explicitly.
+//! The staged API of [`crate::solve`] ([`crate::SolveRequest`] →
+//! [`crate::SolvePlan`] → [`crate::Solution`]) is the primary solver
+//! surface; [`solve_lower`] / [`solve_upper`] remain as thin deprecated
+//! shims so pre-existing call sites keep compiling.  The layout
+//! permutations ([`reverse_rows`], [`reverse_both`], [`transpose_dist`]) —
+//! plain keyed all-to-all remappings — live here and are shared with the
+//! staged executor.
 
-use crate::it_inv_trsm::{it_inv_trsm, ItInvConfig};
-use crate::planner;
-use crate::rec_trsm::{rec_trsm, RecTrsmConfig};
-use crate::wavefront::wavefront_trsm;
+use crate::it_inv_trsm::ItInvConfig;
+use crate::solve::SolveRequest;
 use crate::Result;
 use pgrid::DistMatrix;
 
@@ -36,11 +39,15 @@ pub enum Algorithm {
 /// triangular, so `U·X = B ⟺ (J·U·J)·(J·X) = J·B`.  The permutations are
 /// plain layout remappings (one keyed all-to-all each), so the asymptotic
 /// costs are those of the underlying lower solve.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SolveRequest::upper().algorithm(algorithm).solve_distributed(u, b)`"
+)]
 pub fn solve_upper(u: &DistMatrix, b: &DistMatrix, algorithm: Algorithm) -> Result<DistMatrix> {
-    let u_rev = reverse_both(u);
-    let b_rev = reverse_rows(b);
-    let x_rev = solve_lower(&u_rev, &b_rev, algorithm)?;
-    Ok(reverse_rows(&x_rev))
+    Ok(SolveRequest::upper()
+        .algorithm(algorithm)
+        .solve_distributed(u, b)?
+        .x)
 }
 
 /// Reverse the row order of a distributed matrix (the permutation `J·A`).
@@ -78,33 +85,35 @@ pub fn reverse_both(a: &DistMatrix) -> DistMatrix {
     out
 }
 
+/// Transpose a distributed matrix (one keyed all-to-all redistribution:
+/// element `(i, j)` moves to the owner of `(j, i)`).
+///
+/// This is what lets the staged API solve `Lᵀ·X = B` on a stored `L`: the
+/// transpose is a layout remapping with the cost of the redistributions the
+/// algorithms already perform, not a change to any solver kernel.
+pub fn transpose_dist(a: &DistMatrix) -> DistMatrix {
+    pgrid::redist::transpose(a, true)
+}
+
 /// Solve `L·X = B`, returning `X` in the same distribution as `B`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SolveRequest::lower().algorithm(algorithm).solve_distributed(l, b)` \
+            (which also returns the plan's report)"
+)]
 pub fn solve_lower(l: &DistMatrix, b: &DistMatrix, algorithm: Algorithm) -> Result<DistMatrix> {
-    match algorithm {
-        Algorithm::Auto => {
-            let p = l.grid().comm().size();
-            let plan = planner::plan(l.rows(), b.cols(), p);
-            let (x, _) = it_inv_trsm(l, b, &plan.it_inv)?;
-            Ok(x)
-        }
-        Algorithm::IterativeInversion(cfg) => {
-            let (x, _) = it_inv_trsm(l, b, &cfg)?;
-            Ok(x)
-        }
-        Algorithm::Recursive { base_size } => rec_trsm(
-            l,
-            b,
-            &RecTrsmConfig {
-                base_size,
-                log_latency: true,
-            },
-        ),
-        Algorithm::Wavefront => wavefront_trsm(l, b),
-    }
+    Ok(SolveRequest::lower()
+        .algorithm(algorithm)
+        .solve_distributed(l, b)?
+        .x)
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims are exercised on purpose: pre-existing call
+    // sites must keep solving exactly as before through the staged API.
+    #![allow(deprecated)]
+
     use super::*;
     use dense::gen;
     use pgrid::Grid2D;
@@ -171,6 +180,25 @@ mod tests {
             assert_eq!(rb, 0.0);
             // Row 0 of the row-reversed matrix is the old last row.
             assert_eq!(first, (9 * 6) as f64);
+        }
+    }
+
+    #[test]
+    fn transpose_dist_is_an_involution_and_matches_local_transpose() {
+        let out = Machine::new(4, MachineParams::unit())
+            .run(|comm| {
+                let grid = Grid2D::new(comm, 2, 2).unwrap();
+                let a = DistMatrix::from_fn(&grid, 10, 6, |i, j| (i * 6 + j) as f64);
+                let t = transpose_dist(&a);
+                let tt = transpose_dist(&t);
+                let t_ok = t.to_global() == a.to_global().transpose();
+                let round_trip = tt.rel_diff(&a).unwrap();
+                (t_ok, round_trip)
+            })
+            .unwrap();
+        for (t_ok, round_trip) in out.results {
+            assert!(t_ok, "distributed transpose must equal the local one");
+            assert_eq!(round_trip, 0.0);
         }
     }
 

@@ -12,9 +12,10 @@
 //! [`cholesky_solve`] then solves `A·X = B` by a forward TRSM with `L` and a
 //! backward TRSM with `Lᵀ`, all on the simulated machine.
 
-use crate::api::{solve_lower, solve_upper, Algorithm};
+use crate::api::Algorithm;
 use crate::error::config_error;
 use crate::mm3d::mm3d_auto;
+use crate::solve::SolveRequest;
 use crate::Result;
 use pgrid::redist::transpose;
 use pgrid::DistMatrix;
@@ -81,7 +82,10 @@ fn cholesky_inner(a: &DistMatrix, cfg: &FactorConfig) -> Result<DistMatrix> {
 
     // L21 = A21·L11⁻ᵀ, computed as L21ᵀ = L11⁻¹·A21ᵀ (a TRSM).
     let a21t = transpose(&a21, true);
-    let l21t = solve_lower(&l11, &a21t, cfg.trsm)?;
+    let l21t = SolveRequest::lower()
+        .algorithm(cfg.trsm)
+        .solve_distributed(&l11, &a21t)?
+        .x;
     let l21 = transpose(&l21t, true);
 
     // Trailing update A22 ← A22 − L21·L21ᵀ.
@@ -103,9 +107,12 @@ fn cholesky_inner(a: &DistMatrix, cfg: &FactorConfig) -> Result<DistMatrix> {
 /// factorization followed by forward and backward triangular solves.
 pub fn cholesky_solve(a: &DistMatrix, b: &DistMatrix, cfg: &FactorConfig) -> Result<DistMatrix> {
     let l = cholesky_factor(a, cfg)?;
-    let y = solve_lower(&l, b, cfg.trsm)?;
-    let lt = transpose(&l, true);
-    solve_upper(&lt, &y, cfg.trsm)
+    let req = SolveRequest::lower().algorithm(cfg.trsm);
+    let y = req.solve_distributed(&l, b)?.x;
+    // Backward solve Lᵀ·X = Y straight off the stored factor: the staged
+    // API's transposed request performs the one transpose redistribution
+    // internally.
+    Ok(req.transposed().solve_distributed(&l, &y)?.x)
 }
 
 #[cfg(test)]

@@ -14,10 +14,10 @@
 //! is intended for diagonally dominant or otherwise well-conditioned systems,
 //! which is what the examples generate.
 
-use crate::api::{solve_lower, solve_upper};
 use crate::apps::cholesky::FactorConfig;
 use crate::error::config_error;
 use crate::mm3d::mm3d_auto;
+use crate::solve::SolveRequest;
 use crate::Result;
 use pgrid::redist::transpose;
 use pgrid::DistMatrix;
@@ -67,12 +67,18 @@ fn lu_inner(a: &DistMatrix, cfg: &FactorConfig) -> Result<(DistMatrix, DistMatri
     let (l11, u11) = lu_inner(&a11, cfg)?;
 
     // U12 = L11⁻¹·A12.
-    let u12 = solve_lower(&l11, &a12, cfg.trsm)?;
+    let req = SolveRequest::lower().algorithm(cfg.trsm);
+    let u12 = req.solve_distributed(&l11, &a12)?.x;
 
     // L21 = A21·U11⁻¹, computed as L21ᵀ = U11⁻ᵀ·A21ᵀ (U11ᵀ is lower).
-    let u11t = transpose(&u11, true);
     let a21t = transpose(&a21, true);
-    let l21t = solve_lower(&u11t, &a21t, cfg.trsm)?;
+    // U11ᵀ is lower triangular: solve it via the transposed request on the
+    // stored U11 (no second materialized transpose).
+    let l21t = SolveRequest::upper()
+        .transposed()
+        .algorithm(cfg.trsm)
+        .solve_distributed(&u11, &a21t)?
+        .x;
     let l21 = transpose(&l21t, true);
 
     // Trailing update A22 ← A22 − L21·U12.
@@ -97,8 +103,14 @@ fn lu_inner(a: &DistMatrix, cfg: &FactorConfig) -> Result<(DistMatrix, DistMatri
 /// triangular solves.
 pub fn lu_solve(a: &DistMatrix, b: &DistMatrix, cfg: &FactorConfig) -> Result<DistMatrix> {
     let (l, u) = lu_factor(a, cfg)?;
-    let y = solve_lower(&l, b, cfg.trsm)?;
-    solve_upper(&u, &y, cfg.trsm)
+    let y = SolveRequest::lower()
+        .algorithm(cfg.trsm)
+        .solve_distributed(&l, b)?
+        .x;
+    Ok(SolveRequest::upper()
+        .algorithm(cfg.trsm)
+        .solve_distributed(&u, &y)?
+        .x)
 }
 
 #[cfg(test)]

@@ -15,6 +15,8 @@ pub enum TrsmError {
     },
     /// Error from the dense local kernels.
     Dense(dense::DenseError),
+    /// Error from the sparse triangular kernels.
+    Sparse(sparse::SparseError),
     /// Error from the grid / distribution layer.
     Grid(pgrid::GridError),
     /// Error from the simulated machine.
@@ -28,6 +30,7 @@ impl fmt::Display for TrsmError {
                 write!(f, "{algorithm}: invalid configuration: {reason}")
             }
             TrsmError::Dense(e) => write!(f, "dense kernel error: {e}"),
+            TrsmError::Sparse(e) => write!(f, "sparse kernel error: {e}"),
             TrsmError::Grid(e) => write!(f, "grid error: {e}"),
             TrsmError::Sim(e) => write!(f, "simulator error: {e}"),
         }
@@ -39,6 +42,12 @@ impl std::error::Error for TrsmError {}
 impl From<dense::DenseError> for TrsmError {
     fn from(e: dense::DenseError) -> Self {
         TrsmError::Dense(e)
+    }
+}
+
+impl From<sparse::SparseError> for TrsmError {
+    fn from(e: sparse::SparseError) -> Self {
+        TrsmError::Sparse(e)
     }
 }
 

@@ -20,15 +20,23 @@
 //! | —    | 2D wavefront TRSM (extra sanity baseline)        | [`wavefront`] |
 //! | I    | applications: distributed Cholesky and LU solvers | [`apps`] |
 //!
-//! The high-level entry point is [`api::solve_lower`], which picks the
-//! algorithm and its parameters from the cost model unless told otherwise.
+//! The high-level entry point is the staged API of [`solve`]:
+//! a [`SolveRequest`] (triangle, [`dense::Transpose`], [`dense::Diag`],
+//! pins) lowers to an inspectable [`SolvePlan`] — the chosen algorithm plus
+//! the Section VIII cost prediction — which executes into a [`Solution`]
+//! whose [`SolveReport`] uniformly carries the measured flops, this rank's
+//! communication counters and (for the iterative algorithm) the per-phase
+//! breakdown.  The same request type drives the local dense kernels and the
+//! sparse level-scheduled executors, so one call convention covers every
+//! backend; the legacy [`api::solve_lower`] / [`api::solve_upper`] shims
+//! remain for older call sites.
 //!
 //! ## Example
 //!
 //! ```
 //! use simnet::{Machine, MachineParams};
 //! use pgrid::{Grid2D, DistMatrix};
-//! use catrsm::api::{solve_lower, Algorithm};
+//! use catrsm::SolveRequest;
 //!
 //! let n = 64;
 //! let k = 16;
@@ -40,13 +48,17 @@
 //!         let b_global = dense::matmul(&l_global, &x_true);
 //!         let l = DistMatrix::from_global(&grid, &l_global);
 //!         let b = DistMatrix::from_global(&grid, &b_global);
-//!         let x = solve_lower(&l, &b, Algorithm::Auto).unwrap();
-//!         // Compare against the sequential solution.
+//!         // Plan first (inspectable: chosen algorithm + predicted cost)…
+//!         let plan = SolveRequest::lower()
+//!             .plan_distributed(n, k, comm.size())
+//!             .unwrap();
+//!         // …then execute; the report carries the measured counters.
+//!         let sol = plan.execute_distributed(&l, &b).unwrap();
 //!         let x_ref = DistMatrix::from_global(&grid, &x_true);
-//!         x.rel_diff(&x_ref).unwrap()
+//!         (sol.x.rel_diff(&x_ref).unwrap(), sol.report.flops.get())
 //!     })
 //!     .unwrap();
-//! assert!(out.results.iter().all(|&d| d < 1e-8));
+//! assert!(out.results.iter().all(|&(d, f)| d < 1e-8 && f > 0));
 //! ```
 
 pub mod api;
@@ -57,15 +69,19 @@ pub mod it_inv_trsm;
 pub mod mm3d;
 pub mod planner;
 pub mod rec_trsm;
+pub mod solve;
 pub mod tri_inv;
 pub mod verify;
 pub mod wavefront;
 
-pub use api::{solve_lower, solve_upper, Algorithm};
+#[allow(deprecated)]
+pub use api::{solve_lower, solve_upper};
+pub use api::{transpose_dist, Algorithm};
 pub use error::TrsmError;
 pub use it_inv_trsm::{ItInvConfig, PhaseBreakdown};
 pub use mm3d::MmConfig;
 pub use planner::Plan;
+pub use solve::{LevelReport, Plan as SolvePlan, PlanBackend, Solution, SolveReport, SolveRequest};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, TrsmError>;

@@ -1,0 +1,1277 @@
+//! The staged, backend-uniform solver API: **request → plan → solution**.
+//!
+//! Every triangular solve in the workspace — a local dense
+//! [`trsm`](fn@dense::trsm), a level-scheduled sparse apply (`sparse`), or
+//! a distributed
+//! solve on the simulated machine (`catrsm`'s algorithms) — is described by
+//! the same [`SolveRequest`]: which triangle the operand occupies, whether
+//! it is applied transposed ([`Transpose`]), whether its diagonal is
+//! implicit ones ([`Diag`]), which side of the unknown it sits on
+//! ([`Side`]), and optional pins (worker budget, distributed algorithm).
+//!
+//! A request **lowers** into an inspectable [`Plan`] before anything runs:
+//! the plan records the chosen algorithm and its concrete parameters (the
+//! Section VIII [`crate::planner`] grid for distributed solves, the
+//! level-schedule shape for sparse ones, the panel blocking for dense
+//! ones) together with the cost model's *predicted* α–β–γ cost — the
+//! "a priori" workflow of the paper, exposed as an API stage.  Executing a
+//! plan yields a [`Solution`] whose [`SolveReport`] uniformly carries what
+//! was *measured*: the [`FlopCount`], the simulated communication
+//! [`CostCounters`] and per-phase breakdown (distributed), the
+//! level/barrier counts (sparse), and an optional relative residual.
+//!
+//! ```
+//! use catrsm::SolveRequest;
+//! use dense::gen;
+//! let n = 96;
+//! let l = gen::well_conditioned_lower(n, 3);
+//! let x_true = gen::rhs(n, 8, 4);
+//! let b = dense::matmul(&l, &x_true);
+//! let plan = SolveRequest::lower().plan_dense(n, 8).unwrap();
+//! let sol = plan.execute_dense(&l, &b).unwrap();
+//! assert!(dense::norms::rel_diff(&sol.x, &x_true) < 1e-9);
+//! assert_eq!(sol.report.flops, dense::flops::trsm_flops(n, 8));
+//! // Transposed solves need no materialized Lᵀ on any backend:
+//! let bt = dense::gemm::matmul(&l.transpose(), &x_true);
+//! let st = SolveRequest::lower().transposed().solve_dense(&l, &bt).unwrap();
+//! assert!(dense::norms::rel_diff(&st.x, &x_true) < 1e-8);
+//! ```
+
+use crate::api::{reverse_both, reverse_rows, transpose_dist, Algorithm};
+use crate::error::config_error;
+use crate::it_inv_trsm::{it_inv_trsm, PhaseBreakdown};
+use crate::planner;
+use crate::rec_trsm::{rec_trsm, RecTrsmConfig};
+use crate::verify;
+use crate::wavefront::wavefront_trsm;
+use crate::Result;
+use costmodel::{AlgorithmKind, Cost, Regime};
+use dense::flops::trsm_flops;
+use dense::{Diag, FlopCount, Matrix, Side, SolveOpts, Transpose, Triangle};
+use pgrid::DistMatrix;
+use simnet::CostCounters;
+use sparse::SparseTri;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// SolveRequest
+// ---------------------------------------------------------------------------
+
+/// A backend-independent description of one triangular solve.
+///
+/// Built with the fluent constructors ([`SolveRequest::lower`] /
+/// [`SolveRequest::upper`] plus `.transposed()`, `.unit_diagonal()`,
+/// `.side(..)`, `.threads(..)`, `.algorithm(..)`, `.with_residual()`), then
+/// either lowered explicitly (`plan_dense` / `plan_sparse` /
+/// `plan_distributed`) or solved in one shot (`solve_dense` /
+/// `solve_sparse` / `solve_distributed` and the `_vec` forms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveRequest {
+    opts: SolveOpts,
+    threads: Option<usize>,
+    algorithm: Option<Algorithm>,
+    residual: bool,
+}
+
+impl SolveRequest {
+    /// A request for `op(A)·X = B` with `A` occupying the given triangle.
+    pub fn new(triangle: Triangle) -> SolveRequest {
+        SolveRequest {
+            opts: SolveOpts::new(triangle),
+            threads: None,
+            algorithm: None,
+            residual: false,
+        }
+    }
+
+    /// `A·X = B` with lower-triangular `A` (the paper's main case).
+    pub fn lower() -> SolveRequest {
+        SolveRequest::new(Triangle::Lower)
+    }
+
+    /// `A·X = B` with upper-triangular `A`.
+    pub fn upper() -> SolveRequest {
+        SolveRequest::new(Triangle::Upper)
+    }
+
+    /// Apply the operand transposed: solve `Aᵀ·X = B` (`X·Aᵀ = B` on the
+    /// right).  No backend materializes the full transpose: dense kernels
+    /// pack `NB`-wide panels, the sparse executor runs on the cached
+    /// O(nnz) [`SparseTri::transposed`], and the distributed path performs
+    /// one transpose redistribution (a keyed all-to-all).
+    pub fn transposed(mut self) -> SolveRequest {
+        self.opts.transpose = Transpose::Yes;
+        self
+    }
+
+    /// Set the transpose flag explicitly.
+    pub fn transpose(mut self, transpose: Transpose) -> SolveRequest {
+        self.opts.transpose = transpose;
+        self
+    }
+
+    /// Treat the diagonal as implicit ones.
+    pub fn unit_diagonal(mut self) -> SolveRequest {
+        self.opts.diag = Diag::Unit;
+        self
+    }
+
+    /// Set the diagonal kind explicitly.
+    pub fn diag(mut self, diag: Diag) -> SolveRequest {
+        self.opts.diag = diag;
+        self
+    }
+
+    /// Put the triangular operand on the given side (dense backend only;
+    /// sparse and distributed solves are left-sided).
+    pub fn side(mut self, side: Side) -> SolveRequest {
+        self.opts.side = side;
+        self
+    }
+
+    /// Pin the worker budget of the sparse executor (bypassing its
+    /// `PAR_MIN_WORK` gate).  Results are bitwise identical for every
+    /// value; dense GEMM threading remains governed by `DENSE_THREADS`.
+    pub fn threads(mut self, threads: usize) -> SolveRequest {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Pin the distributed algorithm.  [`Algorithm::Auto`] (or not calling
+    /// this at all) lets the Section VIII planner choose.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> SolveRequest {
+        self.algorithm = match algorithm {
+            Algorithm::Auto => None,
+            other => Some(other),
+        };
+        self
+    }
+
+    /// Also compute the relative residual
+    /// `‖op(A)·X − B‖_F / (‖A‖_F·‖X‖_F + ‖B‖_F)` after the solve and
+    /// attach it to the report (skipped by the `_in_place` executors,
+    /// which consume `B`).
+    pub fn with_residual(mut self) -> SolveRequest {
+        self.residual = true;
+        self
+    }
+
+    /// The dense-kernel option record this request describes.
+    pub fn opts(&self) -> SolveOpts {
+        self.opts
+    }
+
+    // -- lowering ----------------------------------------------------------
+
+    /// Lower to a dense-backend plan for an `n×n` operand and `k`
+    /// right-hand sides (`k` counts columns of `B` for left solves, rows
+    /// for right solves).
+    pub fn plan_dense(&self, n: usize, k: usize) -> Result<Plan> {
+        Ok(Plan {
+            n,
+            k,
+            opts: self.opts,
+            threads: self.threads,
+            residual: self.residual,
+            predicted_flops: trsm_flops(n, k),
+            predicted_cost: None,
+            regime: None,
+            backend: PlanBackend::Dense {
+                threads: dense::dense_threads(),
+                block: dense::TRSM_BLOCK,
+            },
+        })
+    }
+
+    /// Lower to a sparse-backend plan for the given matrix and `k`
+    /// right-hand sides.
+    ///
+    /// The request's triangle and diagonal must match the matrix (the
+    /// sparse storage carries both); the plan records the worker count the
+    /// executor will actually use and — when it parallelizes — the shape
+    /// of the level schedule it will sweep.
+    pub fn plan_sparse(&self, a: &SparseTri, k: usize) -> Result<Plan> {
+        if self.opts.side == Side::Right {
+            return Err(config_error(
+                "plan_sparse",
+                "sparse solves are left-sided (op(A)·X = B)",
+            ));
+        }
+        if a.triangle() != self.opts.triangle {
+            return Err(config_error(
+                "plan_sparse",
+                format!(
+                    "request says {:?} but the matrix stores {:?}",
+                    self.opts.triangle,
+                    a.triangle()
+                ),
+            ));
+        }
+        if a.diag() != self.opts.diag {
+            return Err(config_error(
+                "plan_sparse",
+                format!(
+                    "request says {:?} but the matrix was built {:?}",
+                    self.opts.diag,
+                    a.diag()
+                ),
+            ));
+        }
+        let sopts = self.sparse_opts();
+        let workers = a.planned_workers(&sopts, k);
+        let exec = a.executor(sopts.transpose);
+        let (levels, max_level_width) = if workers > 1 {
+            (
+                exec.schedule().num_levels(),
+                exec.schedule().max_level_width(),
+            )
+        } else {
+            (0, 0)
+        };
+        Ok(Plan {
+            n: a.n(),
+            k,
+            opts: self.opts,
+            threads: self.threads,
+            residual: self.residual,
+            predicted_flops: a.solve_flops(k),
+            predicted_cost: None,
+            regime: None,
+            backend: PlanBackend::Sparse {
+                workers,
+                levels,
+                max_level_width,
+                nnz: a.nnz(),
+                via_transpose: sopts.transpose == Transpose::Yes,
+            },
+        })
+    }
+
+    /// Lower to a distributed-backend plan for an `n×n` operand, `k`
+    /// right-hand sides and `p` simulated processors.
+    ///
+    /// With no algorithm pin this is where `Auto` resolves: the Section
+    /// VIII cost model classifies `(n, k, p)` into its regime and the
+    /// [`crate::planner`] turns the real-valued optimum into a feasible
+    /// `p1 × p1 × p2` grid and block size — all recorded on the plan, so
+    /// the choice is inspectable before (and after) execution.
+    pub fn plan_distributed(&self, n: usize, k: usize, p: usize) -> Result<Plan> {
+        if self.opts.side == Side::Right {
+            return Err(config_error(
+                "plan_distributed",
+                "distributed solves are left-sided (op(A)·X = B)",
+            ));
+        }
+        let (algorithm, params, kind) = match self.algorithm {
+            None => {
+                let params = planner::plan(n, k, p);
+                (
+                    Algorithm::IterativeInversion(params.it_inv),
+                    Some(params),
+                    AlgorithmKind::IterativeInversion,
+                )
+            }
+            Some(Algorithm::Auto) => unreachable!("Auto is stored as None"),
+            Some(alg @ Algorithm::IterativeInversion(_)) => {
+                (alg, None, AlgorithmKind::IterativeInversion)
+            }
+            Some(alg @ Algorithm::Recursive { .. }) => (alg, None, AlgorithmKind::Recursive),
+            Some(alg @ Algorithm::Wavefront) => (alg, None, AlgorithmKind::Wavefront),
+        };
+        let predicted = costmodel::predict_trsm_cost(kind, n as f64, k as f64, p as f64);
+        Ok(Plan {
+            n,
+            k,
+            opts: self.opts,
+            threads: self.threads,
+            residual: self.residual,
+            predicted_flops: FlopCount::new(predicted.flops.round() as u64),
+            predicted_cost: Some(predicted),
+            regime: Some(costmodel::tuning::classify(n as f64, k as f64, p as f64)),
+            backend: PlanBackend::Distributed {
+                algorithm,
+                p,
+                params,
+            },
+        })
+    }
+
+    // -- one-shot conveniences --------------------------------------------
+
+    /// Plan and execute a dense solve of `op(A)·X = B` (or `X·op(A) = B`).
+    pub fn solve_dense(&self, a: &Matrix, b: &Matrix) -> Result<Solution<Matrix>> {
+        let k = match self.opts.side {
+            Side::Left => b.cols(),
+            Side::Right => b.rows(),
+        };
+        self.plan_dense(a.rows(), k)?.execute_dense(a, b)
+    }
+
+    /// Plan and execute a dense single-RHS solve of `op(A)·x = b`.
+    pub fn solve_dense_vec(&self, a: &Matrix, b: &[f64]) -> Result<Solution<Vec<f64>>> {
+        self.plan_dense(a.rows(), 1)?.execute_dense_vec(a, b)
+    }
+
+    /// Plan and execute a sparse multi-RHS solve of `op(A)·X = B`.
+    pub fn solve_sparse(&self, a: &SparseTri, b: &Matrix) -> Result<Solution<Matrix>> {
+        self.plan_sparse(a, b.cols())?.execute_sparse(a, b)
+    }
+
+    /// Plan and execute a sparse single-RHS solve of `op(A)·x = b`.
+    pub fn solve_sparse_vec(&self, a: &SparseTri, b: &[f64]) -> Result<Solution<Vec<f64>>> {
+        self.plan_sparse(a, 1)?.execute_sparse_vec(a, b)
+    }
+
+    /// Plan and execute a distributed solve of `op(A)·X = B` on the
+    /// simulated machine `l` and `b` live on.
+    pub fn solve_distributed(
+        &self,
+        l: &DistMatrix,
+        b: &DistMatrix,
+    ) -> Result<Solution<DistMatrix>> {
+        self.plan_distributed(l.rows(), b.cols(), l.grid().comm().size())?
+            .execute_distributed(l, b)
+    }
+
+    /// The sparse execution options this request lowers to.
+    fn sparse_opts(&self) -> sparse::SolveOpts {
+        let mut o = sparse::SolveOpts::new().transpose(self.opts.transpose);
+        if let Some(t) = self.threads {
+            o = o.threads(t);
+        }
+        o
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan
+// ---------------------------------------------------------------------------
+
+/// Backend-specific part of a [`Plan`]: the chosen algorithm and its
+/// concrete parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanBackend {
+    /// Local dense blocked substitution + GEMM updates.
+    Dense {
+        /// `DENSE_THREADS` worker-pool size the GEMM updates may use.
+        threads: usize,
+        /// Panel width of the blocked substitution.
+        block: usize,
+    },
+    /// Level-scheduled sparse executor.
+    Sparse {
+        /// Workers the executor will run with (1 = sequential sweep, which
+        /// needs no analysis).
+        workers: usize,
+        /// Dependency levels of the schedule (0 when the solve stays
+        /// sequential and the pattern is never analyzed).
+        levels: usize,
+        /// Rows in the widest level (the executor's parallelism ceiling).
+        max_level_width: usize,
+        /// Stored entries of the matrix.
+        nnz: usize,
+        /// Whether the executor runs on the cached transpose.
+        via_transpose: bool,
+    },
+    /// Distributed algorithm on the simulated machine.
+    Distributed {
+        /// The resolved algorithm (never [`Algorithm::Auto`]).
+        algorithm: Algorithm,
+        /// Number of simulated processors.
+        p: usize,
+        /// The planner's full parameter selection when `Auto` resolved it.
+        params: Option<planner::Plan>,
+    },
+}
+
+/// An inspectable, executable lowering of a [`SolveRequest`]: the chosen
+/// algorithm, its parameters, and the predicted cost — *before* anything
+/// runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Operand dimension.
+    pub n: usize,
+    /// Number of right-hand sides.
+    pub k: usize,
+    /// The solve options (side, triangle, transpose, diagonal).
+    pub opts: SolveOpts,
+    /// Backend-specific algorithm choice and parameters.
+    pub backend: PlanBackend,
+    /// Predicted flop count (the `γ·F` term).
+    pub predicted_flops: FlopCount,
+    /// Predicted α–β–γ critical-path cost (distributed plans only).
+    pub predicted_cost: Option<Cost>,
+    /// The Section VIII regime (distributed plans only).
+    pub regime: Option<Regime>,
+    threads: Option<usize>,
+    residual: bool,
+}
+
+impl Plan {
+    /// Human-readable name of the algorithm this plan executes.
+    pub fn algorithm_name(&self) -> &'static str {
+        match &self.backend {
+            PlanBackend::Dense { .. } => "dense blocked substitution",
+            PlanBackend::Sparse { workers, .. } if *workers > 1 => {
+                "sparse level-scheduled parallel sweep"
+            }
+            PlanBackend::Sparse { .. } => "sparse sequential sweep",
+            PlanBackend::Distributed { algorithm, .. } => match algorithm {
+                Algorithm::Auto => "auto",
+                Algorithm::Recursive { .. } => "recursive",
+                Algorithm::IterativeInversion(_) => "iterative inversion-based",
+                Algorithm::Wavefront => "wavefront",
+            },
+        }
+    }
+
+    /// The sparse execution options this plan runs with.
+    fn sparse_opts(&self) -> sparse::SolveOpts {
+        let mut o = sparse::SolveOpts::new().transpose(self.opts.transpose);
+        if let Some(t) = self.threads {
+            o = o.threads(t);
+        }
+        o
+    }
+
+    /// A plan is only valid for operands shaped like the one it was
+    /// lowered against; executing it on a different matrix would silently
+    /// invalidate everything the plan recorded.
+    fn check_dense_operand(&self, a: &Matrix) -> Result<()> {
+        if a.rows() != self.n || a.cols() != self.n {
+            return Err(config_error(
+                "plan",
+                format!(
+                    "planned for an {0}×{0} operand, got {1}×{2}",
+                    self.n,
+                    a.rows(),
+                    a.cols()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// See [`Plan::check_dense_operand`]: the sparse plan additionally
+    /// recorded the matrix's triangle and diagonal kind, which the request
+    /// was validated against at planning time.
+    fn check_sparse_operand(&self, a: &SparseTri) -> Result<()> {
+        if a.n() != self.n || a.triangle() != self.opts.triangle || a.diag() != self.opts.diag {
+            return Err(config_error(
+                "plan",
+                format!(
+                    "planned for an n = {} {:?} {:?} matrix, got n = {} {:?} {:?}",
+                    self.n,
+                    self.opts.triangle,
+                    self.opts.diag,
+                    a.n(),
+                    a.triangle(),
+                    a.diag()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn report(&self, algorithm: &'static str, flops: FlopCount) -> SolveReport {
+        SolveReport {
+            algorithm,
+            flops,
+            comm: None,
+            phases: None,
+            levels: None,
+            residual: None,
+        }
+    }
+
+    // -- dense -------------------------------------------------------------
+
+    /// Execute this dense plan, returning the solution and report.
+    pub fn execute_dense(&self, a: &Matrix, b: &Matrix) -> Result<Solution<Matrix>> {
+        let mut x = b.clone();
+        let mut report = self.execute_dense_in_place(a, &mut x)?;
+        if self.residual {
+            report.residual = Some(dense_residual(&self.opts, a, &x, b)?);
+        }
+        Ok(Solution { x, report })
+    }
+
+    /// Execute this dense plan in place: `b` holds `B` on entry and `X` on
+    /// exit.  (The residual option is skipped: `B` is consumed.)
+    pub fn execute_dense_in_place(&self, a: &Matrix, b: &mut Matrix) -> Result<SolveReport> {
+        let PlanBackend::Dense { .. } = self.backend else {
+            return Err(config_error("plan", "not a dense plan"));
+        };
+        self.check_dense_operand(a)?;
+        let flops = dense::trsm_in_place_opts(&self.opts, a, b)?;
+        Ok(self.report("dense blocked substitution", flops))
+    }
+
+    /// Execute this dense plan for one right-hand-side vector.
+    pub fn execute_dense_vec(&self, a: &Matrix, b: &[f64]) -> Result<Solution<Vec<f64>>> {
+        let mut x = b.to_vec();
+        let mut report = self.execute_dense_vec_in_place(a, &mut x)?;
+        if self.residual {
+            let xm = Matrix::from_vec(x.len(), 1, x.clone()).expect("vec dims");
+            let bm = Matrix::from_vec(b.len(), 1, b.to_vec()).expect("vec dims");
+            report.residual = Some(dense_residual(&self.opts, a, &xm, &bm)?);
+        }
+        Ok(Solution { x, report })
+    }
+
+    /// Execute this dense plan for one right-hand side in place,
+    /// allocating nothing.
+    pub fn execute_dense_vec_in_place(&self, a: &Matrix, x: &mut [f64]) -> Result<SolveReport> {
+        let PlanBackend::Dense { .. } = self.backend else {
+            return Err(config_error("plan", "not a dense plan"));
+        };
+        self.check_dense_operand(a)?;
+        let flops = dense::trsv_in_place_opts(&self.opts, a, x)?;
+        Ok(self.report("dense substitution (single RHS)", flops))
+    }
+
+    // -- sparse ------------------------------------------------------------
+
+    /// Execute this sparse plan for a block of right-hand sides.
+    pub fn execute_sparse(&self, a: &SparseTri, b: &Matrix) -> Result<Solution<Matrix>> {
+        let mut x = b.clone();
+        let mut report = self.execute_sparse_in_place(a, &mut x)?;
+        if self.residual {
+            report.residual = Some(sparse_residual(a.executor(self.opts.transpose), &x, b));
+        }
+        Ok(Solution { x, report })
+    }
+
+    /// Execute this sparse plan in place: `x` holds `B` on entry and `X`
+    /// on exit.  (The residual option is skipped: `B` is consumed.)
+    pub fn execute_sparse_in_place(&self, a: &SparseTri, x: &mut Matrix) -> Result<SolveReport> {
+        let PlanBackend::Sparse { .. } = self.backend else {
+            return Err(config_error("plan", "not a sparse plan"));
+        };
+        self.check_sparse_operand(a)?;
+        let sopts = self.sparse_opts();
+        let k = x.cols();
+        let flops = a.solve_multi_with(&sopts, x)?;
+        let mut report = self.report(self.algorithm_name(), flops);
+        report.levels = Some(self.level_report(a, k));
+        Ok(report)
+    }
+
+    /// Execute this sparse plan for one right-hand-side vector.
+    pub fn execute_sparse_vec(&self, a: &SparseTri, b: &[f64]) -> Result<Solution<Vec<f64>>> {
+        let mut x = b.to_vec();
+        let mut report = self.execute_sparse_vec_in_place(a, &mut x)?;
+        if self.residual {
+            let xm = Matrix::from_vec(x.len(), 1, x.clone()).expect("vec dims");
+            let bm = Matrix::from_vec(b.len(), 1, b.to_vec()).expect("vec dims");
+            report.residual = Some(sparse_residual(a.executor(self.opts.transpose), &xm, &bm));
+        }
+        Ok(Solution { x, report })
+    }
+
+    /// Execute this sparse plan for one right-hand side in place,
+    /// allocating nothing beyond the (cached) analysis.
+    pub fn execute_sparse_vec_in_place(&self, a: &SparseTri, x: &mut [f64]) -> Result<SolveReport> {
+        let PlanBackend::Sparse { .. } = self.backend else {
+            return Err(config_error("plan", "not a sparse plan"));
+        };
+        self.check_sparse_operand(a)?;
+        let sopts = self.sparse_opts();
+        let flops = a.solve_with(&sopts, x)?;
+        let mut report = self.report(self.algorithm_name(), flops);
+        report.levels = Some(self.level_report(a, 1));
+        Ok(report)
+    }
+
+    /// Measured level/barrier shape of a sparse execution: the same worker
+    /// decision the executor makes, so the report matches what ran.
+    fn level_report(&self, a: &SparseTri, k: usize) -> LevelReport {
+        let sopts = self.sparse_opts();
+        let workers = a.planned_workers(&sopts, k);
+        let levels = if workers > 1 {
+            a.executor(sopts.transpose).schedule().num_levels()
+        } else {
+            0
+        };
+        LevelReport {
+            workers,
+            levels,
+            barriers: if workers > 1 { levels } else { 0 },
+        }
+    }
+
+    // -- distributed -------------------------------------------------------
+
+    /// Execute this distributed plan on the simulated machine `l` and `b`
+    /// live on, returning `X` in `b`'s layout.
+    ///
+    /// The report carries this rank's communication-counter delta for the
+    /// whole solve, the per-phase breakdown when the iterative
+    /// inversion-based algorithm ran, and the measured flops — every
+    /// algorithm feeds the same report shape.
+    pub fn execute_distributed(
+        &self,
+        l: &DistMatrix,
+        b: &DistMatrix,
+    ) -> Result<Solution<DistMatrix>> {
+        let PlanBackend::Distributed { algorithm, .. } = &self.backend else {
+            return Err(config_error("plan", "not a distributed plan"));
+        };
+        if l.rows() != self.n || l.cols() != self.n {
+            return Err(config_error(
+                "plan",
+                format!(
+                    "planned for an {0}×{0} operand, got {1}×{2}",
+                    self.n,
+                    l.rows(),
+                    l.cols()
+                ),
+            ));
+        }
+        let comm = l.grid().comm();
+        let before = comm.counters();
+
+        // Apply op(A): one transpose redistribution if requested, then an
+        // implicit-unit diagonal overlay if requested.
+        let transposed = match self.opts.transpose {
+            Transpose::No => None,
+            Transpose::Yes => Some(transpose_dist(l)),
+        };
+        let op_a = transposed.as_ref().unwrap_or(l);
+        let unit_forced = match self.opts.diag {
+            Diag::NonUnit => None,
+            Diag::Unit => Some(with_unit_diagonal(op_a)?),
+        };
+        let solve_mat = unit_forced.as_ref().unwrap_or(op_a);
+
+        // Solve: effective-lower directly, effective-upper via the reversal
+        // permutation (J·U·J is lower triangular).
+        let (x, phases) = match self.opts.op_triangle() {
+            Triangle::Lower => run_lower(solve_mat, b, *algorithm)?,
+            Triangle::Upper => {
+                let l_rev = reverse_both(solve_mat);
+                let b_rev = reverse_rows(b);
+                let (x_rev, phases) = run_lower(&l_rev, &b_rev, *algorithm)?;
+                (reverse_rows(&x_rev), phases)
+            }
+        };
+        let delta = comm.counters().since(&before);
+
+        let mut report = self.report(self.algorithm_name(), FlopCount::new(delta.flops));
+        report.comm = Some(delta);
+        report.phases = phases;
+        if self.residual {
+            // Residual verification communicates; it runs outside the
+            // measured window on the op-applied matrix.
+            report.residual = Some(verify::residual(solve_mat, &x, b)?);
+        }
+        Ok(Solution { x, report })
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (n = {}, k = {}, {:?} {:?}{}{})",
+            self.algorithm_name(),
+            self.n,
+            self.k,
+            self.opts.triangle,
+            self.opts.diag,
+            if self.opts.transpose == Transpose::Yes {
+                ", transposed"
+            } else {
+                ""
+            },
+            match &self.backend {
+                PlanBackend::Dense { threads, block } =>
+                    format!(", NB = {block}, {threads} worker(s)"),
+                PlanBackend::Sparse {
+                    workers,
+                    levels,
+                    nnz,
+                    ..
+                } => format!(", nnz = {nnz}, {workers} worker(s), {levels} level(s)"),
+                PlanBackend::Distributed { algorithm, p, .. } =>
+                    format!(", p = {p}, {algorithm:?}"),
+            }
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Solution & SolveReport
+// ---------------------------------------------------------------------------
+
+/// The outcome of executing a [`Plan`]: the solution `X` plus the uniform
+/// measured report.
+#[derive(Debug, Clone)]
+pub struct Solution<X> {
+    /// The solution of `op(A)·X = B` (or `X·op(A) = B`).
+    pub x: X,
+    /// What the execution measured.
+    pub report: SolveReport,
+}
+
+/// Level/barrier shape of a sparse execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelReport {
+    /// Workers the executor ran with.
+    pub workers: usize,
+    /// Dependency levels swept (0 for the analysis-free sequential sweep).
+    pub levels: usize,
+    /// Barriers crossed (one per level when parallel).
+    pub barriers: usize,
+}
+
+/// The uniform measured report every backend fills.
+///
+/// The dense backend reports the substitution [`FlopCount`]; the sparse
+/// backend additionally reports its [`LevelReport`]; the distributed
+/// backend reports this rank's communication-counter delta and — for the
+/// iterative inversion-based algorithm — the Section VII per-phase
+/// breakdown.  The residual is attached when the request asked for it.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// Name of the algorithm that ran.
+    pub algorithm: &'static str,
+    /// Measured flops (local count, or this rank's charged flops for
+    /// distributed solves).
+    pub flops: FlopCount,
+    /// This rank's communication counters for the solve (distributed).
+    pub comm: Option<CostCounters>,
+    /// Per-phase cost breakdown (iterative inversion-based solves).
+    pub phases: Option<PhaseBreakdown>,
+    /// Level/barrier counts (sparse).
+    pub levels: Option<LevelReport>,
+    /// Relative residual, when requested.
+    pub residual: Option<f64>,
+}
+
+// ---------------------------------------------------------------------------
+// Internal helpers
+// ---------------------------------------------------------------------------
+
+/// Run one resolved algorithm on an effective lower-triangular system.
+fn run_lower(
+    l: &DistMatrix,
+    b: &DistMatrix,
+    algorithm: Algorithm,
+) -> Result<(DistMatrix, Option<PhaseBreakdown>)> {
+    match algorithm {
+        Algorithm::Auto => Err(config_error(
+            "solve",
+            "Auto must be resolved during planning",
+        )),
+        Algorithm::IterativeInversion(cfg) => {
+            let (x, phases) = it_inv_trsm(l, b, &cfg)?;
+            Ok((x, Some(phases)))
+        }
+        Algorithm::Recursive { base_size } => {
+            let x = rec_trsm(
+                l,
+                b,
+                &RecTrsmConfig {
+                    base_size,
+                    log_latency: true,
+                },
+            )?;
+            Ok((x, None))
+        }
+        Algorithm::Wavefront => Ok((wavefront_trsm(l, b)?, None)),
+    }
+}
+
+/// Copy of a distributed square matrix with its diagonal forced to ones
+/// (implements [`Diag::Unit`] semantics for the distributed algorithms,
+/// which always read the stored diagonal).
+fn with_unit_diagonal(a: &DistMatrix) -> Result<DistMatrix> {
+    let grid = a.grid();
+    let (n, m) = a.dims();
+    let mut out = DistMatrix::from_local(grid, n, m, a.local().clone())?;
+    let local_rows = out.local().rows();
+    let local_cols = out.local().cols();
+    for li in 0..local_rows {
+        let gi = out.global_row(li);
+        for lj in 0..local_cols {
+            if out.global_col(lj) == gi {
+                out.local_mut()[(li, lj)] = 1.0;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Relative residual `‖op(A)·X − B‖_F / (‖A‖_F·‖X‖_F + ‖B‖_F)` for a local
+/// dense solve.
+fn dense_residual(opts: &SolveOpts, a: &Matrix, x: &Matrix, b: &Matrix) -> Result<f64> {
+    // The solver reads only the declared triangle (and, for Diag::Unit, an
+    // implicit unit diagonal), so the residual must measure that effective
+    // operand: callers may legitimately store other data in the ignored
+    // triangle (e.g. a combined LU workspace).
+    let mut a_eff_storage = match opts.triangle {
+        Triangle::Lower => a.lower_triangular_part(),
+        Triangle::Upper => a.upper_triangular_part(),
+    };
+    if opts.diag == Diag::Unit {
+        for i in 0..a_eff_storage.rows() {
+            a_eff_storage[(i, i)] = 1.0;
+        }
+    }
+    let a_eff = &a_eff_storage;
+    let mut p = Matrix::zeros(b.rows(), b.cols());
+    match (opts.side, opts.transpose) {
+        (Side::Left, Transpose::No) => dense::gemm(1.0, a_eff, x, 0.0, &mut p)?,
+        (Side::Left, Transpose::Yes) => dense::gemm_at_b(1.0, a_eff, x, 0.0, &mut p)?,
+        (Side::Right, Transpose::No) => dense::gemm(1.0, x, a_eff, 0.0, &mut p)?,
+        (Side::Right, Transpose::Yes) => dense::gemm_a_bt(1.0, x, a_eff, 0.0, &mut p)?,
+    };
+    let diff_sq: f64 = p
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(got, want)| (got - want) * (got - want))
+        .sum();
+    let a_sq: f64 = a_eff.as_slice().iter().map(|v| v * v).sum();
+    let x_sq: f64 = x.as_slice().iter().map(|v| v * v).sum();
+    let b_sq: f64 = b.as_slice().iter().map(|v| v * v).sum();
+    let denom = a_sq.sqrt() * x_sq.sqrt() + b_sq.sqrt();
+    Ok(if denom == 0.0 {
+        diff_sq.sqrt()
+    } else {
+        diff_sq.sqrt() / denom
+    })
+}
+
+/// Relative residual for a sparse solve, computed against the executor
+/// matrix `e` (already op-applied): `‖E·X − B‖_F / (‖E‖_F·‖X‖_F + ‖B‖_F)`.
+fn sparse_residual(e: &SparseTri, x: &Matrix, b: &Matrix) -> f64 {
+    let n = e.n();
+    let k = x.cols();
+    let mut diff_sq = 0.0;
+    for i in 0..n {
+        let (cols, vals) = e.row_entries(i);
+        for c in 0..k {
+            let mut acc = e.diag_value(i) * x[(i, c)];
+            for (&j, &v) in cols.iter().zip(vals) {
+                acc += v * x[(j, c)];
+            }
+            let d = acc - b[(i, c)];
+            diff_sq += d * d;
+        }
+    }
+    let mut e_sq: f64 = (0..n).map(|i| e.diag_value(i) * e.diag_value(i)).sum();
+    for i in 0..n {
+        let (_, vals) = e.row_entries(i);
+        e_sq += vals.iter().map(|v| v * v).sum::<f64>();
+    }
+    let x_sq: f64 = x.as_slice().iter().map(|v| v * v).sum();
+    let b_sq: f64 = b.as_slice().iter().map(|v| v * v).sum();
+    let denom = e_sq.sqrt() * x_sq.sqrt() + b_sq.sqrt();
+    if denom == 0.0 {
+        diff_sq.sqrt()
+    } else {
+        diff_sq.sqrt() / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::it_inv_trsm::ItInvConfig;
+    use dense::gen;
+    use pgrid::Grid2D;
+    use simnet::{Machine, MachineParams};
+    use sparse::gen as sgen;
+
+    // -- dense -------------------------------------------------------------
+
+    #[test]
+    fn dense_plan_and_execution_round_trip() {
+        let n = 130;
+        let k = 7;
+        let l = gen::well_conditioned_lower(n, 1);
+        let x_true = gen::rhs(n, k, 2);
+        let b = dense::matmul(&l, &x_true);
+        let req = SolveRequest::lower().with_residual();
+        let plan = req.plan_dense(n, k).unwrap();
+        assert!(matches!(plan.backend, PlanBackend::Dense { .. }));
+        assert_eq!(plan.predicted_flops, trsm_flops(n, k));
+        let sol = plan.execute_dense(&l, &b).unwrap();
+        assert!(dense::norms::rel_diff(&sol.x, &x_true) < 1e-9);
+        assert_eq!(sol.report.flops, trsm_flops(n, k));
+        assert!(sol.report.residual.unwrap() < 1e-12);
+        assert!(sol.report.comm.is_none());
+        // Old entry point and new API agree bitwise.
+        let old = dense::trsm(Triangle::Lower, Diag::NonUnit, &l, &b).unwrap();
+        assert_eq!(old, sol.x);
+    }
+
+    #[test]
+    fn dense_transposed_request_solves_lt() {
+        let n = 90;
+        let k = 5;
+        let l = gen::well_conditioned_lower(n, 3);
+        let x_true = gen::rhs(n, k, 4);
+        let b = dense::gemm::matmul(&l.transpose(), &x_true);
+        let sol = SolveRequest::lower()
+            .transposed()
+            .with_residual()
+            .solve_dense(&l, &b)
+            .unwrap();
+        assert!(dense::norms::rel_diff(&sol.x, &x_true) < 1e-8);
+        assert!(sol.report.residual.unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn dense_vec_and_unit_diagonal() {
+        let n = 64;
+        let mut l = gen::well_conditioned_lower(n, 5);
+        for i in 0..n {
+            l[(i, i)] = 123.0; // must be ignored under Diag::Unit
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).cos()).collect();
+        let mut l_unit = l.clone();
+        for i in 0..n {
+            l_unit[(i, i)] = 1.0;
+        }
+        let xt = Matrix::from_vec(n, 1, x_true.clone()).unwrap();
+        let b = dense::matmul(&l_unit, &xt).into_vec();
+        let sol = SolveRequest::lower()
+            .unit_diagonal()
+            .with_residual()
+            .solve_dense_vec(&l, &b)
+            .unwrap();
+        for (got, want) in sol.x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+        assert!(sol.report.residual.unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn plan_backend_mismatch_is_rejected() {
+        let plan = SolveRequest::lower().plan_dense(8, 1).unwrap();
+        let m = sgen::random_lower(8, 2, 1);
+        assert!(plan.execute_sparse_vec(&m, &[1.0; 8]).is_err());
+        let l = gen::well_conditioned_lower(8, 1);
+        let sparse_plan = SolveRequest::lower().plan_sparse(&m, 1).unwrap();
+        assert!(sparse_plan.execute_dense_vec(&l, &[1.0; 8]).is_err());
+    }
+
+    #[test]
+    fn plan_rejects_operands_it_was_not_lowered_for() {
+        // A sparse plan validated against a lower matrix must not silently
+        // execute against an upper (or differently sized) one.
+        let lower = sgen::random_lower(16, 2, 1);
+        let upper = sgen::random_upper(16, 2, 2);
+        let plan = SolveRequest::lower().plan_sparse(&lower, 1).unwrap();
+        assert!(plan.execute_sparse_vec(&upper, &[1.0; 16]).is_err());
+        let small = sgen::random_lower(8, 2, 3);
+        assert!(plan.execute_sparse_vec(&small, &[1.0; 8]).is_err());
+        // Same for dense plans.
+        let dplan = SolveRequest::lower().plan_dense(16, 1).unwrap();
+        let wrong = gen::well_conditioned_lower(8, 4);
+        assert!(dplan.execute_dense_vec(&wrong, &[1.0; 8]).is_err());
+    }
+
+    #[test]
+    fn dense_residual_ignores_the_opposite_triangle() {
+        // A combined-workspace operand (garbage in the triangle the solver
+        // never reads) must still report a tiny residual for a correct
+        // solve.
+        let n = 40;
+        let l = gen::well_conditioned_lower(n, 9);
+        let x_true = gen::rhs(n, 3, 10);
+        let b = dense::matmul(&l, &x_true);
+        let mut workspace = l.clone();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                workspace[(i, j)] = 1e6; // "U" half of an LU workspace
+            }
+        }
+        let sol = SolveRequest::lower()
+            .with_residual()
+            .solve_dense(&workspace, &b)
+            .unwrap();
+        assert!(dense::norms::rel_diff(&sol.x, &x_true) < 1e-9);
+        assert!(
+            sol.report.residual.unwrap() < 1e-12,
+            "residual must measure the effective triangular operand, got {}",
+            sol.report.residual.unwrap()
+        );
+    }
+
+    // -- sparse ------------------------------------------------------------
+
+    #[test]
+    fn sparse_plan_reports_levels_and_workers() {
+        let n = 50_000;
+        let m = sgen::random_lower(n, 10, 7);
+        let b = sgen::rhs_vec(n, 8);
+        let req = SolveRequest::lower().threads(4);
+        let plan = req.plan_sparse(&m, 1).unwrap();
+        let PlanBackend::Sparse {
+            workers,
+            levels,
+            max_level_width,
+            nnz,
+            via_transpose,
+        } = plan.backend
+        else {
+            panic!("expected a sparse plan");
+        };
+        assert!(workers > 1, "a pinned budget of 4 must parallelize");
+        assert!(levels > 0 && max_level_width > 0);
+        assert_eq!(nnz, m.nnz());
+        assert!(!via_transpose);
+        let sol = plan.execute_sparse_vec(&m, &b).unwrap();
+        let lr = sol.report.levels.unwrap();
+        assert_eq!(lr.workers, workers);
+        assert_eq!(lr.levels, levels);
+        assert_eq!(lr.barriers, levels);
+        assert_eq!(sol.report.flops, m.solve_flops(1));
+        // Identical to the raw executor.
+        let direct = m.solve(&b).unwrap();
+        assert_eq!(sol.x, direct);
+    }
+
+    #[test]
+    fn sparse_transposed_and_residual() {
+        let n = 400;
+        let m = sgen::random_lower(n, 6, 11);
+        let b = sgen::rhs_vec(n, 12);
+        let sol = SolveRequest::lower()
+            .transposed()
+            .with_residual()
+            .solve_sparse_vec(&m, &b)
+            .unwrap();
+        assert!(sol.report.residual.unwrap() < 1e-12);
+        // Reference: solve the materialized transpose.
+        let xt = m.transpose().solve(&b).unwrap();
+        assert_eq!(sol.x, xt);
+    }
+
+    #[test]
+    fn sparse_request_validates_against_matrix() {
+        let m = sgen::random_lower(32, 3, 1);
+        assert!(SolveRequest::upper().plan_sparse(&m, 1).is_err());
+        assert!(SolveRequest::lower()
+            .unit_diagonal()
+            .plan_sparse(&m, 1)
+            .is_err());
+        assert!(SolveRequest::lower()
+            .side(Side::Right)
+            .plan_sparse(&m, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn sparse_sequential_plan_never_analyzes() {
+        let m = sgen::random_lower(300, 3, 5);
+        let plan = SolveRequest::lower().threads(1).plan_sparse(&m, 1).unwrap();
+        let b = sgen::rhs_vec(300, 6);
+        let sol = plan.execute_sparse_vec(&m, &b).unwrap();
+        assert_eq!(sol.report.levels.unwrap().workers, 1);
+        assert_eq!(sol.report.levels.unwrap().barriers, 0);
+        assert_eq!(m.analysis_count(), 0, "sequential plans stay analysis-free");
+    }
+
+    // -- distributed -------------------------------------------------------
+
+    fn dist_instance(
+        grid: &Grid2D,
+        n: usize,
+        k: usize,
+        seed: u64,
+    ) -> (DistMatrix, DistMatrix, Matrix) {
+        let l_global = gen::well_conditioned_lower(n, seed);
+        let x_true = gen::rhs(n, k, seed + 1);
+        let b_global = dense::matmul(&l_global, &x_true);
+        (
+            DistMatrix::from_global(grid, &l_global),
+            DistMatrix::from_global(grid, &b_global),
+            x_true,
+        )
+    }
+
+    #[test]
+    fn distributed_auto_plan_is_inspectable_and_executes() {
+        let n = 64;
+        let k = 16;
+        let out = Machine::new(4, MachineParams::cluster())
+            .run(move |comm| {
+                let grid = Grid2D::new(comm, 2, 2).unwrap();
+                let (l, b, x_true) = dist_instance(&grid, n, k, 21);
+                let req = SolveRequest::lower().with_residual();
+                let plan = req.plan_distributed(n, k, comm.size()).unwrap();
+                // Auto resolved to the planner's iterative configuration.
+                let PlanBackend::Distributed {
+                    algorithm, params, ..
+                } = &plan.backend
+                else {
+                    panic!("expected a distributed plan");
+                };
+                assert!(matches!(algorithm, Algorithm::IterativeInversion(_)));
+                let params = params.clone().expect("auto records the planner plan");
+                assert_eq!(params.it_inv.p1 * params.it_inv.p1 * params.it_inv.p2, 4);
+                assert!(plan.predicted_cost.is_some());
+                assert!(plan.regime.is_some());
+                let sol = plan.execute_distributed(&l, &b).unwrap();
+                let err = dense::norms::rel_diff(&sol.x.to_global(), &x_true);
+                let phases = sol.report.phases.expect("it_inv attaches phases");
+                let comm_delta = sol.report.comm.expect("distributed attaches counters");
+                (
+                    err,
+                    sol.report.residual.unwrap(),
+                    phases.total().flops,
+                    comm_delta.flops,
+                    sol.report.flops.get(),
+                )
+            })
+            .unwrap();
+        for (err, residual, phase_flops, comm_flops, report_flops) in out.results {
+            assert!(err < 1e-8, "{err}");
+            assert!(residual < 1e-10);
+            assert_eq!(comm_flops, report_flops);
+            assert!(phase_flops > 0 && phase_flops <= report_flops);
+        }
+    }
+
+    #[test]
+    fn every_distributed_algorithm_feeds_the_same_report() {
+        let n = 64;
+        let k = 16;
+        for alg in [
+            Algorithm::Recursive { base_size: 16 },
+            Algorithm::IterativeInversion(ItInvConfig {
+                p1: 2,
+                p2: 1,
+                n0: 16,
+                inv_base: 8,
+            }),
+            Algorithm::Wavefront,
+        ] {
+            let out = Machine::new(4, MachineParams::unit())
+                .run(move |comm| {
+                    let grid = Grid2D::new(comm, 2, 2).unwrap();
+                    let (l, b, x_true) = dist_instance(&grid, n, k, 31);
+                    let sol = SolveRequest::lower()
+                        .algorithm(alg)
+                        .solve_distributed(&l, &b)
+                        .unwrap();
+                    let err = dense::norms::rel_diff(&sol.x.to_global(), &x_true);
+                    (
+                        err,
+                        sol.report.comm.is_some(),
+                        sol.report.flops.get(),
+                        sol.report.phases.is_some(),
+                    )
+                })
+                .unwrap();
+            let expect_phases = matches!(alg, Algorithm::IterativeInversion(_));
+            for (err, has_comm, flops, has_phases) in out.results {
+                assert!(err < 1e-8, "{alg:?}: {err}");
+                assert!(has_comm, "{alg:?} must report its cost counters");
+                assert_eq!(has_phases, expect_phases);
+                let _ = flops;
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_transposed_and_upper_requests() {
+        let n = 32;
+        let k = 8;
+        let out = Machine::new(4, MachineParams::unit())
+            .run(move |comm| {
+                let grid = Grid2D::new(comm, 2, 2).unwrap();
+                // Lᵀ·X = B via the transposed request on the stored L.
+                let l_global = gen::well_conditioned_lower(n, 41);
+                let x_true = gen::rhs(n, k, 42);
+                let bt_global = dense::gemm::matmul(&l_global.transpose(), &x_true);
+                let l = DistMatrix::from_global(&grid, &l_global);
+                let bt = DistMatrix::from_global(&grid, &bt_global);
+                let sol_t = SolveRequest::lower()
+                    .transposed()
+                    .algorithm(Algorithm::Recursive { base_size: 8 })
+                    .with_residual()
+                    .solve_distributed(&l, &bt)
+                    .unwrap();
+                let err_t = dense::norms::rel_diff(&sol_t.x.to_global(), &x_true);
+
+                // U·X = B with an upper request.
+                let u_global = gen::well_conditioned_upper(n, 43);
+                let xu_true = gen::rhs(n, k, 44);
+                let bu_global = dense::matmul(&u_global, &xu_true);
+                let u = DistMatrix::from_global(&grid, &u_global);
+                let bu = DistMatrix::from_global(&grid, &bu_global);
+                let sol_u = SolveRequest::upper()
+                    .algorithm(Algorithm::Recursive { base_size: 8 })
+                    .solve_distributed(&u, &bu)
+                    .unwrap();
+                let err_u = dense::norms::rel_diff(&sol_u.x.to_global(), &xu_true);
+                (err_t, sol_t.report.residual.unwrap(), err_u)
+            })
+            .unwrap();
+        for (err_t, res_t, err_u) in out.results {
+            assert!(err_t < 1e-8, "transposed distributed solve: {err_t}");
+            assert!(res_t < 1e-10);
+            assert!(err_u < 1e-8, "upper distributed solve: {err_u}");
+        }
+    }
+
+    #[test]
+    fn distributed_unit_diagonal_ignores_stored_diagonal() {
+        let n = 32;
+        let k = 8;
+        let out = Machine::new(4, MachineParams::unit())
+            .run(move |comm| {
+                let grid = Grid2D::new(comm, 2, 2).unwrap();
+                let mut l_global = gen::well_conditioned_lower(n, 51);
+                for i in 0..n {
+                    l_global[(i, i)] = 1.0;
+                }
+                let x_true = gen::rhs(n, k, 52);
+                let b_global = dense::matmul(&l_global, &x_true);
+                // Store garbage on the diagonal; Diag::Unit must ignore it.
+                let mut l_garbage = l_global.clone();
+                for i in 0..n {
+                    l_garbage[(i, i)] = 1e6;
+                }
+                let l = DistMatrix::from_global(&grid, &l_garbage);
+                let b = DistMatrix::from_global(&grid, &b_global);
+                let sol = SolveRequest::lower()
+                    .unit_diagonal()
+                    .algorithm(Algorithm::Wavefront)
+                    .solve_distributed(&l, &b)
+                    .unwrap();
+                dense::norms::rel_diff(&sol.x.to_global(), &x_true)
+            })
+            .unwrap();
+        for err in out.results {
+            assert!(err < 1e-8, "{err}");
+        }
+    }
+
+    #[test]
+    fn right_side_requests_are_rejected_off_the_dense_backend() {
+        assert!(SolveRequest::lower()
+            .side(Side::Right)
+            .plan_distributed(32, 8, 4)
+            .is_err());
+    }
+
+    #[test]
+    fn plan_display_is_informative() {
+        let plan = SolveRequest::lower().plan_dense(128, 8).unwrap();
+        let s = plan.to_string();
+        assert!(s.contains("dense"));
+        assert!(s.contains("128"));
+        let m = sgen::random_lower(64, 2, 3);
+        let sp = SolveRequest::lower().plan_sparse(&m, 1).unwrap();
+        assert!(sp.to_string().contains("nnz"));
+        let dp = SolveRequest::lower().plan_distributed(256, 64, 16).unwrap();
+        assert!(dp.to_string().contains("p = 16"));
+    }
+}

@@ -32,8 +32,10 @@ pub mod cost;
 pub mod inversion;
 pub mod itinv;
 pub mod mm;
+pub mod predict;
 pub mod rec_trsm;
 pub mod tuning;
 
 pub use cost::{Cost, Machine};
+pub use predict::{trsm_cost as predict_trsm_cost, AlgorithmKind};
 pub use tuning::{plan, Regime, TrsmPlan};

@@ -4,10 +4,10 @@
 //! reproduction (Wicky, Solomonik, Hoefler, IPDPS 2017).  The paper's
 //! algorithms only need a small set of local kernels on each processor:
 //!
-//! * general matrix–matrix multiplication ([`gemm`], [`matmul`]),
-//! * triangular solve with one or many right-hand sides ([`trsm`]),
+//! * general matrix–matrix multiplication ([`gemm`](fn@gemm), [`matmul`]),
+//! * triangular solve with one or many right-hand sides ([`trsm`](fn@trsm)),
 //! * triangular matrix inversion ([`tri_invert`]),
-//! * triangular matrix–matrix multiplication ([`trmm`]),
+//! * triangular matrix–matrix multiplication ([`trmm`](fn@trmm)),
 //! * Cholesky and LU factorization ([`cholesky`], [`lu`], [`lu_partial_pivot`])
 //!   for the example applications,
 //! * norms and residual checks ([`norms`]),
@@ -20,9 +20,9 @@
 //! Large products additionally split their column panels across the
 //! [`threads`] worker pool (`DENSE_THREADS` workers, scoped per GEMM call)
 //! with bitwise-identical results at every worker count.  The triangular
-//! kernels ([`trsm`], [`trmm`], [`trinv`]) are blocked so their off-diagonal
+//! kernels ([`trsm`](fn@trsm), [`trmm`](fn@trmm), [`trinv`]) are blocked so their off-diagonal
 //! updates — where almost all of their flops are — run through that same
-//! GEMM; only small diagonal blocks use substitution loops.  [`reference`]
+//! GEMM; only small diagonal blocks use substitution loops.  [`reference`](mod@reference)
 //! keeps the original unblocked kernels as the ground truth for tests and
 //! benches.  Block-level operations avoid copies via the borrowed views
 //! [`MatRef`] / [`MatMut`] and [`gemm_views`]; [`MatMut`] is a raw pointer
@@ -77,7 +77,10 @@ pub use matrix::{MatMut, MatRef, Matrix};
 pub use threads::{dense_threads, run_region};
 pub use trinv::{tri_invert, tri_invert_blocked, tri_invert_in_place};
 pub use trmm::trmm;
-pub use trsm::{trsm, trsm_in_place, trsv, trsv_in_place, Diag, Side, Triangle, PIVOT_TOL};
+pub use trsm::{
+    trsm, trsm_in_place, trsm_in_place_opts, trsm_opts, trsv, trsv_in_place, trsv_in_place_opts,
+    trsv_opts, Diag, Side, SolveOpts, Transpose, Triangle, PIVOT_TOL, TRSM_BLOCK,
+};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, DenseError>;

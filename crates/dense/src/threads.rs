@@ -1,7 +1,7 @@
 //! The in-tree worker pool behind the multithreaded packed GEMM.
 //!
 //! The pool is deliberately small: a parallel region is a `Vec` of
-//! independent jobs, one per worker, executed by [`join_all`].  Workers are
+//! independent jobs, one per worker, executed by `join_all`.  Workers are
 //! **scoped** (spawned through the crossbeam shim's `thread::scope`), so jobs
 //! may borrow the caller's stack — packed panels, matrix views — with no
 //! `'static` bounds, no job queue, and no idle threads between regions:
@@ -11,7 +11,7 @@
 //!
 //! The worker count comes from [`dense_threads`]: the `DENSE_THREADS`
 //! environment variable when set (clamped to `1..=MAX_THREADS`), otherwise
-//! the machine's available parallelism.  With one worker, [`join_all`] runs
+//! the machine's available parallelism.  With one worker, `join_all` runs
 //! the single job inline on the caller's thread — a deterministic fallback
 //! with no thread machinery at all.  Kernels built on the pool (the packed
 //! GEMM's column partitioning) produce bitwise-identical results for every
@@ -50,7 +50,7 @@ pub fn dense_threads() -> usize {
 /// Runs `f(0), f(1), …, f(workers - 1)` concurrently, one scoped worker per
 /// index, and returns when all have finished.
 ///
-/// This is the long-lived-region counterpart of [`join_all`]: instead of one
+/// This is the long-lived-region counterpart of `join_all`: instead of one
 /// short job per worker, every worker runs the *same* closure for the whole
 /// region and coordinates through whatever synchronization the closure
 /// captures (the `sparse` crate's level-scheduled solver drives one

@@ -43,13 +43,114 @@ pub enum Diag {
     Unit,
 }
 
+/// Whether the triangular operand is applied as stored or transposed
+/// (`op(A) = A` or `op(A) = Aᵀ`).
+///
+/// Transposed solves never materialize `Aᵀ`: the substitution base cases
+/// read `A` by rows in outer-product order, and the blocked drivers
+/// transpose one `NB`-wide panel at a time into a scratch buffer for the
+/// GEMM update (O(n·NB) extra memory, not O(n²)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transpose {
+    /// Solve with `A` as stored.
+    #[default]
+    No,
+    /// Solve with `Aᵀ` (e.g. `Lᵀ·X = B` for a stored lower-triangular `L`).
+    Yes,
+}
+
+/// Options of a triangular solve: which side the triangular operand is on,
+/// which triangle it occupies, whether it is applied transposed, and whether
+/// its diagonal is implicit ones.
+///
+/// This is the single options vocabulary shared by the dense kernels
+/// ([`trsm_opts`], [`trsv_opts`]), the sparse executors and the distributed
+/// algorithms (through `catrsm::SolveRequest`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveOpts {
+    /// Side of the unknown the triangular operand is on.
+    pub side: Side,
+    /// Triangle of the *stored* operand (before any transposition).
+    pub triangle: Triangle,
+    /// Whether the operand is applied transposed.
+    pub transpose: Transpose,
+    /// Whether the diagonal is implicit ones.
+    pub diag: Diag,
+}
+
+impl SolveOpts {
+    /// Left-side solve with a stored triangular operand: defaults to
+    /// non-transposed, non-unit diagonal.
+    pub fn new(triangle: Triangle) -> SolveOpts {
+        SolveOpts {
+            side: Side::Left,
+            triangle,
+            transpose: Transpose::No,
+            diag: Diag::NonUnit,
+        }
+    }
+
+    /// `A·X = B` with lower-triangular `A` (the paper's main case).
+    pub fn lower() -> SolveOpts {
+        SolveOpts::new(Triangle::Lower)
+    }
+
+    /// `A·X = B` with upper-triangular `A`.
+    pub fn upper() -> SolveOpts {
+        SolveOpts::new(Triangle::Upper)
+    }
+
+    /// Put the triangular operand on the given side (`A·X = B` or `X·A = B`).
+    pub fn side(mut self, side: Side) -> SolveOpts {
+        self.side = side;
+        self
+    }
+
+    /// Apply the operand transposed (`op(A) = Aᵀ`).
+    pub fn transposed(mut self) -> SolveOpts {
+        self.transpose = Transpose::Yes;
+        self
+    }
+
+    /// Set the transpose flag explicitly.
+    pub fn transpose(mut self, transpose: Transpose) -> SolveOpts {
+        self.transpose = transpose;
+        self
+    }
+
+    /// Treat the diagonal as implicit ones.
+    pub fn unit_diagonal(mut self) -> SolveOpts {
+        self.diag = Diag::Unit;
+        self
+    }
+
+    /// Set the diagonal kind explicitly.
+    pub fn diag(mut self, diag: Diag) -> SolveOpts {
+        self.diag = diag;
+        self
+    }
+
+    /// The triangle `op(A)` effectively occupies: transposition flips it.
+    pub fn op_triangle(&self) -> Triangle {
+        match (self.triangle, self.transpose) {
+            (t, Transpose::No) => t,
+            (Triangle::Lower, Transpose::Yes) => Triangle::Upper,
+            (Triangle::Upper, Transpose::Yes) => Triangle::Lower,
+        }
+    }
+}
+
 /// Pivots (or explicit diagonal entries, in the `sparse` crate) smaller
 /// than this in absolute value are treated as singular.
 pub const PIVOT_TOL: f64 = 1e-300;
 
 /// Panel width of the blocked solve: the substitution runs on `NB×NB`
-/// diagonal blocks and everything else is GEMM.
-const NB: usize = 64;
+/// diagonal blocks and everything else is GEMM.  Public so solver plans can
+/// report the blocking they will execute with.
+pub const TRSM_BLOCK: usize = 64;
+
+/// Internal alias for the panel width.
+const NB: usize = TRSM_BLOCK;
 
 /// Solve `A · X = B` where `A` is triangular, returning `X` as a new matrix.
 ///
@@ -57,15 +158,22 @@ const NB: usize = 64;
 /// * `diag` selects whether the diagonal is implicit ones.
 /// * `a` must be square `n×n`, `b` must be `n×k`.
 pub fn trsm(tri: Triangle, diag: Diag, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    trsm_opts(&SolveOpts::new(tri).diag(diag), a, b)
+}
+
+/// Solve a triangular system described by a [`SolveOpts`], returning the
+/// solution as a new matrix.
+pub fn trsm_opts(opts: &SolveOpts, a: &Matrix, b: &Matrix) -> Result<Matrix> {
     let mut x = b.clone();
-    trsm_in_place(Side::Left, tri, diag, a, &mut x)?;
+    trsm_in_place_opts(opts, a, &mut x)?;
     Ok(x)
 }
 
 /// Solve a triangular system in place, overwriting `b` with the solution.
 ///
 /// Supports both `A·X = B` (`Side::Left`) and `X·A = B` (`Side::Right`).
-/// Returns the flop count of the substitution.
+/// Returns the flop count of the substitution.  Shorthand for
+/// [`trsm_in_place_opts`] with `Transpose::No`.
 pub fn trsm_in_place(
     side: Side,
     tri: Triangle,
@@ -73,6 +181,19 @@ pub fn trsm_in_place(
     a: &Matrix,
     b: &mut Matrix,
 ) -> Result<FlopCount> {
+    trsm_in_place_opts(&SolveOpts::new(tri).side(side).diag(diag), a, b)
+}
+
+/// Solve `op(A)·X = B` (or `X·op(A) = B`) in place, where every aspect of
+/// the solve — side, triangle, transposition, diagonal kind — comes from the
+/// [`SolveOpts`].  Overwrites `b` with the solution and returns the flop
+/// count of the substitution.
+///
+/// The transposed cases solve against `Aᵀ` **without materializing it**: the
+/// blocked drivers transpose one `NB`-wide panel at a time for the GEMM
+/// update and the substitution base cases read `A` by rows in outer-product
+/// order.
+pub fn trsm_in_place_opts(opts: &SolveOpts, a: &Matrix, b: &mut Matrix) -> Result<FlopCount> {
     if !a.is_square() {
         return Err(DenseError::NotSquare {
             op: "trsm",
@@ -80,7 +201,7 @@ pub fn trsm_in_place(
         });
     }
     let n = a.rows();
-    match side {
+    match opts.side {
         Side::Left => {
             if b.rows() != n {
                 return Err(DenseError::DimensionMismatch {
@@ -100,7 +221,7 @@ pub fn trsm_in_place(
             }
         }
     }
-    if diag == Diag::NonUnit {
+    if opts.diag == Diag::NonUnit {
         for i in 0..n {
             if a[(i, i)].abs() < PIVOT_TOL {
                 return Err(DenseError::SingularPivot {
@@ -111,16 +232,21 @@ pub fn trsm_in_place(
         }
     }
 
-    let k = match side {
+    let k = match opts.side {
         Side::Left => b.cols(),
         Side::Right => b.rows(),
     };
+    let diag = opts.diag;
 
-    match (side, tri) {
-        (Side::Left, Triangle::Lower) => solve_left_lower_blocked(diag, a, b),
-        (Side::Left, Triangle::Upper) => solve_left_upper_blocked(diag, a, b),
-        (Side::Right, Triangle::Lower) => solve_right_lower_blocked(diag, a, b),
-        (Side::Right, Triangle::Upper) => solve_right_upper_blocked(diag, a, b),
+    match (opts.side, opts.triangle, opts.transpose) {
+        (Side::Left, Triangle::Lower, Transpose::No) => solve_left_lower_blocked(diag, a, b),
+        (Side::Left, Triangle::Upper, Transpose::No) => solve_left_upper_blocked(diag, a, b),
+        (Side::Right, Triangle::Lower, Transpose::No) => solve_right_lower_blocked(diag, a, b),
+        (Side::Right, Triangle::Upper, Transpose::No) => solve_right_upper_blocked(diag, a, b),
+        (Side::Left, Triangle::Lower, Transpose::Yes) => solve_left_lower_t_blocked(diag, a, b),
+        (Side::Left, Triangle::Upper, Transpose::Yes) => solve_left_upper_t_blocked(diag, a, b),
+        (Side::Right, Triangle::Lower, Transpose::Yes) => solve_right_lower_t_blocked(diag, a, b),
+        (Side::Right, Triangle::Upper, Transpose::Yes) => solve_right_upper_t_blocked(diag, a, b),
     }
 
     Ok(trsm_flops(n, k))
@@ -131,6 +257,95 @@ pub fn trsv(tri: Triangle, diag: Diag, a: &Matrix, b: &[f64]) -> Result<Vec<f64>
     let mut x = b.to_vec();
     trsv_in_place(tri, diag, a, &mut x)?;
     Ok(x)
+}
+
+/// Single-RHS triangular solve described by a [`SolveOpts`]: `op(A)·x = b`.
+///
+/// The side must be [`Side::Left`] (a single right-hand side has no
+/// meaningful right-side form distinct from the transposed left solve).
+pub fn trsv_opts(opts: &SolveOpts, a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let mut x = b.to_vec();
+    trsv_in_place_opts(opts, a, &mut x)?;
+    Ok(x)
+}
+
+/// [`trsv_opts`] in place: `x` holds `b` on entry and the solution of
+/// `op(A)·x = b` on exit, allocating nothing.
+pub fn trsv_in_place_opts(opts: &SolveOpts, a: &Matrix, x: &mut [f64]) -> Result<FlopCount> {
+    if opts.side == Side::Right {
+        return Err(DenseError::DimensionMismatch {
+            op: "trsv (right side unsupported)",
+            lhs: a.dims(),
+            rhs: (x.len(), 1),
+        });
+    }
+    match opts.transpose {
+        Transpose::No => trsv_in_place(opts.triangle, opts.diag, a, x),
+        Transpose::Yes => trsv_in_place_transposed(opts.triangle, opts.diag, a, x),
+    }
+}
+
+/// `Aᵀ·x = b` in place without materializing `Aᵀ`: outer-product
+/// substitution reading `A` by rows (contiguous in the row-major layout).
+fn trsv_in_place_transposed(
+    tri: Triangle,
+    diag: Diag,
+    a: &Matrix,
+    x: &mut [f64],
+) -> Result<FlopCount> {
+    if !a.is_square() {
+        return Err(DenseError::NotSquare {
+            op: "trsv",
+            dims: a.dims(),
+        });
+    }
+    let n = a.rows();
+    if x.len() != n {
+        return Err(DenseError::DimensionMismatch {
+            op: "trsv",
+            lhs: a.dims(),
+            rhs: (x.len(), 1),
+        });
+    }
+    if diag == Diag::NonUnit {
+        for i in 0..n {
+            if a[(i, i)].abs() < PIVOT_TOL {
+                return Err(DenseError::SingularPivot {
+                    index: i,
+                    value: a[(i, i)],
+                });
+            }
+        }
+    }
+    match tri {
+        // Lᵀ·x = b: Σ_i L[i,j]·x[i] = b[j]; sweep i downward, scatter row i.
+        Triangle::Lower => {
+            for i in (0..n).rev() {
+                let row = a.row(i);
+                if diag == Diag::NonUnit {
+                    x[i] /= row[i];
+                }
+                let xi = x[i];
+                for (xj, aij) in x[..i].iter_mut().zip(&row[..i]) {
+                    *xj -= aij * xi;
+                }
+            }
+        }
+        // Uᵀ·x = b: sweep i upward, scatter row i's tail.
+        Triangle::Upper => {
+            for i in 0..n {
+                let row = a.row(i);
+                if diag == Diag::NonUnit {
+                    x[i] /= row[i];
+                }
+                let xi = x[i];
+                for (xj, aij) in x[(i + 1)..].iter_mut().zip(&row[(i + 1)..]) {
+                    *xj -= aij * xi;
+                }
+            }
+        }
+    }
+    Ok(trsm_flops(n, 1))
 }
 
 /// Single-RHS triangular solve in place: overwrites `x` (holding `b` on
@@ -316,6 +531,125 @@ fn solve_right_upper_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
 }
 
 // ---------------------------------------------------------------------------
+// Transposed blocked drivers: op(A) = Aᵀ.  The GEMM updates transpose one
+// NB-wide panel of A into a scratch matrix (O(n·NB) memory, standard BLAS
+// panel packing), so the full Aᵀ is never materialized; the diagonal blocks
+// run outer-product substitution reading A by rows.
+// ---------------------------------------------------------------------------
+
+/// Transposed copy of a view into a fresh (small, panel-sized) matrix.
+fn transposed_panel(v: crate::matrix::MatRef<'_>) -> Matrix {
+    let mut out = Matrix::zeros(v.cols(), v.rows());
+    for i in 0..v.rows() {
+        let row = v.row(i);
+        for (j, &val) in row.iter().enumerate() {
+            out[(j, i)] = val;
+        }
+    }
+    out
+}
+
+fn solve_left_lower_t_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
+    // Lᵀ·X = B: Lᵀ is upper triangular, so blocks run bottom-up; the update
+    // of block [i0, i1) reads already-solved rows below it through the panel
+    // (L[i1.., i0..i1])ᵀ.
+    let n = a.rows();
+    let k = b.cols();
+    let mut i1 = n;
+    while i1 > 0 {
+        let i0 = i1.saturating_sub(NB);
+        if i1 < n {
+            // B[i0..i1] -= (L[i1..n, i0..i1])ᵀ · X[i1..n]
+            let at = transposed_panel(a.view(i1, i0, n - i1, i1 - i0));
+            let (head, solved) = b.as_view_mut().split_rows_at_mut(i1);
+            let mut target = head.subview_mut(i0, 0, i1 - i0, k);
+            gemm_views(-1.0, at.as_view(), solved.rb(), 1.0, &mut target)
+                .expect("blocked trsm: transposed update dims");
+        }
+        solve_left_lower_t_base(
+            diag,
+            a.view(i0, i0, i1 - i0, i1 - i0),
+            b.view_mut(i0, 0, i1 - i0, k),
+        );
+        i1 = i0;
+    }
+}
+
+fn solve_left_upper_t_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
+    // Uᵀ·X = B: Uᵀ is lower triangular, so blocks run top-down.
+    let n = a.rows();
+    let k = b.cols();
+    let mut i0 = 0;
+    while i0 < n {
+        let i1 = (i0 + NB).min(n);
+        if i0 > 0 {
+            // B[i0..i1] -= (U[0..i0, i0..i1])ᵀ · X[0..i0]
+            let at = transposed_panel(a.view(0, i0, i0, i1 - i0));
+            let (solved, rest) = b.as_view_mut().split_rows_at_mut(i0);
+            let mut target = rest.subview_mut(0, 0, i1 - i0, k);
+            gemm_views(-1.0, at.as_view(), solved.rb(), 1.0, &mut target)
+                .expect("blocked trsm: transposed update dims");
+        }
+        solve_left_upper_t_base(
+            diag,
+            a.view(i0, i0, i1 - i0, i1 - i0),
+            b.view_mut(i0, 0, i1 - i0, k),
+        );
+        i0 = i1;
+    }
+}
+
+fn solve_right_lower_t_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
+    // X·Lᵀ = B: Lᵀ is upper triangular on the right, so columns run first to
+    // last (mirror of the right-upper case).
+    let n = a.rows();
+    let m = b.rows();
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + NB).min(n);
+        if j0 > 0 {
+            // B[:, j0..j1] -= X[:, 0..j0] · (L[j0..j1, 0..j0])ᵀ
+            let at = transposed_panel(a.view(j0, 0, j1 - j0, j0));
+            let (solved, tail) = b.as_view_mut().split_cols_at_mut(j0);
+            let mut target = tail.subview_mut(0, 0, m, j1 - j0);
+            gemm_views(-1.0, solved.rb(), at.as_view(), 1.0, &mut target)
+                .expect("blocked trsm: transposed update dims");
+        }
+        solve_right_lower_t_base(
+            diag,
+            a.view(j0, j0, j1 - j0, j1 - j0),
+            b.view_mut(0, j0, m, j1 - j0),
+        );
+        j0 = j1;
+    }
+}
+
+fn solve_right_upper_t_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
+    // X·Uᵀ = B: Uᵀ is lower triangular on the right, so columns run last to
+    // first (mirror of the right-lower case).
+    let n = a.rows();
+    let m = b.rows();
+    let mut j1 = n;
+    while j1 > 0 {
+        let j0 = j1.saturating_sub(NB);
+        if j1 < n {
+            // B[:, j0..j1] -= X[:, j1..n] · (U[j0..j1, j1..n])ᵀ
+            let at = transposed_panel(a.view(j0, j1, j1 - j0, n - j1));
+            let (head, solved) = b.as_view_mut().split_cols_at_mut(j1);
+            let mut target = head.subview_mut(0, j0, m, j1 - j0);
+            gemm_views(-1.0, solved.rb(), at.as_view(), 1.0, &mut target)
+                .expect("blocked trsm: transposed update dims");
+        }
+        solve_right_upper_t_base(
+            diag,
+            a.view(j0, j0, j1 - j0, j1 - j0),
+            b.view_mut(0, j0, m, j1 - j0),
+        );
+        j1 = j0;
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Unblocked base cases on the NB×NB diagonal blocks.
 // ---------------------------------------------------------------------------
 
@@ -399,6 +733,89 @@ fn solve_right_upper_base(diag: Diag, a: MatRef<'_>, mut b: MatMut<'_>) {
             } else {
                 v
             };
+        }
+    }
+}
+
+// Transposed base cases: outer-product substitution on the diagonal block,
+// reading `a` by rows (Σ_i a[i,j]·x[i] = b[j] for op(A) = Aᵀ).
+
+fn solve_left_lower_t_base(diag: Diag, a: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = a.rows();
+    for i in (0..n).rev() {
+        if diag == Diag::NonUnit {
+            let inv = 1.0 / a.at(i, i);
+            for v in b.row_mut(i) {
+                *v *= inv;
+            }
+        }
+        for j in 0..i {
+            let aij = a.at(i, j);
+            if aij == 0.0 {
+                continue;
+            }
+            let (row_j, row_i) = b.row_pair_mut(j, i);
+            for (rj, ri) in row_j.iter_mut().zip(row_i) {
+                *rj -= aij * ri;
+            }
+        }
+    }
+}
+
+fn solve_left_upper_t_base(diag: Diag, a: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = a.rows();
+    for i in 0..n {
+        if diag == Diag::NonUnit {
+            let inv = 1.0 / a.at(i, i);
+            for v in b.row_mut(i) {
+                *v *= inv;
+            }
+        }
+        for j in (i + 1)..n {
+            let aij = a.at(i, j);
+            if aij == 0.0 {
+                continue;
+            }
+            let (row_j, row_i) = b.row_pair_mut(j, i);
+            for (rj, ri) in row_j.iter_mut().zip(row_i) {
+                *rj -= aij * ri;
+            }
+        }
+    }
+}
+
+fn solve_right_lower_t_base(diag: Diag, a: MatRef<'_>, mut b: MatMut<'_>) {
+    // Per row r: x·Lᵀ = b over the block ⟺ Σ_i x[i]·L[j,i] = b[j];
+    // columns first to last, reading row j of L contiguously.
+    let n = a.rows();
+    let m = b.rows();
+    for r in 0..m {
+        let row = b.row_mut(r);
+        for j in 0..n {
+            let aj = a.row(j);
+            let mut v = row[j];
+            for (rv, av) in row[..j].iter().zip(&aj[..j]) {
+                v -= rv * av;
+            }
+            row[j] = if diag == Diag::NonUnit { v / aj[j] } else { v };
+        }
+    }
+}
+
+fn solve_right_upper_t_base(diag: Diag, a: MatRef<'_>, mut b: MatMut<'_>) {
+    // Per row r: x·Uᵀ = b over the block ⟺ Σ_i x[i]·U[j,i] = b[j];
+    // columns last to first, reading row j of U contiguously.
+    let n = a.rows();
+    let m = b.rows();
+    for r in 0..m {
+        let row = b.row_mut(r);
+        for j in (0..n).rev() {
+            let aj = a.row(j);
+            let mut v = row[j];
+            for (rv, av) in row[(j + 1)..n].iter().zip(&aj[(j + 1)..n]) {
+                v -= rv * av;
+            }
+            row[j] = if diag == Diag::NonUnit { v / aj[j] } else { v };
         }
     }
 }
@@ -501,6 +918,97 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn transposed_solves_match_explicit_transpose_every_variant() {
+        // op(A) = Aᵀ without materializing Aᵀ must agree with solving the
+        // explicitly transposed matrix through the non-transposed kernels,
+        // across NB boundaries, both sides, both triangles, both diagonals.
+        for &n in &[1usize, 2, 63, 64, 65, 130] {
+            let l = lower(n);
+            let u = l.transpose();
+            for &k in &[1usize, 4, 9] {
+                let b_left = Matrix::from_fn(n, k, |i, j| ((i * 3 + j * 7) % 11) as f64 - 5.0);
+                let b_right = Matrix::from_fn(k, n, |i, j| ((i * 3 + j * 7) % 11) as f64 - 5.0);
+                for diag in [Diag::NonUnit, Diag::Unit] {
+                    for (side, tri, a, b) in [
+                        (Side::Left, Triangle::Lower, &l, &b_left),
+                        (Side::Left, Triangle::Upper, &u, &b_left),
+                        (Side::Right, Triangle::Lower, &l, &b_right),
+                        (Side::Right, Triangle::Upper, &u, &b_right),
+                    ] {
+                        let opts = SolveOpts::new(tri).side(side).diag(diag).transposed();
+                        let mut fast = b.clone();
+                        let f1 = trsm_in_place_opts(&opts, a, &mut fast).unwrap();
+                        // Reference: solve against the materialized transpose
+                        // with the opposite triangle.
+                        let at = a.transpose();
+                        let mut slow = b.clone();
+                        let f2 =
+                            trsm_in_place(side, opts.op_triangle(), diag, &at, &mut slow).unwrap();
+                        assert!(
+                            near(&fast, &slow, 1e-8),
+                            "transpose mismatch at n={n} k={k} {side:?} {tri:?} {diag:?}"
+                        );
+                        assert_eq!(f1, f2, "flop accounting must match");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_trsv_matches_transposed_trsm() {
+        for &n in &[1usize, 5, 40, 70] {
+            let l = lower(n);
+            let u = l.transpose();
+            let b: Vec<f64> = (0..n).map(|i| ((i * 5) % 7) as f64 - 3.0).collect();
+            let rhs = Matrix::from_vec(n, 1, b.clone()).unwrap();
+            for diag in [Diag::NonUnit, Diag::Unit] {
+                for (tri, a) in [(Triangle::Lower, &l), (Triangle::Upper, &u)] {
+                    let opts = SolveOpts::new(tri).diag(diag).transposed();
+                    let mut x = b.clone();
+                    let f = trsv_in_place_opts(&opts, a, &mut x).unwrap();
+                    assert_eq!(f, trsm_flops(n, 1));
+                    let xm = trsm_opts(&opts, a, &rhs).unwrap();
+                    for (got, want) in x.iter().zip(xm.as_slice()) {
+                        assert!(
+                            (got - want).abs() < 1e-9,
+                            "trsv transposed diverged at n={n} {tri:?} {diag:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn op_triangle_flips_under_transpose() {
+        assert_eq!(SolveOpts::lower().op_triangle(), Triangle::Lower);
+        assert_eq!(
+            SolveOpts::lower().transposed().op_triangle(),
+            Triangle::Upper
+        );
+        assert_eq!(
+            SolveOpts::upper().transposed().op_triangle(),
+            Triangle::Lower
+        );
+        let o = SolveOpts::lower()
+            .side(Side::Right)
+            .unit_diagonal()
+            .transpose(Transpose::Yes);
+        assert_eq!(o.side, Side::Right);
+        assert_eq!(o.diag, Diag::Unit);
+        assert_eq!(o.transpose, Transpose::Yes);
+    }
+
+    #[test]
+    fn trsv_opts_rejects_right_side() {
+        let l = lower(3);
+        let mut x = vec![1.0; 3];
+        let opts = SolveOpts::lower().side(Side::Right);
+        assert!(trsv_in_place_opts(&opts, &l, &mut x).is_err());
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub struct SparseTri {
     /// observable through [`SparseTri::analysis_count`], so tests can assert
     /// the schedule is reused rather than recomputed per solve.
     analyses: AtomicUsize,
+    /// Lazily computed transpose (see [`SparseTri::transposed`]): built once
+    /// per matrix so repeated `Aᵀ·x = b` solves reuse both the transposed
+    /// CSR arrays and the schedule cached on them.
+    transpose_cache: OnceLock<Box<SparseTri>>,
 }
 
 impl SparseTri {
@@ -217,6 +221,7 @@ impl SparseTri {
             diag_vals,
             schedule: OnceLock::new(),
             analyses: AtomicUsize::new(0),
+            transpose_cache: OnceLock::new(),
         })
     }
 
@@ -351,7 +356,21 @@ impl SparseTri {
             diag_vals: self.diag_vals.clone(),
             schedule: OnceLock::new(),
             analyses: AtomicUsize::new(0),
+            transpose_cache: OnceLock::new(),
         }
+    }
+
+    /// The cached transpose of this matrix, built on first use and reused
+    /// for the lifetime of the matrix — the analyze-once pattern applied to
+    /// transposed solves (`Aᵀ·x = b`): the O(nnz) transposition runs once,
+    /// and the transpose's own level-set schedule is cached on it.
+    ///
+    /// This is what the transposed solve executors
+    /// ([`SparseTri::solve_with`](crate::solve) with
+    /// [`dense::Transpose::Yes`]) run on.
+    pub fn transposed(&self) -> &SparseTri {
+        self.transpose_cache
+            .get_or_init(|| Box::new(self.transpose()))
     }
 }
 
@@ -370,6 +389,7 @@ impl Clone for SparseTri {
             diag_vals: self.diag_vals.clone(),
             schedule: self.schedule.clone(),
             analyses: AtomicUsize::new(0),
+            transpose_cache: self.transpose_cache.clone(),
         }
     }
 }
@@ -548,6 +568,19 @@ mod tests {
         assert_eq!(t.to_dense(), m.to_dense().transpose());
         // Transposing back recovers the original.
         assert_eq!(t.transpose().to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn transposed_is_cached_and_reused() {
+        let m = small_lower();
+        let t1 = m.transposed() as *const SparseTri;
+        let t2 = m.transposed() as *const SparseTri;
+        assert_eq!(t1, t2, "transpose must be built once and cached");
+        assert_eq!(m.transposed().to_dense(), m.to_dense().transpose());
+        // The schedule analyzed on the cached transpose is itself reused.
+        let _ = m.transposed().schedule();
+        let _ = m.transposed().schedule();
+        assert_eq!(m.transposed().analysis_count(), 1);
     }
 
     #[test]

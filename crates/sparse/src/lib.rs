@@ -35,15 +35,19 @@
 //! ## Quick example
 //!
 //! ```
-//! use sparse::gen;
+//! use sparse::{gen, SolveOpts};
 //! let l = gen::random_lower(1000, 8, 42);
 //! let b = gen::rhs_vec(1000, 7);
 //! let sched = l.schedule();                      // analyze once, O(nnz)
 //! assert!(sched.num_levels() < 1000);            // level compression
 //! let mut x = b.clone();
-//! l.solve_in_place_with_threads(&mut x, 4).unwrap();   // level-parallel sweeps
-//! assert_eq!(x, l.solve_seq(&b).unwrap());       // bitwise identical
+//! l.solve_with(&SolveOpts::new().threads(4), &mut x).unwrap(); // level-parallel
+//! let mut x1 = b.clone();
+//! l.solve_with(&SolveOpts::new().threads(1), &mut x1).unwrap();
+//! assert_eq!(x, x1);                             // bitwise identical
 //! assert_eq!(l.analysis_count(), 1);             // schedule reused, not re-run
+//! let mut xt = b.clone();
+//! l.solve_with(&SolveOpts::new().transposed(), &mut xt).unwrap(); // Lᵀ·x = b
 //! ```
 
 pub mod csr;
@@ -55,7 +59,7 @@ pub mod solve;
 pub use csr::SparseTri;
 pub use error::SparseError;
 pub use schedule::Schedule;
-pub use solve::PAR_MIN_WORK;
+pub use solve::{SolveOpts, PAR_MIN_WORK};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, SparseError>;

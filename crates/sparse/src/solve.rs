@@ -1,18 +1,29 @@
 //! Sparse triangular solve executors.
 //!
-//! Three executors share one row-elimination kernel:
+//! Every solve funnels through **one options-driven entry point** —
+//! [`SparseTri::solve_with`] / [`SparseTri::solve_multi_with`] with a
+//! [`SolveOpts`] — which picks between three execution strategies sharing
+//! one row-elimination kernel:
 //!
-//! * [`SparseTri::solve_seq`] / [`SparseTri::solve_multi_seq`] — the
-//!   sequential baseline: rows in dependency order (ascending for lower,
-//!   descending for upper), no analysis needed;
-//! * [`SparseTri::solve`] / [`SparseTri::solve_multi`] — the
-//!   level-scheduled parallel executors: the cached [`crate::Schedule`]'s
-//!   levels run as barrier-separated sweeps on the [`dense::run_region`]
-//!   worker pool, each level's rows split into one contiguous chunk per
-//!   worker;
-//! * [`SparseTri::solve_via_dense`] — the dense-fallback bridge: densify
-//!   and call [`dense::trsv_in_place`], for patterns so dense that CSR
-//!   indirection loses to the vectorized dense substitution.
+//! * a worker budget of 1 (pinned, or implicit under [`PAR_MIN_WORK`]) runs
+//!   the sequential baseline: rows in dependency order (ascending for
+//!   lower, descending for upper), no analysis needed;
+//! * a larger budget runs the level-scheduled parallel executor: the cached
+//!   [`crate::Schedule`]'s levels run as barrier-separated sweeps on the
+//!   [`dense::run_region`] worker pool, each level's rows split into one
+//!   contiguous chunk per worker;
+//! * [`dense::Transpose::Yes`] solves `Aᵀ·x = b` on the cached
+//!   [`SparseTri::transposed`] matrix (and its cached schedule), so
+//!   transposed applies — the `Lᵀ` half of an `ILU`/`IC` preconditioner —
+//!   cost one O(nnz) transposition ever, not one per solve.
+//!
+//! [`SparseTri::solve_via_dense`] remains as the dense-fallback bridge:
+//! densify and call [`dense::trsv_in_place`], for patterns so dense that
+//! CSR indirection loses to the vectorized dense substitution.  The
+//! historical `solve{,_seq,_multi}{,_in_place}{,_with_threads}` surface is
+//! kept as thin shims (the `_seq`/`_with_threads` forms deprecated) over
+//! the options-driven core; `catrsm::SolveRequest` is the cross-backend
+//! front end.
 //!
 //! Because a row's result depends only on rows in earlier levels — which
 //! are complete before the row runs, in every executor — and the per-row
@@ -27,8 +38,52 @@
 use crate::csr::SparseTri;
 use crate::error::SparseError;
 use crate::Result;
-use dense::{dense_threads, run_region, Diag, FlopCount, Matrix};
+use dense::{dense_threads, run_region, Diag, FlopCount, Matrix, Transpose};
 use std::sync::Barrier;
+
+/// Options of one sparse triangular solve: whether the matrix is applied
+/// transposed, and the worker budget.
+///
+/// This is the single execution vocabulary every sparse solve funnels
+/// through ([`SparseTri::solve_with`] / [`SparseTri::solve_multi_with`]);
+/// the historical `solve{,_seq,_multi}{,_in_place}{,_with_threads}`
+/// combinatorics are thin shims over it, and `catrsm::SolveRequest` lowers
+/// to it for the sparse backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveOpts {
+    /// Apply the matrix transposed (`Aᵀ·x = b`); runs on the cached
+    /// [`SparseTri::transposed`] matrix and its cached schedule.
+    pub transpose: Transpose,
+    /// Worker budget: `None` applies the implicit [`PAR_MIN_WORK`] gate and
+    /// the `DENSE_THREADS` pool size; `Some(t)` pins exactly `t` workers.
+    /// Results are bitwise identical for every value.
+    pub threads: Option<usize>,
+}
+
+impl SolveOpts {
+    /// Default options: non-transposed, implicit worker gate.
+    pub fn new() -> SolveOpts {
+        SolveOpts::default()
+    }
+
+    /// Apply the matrix transposed.
+    pub fn transposed(mut self) -> SolveOpts {
+        self.transpose = Transpose::Yes;
+        self
+    }
+
+    /// Set the transpose flag explicitly.
+    pub fn transpose(mut self, transpose: Transpose) -> SolveOpts {
+        self.transpose = transpose;
+        self
+    }
+
+    /// Pin the worker budget (bypassing the [`PAR_MIN_WORK`] gate).
+    pub fn threads(mut self, threads: usize) -> SolveOpts {
+        self.threads = Some(threads);
+        self
+    }
+}
 
 /// Below this many `nnz · k` units of work a solve never goes parallel on
 /// its own: one region spawn costs tens of microseconds, which rivals the
@@ -183,6 +238,70 @@ impl SparseTri {
         self.solve_flops(k)
     }
 
+    /// The matrix the executor actually sweeps: `self` for a plain solve,
+    /// the cached [`SparseTri::transposed`] for a transposed one.
+    #[inline]
+    pub fn executor(&self, transpose: Transpose) -> &SparseTri {
+        match transpose {
+            Transpose::No => self,
+            Transpose::Yes => self.transposed(),
+        }
+    }
+
+    /// The worker count a solve with these options and `k` right-hand sides
+    /// will run with — the same decision [`SparseTri::solve_with`] makes, so
+    /// plans can be inspected before execution.  Depends only on the matrix,
+    /// `k` and the options, never on timing.
+    ///
+    /// A budget of 1 (implicit or pinned) never touches the schedule, so
+    /// sequential solves still run analysis-free.
+    pub fn planned_workers(&self, opts: &SolveOpts, k: usize) -> usize {
+        let exec = self.executor(opts.transpose);
+        let budget = opts.threads.unwrap_or_else(|| exec.implicit_threads(k));
+        if budget > 1 {
+            budget.min(exec.schedule().max_level_width())
+        } else {
+            1
+        }
+    }
+
+    /// Solves `op(A)·x = b` in place under the given [`SolveOpts`]: `x`
+    /// holds `b` on entry and the solution on exit.  Returns the flop count.
+    ///
+    /// This is the single entry point every sparse solve funnels through;
+    /// with default options it is [`SparseTri::solve_in_place`], with a
+    /// pinned budget the historical `_with_threads` variants, and with
+    /// [`Transpose::Yes`] the transposed solve on the cached transpose.
+    pub fn solve_with(&self, opts: &SolveOpts, x: &mut [f64]) -> Result<FlopCount> {
+        if x.len() != self.n() {
+            return Err(SparseError::DimensionMismatch {
+                op: "sparse solve",
+                n: self.n(),
+                rhs: (x.len(), 1),
+            });
+        }
+        let exec = self.executor(opts.transpose);
+        let threads = opts.threads.unwrap_or_else(|| exec.implicit_threads(1));
+        Ok(exec.run_solve(x.as_mut_ptr(), 1, 1, threads))
+    }
+
+    /// Solves `op(A)·X = B` in place for a block of right-hand sides under
+    /// the given [`SolveOpts`]; level-parallel across rows and vectorized
+    /// across the `k` columns.  `x` holds `B` on entry and `X` on exit.
+    pub fn solve_multi_with(&self, opts: &SolveOpts, x: &mut Matrix) -> Result<FlopCount> {
+        if x.rows() != self.n() {
+            return Err(SparseError::DimensionMismatch {
+                op: "sparse solve_multi",
+                n: self.n(),
+                rhs: x.dims(),
+            });
+        }
+        let k = x.cols();
+        let exec = self.executor(opts.transpose);
+        let threads = opts.threads.unwrap_or_else(|| exec.implicit_threads(k));
+        Ok(exec.run_solve(x.as_mut_slice().as_mut_ptr(), k, k, threads))
+    }
+
     /// Solves `A · x = b` for one right-hand side, level-parallel on the
     /// `DENSE_THREADS` worker pool; returns the solution vector.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
@@ -197,34 +316,42 @@ impl SparseTri {
     /// Solves of at least [`PAR_MIN_WORK`] `nnz · k` units run on the
     /// `DENSE_THREADS` worker pool; smaller ones stay on the calling thread.
     pub fn solve_in_place(&self, x: &mut [f64]) -> Result<FlopCount> {
-        self.solve_in_place_with_threads(x, self.implicit_threads(1))
+        self.solve_with(&SolveOpts::new(), x)
     }
 
     /// [`SparseTri::solve_in_place`] with an explicit worker budget instead
     /// of the `DENSE_THREADS` default.  Results are bitwise identical for
     /// every value of `threads`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_with(&SolveOpts::new().threads(threads), x)` \
+                or `catrsm::SolveRequest`"
+    )]
     pub fn solve_in_place_with_threads(&self, x: &mut [f64], threads: usize) -> Result<FlopCount> {
-        if x.len() != self.n() {
-            return Err(SparseError::DimensionMismatch {
-                op: "sparse solve",
-                n: self.n(),
-                rhs: (x.len(), 1),
-            });
-        }
-        Ok(self.run_solve(x.as_mut_ptr(), 1, 1, threads))
+        self.solve_with(&SolveOpts::new().threads(threads), x)
     }
 
     /// Sequential baseline for [`SparseTri::solve`]: one substitution sweep
     /// in dependency order, no analysis, no workers.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_with(&SolveOpts::new().threads(1), x)` \
+                or `catrsm::SolveRequest`"
+    )]
     pub fn solve_seq(&self, b: &[f64]) -> Result<Vec<f64>> {
         let mut x = b.to_vec();
-        self.solve_seq_in_place(&mut x)?;
+        self.solve_with(&SolveOpts::new().threads(1), &mut x)?;
         Ok(x)
     }
 
     /// [`SparseTri::solve_seq`] in place; returns the flop count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_with(&SolveOpts::new().threads(1), x)` \
+                or `catrsm::SolveRequest`"
+    )]
     pub fn solve_seq_in_place(&self, x: &mut [f64]) -> Result<FlopCount> {
-        self.solve_in_place_with_threads(x, 1)
+        self.solve_with(&SolveOpts::new().threads(1), x)
     }
 
     /// Solves `A · X = B` for a block of right-hand sides (`B` is `n × k`),
@@ -239,31 +366,33 @@ impl SparseTri {
     /// on exit.  Returns the flop count.  Gated on [`PAR_MIN_WORK`] like
     /// [`SparseTri::solve_in_place`].
     pub fn solve_multi_in_place(&self, x: &mut Matrix) -> Result<FlopCount> {
-        self.solve_multi_in_place_with_threads(x, self.implicit_threads(x.cols()))
+        self.solve_multi_with(&SolveOpts::new(), x)
     }
 
     /// [`SparseTri::solve_multi_in_place`] with an explicit worker budget;
     /// bitwise identical for every value of `threads`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_multi_with(&SolveOpts::new().threads(threads), x)` \
+                or `catrsm::SolveRequest`"
+    )]
     pub fn solve_multi_in_place_with_threads(
         &self,
         x: &mut Matrix,
         threads: usize,
     ) -> Result<FlopCount> {
-        if x.rows() != self.n() {
-            return Err(SparseError::DimensionMismatch {
-                op: "sparse solve_multi",
-                n: self.n(),
-                rhs: x.dims(),
-            });
-        }
-        let k = x.cols();
-        Ok(self.run_solve(x.as_mut_slice().as_mut_ptr(), k, k, threads))
+        self.solve_multi_with(&SolveOpts::new().threads(threads), x)
     }
 
     /// Sequential baseline for [`SparseTri::solve_multi`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_multi_with(&SolveOpts::new().threads(1), x)` \
+                or `catrsm::SolveRequest`"
+    )]
     pub fn solve_multi_seq(&self, b: &Matrix) -> Result<Matrix> {
         let mut x = b.clone();
-        self.solve_multi_in_place_with_threads(&mut x, 1)?;
+        self.solve_multi_with(&SolveOpts::new().threads(1), &mut x)?;
         Ok(x)
     }
 
@@ -285,6 +414,10 @@ impl SparseTri {
 
 #[cfg(test)]
 mod tests {
+    // The historical shims are exercised on purpose: they must stay bitwise
+    // equal to the options-driven core they delegate to.
+    #![allow(deprecated)]
+
     use super::*;
     use dense::Triangle;
 
@@ -471,6 +604,132 @@ mod tests {
             m2.solve_multi_in_place(&mut empty).unwrap(),
             FlopCount::ZERO
         );
+    }
+
+    #[test]
+    fn transposed_solve_matches_dense_transposed_solve() {
+        let n = 300;
+        let m = test_lower(n, 6);
+        let b: Vec<f64> = (0..n)
+            .map(|i| ((i * 13 + 5) % 19) as f64 * 0.5 - 4.0)
+            .collect();
+        // Sparse Lᵀ·x = b through the cached transpose…
+        let mut xs = b.clone();
+        m.solve_with(&SolveOpts::new().transposed(), &mut xs)
+            .unwrap();
+        // …vs the dense transposed kernel on the densified matrix.
+        let a = m.to_dense();
+        let mut xd = b.clone();
+        dense::trsv_in_place_opts(
+            &dense::SolveOpts::new(m.triangle())
+                .diag(m.diag())
+                .transposed(),
+            &a,
+            &mut xd,
+        )
+        .unwrap();
+        for (s, d) in xs.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-10, "sparse vs dense transposed solve");
+        }
+        // And bitwise equal to solving the materialized transpose directly.
+        let xt = m.transpose().solve(&b).unwrap();
+        assert_eq!(xs, xt);
+    }
+
+    #[test]
+    fn transposed_solve_is_bitwise_deterministic_across_workers() {
+        let n = 500;
+        let m = test_lower(n, 8);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 1) % 23) as f64 - 11.0).collect();
+        let mut seq = b.clone();
+        m.solve_with(&SolveOpts::new().transposed().threads(1), &mut seq)
+            .unwrap();
+        for threads in [2usize, 4, 7] {
+            let mut x = b.clone();
+            m.solve_with(&SolveOpts::new().transposed().threads(threads), &mut x)
+                .unwrap();
+            assert_eq!(x, seq, "transposed solve changed bits at {threads} workers");
+        }
+        // Multi-RHS transposed agrees with per-column transposed solves.
+        let k = 4;
+        let bm = Matrix::from_fn(n, k, |i, j| ((i * 3 + j * 17) % 29) as f64 - 14.0);
+        let mut xm = bm.clone();
+        m.solve_multi_with(&SolveOpts::new().transposed().threads(3), &mut xm)
+            .unwrap();
+        for c in 0..k {
+            let mut xc = bm.col(c);
+            m.solve_with(&SolveOpts::new().transposed().threads(1), &mut xc)
+                .unwrap();
+            for i in 0..n {
+                assert_eq!(xm[(i, c)], xc[i], "column {c} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_cache_reused_across_transposed_solves() {
+        let n = 400;
+        let m = test_lower(n, 5);
+        let b = vec![1.0; n];
+        let mut x1 = b.clone();
+        m.solve_with(&SolveOpts::new().transposed().threads(4), &mut x1)
+            .unwrap();
+        let t = m.transposed() as *const SparseTri;
+        let mut x2 = b.clone();
+        m.solve_with(&SolveOpts::new().transposed().threads(4), &mut x2)
+            .unwrap();
+        assert_eq!(t, m.transposed() as *const SparseTri);
+        assert_eq!(
+            m.transposed().analysis_count(),
+            1,
+            "the transpose's schedule must be analyzed once"
+        );
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn shims_are_bitwise_equal_to_the_opts_core() {
+        let n = 350;
+        let m = test_lower(n, 6);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 11) % 7) as f64 - 3.0).collect();
+        let flops = m.solve_flops(1);
+
+        let mut via_opts = b.clone();
+        assert_eq!(
+            m.solve_with(&SolveOpts::new(), &mut via_opts).unwrap(),
+            flops
+        );
+        assert_eq!(m.solve(&b).unwrap(), via_opts);
+        assert_eq!(m.solve_seq(&b).unwrap(), via_opts);
+        let mut x = b.clone();
+        assert_eq!(m.solve_in_place_with_threads(&mut x, 3).unwrap(), flops);
+        assert_eq!(x, via_opts);
+
+        let k = 3;
+        let bm = Matrix::from_fn(n, k, |i, j| ((i + j * 5) % 9) as f64 - 4.0);
+        let mut via_opts_m = bm.clone();
+        let fm = m
+            .solve_multi_with(&SolveOpts::new(), &mut via_opts_m)
+            .unwrap();
+        assert_eq!(fm, m.solve_flops(k));
+        assert_eq!(m.solve_multi(&bm).unwrap(), via_opts_m);
+        assert_eq!(m.solve_multi_seq(&bm).unwrap(), via_opts_m);
+    }
+
+    #[test]
+    fn planned_workers_is_deterministic_and_honest() {
+        let m = test_lower(600, 8);
+        // Pinned budgets resolve to min(budget, widest level).
+        let wide = m.schedule().max_level_width();
+        assert_eq!(m.planned_workers(&SolveOpts::new().threads(1), 1), 1);
+        assert_eq!(
+            m.planned_workers(&SolveOpts::new().threads(4), 1),
+            4usize.min(wide)
+        );
+        // The sequential budget never analyzes: a fresh matrix stays clean.
+        let fresh = test_lower(100, 2);
+        assert_eq!(fresh.planned_workers(&SolveOpts::new().threads(1), 1), 1);
+        assert_eq!(fresh.analysis_count(), 0);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use dense::{Diag, Matrix, Triangle};
 use proptest::prelude::*;
 use sparse::gen;
-use sparse::SparseTri;
+use sparse::{SolveOpts, SparseTri};
 
 /// Max |a - b| over two equal-length vectors.
 fn vec_abs_diff(a: &[f64], b: &[f64]) -> f64 {
@@ -91,10 +91,11 @@ proptest! {
             gen::random_lower(n, fill, seed)
         };
         let b = gen::rhs_vec(n, seed ^ 0x5eed);
-        let seq = m.solve_seq(&b).unwrap();
+        let mut seq = b.clone();
+        m.solve_with(&SolveOpts::new().threads(1), &mut seq).unwrap();
         for t in [1usize, 4, threads] {
             let mut x = b.clone();
-            m.solve_in_place_with_threads(&mut x, t).unwrap();
+            m.solve_with(&SolveOpts::new().threads(t), &mut x).unwrap();
             prop_assert!(x == seq, "worker count {t} changed the result bits");
         }
     }
@@ -121,10 +122,11 @@ proptest! {
         let unit = SparseTri::from_triplets(n, Triangle::Lower, Diag::Unit, &ents).unwrap();
         let b = Matrix::from_fn(n, k, |i, j| ((i * 7 + j * 13 + 1) % 19) as f64 / 9.5 - 1.0);
         for m in [&lower, &unit] {
-            let seq = m.solve_multi_seq(&b).unwrap();
+            let mut seq = b.clone();
+            m.solve_multi_with(&SolveOpts::new().threads(1), &mut seq).unwrap();
             for t in [1usize, 4, threads] {
                 let mut x = b.clone();
-                m.solve_multi_in_place_with_threads(&mut x, t).unwrap();
+                m.solve_multi_with(&SolveOpts::new().threads(t), &mut x).unwrap();
                 prop_assert!(x == seq, "worker count {t} changed multi-RHS bits");
             }
         }
@@ -177,7 +179,68 @@ proptest! {
         let xd = m.solve_via_dense(&b).unwrap();
         prop_assert!(vec_abs_diff(&xs, &xd) < 1e-12);
         let mut xp = b.clone();
-        m.solve_in_place_with_threads(&mut xp, 4).unwrap();
+        m.solve_with(&SolveOpts::new().threads(4), &mut xp).unwrap();
         prop_assert!(xp == xs);
+    }
+
+    /// Transposed sparse solves (`Lᵀ·x = b` on the cached transpose) agree
+    /// with the dense transposed kernel on the densified pattern, and stay
+    /// bitwise deterministic across worker counts.
+    #[test]
+    fn transposed_solve_matches_dense_on_densified_pattern(
+        n in 1usize..200,
+        fill in 0usize..8,
+        upper in any::<bool>(),
+        threads in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let m = if upper {
+            gen::random_upper(n, fill, seed)
+        } else {
+            gen::random_lower(n, fill, seed)
+        };
+        let b = gen::rhs_vec(n, seed ^ 0x7a);
+        let mut xs = b.clone();
+        m.solve_with(&SolveOpts::new().transposed(), &mut xs).unwrap();
+        // Dense reference: op(A) = Aᵀ through the dense options path.
+        let opts = dense::SolveOpts::new(m.triangle()).diag(m.diag()).transposed();
+        let mut xd = b.clone();
+        dense::trsv_in_place_opts(&opts, &m.to_dense(), &mut xd).unwrap();
+        prop_assert!(
+            vec_abs_diff(&xs, &xd) < 1e-12,
+            "sparse vs dense transposed solve diverged beyond 1e-12"
+        );
+        for t in [1usize, 4, threads] {
+            let mut x = b.clone();
+            m.solve_with(&SolveOpts::new().transposed().threads(t), &mut x).unwrap();
+            prop_assert!(x == xs, "worker count {t} changed transposed bits");
+        }
+    }
+
+    /// Multi-RHS transposed solves agree with the dense transposed `trsm`.
+    #[test]
+    fn transposed_solve_multi_matches_dense_trsm(
+        n in 1usize..140,
+        k in 1usize..10,
+        fill in 0usize..7,
+        upper in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let m = if upper {
+            gen::random_upper(n, fill, seed)
+        } else {
+            gen::random_lower(n, fill, seed)
+        };
+        let b = Matrix::from_fn(n, k, |i, j| {
+            (((i * 29 + j * 13 + seed as usize) % 21) as f64) / 10.5 - 1.0
+        });
+        let mut xs = b.clone();
+        m.solve_multi_with(&SolveOpts::new().transposed(), &mut xs).unwrap();
+        let opts = dense::SolveOpts::new(m.triangle()).diag(m.diag()).transposed();
+        let xd = dense::trsm_opts(&opts, &m.to_dense(), &b).unwrap();
+        prop_assert!(
+            xs.max_abs_diff(&xd).unwrap() < 1e-12,
+            "sparse vs dense transposed trsm diverged beyond 1e-12"
+        );
     }
 }

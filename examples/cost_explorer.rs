@@ -8,7 +8,8 @@
 //! cargo run --release --example cost_explorer -- 1048576 4096 16384
 //! ```
 
-use costmodel::{compare, tuning, Machine as ModelMachine};
+use catrsm::SolveRequest;
+use costmodel::{compare, predict, tuning, Machine as ModelMachine};
 
 fn parse_arg(idx: usize, default: usize) -> usize {
     std::env::args()
@@ -79,5 +80,30 @@ fn main() {
         "\nregime boundaries at this p: 1D below n = {:.0}, 2D above n = {:.0}",
         4.0 * k as f64 / p as f64,
         4.0 * k as f64 * (p as f64).sqrt()
+    );
+
+    // The same numbers through the staged API: a plan carries its predicted
+    // cost, so the "a priori" workflow is one `plan_distributed` away.
+    let plan = SolveRequest::lower()
+        .plan_distributed(n, k, p)
+        .expect("plan");
+    println!("\nstaged API: SolveRequest::lower().plan_distributed({n}, {k}, {p})");
+    println!("  {plan}");
+    let predicted = plan.predicted_cost.expect("distributed plans predict");
+    println!(
+        "  predicted S/W/F: {:.3e} / {:.3e} / {:.3e}",
+        predicted.latency, predicted.bandwidth, predicted.flops
+    );
+
+    // And the wavefront baseline the predict hook also covers, for scale.
+    let wf = predict::trsm_cost(
+        predict::AlgorithmKind::Wavefront,
+        n as f64,
+        k as f64,
+        p as f64,
+    );
+    println!(
+        "  wavefront baseline would pay S = {:.3e} messages (Θ(n·log p))",
+        wf.latency
     );
 }

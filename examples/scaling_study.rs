@@ -12,6 +12,7 @@ use catrsm::planner;
 use catrsm_suite::prelude::*;
 
 fn measure(n: usize, k: usize, grid_dim: usize, algorithm: Algorithm) -> (u64, u64, f64) {
+    let request = SolveRequest::lower().algorithm(algorithm);
     let out = Machine::new(grid_dim * grid_dim, MachineParams::cluster())
         .run(move |comm| {
             let grid = Grid2D::new(comm, grid_dim, grid_dim).expect("grid");
@@ -20,9 +21,10 @@ fn measure(n: usize, k: usize, grid_dim: usize, algorithm: Algorithm) -> (u64, u
             let b_global = dense::matmul(&l_global, &x_true);
             let l = DistMatrix::from_global(&grid, &l_global);
             let b = DistMatrix::from_global(&grid, &b_global);
-            let x = solve_lower(&l, &b, algorithm).expect("solve");
+            let sol = request.solve_distributed(&l, &b).expect("solve");
             let x_ref = DistMatrix::from_global(&grid, &x_true);
-            assert!(x.rel_diff(&x_ref).expect("conformal") < 1e-8);
+            assert!(sol.x.rel_diff(&x_ref).expect("conformal") < 1e-8);
+            assert!(sol.report.comm.is_some(), "report carries the counters");
         })
         .expect("machine run");
     (

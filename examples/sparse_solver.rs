@@ -1,14 +1,11 @@
-//! Sparse triangular solves with level scheduling: the analyze-once /
-//! solve-many pattern of preconditioner applies.
+//! Sparse triangular solves through the staged `SolveRequest → Plan →
+//! Solution` API: the analyze-once / solve-many pattern of preconditioner
+//! applies, plan inspection, and transposed applies on the cached
+//! transpose.
 //!
 //! ```text
 //! cargo run --release --example sparse_solver
 //! ```
-//!
-//! Builds a random sparse lower-triangular factor, inspects the dependency
-//! levels its pattern exposes, then applies it repeatedly — the schedule is
-//! analyzed exactly once and reused by every solve, and the level-parallel
-//! executor is bitwise identical to the sequential baseline.
 
 use catrsm_suite::prelude::*;
 use sparse::gen;
@@ -26,24 +23,34 @@ fn main() {
         l.nnz() as f64 / n as f64
     );
 
-    // Analysis phase: one O(nnz) pass over the pattern.
-    let sched = l.schedule();
+    // One request describes every apply; the plan is inspectable before
+    // the first solve runs (planning analyzes the pattern once).
+    let request = SolveRequest::lower().threads(4);
+    let plan = request.plan_sparse(&l, 1).expect("plan");
+    println!("  plan:          {plan}");
+    let PlanBackend::Sparse {
+        workers,
+        levels,
+        max_level_width,
+        ..
+    } = plan.backend
+    else {
+        panic!("expected a sparse plan");
+    };
     println!(
-        "  schedule:      {} levels (critical path), widest level {} rows, avg {:.1}",
-        sched.num_levels(),
-        sched.max_level_width(),
-        sched.avg_level_width()
+        "  schedule:      {levels} levels (critical path), widest level \
+         {max_level_width} rows, {workers} worker(s)"
     );
 
     // Solve phase: many applies of the same factor.  b is refreshed per
-    // apply (as a preconditioner would see), the schedule is not.
+    // apply (as a preconditioner would see), the analysis is not.
     let mut total_flops = 0u64;
     let mut x = vec![0.0; n];
     for apply in 0..applies {
         let b = gen::rhs_vec(n, apply as u64);
         x.copy_from_slice(&b);
-        let f = l.solve_in_place(&mut x).expect("solve");
-        total_flops += f.get();
+        let report = plan.execute_sparse_vec_in_place(&l, &mut x).expect("solve");
+        total_flops += report.flops.get();
     }
     println!(
         "  applies:       {applies} solves, {total_flops} flops total, \
@@ -58,35 +65,67 @@ fn main() {
 
     // The parallel executor is a throughput knob, not a semantics knob.
     let b = gen::rhs_vec(n, 99);
-    let seq = l.solve_seq(&b).expect("sequential solve");
-    let mut par = b.clone();
-    l.solve_in_place_with_threads(&mut par, 4)
-        .expect("parallel solve");
-    assert_eq!(seq, par, "4-worker solve must be bitwise identical");
+    let seq = SolveRequest::lower()
+        .threads(1)
+        .solve_sparse_vec(&l, &b)
+        .expect("sequential solve");
+    let par = request.solve_sparse_vec(&l, &b).expect("parallel solve");
+    assert_eq!(seq.x, par.x, "4-worker solve must be bitwise identical");
     println!("  determinism:   4-worker solve bitwise identical to sequential");
 
+    // Transposed applies (the `Lᵀ` half of a preconditioner) run on the
+    // cached transpose: one O(nnz) transposition ever, schedule included.
+    let bt = gen::rhs_vec(n, 123);
+    let xt = SolveRequest::lower()
+        .transposed()
+        .threads(4)
+        .solve_sparse_vec(&l, &bt)
+        .expect("transposed solve");
+    let xt2 = SolveRequest::lower()
+        .transposed()
+        .solve_sparse_vec(&l, &bt)
+        .expect("transposed solve");
+    assert_eq!(xt.x, xt2.x);
+    println!(
+        "  transposed:    Lᵀ·x = b solved via the cached transpose \
+         ({} analyses on it)",
+        l.transposed().analysis_count()
+    );
+
     // Verify against the dense kernels through the densify bridge (small
-    // system: densifying a 20k² matrix would need 3.2 GB).
+    // system: densifying a 20k² matrix would need 3.2 GB).  The report can
+    // carry the residual directly.
     let small = gen::random_lower(800, 8, 7);
     let bs = gen::rhs_vec(800, 5);
-    let xs = small.solve(&bs).expect("sparse solve");
+    let sol = SolveRequest::lower()
+        .with_residual()
+        .solve_sparse_vec(&small, &bs)
+        .expect("sparse solve");
     let xd =
         dense::trsv(small.triangle(), small.diag(), &small.to_dense(), &bs).expect("dense solve");
-    let err = xs
+    let err = sol
+        .x
         .iter()
         .zip(&xd)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0, f64::max);
-    println!("  vs dense:      max |x_sparse - x_dense| = {err:.3e} (n = 800)");
+    println!(
+        "  vs dense:      max |x_sparse - x_dense| = {err:.3e}, reported \
+         residual {:.3e} (n = 800)",
+        sol.report.residual.unwrap()
+    );
     assert!(err < 1e-12, "sparse and dense solves must agree");
+    assert!(sol.report.residual.unwrap() < 1e-12);
 
-    // Multi-RHS: one schedule drives a block of right-hand sides.
+    // Multi-RHS: one plan drives a block of right-hand sides.
     let k = 16;
     let bm = Matrix::from_fn(800, k, |i, j| ((i * 13 + j * 7) % 23) as f64 / 11.5 - 1.0);
-    let xm = small.solve_multi(&bm).expect("multi-RHS solve");
+    let xm = SolveRequest::lower()
+        .solve_sparse(&small, &bm)
+        .expect("multi-RHS solve");
     let xm_dense =
         dense::trsm(small.triangle(), small.diag(), &small.to_dense(), &bm).expect("dense trsm");
-    let err_m = xm.max_abs_diff(&xm_dense).unwrap();
+    let err_m = xm.x.max_abs_diff(&xm_dense).unwrap();
     println!("  multi-RHS:     k = {k}, max diff vs dense trsm = {err_m:.3e}");
     assert!(err_m < 1e-12);
 }

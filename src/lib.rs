@@ -24,11 +24,21 @@ pub use simnet;
 pub use sparse;
 
 /// Convenience prelude for the examples and integration tests.
+///
+/// The primary solver surface is the staged API re-exported here:
+/// [`SolveRequest`](catrsm::SolveRequest) →
+/// [`SolvePlan`](catrsm::SolvePlan) → [`Solution`](catrsm::Solution); the
+/// deprecated [`solve_lower`](catrsm::api::solve_lower) /
+/// [`solve_upper`](catrsm::api::solve_upper) shims stay importable for
+/// older code.
 pub mod prelude {
-    pub use catrsm::api::{solve_lower, solve_upper, Algorithm};
+    pub use catrsm::api::Algorithm;
+    #[allow(deprecated)]
+    pub use catrsm::api::{solve_lower, solve_upper};
     pub use catrsm::it_inv_trsm::{it_inv_trsm, ItInvConfig};
     pub use catrsm::rec_trsm::{rec_trsm, RecTrsmConfig};
-    pub use dense::{gen, Matrix};
+    pub use catrsm::{LevelReport, PlanBackend, Solution, SolvePlan, SolveReport, SolveRequest};
+    pub use dense::{gen, Diag, Matrix, Side, Transpose, Triangle};
     pub use pgrid::{DistMatrix, Grid2D};
     pub use simnet::{coll, Machine, MachineParams};
     pub use sparse::{Schedule, SparseTri};

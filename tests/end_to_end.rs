@@ -2,7 +2,7 @@
 //! machine → grids → algorithms → cost model) exercised together the way the
 //! experiments and examples use it.
 
-use catrsm::api::{solve_lower, solve_upper, Algorithm};
+use catrsm::api::Algorithm;
 use catrsm::it_inv_trsm::{it_inv_trsm, ItInvConfig};
 use catrsm::planner;
 use catrsm::rec_trsm::{rec_trsm, RecTrsmConfig};
@@ -42,8 +42,12 @@ fn all_trsm_algorithms_agree_with_the_sequential_solution() {
                 }),
                 Algorithm::Wavefront,
             ] {
-                let x = solve_lower(&l, &b, algorithm).unwrap();
-                errors.push(x.rel_diff(&reference).unwrap());
+                let sol = SolveRequest::lower()
+                    .algorithm(algorithm)
+                    .solve_distributed(&l, &b)
+                    .unwrap();
+                assert!(sol.report.comm.is_some(), "{algorithm:?} must report");
+                errors.push(sol.x.rel_diff(&reference).unwrap());
             }
             errors
         })
@@ -73,7 +77,10 @@ fn iterative_algorithm_beats_recursive_latency_as_p_grows() {
                     let (l_g, b_g, _) = instance(n, k, 3);
                     let l = DistMatrix::from_global(&grid, &l_g);
                     let b = DistMatrix::from_global(&grid, &b_g);
-                    solve_lower(&l, &b, alg).unwrap();
+                    SolveRequest::lower()
+                        .algorithm(alg)
+                        .solve_distributed(&l, &b)
+                        .unwrap();
                 })
                 .unwrap()
                 .report
@@ -108,7 +115,10 @@ fn both_algorithms_move_the_same_order_of_words() {
                 let (l_g, b_g, _) = instance(n, k, 5);
                 let l = DistMatrix::from_global(&grid, &l_g);
                 let b = DistMatrix::from_global(&grid, &b_g);
-                solve_lower(&l, &b, alg).unwrap();
+                SolveRequest::lower()
+                    .algorithm(alg)
+                    .solve_distributed(&l, &b)
+                    .unwrap();
             })
             .unwrap()
             .report
@@ -179,9 +189,9 @@ fn upper_triangular_systems_solve_via_reversal() {
             let b_g = dense::matmul(&u_g, &x_g);
             let u = DistMatrix::from_global(&grid, &u_g);
             let b = DistMatrix::from_global(&grid, &b_g);
-            let x = solve_upper(&u, &b, Algorithm::Auto).unwrap();
+            let sol = SolveRequest::upper().solve_distributed(&u, &b).unwrap();
             let x_ref = DistMatrix::from_global(&grid, &x_g);
-            x.rel_diff(&x_ref).unwrap()
+            sol.x.rel_diff(&x_ref).unwrap()
         })
         .unwrap();
     assert!(out.results.into_iter().all(|r| r < 1e-8));
@@ -252,7 +262,7 @@ fn virtual_time_is_consistent_with_counters() {
             let (l_g, b_g, _) = instance(64, 16, 23);
             let l = DistMatrix::from_global(&grid, &l_g);
             let b = DistMatrix::from_global(&grid, &b_g);
-            solve_lower(&l, &b, Algorithm::Auto).unwrap();
+            SolveRequest::lower().solve_distributed(&l, &b).unwrap();
         })
         .unwrap();
     let report = out.report;
@@ -260,4 +270,42 @@ fn virtual_time_is_consistent_with_counters() {
         * report.num_ranks() as f64;
     assert!(report.virtual_time() <= counter_bound);
     assert!(report.virtual_time() > 0.0);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_agree_with_the_staged_api() {
+    // `solve_lower` / `solve_upper` must keep compiling and keep solving
+    // exactly what the SolveRequest path solves.
+    let out = Machine::new(4, MachineParams::unit())
+        .run(|comm| {
+            let grid = Grid2D::new(comm, 2, 2).unwrap();
+            let (l_g, b_g, _) = instance(64, 16, 29);
+            let l = DistMatrix::from_global(&grid, &l_g);
+            let b = DistMatrix::from_global(&grid, &b_g);
+            let alg = Algorithm::Recursive { base_size: 16 };
+            let old = solve_lower(&l, &b, alg).unwrap();
+            let new = SolveRequest::lower()
+                .algorithm(alg)
+                .solve_distributed(&l, &b)
+                .unwrap();
+            let d = old.rel_diff(&new.x).unwrap();
+
+            let u_g = gen::well_conditioned_upper(32, 33);
+            let xu = gen::rhs(32, 8, 34);
+            let bu_g = dense::matmul(&u_g, &xu);
+            let u = DistMatrix::from_global(&grid, &u_g);
+            let bu = DistMatrix::from_global(&grid, &bu_g);
+            let old_u = solve_upper(&u, &bu, alg).unwrap();
+            let new_u = SolveRequest::upper()
+                .algorithm(alg)
+                .solve_distributed(&u, &bu)
+                .unwrap();
+            (d, old_u.rel_diff(&new_u.x).unwrap())
+        })
+        .unwrap();
+    for (d_l, d_u) in out.results {
+        assert_eq!(d_l, 0.0, "lower shim must match the staged API bitwise");
+        assert_eq!(d_u, 0.0, "upper shim must match the staged API bitwise");
+    }
 }
