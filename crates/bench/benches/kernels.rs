@@ -111,6 +111,49 @@ fn bench_sparse_solve(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sparse_deep_dag(c: &mut Criterion) {
+    // The barrier-sensitive shape: a deep narrow DAG (n = 40000, 10000
+    // levels of width 4 — band-limited dependencies, like a blocked banded
+    // factor).  The level schedule crosses one barrier per level; the
+    // DAG-partitioned merged schedule crosses one per super-level (~50),
+    // which is the whole point of the policy.  Results are bitwise
+    // identical across every row of this group.
+    let mut group = c.benchmark_group("sparse_deep_dag");
+    let n = 40_000usize;
+    let l = sparse::gen::deep_narrow_lower(n, 4, 4, 3);
+    let b = sparse::gen::rhs_vec(n, 4);
+    let _ = l.schedule(); // analyze once, outside the timed region
+    let _ = l.merged_schedule();
+    group.bench_with_input(BenchmarkId::new("seq", n), &n, |bench, _| {
+        let opts = sparse::SolveOpts::new().threads(1);
+        let mut x = vec![0.0; n];
+        bench.iter(|| {
+            x.copy_from_slice(&b);
+            l.solve_with(&opts, &mut x).unwrap();
+        });
+    });
+    for threads in [2usize, 4] {
+        for policy in [
+            sparse::SchedulePolicy::Level,
+            sparse::SchedulePolicy::Merged,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_threads_{threads}", policy.name()), n),
+                &n,
+                |bench, _| {
+                    let opts = sparse::SolveOpts::new().threads(threads).policy(policy);
+                    let mut x = vec![0.0; n];
+                    bench.iter(|| {
+                        x.copy_from_slice(&b);
+                        l.solve_with(&opts, &mut x).unwrap();
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_trsm(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_trsm");
     for n in [64usize, 128, 256] {
@@ -137,6 +180,6 @@ fn bench_tri_invert(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_gemm, bench_gemm_naive_vs_packed, bench_gemm_par, bench_sparse_solve, bench_trsm, bench_tri_invert
+    targets = bench_gemm, bench_gemm_naive_vs_packed, bench_gemm_par, bench_sparse_solve, bench_sparse_deep_dag, bench_trsm, bench_tri_invert
 }
 criterion_main!(kernels);

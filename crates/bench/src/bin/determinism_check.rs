@@ -4,12 +4,14 @@
 //! GEMM and the sparse level-parallel executors must be throughput knobs,
 //! not semantics knobs).
 //!
-//! CI runs this twice — `DENSE_THREADS=1` and `DENSE_THREADS=4` — and diffs
-//! the output; any divergence in a single mantissa bit changes the checksum.
-//! The worker count actually used is printed to stderr only, so stdout is
-//! comparable across runs.
+//! CI runs this across a matrix of `DENSE_THREADS` (1 vs 4) **and**
+//! `SPARSE_POLICY` (`level` vs `merged` vs unset = auto) settings and diffs
+//! the output; any divergence in a single mantissa bit changes the
+//! checksum, so the barrier-per-level and DAG-partitioned sparse executors
+//! must agree exactly.  The worker count and policy actually used are
+//! printed to stderr only, so stdout is comparable across runs.
 
-use catrsm::SolveRequest;
+use catrsm::{SchedulePolicy, SolveRequest};
 use dense::{gemm, gen, tri_invert, trsm_in_place, Diag, Matrix, Side, Triangle};
 
 /// FNV-1a over the little-endian bit patterns of every element.
@@ -28,8 +30,31 @@ fn checksum(label: &str, m: &Matrix) -> String {
     checksum_slice(label, m.as_slice())
 }
 
+/// Sparse scheduling-policy pin from the `SPARSE_POLICY` environment
+/// variable: `level` / `merged` pin that executor, anything else (or
+/// unset) leaves the auto heuristic in charge.
+fn sparse_policy() -> Option<SchedulePolicy> {
+    match std::env::var("SPARSE_POLICY").ok().as_deref() {
+        Some("level") => Some(SchedulePolicy::Level),
+        Some("merged") => Some(SchedulePolicy::Merged),
+        _ => None,
+    }
+}
+
+/// Applies the `SPARSE_POLICY` pin to a request.
+fn with_policy(req: SolveRequest) -> SolveRequest {
+    match sparse_policy() {
+        Some(p) => req.policy(p),
+        None => req,
+    }
+}
+
 fn main() {
     eprintln!("dense worker count: {}", dense::dense_threads());
+    eprintln!(
+        "sparse policy: {}",
+        sparse_policy().map(|p| p.name()).unwrap_or("auto")
+    );
 
     // Big enough to cross the implicit parallelisation threshold
     // (PAR_MIN_MADDS = 128^3) with ragged panel edges on every dimension.
@@ -73,11 +98,13 @@ fn main() {
     // the multi-RHS solve alike.
     let sl = sparse::gen::random_lower(40_000, 12, 31);
     let sb = sparse::gen::rhs_vec(40_000, 32);
-    let sx = SolveRequest::lower().solve_sparse_vec(&sl, &sb).unwrap().x;
+    let sx = with_policy(SolveRequest::lower())
+        .solve_sparse_vec(&sl, &sb)
+        .unwrap()
+        .x;
     println!("{}", checksum_slice("sparse_solve_40000x12", &sx));
 
-    let sxt = SolveRequest::lower()
-        .transposed()
+    let sxt = with_policy(SolveRequest::lower().transposed())
         .solve_sparse_vec(&sl, &sb)
         .unwrap()
         .x;
@@ -85,6 +112,20 @@ fn main() {
 
     let sbm = Matrix::from_fn(8_000, 8, |i, j| ((i * 7 + j * 3) % 17) as f64 - 8.0);
     let su = sparse::gen::random_upper(8_000, 10, 33);
-    let sxm = SolveRequest::upper().solve_sparse(&su, &sbm).unwrap().x;
+    let sxm = with_policy(SolveRequest::upper())
+        .solve_sparse(&su, &sbm)
+        .unwrap()
+        .x;
     println!("{}", checksum("sparse_solve_multi_upper_8000x8", &sxm));
+
+    // Deep narrow DAG: the shape where the level and merged executors
+    // differ most (10000 barriers vs ~50) — their checksums must not
+    // differ at all.
+    let dl = sparse::gen::deep_narrow_lower(40_000, 4, 4, 35);
+    let db = sparse::gen::rhs_vec(40_000, 36);
+    let dx = with_policy(SolveRequest::lower().threads(4))
+        .solve_sparse_vec(&dl, &db)
+        .unwrap()
+        .x;
+    println!("{}", checksum_slice("sparse_deep_dag_40000w4", &dx));
 }

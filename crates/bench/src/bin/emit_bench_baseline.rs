@@ -30,7 +30,7 @@
 //!   not be more than [`CHECK_TOLERANCE`]× slower than the baseline.
 //!   Regressions list to stderr and exit non-zero.
 
-use catrsm::SolveRequest;
+use catrsm::{SchedulePolicy, SolveRequest};
 use dense::{gemm_with_threads, gen, reference, tri_invert, trmm, trsm, Diag, Matrix, Triangle};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -227,6 +227,99 @@ fn main() {
         });
     }
     let sparse_speedup = sparse_t1 / sparse_t4;
+    // The same matrix under a pinned merged schedule: what the
+    // DAG-partition policy costs/buys on a wide pattern (auto prefers
+    // Level here; the merged headline below is the deep-DAG shape).
+    let sparse_t4_merged = {
+        let plan = SolveRequest::lower()
+            .threads(4)
+            .policy(SchedulePolicy::Merged)
+            .plan_sparse(&sl, 1)
+            .unwrap();
+        let mut x = vec![0.0; sparse_n];
+        let t = time_median(samples, || {
+            x.copy_from_slice(&sb);
+            plan.execute_sparse_vec_in_place(&sl, &mut x).unwrap();
+        });
+        records.push(Record {
+            kernel: "sparse_solve_merged",
+            n: sparse_n,
+            threads: Some(4),
+            median_ms: t * 1e3,
+            gflops: sparse_flops / t / 1e9,
+        });
+        t
+    };
+    let sparse_merged_speedup = sparse_t1 / sparse_t4_merged;
+
+    // --- Barrier-sensitive deep DAG: level vs merged scheduling. ----------
+    // n = 40000 in 10000 levels of width 4 (band-limited dependencies):
+    // the level schedule crosses one barrier per level, the merged one per
+    // super-level.  Per-policy barrier counts come from the plans, so the
+    // JSON records the synchronization structure alongside the timings.
+    let deep_n = 40_000usize;
+    let dl = sparse::gen::deep_narrow_lower(deep_n, 4, 4, 3);
+    let db = sparse::gen::rhs_vec(deep_n, 4);
+    let _ = dl.schedule();
+    let _ = dl.merged_schedule();
+    let deep_flops = dl.solve_flops(1).get() as f64;
+    let mut deep_policy_t = [0.0f64; 2];
+    let mut deep_policy_barriers = [0usize; 2];
+    {
+        let plan = SolveRequest::lower()
+            .threads(1)
+            .plan_sparse(&dl, 1)
+            .unwrap();
+        let mut x = vec![0.0; deep_n];
+        let t = time_median(samples, || {
+            x.copy_from_slice(&db);
+            plan.execute_sparse_vec_in_place(&dl, &mut x).unwrap();
+        });
+        records.push(Record {
+            kernel: "sparse_deep_seq",
+            n: deep_n,
+            threads: Some(1),
+            median_ms: t * 1e3,
+            gflops: deep_flops / t / 1e9,
+        });
+    }
+    for (pi, policy) in [SchedulePolicy::Level, SchedulePolicy::Merged]
+        .into_iter()
+        .enumerate()
+    {
+        let plan = SolveRequest::lower()
+            .threads(4)
+            .policy(policy)
+            .plan_sparse(&dl, 1)
+            .unwrap();
+        let catrsm::PlanBackend::Sparse {
+            predicted_barriers, ..
+        } = plan.backend
+        else {
+            panic!("expected a sparse plan");
+        };
+        deep_policy_barriers[pi] = predicted_barriers;
+        let mut x = vec![0.0; deep_n];
+        let t = time_median(samples, || {
+            x.copy_from_slice(&db);
+            plan.execute_sparse_vec_in_place(&dl, &mut x).unwrap();
+        });
+        deep_policy_t[pi] = t;
+        records.push(Record {
+            kernel: if pi == 0 {
+                "sparse_deep_level"
+            } else {
+                "sparse_deep_merged"
+            },
+            n: deep_n,
+            threads: Some(4),
+            median_ms: t * 1e3,
+            gflops: deep_flops / t / 1e9,
+        });
+    }
+    let deep_levels = dl.schedule().num_levels();
+    let deep_merged_vs_level = deep_policy_t[0] / deep_policy_t[1];
+
     {
         let k = 16usize;
         let bm = Matrix::from_fn(sparse_n, k, |i, j| ((i * 5 + j * 11) % 13) as f64 - 6.0);
@@ -293,7 +386,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"catrsm-bench-kernels/v3\",");
+    let _ = writeln!(json, "  \"schema\": \"catrsm-bench-kernels/v4\",");
     let _ = writeln!(json, "  \"hw_threads\": {hw_threads},");
     let _ = writeln!(
         json,
@@ -306,6 +399,21 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"sparse_par_speedup\": {{ \"n\": {sparse_n}, \"threads\": 4, \"value\": {sparse_speedup:.3} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"sparse_par_speedup_merged\": {{ \"n\": {sparse_n}, \"threads\": 4, \
+         \"value\": {sparse_merged_speedup:.3} }},"
+    );
+    // Per-policy synchronization structure of the deep DAG: the barrier
+    // counts are analysis facts (machine-independent), the ratio is the
+    // measured level-vs-merged throughput at 4 workers.
+    let _ = writeln!(
+        json,
+        "  \"sparse_sched\": {{ \"n\": {deep_n}, \"levels\": {deep_levels}, \
+         \"barriers_level\": {}, \"barriers_merged\": {}, \
+         \"deep_merged_vs_level\": {deep_merged_vs_level:.3} }},",
+        deep_policy_barriers[0], deep_policy_barriers[1]
     );
     json.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -327,13 +435,25 @@ fn main() {
     eprintln!(
         "wrote {} (packed vs naive: {speedup:.2}x; gemm_par {par_n}^3, 4 threads vs 1: \
          {par_speedup:.2}x; sparse_solve n={sparse_n}, 4 threads vs 1: {sparse_speedup:.2}x \
-         on {hw_threads} hw thread(s))",
-        opts.out
+         auto / {sparse_merged_speedup:.2}x merged; deep DAG n={deep_n}: {} -> {} barriers, \
+         merged vs level at 4 threads: {deep_merged_vs_level:.2}x; on {hw_threads} hw \
+         thread(s))",
+        opts.out, deep_policy_barriers[0], deep_policy_barriers[1]
     );
 
     if let Some(baseline_path) = &opts.check {
         check_against_baseline(baseline_path, &records);
     }
+
+    // The barrier compression is an analysis fact, not a timing: assert it
+    // on every machine, fast mode included.
+    assert!(
+        deep_policy_barriers[0] >= 10 * deep_policy_barriers[1].max(1),
+        "acceptance: the merged schedule must cross >=10x fewer barriers than the level \
+         schedule on the deep DAG, got {} vs {}",
+        deep_policy_barriers[1],
+        deep_policy_barriers[0]
+    );
 
     if !opts.fast {
         assert!(
@@ -364,6 +484,14 @@ fn main() {
                  asserting the multicore bounds"
             );
         }
+        // Even on one core the merged schedule must clearly beat the level
+        // schedule on the deep DAG: the level executor pays thousands of
+        // real barrier waits either way.
+        assert!(
+            deep_merged_vs_level >= 2.0,
+            "acceptance: merged scheduling must beat level scheduling by >= 2x on the \
+             deep DAG at 4 workers, got {deep_merged_vs_level:.2}x"
+        );
     }
 }
 

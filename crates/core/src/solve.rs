@@ -37,7 +37,7 @@
 //! assert!(dense::norms::rel_diff(&st.x, &x_true) < 1e-8);
 //! ```
 
-use crate::api::{reverse_both, reverse_rows, transpose_dist, Algorithm};
+use crate::api::{reverse_both, reverse_rows, Algorithm};
 use crate::error::config_error;
 use crate::it_inv_trsm::{it_inv_trsm, PhaseBreakdown};
 use crate::planner;
@@ -50,7 +50,7 @@ use dense::flops::trsm_flops;
 use dense::{Diag, FlopCount, Matrix, Side, SolveOpts, Transpose, Triangle};
 use pgrid::DistMatrix;
 use simnet::CostCounters;
-use sparse::SparseTri;
+use sparse::{SchedulePolicy, SparseTri};
 use std::fmt;
 
 // ---------------------------------------------------------------------------
@@ -69,6 +69,7 @@ use std::fmt;
 pub struct SolveRequest {
     opts: SolveOpts,
     threads: Option<usize>,
+    policy: Option<SchedulePolicy>,
     algorithm: Option<Algorithm>,
     residual: bool,
 }
@@ -79,6 +80,7 @@ impl SolveRequest {
         SolveRequest {
             opts: SolveOpts::new(triangle),
             threads: None,
+            policy: None,
             algorithm: None,
             residual: false,
         }
@@ -137,6 +139,18 @@ impl SolveRequest {
         self
     }
 
+    /// Pin the sparse scheduling policy ([`SchedulePolicy::Level`] —
+    /// barrier-per-level sweeps — or [`SchedulePolicy::Merged`] — the
+    /// DAG-partitioned super-level executor with point-to-point readiness).
+    /// Without a pin, `SchedulePolicy::auto` chooses from the cached
+    /// level-shape statistics at planning time; the resolved choice and its
+    /// predicted barrier count are recorded on the [`Plan`].  Results are
+    /// bitwise identical under either policy.
+    pub fn policy(mut self, policy: SchedulePolicy) -> SolveRequest {
+        self.policy = Some(policy);
+        self
+    }
+
     /// Pin the distributed algorithm.  [`Algorithm::Auto`] (or not calling
     /// this at all) lets the Section VIII planner choose.
     pub fn algorithm(mut self, algorithm: Algorithm) -> SolveRequest {
@@ -172,6 +186,7 @@ impl SolveRequest {
             k,
             opts: self.opts,
             threads: self.threads,
+            policy: self.policy,
             residual: self.residual,
             predicted_flops: trsm_flops(n, k),
             predicted_cost: None,
@@ -218,29 +233,32 @@ impl SolveRequest {
             ));
         }
         let sopts = self.sparse_opts();
-        let workers = a.planned_workers(&sopts, k);
-        let exec = a.executor(sopts.transpose);
-        let (levels, max_level_width) = if workers > 1 {
-            (
-                exec.schedule().num_levels(),
-                exec.schedule().max_level_width(),
-            )
-        } else {
-            (0, 0)
-        };
+        let shape = a.execution_shape(&sopts, k);
         Ok(Plan {
             n: a.n(),
             k,
             opts: self.opts,
             threads: self.threads,
+            policy: self.policy,
             residual: self.residual,
             predicted_flops: a.solve_flops(k),
-            predicted_cost: None,
+            // The synchronization term prices the barriers this plan will
+            // actually cross — super-levels under the merged policy, levels
+            // under the pure level schedule.
+            predicted_cost: Some(costmodel::sparse_solve_cost(
+                a.nnz() as f64,
+                k as f64,
+                shape.barriers as f64,
+                shape.workers as f64,
+            )),
             regime: None,
             backend: PlanBackend::Sparse {
-                workers,
-                levels,
-                max_level_width,
+                workers: shape.workers,
+                policy: shape.policy,
+                levels: shape.levels,
+                super_levels: shape.super_levels,
+                predicted_barriers: shape.barriers,
+                max_level_width: shape.max_level_width,
                 nnz: a.nnz(),
                 via_transpose: sopts.transpose == Transpose::Yes,
             },
@@ -284,6 +302,7 @@ impl SolveRequest {
             k,
             opts: self.opts,
             threads: self.threads,
+            policy: self.policy,
             residual: self.residual,
             predicted_flops: FlopCount::new(predicted.flops.round() as u64),
             predicted_cost: Some(predicted),
@@ -339,6 +358,9 @@ impl SolveRequest {
         if let Some(t) = self.threads {
             o = o.threads(t);
         }
+        if let Some(p) = self.policy {
+            o = o.policy(p);
+        }
         o
     }
 }
@@ -358,15 +380,26 @@ pub enum PlanBackend {
         /// Panel width of the blocked substitution.
         block: usize,
     },
-    /// Level-scheduled sparse executor.
+    /// Level-scheduled / DAG-partitioned sparse executor.
     Sparse {
         /// Workers the executor will run with (1 = sequential sweep, which
         /// needs no analysis).
         workers: usize,
+        /// The resolved scheduling policy (a pinned request, or
+        /// `SchedulePolicy::auto`'s choice from the level-shape
+        /// statistics).
+        policy: SchedulePolicy,
         /// Dependency levels of the schedule (0 when the solve stays
         /// sequential and the pattern is never analyzed).
         levels: usize,
-        /// Rows in the widest level (the executor's parallelism ceiling).
+        /// Super-levels of the merged schedule (0 unless the merged policy
+        /// runs).
+        super_levels: usize,
+        /// Barriers the executor will cross: `levels` under the level
+        /// policy, `super_levels` under the merged one.
+        predicted_barriers: usize,
+        /// Rows in the widest level (the level executor's parallelism
+        /// ceiling).
         max_level_width: usize,
         /// Stored entries of the matrix.
         nnz: usize,
@@ -399,11 +432,14 @@ pub struct Plan {
     pub backend: PlanBackend,
     /// Predicted flop count (the `γ·F` term).
     pub predicted_flops: FlopCount,
-    /// Predicted α–β–γ critical-path cost (distributed plans only).
+    /// Predicted α–β–γ critical-path cost (distributed plans, and sparse
+    /// plans — whose latency term counts the barriers the resolved policy
+    /// will cross, via `costmodel::sparse_solve_cost`).
     pub predicted_cost: Option<Cost>,
     /// The Section VIII regime (distributed plans only).
     pub regime: Option<Regime>,
     threads: Option<usize>,
+    policy: Option<SchedulePolicy>,
     residual: bool,
 }
 
@@ -412,9 +448,12 @@ impl Plan {
     pub fn algorithm_name(&self) -> &'static str {
         match &self.backend {
             PlanBackend::Dense { .. } => "dense blocked substitution",
-            PlanBackend::Sparse { workers, .. } if *workers > 1 => {
-                "sparse level-scheduled parallel sweep"
-            }
+            PlanBackend::Sparse {
+                workers, policy, ..
+            } if *workers > 1 => match policy {
+                SchedulePolicy::Level => "sparse level-scheduled parallel sweep",
+                SchedulePolicy::Merged => "sparse DAG-partitioned parallel sweep",
+            },
             PlanBackend::Sparse { .. } => "sparse sequential sweep",
             PlanBackend::Distributed { algorithm, .. } => match algorithm {
                 Algorithm::Auto => "auto",
@@ -430,6 +469,9 @@ impl Plan {
         let mut o = sparse::SolveOpts::new().transpose(self.opts.transpose);
         if let Some(t) = self.threads {
             o = o.threads(t);
+        }
+        if let Some(p) = self.policy {
+            o = o.policy(p);
         }
         o
     }
@@ -583,20 +625,18 @@ impl Plan {
         Ok(report)
     }
 
-    /// Measured level/barrier shape of a sparse execution: the same worker
-    /// decision the executor makes, so the report matches what ran.
+    /// Measured level/barrier shape of a sparse execution: the same
+    /// worker/policy decision the executor makes, so the report matches
+    /// what ran — including the barriers actually waited (one per level
+    /// under the level policy, one per super-level under the merged one).
     fn level_report(&self, a: &SparseTri, k: usize) -> LevelReport {
-        let sopts = self.sparse_opts();
-        let workers = a.planned_workers(&sopts, k);
-        let levels = if workers > 1 {
-            a.executor(sopts.transpose).schedule().num_levels()
-        } else {
-            0
-        };
+        let shape = a.execution_shape(&self.sparse_opts(), k);
         LevelReport {
-            workers,
-            levels,
-            barriers: if workers > 1 { levels } else { 0 },
+            workers: shape.workers,
+            policy: shape.policy,
+            levels: shape.levels,
+            super_levels: shape.super_levels,
+            barriers: shape.barriers,
         }
     }
 
@@ -631,13 +671,15 @@ impl Plan {
         let comm = l.grid().comm();
         let before = comm.counters();
 
-        // Apply op(A): one transpose redistribution if requested, then an
+        // Apply op(A): the *cached* transpose if requested (one keyed
+        // all-to-all on the first transposed solve of this matrix, reused
+        // by every subsequent one — so the Cholesky/LU apps' repeated
+        // backward substitutions redistribute once, not per solve), then an
         // implicit-unit diagonal overlay if requested.
-        let transposed = match self.opts.transpose {
-            Transpose::No => None,
-            Transpose::Yes => Some(transpose_dist(l)),
+        let op_a = match self.opts.transpose {
+            Transpose::No => l,
+            Transpose::Yes => l.transposed(),
         };
-        let op_a = transposed.as_ref().unwrap_or(l);
         let unit_forced = match self.opts.diag {
             Diag::NonUnit => None,
             Diag::Unit => Some(with_unit_diagonal(op_a)?),
@@ -690,9 +732,13 @@ impl fmt::Display for Plan {
                 PlanBackend::Sparse {
                     workers,
                     levels,
+                    predicted_barriers,
                     nnz,
                     ..
-                } => format!(", nnz = {nnz}, {workers} worker(s), {levels} level(s)"),
+                } => format!(
+                    ", nnz = {nnz}, {workers} worker(s), {levels} level(s), \
+                     {predicted_barriers} barrier(s)"
+                ),
                 PlanBackend::Distributed { algorithm, p, .. } =>
                     format!(", p = {p}, {algorithm:?}"),
             }
@@ -719,9 +765,18 @@ pub struct Solution<X> {
 pub struct LevelReport {
     /// Workers the executor ran with.
     pub workers: usize,
-    /// Dependency levels swept (0 for the analysis-free sequential sweep).
+    /// The scheduling policy that ran (nominally
+    /// [`SchedulePolicy::Level`] for the sequential sweep).
+    pub policy: SchedulePolicy,
+    /// Dependency levels of the schedule (0 for the analysis-free
+    /// sequential sweep).
     pub levels: usize,
-    /// Barriers crossed (one per level when parallel).
+    /// Super-levels of the merged schedule (0 unless the merged policy
+    /// ran).
+    pub super_levels: usize,
+    /// Barriers each worker actually waited on: one per level under the
+    /// level policy, one per *super-level* under the merged policy — the
+    /// headline the DAG-partitioned schedule moves on deep narrow DAGs.
     pub barriers: usize,
 }
 
@@ -1013,7 +1068,10 @@ mod tests {
         let plan = req.plan_sparse(&m, 1).unwrap();
         let PlanBackend::Sparse {
             workers,
+            policy,
             levels,
+            super_levels,
+            predicted_barriers,
             max_level_width,
             nnz,
             via_transpose,
@@ -1025,15 +1083,95 @@ mod tests {
         assert!(levels > 0 && max_level_width > 0);
         assert_eq!(nnz, m.nnz());
         assert!(!via_transpose);
+        match policy {
+            SchedulePolicy::Level => {
+                assert_eq!(predicted_barriers, levels);
+                assert_eq!(super_levels, 0);
+            }
+            SchedulePolicy::Merged => assert_eq!(predicted_barriers, super_levels),
+        }
+        let cost = plan.predicted_cost.expect("sparse plans carry a cost");
+        assert!(cost.latency > 0.0 && cost.flops > 0.0);
         let sol = plan.execute_sparse_vec(&m, &b).unwrap();
         let lr = sol.report.levels.unwrap();
         assert_eq!(lr.workers, workers);
+        assert_eq!(lr.policy, policy);
         assert_eq!(lr.levels, levels);
-        assert_eq!(lr.barriers, levels);
+        assert_eq!(lr.super_levels, super_levels);
+        assert_eq!(lr.barriers, predicted_barriers);
         assert_eq!(sol.report.flops, m.solve_flops(1));
         // Identical to the raw executor.
         let direct = m.solve(&b).unwrap();
         assert_eq!(sol.x, direct);
+    }
+
+    #[test]
+    fn sparse_policy_pins_resolve_and_report_barrier_compression() {
+        // Deep narrow DAG: the merged plan must record >=10x fewer barriers
+        // than the level plan has levels, both executions must agree
+        // bitwise, and auto must resolve to Merged on this shape.
+        let n = 40_000;
+        let m = sgen::deep_narrow_lower(n, 4, 4, 3);
+        let b = sgen::rhs_vec(n, 8);
+        let level_plan = SolveRequest::lower()
+            .threads(4)
+            .policy(SchedulePolicy::Level)
+            .plan_sparse(&m, 1)
+            .unwrap();
+        let merged_plan = SolveRequest::lower()
+            .threads(4)
+            .policy(SchedulePolicy::Merged)
+            .plan_sparse(&m, 1)
+            .unwrap();
+        let PlanBackend::Sparse {
+            predicted_barriers: level_barriers,
+            levels,
+            ..
+        } = level_plan.backend
+        else {
+            panic!("expected a sparse plan");
+        };
+        let PlanBackend::Sparse {
+            predicted_barriers: merged_barriers,
+            policy,
+            ..
+        } = merged_plan.backend
+        else {
+            panic!("expected a sparse plan");
+        };
+        assert_eq!(policy, SchedulePolicy::Merged);
+        assert_eq!(level_barriers, levels);
+        assert!(
+            merged_barriers * 10 <= level_barriers,
+            "merged plan must predict >=10x fewer barriers: {merged_barriers} vs {level_barriers}"
+        );
+        // The cost model prices the synchronization term accordingly.
+        let lc = level_plan.predicted_cost.unwrap();
+        let mc = merged_plan.predicted_cost.unwrap();
+        assert!(mc.latency < lc.latency / 10.0);
+        assert_eq!(mc.flops, lc.flops);
+        // Executions agree bitwise and report what they ran.
+        let sl = level_plan.execute_sparse_vec(&m, &b).unwrap();
+        let sm = merged_plan.execute_sparse_vec(&m, &b).unwrap();
+        assert_eq!(sl.x, sm.x, "policies must be bitwise identical");
+        assert_eq!(sl.report.levels.unwrap().barriers, level_barriers);
+        assert_eq!(sm.report.levels.unwrap().barriers, merged_barriers);
+        assert_eq!(sm.report.algorithm, "sparse DAG-partitioned parallel sweep");
+        // Auto resolves to Merged here and the one-shot path matches.
+        let auto = SolveRequest::lower().threads(4).plan_sparse(&m, 1).unwrap();
+        let PlanBackend::Sparse {
+            policy: auto_policy,
+            ..
+        } = auto.backend
+        else {
+            panic!("expected a sparse plan");
+        };
+        assert_eq!(auto_policy, SchedulePolicy::Merged);
+        let sa = SolveRequest::lower()
+            .threads(4)
+            .solve_sparse_vec(&m, &b)
+            .unwrap();
+        assert_eq!(sa.x, sl.x);
     }
 
     #[test]
@@ -1218,6 +1356,50 @@ mod tests {
             assert!(err_t < 1e-8, "transposed distributed solve: {err_t}");
             assert!(res_t < 1e-10);
             assert!(err_u < 1e-8, "upper distributed solve: {err_u}");
+        }
+    }
+
+    #[test]
+    fn repeated_transposed_solves_redistribute_once() {
+        // The transpose all-to-all must run on the first transposed solve
+        // only; later solves reuse the cached DistMatrix::transposed — the
+        // repeated-backward-substitution pattern of the Cholesky/LU apps.
+        let n = 32;
+        let k = 8;
+        let out = Machine::new(4, MachineParams::cluster())
+            .run(move |comm| {
+                let grid = Grid2D::new(comm, 2, 2).unwrap();
+                let l_global = gen::well_conditioned_lower(n, 61);
+                let x_true = gen::rhs(n, k, 62);
+                let bt_global = dense::gemm::matmul(&l_global.transpose(), &x_true);
+                let l = DistMatrix::from_global(&grid, &l_global);
+                let bt = DistMatrix::from_global(&grid, &bt_global);
+                let req = SolveRequest::lower()
+                    .transposed()
+                    .algorithm(Algorithm::Recursive { base_size: 8 });
+                let s1 = req.solve_distributed(&l, &bt).unwrap();
+                let count_after_first = l.transpose_count();
+                let s2 = req.solve_distributed(&l, &bt).unwrap();
+                let err = dense::norms::rel_diff(&s2.x.to_global(), &x_true);
+                (
+                    err,
+                    count_after_first,
+                    l.transpose_count(),
+                    s1.report.comm.unwrap().words_sent,
+                    s2.report.comm.unwrap().words_sent,
+                    s1.x.to_global() == s2.x.to_global(),
+                )
+            })
+            .unwrap();
+        for (err, first, second, words1, words2, same) in out.results {
+            assert!(err < 1e-8, "{err}");
+            assert_eq!(first, 1, "first transposed solve runs the all-to-all");
+            assert_eq!(second, 1, "second solve must reuse the cached transpose");
+            assert!(
+                words2 <= words1,
+                "cached transpose must not re-communicate: {words2} vs {words1}"
+            );
+            assert!(same);
         }
     }
 

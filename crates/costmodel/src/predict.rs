@@ -65,6 +65,30 @@ pub fn trsm_cost(kind: AlgorithmKind, n: f64, k: f64, p: f64) -> Cost {
     }
 }
 
+/// Predicted cost of a level-scheduled sparse triangular solve with `nnz`
+/// stored entries, `k` right-hand sides, `workers` workers, and `barriers`
+/// synchronization points.
+///
+/// This is the sparse analogue of [`wavefront_cost`]: the solve is a
+/// sequence of parallel sweeps separated by global synchronizations, so the
+/// latency term is **proportional to the number of barriers actually
+/// crossed** — `num_levels` under the pure level schedule, the (much
+/// smaller) super-level count under the DAG-partitioned merged schedule.
+/// Cutting barriers is exactly what moves this cost, which is why the
+/// staged planner records the per-policy barrier count on its plans and
+/// prices them through this formula.  The bandwidth term charges the `k`
+/// solution words that cross between dependent sweeps at each
+/// synchronization; the flop term is the solve's `2·nnz·k` arithmetic
+/// divided over the workers.
+pub fn sparse_solve_cost(nnz: f64, k: f64, barriers: f64, workers: f64) -> Cost {
+    let p = workers.max(1.0);
+    Cost {
+        latency: barriers * log2c(p),
+        bandwidth: barriers * k,
+        flops: 2.0 * nnz * k / p,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +142,23 @@ mod tests {
             );
         }
         let _ = classify(n, k, p);
+    }
+
+    #[test]
+    fn sparse_sync_term_scales_with_barriers_not_levels() {
+        // Same matrix, same workers: a merged schedule with 50 barriers
+        // must price strictly below the 10000-barrier level schedule, with
+        // identical flop terms.
+        let (nnz, k, p) = (200_000.0, 8.0, 4.0);
+        let level = sparse_solve_cost(nnz, k, 10_000.0, p);
+        let merged = sparse_solve_cost(nnz, k, 50.0, p);
+        assert_eq!(level.flops, merged.flops);
+        assert!(merged.latency < level.latency / 100.0);
+        assert!(merged.bandwidth < level.bandwidth);
+        // More workers divide the flop term and raise the per-barrier cost.
+        let wide = sparse_solve_cost(nnz, k, 50.0, 16.0);
+        assert!(wide.flops < merged.flops);
+        assert!(wide.latency > merged.latency);
     }
 
     #[test]

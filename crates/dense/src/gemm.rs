@@ -19,7 +19,8 @@
 use crate::error::DenseError;
 use crate::flops::{gemm_flops, FlopCount};
 use crate::matrix::{MatMut, MatRef, Matrix};
-use crate::microkernel::gemm_views_accumulate;
+use crate::microkernel::gemm_views_accumulate_opt;
+use crate::pack::op_dims;
 use crate::threads::dense_threads;
 use crate::Result;
 
@@ -74,15 +75,7 @@ pub fn gemm_views(
     beta: f64,
     c: &mut MatMut<'_>,
 ) -> Result<FlopCount> {
-    let (m, p) = a.dims();
-    let n = b.cols();
-    let madds = m.saturating_mul(n).saturating_mul(p);
-    let threads = if madds >= PAR_MIN_MADDS {
-        dense_threads()
-    } else {
-        1
-    };
-    gemm_views_with_threads(alpha, a, b, beta, c, threads)
+    gemm_views_opt(alpha, a, false, b, false, beta, c, None)
 }
 
 /// [`gemm_views`] with an explicit worker budget.
@@ -99,8 +92,59 @@ pub fn gemm_views_with_threads(
     c: &mut MatMut<'_>,
     threads: usize,
 ) -> Result<FlopCount> {
-    let (m, p) = a.dims();
-    let (p2, n) = b.dims();
+    gemm_views_opt(alpha, a, false, b, false, beta, c, Some(threads))
+}
+
+/// `C ← alpha * Aᵀ * B + beta * C` on borrowed sub-blocks, with `a` the
+/// **stored** (un-transposed, `p×m`) operand.
+///
+/// The transpose is folded into the packing itself — `Aᵀ`'s micro-panels
+/// are read straight out of `a` with swapped strides by the pack layer —
+/// so no transposed panel is ever materialized,
+/// in scratch or elsewhere.  This is the update primitive of the blocked
+/// `op(A) = Aᵀ` TRSM drivers.  Results are **bitwise identical** to running
+/// [`gemm_views`] on an explicitly materialized transpose, at every worker
+/// count.  Subject to the same [`PAR_MIN_MADDS`] gate as [`gemm_views`].
+pub fn gemm_views_at(
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+) -> Result<FlopCount> {
+    gemm_views_opt(alpha, a, true, b, false, beta, c, None)
+}
+
+/// `C ← alpha * A * Bᵀ + beta * C` on borrowed sub-blocks, with `b` the
+/// **stored** (un-transposed, `n×p`) operand — the mirror of
+/// [`gemm_views_at`] for right-side transposed updates.
+pub fn gemm_views_a_bt(
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+) -> Result<FlopCount> {
+    gemm_views_opt(alpha, a, false, b, true, beta, c, None)
+}
+
+/// The options-driven core every view-level GEMM funnels through:
+/// validates the *conceptual* (`op`-applied) dimensions, applies `beta`,
+/// resolves the worker budget (`None` = the implicit [`PAR_MIN_MADDS`]
+/// gate), and dispatches to the packed accumulator.
+#[allow(clippy::too_many_arguments)] // one internal funnel, BLAS-style
+fn gemm_views_opt(
+    alpha: f64,
+    a: MatRef<'_>,
+    a_trans: bool,
+    b: MatRef<'_>,
+    b_trans: bool,
+    beta: f64,
+    c: &mut MatMut<'_>,
+    threads: Option<usize>,
+) -> Result<FlopCount> {
+    let (m, p) = op_dims(a, a_trans);
+    let (p2, n) = op_dims(b, b_trans);
     if p != p2 {
         return Err(DenseError::DimensionMismatch {
             op: "gemm",
@@ -127,7 +171,15 @@ pub fn gemm_views_with_threads(
         return Ok(FlopCount::ZERO);
     }
 
-    gemm_views_accumulate(alpha, a, b, c, threads.max(1));
+    let threads = threads.map(|t| t.max(1)).unwrap_or_else(|| {
+        let madds = m.saturating_mul(n).saturating_mul(p);
+        if madds >= PAR_MIN_MADDS {
+            dense_threads()
+        } else {
+            1
+        }
+    });
+    gemm_views_accumulate_opt(alpha, a, a_trans, b, b_trans, c, threads);
     Ok(gemm_flops(m, p, n))
 }
 
@@ -142,6 +194,10 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// `C ← alpha * Aᵀ * B + beta * C` (A is `p×m`, B is `p×n`, C is `m×n`).
+///
+/// The transpose is folded into the packing ([`gemm_views_at`]); no `Aᵀ`
+/// is materialized, and the result is bitwise identical to multiplying a
+/// materialized transpose.
 pub fn gemm_at_b(
     alpha: f64,
     a: &Matrix,
@@ -149,11 +205,13 @@ pub fn gemm_at_b(
     beta: f64,
     c: &mut Matrix,
 ) -> Result<FlopCount> {
-    let at = a.transpose();
-    gemm(alpha, &at, b, beta, c)
+    gemm_views_at(alpha, a.as_view(), b.as_view(), beta, &mut c.as_view_mut())
 }
 
 /// `C ← alpha * A * Bᵀ + beta * C` (A is `m×p`, B is `n×p`, C is `m×n`).
+///
+/// Like [`gemm_at_b`], the transpose lives in the packing
+/// ([`gemm_views_a_bt`]): no `Bᵀ` is materialized.
 pub fn gemm_a_bt(
     alpha: f64,
     a: &Matrix,
@@ -161,8 +219,7 @@ pub fn gemm_a_bt(
     beta: f64,
     c: &mut Matrix,
 ) -> Result<FlopCount> {
-    let bt = b.transpose();
-    gemm(alpha, a, &bt, beta, c)
+    gemm_views_a_bt(alpha, a.as_view(), b.as_view(), beta, &mut c.as_view_mut())
 }
 
 /// Reference (non-blocked) triple-loop multiplication used by the tests to
@@ -325,6 +382,57 @@ mod tests {
         let mut c = Matrix::zeros(4, 6);
         let f = gemm(1.0, &a, &b, 0.0, &mut c).unwrap();
         assert_eq!(f, gemm_flops(4, 5, 6));
+    }
+
+    #[test]
+    fn pack_transposed_views_match_materialized_transposes_bitwise() {
+        // The pack-transposed entry points must be *bitwise* equal to
+        // gemm_views on explicitly materialized transposes (the packed
+        // buffers hold identical values and the accumulation order is the
+        // same), across shapes spanning the small and packed paths and
+        // ragged panel edges — the blocked transposed-TRSM update shapes.
+        for &(m, k, n) in &[(7, 5, 9), (64, 130, 96), (61, 200, 17), (130, 64, 257)] {
+            let a = Matrix::from_fn(k, m, |i, j| ((i * 13 + j * 7) % 17) as f64 / 17.0 - 0.4);
+            let b = Matrix::from_fn(k, n, |i, j| ((i * 5 + j * 29) % 13) as f64 / 13.0 - 0.6);
+            let mut c1 = Matrix::from_fn(m, n, |i, j| (i + j) as f64 * 0.01);
+            let mut c2 = c1.clone();
+            let f1 =
+                gemm_views_at(-1.5, a.as_view(), b.as_view(), 1.0, &mut c1.as_view_mut()).unwrap();
+            let at = a.transpose();
+            let f2 =
+                gemm_views(-1.5, at.as_view(), b.as_view(), 1.0, &mut c2.as_view_mut()).unwrap();
+            assert_eq!(f1, f2);
+            assert!(c1 == c2, "gemm_views_at diverged at ({m},{k},{n})");
+
+            let x = Matrix::from_fn(m, k, |i, j| ((i * 3 + j * 11) % 19) as f64 / 19.0 - 0.5);
+            let p = Matrix::from_fn(n, k, |i, j| ((i * 23 + j * 3) % 11) as f64 / 11.0 - 0.5);
+            let mut d1 = Matrix::from_fn(m, n, |i, j| (2 * i + j) as f64 * 0.02);
+            let mut d2 = d1.clone();
+            gemm_views_a_bt(2.0, x.as_view(), p.as_view(), 0.5, &mut d1.as_view_mut()).unwrap();
+            let pt = p.transpose();
+            gemm_views(2.0, x.as_view(), pt.as_view(), 0.5, &mut d2.as_view_mut()).unwrap();
+            assert!(d1 == d2, "gemm_views_a_bt diverged at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn pack_transposed_views_reject_mismatched_conceptual_dims() {
+        // a stored 4×3 -> op(a) is 3×4; pairing with a 3-row b must fail.
+        let a = Matrix::zeros(4, 3);
+        let b = Matrix::zeros(3, 2);
+        let mut c = Matrix::zeros(3, 2);
+        assert!(gemm_views_at(1.0, a.as_view(), b.as_view(), 0.0, &mut c.as_view_mut()).is_err());
+        // And the output must match the conceptual (m, n).
+        let b_ok = Matrix::zeros(4, 2);
+        let mut c_bad = Matrix::zeros(4, 2);
+        assert!(gemm_views_at(
+            1.0,
+            a.as_view(),
+            b_ok.as_view(),
+            0.0,
+            &mut c_bad.as_view_mut()
+        )
+        .is_err());
     }
 
     #[test]

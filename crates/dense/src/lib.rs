@@ -71,7 +71,8 @@ pub use error::DenseError;
 pub use factor::{cholesky, lu, lu_partial_pivot, LuFactors};
 pub use flops::FlopCount;
 pub use gemm::{
-    gemm, gemm_a_bt, gemm_at_b, gemm_views, gemm_views_with_threads, gemm_with_threads, matmul,
+    gemm, gemm_a_bt, gemm_at_b, gemm_views, gemm_views_a_bt, gemm_views_at,
+    gemm_views_with_threads, gemm_with_threads, matmul,
 };
 pub use matrix::{MatMut, MatRef, Matrix};
 pub use threads::{dense_threads, run_region};

@@ -31,7 +31,7 @@
 //! kernel benches after changing them.
 
 use crate::matrix::{MatMut, MatRef};
-use crate::pack::{pack_a, pack_b, with_gemm_scratch, with_packed_a, PackedA};
+use crate::pack::{op_dims, op_strides, pack_a, pack_b, with_gemm_scratch, with_packed_a, PackedA};
 use crate::threads;
 #[cfg(target_arch = "x86_64")]
 use std::sync::OnceLock;
@@ -54,28 +54,35 @@ const _: () = assert!(NC.is_multiple_of(NR), "NC must be a multiple of NR");
 /// cache benefits and [`gemm_accumulate`] falls back to a simple loop.
 const PACK_THRESHOLD: usize = 32 * 32 * 32;
 
-/// `C += alpha · A · B` on borrowed views — the safe entry point the
-/// `gemm`/`gemm_views` layer routes through.
+/// `C += alpha · op(A) · op(B)` on borrowed views, where `a_trans` /
+/// `b_trans` select `op(X) = Xᵀ` — implemented by walking the stored
+/// operand with swapped strides during packing (see [`crate::pack`]), so a
+/// transposed operand is never materialized, in scratch or anywhere else.
 ///
 /// `threads` is the worker budget: with more than one worker (and a product
 /// big enough to be packed, with enough column panels to split) the
 /// multithreaded driver partitions `C` by columns across the pool; otherwise
-/// the sequential kernel runs on the calling thread.  Both paths produce
-/// **bitwise-identical** results: the packed operand values and the
-/// per-element accumulation order (`pc` blocks ascending, `k` ascending
-/// within each tile) do not depend on the column partitioning.
+/// the sequential kernel runs on the calling thread.  All paths produce
+/// **bitwise-identical** results — to each other *and* to the same product
+/// on materialized transposes: the packed buffers hold identical values
+/// either way, and the per-element accumulation order (`pc` blocks
+/// ascending, `k` ascending within each tile) depends on neither the column
+/// partitioning nor the operand storage order.
 ///
-/// Callers must pre-validate dimensions (`a: m×k`, `b: k×n`, `c: m×n`).
-pub(crate) fn gemm_views_accumulate(
+/// Callers must pre-validate conceptual dimensions (`op(a): m×k`,
+/// `op(b): k×n`, `c: m×n`).
+pub(crate) fn gemm_views_accumulate_opt(
     alpha: f64,
     a: MatRef<'_>,
+    a_trans: bool,
     b: MatRef<'_>,
+    b_trans: bool,
     c: &mut MatMut<'_>,
     threads: usize,
 ) {
-    let (m, kdim) = a.dims();
-    let n = b.cols();
-    debug_assert_eq!(kdim, b.rows());
+    let (m, kdim) = op_dims(a, a_trans);
+    let n = op_dims(b, b_trans).1;
+    debug_assert_eq!(kdim, op_dims(b, b_trans).0);
     debug_assert_eq!((m, n), c.dims());
     if m == 0 || n == 0 || kdim == 0 || alpha == 0.0 {
         return;
@@ -83,12 +90,14 @@ pub(crate) fn gemm_views_accumulate(
     let madds = m.saturating_mul(n).saturating_mul(kdim);
     let parallel = threads > 1 && madds >= PACK_THRESHOLD;
     if parallel && n >= 2 * NR {
-        gemm_parallel(alpha, a, b, c, threads);
+        gemm_parallel(alpha, a, a_trans, b, b_trans, c, threads);
     } else if parallel && m >= 2 * MR {
         // Tall-skinny product: too few column panels to split, so partition
         // the `ic` (row) dimension of `A`/`C` instead.
-        gemm_parallel_rows(alpha, a, b, c, threads);
+        gemm_parallel_rows(alpha, a, a_trans, b, b_trans, c, threads);
     } else {
+        let (ai, ak) = op_strides(a, a_trans);
+        let (bk, bj) = op_strides(b, b_trans);
         // SAFETY: the views describe in-bounds blocks of live allocations
         // with the dimensions checked above, and `c` is a mutable borrow so
         // it cannot alias `a` or `b`.
@@ -99,9 +108,11 @@ pub(crate) fn gemm_views_accumulate(
                 kdim,
                 alpha,
                 a.as_ptr(),
-                a.stride(),
+                ai,
+                ak,
                 b.as_ptr(),
-                b.stride(),
+                bk,
+                bj,
                 c.as_mut_ptr(),
                 c.stride(),
             );
@@ -109,24 +120,38 @@ pub(crate) fn gemm_views_accumulate(
     }
 }
 
-/// The multithreaded packed driver: packs all of `A` once (shared read-only
-/// by every worker), splits `C` and `B` into per-worker column chunks on
-/// `NR`-panel boundaries via [`MatMut::split_cols_at_mut`], and runs one
-/// worker per chunk on the [`threads`] pool.  Each worker packs its own `B`
-/// panels into its thread-local scratch, so the only shared state is the
-/// immutable packed `A`.
-fn gemm_parallel(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, c: &mut MatMut<'_>, threads: usize) {
-    let (_, kdim) = a.dims();
-    let n = b.cols();
-    with_packed_a(alpha, a, |apack| {
+/// The multithreaded packed driver: packs all of `op(A)` once (shared
+/// read-only by every worker), splits `C` and `op(B)` into per-worker
+/// column chunks on `NR`-panel boundaries via [`MatMut::split_cols_at_mut`],
+/// and runs one worker per chunk on the [`threads`] pool.  Each worker
+/// packs its own `B` panels into its thread-local scratch, so the only
+/// shared state is the immutable packed `A`.
+fn gemm_parallel(
+    alpha: f64,
+    a: MatRef<'_>,
+    a_trans: bool,
+    b: MatRef<'_>,
+    b_trans: bool,
+    c: &mut MatMut<'_>,
+    threads: usize,
+) {
+    let kdim = op_dims(a, a_trans).1;
+    let n = op_dims(b, b_trans).1;
+    with_packed_a(alpha, a, a_trans, |apack| {
         let chunks = panel_chunks(n, NR, threads);
         let mut jobs = Vec::with_capacity(chunks.len());
         let mut rest = c.reborrow();
         for (j0, chunk_cols) in chunks {
             let (chunk, tail) = rest.split_cols_at_mut(chunk_cols);
             rest = tail;
-            let b_chunk = b.subview(0, j0, kdim, chunk_cols);
-            jobs.push(move || gemm_chunk_shared_a(apack, b_chunk, chunk));
+            // Columns `j0 ..` of `op(B)` are rows `j0 ..` of a transposed
+            // stored `b`.
+            let b_chunk = if b_trans {
+                b.subview(j0, 0, chunk_cols, kdim)
+            } else {
+                b.subview(0, j0, kdim, chunk_cols)
+            };
+            jobs.push(move || gemm_chunk_shared_a(apack, b_chunk, b_trans, chunk));
         }
         threads::join_all(jobs);
     });
@@ -154,17 +179,17 @@ fn panel_chunks(len: usize, panel: usize, workers: usize) -> Vec<(usize, usize)>
 }
 
 /// One worker's share of the multithreaded GEMM: the full `(jc, pc, ic)`
-/// loop nest over a column chunk of `B`/`C`, reading `A` blocks from the
+/// loop nest over a column chunk of `op(B)`/`C`, reading `A` blocks from the
 /// shared pack and packing `B` panels into this worker's thread-local
 /// scratch.  The loop order matches the sequential [`gemm_packed`], which is
 /// what keeps the parallel result bitwise identical to the sequential one.
-fn gemm_chunk_shared_a(apack: &PackedA<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+fn gemm_chunk_shared_a(apack: &PackedA<'_>, b: MatRef<'_>, b_trans: bool, mut c: MatMut<'_>) {
     let macro_kernel = select_macro_kernel();
     let (m, n) = c.dims();
-    let kdim = b.rows();
+    let kdim = op_dims(b, b_trans).0;
     let c_rs = c.stride();
     let c_ptr = c.as_mut_ptr();
-    let b_rs = b.stride();
+    let (bk, bj) = op_strides(b, b_trans);
     let b_ptr = b.as_ptr();
     with_gemm_scratch(|_, bpack| {
         let mut jc = 0;
@@ -175,12 +200,13 @@ fn gemm_chunk_shared_a(apack: &PackedA<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
             while pc < kdim {
                 let kc = KC.min(kdim - pc);
                 // SAFETY: `b` and `c` are live in-bounds views with the
-                // strides captured above; the `kc×nc` block of `b` at
-                // `(pc, jc)` is valid for reads, the `mc×nc` blocks of `c`
-                // are valid for writes, and `c` is exclusively owned by this
-                // worker (disjoint column chunks via `split_cols_at_mut`).
+                // strides captured above; the conceptual `kc×nc` block of
+                // `op(b)` at `(pc, jc)` is valid for reads at `(bk, bj)`,
+                // the `mc×nc` blocks of `c` are valid for writes, and `c`
+                // is exclusively owned by this worker (disjoint column
+                // chunks via `split_cols_at_mut`).
                 unsafe {
-                    pack_b(b_ptr.add(pc * b_rs + jc), b_rs, kc, nc, bpack);
+                    pack_b(b_ptr.add(pc * bk + jc * bj), bk, bj, kc, nc, bpack);
                     let mut ic = 0;
                     let mut ic_idx = 0;
                     while ic < m {
@@ -219,19 +245,27 @@ fn gemm_chunk_shared_a(apack: &PackedA<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
 fn gemm_parallel_rows(
     alpha: f64,
     a: MatRef<'_>,
+    a_trans: bool,
     b: MatRef<'_>,
+    b_trans: bool,
     c: &mut MatMut<'_>,
     threads: usize,
 ) {
-    let (m, kdim) = a.dims();
+    let (m, kdim) = op_dims(a, a_trans);
     let chunks = panel_chunks(m, MR, threads);
     let mut jobs = Vec::with_capacity(chunks.len());
     let mut rest = c.reborrow();
     for (i0, chunk_rows) in chunks {
         let (chunk, tail) = rest.split_rows_at_mut(chunk_rows);
         rest = tail;
-        let a_chunk = a.subview(i0, 0, chunk_rows, kdim);
-        jobs.push(move || gemm_chunk_rows(alpha, a_chunk, b, chunk));
+        // Rows `i0 ..` of `op(A)` are columns `i0 ..` of a transposed
+        // stored `a`.
+        let a_chunk = if a_trans {
+            a.subview(0, i0, kdim, chunk_rows)
+        } else {
+            a.subview(i0, 0, chunk_rows, kdim)
+        };
+        jobs.push(move || gemm_chunk_rows(alpha, a_chunk, a_trans, b, b_trans, chunk));
     }
     threads::join_all(jobs);
 }
@@ -241,9 +275,18 @@ fn gemm_parallel_rows(
 /// [`gemm_small`]) so a chunk falling under the pack threshold cannot
 /// diverge bitwise from the sequential whole-matrix run, which took the
 /// packed path to begin with.
-fn gemm_chunk_rows(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
-    let (m, kdim) = a.dims();
-    let n = b.cols();
+fn gemm_chunk_rows(
+    alpha: f64,
+    a: MatRef<'_>,
+    a_trans: bool,
+    b: MatRef<'_>,
+    b_trans: bool,
+    mut c: MatMut<'_>,
+) {
+    let (m, kdim) = op_dims(a, a_trans);
+    let n = op_dims(b, b_trans).1;
+    let (ai, ak) = op_strides(a, a_trans);
+    let (bk, bj) = op_strides(b, b_trans);
     // SAFETY: the views describe live in-bounds blocks with the strides they
     // report; `c` is this worker's exclusively-owned row chunk (disjoint via
     // `split_rows_at_mut`), so the written region cannot overlap the blocks
@@ -255,9 +298,11 @@ fn gemm_chunk_rows(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) 
             kdim,
             alpha,
             a.as_ptr(),
-            a.stride(),
+            ai,
+            ak,
             b.as_ptr(),
-            b.stride(),
+            bk,
+            bj,
             c.as_mut_ptr(),
             c.stride(),
         );
@@ -265,11 +310,14 @@ fn gemm_chunk_rows(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) 
 }
 
 /// `C[m×n] += alpha · A[m×k] · B[k×n]` on raw strided storage, choosing the
-/// packed path for large products and a register-blocked loop for small ones.
+/// packed path for large products and a register-blocked loop for small
+/// ones.  Elements are addressed as `A[i, k] = a + i·ai + k·ak` and
+/// `B[k, j] = b + k·bk + j·bj`, so `(stride, 1)` reads an operand as
+/// stored and `(1, stride)` reads its transpose in place.
 ///
 /// # Safety
-/// * `a` must be valid for reads of an `m×kdim` block at row stride `a_rs`;
-/// * `b` must be valid for reads of a `kdim×n` block at row stride `b_rs`;
+/// * `a` must be valid for reads of an `m×kdim` block at strides `(ai, ak)`;
+/// * `b` must be valid for reads of a `kdim×n` block at strides `(bk, bj)`;
 /// * `c` must be valid for reads and writes of an `m×n` block at row stride
 ///   `c_rs`;
 /// * the `m×n` region written through `c` must not overlap the regions read
@@ -282,9 +330,11 @@ pub(crate) unsafe fn gemm_accumulate(
     kdim: usize,
     alpha: f64,
     a: *const f64,
-    a_rs: usize,
+    ai: usize,
+    ak: usize,
     b: *const f64,
-    b_rs: usize,
+    bk: usize,
+    bj: usize,
     c: *mut f64,
     c_rs: usize,
 ) {
@@ -292,9 +342,9 @@ pub(crate) unsafe fn gemm_accumulate(
         return;
     }
     if m * n * kdim < PACK_THRESHOLD {
-        gemm_small(m, n, kdim, alpha, a, a_rs, b, b_rs, c, c_rs);
+        gemm_small(m, n, kdim, alpha, a, ai, ak, b, bk, bj, c, c_rs);
     } else {
-        gemm_packed(m, n, kdim, alpha, a, a_rs, b, b_rs, c, c_rs);
+        gemm_packed(m, n, kdim, alpha, a, ai, ak, b, bk, bj, c, c_rs);
     }
 }
 
@@ -309,9 +359,11 @@ unsafe fn gemm_packed(
     kdim: usize,
     alpha: f64,
     a: *const f64,
-    a_rs: usize,
+    ai: usize,
+    ak: usize,
     b: *const f64,
-    b_rs: usize,
+    bk: usize,
+    bj: usize,
     c: *mut f64,
     c_rs: usize,
 ) {
@@ -323,11 +375,11 @@ unsafe fn gemm_packed(
             let mut pc = 0;
             while pc < kdim {
                 let kc = KC.min(kdim - pc);
-                pack_b(b.add(pc * b_rs + jc), b_rs, kc, nc, bpack);
+                pack_b(b.add(pc * bk + jc * bj), bk, bj, kc, nc, bpack);
                 let mut ic = 0;
                 while ic < m {
                     let mc = MC.min(m - ic);
-                    pack_a(alpha, a.add(ic * a_rs + pc), a_rs, mc, kc, apack);
+                    pack_a(alpha, a.add(ic * ai + pc * ak), ai, ak, mc, kc, apack);
                     macro_kernel(mc, nc, kc, apack, bpack, c.add(ic * c_rs + jc), c_rs);
                     ic += MC;
                 }
@@ -494,23 +546,25 @@ unsafe fn gemm_small(
     kdim: usize,
     alpha: f64,
     a: *const f64,
-    a_rs: usize,
+    ai: usize,
+    ak: usize,
     b: *const f64,
-    b_rs: usize,
+    bk: usize,
+    bj: usize,
     c: *mut f64,
     c_rs: usize,
 ) {
     for i in 0..m {
-        let arow = a.add(i * a_rs);
+        let arow = a.add(i * ai);
         let crow = c.add(i * c_rs);
         for k in 0..kdim {
-            let aik = alpha * *arow.add(k);
+            let aik = alpha * *arow.add(k * ak);
             if aik == 0.0 {
                 continue;
             }
-            let brow = b.add(k * b_rs);
+            let brow = b.add(k * bk);
             for j in 0..n {
-                *crow.add(j) += aik * *brow.add(j);
+                *crow.add(j) += aik * *brow.add(j * bj);
             }
         }
     }
@@ -520,6 +574,18 @@ unsafe fn gemm_small(
 mod tests {
     use super::*;
     use crate::matrix::Matrix;
+
+    /// The plain (no-transpose) accumulate the pre-`_opt` tests were
+    /// written against.
+    fn gemm_views_accumulate(
+        alpha: f64,
+        a: MatRef<'_>,
+        b: MatRef<'_>,
+        c: &mut MatMut<'_>,
+        threads: usize,
+    ) {
+        gemm_views_accumulate_opt(alpha, a, false, b, false, c, threads);
+    }
 
     fn accumulate(
         m: usize,
@@ -538,8 +604,10 @@ mod tests {
                 alpha,
                 a.as_slice().as_ptr(),
                 a.cols(),
+                1,
                 b.as_slice().as_ptr(),
                 b.cols(),
+                1,
                 c.as_mut_slice().as_mut_ptr(),
                 n,
             );
@@ -562,8 +630,10 @@ mod tests {
                     1.5,
                     a.as_slice().as_ptr(),
                     k,
+                    1,
                     b.as_slice().as_ptr(),
                     n,
+                    1,
                     c_small.as_mut_slice().as_mut_ptr(),
                     n,
                 );
@@ -574,8 +644,10 @@ mod tests {
                     1.5,
                     a.as_slice().as_ptr(),
                     k,
+                    1,
                     b.as_slice().as_ptr(),
                     n,
+                    1,
                     c_packed.as_mut_slice().as_mut_ptr(),
                     n,
                 );
@@ -631,6 +703,80 @@ mod tests {
                 assert!(
                     c_seq == c_par,
                     "parallel GEMM diverged at shape ({m},{k},{n}) with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_operands_are_bitwise_equal_to_materialized_transposes() {
+        // Pack-transposed micro-panels hold the same values a materialized
+        // transpose would have produced, and the accumulation order is
+        // unchanged — so op(A)/op(B) products must be *bitwise* equal to
+        // the plain product on explicitly transposed operands, across the
+        // small, packed, column-parallel and row-parallel paths.
+        for &(m, k, n) in &[
+            (5, 9, 17),     // gemm_small
+            (97, 130, 121), // packed + column-parallel
+            (512, 257, 4),  // row-parallel (n < 2·NR)
+            (35, 40, 1029), // many column panels
+        ] {
+            let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 17) % 23) as f64 / 23.0 - 0.5);
+            let b = Matrix::from_fn(k, n, |i, j| ((i * 7 + j * 41) % 19) as f64 / 19.0 - 0.5);
+            let at = a.transpose(); // stored k×m
+            let bt = b.transpose(); // stored n×k
+            for threads in [1usize, 3, 4] {
+                let mut c_ref = Matrix::zeros(m, n);
+                gemm_views_accumulate_opt(
+                    1.5,
+                    a.as_view(),
+                    false,
+                    b.as_view(),
+                    false,
+                    &mut c_ref.as_view_mut(),
+                    threads,
+                );
+                let mut c_at = Matrix::zeros(m, n);
+                gemm_views_accumulate_opt(
+                    1.5,
+                    at.as_view(),
+                    true,
+                    b.as_view(),
+                    false,
+                    &mut c_at.as_view_mut(),
+                    threads,
+                );
+                assert!(
+                    c_ref == c_at,
+                    "Aᵀ path diverged at ({m},{k},{n}) with {threads} threads"
+                );
+                let mut c_bt = Matrix::zeros(m, n);
+                gemm_views_accumulate_opt(
+                    1.5,
+                    a.as_view(),
+                    false,
+                    bt.as_view(),
+                    true,
+                    &mut c_bt.as_view_mut(),
+                    threads,
+                );
+                assert!(
+                    c_ref == c_bt,
+                    "Bᵀ path diverged at ({m},{k},{n}) with {threads} threads"
+                );
+                let mut c_both = Matrix::zeros(m, n);
+                gemm_views_accumulate_opt(
+                    1.5,
+                    at.as_view(),
+                    true,
+                    bt.as_view(),
+                    true,
+                    &mut c_both.as_view_mut(),
+                    threads,
+                );
+                assert!(
+                    c_ref == c_both,
+                    "AᵀBᵀ path diverged at ({m},{k},{n}) with {threads} threads"
                 );
             }
         }
@@ -743,8 +889,10 @@ mod tests {
                 1.0,
                 big_a.as_slice().as_ptr().add(2 * 12 + 3),
                 12,
+                1,
                 big_b.as_slice().as_ptr().add(11 + 2),
                 11,
+                1,
                 c.as_mut_slice().as_mut_ptr(),
                 n,
             );

@@ -23,6 +23,30 @@ use crate::matrix::MatRef;
 use crate::microkernel::{KC, MC, MR, NC, NR};
 use std::cell::RefCell;
 
+/// Conceptual dimensions of `op(v)`: `(rows, cols)` as stored, swapped
+/// when transposed.  The one place the `op(X)` addressing convention is
+/// spelled out, shared by every GEMM driver (see [`op_strides`]).
+#[inline]
+pub(crate) fn op_dims(v: MatRef<'_>, trans: bool) -> (usize, usize) {
+    if trans {
+        (v.cols(), v.rows())
+    } else {
+        v.dims()
+    }
+}
+
+/// `(outer, inner)` element strides of `op(v)`: `(stride, 1)` as stored,
+/// `(1, stride)` transposed — so `op(v)[i, j]` sits at
+/// `ptr + i·outer + j·inner` either way.
+#[inline]
+pub(crate) fn op_strides(v: MatRef<'_>, trans: bool) -> (usize, usize) {
+    if trans {
+        (1, v.stride())
+    } else {
+        (v.stride(), 1)
+    }
+}
+
 thread_local! {
     /// `(A-pack, B-pack)` buffers, grown on first use and reused thereafter.
     static GEMM_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
@@ -85,14 +109,22 @@ impl PackedA<'_> {
 /// multiply anyway.
 const APACK_CACHE_MAX: usize = 2 * 1024 * 1024;
 
-/// Packs all of `alpha · a` into the thread-local whole-`A` arena (or a
+/// Packs all of `alpha · op(a)` into the thread-local whole-`A` arena (or a
 /// fresh buffer above [`APACK_CACHE_MAX`]) and runs `f` on the result.
+/// `trans` selects `op(a) = aᵀ`: the packing then walks `a` with swapped
+/// strides, so the transposed operand is never materialized.
 ///
 /// The buffer is keyed to the calling thread, so the caller must finish with
 /// the [`PackedA`] before returning (enforced by the closure scope); workers
 /// reading it concurrently is fine — it is immutable inside `f`.
-pub(crate) fn with_packed_a<R>(alpha: f64, a: MatRef<'_>, f: impl FnOnce(&PackedA<'_>) -> R) -> R {
-    let (m, kdim) = a.dims();
+pub(crate) fn with_packed_a<R>(
+    alpha: f64,
+    a: MatRef<'_>,
+    trans: bool,
+    f: impl FnOnce(&PackedA<'_>) -> R,
+) -> R {
+    let (m, kdim) = op_dims(a, trans);
+    let (ai, ak) = op_strides(a, trans);
     let nmc = m.div_ceil(MC);
     let nkc = kdim.div_ceil(KC);
     let len = nmc * nkc * MC * KC;
@@ -106,14 +138,16 @@ pub(crate) fn with_packed_a<R>(alpha: f64, a: MatRef<'_>, f: impl FnOnce(&Packed
             while pc < kdim {
                 let kc = KC.min(kdim - pc);
                 let dst = &mut buf[(ic_idx * nkc + pc_idx) * (MC * KC)..][..MC * KC];
-                // SAFETY: `a` is a live in-bounds view, so the `mc×kc` block
-                // at `(ic, pc)` is valid for reads at `a`'s row stride, and
-                // `dst` holds `MC·KC >= ⌈mc/MR⌉·kc·MR` elements.
+                // SAFETY: `a` is a live in-bounds view, so the conceptual
+                // `mc×kc` block at `(ic, pc)` is valid for reads at the
+                // `(ai, ak)` strides, and `dst` holds
+                // `MC·KC >= ⌈mc/MR⌉·kc·MR` elements.
                 unsafe {
                     pack_a(
                         alpha,
-                        a.as_ptr().add(ic * a.stride() + pc),
-                        a.stride(),
+                        a.as_ptr().add(ic * ai + pc * ak),
+                        ai,
+                        ak,
                         mc,
                         kc,
                         dst,
@@ -167,16 +201,24 @@ pub(crate) fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R 
     })
 }
 
-/// Packs the `mc×kc` block of `A` at `a` (row stride `a_rs`), scaled by
-/// `alpha`, into `MR`-row micro-panels in `dst`, zero-padding the last panel.
+/// Packs the `mc×kc` block of `op(A)` at `a` — element `(i, k)` read from
+/// `a + i·ai + k·ak` — scaled by `alpha`, into `MR`-row micro-panels in
+/// `dst`, zero-padding the last panel.
+///
+/// `(ai, ak) = (row stride, 1)` packs the block as stored; `(1, row
+/// stride)` packs its **transpose** straight out of the original storage,
+/// which is how the `op(A) = Aᵀ` GEMM entry points avoid materializing
+/// transposed panels in scratch: the packed buffer is bit-for-bit the one a
+/// materialized transpose would have produced.
 ///
 /// # Safety
-/// `a` must be valid for reads of the `mc×kc` block at row stride `a_rs`, and
-/// `dst` must hold at least `⌈mc/MR⌉·kc·MR` elements.
+/// `a` must be valid for reads of the `mc×kc` block at strides `(ai, ak)`,
+/// and `dst` must hold at least `⌈mc/MR⌉·kc·MR` elements.
 pub(crate) unsafe fn pack_a(
     alpha: f64,
     a: *const f64,
-    a_rs: usize,
+    ai: usize,
+    ak: usize,
     mc: usize,
     kc: usize,
     dst: &mut [f64],
@@ -190,14 +232,14 @@ pub(crate) unsafe fn pack_a(
         if rows == MR {
             for k in 0..kc {
                 for i in 0..MR {
-                    *panel.get_unchecked_mut(k * MR + i) = alpha * *a.add((ir + i) * a_rs + k);
+                    *panel.get_unchecked_mut(k * MR + i) = alpha * *a.add((ir + i) * ai + k * ak);
                 }
             }
         } else {
             for k in 0..kc {
                 for i in 0..MR {
                     let v = if i < rows {
-                        *a.add((ir + i) * a_rs + k)
+                        *a.add((ir + i) * ai + k * ak)
                     } else {
                         0.0
                     };
@@ -208,13 +250,24 @@ pub(crate) unsafe fn pack_a(
     }
 }
 
-/// Packs the `kc×nc` block of `B` at `b` (row stride `b_rs`) into `NR`-column
-/// micro-panels in `dst`, zero-padding the last panel.
+/// Packs the `kc×nc` block of `op(B)` at `b` — element `(k, j)` read from
+/// `b + k·bk + j·bj` — into `NR`-column micro-panels in `dst`, zero-padding
+/// the last panel.
+///
+/// `(bk, bj) = (row stride, 1)` packs the block as stored; `(1, row
+/// stride)` packs its transpose (see [`pack_a`]).
 ///
 /// # Safety
-/// `b` must be valid for reads of the `kc×nc` block at row stride `b_rs`, and
-/// `dst` must hold at least `⌈nc/NR⌉·kc·NR` elements.
-pub(crate) unsafe fn pack_b(b: *const f64, b_rs: usize, kc: usize, nc: usize, dst: &mut [f64]) {
+/// `b` must be valid for reads of the `kc×nc` block at strides `(bk, bj)`,
+/// and `dst` must hold at least `⌈nc/NR⌉·kc·NR` elements.
+pub(crate) unsafe fn pack_b(
+    b: *const f64,
+    bk: usize,
+    bj: usize,
+    kc: usize,
+    nc: usize,
+    dst: &mut [f64],
+) {
     let panels = nc.div_ceil(NR);
     debug_assert!(dst.len() >= panels * kc * NR);
     for q in 0..panels {
@@ -223,16 +276,17 @@ pub(crate) unsafe fn pack_b(b: *const f64, b_rs: usize, kc: usize, nc: usize, ds
         let panel = &mut dst[q * kc * NR..(q + 1) * kc * NR];
         if cols == NR {
             for k in 0..kc {
-                let src = b.add(k * b_rs + jr);
+                let src = b.add(k * bk + jr * bj);
                 for j in 0..NR {
-                    *panel.get_unchecked_mut(k * NR + j) = *src.add(j);
+                    *panel.get_unchecked_mut(k * NR + j) = *src.add(j * bj);
                 }
             }
         } else {
             for k in 0..kc {
-                let src = b.add(k * b_rs + jr);
+                let src = b.add(k * bk + jr * bj);
                 for j in 0..NR {
-                    *panel.get_unchecked_mut(k * NR + j) = if j < cols { *src.add(j) } else { 0.0 };
+                    *panel.get_unchecked_mut(k * NR + j) =
+                        if j < cols { *src.add(j * bj) } else { 0.0 };
                 }
             }
         }
@@ -249,7 +303,7 @@ mod tests {
         let (mc, kc) = (5usize, 3usize);
         let a: Vec<f64> = (0..mc * kc).map(|v| v as f64).collect();
         let mut dst = vec![f64::NAN; mc.div_ceil(MR) * kc * MR];
-        unsafe { pack_a(1.0, a.as_ptr(), kc, mc, kc, &mut dst) };
+        unsafe { pack_a(1.0, a.as_ptr(), kc, 1, mc, kc, &mut dst) };
         // Panel 0, k=1 holds column 1 of rows 0..4 contiguously.
         for i in 0..MR {
             assert_eq!(dst[MR + i], a[i * kc + 1]);
@@ -266,7 +320,7 @@ mod tests {
     fn pack_a_applies_alpha() {
         let a = [1.0, 2.0, 3.0, 4.0];
         let mut dst = vec![0.0; MR];
-        unsafe { pack_a(-2.0, a.as_ptr(), 1, 4, 1, &mut dst) };
+        unsafe { pack_a(-2.0, a.as_ptr(), 1, 1, 4, 1, &mut dst) };
         assert_eq!(dst, vec![-2.0, -4.0, -6.0, -8.0]);
     }
 
@@ -276,7 +330,7 @@ mod tests {
         let (kc, nc) = (2usize, 10usize);
         let b: Vec<f64> = (0..kc * nc).map(|v| v as f64).collect();
         let mut dst = vec![f64::NAN; nc.div_ceil(NR) * kc * NR];
-        unsafe { pack_b(b.as_ptr(), nc, kc, nc, &mut dst) };
+        unsafe { pack_b(b.as_ptr(), nc, 1, kc, nc, &mut dst) };
         // Panel 0, k=1 holds row 1, columns 0..8 contiguously.
         for j in 0..NR {
             assert_eq!(dst[NR + j], b[nc + j]);
@@ -288,6 +342,40 @@ mod tests {
         for &v in &p1[2..NR] {
             assert_eq!(v, 0.0);
         }
+    }
+
+    #[test]
+    fn transposed_packing_matches_materialize_then_pack() {
+        // Packing op(A) = Aᵀ with swapped strides must produce bit-for-bit
+        // the buffer a materialized transpose would have packed — across
+        // ragged MR/NR edges.
+        let (rows, cols) = (7usize, 5usize);
+        let a: Vec<f64> = (0..rows * cols).map(|v| v as f64 * 0.5 - 3.0).collect();
+        // Materialize aᵀ (cols×rows).
+        let mut at = vec![0.0f64; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                at[j * rows + i] = a[i * cols + j];
+            }
+        }
+        // As the A operand: conceptual (mc, kc) = (cols, rows).
+        let plen = cols.div_ceil(MR) * rows * MR;
+        let mut direct = vec![f64::NAN; plen];
+        let mut via_mat = vec![f64::NAN; plen];
+        unsafe {
+            pack_a(1.5, a.as_ptr(), 1, cols, cols, rows, &mut direct);
+            pack_a(1.5, at.as_ptr(), rows, 1, cols, rows, &mut via_mat);
+        }
+        assert_eq!(direct, via_mat);
+        // As the B operand: conceptual (kc, nc) = (cols, rows).
+        let plen = rows.div_ceil(NR) * cols * NR;
+        let mut direct = vec![f64::NAN; plen];
+        let mut via_mat = vec![f64::NAN; plen];
+        unsafe {
+            pack_b(a.as_ptr(), 1, cols, cols, rows, &mut direct);
+            pack_b(at.as_ptr(), rows, 1, cols, rows, &mut via_mat);
+        }
+        assert_eq!(direct, via_mat);
     }
 
     #[test]

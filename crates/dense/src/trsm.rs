@@ -11,7 +11,7 @@
 
 use crate::error::DenseError;
 use crate::flops::{trsm_flops, FlopCount};
-use crate::gemm::gemm_views;
+use crate::gemm::{gemm_views, gemm_views_a_bt, gemm_views_at};
 use crate::matrix::{MatMut, MatRef, Matrix};
 use crate::Result;
 
@@ -46,10 +46,11 @@ pub enum Diag {
 /// Whether the triangular operand is applied as stored or transposed
 /// (`op(A) = A` or `op(A) = Aᵀ`).
 ///
-/// Transposed solves never materialize `Aᵀ`: the substitution base cases
-/// read `A` by rows in outer-product order, and the blocked drivers
-/// transpose one `NB`-wide panel at a time into a scratch buffer for the
-/// GEMM update (O(n·NB) extra memory, not O(n²)).
+/// Transposed solves never materialize `Aᵀ` — not even panel-sized pieces:
+/// the substitution base cases read `A` by rows in outer-product order, and
+/// the blocked drivers' GEMM updates fold the panel transpose into the
+/// micro-panel packing itself ([`crate::gemm::gemm_views_at`] /
+/// [`crate::gemm::gemm_views_a_bt`]), reading `A` with swapped strides.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Transpose {
     /// Solve with `A` as stored.
@@ -189,10 +190,10 @@ pub fn trsm_in_place(
 /// [`SolveOpts`].  Overwrites `b` with the solution and returns the flop
 /// count of the substitution.
 ///
-/// The transposed cases solve against `Aᵀ` **without materializing it**: the
-/// blocked drivers transpose one `NB`-wide panel at a time for the GEMM
-/// update and the substitution base cases read `A` by rows in outer-product
-/// order.
+/// The transposed cases solve against `Aᵀ` **without materializing it**:
+/// the blocked drivers' GEMM updates pack transposed micro-panels straight
+/// out of `A` (no scratch copies) and the substitution base cases read `A`
+/// by rows in outer-product order.
 pub fn trsm_in_place_opts(opts: &SolveOpts, a: &Matrix, b: &mut Matrix) -> Result<FlopCount> {
     if !a.is_square() {
         return Err(DenseError::NotSquare {
@@ -531,28 +532,17 @@ fn solve_right_upper_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
 }
 
 // ---------------------------------------------------------------------------
-// Transposed blocked drivers: op(A) = Aᵀ.  The GEMM updates transpose one
-// NB-wide panel of A into a scratch matrix (O(n·NB) memory, standard BLAS
-// panel packing), so the full Aᵀ is never materialized; the diagonal blocks
-// run outer-product substitution reading A by rows.
+// Transposed blocked drivers: op(A) = Aᵀ.  The GEMM updates run through the
+// pack-transposed entry points (`gemm_views_at` / `gemm_views_a_bt`): the
+// panel transpose is folded into the micro-panel packing itself, so neither
+// the full Aᵀ nor any per-update scratch panel is ever materialized.  The
+// diagonal blocks run outer-product substitution reading A by rows.
 // ---------------------------------------------------------------------------
-
-/// Transposed copy of a view into a fresh (small, panel-sized) matrix.
-fn transposed_panel(v: crate::matrix::MatRef<'_>) -> Matrix {
-    let mut out = Matrix::zeros(v.cols(), v.rows());
-    for i in 0..v.rows() {
-        let row = v.row(i);
-        for (j, &val) in row.iter().enumerate() {
-            out[(j, i)] = val;
-        }
-    }
-    out
-}
 
 fn solve_left_lower_t_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
     // Lᵀ·X = B: Lᵀ is upper triangular, so blocks run bottom-up; the update
-    // of block [i0, i1) reads already-solved rows below it through the panel
-    // (L[i1.., i0..i1])ᵀ.
+    // of block [i0, i1) reads already-solved rows below it through the
+    // pack-transposed panel (L[i1.., i0..i1])ᵀ.
     let n = a.rows();
     let k = b.cols();
     let mut i1 = n;
@@ -560,11 +550,16 @@ fn solve_left_lower_t_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
         let i0 = i1.saturating_sub(NB);
         if i1 < n {
             // B[i0..i1] -= (L[i1..n, i0..i1])ᵀ · X[i1..n]
-            let at = transposed_panel(a.view(i1, i0, n - i1, i1 - i0));
             let (head, solved) = b.as_view_mut().split_rows_at_mut(i1);
             let mut target = head.subview_mut(i0, 0, i1 - i0, k);
-            gemm_views(-1.0, at.as_view(), solved.rb(), 1.0, &mut target)
-                .expect("blocked trsm: transposed update dims");
+            gemm_views_at(
+                -1.0,
+                a.view(i1, i0, n - i1, i1 - i0),
+                solved.rb(),
+                1.0,
+                &mut target,
+            )
+            .expect("blocked trsm: transposed update dims");
         }
         solve_left_lower_t_base(
             diag,
@@ -584,11 +579,16 @@ fn solve_left_upper_t_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
         let i1 = (i0 + NB).min(n);
         if i0 > 0 {
             // B[i0..i1] -= (U[0..i0, i0..i1])ᵀ · X[0..i0]
-            let at = transposed_panel(a.view(0, i0, i0, i1 - i0));
             let (solved, rest) = b.as_view_mut().split_rows_at_mut(i0);
             let mut target = rest.subview_mut(0, 0, i1 - i0, k);
-            gemm_views(-1.0, at.as_view(), solved.rb(), 1.0, &mut target)
-                .expect("blocked trsm: transposed update dims");
+            gemm_views_at(
+                -1.0,
+                a.view(0, i0, i0, i1 - i0),
+                solved.rb(),
+                1.0,
+                &mut target,
+            )
+            .expect("blocked trsm: transposed update dims");
         }
         solve_left_upper_t_base(
             diag,
@@ -609,11 +609,16 @@ fn solve_right_lower_t_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
         let j1 = (j0 + NB).min(n);
         if j0 > 0 {
             // B[:, j0..j1] -= X[:, 0..j0] · (L[j0..j1, 0..j0])ᵀ
-            let at = transposed_panel(a.view(j0, 0, j1 - j0, j0));
             let (solved, tail) = b.as_view_mut().split_cols_at_mut(j0);
             let mut target = tail.subview_mut(0, 0, m, j1 - j0);
-            gemm_views(-1.0, solved.rb(), at.as_view(), 1.0, &mut target)
-                .expect("blocked trsm: transposed update dims");
+            gemm_views_a_bt(
+                -1.0,
+                solved.rb(),
+                a.view(j0, 0, j1 - j0, j0),
+                1.0,
+                &mut target,
+            )
+            .expect("blocked trsm: transposed update dims");
         }
         solve_right_lower_t_base(
             diag,
@@ -634,11 +639,16 @@ fn solve_right_upper_t_blocked(diag: Diag, a: &Matrix, b: &mut Matrix) {
         let j0 = j1.saturating_sub(NB);
         if j1 < n {
             // B[:, j0..j1] -= X[:, j1..n] · (U[j0..j1, j1..n])ᵀ
-            let at = transposed_panel(a.view(j0, j1, j1 - j0, n - j1));
             let (head, solved) = b.as_view_mut().split_cols_at_mut(j1);
             let mut target = head.subview_mut(0, j0, m, j1 - j0);
-            gemm_views(-1.0, solved.rb(), at.as_view(), 1.0, &mut target)
-                .expect("blocked trsm: transposed update dims");
+            gemm_views_a_bt(
+                -1.0,
+                solved.rb(),
+                a.view(j0, j1, j1 - j0, n - j1),
+                1.0,
+                &mut target,
+            )
+            .expect("blocked trsm: transposed update dims");
         }
         solve_right_upper_t_base(
             diag,

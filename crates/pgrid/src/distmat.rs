@@ -17,6 +17,8 @@ use crate::grid::Grid2D;
 use crate::Result;
 use dense::Matrix;
 use simnet::coll;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Number of global indices owned by grid coordinate `coord` out of `procs`
 /// for a dimension of `global` indices distributed cyclically.
@@ -29,25 +31,60 @@ pub fn cyclic_local_count(global: usize, procs: usize, coord: usize) -> usize {
 }
 
 /// A dense matrix distributed cyclically over a [`Grid2D`].
-#[derive(Clone)]
 pub struct DistMatrix {
     grid: Grid2D,
     rows: usize,
     cols: usize,
     local: Matrix,
+    /// Lazily computed transposed copy (see [`DistMatrix::transposed`]):
+    /// built by one keyed all-to-all on first use and reused for the
+    /// lifetime of the matrix, so repeated `Aᵀ` applies redistribute once,
+    /// not once per solve.  Invalidated by every mutating accessor.
+    transpose_cache: OnceLock<Box<DistMatrix>>,
+    /// How many transpose redistributions this matrix has actually run —
+    /// observable through [`DistMatrix::transpose_count`], so tests can
+    /// assert the cache is reused rather than re-communicated per solve.
+    transposes: AtomicUsize,
+}
+
+impl Clone for DistMatrix {
+    /// Clones the matrix *and* its cached transpose (re-running the
+    /// all-to-all for an identical matrix would be wasted communication);
+    /// the clone's transpose count starts fresh.
+    fn clone(&self) -> DistMatrix {
+        let transpose_cache = OnceLock::new();
+        if let Some(t) = self.transpose_cache.get() {
+            let _ = transpose_cache.set(t.clone());
+        }
+        DistMatrix {
+            grid: self.grid.clone(),
+            rows: self.rows,
+            cols: self.cols,
+            local: self.local.clone(),
+            transpose_cache,
+            transposes: AtomicUsize::new(0),
+        }
+    }
 }
 
 impl DistMatrix {
+    /// Internal constructor: wraps a local piece with fresh caches.
+    fn wrap(grid: Grid2D, rows: usize, cols: usize, local: Matrix) -> DistMatrix {
+        DistMatrix {
+            grid,
+            rows,
+            cols,
+            local,
+            transpose_cache: OnceLock::new(),
+            transposes: AtomicUsize::new(0),
+        }
+    }
+
     /// Create a distributed matrix filled with zeros.
     pub fn zeros(grid: &Grid2D, rows: usize, cols: usize) -> Self {
         let lr = cyclic_local_count(rows, grid.rows(), grid.my_row());
         let lc = cyclic_local_count(cols, grid.cols(), grid.my_col());
-        DistMatrix {
-            grid: grid.clone(),
-            rows,
-            cols,
-            local: Matrix::zeros(lr, lc),
-        }
+        DistMatrix::wrap(grid.clone(), rows, cols, Matrix::zeros(lr, lc))
     }
 
     /// Create a distributed matrix from a generating function of the global
@@ -64,12 +101,7 @@ impl DistMatrix {
         let lr = cyclic_local_count(rows, pr, x);
         let lc = cyclic_local_count(cols, pc, y);
         let local = Matrix::from_fn(lr, lc, |li, lj| f(li * pr + x, lj * pc + y));
-        DistMatrix {
-            grid: grid.clone(),
-            rows,
-            cols,
-            local,
-        }
+        DistMatrix::wrap(grid.clone(), rows, cols, local)
     }
 
     /// Distribute a replicated global matrix: every rank extracts its cyclic
@@ -77,12 +109,7 @@ impl DistMatrix {
     pub fn from_global(grid: &Grid2D, global: &Matrix) -> Self {
         let (x, y) = grid.my_coords();
         let local = global.strided_block(x, grid.rows(), y, grid.cols());
-        DistMatrix {
-            grid: grid.clone(),
-            rows: global.rows(),
-            cols: global.cols(),
-            local,
-        }
+        DistMatrix::wrap(grid.clone(), global.rows(), global.cols(), local)
     }
 
     /// Wrap an existing local piece (must already have the correct local
@@ -102,12 +129,7 @@ impl DistMatrix {
                 ),
             });
         }
-        Ok(DistMatrix {
-            grid: grid.clone(),
-            rows,
-            cols,
-            local,
-        })
+        Ok(DistMatrix::wrap(grid.clone(), rows, cols, local))
     }
 
     /// Global number of rows.
@@ -136,8 +158,46 @@ impl DistMatrix {
     }
 
     /// Mutable access to this rank's local piece.
+    ///
+    /// Invalidates the cached transpose (see [`DistMatrix::transposed`]):
+    /// a stale `Aᵀ` after an in-place edit would be a silent correctness
+    /// bug, so every mutating accessor drops it.
     pub fn local_mut(&mut self) -> &mut Matrix {
+        self.invalidate_transpose();
         &mut self.local
+    }
+
+    /// The cached transpose of this matrix, built on first use (one keyed
+    /// all-to-all redistribution — see [`crate::redist::transpose`]) and
+    /// reused for the lifetime of the matrix: the analyze-once pattern the
+    /// sparse crate's `SparseTri::transposed` applies locally, here applied
+    /// to communication.  Repeated `Aᵀ·X = B` solves — the backward
+    /// substitution of every Cholesky/LU application — redistribute once,
+    /// not once per solve.
+    ///
+    /// Like every redistribution this is a **collective**: all ranks must
+    /// reach their first `transposed()` call on the same matrix together
+    /// (guaranteed under the SPMD usage the simulated machine enforces).
+    /// Mutating accessors ([`DistMatrix::local_mut`],
+    /// [`DistMatrix::set_subview`], the arithmetic updates) invalidate the
+    /// cache.
+    pub fn transposed(&self) -> &DistMatrix {
+        self.transpose_cache.get_or_init(|| {
+            self.transposes.fetch_add(1, Ordering::Relaxed);
+            Box::new(crate::redist::transpose(self, true))
+        })
+    }
+
+    /// How many transpose redistributions this matrix has run (0 before the
+    /// first [`DistMatrix::transposed`] call, and 1 until the next
+    /// invalidating mutation).
+    pub fn transpose_count(&self) -> usize {
+        self.transposes.load(Ordering::Relaxed)
+    }
+
+    /// Drops the cached transpose (called by every mutating accessor).
+    fn invalidate_transpose(&mut self) {
+        self.transpose_cache = OnceLock::new();
     }
 
     /// Global row index of local row `li` on this rank.
@@ -210,12 +270,7 @@ impl DistMatrix {
         let lr = cyclic_local_count(nr, pr, x);
         let lc = cyclic_local_count(nc, pc, y);
         let local = self.local.block(lr0, lc0, lr, lc);
-        Ok(DistMatrix {
-            grid: self.grid.clone(),
-            rows: nr,
-            cols: nc,
-            local,
-        })
+        Ok(DistMatrix::wrap(self.grid.clone(), nr, nc, local))
     }
 
     /// Overwrite the aligned sub-matrix starting at `(r0, c0)` with `sub`
@@ -236,6 +291,7 @@ impl DistMatrix {
                 reason: "sub-matrix does not fit".to_string(),
             });
         }
+        self.invalidate_transpose();
         self.local.set_block(r0 / pr, c0 / pc, sub.local());
         Ok(())
     }
@@ -243,6 +299,7 @@ impl DistMatrix {
     /// In-place `self ← self - other` (same grid, same dimensions).
     pub fn sub_assign(&mut self, other: &DistMatrix) -> Result<()> {
         self.check_conformal(other, "sub_assign")?;
+        self.invalidate_transpose();
         self.local
             .axpy(-1.0, &other.local)
             .map_err(|e| GridError::BadDimensions {
@@ -254,6 +311,7 @@ impl DistMatrix {
     /// In-place `self ← self + other` (same grid, same dimensions).
     pub fn add_assign(&mut self, other: &DistMatrix) -> Result<()> {
         self.check_conformal(other, "add_assign")?;
+        self.invalidate_transpose();
         self.local
             .axpy(1.0, &other.local)
             .map_err(|e| GridError::BadDimensions {
@@ -458,6 +516,30 @@ mod tests {
             assert!(z < 1e-14);
             assert!(nz > 1e-3);
         }
+    }
+
+    #[test]
+    fn transposed_is_cached_reused_and_invalidated() {
+        let results = with_grid(4, 2, 2, |grid| {
+            let a = DistMatrix::from_fn(grid, 6, 4, |i, j| (i * 4 + j) as f64);
+            // First use runs the redistribution; the second reuses it.
+            let t1 = a.transposed() as *const DistMatrix;
+            let correct = a.transposed().to_global() == a.to_global().transpose();
+            let t2 = a.transposed() as *const DistMatrix;
+            let cached = t1 == t2 && a.transpose_count() == 1;
+            // A clone carries the cache without re-communicating.
+            let c = a.clone();
+            let clone_cached =
+                c.transposed().to_global() == a.to_global().transpose() && c.transpose_count() == 0;
+            // Mutation invalidates: the transpose is rebuilt, not stale.
+            let mut m = a.clone();
+            let gi = m.global_row(0);
+            let gj = m.global_col(0);
+            m.local_mut()[(0, 0)] = 99.0;
+            let fresh = m.transposed().to_global()[(gj, gi)] == 99.0;
+            correct && cached && clone_cached && fresh
+        });
+        assert!(results.into_iter().all(|v| v));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! is the access pattern of preconditioner applies inside iterative solvers.
 
 use crate::error::SparseError;
-use crate::schedule::Schedule;
+use crate::schedule::{MergedSchedule, Schedule};
 use crate::Result;
 // The dense crate's pivot tolerance governs the diagonal invertibility
 // check, so a diagonal this crate accepts is exactly one the
@@ -45,10 +45,16 @@ pub struct SparseTri {
     diag_vals: Vec<f64>,
     /// Lazily computed level-set schedule (see [`SparseTri::schedule`]).
     schedule: OnceLock<Schedule>,
+    /// Lazily computed DAG-partitioned super-level schedule (see
+    /// [`SparseTri::merged_schedule`]), derived from `schedule`.
+    merged: OnceLock<MergedSchedule>,
     /// How many times the analysis has actually run for this matrix —
     /// observable through [`SparseTri::analysis_count`], so tests can assert
     /// the schedule is reused rather than recomputed per solve.
     analyses: AtomicUsize,
+    /// Like `analyses`, but for the merged (super-level) analysis
+    /// ([`SparseTri::merged_analysis_count`]).
+    merged_analyses: AtomicUsize,
     /// Lazily computed transpose (see [`SparseTri::transposed`]): built once
     /// per matrix so repeated `Aᵀ·x = b` solves reuse both the transposed
     /// CSR arrays and the schedule cached on them.
@@ -220,7 +226,9 @@ impl SparseTri {
             values,
             diag_vals,
             schedule: OnceLock::new(),
+            merged: OnceLock::new(),
             analyses: AtomicUsize::new(0),
+            merged_analyses: AtomicUsize::new(0),
             transpose_cache: OnceLock::new(),
         })
     }
@@ -303,6 +311,24 @@ impl SparseTri {
         self.analyses.load(Ordering::Relaxed)
     }
 
+    /// The DAG-partitioned [`MergedSchedule`] for this matrix, computed on
+    /// first use (on top of the cached [`SparseTri::schedule`]) and cached
+    /// for the lifetime of the matrix — the analyze-once pattern applied to
+    /// the super-level merge, so repeated merged-policy solves share one
+    /// O(n + nnz) merge pass.
+    pub fn merged_schedule(&self) -> &MergedSchedule {
+        self.merged.get_or_init(|| {
+            self.merged_analyses.fetch_add(1, Ordering::Relaxed);
+            MergedSchedule::build(self.schedule(), self)
+        })
+    }
+
+    /// How many times the super-level merge analysis has run for this
+    /// matrix (0 until the first merged-policy solve, 1 forever after).
+    pub fn merged_analysis_count(&self) -> usize {
+        self.merged_analyses.load(Ordering::Relaxed)
+    }
+
     /// Densify into a [`dense::Matrix`] (diagonal ones made explicit for
     /// [`Diag::Unit`]).  This is the bridge the dense-fallback solve path
     /// and the differential tests use.
@@ -355,7 +381,9 @@ impl SparseTri {
             values,
             diag_vals: self.diag_vals.clone(),
             schedule: OnceLock::new(),
+            merged: OnceLock::new(),
             analyses: AtomicUsize::new(0),
+            merged_analyses: AtomicUsize::new(0),
             transpose_cache: OnceLock::new(),
         }
     }
@@ -375,9 +403,9 @@ impl SparseTri {
 }
 
 impl Clone for SparseTri {
-    /// Clones the matrix *and* its cached schedule (re-analyzing an
-    /// identical pattern would be wasted work); the clone's analysis count
-    /// starts fresh.
+    /// Clones the matrix *and* its cached schedules (re-analyzing an
+    /// identical pattern would be wasted work); the clone's analysis counts
+    /// start fresh.
     fn clone(&self) -> SparseTri {
         SparseTri {
             n: self.n,
@@ -388,7 +416,9 @@ impl Clone for SparseTri {
             values: self.values.clone(),
             diag_vals: self.diag_vals.clone(),
             schedule: self.schedule.clone(),
+            merged: self.merged.clone(),
             analyses: AtomicUsize::new(0),
+            merged_analyses: AtomicUsize::new(0),
             transpose_cache: self.transpose_cache.clone(),
         }
     }

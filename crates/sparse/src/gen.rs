@@ -67,6 +67,45 @@ pub fn banded_lower(n: usize, bandwidth: usize, seed: u64) -> SparseTri {
         .expect("banded_lower: generated structure is valid by construction")
 }
 
+/// A deep, narrow dependency DAG: `n / width` levels of exactly `width`
+/// rows each, every row of a block depending on `deps` rows of the
+/// previous block (band-limited dependencies, like a blocked banded
+/// factor).
+///
+/// This is the barrier-sensitive shape the DAG-partitioned schedule is
+/// built for: with `width` small, the level schedule crosses one barrier
+/// per `width` rows — thousands of barriers on a solve whose levels hold a
+/// handful of rows each — while the merged schedule aggregates hundreds of
+/// these skinny levels per super-level.  (An unbroken band,
+/// [`banded_lower`], is the degenerate `width = 1` chain; this generator
+/// keeps `width`-way parallelism alive inside every level.)
+pub fn deep_narrow_lower(n: usize, width: usize, deps: usize, seed: u64) -> SparseTri {
+    let width = width.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scale = 1.0 / (deps.max(1) as f64).sqrt();
+    let mut ents: Vec<(usize, usize, f64)> = Vec::with_capacity(n * (deps + 1));
+    for i in 0..n {
+        ents.push((i, i, 1.0 + rng.gen_range(0.0..1.0)));
+        let block = i / width;
+        if block == 0 {
+            continue;
+        }
+        let prev = (block - 1) * width;
+        let prev_len = width.min(n - prev);
+        let want = deps.min(prev_len);
+        // `want` consecutive (wrapped) columns of the previous block,
+        // starting at a row-dependent offset — distinct by construction,
+        // and staggered so the dependency pattern is not rank-structured.
+        let start = (i * 7 + 3) % prev_len;
+        for t in 0..want {
+            let j = prev + (start + t) % prev_len;
+            ents.push((i, j, rng.gen_range(-1.0..1.0) * scale));
+        }
+    }
+    SparseTri::from_triplets(n, Triangle::Lower, Diag::NonUnit, &ents)
+        .expect("deep_narrow_lower: generated structure is valid by construction")
+}
+
 /// A random well-conditioned upper-triangular matrix: the transpose of
 /// [`random_lower`] with the same parameters.
 pub fn random_upper(n: usize, fill: usize, seed: u64) -> SparseTri {
@@ -119,6 +158,30 @@ mod tests {
         }
         assert!(m.schedule().is_sequential());
         assert_eq!(m.schedule().num_levels(), 64);
+    }
+
+    #[test]
+    fn deep_narrow_lower_has_exact_level_structure() {
+        let (n, width, deps) = (1200usize, 4usize, 3usize);
+        let m = deep_narrow_lower(n, width, deps, 2);
+        let s = m.schedule();
+        assert_eq!(s.num_levels(), n / width, "one level per block");
+        assert_eq!(s.max_level_width(), width);
+        assert_eq!(s.avg_level_width(), width as f64);
+        // Every off-diagonal dependency points into the previous block.
+        for i in width..n {
+            let block = i / width;
+            let (cols, _) = m.row_entries(i);
+            assert_eq!(cols.len(), deps, "row {i}");
+            for &j in cols {
+                assert_eq!(j / width, block - 1, "row {i} dep {j}");
+            }
+        }
+        // Deterministic per seed.
+        assert_eq!(
+            m.to_dense(),
+            deep_narrow_lower(n, width, deps, 2).to_dense()
+        );
     }
 
     #[test]

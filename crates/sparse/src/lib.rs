@@ -21,11 +21,19 @@
 //!   levels).  Computed once per matrix and cached
 //!   ([`SparseTri::schedule`]), because iterative-solver traffic re-applies
 //!   one pattern many times;
+//! * [`MergedSchedule`] — the DAG-partitioned companion analysis:
+//!   consecutive skinny levels merged into coarse *super-levels*
+//!   (cached via [`SparseTri::merged_schedule`]), so deep narrow DAGs pay
+//!   one barrier per super-level instead of one per level;
 //! * solve executors ([`SparseTri::solve`], [`SparseTri::solve_multi`],
 //!   the sequential baselines, and the [`SparseTri::solve_via_dense`]
-//!   fallback) — barrier-separated level sweeps on the `dense::threads`
-//!   worker pool (`DENSE_THREADS` workers), **bitwise identical** at every
-//!   worker count;
+//!   fallback) on the `dense::threads` worker pool (`DENSE_THREADS`
+//!   workers): barrier-separated level sweeps under
+//!   [`SchedulePolicy::Level`], super-level sweeps with per-row
+//!   point-to-point readiness under [`SchedulePolicy::Merged`]
+//!   (auto-chosen from the level-shape statistics, pinnable through
+//!   [`SolveOpts::policy`]) — **bitwise identical** at every worker count
+//!   and under either policy;
 //! * [`gen`] — seeded generators for tests and benches.
 //!
 //! Every solve reports a [`dense::FlopCount`] under the dense crate's
@@ -58,8 +66,8 @@ pub mod solve;
 
 pub use csr::SparseTri;
 pub use error::SparseError;
-pub use schedule::Schedule;
-pub use solve::{SolveOpts, PAR_MIN_WORK};
+pub use schedule::{MergedSchedule, Schedule, SchedulePolicy, SUPER_MIN_WEIGHT};
+pub use solve::{ExecutionShape, SolveOpts, PAR_MIN_WORK};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, SparseError>;

@@ -1,4 +1,5 @@
-//! Dependency-DAG analysis: level sets for the parallel solve.
+//! Dependency-DAG analysis: level sets (and merged super-levels) for the
+//! parallel solve.
 //!
 //! A sparse triangular solve is a topological traversal of the dependency
 //! DAG induced by the sparsity pattern: in `L x = b`, row `i` may be
@@ -15,11 +16,27 @@
 //! all rows of one level can be eliminated concurrently, and the solve is a
 //! sequence of `num_levels` parallel sweeps separated by barriers.
 //!
+//! Pure level scheduling pays **one barrier per level**, which is ruinous on
+//! deep narrow DAGs (banded factors, ILU-style patterns): thousands of
+//! skinny levels, a handful of rows each, and the barrier wait dwarfs the
+//! row arithmetic.  The DAG-partitioned remedy (Böhnlein et al., *Efficient
+//! Parallel Scheduling for Sparse Triangular Solvers*; the sync-free CUDA
+//! solvers of Liu et al.) is the second analysis product here: a
+//! [`MergedSchedule`] greedily merges *consecutive* levels into coarse
+//! **super-levels** until each clears a work threshold
+//! ([`SUPER_MIN_WEIGHT`]), so the executor crosses one barrier per
+//! super-level instead of one per level, and *within* a super-level tracks
+//! readiness **point-to-point**: per-row atomic flags, each worker
+//! spinning/yielding only on the rows its own rows actually consume.
+//! [`SchedulePolicy`] names the two executors; [`SchedulePolicy::auto`]
+//! picks between them from the level-shape statistics.
+//!
 //! The analysis is an O(nnz) pass over the pattern.  It is *pattern-only*
 //! (values never matter), which is why [`crate::SparseTri`] caches one
-//! [`Schedule`] per matrix and reuses it across every solve: iterative
-//! solvers apply the same factor hundreds of times per outer iteration, and
-//! re-analyzing per apply would dwarf the solve itself.
+//! [`Schedule`] (and one [`MergedSchedule`]) per matrix and reuses them
+//! across every solve: iterative solvers apply the same factor hundreds of
+//! times per outer iteration, and re-analyzing per apply would dwarf the
+//! solve itself.
 
 use crate::csr::SparseTri;
 use dense::Triangle;
@@ -140,6 +157,195 @@ impl Schedule {
     pub fn is_sequential(&self) -> bool {
         self.max_level_width() <= 1
     }
+
+    /// The range level `l` occupies in the flattened [`Schedule::rows`]
+    /// array (what the merged schedule's super-level boundaries index into).
+    #[inline]
+    pub fn level_range(&self, l: usize) -> std::ops::Range<usize> {
+        self.level_ptr[l]..self.level_ptr[l + 1]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SchedulePolicy & MergedSchedule: DAG-partitioned scheduling.
+// ---------------------------------------------------------------------------
+
+/// Which parallel executor a sparse solve runs.
+///
+/// * [`SchedulePolicy::Level`] — the classical level schedule: one parallel
+///   sweep per dependency level, a global barrier between levels
+///   (`num_levels` barriers per solve).
+/// * [`SchedulePolicy::Merged`] — the DAG-partitioned schedule: consecutive
+///   levels merged into super-levels that clear [`SUPER_MIN_WEIGHT`], one
+///   barrier per *super-level*, and per-row point-to-point readiness flags
+///   inside each super-level.
+///
+/// Both executors are **bitwise identical** to the sequential sweep (and to
+/// each other) at every worker count; the policy is purely a
+/// synchronization-overhead knob.  Callers normally leave the choice to
+/// [`SchedulePolicy::auto`] via `SolveOpts::policy(None)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Barrier-separated level sweeps (one barrier per dependency level).
+    Level,
+    /// Merged super-levels with point-to-point readiness inside each
+    /// (one barrier per super-level).
+    Merged,
+}
+
+impl SchedulePolicy {
+    /// Stable lower-case name (`"level"` / `"merged"`), used by reports,
+    /// bench labels and the `SPARSE_POLICY` CI knob.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulePolicy::Level => "level",
+            SchedulePolicy::Merged => "merged",
+        }
+    }
+
+    /// Picks the executor from the level-shape statistics: the merged
+    /// schedule pays when there are many levels to merge
+    /// ([`MERGE_MIN_LEVELS`]) and they are skinny relative to the worker
+    /// count (mean width below `workers ·` [`MERGE_WIDTH_FACTOR`] — wide
+    /// levels amortize their barrier over lots of parallel rows, skinny
+    /// ones do not).  Fully sequential patterns (an unbroken chain) stay on
+    /// [`SchedulePolicy::Level`], whose width cap degrades them to the
+    /// analysis-free sequential sweep.
+    ///
+    /// Depends only on the cached analysis and `workers`, never on timing,
+    /// so the choice is itself deterministic and plan-reportable.
+    pub fn auto(schedule: &Schedule, workers: usize) -> SchedulePolicy {
+        if schedule.is_sequential() {
+            return SchedulePolicy::Level;
+        }
+        let skinny = schedule.avg_level_width() < (workers.max(1) * MERGE_WIDTH_FACTOR) as f64;
+        if schedule.num_levels() >= MERGE_MIN_LEVELS && skinny {
+            SchedulePolicy::Merged
+        } else {
+            SchedulePolicy::Level
+        }
+    }
+}
+
+/// Minimum aggregate weight (rows + stored off-diagonal entries — roughly
+/// half the flops per right-hand side) of one super-level.  Consecutive
+/// levels are merged until this clears, so a worker's share of a
+/// super-level is substantial enough to amortize the one barrier the
+/// super-level costs.  Chosen for the worker counts this crate targets
+/// (≤ ~8): ≥ 512 weight units per worker at 8 workers.
+pub const SUPER_MIN_WEIGHT: usize = 4096;
+
+/// Below this many levels the barrier count is too small for merging to
+/// matter; [`SchedulePolicy::auto`] stays on the level schedule.
+pub const MERGE_MIN_LEVELS: usize = 64;
+
+/// [`SchedulePolicy::auto`] calls a level shape *skinny* when the mean
+/// level width is below `workers ·` this factor.
+pub const MERGE_WIDTH_FACTOR: usize = 16;
+
+/// The DAG-partitioned companion of a [`Schedule`]: consecutive levels
+/// merged into **super-levels** whose aggregate row/nnz weight clears
+/// [`SUPER_MIN_WEIGHT`].
+///
+/// A super-level is a contiguous range of the parent schedule's flattened
+/// [`Schedule::rows`] array (levels are contiguous there, and merging only
+/// ever joins *consecutive* levels), so this analysis stores boundaries
+/// into that array plus the inverse `row → super-level` map the executor
+/// uses for its point-to-point dependency checks: a dependency in an
+/// *earlier* super-level is already complete (the barrier between
+/// super-levels guarantees it), so workers spin only on dependencies inside
+/// the super-level they are currently sweeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedSchedule {
+    /// Super-level boundaries as indices into the parent schedule's
+    /// flattened row array: super-level `s` covers flat positions
+    /// `super_ptr[s] .. super_ptr[s + 1]`.
+    super_ptr: Vec<usize>,
+    /// Per row (indexed by row id), the super-level containing it.
+    super_of: Vec<u32>,
+    /// Levels of the parent schedule (what the merging compressed).
+    levels: usize,
+}
+
+impl MergedSchedule {
+    /// Merges the levels of `schedule` (analyzed from `mat`) into
+    /// super-levels.
+    ///
+    /// Greedy in level order: accumulate consecutive levels until the
+    /// running weight (rows + stored off-diagonal entries) reaches
+    /// [`SUPER_MIN_WEIGHT`], then close the super-level.  A single level
+    /// heavier than the threshold forms its own super-level, so wide-level
+    /// patterns degenerate to exactly the level schedule's shape.  O(n +
+    /// nnz) given the cached level analysis; most callers want the cached
+    /// [`SparseTri::merged_schedule`] instead.
+    pub fn build(schedule: &Schedule, mat: &SparseTri) -> MergedSchedule {
+        let n = mat.n();
+        assert!(n < u32::MAX as usize, "row ids must fit in u32");
+        let num_levels = schedule.num_levels();
+        let mut super_ptr = Vec::with_capacity(16);
+        super_ptr.push(0usize);
+        let mut super_of = vec![0u32; n];
+        let mut weight = 0usize;
+        for l in 0..num_levels {
+            let range = schedule.level_range(l);
+            for &i in &schedule.rows()[range.clone()] {
+                let (cols, _) = mat.row_entries(i);
+                weight += 1 + cols.len();
+            }
+            let s = super_ptr.len() - 1;
+            for &i in &schedule.rows()[range.clone()] {
+                super_of[i] = s as u32;
+            }
+            if weight >= SUPER_MIN_WEIGHT && l + 1 < num_levels {
+                super_ptr.push(range.end);
+                weight = 0;
+            }
+        }
+        if n > 0 {
+            super_ptr.push(n);
+        }
+        MergedSchedule {
+            super_ptr,
+            super_of,
+            levels: num_levels,
+        }
+    }
+
+    /// Number of super-levels — the barrier count of one merged-schedule
+    /// solve.
+    #[inline]
+    pub fn num_super_levels(&self) -> usize {
+        self.super_ptr.len() - 1
+    }
+
+    /// Levels of the parent schedule this analysis merged.
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The range super-level `s` occupies in the parent schedule's
+    /// flattened [`Schedule::rows`] array.
+    #[inline]
+    pub fn super_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.super_ptr[s]..self.super_ptr[s + 1]
+    }
+
+    /// The super-level containing row `i`.
+    #[inline]
+    pub fn super_of(&self, i: usize) -> u32 {
+        self.super_of[i]
+    }
+
+    /// Rows in the largest super-level — the merged executor's worker
+    /// ceiling (more workers than rows in the widest super-level would
+    /// never receive a row).
+    pub fn max_super_width(&self) -> usize {
+        (0..self.num_super_levels())
+            .map(|s| self.super_ptr[s + 1] - self.super_ptr[s])
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -257,5 +463,85 @@ mod tests {
         assert_eq!(s.num_levels(), 0);
         assert_eq!(s.max_level_width(), 0);
         assert_eq!(s.avg_level_width(), 0.0);
+        let g = MergedSchedule::build(&s, &m);
+        assert_eq!(g.num_super_levels(), 0);
+        assert_eq!(g.max_super_width(), 0);
+    }
+
+    #[test]
+    fn merged_super_levels_partition_rows_on_level_boundaries() {
+        // A deep narrow DAG: every super-level must be a contiguous run of
+        // whole levels, cover every row exactly once, and agree with the
+        // row → super-level inverse map.
+        let m = crate::gen::deep_narrow_lower(6000, 3, 2, 5);
+        let s = Schedule::analyze(&m);
+        let g = MergedSchedule::build(&s, &m);
+        let level_ends: std::collections::HashSet<usize> =
+            (0..s.num_levels()).map(|l| s.level_range(l).end).collect();
+        let mut covered = 0usize;
+        for sl in 0..g.num_super_levels() {
+            let r = g.super_range(sl);
+            assert_eq!(r.start, covered, "super-levels must tile contiguously");
+            assert!(r.end > r.start);
+            assert!(
+                level_ends.contains(&r.end),
+                "super-level {sl} ends mid-level at {}",
+                r.end
+            );
+            for &i in &s.rows()[r.clone()] {
+                assert_eq!(g.super_of(i), sl as u32, "row {i} super map");
+            }
+            covered = r.end;
+        }
+        assert_eq!(covered, m.n());
+        assert_eq!(g.num_levels(), s.num_levels());
+    }
+
+    #[test]
+    fn merging_compresses_deep_dags_but_not_wide_ones() {
+        // 2000 skinny levels -> far fewer super-levels.
+        let deep = crate::gen::deep_narrow_lower(8000, 4, 3, 7);
+        let ds = Schedule::analyze(&deep);
+        let dg = MergedSchedule::build(&ds, &deep);
+        assert_eq!(ds.num_levels(), 2000);
+        assert!(
+            dg.num_super_levels() * 10 <= ds.num_levels(),
+            "expected >=10x barrier compression, got {} super-levels for {} levels",
+            dg.num_super_levels(),
+            ds.num_levels()
+        );
+        assert!(dg.max_super_width() >= SUPER_MIN_WEIGHT / (4 + 1 + 1));
+        // A diagonal matrix is one wide level: nothing to merge.
+        let wide = lower(&[], 500);
+        let ws = Schedule::analyze(&wide);
+        let wg = MergedSchedule::build(&ws, &wide);
+        assert_eq!(wg.num_super_levels(), 1);
+        assert_eq!(wg.max_super_width(), 500);
+    }
+
+    #[test]
+    fn auto_policy_follows_the_level_shape() {
+        // Unbroken chain: no parallelism, stay on Level (which degrades to
+        // the sequential sweep through the width cap).
+        let chain = crate::gen::banded_lower(2000, 1, 1);
+        assert!(chain.schedule().is_sequential());
+        assert_eq!(
+            SchedulePolicy::auto(chain.schedule(), 4),
+            SchedulePolicy::Level
+        );
+        // Deep narrow DAG: many skinny levels -> Merged.
+        let deep = crate::gen::deep_narrow_lower(8000, 4, 3, 7);
+        assert_eq!(
+            SchedulePolicy::auto(deep.schedule(), 4),
+            SchedulePolicy::Merged
+        );
+        // One wide level: too few levels to merge -> Level.
+        let wide = lower(&[], 500);
+        assert_eq!(
+            SchedulePolicy::auto(wide.schedule(), 4),
+            SchedulePolicy::Level
+        );
+        assert_eq!(SchedulePolicy::Level.name(), "level");
+        assert_eq!(SchedulePolicy::Merged.name(), "merged");
     }
 }

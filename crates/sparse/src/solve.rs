@@ -8,12 +8,22 @@
 //! * a worker budget of 1 (pinned, or implicit under [`PAR_MIN_WORK`]) runs
 //!   the sequential baseline: rows in dependency order (ascending for
 //!   lower, descending for upper), no analysis needed;
-//! * a larger budget runs the level-scheduled parallel executor: the cached
-//!   [`crate::Schedule`]'s levels run as barrier-separated sweeps on the
-//!   [`dense::run_region`] worker pool, each level's rows split into one
-//!   contiguous chunk per worker;
+//! * a larger budget runs one of two parallel executors, chosen by
+//!   [`SchedulePolicy`] (pinned through [`SolveOpts::policy`], or
+//!   [`SchedulePolicy::auto`] from the level-shape statistics):
+//!   - **`Level`** — the cached [`crate::Schedule`]'s levels run as
+//!     barrier-separated sweeps on the [`dense::run_region`] worker pool,
+//!     each level's rows split into one contiguous chunk per worker (one
+//!     barrier per level);
+//!   - **`Merged`** — the cached [`crate::MergedSchedule`]'s super-levels
+//!     run the same chunked sweep with one barrier per *super-level*, and
+//!     inside a super-level workers track readiness point-to-point: a
+//!     per-row atomic flag set (release) when the row is eliminated, each
+//!     worker spinning/yielding (acquire) only on the same-super-level
+//!     rows its own rows consume — the sync-free-GPU-solver style that
+//!     cuts barrier counts by orders of magnitude on deep narrow DAGs;
 //! * [`dense::Transpose::Yes`] solves `Aᵀ·x = b` on the cached
-//!   [`SparseTri::transposed`] matrix (and its cached schedule), so
+//!   [`SparseTri::transposed`] matrix (and its cached schedules), so
 //!   transposed applies — the `Lᵀ` half of an `ILU`/`IC` preconditioner —
 //!   cost one O(nnz) transposition ever, not one per solve.
 //!
@@ -37,12 +47,13 @@
 
 use crate::csr::SparseTri;
 use crate::error::SparseError;
+use crate::schedule::SchedulePolicy;
 use crate::Result;
 use dense::{dense_threads, run_region, Diag, FlopCount, Matrix, Transpose};
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// Options of one sparse triangular solve: whether the matrix is applied
-/// transposed, and the worker budget.
+/// transposed, the worker budget, and the scheduling policy.
 ///
 /// This is the single execution vocabulary every sparse solve funnels
 /// through ([`SparseTri::solve_with`] / [`SparseTri::solve_multi_with`]);
@@ -52,16 +63,20 @@ use std::sync::Barrier;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SolveOpts {
     /// Apply the matrix transposed (`Aᵀ·x = b`); runs on the cached
-    /// [`SparseTri::transposed`] matrix and its cached schedule.
+    /// [`SparseTri::transposed`] matrix and its cached schedules.
     pub transpose: Transpose,
     /// Worker budget: `None` applies the implicit [`PAR_MIN_WORK`] gate and
     /// the `DENSE_THREADS` pool size; `Some(t)` pins exactly `t` workers.
     /// Results are bitwise identical for every value.
     pub threads: Option<usize>,
+    /// Scheduling policy of the parallel executor: `None` lets
+    /// [`SchedulePolicy::auto`] choose from the level-shape statistics;
+    /// `Some(p)` pins it.  Results are bitwise identical either way.
+    pub policy: Option<SchedulePolicy>,
 }
 
 impl SolveOpts {
-    /// Default options: non-transposed, implicit worker gate.
+    /// Default options: non-transposed, implicit worker gate, auto policy.
     pub fn new() -> SolveOpts {
         SolveOpts::default()
     }
@@ -82,6 +97,54 @@ impl SolveOpts {
     pub fn threads(mut self, threads: usize) -> SolveOpts {
         self.threads = Some(threads);
         self
+    }
+
+    /// Pin the scheduling policy (bypassing [`SchedulePolicy::auto`]).
+    pub fn policy(mut self, policy: SchedulePolicy) -> SolveOpts {
+        self.policy = Some(policy);
+        self
+    }
+}
+
+/// The fully resolved shape of one sparse solve — the worker count, policy
+/// and synchronization structure the executor will actually run, computed
+/// by [`SparseTri::execution_shape`] from the same decision procedure the
+/// executor uses.  This is what `catrsm`'s staged planner records on its
+/// `Plan` and reports (measured) in its `LevelReport`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionShape {
+    /// Workers the executor runs with (1 = the analysis-free sequential
+    /// sweep).
+    pub workers: usize,
+    /// The scheduling policy in effect (meaningful when `workers > 1`;
+    /// a sequential solve nominally reports [`SchedulePolicy::Level`]).
+    pub policy: SchedulePolicy,
+    /// Dependency levels of the schedule (0 when the solve stays
+    /// sequential and the pattern is never analyzed).
+    pub levels: usize,
+    /// Super-levels of the merged schedule (0 unless the merged policy
+    /// runs).
+    pub super_levels: usize,
+    /// Barriers each worker waits on: `levels` under
+    /// [`SchedulePolicy::Level`], `super_levels` under
+    /// [`SchedulePolicy::Merged`], 0 sequentially.
+    pub barriers: usize,
+    /// Rows in the widest level (the level executor's parallelism ceiling;
+    /// 0 when sequential).
+    pub max_level_width: usize,
+}
+
+impl ExecutionShape {
+    /// The shape of a sequential sweep (no analysis, no barriers).
+    fn sequential() -> ExecutionShape {
+        ExecutionShape {
+            workers: 1,
+            policy: SchedulePolicy::Level,
+            levels: 0,
+            super_levels: 0,
+            barriers: 0,
+            max_level_width: 0,
+        }
     }
 }
 
@@ -112,6 +175,121 @@ impl SharedX {
     fn get(&self) -> *mut f64 {
         self.0
     }
+}
+
+/// A sense-reversing spin/yield barrier for the level-sweep workers.
+///
+/// `std::sync::Barrier` takes a mutex and sleeps on a condvar at every
+/// crossing — two futex syscalls plus a wake broadcast per worker per
+/// level, which *is* the sparse hot path's synchronization overhead when a
+/// schedule crosses hundreds (level policy: thousands) of barriers per
+/// solve.  Here arrival is one `fetch_add`, release is one generation-
+/// counter bump by the last arriver (no wake syscalls at all), and waiters
+/// spin briefly then yield (same policy as [`wait_ready`], so
+/// oversubscribed machines degrade to scheduler round-robin instead of
+/// burning quanta).
+///
+/// Ordering: every arrival `fetch_add(AcqRel)`s the count, so the last
+/// arriver has acquired all earlier workers' writes when it bumps the
+/// generation with a release store; waiters acquire the bump — giving
+/// every worker a happens-before edge over every other worker's
+/// pre-barrier writes, exactly the guarantee the level sweeps need.
+struct SpinBarrier {
+    workers: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(workers: usize) -> SpinBarrier {
+        SpinBarrier {
+            workers,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.workers {
+            // Reset before the bump: workers can only re-arrive after they
+            // observe the new generation, so the store cannot race their
+            // next fetch_add.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.store(generation + 1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                if spins < 32 {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Spins (briefly) then yields until `flag` reaches `epoch`, with an
+/// acquire load so the waiter observes every write the setter published
+/// before its release store.
+///
+/// The short spin phase covers the common case — the producing worker is
+/// running on another core and finishes within nanoseconds; the yield
+/// phase keeps oversubscribed machines (more workers than cores, e.g. the
+/// 4-worker runs on this repo's 1-core bench container) from burning a
+/// scheduling quantum busy-waiting for a worker that needs the CPU to make
+/// the very progress being waited on.
+#[inline]
+fn wait_ready(flag: &AtomicU32, epoch: u32) {
+    let mut spins = 0u32;
+    while flag.load(Ordering::Acquire) != epoch {
+        if spins < 32 {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+thread_local! {
+    /// Readiness flags reused across merged-policy solves on this thread,
+    /// paired with the epoch of the most recent solve that used them (see
+    /// [`with_done_flags`]).
+    static DONE_FLAGS: std::cell::RefCell<(Vec<AtomicU32>, u32)> =
+        const { std::cell::RefCell::new((Vec::new(), 0)) };
+}
+
+/// Runs `f` with an `n`-row readiness-flag buffer and the epoch value that
+/// means "eliminated" for this solve.
+///
+/// The merged executor is on the plan-once/apply-many hot path, so the
+/// buffer is cached thread-locally and never re-zeroed between solves:
+/// each solve bumps the epoch, and a row counts as ready only when its
+/// flag holds the *current* epoch — stale values from earlier solves
+/// compare unequal.  The buffer is (re)zeroed only when it grows or the
+/// `u32` epoch wraps.  Falls back to a fresh allocation in the
+/// (unexpected) re-entrant case.
+fn with_done_flags<R>(n: usize, f: impl FnOnce(&[AtomicU32], u32) -> R) -> R {
+    DONE_FLAGS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut state) => {
+            let (buf, epoch) = &mut *state;
+            *epoch = epoch.wrapping_add(1);
+            if buf.len() < n || *epoch == 0 {
+                // Fresh zeroed flags with the epoch restarted at 1, so no
+                // stale value can ever equal the current epoch.
+                *buf = (0..n).map(|_| AtomicU32::new(0)).collect();
+                *epoch = 1;
+            }
+            f(&buf[..n], *epoch)
+        }
+        Err(_) => {
+            let buf: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            f(&buf, 1)
+        }
+    })
 }
 
 /// `[lo, hi)` bounds of worker `w`'s contiguous share of `len` items split
@@ -179,21 +357,68 @@ impl SparseTri {
         }
     }
 
+    /// Resolves a worker budget + policy pin into the executor that will
+    /// actually run.  This is the one decision procedure shared by the
+    /// executor ([`SparseTri::run_solve`]) and the planners
+    /// ([`SparseTri::execution_shape`] / [`SparseTri::planned_workers`]),
+    /// so a plan always describes exactly what executes.  Depends only on
+    /// the (cached) analysis, `budget` and the pin — never on timing.
+    ///
+    /// A budget of 1 never touches the schedules, keeping sequential
+    /// solves analysis-free.
+    fn resolve_shape(&self, budget: usize, policy: Option<SchedulePolicy>) -> ExecutionShape {
+        if budget <= 1 {
+            return ExecutionShape::sequential();
+        }
+        let sched = self.schedule();
+        let policy = policy.unwrap_or_else(|| SchedulePolicy::auto(sched, budget));
+        let workers = match policy {
+            // Workers beyond the widest level would never receive a row.
+            SchedulePolicy::Level => budget.min(sched.max_level_width()),
+            // The merged executor's ceiling is the widest *super*-level.
+            SchedulePolicy::Merged => budget.min(self.merged_schedule().max_super_width()),
+        };
+        if workers <= 1 {
+            // The width cap degraded the solve to the sequential sweep:
+            // report the nominal sequential shape (policy `Level`, no
+            // barriers), matching the `budget <= 1` path — what *runs* is
+            // the same sweep either way.
+            return ExecutionShape::sequential();
+        }
+        let (super_levels, barriers) = match policy {
+            SchedulePolicy::Level => (0, sched.num_levels()),
+            SchedulePolicy::Merged => {
+                let s = self.merged_schedule().num_super_levels();
+                (s, s)
+            }
+        };
+        ExecutionShape {
+            workers,
+            policy,
+            levels: sched.num_levels(),
+            super_levels,
+            barriers,
+            max_level_width: sched.max_level_width(),
+        }
+    }
+
     /// Runs the solve over `x` (`n` rows × `k` columns at row stride
     /// `stride`, holding `B` on entry and `X` on exit) with the given
-    /// worker budget.
-    fn run_solve(&self, x: *mut f64, stride: usize, k: usize, threads: usize) -> FlopCount {
+    /// worker budget and policy pin.
+    fn run_solve(
+        &self,
+        x: *mut f64,
+        stride: usize,
+        k: usize,
+        threads: usize,
+        policy: Option<SchedulePolicy>,
+    ) -> FlopCount {
         let n = self.n();
         if n == 0 || k == 0 {
             return FlopCount::ZERO;
         }
-        let workers = if threads > 1 {
-            // Workers beyond the widest level would never receive a row.
-            threads.min(self.schedule().max_level_width())
-        } else {
-            1
-        };
-        if workers <= 1 {
+        let shape = self.resolve_shape(threads, policy);
+        if shape.workers <= 1 {
             // Sequential sweep in dependency order; no analysis required.
             match self.triangle() {
                 dense::Triangle::Lower => {
@@ -214,28 +439,98 @@ impl SparseTri {
                 }
             }
         } else {
-            let sched = self.schedule();
-            let shared = SharedX(x);
-            let barrier = Barrier::new(workers);
+            match shape.policy {
+                SchedulePolicy::Level => self.run_level_parallel(x, stride, k, shape.workers),
+                SchedulePolicy::Merged => self.run_merged_parallel(x, stride, k, shape.workers),
+            }
+        }
+        self.solve_flops(k)
+    }
+
+    /// The classical level-scheduled executor: one barrier per dependency
+    /// level, each level's rows split into one contiguous chunk per worker.
+    fn run_level_parallel(&self, x: *mut f64, stride: usize, k: usize, workers: usize) {
+        let sched = self.schedule();
+        let shared = SharedX(x);
+        let barrier = SpinBarrier::new(workers);
+        run_region(workers, |w| {
+            for l in 0..sched.num_levels() {
+                let rows = sched.level_rows(l);
+                let (lo, hi) = chunk_bounds(rows.len(), workers, w);
+                for &i in &rows[lo..hi] {
+                    // SAFETY: `chunk_bounds` hands each worker a
+                    // disjoint slice of this level's rows, so row `i` is
+                    // written by exactly this worker; every dependency
+                    // of `i` lies in a level `< l` (the defining
+                    // invariant of `Schedule`), whose writes
+                    // happened-before this read via the barrier below
+                    // (and, for level 0, via the region spawn).
+                    unsafe { self.eliminate_row(shared.get(), stride, k, i) };
+                }
+                barrier.wait();
+            }
+        });
+    }
+
+    /// The DAG-partitioned executor: one barrier per *super-level*, with
+    /// point-to-point readiness inside each.
+    ///
+    /// Each super-level's rows (a contiguous range of the level-ordered
+    /// flattened row list) are split into one contiguous chunk per worker.
+    /// A worker sweeps its chunk in flat order; before eliminating a row it
+    /// spins/yields on the readiness flags of the row's dependencies that
+    /// live in the *same* super-level (dependencies in earlier super-levels
+    /// are complete — the inter-super-level barrier guarantees it), and
+    /// publishes its own flag with release ordering afterwards.
+    ///
+    /// Deadlock-freedom: every dependency sits at a strictly earlier flat
+    /// position (it is in a strictly earlier level), each worker's chunk is
+    /// processed in ascending flat order, and a worker at flat position `p`
+    /// only ever waits on positions `< p` — so along any wait chain the
+    /// positions strictly decrease, and the earliest unfinished row is
+    /// always runnable.
+    ///
+    /// Bitwise determinism: the row → worker assignment and the per-row
+    /// arithmetic order are both timing-independent; the flags only ever
+    /// delay a worker, never reorder arithmetic.
+    fn run_merged_parallel(&self, x: *mut f64, stride: usize, k: usize, workers: usize) {
+        let sched = self.schedule();
+        let merged = self.merged_schedule();
+        let rows = sched.rows();
+        let shared = SharedX(x);
+        let barrier = SpinBarrier::new(workers);
+        // One readiness flag per row, `== epoch` meaning eliminated; the
+        // buffer is thread-locally cached and epoch-versioned so the
+        // apply-many hot path allocates and zeroes nothing per solve.
+        // Rows of earlier super-levels never have their flags consulted,
+        // so no per-super-level reset is needed either.
+        with_done_flags(self.n(), |done, epoch| {
             run_region(workers, |w| {
-                for l in 0..sched.num_levels() {
-                    let rows = sched.level_rows(l);
-                    let (lo, hi) = chunk_bounds(rows.len(), workers, w);
-                    for &i in &rows[lo..hi] {
-                        // SAFETY: `chunk_bounds` hands each worker a
-                        // disjoint slice of this level's rows, so row `i` is
-                        // written by exactly this worker; every dependency
-                        // of `i` lies in a level `< l` (the defining
-                        // invariant of `Schedule`), whose writes
-                        // happened-before this read via the barrier below
-                        // (and, for level 0, via the region spawn).
+                for s in 0..merged.num_super_levels() {
+                    let srange = merged.super_range(s);
+                    let srows = &rows[srange];
+                    let (lo, hi) = chunk_bounds(srows.len(), workers, w);
+                    for &i in &srows[lo..hi] {
+                        let (cols, _) = self.row_entries(i);
+                        for &j in cols {
+                            if merged.super_of(j) == s as u32 {
+                                wait_ready(&done[j], epoch);
+                            }
+                        }
+                        // SAFETY: row `i` is written by exactly this worker
+                        // (disjoint chunks of disjoint super-levels); each
+                        // dependency `j` was either finalized in an earlier
+                        // super-level (happens-before via the barrier below)
+                        // or in this one (happens-before via the acquire
+                        // load in `wait_ready` pairing with the release
+                        // store).
                         unsafe { self.eliminate_row(shared.get(), stride, k, i) };
+                        done[i].store(epoch, Ordering::Release);
                     }
                     barrier.wait();
                 }
             });
-        }
-        self.solve_flops(k)
+        });
     }
 
     /// The matrix the executor actually sweeps: `self` for a plain solve,
@@ -248,21 +543,25 @@ impl SparseTri {
         }
     }
 
-    /// The worker count a solve with these options and `k` right-hand sides
-    /// will run with — the same decision [`SparseTri::solve_with`] makes, so
-    /// plans can be inspected before execution.  Depends only on the matrix,
-    /// `k` and the options, never on timing.
+    /// The fully resolved execution shape — workers, policy, levels,
+    /// super-levels, barriers — a solve with these options and `k`
+    /// right-hand sides will run with: the same decision
+    /// [`SparseTri::solve_with`] makes, so plans can be inspected before
+    /// execution and reports always match what ran.  Depends only on the
+    /// matrix, `k` and the options, never on timing.
     ///
-    /// A budget of 1 (implicit or pinned) never touches the schedule, so
+    /// A budget of 1 (implicit or pinned) never touches the schedules, so
     /// sequential solves still run analysis-free.
-    pub fn planned_workers(&self, opts: &SolveOpts, k: usize) -> usize {
+    pub fn execution_shape(&self, opts: &SolveOpts, k: usize) -> ExecutionShape {
         let exec = self.executor(opts.transpose);
         let budget = opts.threads.unwrap_or_else(|| exec.implicit_threads(k));
-        if budget > 1 {
-            budget.min(exec.schedule().max_level_width())
-        } else {
-            1
-        }
+        exec.resolve_shape(budget, opts.policy)
+    }
+
+    /// The worker count a solve with these options and `k` right-hand sides
+    /// will run with (shorthand for [`SparseTri::execution_shape`]).
+    pub fn planned_workers(&self, opts: &SolveOpts, k: usize) -> usize {
+        self.execution_shape(opts, k).workers
     }
 
     /// Solves `op(A)·x = b` in place under the given [`SolveOpts`]: `x`
@@ -282,7 +581,7 @@ impl SparseTri {
         }
         let exec = self.executor(opts.transpose);
         let threads = opts.threads.unwrap_or_else(|| exec.implicit_threads(1));
-        Ok(exec.run_solve(x.as_mut_ptr(), 1, 1, threads))
+        Ok(exec.run_solve(x.as_mut_ptr(), 1, 1, threads, opts.policy))
     }
 
     /// Solves `op(A)·X = B` in place for a block of right-hand sides under
@@ -299,7 +598,7 @@ impl SparseTri {
         let k = x.cols();
         let exec = self.executor(opts.transpose);
         let threads = opts.threads.unwrap_or_else(|| exec.implicit_threads(k));
-        Ok(exec.run_solve(x.as_mut_slice().as_mut_ptr(), k, k, threads))
+        Ok(exec.run_solve(x.as_mut_slice().as_mut_ptr(), k, k, threads, opts.policy))
     }
 
     /// Solves `A · x = b` for one right-hand side, level-parallel on the
@@ -730,6 +1029,153 @@ mod tests {
         let fresh = test_lower(100, 2);
         assert_eq!(fresh.planned_workers(&SolveOpts::new().threads(1), 1), 1);
         assert_eq!(fresh.analysis_count(), 0);
+    }
+
+    #[test]
+    fn merged_policy_is_bitwise_identical_to_level_and_sequential() {
+        // Deep narrow DAG (the merged schedule's home turf), a wide random
+        // pattern, and their transposes: every policy × worker count must
+        // agree with the sequential sweep bit for bit.
+        for m in [
+            crate::gen::deep_narrow_lower(8000, 4, 3, 11),
+            test_lower(2000, 8),
+        ] {
+            let t = m.transpose();
+            for mat in [&m, &t] {
+                let n = mat.n();
+                let b: Vec<f64> = (0..n).map(|i| ((i * 17 + 3) % 29) as f64 - 14.0).collect();
+                let mut seq = b.clone();
+                mat.solve_with(&SolveOpts::new().threads(1), &mut seq)
+                    .unwrap();
+                for threads in [2usize, 3, 4, 7] {
+                    for policy in [SchedulePolicy::Level, SchedulePolicy::Merged] {
+                        let mut x = b.clone();
+                        mat.solve_with(&SolveOpts::new().threads(threads).policy(policy), &mut x)
+                            .unwrap();
+                        assert_eq!(
+                            x, seq,
+                            "{policy:?} at {threads} workers changed the result bits"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merged_multi_rhs_is_bitwise_identical_too() {
+        let m = crate::gen::deep_narrow_lower(4000, 4, 3, 13);
+        let k = 5;
+        let b = Matrix::from_fn(m.n(), k, |i, j| ((i * 5 + j * 11) % 13) as f64 - 6.0);
+        let mut seq = b.clone();
+        m.solve_multi_with(&SolveOpts::new().threads(1), &mut seq)
+            .unwrap();
+        for threads in [2usize, 4] {
+            let mut x = b.clone();
+            m.solve_multi_with(
+                &SolveOpts::new()
+                    .threads(threads)
+                    .policy(SchedulePolicy::Merged),
+                &mut x,
+            )
+            .unwrap();
+            assert!(x == seq, "merged multi-RHS diverged at {threads} workers");
+        }
+    }
+
+    #[test]
+    fn execution_shape_reports_the_barrier_compression() {
+        let m = crate::gen::deep_narrow_lower(8000, 4, 3, 17);
+        let level = m.execution_shape(
+            &SolveOpts::new().threads(4).policy(SchedulePolicy::Level),
+            1,
+        );
+        assert_eq!(level.workers, 4);
+        assert_eq!(level.policy, SchedulePolicy::Level);
+        assert_eq!(level.levels, 2000);
+        assert_eq!(level.barriers, 2000, "one barrier per level");
+        assert_eq!(level.super_levels, 0);
+        let merged = m.execution_shape(
+            &SolveOpts::new().threads(4).policy(SchedulePolicy::Merged),
+            1,
+        );
+        assert_eq!(merged.workers, 4);
+        assert_eq!(merged.policy, SchedulePolicy::Merged);
+        assert_eq!(merged.levels, 2000);
+        assert_eq!(merged.barriers, merged.super_levels);
+        assert!(
+            merged.barriers * 10 <= level.barriers,
+            "merged must cut barriers >=10x on a deep DAG: {} vs {}",
+            merged.barriers,
+            level.barriers
+        );
+        // Auto on this shape resolves to Merged.
+        let auto = m.execution_shape(&SolveOpts::new().threads(4), 1);
+        assert_eq!(auto.policy, SchedulePolicy::Merged);
+        assert_eq!(auto.barriers, merged.barriers);
+    }
+
+    #[test]
+    fn level_policy_on_a_chain_degrades_to_sequential_but_merged_can_parallelize() {
+        // An unbroken band chains every row: the level executor's width cap
+        // forces it sequential, while a pinned merged policy still runs its
+        // (overhead-only, but correct) point-to-point sweep.
+        let m = crate::gen::banded_lower(20_000, 4, 19);
+        let level = m.execution_shape(
+            &SolveOpts::new().threads(4).policy(SchedulePolicy::Level),
+            1,
+        );
+        assert_eq!(level.workers, 1);
+        assert_eq!(level.barriers, 0);
+        let merged = m.execution_shape(
+            &SolveOpts::new().threads(4).policy(SchedulePolicy::Merged),
+            1,
+        );
+        assert!(merged.workers > 1);
+        assert!(merged.barriers * 10 <= m.schedule().num_levels());
+        // Auto keeps implicit users off the pointless parallel chain sweep.
+        let auto = m.execution_shape(&SolveOpts::new().threads(4), 1);
+        assert_eq!(auto.workers, 1);
+        // And the merged execution still matches the sequential bits.
+        let b: Vec<f64> = (0..m.n())
+            .map(|i| ((i * 3 + 1) % 23) as f64 - 11.0)
+            .collect();
+        let mut seq = b.clone();
+        m.solve_with(&SolveOpts::new().threads(1), &mut seq)
+            .unwrap();
+        let mut x = b.clone();
+        m.solve_with(
+            &SolveOpts::new().threads(4).policy(SchedulePolicy::Merged),
+            &mut x,
+        )
+        .unwrap();
+        assert_eq!(x, seq);
+    }
+
+    #[test]
+    fn merged_analysis_is_cached_across_solves() {
+        let m = crate::gen::deep_narrow_lower(4000, 4, 3, 23);
+        assert_eq!(m.merged_analysis_count(), 0);
+        let b = vec![1.0; m.n()];
+        let opts = SolveOpts::new().threads(4).policy(SchedulePolicy::Merged);
+        let mut x1 = b.clone();
+        m.solve_with(&opts, &mut x1).unwrap();
+        assert_eq!(m.merged_analysis_count(), 1);
+        let mut x2 = b.clone();
+        m.solve_with(&opts, &mut x2).unwrap();
+        assert_eq!(m.analysis_count(), 1, "level analysis runs once");
+        assert_eq!(m.merged_analysis_count(), 1, "merge analysis runs once");
+        assert_eq!(x1, x2);
+        // A level-policy solve never builds the merged analysis.
+        let fresh = crate::gen::deep_narrow_lower(4000, 4, 3, 29);
+        let mut x = vec![1.0; fresh.n()];
+        fresh
+            .solve_with(
+                &SolveOpts::new().threads(4).policy(SchedulePolicy::Level),
+                &mut x,
+            )
+            .unwrap();
+        assert_eq!(fresh.merged_analysis_count(), 0);
     }
 
     #[test]

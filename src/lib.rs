@@ -41,7 +41,7 @@ pub mod prelude {
     pub use dense::{gen, Diag, Matrix, Side, Transpose, Triangle};
     pub use pgrid::{DistMatrix, Grid2D};
     pub use simnet::{coll, Machine, MachineParams};
-    pub use sparse::{Schedule, SparseTri};
+    pub use sparse::{MergedSchedule, Schedule, SchedulePolicy, SparseTri};
 }
 
 #[cfg(test)]
