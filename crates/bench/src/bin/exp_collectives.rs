@@ -15,7 +15,7 @@ fn measure(p: usize, words: usize, which: &str) -> (u64, u64) {
             let rank = comm.rank() as f64;
             match which {
                 "allgather" => {
-                    coll::allgather(comm, &vec![rank; words / p]);
+                    coll::allgather(comm, &vec![rank; words / p]).unwrap();
                 }
                 "gather" => {
                     coll::gather(comm, 0, &vec![rank; words / p]).unwrap();
@@ -32,7 +32,7 @@ fn measure(p: usize, words: usize, which: &str) -> (u64, u64) {
                     coll::reduce_scatter(comm, &vec![rank; words], coll::ReduceOp::Sum).unwrap();
                 }
                 "allreduce" => {
-                    coll::allreduce(comm, &vec![rank; words], coll::ReduceOp::Sum);
+                    coll::allreduce(comm, &vec![rank; words], coll::ReduceOp::Sum).unwrap();
                 }
                 "bcast" => {
                     let data = if comm.rank() == 0 {

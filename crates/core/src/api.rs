@@ -51,23 +51,23 @@ pub fn solve_upper(u: &DistMatrix, b: &DistMatrix, algorithm: Algorithm) -> Resu
 }
 
 /// Reverse the row order of a distributed matrix (the permutation `J·A`).
-pub fn reverse_rows(a: &DistMatrix) -> DistMatrix {
+pub fn reverse_rows(a: &DistMatrix) -> Result<DistMatrix> {
     let grid = a.grid().clone();
     let (rows, cols) = a.dims();
     let (pr, pc) = (grid.rows(), grid.cols());
     let received =
-        pgrid::redist::remap_elements(a, |i, j| grid.rank_of((rows - 1 - i) % pr, j % pc), true);
+        pgrid::redist::remap_elements(a, |i, j| grid.rank_of((rows - 1 - i) % pr, j % pc), true)?;
     let mut out = DistMatrix::zeros(&grid, rows, cols);
     for (i, j, v) in received {
         let ri = rows - 1 - i;
         out.local_mut()[(ri / pr, j / pc)] = v;
     }
-    out
+    Ok(out)
 }
 
 /// Reverse both the row and the column order of a distributed matrix
 /// (the permutation `J·A·J`).
-pub fn reverse_both(a: &DistMatrix) -> DistMatrix {
+pub fn reverse_both(a: &DistMatrix) -> Result<DistMatrix> {
     let grid = a.grid().clone();
     let (rows, cols) = a.dims();
     let (pr, pc) = (grid.rows(), grid.cols());
@@ -75,14 +75,14 @@ pub fn reverse_both(a: &DistMatrix) -> DistMatrix {
         a,
         |i, j| grid.rank_of((rows - 1 - i) % pr, (cols - 1 - j) % pc),
         true,
-    );
+    )?;
     let mut out = DistMatrix::zeros(&grid, rows, cols);
     for (i, j, v) in received {
         let ri = rows - 1 - i;
         let rj = cols - 1 - j;
         out.local_mut()[(ri / pr, rj / pc)] = v;
     }
-    out
+    Ok(out)
 }
 
 /// Transpose a distributed matrix (one keyed all-to-all redistribution:
@@ -91,8 +91,8 @@ pub fn reverse_both(a: &DistMatrix) -> DistMatrix {
 /// This is what lets the staged API solve `Lᵀ·X = B` on a stored `L`: the
 /// transpose is a layout remapping with the cost of the redistributions the
 /// algorithms already perform, not a change to any solver kernel.
-pub fn transpose_dist(a: &DistMatrix) -> DistMatrix {
-    pgrid::redist::transpose(a, true)
+pub fn transpose_dist(a: &DistMatrix) -> Result<DistMatrix> {
+    Ok(pgrid::redist::transpose(a, true)?)
 }
 
 /// Solve `L·X = B`, returning `X` in the same distribution as `B`.
@@ -169,9 +169,9 @@ mod tests {
             .run(|comm| {
                 let grid = Grid2D::new(comm, 2, 2).unwrap();
                 let a = DistMatrix::from_fn(&grid, 10, 6, |i, j| (i * 6 + j) as f64);
-                let rr = reverse_rows(&reverse_rows(&a));
-                let rb = reverse_both(&reverse_both(&a));
-                let first = reverse_rows(&a).to_global()[(0, 0)];
+                let rr = reverse_rows(&reverse_rows(&a).unwrap()).unwrap();
+                let rb = reverse_both(&reverse_both(&a).unwrap()).unwrap();
+                let first = reverse_rows(&a).unwrap().to_global()[(0, 0)];
                 (rr.rel_diff(&a).unwrap(), rb.rel_diff(&a).unwrap(), first)
             })
             .unwrap();
@@ -189,8 +189,8 @@ mod tests {
             .run(|comm| {
                 let grid = Grid2D::new(comm, 2, 2).unwrap();
                 let a = DistMatrix::from_fn(&grid, 10, 6, |i, j| (i * 6 + j) as f64);
-                let t = transpose_dist(&a);
-                let tt = transpose_dist(&t);
+                let t = transpose_dist(&a).unwrap();
+                let tt = transpose_dist(&t).unwrap();
                 let t_ok = t.to_global() == a.to_global().transpose();
                 let round_trip = tt.rel_diff(&a).unwrap();
                 (t_ok, round_trip)

@@ -66,7 +66,7 @@ fn cholesky_inner(a: &DistMatrix, cfg: &FactorConfig) -> Result<DistMatrix> {
 
     let splittable = q > 1 && n.is_multiple_of(2 * q) && n > cfg.base_size;
     if !splittable {
-        let full = a.to_global();
+        let full = a.try_to_global()?;
         let (l, flops) = dense::cholesky(&full)?;
         grid.comm().charge_flops(flops.get());
         return Ok(DistMatrix::from_global(grid, &l));
@@ -81,12 +81,12 @@ fn cholesky_inner(a: &DistMatrix, cfg: &FactorConfig) -> Result<DistMatrix> {
     let l11 = cholesky_inner(&a11, cfg)?;
 
     // L21 = A21·L11⁻ᵀ, computed as L21ᵀ = L11⁻¹·A21ᵀ (a TRSM).
-    let a21t = transpose(&a21, true);
+    let a21t = transpose(&a21, true)?;
     let l21t = SolveRequest::lower()
         .algorithm(cfg.trsm)
         .solve_distributed(&l11, &a21t)?
         .x;
-    let l21 = transpose(&l21t, true);
+    let l21 = transpose(&l21t, true)?;
 
     // Trailing update A22 ← A22 − L21·L21ᵀ.
     let update = mm3d_auto(&l21, &l21t)?;

@@ -110,7 +110,7 @@ pub fn diagonal_inverter(l: &DistMatrix, cfg: &DiagInvConfig) -> Result<DistMatr
                 elements.push((gi, gj, local[(li, lj)], g % p_face));
             }
         }
-        let received = scatter_elements(comm, n, elements, cfg.log_latency);
+        let received = scatter_elements(comm, n, elements, cfg.log_latency)?;
 
         // Invert the blocks this rank owns.
         let my_rank = comm.rank();
@@ -134,7 +134,7 @@ pub fn diagonal_inverter(l: &DistMatrix, cfg: &DiagInvConfig) -> Result<DistMatr
                 }
             }
         }
-        let incoming = scatter_elements(comm, n, outgoing, cfg.log_latency);
+        let incoming = scatter_elements(comm, n, outgoing, cfg.log_latency)?;
         place_into(&mut l_tilde, &incoming, q);
         return Ok(l_tilde);
     }
@@ -169,7 +169,7 @@ pub fn diagonal_inverter(l: &DistMatrix, cfg: &DiagInvConfig) -> Result<DistMatr
             elements.push((gi, gj, local[(li, lj)], dest));
         }
     }
-    let received = scatter_elements(comm, n, elements, cfg.log_latency);
+    let received = scatter_elements(comm, n, elements, cfg.log_latency)?;
 
     // Every rank joins exactly one subgroup call so communicator bookkeeping
     // stays aligned; ranks that are not active members get `Err` and skip.
@@ -230,7 +230,7 @@ pub fn diagonal_inverter(l: &DistMatrix, cfg: &DiagInvConfig) -> Result<DistMatr
             }
         }
     }
-    let incoming = scatter_elements(comm, n, outgoing, cfg.log_latency);
+    let incoming = scatter_elements(comm, n, outgoing, cfg.log_latency)?;
     place_into(&mut l_tilde, &incoming, q);
     Ok(l_tilde)
 }

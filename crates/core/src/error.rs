@@ -21,6 +21,15 @@ pub enum TrsmError {
     Grid(pgrid::GridError),
     /// Error from the simulated machine.
     Sim(simnet::SimError),
+    /// An internal invariant of an algorithm was violated (a bug in the
+    /// solver, not in the caller's inputs); surfaced as a typed error
+    /// instead of a panic so distributed runs fail cleanly.
+    Internal {
+        /// Which algorithm detected the violation.
+        algorithm: &'static str,
+        /// Human-readable description of the broken invariant.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TrsmError {
@@ -33,6 +42,9 @@ impl fmt::Display for TrsmError {
             TrsmError::Sparse(e) => write!(f, "sparse kernel error: {e}"),
             TrsmError::Grid(e) => write!(f, "grid error: {e}"),
             TrsmError::Sim(e) => write!(f, "simulator error: {e}"),
+            TrsmError::Internal { algorithm, reason } => {
+                write!(f, "{algorithm}: internal invariant violated: {reason}")
+            }
         }
     }
 }
@@ -66,6 +78,14 @@ impl From<simnet::SimError> for TrsmError {
 /// Convenience constructor for configuration errors.
 pub fn config_error(algorithm: &'static str, reason: impl Into<String>) -> TrsmError {
     TrsmError::InvalidConfig {
+        algorithm,
+        reason: reason.into(),
+    }
+}
+
+/// Convenience constructor for internal-invariant errors.
+pub fn internal_error(algorithm: &'static str, reason: impl Into<String>) -> TrsmError {
+    TrsmError::Internal {
         algorithm,
         reason: reason.into(),
     }

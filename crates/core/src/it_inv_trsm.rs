@@ -25,7 +25,7 @@
 //! algorithm's polynomial-in-`p` synchronisation cost.
 
 use crate::diag_inv::{diagonal_inverter, DiagInvConfig};
-use crate::error::config_error;
+use crate::error::{config_error, internal_error};
 use crate::Result;
 use dense::Matrix;
 use pgrid::redist::scatter_elements;
@@ -148,14 +148,7 @@ pub fn it_inv_trsm(
     let mut mark = |comm: &Communicator, slot: &mut CostCounters| {
         let now = comm.counters();
         let delta = now.since(&last);
-        *slot = CostCounters {
-            msgs_sent: slot.msgs_sent + delta.msgs_sent,
-            msgs_recv: slot.msgs_recv + delta.msgs_recv,
-            words_sent: slot.words_sent + delta.words_sent,
-            words_recv: slot.words_recv + delta.words_recv,
-            flops: slot.flops + delta.flops,
-            time: slot.time + delta.time,
-        };
+        *slot = slot.accumulate(&delta);
         last = now;
     };
 
@@ -192,7 +185,7 @@ pub fn it_inv_trsm(
             }
         }
     }
-    let l_received = scatter_elements(comm, n, l_elements, cfg.log_latency());
+    let l_received = scatter_elements(comm, n, l_elements, cfg.log_latency())?;
     let l_face = face_grid.as_ref().map(|fg| {
         let mut mat = DistMatrix::zeros(fg, n, n);
         for (gi, gj, v) in l_received {
@@ -217,7 +210,7 @@ pub fn it_inv_trsm(
             }
         }
     }
-    let b_received = scatter_elements(comm, k, b_elements, cfg.log_latency());
+    let b_received = scatter_elements(comm, k, b_elements, cfg.log_latency())?;
     let mut b_rem = Matrix::zeros(nloc, kw);
     for (gi, gj, v) in b_received {
         debug_assert_eq!(gi % p1, x);
@@ -266,7 +259,7 @@ pub fn it_inv_trsm(
                 outgoing.push((gi, gj, local[(li, lj)], fg.rank_of(gj % p1, gi % p1)));
             }
         }
-        let incoming = scatter_elements(fg.comm(), n, outgoing, cfg.log_latency());
+        let incoming = scatter_elements(fg.comm(), n, outgoing, cfg.log_latency())?;
         let mut per_block: Vec<Matrix> = (0..nblocks)
             .map(|_| Matrix::zeros(nb_loc, nb_loc))
             .collect();
@@ -297,14 +290,17 @@ pub fn it_inv_trsm(
         // --- Solve step ------------------------------------------------
         // (a) broadcast the inverted diagonal piece along z.
         let diag_flat = if z == 0 {
-            diag_t_face.as_ref().expect("face rank holds diag blocks")[i]
+            diag_t_face
+                .as_ref()
+                .ok_or_else(|| internal_error("it_inv_trsm", "face rank holds no diag blocks"))?
+                [i]
                 .as_slice()
                 .to_vec()
         } else {
             Vec::new()
         };
         let diag_flat = coll::bcast(&z_comm, 0, &diag_flat, nb_loc * nb_loc)?;
-        let diag_piece = Matrix::from_vec(nb_loc, nb_loc, diag_flat).expect("diag piece dims");
+        let diag_piece = Matrix::from_vec(nb_loc, nb_loc, diag_flat)?;
 
         // (b) multiply with the current right-hand-side block, read in place.
         let mut x_part = Matrix::zeros(nb_loc, kw);
@@ -321,8 +317,8 @@ pub fn it_inv_trsm(
         let x_block = if p1 == 1 {
             x_part
         } else {
-            let reduced = coll::allreduce(&x_comm, x_part.as_slice(), coll::ReduceOp::Sum);
-            Matrix::from_vec(nb_loc, kw, reduced).expect("allreduce dims")
+            let reduced = coll::allreduce(&x_comm, x_part.as_slice(), coll::ReduceOp::Sum)?;
+            Matrix::from_vec(nb_loc, kw, reduced)?
         };
         x_result.set_block(i * nb_loc, 0, &x_block);
 
@@ -333,7 +329,9 @@ pub fn it_inv_trsm(
             // (d) broadcast the trailing panel L̃(T_{i+1}, S_i) along z.
             let panel_rows = nloc - (i + 1) * nb_loc;
             let panel_flat = if z == 0 {
-                let lf = l_tilde_face.as_ref().expect("face rank holds L");
+                let lf = l_tilde_face
+                    .as_ref()
+                    .ok_or_else(|| internal_error("it_inv_trsm", "face rank holds no L̃"))?;
                 lf.local()
                     .block((i + 1) * nb_loc, i * nb_loc, panel_rows, nb_loc)
                     .into_vec()
@@ -341,7 +339,7 @@ pub fn it_inv_trsm(
                 Vec::new()
             };
             let panel_flat = coll::bcast(&z_comm, 0, &panel_flat, panel_rows * nb_loc)?;
-            let panel = Matrix::from_vec(panel_rows, nb_loc, panel_flat).expect("panel dims");
+            let panel = Matrix::from_vec(panel_rows, nb_loc, panel_flat)?;
 
             // (e) accumulate the trailing update directly into the
             //     accumulator block (β = 1), with no intermediate matrix.
@@ -360,8 +358,8 @@ pub fn it_inv_trsm(
             let next_sum = if p1 == 1 {
                 next
             } else {
-                let reduced = coll::allreduce(&y_comm, next.as_slice(), coll::ReduceOp::Sum);
-                Matrix::from_vec(nb_loc, kw, reduced).expect("allreduce dims")
+                let reduced = coll::allreduce(&y_comm, next.as_slice(), coll::ReduceOp::Sum)?;
+                Matrix::from_vec(nb_loc, kw, reduced)?
             };
             b_rem
                 .view_mut((i + 1) * nb_loc, 0, nb_loc, kw)
@@ -393,7 +391,7 @@ pub fn it_inv_trsm(
             }
         }
     }
-    let incoming = scatter_elements(comm, k, x_elements, cfg.log_latency());
+    let incoming = scatter_elements(comm, k, x_elements, cfg.log_latency())?;
     let mut x_out = DistMatrix::zeros(caller_grid, n, k);
     for (gi, gj, v) in incoming {
         x_out.local_mut()[(gi / caller_pr, gj / caller_pc)] = v;

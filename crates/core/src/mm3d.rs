@@ -156,7 +156,7 @@ pub fn mm3d(a: &DistMatrix, x: &DistMatrix, cfg: &MmConfig) -> Result<DistMatrix
         a.local().clone()
     } else {
         let group = grid.subgroup_where(|r, c| r % p1 == i && c % p1 == j)?;
-        let gathered = coll::allgather(&group, a.local().as_slice());
+        let gathered = coll::allgather(&group, a.local().as_slice())?;
         let piece_len = (n / q) * (n / q);
         let mut blk = Matrix::zeros(nb, nb);
         for m in 0..p2 {
@@ -166,8 +166,7 @@ pub fn mm3d(a: &DistMatrix, x: &DistMatrix, cfg: &MmConfig) -> Result<DistMatrix
                 n / q,
                 n / q,
                 gathered[m * piece_len..(m + 1) * piece_len].to_vec(),
-            )
-            .expect("allgather piece has the right size");
+            )?;
             blk.set_strided_block(ui, s, uj, s, &piece);
         }
         blk
@@ -183,7 +182,7 @@ pub fn mm3d(a: &DistMatrix, x: &DistMatrix, cfg: &MmConfig) -> Result<DistMatrix
         let lj_d = l_d % s;
         grid.rank_of(i_d + p1 * li_d, j_d + p1 * lj_d)
     };
-    let received = remap_elements(x, dest_of, cfg.log_latency);
+    let received = remap_elements(x, dest_of, cfg.log_latency)?;
     let mut x_contrib = Matrix::zeros(contrib_rows, kw);
     for (gr, gc, v) in received {
         debug_assert_eq!(gr % p1, j);
@@ -198,7 +197,7 @@ pub fn mm3d(a: &DistMatrix, x: &DistMatrix, cfg: &MmConfig) -> Result<DistMatrix
         x_contrib
     } else {
         let group = grid.subgroup_where(|r, c| c == gy && r / p1 == li)?;
-        let gathered = coll::allgather(&group, x_contrib.as_slice());
+        let gathered = coll::allgather(&group, x_contrib.as_slice())?;
         let piece_len = contrib_rows * kw;
         let mut blk = Matrix::zeros(nb, kw);
         for m in 0..p1 {
@@ -206,8 +205,7 @@ pub fn mm3d(a: &DistMatrix, x: &DistMatrix, cfg: &MmConfig) -> Result<DistMatrix
                 contrib_rows,
                 kw,
                 gathered[m * piece_len..(m + 1) * piece_len].to_vec(),
-            )
-            .expect("allgather piece has the right size");
+            )?;
             blk.set_strided_block(m, p1, 0, 1, &piece);
         }
         blk
@@ -231,7 +229,7 @@ pub fn mm3d(a: &DistMatrix, x: &DistMatrix, cfg: &MmConfig) -> Result<DistMatrix
         }
         let group = grid.subgroup_where(|r, c| r == gx && c / p1 == lj)?;
         let reduced = coll::reduce_scatter(&group, &buffer, coll::ReduceOp::Sum)?;
-        Matrix::from_vec(contrib_rows, kw, reduced).expect("reduce-scatter chunk size")
+        Matrix::from_vec(contrib_rows, kw, reduced)?
     };
 
     // ---- Step 6: transpose the result back to the cyclic layout of B. ----
@@ -246,7 +244,7 @@ pub fn mm3d(a: &DistMatrix, x: &DistMatrix, cfg: &MmConfig) -> Result<DistMatrix
             elements.push((gr, gc, my_chunk[(t, c)], grid.rank_of(gr % q, gc % q)));
         }
     }
-    let incoming = scatter_elements(comm, k, elements, cfg.log_latency);
+    let incoming = scatter_elements(comm, k, elements, cfg.log_latency)?;
     let mut b = DistMatrix::zeros(grid, n, k);
     for (gr, gc, v) in incoming {
         let local_r = gr / q;

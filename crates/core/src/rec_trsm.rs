@@ -116,7 +116,7 @@ fn rec_trsm_inner(l: &DistMatrix, b: &DistMatrix, cfg: &RecTrsmConfig) -> Result
             l.local().clone()
         } else {
             let group = grid.subgroup_where(|r, c| r == x && c % pr == y % pr)?;
-            let pieces = coll::allgatherv(&group, l.local().as_slice());
+            let pieces = coll::allgatherv(&group, l.local().as_slice())?;
             let mut rep = Matrix::zeros(lr, lc_rep);
             for (m, piece) in pieces.into_iter().enumerate() {
                 // Member m sits at grid column (y mod pr) + m·pr; its columns
@@ -125,7 +125,7 @@ fn rec_trsm_inner(l: &DistMatrix, b: &DistMatrix, cfg: &RecTrsmConfig) -> Result
                 if src_cols == 0 || lr == 0 {
                     continue;
                 }
-                let block = Matrix::from_vec(lr, src_cols, piece).expect("piece dims");
+                let block = Matrix::from_vec(lr, src_cols, piece)?;
                 rep.set_strided_block(0, 1, m, q, &block);
             }
             rep
@@ -152,9 +152,9 @@ fn rec_trsm_inner(l: &DistMatrix, b: &DistMatrix, cfg: &RecTrsmConfig) -> Result
     // --- Base case. -------------------------------------------------------
     let splittable = p > 1 && n.is_multiple_of(2 * pr) && n / 2 >= pr && n > cfg.base_size;
     if !splittable {
-        let l_full = l.to_global();
+        let l_full = l.try_to_global()?;
         // Give every rank complete columns: column c goes to rank c mod p.
-        let triples = remap_elements(b, |_, c| c % p, cfg.log_latency);
+        let triples = remap_elements(b, |_, c| c % p, cfg.log_latency)?;
         let my_rank = grid.comm().rank();
         let my_cols = cyclic_local_count(k, p, my_rank);
         let mut b_cols = Matrix::zeros(n, my_cols);
@@ -183,7 +183,7 @@ fn rec_trsm_inner(l: &DistMatrix, b: &DistMatrix, cfg: &RecTrsmConfig) -> Result
                 elements.push((gi, gj, x_cols[(gi, lj)], grid.rank_of(gi % pr, gj % pc)));
             }
         }
-        let incoming = scatter_elements(grid.comm(), k, elements, cfg.log_latency);
+        let incoming = scatter_elements(grid.comm(), k, elements, cfg.log_latency)?;
         let mut x = DistMatrix::zeros(grid, n, k);
         for (gi, gj, v) in incoming {
             x.local_mut()[(gi / pr, gj / pc)] = v;

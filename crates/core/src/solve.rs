@@ -161,6 +161,23 @@ impl SolveRequest {
         self
     }
 
+    /// Run a pre-solve numerical-health scan on the dense backends: NaN or
+    /// infinite entries in the operand triangle or the right-hand side are
+    /// rejected with `DenseError::NonFiniteEntry` before any arithmetic
+    /// runs.  (Sparse operands are validated unconditionally at
+    /// construction, so the flag is a no-op there; distributed solves
+    /// replicate their inputs from already-validated local data.)
+    pub fn validate_finite(mut self) -> SolveRequest {
+        self.opts.check_finite = true;
+        self
+    }
+
+    /// Set the dense NaN/Inf pre-scan flag explicitly.
+    pub fn check_finite(mut self, on: bool) -> SolveRequest {
+        self.opts.check_finite = on;
+        self
+    }
+
     /// Also compute the relative residual
     /// `‖op(A)·X − B‖_F / (‖A‖_F·‖X‖_F + ‖B‖_F)` after the solve and
     /// attach it to the report (skipped by the `_in_place` executors,
@@ -554,8 +571,8 @@ impl Plan {
         let mut x = b.to_vec();
         let mut report = self.execute_dense_vec_in_place(a, &mut x)?;
         if self.residual {
-            let xm = Matrix::from_vec(x.len(), 1, x.clone()).expect("vec dims");
-            let bm = Matrix::from_vec(b.len(), 1, b.to_vec()).expect("vec dims");
+            let xm = Matrix::from_vec(x.len(), 1, x.clone())?;
+            let bm = Matrix::from_vec(b.len(), 1, b.to_vec())?;
             report.residual = Some(dense_residual(&self.opts, a, &xm, &bm)?);
         }
         Ok(Solution { x, report })
@@ -604,8 +621,8 @@ impl Plan {
         let mut x = b.to_vec();
         let mut report = self.execute_sparse_vec_in_place(a, &mut x)?;
         if self.residual {
-            let xm = Matrix::from_vec(x.len(), 1, x.clone()).expect("vec dims");
-            let bm = Matrix::from_vec(b.len(), 1, b.to_vec()).expect("vec dims");
+            let xm = Matrix::from_vec(x.len(), 1, x.clone())?;
+            let bm = Matrix::from_vec(b.len(), 1, b.to_vec())?;
             report.residual = Some(sparse_residual(a.executor(self.opts.transpose), &xm, &bm));
         }
         Ok(Solution { x, report })
@@ -674,27 +691,28 @@ impl Plan {
         // Apply op(A): the *cached* transpose if requested (one keyed
         // all-to-all on the first transposed solve of this matrix, reused
         // by every subsequent one — so the Cholesky/LU apps' repeated
-        // backward substitutions redistribute once, not per solve), then an
-        // implicit-unit diagonal overlay if requested.
+        // backward substitutions redistribute once, not per solve), then
+        // the *cached* implicit-unit diagonal overlay if requested (a
+        // purely local copy, built once per matrix and invalidated with
+        // the transpose cache by mutators).
         let op_a = match self.opts.transpose {
             Transpose::No => l,
-            Transpose::Yes => l.transposed(),
+            Transpose::Yes => l.try_transposed()?,
         };
-        let unit_forced = match self.opts.diag {
-            Diag::NonUnit => None,
-            Diag::Unit => Some(with_unit_diagonal(op_a)?),
+        let solve_mat = match self.opts.diag {
+            Diag::NonUnit => op_a,
+            Diag::Unit => op_a.unit_diagonal(),
         };
-        let solve_mat = unit_forced.as_ref().unwrap_or(op_a);
 
         // Solve: effective-lower directly, effective-upper via the reversal
         // permutation (J·U·J is lower triangular).
         let (x, phases) = match self.opts.op_triangle() {
             Triangle::Lower => run_lower(solve_mat, b, *algorithm)?,
             Triangle::Upper => {
-                let l_rev = reverse_both(solve_mat);
-                let b_rev = reverse_rows(b);
+                let l_rev = reverse_both(solve_mat)?;
+                let b_rev = reverse_rows(b)?;
                 let (x_rev, phases) = run_lower(&l_rev, &b_rev, *algorithm)?;
-                (reverse_rows(&x_rev), phases)
+                (reverse_rows(&x_rev)?, phases)
             }
         };
         let delta = comm.counters().since(&before);
@@ -804,6 +822,33 @@ pub struct SolveReport {
     pub residual: Option<f64>,
 }
 
+impl SolveReport {
+    /// Message retransmissions this rank performed during a distributed
+    /// solve under an active fault plan (0 otherwise).
+    pub fn retries(&self) -> u64 {
+        self.comm.map_or(0, |c| c.retries)
+    }
+
+    /// Injected message drops this rank's sends absorbed (each one costs a
+    /// retry; 0 without a fault plan).
+    pub fn dropped(&self) -> u64 {
+        self.comm.map_or(0, |c| c.dropped)
+    }
+
+    /// Duplicate deliveries this rank injected (suppressed by receive-side
+    /// dedup; 0 without a fault plan).
+    pub fn duplicates(&self) -> u64 {
+        self.comm.map_or(0, |c| c.duplicates)
+    }
+
+    /// Sends that exhausted the retry budget on this rank — each one also
+    /// surfaced as a [`simnet::SimError::Timeout`] through the solve's
+    /// `Result` (0 on a successful solve).
+    pub fn timeouts(&self) -> u64 {
+        self.comm.map_or(0, |c| c.timeouts)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Internal helpers
 // ---------------------------------------------------------------------------
@@ -836,26 +881,6 @@ fn run_lower(
         }
         Algorithm::Wavefront => Ok((wavefront_trsm(l, b)?, None)),
     }
-}
-
-/// Copy of a distributed square matrix with its diagonal forced to ones
-/// (implements [`Diag::Unit`] semantics for the distributed algorithms,
-/// which always read the stored diagonal).
-fn with_unit_diagonal(a: &DistMatrix) -> Result<DistMatrix> {
-    let grid = a.grid();
-    let (n, m) = a.dims();
-    let mut out = DistMatrix::from_local(grid, n, m, a.local().clone())?;
-    let local_rows = out.local().rows();
-    let local_cols = out.local().cols();
-    for li in 0..local_rows {
-        let gi = out.global_row(li);
-        for lj in 0..local_cols {
-            if out.global_col(lj) == gi {
-                out.local_mut()[(li, lj)] = 1.0;
-            }
-        }
-    }
-    Ok(out)
 }
 
 /// Relative residual `‖op(A)·X − B‖_F / (‖A‖_F·‖X‖_F + ‖B‖_F)` for a local
@@ -1423,16 +1448,24 @@ mod tests {
                 }
                 let l = DistMatrix::from_global(&grid, &l_garbage);
                 let b = DistMatrix::from_global(&grid, &b_global);
-                let sol = SolveRequest::lower()
+                let request = SolveRequest::lower()
                     .unit_diagonal()
-                    .algorithm(Algorithm::Wavefront)
-                    .solve_distributed(&l, &b)
-                    .unwrap();
-                dense::norms::rel_diff(&sol.x.to_global(), &x_true)
+                    .algorithm(Algorithm::Wavefront);
+                let sol = request.solve_distributed(&l, &b).unwrap();
+                // Repeated unit-diagonal solves reuse the cached overlay:
+                // it is built exactly once per DistMatrix, not per solve.
+                let sol2 = request.solve_distributed(&l, &b).unwrap();
+                (
+                    dense::norms::rel_diff(&sol.x.to_global(), &x_true),
+                    sol.x.rel_diff(&sol2.x).unwrap(),
+                    l.unit_overlay_count(),
+                )
             })
             .unwrap();
-        for err in out.results {
+        for (err, repeat_diff, overlays) in out.results {
             assert!(err < 1e-8, "{err}");
+            assert_eq!(repeat_diff, 0.0, "repeated solves must be bitwise equal");
+            assert_eq!(overlays, 1, "unit overlay must be built once, not per solve");
         }
     }
 

@@ -80,7 +80,7 @@ fn tri_inv_inner(l: &DistMatrix, cfg: &TriInvConfig) -> Result<DistMatrix> {
         // Keep only the lower triangle so the returned inverse has a clean
         // zero upper part regardless of what the storage held there (the
         // recursive path below drops those entries too).
-        let mut full = l.to_global().lower_triangular_part();
+        let mut full = l.try_to_global()?.lower_triangular_part();
         let flops = dense::tri_invert_in_place(Triangle::Lower, &mut full.as_view_mut(), 16)?;
         grid.comm().charge_flops(flops.get());
         return Ok(DistMatrix::from_global(grid, &full));
@@ -129,8 +129,8 @@ fn tri_inv_inner(l: &DistMatrix, cfg: &TriInvConfig) -> Result<DistMatrix> {
         }
         scatter_elements(comm, h, elements, cfg.log_latency)
     };
-    let recv_a = send_block_to_child(&l11, (0, 0));
-    let recv_b = send_block_to_child(&l22, (qh, qh));
+    let recv_a = send_block_to_child(&l11, (0, 0))?;
+    let recv_b = send_block_to_child(&l22, (qh, qh))?;
 
     // Each child inverts its block concurrently on its own grid.
     let my_inverse_piece: Option<(Matrix, bool)> = if let Ok(sub) = &child_a_comm {
@@ -177,8 +177,8 @@ fn tri_inv_inner(l: &DistMatrix, cfg: &TriInvConfig) -> Result<DistMatrix> {
         Some((m, false)) => (None, Some(m)),
         None => (None, None),
     };
-    let back_a = send_back(piece_a, true);
-    let back_b = send_back(piece_b, false);
+    let back_a = send_back(piece_a, true)?;
+    let back_b = send_back(piece_b, false)?;
 
     let mut inv11 = DistMatrix::zeros(grid, h, h);
     fill_from_triples(&mut inv11, &back_a, q);

@@ -28,7 +28,7 @@ pub fn residual(l: &DistMatrix, x: &DistMatrix, b: &DistMatrix) -> Result<f64> {
     }
     let l_sq: f64 = l.local().as_slice().iter().map(|v| v * v).sum();
     let x_sq: f64 = x.local().as_slice().iter().map(|v| v * v).sum();
-    let sums = coll::allreduce(comm, &[diff_sq, b_sq, l_sq, x_sq], coll::ReduceOp::Sum);
+    let sums = coll::allreduce(comm, &[diff_sq, b_sq, l_sq, x_sq], coll::ReduceOp::Sum)?;
     let denom = sums[2].sqrt() * sums[3].sqrt() + sums[1].sqrt();
     Ok(if denom == 0.0 {
         sums[0].sqrt()

@@ -43,8 +43,8 @@ pub fn wavefront_trsm(l: &DistMatrix, b: &DistMatrix) -> Result<DistMatrix> {
     let me = comm.rank();
 
     // Redistribute to a row-cyclic 1D layout: row i lives on rank i mod p.
-    let l_rows = remap_elements(l, |i, _| i % p, true);
-    let b_rows = remap_elements(b, |i, _| i % p, true);
+    let l_rows = remap_elements(l, |i, _| i % p, true)?;
+    let b_rows = remap_elements(b, |i, _| i % p, true)?;
     let my_rows = if me < n { (n - me).div_ceil(p) } else { 0 };
     let mut l_local = Matrix::zeros(my_rows, n);
     for (i, j, v) in l_rows {
@@ -106,7 +106,7 @@ pub fn wavefront_trsm(l: &DistMatrix, b: &DistMatrix) -> Result<DistMatrix> {
             elements.push((gi, c, b_local[(li, c)], grid.rank_of(gi % pr, c % pc)));
         }
     }
-    let incoming = scatter_elements(comm, k, elements, true);
+    let incoming = scatter_elements(comm, k, elements, true)?;
     let mut x = DistMatrix::zeros(grid, n, k);
     for (gi, gj, v) in incoming {
         x.local_mut()[(gi / pr, gj / pc)] = v;

@@ -41,6 +41,17 @@ pub enum DenseError {
         /// The value that should have been positive.
         value: f64,
     },
+    /// A pre-solve health scan (enabled with
+    /// [`SolveOpts::check_finite`](crate::SolveOpts)) found a NaN or
+    /// infinite entry in the triangular operand or the right-hand side.
+    NonFiniteEntry {
+        /// Which operand held the entry (`"matrix"` or `"rhs"`).
+        operand: &'static str,
+        /// The offending `(row, col)` pair.
+        index: (usize, usize),
+        /// The non-finite value.
+        value: f64,
+    },
     /// A parameter is out of its valid range (e.g. a block size of zero).
     InvalidParameter {
         /// Name of the offending parameter.
@@ -80,6 +91,15 @@ impl fmt::Display for DenseError {
             DenseError::NotPositiveDefinite { index, value } => write!(
                 f,
                 "matrix is not positive definite: diagonal entry {index} would be sqrt({value})"
+            ),
+            DenseError::NonFiniteEntry {
+                operand,
+                index,
+                value,
+            } => write!(
+                f,
+                "non-finite {operand} entry {value} at ({}, {})",
+                index.0, index.1
             ),
             DenseError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
@@ -137,6 +157,17 @@ mod tests {
             value: -1.0,
         };
         assert!(e.to_string().contains("positive definite"));
+    }
+
+    #[test]
+    fn display_non_finite_entry() {
+        let e = DenseError::NonFiniteEntry {
+            operand: "rhs",
+            index: (1, 2),
+            value: f64::INFINITY,
+        };
+        assert!(e.to_string().contains("non-finite"));
+        assert!(e.to_string().contains("rhs"));
     }
 
     #[test]

@@ -77,6 +77,10 @@ pub struct SolveOpts {
     pub transpose: Transpose,
     /// Whether the diagonal is implicit ones.
     pub diag: Diag,
+    /// Run a pre-solve health scan rejecting NaN/Inf entries in the operand
+    /// triangle and the right-hand side (off by default: the scan is O(n²)
+    /// and most callers feed data they generated themselves).
+    pub check_finite: bool,
 }
 
 impl SolveOpts {
@@ -88,6 +92,7 @@ impl SolveOpts {
             triangle,
             transpose: Transpose::No,
             diag: Diag::NonUnit,
+            check_finite: false,
         }
     }
 
@@ -131,6 +136,19 @@ impl SolveOpts {
         self
     }
 
+    /// Enable the pre-solve NaN/Inf scan of the operand triangle and the
+    /// right-hand side ([`DenseError::NonFiniteEntry`] on failure).
+    pub fn validate_finite(mut self) -> SolveOpts {
+        self.check_finite = true;
+        self
+    }
+
+    /// Set the NaN/Inf pre-scan flag explicitly.
+    pub fn check_finite(mut self, on: bool) -> SolveOpts {
+        self.check_finite = on;
+        self
+    }
+
     /// The triangle `op(A)` effectively occupies: transposition flips it.
     pub fn op_triangle(&self) -> Triangle {
         match (self.triangle, self.transpose) {
@@ -152,6 +170,53 @@ pub const TRSM_BLOCK: usize = 64;
 
 /// Internal alias for the panel width.
 const NB: usize = TRSM_BLOCK;
+
+/// Pre-solve health scan of the entries a solve will actually read: the
+/// stored triangle of `a` plus its diagonal when it is not implicit ones.
+/// `a` must already be known square.
+fn check_triangle_finite(opts: &SolveOpts, a: &Matrix) -> Result<()> {
+    let n = a.rows();
+    for i in 0..n {
+        let (lo, hi) = match opts.triangle {
+            Triangle::Lower => (0, i),
+            Triangle::Upper => (i + 1, n),
+        };
+        for j in lo..hi {
+            let v = a[(i, j)];
+            if !v.is_finite() {
+                return Err(DenseError::NonFiniteEntry {
+                    operand: "matrix",
+                    index: (i, j),
+                    value: v,
+                });
+            }
+        }
+        if opts.diag == Diag::NonUnit && !a[(i, i)].is_finite() {
+            return Err(DenseError::NonFiniteEntry {
+                operand: "matrix",
+                index: (i, i),
+                value: a[(i, i)],
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Pre-solve health scan of a right-hand-side block.
+fn check_rhs_finite(b: &Matrix) -> Result<()> {
+    for i in 0..b.rows() {
+        for (j, &v) in b.row(i).iter().enumerate() {
+            if !v.is_finite() {
+                return Err(DenseError::NonFiniteEntry {
+                    operand: "rhs",
+                    index: (i, j),
+                    value: v,
+                });
+            }
+        }
+    }
+    Ok(())
+}
 
 /// Solve `A · X = B` where `A` is triangular, returning `X` as a new matrix.
 ///
@@ -222,6 +287,10 @@ pub fn trsm_in_place_opts(opts: &SolveOpts, a: &Matrix, b: &mut Matrix) -> Resul
             }
         }
     }
+    if opts.check_finite {
+        check_triangle_finite(opts, a)?;
+        check_rhs_finite(b)?;
+    }
     if opts.diag == Diag::NonUnit {
         for i in 0..n {
             if a[(i, i)].abs() < PIVOT_TOL {
@@ -279,6 +348,24 @@ pub fn trsv_in_place_opts(opts: &SolveOpts, a: &Matrix, x: &mut [f64]) -> Result
             lhs: a.dims(),
             rhs: (x.len(), 1),
         });
+    }
+    if opts.check_finite {
+        if !a.is_square() {
+            return Err(DenseError::NotSquare {
+                op: "trsv",
+                dims: a.dims(),
+            });
+        }
+        check_triangle_finite(opts, a)?;
+        for (i, &v) in x.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(DenseError::NonFiniteEntry {
+                    operand: "rhs",
+                    index: (i, 0),
+                    value: v,
+                });
+            }
+        }
     }
     match opts.transpose {
         Transpose::No => trsv_in_place(opts.triangle, opts.diag, a, x),
@@ -1118,6 +1205,82 @@ mod tests {
         assert!(trsm(Triangle::Lower, Diag::NonUnit, &rect, &b).is_err());
         let mut r = Matrix::zeros(2, 5);
         assert!(trsm_in_place(Side::Right, Triangle::Lower, Diag::NonUnit, &l, &mut r).is_err());
+    }
+
+    #[test]
+    fn finite_scan_rejects_nan_matrix_entry() {
+        let mut l = lower(6);
+        l[(4, 2)] = f64::NAN;
+        let b = Matrix::filled(6, 2, 1.0);
+        // Off by default: the solve runs (and propagates the NaN).
+        assert!(trsm(Triangle::Lower, Diag::NonUnit, &l, &b).is_ok());
+        match trsm_opts(&SolveOpts::lower().validate_finite(), &l, &b) {
+            Err(DenseError::NonFiniteEntry {
+                operand, index, ..
+            }) => {
+                assert_eq!(operand, "matrix");
+                assert_eq!(index, (4, 2));
+            }
+            other => panic!("expected NonFiniteEntry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finite_scan_rejects_inf_rhs_and_diag() {
+        let l = lower(5);
+        let mut b = Matrix::filled(5, 2, 1.0);
+        b[(2, 1)] = f64::INFINITY;
+        match trsm_opts(&SolveOpts::lower().validate_finite(), &l, &b) {
+            Err(DenseError::NonFiniteEntry { operand, index, .. }) => {
+                assert_eq!(operand, "rhs");
+                assert_eq!(index, (2, 1));
+            }
+            other => panic!("expected NonFiniteEntry, got {other:?}"),
+        }
+        let mut ld = lower(5);
+        ld[(3, 3)] = f64::NAN;
+        let ok = Matrix::filled(5, 1, 1.0);
+        match trsm_opts(&SolveOpts::lower().validate_finite(), &ld, &ok) {
+            Err(DenseError::NonFiniteEntry { index, .. }) => assert_eq!(index, (3, 3)),
+            other => panic!("expected NonFiniteEntry, got {other:?}"),
+        }
+        // Unit diagonal: the stored diagonal is never read, so a NaN there
+        // passes the scan.
+        let opts = SolveOpts::lower().unit_diagonal().validate_finite();
+        assert!(trsm_opts(&opts, &ld, &ok).is_ok());
+    }
+
+    #[test]
+    fn finite_scan_ignores_unread_triangle() {
+        // Garbage strictly above the diagonal of a lower solve is never read.
+        let mut l = lower(6);
+        l[(1, 4)] = f64::NAN;
+        let b = Matrix::filled(6, 2, 1.0);
+        assert!(trsm_opts(&SolveOpts::lower().validate_finite(), &l, &b).is_ok());
+    }
+
+    #[test]
+    fn finite_scan_covers_trsv() {
+        let mut l = lower(5);
+        l[(2, 0)] = f64::NEG_INFINITY;
+        let x = vec![1.0; 5];
+        match trsv_opts(&SolveOpts::lower().validate_finite(), &l, &x) {
+            Err(DenseError::NonFiniteEntry { operand, index, .. }) => {
+                assert_eq!(operand, "matrix");
+                assert_eq!(index, (2, 0));
+            }
+            other => panic!("expected NonFiniteEntry, got {other:?}"),
+        }
+        let good = lower(5);
+        let mut bad_rhs = vec![1.0; 5];
+        bad_rhs[3] = f64::NAN;
+        match trsv_opts(&SolveOpts::lower().validate_finite(), &good, &bad_rhs) {
+            Err(DenseError::NonFiniteEntry { operand, index, .. }) => {
+                assert_eq!(operand, "rhs");
+                assert_eq!(index, (3, 0));
+            }
+            other => panic!("expected NonFiniteEntry, got {other:?}"),
+        }
     }
 
     #[test]

@@ -45,6 +45,15 @@ pub struct DistMatrix {
     /// observable through [`DistMatrix::transpose_count`], so tests can
     /// assert the cache is reused rather than re-communicated per solve.
     transposes: AtomicUsize,
+    /// Lazily computed copy with the diagonal overwritten by ones (see
+    /// [`DistMatrix::unit_diagonal`]): built locally on first use so
+    /// repeated unit-diagonal solves against the same operand do not copy
+    /// the whole local piece per solve.  Invalidated alongside the
+    /// transpose cache by every mutating accessor.
+    unit_diag_cache: OnceLock<Box<DistMatrix>>,
+    /// How many unit-diagonal overlays were actually materialised —
+    /// observable through [`DistMatrix::unit_overlay_count`].
+    unit_overlays: AtomicUsize,
 }
 
 impl Clone for DistMatrix {
@@ -56,6 +65,10 @@ impl Clone for DistMatrix {
         if let Some(t) = self.transpose_cache.get() {
             let _ = transpose_cache.set(t.clone());
         }
+        let unit_diag_cache = OnceLock::new();
+        if let Some(u) = self.unit_diag_cache.get() {
+            let _ = unit_diag_cache.set(u.clone());
+        }
         DistMatrix {
             grid: self.grid.clone(),
             rows: self.rows,
@@ -63,6 +76,8 @@ impl Clone for DistMatrix {
             local: self.local.clone(),
             transpose_cache,
             transposes: AtomicUsize::new(0),
+            unit_diag_cache,
+            unit_overlays: AtomicUsize::new(0),
         }
     }
 }
@@ -77,6 +92,8 @@ impl DistMatrix {
             local,
             transpose_cache: OnceLock::new(),
             transposes: AtomicUsize::new(0),
+            unit_diag_cache: OnceLock::new(),
+            unit_overlays: AtomicUsize::new(0),
         }
     }
 
@@ -182,10 +199,27 @@ impl DistMatrix {
     /// [`DistMatrix::set_subview`], the arithmetic updates) invalidate the
     /// cache.
     pub fn transposed(&self) -> &DistMatrix {
-        self.transpose_cache.get_or_init(|| {
-            self.transposes.fetch_add(1, Ordering::Relaxed);
-            Box::new(crate::redist::transpose(self, true))
-        })
+        self.try_transposed()
+            .expect("transpose redistribution failed")
+    }
+
+    /// Fallible form of [`DistMatrix::transposed`]: returns the cached
+    /// transpose, running (and caching) the redistribution on first use, and
+    /// propagates transport errors (fault-injected timeouts, rank failures)
+    /// instead of panicking.  Library code paths use this form.
+    pub fn try_transposed(&self) -> Result<&DistMatrix> {
+        if let Some(t) = self.transpose_cache.get() {
+            return Ok(t);
+        }
+        // The endpoint is per-rank single-threaded, so compute-then-set
+        // cannot race; a concurrent set is impossible here.
+        let t = Box::new(crate::redist::transpose(self, true)?);
+        self.transposes.fetch_add(1, Ordering::Relaxed);
+        let _ = self.transpose_cache.set(t);
+        Ok(self
+            .transpose_cache
+            .get()
+            .expect("cache populated on the line above"))
     }
 
     /// How many transpose redistributions this matrix has run (0 before the
@@ -195,9 +229,49 @@ impl DistMatrix {
         self.transposes.load(Ordering::Relaxed)
     }
 
-    /// Drops the cached transpose (called by every mutating accessor).
+    /// A copy of this matrix whose diagonal entries are overwritten with 1
+    /// (the operand actually factored when `Diag::Unit` solves treat the
+    /// stored diagonal as implicit).  Built **locally** — no communication —
+    /// on first use and cached for the lifetime of the matrix, so repeated
+    /// unit-diagonal solves stop copying the operand once per solve.
+    /// Mutating accessors invalidate the cache together with the transpose.
+    pub fn unit_diagonal(&self) -> &DistMatrix {
+        if let Some(u) = self.unit_diag_cache.get() {
+            return u;
+        }
+        let mut local = self.local.clone();
+        let pr = self.grid.rows();
+        let pc = self.grid.cols();
+        let (x, y) = self.grid.my_coords();
+        for li in 0..local.rows() {
+            let gi = li * pr + x;
+            for lj in 0..local.cols() {
+                if gi == lj * pc + y {
+                    local[(li, lj)] = 1.0;
+                }
+            }
+        }
+        self.unit_overlays.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .unit_diag_cache
+            .set(Box::new(DistMatrix::wrap(self.grid.clone(), self.rows, self.cols, local)));
+        self.unit_diag_cache
+            .get()
+            .expect("cache populated on the line above")
+    }
+
+    /// How many unit-diagonal overlays this matrix has materialised (0 before
+    /// the first [`DistMatrix::unit_diagonal`] call, and 1 until the next
+    /// invalidating mutation).
+    pub fn unit_overlay_count(&self) -> usize {
+        self.unit_overlays.load(Ordering::Relaxed)
+    }
+
+    /// Drops the cached transpose and unit-diagonal overlay (called by every
+    /// mutating accessor).
     fn invalidate_transpose(&mut self) {
         self.transpose_cache = OnceLock::new();
+        self.unit_diag_cache = OnceLock::new();
     }
 
     /// Global row index of local row `li` on this rank.
@@ -216,8 +290,17 @@ impl DistMatrix {
     }
 
     /// Collect the full matrix on every rank (allgather of all local pieces).
+    ///
+    /// Panics if the underlying collective fails; library code paths under
+    /// fault injection use [`DistMatrix::try_to_global`] instead.
     pub fn to_global(&self) -> Matrix {
-        let pieces = coll::allgatherv(self.grid.comm(), self.local.as_slice());
+        self.try_to_global().expect("to_global collective failed")
+    }
+
+    /// Fallible form of [`DistMatrix::to_global`]: propagates transport
+    /// errors (fault-injected timeouts, rank failures) as typed errors.
+    pub fn try_to_global(&self) -> Result<Matrix> {
+        let pieces = coll::allgatherv(self.grid.comm(), self.local.as_slice())?;
         let mut out = Matrix::zeros(self.rows, self.cols);
         for (rank, piece) in pieces.into_iter().enumerate() {
             let (x, y) = self.grid.coords_of(rank);
@@ -226,10 +309,14 @@ impl DistMatrix {
             if lr == 0 || lc == 0 {
                 continue;
             }
-            let block = Matrix::from_vec(lr, lc, piece).expect("piece dims");
+            let block =
+                Matrix::from_vec(lr, lc, piece).map_err(|e| GridError::BadDimensions {
+                    op: "to_global",
+                    reason: e.to_string(),
+                })?;
             out.set_strided_block(x, self.grid.rows(), y, self.grid.cols(), &block);
         }
-        out
+        Ok(out)
     }
 
     /// Extract the aligned sub-matrix `A[r0 .. r0+nr, c0 .. c0+nc]` as a new
@@ -335,7 +422,7 @@ impl DistMatrix {
             diff_sq += (a - b) * (a - b);
             ref_sq += b * b;
         }
-        let sums = coll::allreduce(self.grid.comm(), &[diff_sq, ref_sq], coll::ReduceOp::Sum);
+        let sums = coll::allreduce(self.grid.comm(), &[diff_sq, ref_sq], coll::ReduceOp::Sum)?;
         Ok(sums[0].sqrt() / sums[1].sqrt().max(1.0))
     }
 
@@ -538,6 +625,38 @@ mod tests {
             m.local_mut()[(0, 0)] = 99.0;
             let fresh = m.transposed().to_global()[(gj, gi)] == 99.0;
             correct && cached && clone_cached && fresh
+        });
+        assert!(results.into_iter().all(|v| v));
+    }
+
+    #[test]
+    fn unit_diagonal_is_cached_reused_and_invalidated() {
+        let results = with_grid(4, 2, 2, |grid| {
+            let a = DistMatrix::from_fn(grid, 6, 6, |i, j| (i * 6 + j + 2) as f64);
+            // First use materialises the overlay; the second reuses it.
+            let u1 = a.unit_diagonal() as *const DistMatrix;
+            let g = a.unit_diagonal().to_global();
+            let mut correct = true;
+            for i in 0..6 {
+                for j in 0..6 {
+                    let expect = if i == j { 1.0 } else { (i * 6 + j + 2) as f64 };
+                    correct &= g[(i, j)] == expect;
+                }
+            }
+            let u2 = a.unit_diagonal() as *const DistMatrix;
+            let cached = u1 == u2 && a.unit_overlay_count() == 1;
+            // A clone carries the cache without recomputing.
+            let c = a.clone();
+            let clone_cached =
+                c.unit_diagonal().to_global() == g && c.unit_overlay_count() == 0;
+            // Mutation invalidates: off-diagonal edits show through.
+            let mut m = a.clone();
+            let gi = m.global_row(0);
+            let gj = m.global_col(0);
+            m.local_mut()[(0, 0)] = 99.0;
+            let refreshed = m.unit_diagonal().to_global()[(gi, gj)]
+                == if gi == gj { 1.0 } else { 99.0 };
+            correct && cached && clone_cached && refreshed
         });
         assert!(results.into_iter().all(|v| v));
     }

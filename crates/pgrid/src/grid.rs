@@ -257,9 +257,9 @@ mod tests {
             .run(|comm| {
                 let g = Grid2D::new(comm, 3, 4).unwrap();
                 let row_sum =
-                    coll::allreduce(&g.row_comm(), &[comm.rank() as f64], coll::ReduceOp::Sum)[0];
+                    coll::allreduce(&g.row_comm(), &[comm.rank() as f64], coll::ReduceOp::Sum).unwrap()[0];
                 let col_sum =
-                    coll::allreduce(&g.col_comm(), &[comm.rank() as f64], coll::ReduceOp::Sum)[0];
+                    coll::allreduce(&g.col_comm(), &[comm.rank() as f64], coll::ReduceOp::Sum).unwrap()[0];
                 (row_sum, col_sum)
             })
             .unwrap();
@@ -277,7 +277,7 @@ mod tests {
                 let (r, c) = g.my_coords();
                 if r == c {
                     let diag = g.subgroup_where(|a, b| a == b).unwrap();
-                    Some(coll::allreduce(&diag, &[1.0], coll::ReduceOp::Sum)[0] as usize)
+                    Some(coll::allreduce(&diag, &[1.0], coll::ReduceOp::Sum).unwrap()[0] as usize)
                 } else {
                     None
                 }
@@ -316,7 +316,7 @@ mod tests {
                 let g = Grid3D::new(comm, 2, 2, 2).unwrap();
                 // Sum of world ranks along the z axis.
                 let z_comm = g.axis_comm(2);
-                coll::allreduce(&z_comm, &[comm.rank() as f64], coll::ReduceOp::Sum)[0]
+                coll::allreduce(&z_comm, &[comm.rank() as f64], coll::ReduceOp::Sum).unwrap()[0]
             })
             .unwrap();
         // (x,y,0) and (x,y,1) are ranks 2*(x*2+y) and 2*(x*2+y)+1.

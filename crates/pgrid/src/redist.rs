@@ -18,6 +18,7 @@
 //! algorithm (see DESIGN.md), the asymptotic costs are unaffected.
 
 use crate::distmat::DistMatrix;
+use crate::Result;
 use simnet::{coll, Communicator};
 
 /// Exchange `(key, value)` pairs between all ranks of `comm`.
@@ -34,7 +35,7 @@ pub fn exchange_keyed(
     comm: &Communicator,
     outgoing: &[Vec<(u64, f64)>],
     log_latency: bool,
-) -> Vec<Vec<(u64, f64)>> {
+) -> Result<Vec<Vec<(u64, f64)>>> {
     debug_assert_eq!(outgoing.len(), comm.size());
     let blocks: Vec<Vec<f64>> = outgoing
         .iter()
@@ -48,18 +49,18 @@ pub fn exchange_keyed(
         })
         .collect();
     let received = if log_latency {
-        coll::alltoallv_bruck(comm, &blocks).expect("block count matches comm size")
+        coll::alltoallv_bruck(comm, &blocks)?
     } else {
-        coll::alltoallv_direct(comm, &blocks).expect("block count matches comm size")
+        coll::alltoallv_direct(comm, &blocks)?
     };
-    received
+    Ok(received
         .into_iter()
         .map(|flat| {
             flat.chunks_exact(2)
                 .map(|c| (c[0] as u64, c[1]))
                 .collect::<Vec<(u64, f64)>>()
         })
-        .collect()
+        .collect())
 }
 
 /// Encode a global matrix index `(i, j)` of a matrix with `cols` columns into
@@ -87,7 +88,7 @@ pub fn remap_elements<F>(
     mat: &DistMatrix,
     dest_of: F,
     log_latency: bool,
-) -> Vec<(usize, usize, f64)>
+) -> Result<Vec<(usize, usize, f64)>>
 where
     F: Fn(usize, usize) -> usize,
 {
@@ -105,15 +106,15 @@ where
             outgoing[dest].push((encode_index(gi, gj, cols), local[(li, lj)]));
         }
     }
-    let incoming = exchange_keyed(comm, &outgoing, log_latency);
-    incoming
+    let incoming = exchange_keyed(comm, &outgoing, log_latency)?;
+    Ok(incoming
         .into_iter()
         .flatten()
         .map(|(k, v)| {
             let (i, j) = decode_index(k, cols);
             (i, j, v)
         })
-        .collect()
+        .collect())
 }
 
 /// Route elements described by an explicit iterator (global row, global col,
@@ -125,39 +126,39 @@ pub fn scatter_elements(
     cols: usize,
     elements: impl IntoIterator<Item = (usize, usize, f64, usize)>,
     log_latency: bool,
-) -> Vec<(usize, usize, f64)> {
+) -> Result<Vec<(usize, usize, f64)>> {
     let p = comm.size();
     let mut outgoing: Vec<Vec<(u64, f64)>> = vec![Vec::new(); p];
     for (i, j, v, dest) in elements {
         debug_assert!(dest < p);
         outgoing[dest].push((encode_index(i, j, cols), v));
     }
-    let incoming = exchange_keyed(comm, &outgoing, log_latency);
-    incoming
+    let incoming = exchange_keyed(comm, &outgoing, log_latency)?;
+    Ok(incoming
         .into_iter()
         .flatten()
         .map(|(k, v)| {
             let (i, j) = decode_index(k, cols);
             (i, j, v)
         })
-        .collect()
+        .collect())
 }
 
 /// Distributed transpose: returns `Aᵀ` distributed cyclically over the same
 /// grid as `A`.  Every element moves to the owner of its transposed position
 /// via one keyed all-to-all (the cost the paper charges for its layout
 /// transposes).
-pub fn transpose(mat: &DistMatrix, log_latency: bool) -> DistMatrix {
+pub fn transpose(mat: &DistMatrix, log_latency: bool) -> Result<DistMatrix> {
     let grid = mat.grid().clone();
     let pr = grid.rows();
     let pc = grid.cols();
-    let received = remap_elements(mat, |i, j| grid.rank_of(j % pr, i % pc), log_latency);
+    let received = remap_elements(mat, |i, j| grid.rank_of(j % pr, i % pc), log_latency)?;
     let mut out = DistMatrix::zeros(&grid, mat.cols(), mat.rows());
     for (i, j, v) in received {
         // We received (i, j) of A because we own (j, i) of Aᵀ.
         out.local_mut()[(j / pr, i / pc)] = v;
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -173,7 +174,7 @@ mod tests {
             .run(|comm| {
                 let grid = Grid2D::new(comm, 2, 3).unwrap();
                 let a = DistMatrix::from_fn(&grid, 8, 10, |i, j| (i * 10 + j) as f64);
-                let at = transpose(&a, true);
+                let at = transpose(&a, true).unwrap();
                 let expect = a.to_global().transpose();
                 dense::norms::rel_diff(&at.to_global(), &expect)
             })
@@ -187,7 +188,7 @@ mod tests {
             .run(|comm| {
                 let grid = Grid2D::new(comm, 2, 2).unwrap();
                 let a = DistMatrix::from_fn(&grid, 6, 6, |i, j| (i * 7 + j * 3) as f64);
-                let att = transpose(&transpose(&a, false), false);
+                let att = transpose(&transpose(&a, false).unwrap(), false).unwrap();
                 att.rel_diff(&a).unwrap()
             })
             .unwrap();
@@ -216,7 +217,7 @@ mod tests {
                     let outgoing: Vec<Vec<(u64, f64)>> = (0..4)
                         .map(|d| vec![((comm.rank() * 10 + d) as u64, comm.rank() as f64)])
                         .collect();
-                    exchange_keyed(comm, &outgoing, log_latency)
+                    exchange_keyed(comm, &outgoing, log_latency).unwrap()
                 })
                 .unwrap();
             for (rank, incoming) in out.results.into_iter().enumerate() {
@@ -248,7 +249,8 @@ mod tests {
                         grid.rank_of(or, oc)
                     },
                     true,
-                );
+                )
+                .unwrap();
                 // Rebuild the local piece of the transposed-ownership matrix.
                 let mut t_local = DistMatrix::zeros(&grid, cols, rows);
                 let mut count = 0usize;
@@ -285,7 +287,7 @@ mod tests {
                 } else {
                     Vec::new()
                 };
-                scatter_elements(comm, 3, elements, false)
+                scatter_elements(comm, 3, elements, false).unwrap()
             })
             .unwrap();
         for (rank, received) in out.results.into_iter().enumerate() {
@@ -301,8 +303,8 @@ mod tests {
                 let grid = Grid2D::new(comm, 2, 4).unwrap();
                 let mat = DistMatrix::from_fn(&grid, 8, 8, |i, j| (i * 8 + j) as f64);
                 let dest = |i: usize, j: usize| (i + j) % 8;
-                let mut a = remap_elements(&mat, dest, true);
-                let mut b = remap_elements(&mat, dest, false);
+                let mut a = remap_elements(&mat, dest, true).unwrap();
+                let mut b = remap_elements(&mat, dest, false).unwrap();
                 a.sort_by_key(|&(i, j, _)| (i, j));
                 b.sort_by_key(|&(i, j, _)| (i, j));
                 a == b

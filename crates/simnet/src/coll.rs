@@ -55,10 +55,10 @@ impl ReduceOp {
 }
 
 /// Dissemination barrier: `⌈log₂ p⌉` zero-payload exchanges.
-pub fn barrier(comm: &Communicator) {
+pub fn barrier(comm: &Communicator) -> Result<()> {
     let p = comm.size();
     if p <= 1 {
-        return;
+        return Ok(());
     }
     let tag = comm.next_op_tag();
     let mut d = 1;
@@ -66,11 +66,12 @@ pub fn barrier(comm: &Communicator) {
     while d < p {
         let to = (comm.rank() + d) % p;
         let from = (comm.rank() + p - d) % p;
-        comm.send_raw(to, tag + step, &[]);
-        let _ = comm.recv_raw(from, tag + step);
+        comm.send_raw(to, tag + step, &[])?;
+        comm.recv_raw(from, tag + step)?;
         d *= 2;
         step += 1;
     }
+    Ok(())
 }
 
 /// Bruck allgather of equal-sized blocks.
@@ -78,12 +79,12 @@ pub fn barrier(comm: &Communicator) {
 /// Every rank contributes `local`; the result is the concatenation of all
 /// contributions in rank order (identical on every rank).  All contributions
 /// must have the same length.
-pub fn allgather(comm: &Communicator, local: &[f64]) -> Vec<f64> {
+pub fn allgather(comm: &Communicator, local: &[f64]) -> Result<Vec<f64>> {
     let p = comm.size();
     let rank = comm.rank();
     let blk = local.len();
     if p == 1 {
-        return local.to_vec();
+        return Ok(local.to_vec());
     }
     let tag = comm.next_op_tag();
 
@@ -95,8 +96,8 @@ pub fn allgather(comm: &Communicator, local: &[f64]) -> Vec<f64> {
         let need = cnt.min(p - cnt);
         let to = (rank + p - cnt) % p;
         let from = (rank + cnt) % p;
-        comm.send_raw(to, tag + step, &collection[..need * blk]);
-        let received = comm.recv_raw(from, tag + step);
+        comm.send_raw(to, tag + step, &collection[..need * blk])?;
+        let received = comm.recv_raw(from, tag + step)?;
         collection.extend_from_slice(&received);
         cnt += need;
         step += 1;
@@ -108,23 +109,23 @@ pub fn allgather(comm: &Communicator, local: &[f64]) -> Vec<f64> {
         let global = (rank + j) % p;
         out[global * blk..(global + 1) * blk].copy_from_slice(&collection[j * blk..(j + 1) * blk]);
     }
-    out
+    Ok(out)
 }
 
 /// Allgather of variable-sized blocks; returns one vector per rank.
-pub fn allgatherv(comm: &Communicator, local: &[f64]) -> Vec<Vec<f64>> {
+pub fn allgatherv(comm: &Communicator, local: &[f64]) -> Result<Vec<Vec<f64>>> {
     let p = comm.size();
     // First share the lengths with a fixed-size allgather, then pad to the
     // maximum length so the Bruck exchange stays block-regular.
-    let lens = allgather(comm, &[local.len() as f64]);
+    let lens = allgather(comm, &[local.len() as f64])?;
     let lens: Vec<usize> = lens.iter().map(|&v| v as usize).collect();
     let max_len = lens.iter().copied().max().unwrap_or(0);
     let mut padded = local.to_vec();
     padded.resize(max_len, 0.0);
-    let flat = allgather(comm, &padded);
-    (0..p)
+    let flat = allgather(comm, &padded)?;
+    Ok((0..p)
         .map(|r| flat[r * max_len..r * max_len + lens[r]].to_vec())
-        .collect()
+        .collect())
 }
 
 /// Binomial-tree gather of equal-sized blocks to `root`.
@@ -157,7 +158,7 @@ pub fn gather(comm: &Communicator, root: usize, local: &[f64]) -> Result<Option<
             let src_rel = rel + d;
             if src_rel < p {
                 let from = (src_rel + root) % p;
-                let received = comm.recv_raw(from, tag + step);
+                let received = comm.recv_raw(from, tag + step)?;
                 collection.extend_from_slice(&received);
                 cnt += received.len() / blk.max(1);
             }
@@ -166,7 +167,7 @@ pub fn gather(comm: &Communicator, root: usize, local: &[f64]) -> Result<Option<
             // whole collection to rel - d and are done.
             let dst_rel = rel - d;
             let to = (dst_rel + root) % p;
-            comm.send_raw(to, tag + step, &collection);
+            comm.send_raw(to, tag + step, &collection)?;
             sent = true;
         }
         d *= 2;
@@ -239,14 +240,14 @@ pub fn scatter(comm: &Communicator, root: usize, data: &[f64], block: usize) -> 
             if rel == lo {
                 let to = (mid + root) % p;
                 let upper = held.split_off(half * block);
-                comm.send_raw(to, tag + step, &upper);
+                comm.send_raw(to, tag + step, &upper)?;
             }
             hi = mid;
         } else {
             // I am in the upper half; if I am `mid`, receive the upper half.
             if rel == mid {
                 let from = (lo + root) % p;
-                held = comm.recv_raw(from, tag + step);
+                held = comm.recv_raw(from, tag + step)?;
             }
             lo = mid;
         }
@@ -301,8 +302,8 @@ pub fn reduce_scatter(comm: &Communicator, data: &[f64], op: ReduceOp) -> Result
             (mid, range_hi, range_lo, mid)
         };
         let send_slice = &current[(send_lo - range_lo) * block..(send_hi - range_lo) * block];
-        comm.send_raw(partner, tag + step, send_slice);
-        let received = comm.recv_raw(partner, tag + step);
+        comm.send_raw(partner, tag + step, send_slice)?;
+        let received = comm.recv_raw(partner, tag + step)?;
         let mut kept: Vec<f64> =
             current[(keep_lo - range_lo) * block..(keep_hi - range_lo) * block].to_vec();
         op.fold_into(comm, &mut kept, &received);
@@ -346,12 +347,12 @@ pub fn reduce(
             let src_rel = rel + d;
             if src_rel < p {
                 let from = (src_rel + root) % p;
-                let received = comm.recv_raw(from, tag + step);
+                let received = comm.recv_raw(from, tag + step)?;
                 op.fold_into(comm, &mut acc, &received);
             }
         } else if !sent {
             let to = (rel - d + root) % p;
-            comm.send_raw(to, tag + step, &acc);
+            comm.send_raw(to, tag + step, &acc)?;
             sent = true;
         }
         d *= 2;
@@ -367,19 +368,19 @@ pub fn reduce(
 /// Allreduce implemented as reduce-scatter followed by allgather
 /// (cost `2α·log p + 2β·n + γ·n`), padding internally when the length is not
 /// divisible by `p`.
-pub fn allreduce(comm: &Communicator, data: &[f64], op: ReduceOp) -> Vec<f64> {
+pub fn allreduce(comm: &Communicator, data: &[f64], op: ReduceOp) -> Result<Vec<f64>> {
     let p = comm.size();
     if p == 1 {
-        return data.to_vec();
+        return Ok(data.to_vec());
     }
     let len = data.len();
     let block = len.div_ceil(p);
     let mut padded = data.to_vec();
     padded.resize(block * p, identity_of(op));
-    let mine = reduce_scatter(comm, &padded, op).expect("padded buffer is divisible");
-    let mut full = allgather(comm, &mine);
+    let mine = reduce_scatter(comm, &padded, op)?;
+    let mut full = allgather(comm, &mine)?;
     full.truncate(len);
-    full
+    Ok(full)
 }
 
 /// Broadcast implemented as scatter followed by allgather
@@ -411,7 +412,7 @@ pub fn bcast(comm: &Communicator, root: usize, data: &[f64], len: usize) -> Resu
         Vec::new()
     };
     let mine = scatter(comm, root, &padded_root, block)?;
-    let mut full = allgather(comm, &mine);
+    let mut full = allgather(comm, &mine)?;
     full.truncate(len);
     Ok(full)
 }
@@ -458,8 +459,8 @@ pub fn alltoall(comm: &Communicator, data: &[f64], block: usize) -> Result<Vec<f
                 moved.push(j);
             }
         }
-        comm.send_raw(to, tag + step, &payload);
-        let received = comm.recv_raw(from, tag + step);
+        comm.send_raw(to, tag + step, &payload)?;
+        let received = comm.recv_raw(from, tag + step)?;
         for (idx, j) in moved.iter().enumerate() {
             slots[*j].copy_from_slice(&received[idx * block..(idx + 1) * block]);
         }
@@ -495,8 +496,8 @@ pub fn alltoallv_direct(comm: &Communicator, blocks: &[Vec<f64>]) -> Result<Vec<
     for offset in 1..p {
         let to = (rank + offset) % p;
         let from = (rank + p - offset) % p;
-        comm.send_raw(to, tag + offset as u64, &blocks[to]);
-        out[from] = comm.recv_raw(from, tag + offset as u64);
+        comm.send_raw(to, tag + offset as u64, &blocks[to])?;
+        out[from] = comm.recv_raw(from, tag + offset as u64)?;
     }
     Ok(out)
 }
@@ -546,8 +547,8 @@ pub fn alltoallv_bruck(comm: &Communicator, blocks: &[Vec<f64>]) -> Result<Vec<V
             payload.push(data.len() as f64);
             payload.extend_from_slice(data);
         }
-        comm.send_raw(to, tag + step, &payload);
-        let received = comm.recv_raw(from, tag + step);
+        comm.send_raw(to, tag + step, &payload)?;
+        let received = comm.recv_raw(from, tag + step)?;
         items = keep;
         let mut cursor = 1usize;
         let count = received.first().copied().unwrap_or(0.0) as usize;
@@ -596,7 +597,7 @@ mod tests {
 
     #[test]
     fn barrier_completes_and_costs_log_p() {
-        let (_, report) = run(8, barrier);
+        let (_, report) = run(8, |comm| barrier(comm).unwrap());
         assert_eq!(report.max_messages(), 3);
         assert_eq!(report.max_words(), 0);
     }
@@ -606,7 +607,7 @@ mod tests {
         for p in [1usize, 2, 3, 4, 7, 8, 16] {
             let (results, _) = run(p, |comm| {
                 let local = vec![comm.rank() as f64 * 10.0, comm.rank() as f64 * 10.0 + 1.0];
-                allgather(comm, &local)
+                allgather(comm, &local).unwrap()
             });
             let expected: Vec<f64> = (0..p)
                 .flat_map(|r| vec![r as f64 * 10.0, r as f64 * 10.0 + 1.0])
@@ -624,7 +625,7 @@ mod tests {
         let blk = 32;
         let (_, report) = run(p, move |comm| {
             let local = vec![comm.rank() as f64; blk];
-            allgather(comm, &local)
+            allgather(comm, &local).unwrap()
         });
         assert_eq!(report.max_messages(), 4);
         assert_eq!(report.max_words(), (blk * (p - 1)) as u64);
@@ -634,7 +635,7 @@ mod tests {
     fn allgatherv_supports_ragged_blocks() {
         let (results, _) = run(5, |comm| {
             let local = vec![comm.rank() as f64; comm.rank() + 1];
-            allgatherv(comm, &local)
+            allgatherv(comm, &local).unwrap()
         });
         for r in results {
             for (rank, blockv) in r.iter().enumerate() {
@@ -764,8 +765,8 @@ mod tests {
     fn reduce_max_and_min() {
         let (results, _) = run(4, |comm| {
             let data = vec![comm.rank() as f64];
-            let mx = allreduce(comm, &data, ReduceOp::Max);
-            let mn = allreduce(comm, &data, ReduceOp::Min);
+            let mx = allreduce(comm, &data, ReduceOp::Max).unwrap();
+            let mn = allreduce(comm, &data, ReduceOp::Min).unwrap();
             (mx[0], mn[0])
         });
         for (mx, mn) in results {
@@ -780,7 +781,7 @@ mod tests {
             for len in [1usize, 3, 17] {
                 let (results, _) = run(p, move |comm| {
                     let data = vec![comm.rank() as f64 + 1.0; len];
-                    allreduce(comm, &data, ReduceOp::Sum)
+                    allreduce(comm, &data, ReduceOp::Sum).unwrap()
                 });
                 let expect = (p * (p + 1) / 2) as f64;
                 for r in results {
@@ -797,7 +798,7 @@ mod tests {
         let n = 64;
         let (_, report) = run(p, move |comm| {
             let data = vec![1.0; n];
-            allreduce(comm, &data, ReduceOp::Sum)
+            allreduce(comm, &data, ReduceOp::Sum).unwrap()
         });
         // reduce-scatter + allgather: 2 log p messages, 2 n (p-1)/p words, n(p-1)/p flops.
         assert_eq!(report.max_messages(), 8);
@@ -942,7 +943,7 @@ mod tests {
             // Two groups of 4 by parity of the rank.
             let sub = comm.split_by(|r| r % 2).unwrap();
             let local = vec![comm.rank() as f64];
-            let summed = allreduce(&sub, &local, ReduceOp::Sum);
+            let summed = allreduce(&sub, &local, ReduceOp::Sum).unwrap();
             summed[0]
         });
         // Even ranks: 0+2+4+6 = 12; odd ranks: 1+3+5+7 = 16.
@@ -954,9 +955,9 @@ mod tests {
     #[test]
     fn back_to_back_collectives_do_not_interfere() {
         let (results, _) = run(4, |comm| {
-            let a = allgather(comm, &[comm.rank() as f64]);
-            let b = allgather(comm, &[comm.rank() as f64 * 2.0]);
-            let c = allreduce(comm, &[1.0], ReduceOp::Sum);
+            let a = allgather(comm, &[comm.rank() as f64]).unwrap();
+            let b = allgather(comm, &[comm.rank() as f64 * 2.0]).unwrap();
+            let c = allreduce(comm, &[1.0], ReduceOp::Sum).unwrap();
             (a, b, c)
         });
         for (a, b, c) in results {

@@ -13,6 +13,7 @@
 
 use crate::cost::CostCounters;
 use crate::error::SimError;
+use crate::fault::FaultState;
 use crate::message::{Envelope, MatchKey};
 use crate::params::MachineParams;
 use crate::Result;
@@ -24,6 +25,12 @@ use std::sync::Arc;
 
 /// Context id reserved for the poison message broadcast when a rank panics.
 pub(crate) const POISON_CONTEXT: u64 = u64::MAX;
+
+/// Context id reserved for failure notifications: when a rank hits a
+/// permanent fault (crash, exhausted retry budget) it broadcasts one envelope
+/// with this context so every other rank unblocks with a typed error instead
+/// of hanging.  The payload carries the root failed rank.
+pub(crate) const FAIL_CONTEXT: u64 = u64::MAX - 1;
 
 /// Context id of the world communicator.
 const WORLD_CONTEXT: u64 = 1;
@@ -47,6 +54,10 @@ pub(crate) struct Endpoint {
     pub clock: f64,
     /// Cost counters.
     pub counters: CostCounters,
+    /// Fault-injection state; `None` when the machine runs without a fault
+    /// plan, in which case every fault-handling branch below is skipped and
+    /// the transport is exactly the zero-overhead lossless network.
+    pub faults: Option<FaultState>,
 }
 
 impl Endpoint {
@@ -73,26 +84,243 @@ impl Endpoint {
         self.counters.time = self.clock;
     }
 
+    /// The sticky failure of this endpoint, if a permanent fault already hit.
+    fn sticky_failure(&self) -> Option<SimError> {
+        self.faults.as_ref().and_then(|fs| fs.failure.clone())
+    }
+
+    /// Record a permanent failure: remember it (first failure wins), notify
+    /// every other rank exactly once so nobody waits on us forever, and
+    /// return the sticky error.
+    fn fail(&mut self, err: SimError) -> SimError {
+        let world_rank = self.world_rank;
+        let clock = self.clock;
+        let Some(fs) = self.faults.as_mut() else {
+            return err;
+        };
+        if fs.failure.is_none() {
+            fs.failure = Some(err);
+        }
+        let sticky = fs.failure.clone().expect("failure just stored");
+        let need_notify = !fs.notified;
+        fs.notified = true;
+        // A failing endpoint's held (reordered) envelope is discarded: the
+        // rank is out of the computation and its peers get the notification.
+        fs.held = None;
+        let root = match &sticky {
+            SimError::RankFailure { rank } => *rank,
+            _ => world_rank,
+        };
+        if need_notify {
+            for (dest, tx) in self.senders.iter().enumerate() {
+                if dest != world_rank {
+                    let _ = tx.send(Envelope {
+                        src: world_rank,
+                        context: FAIL_CONTEXT,
+                        tag: 0,
+                        data: vec![root as f64],
+                        avail_time: clock,
+                        seq: 0,
+                    });
+                }
+            }
+        }
+        sticky
+    }
+
+    /// Release an envelope held back by a reorder fault, if any.  Called
+    /// before blocking receives and at rank finalization, so a held message
+    /// can never participate in a deadlock.
+    fn flush_held(&mut self) {
+        let held = match self.faults.as_mut() {
+            Some(fs) => fs.held.take(),
+            None => None,
+        };
+        if let Some((dest, env)) = held {
+            let _ = self.senders[dest].send(env);
+        }
+    }
+
+    /// Transmit one envelope, injecting faults when a plan is active.
+    ///
+    /// All fault outcomes are decided *here, at send time*, by this rank's
+    /// deterministic injector: a dropped message never leaves a receiver
+    /// waiting — the sender itself simulates the receive-timeout and the
+    /// exponential-backoff resends (charging its own clock), and only the
+    /// final successful attempt is physically delivered.  This keeps the
+    /// payload stream per match key identical to the fault-free run, which is
+    /// what makes transient fault plans bit-transparent to the computation.
+    fn send_envelope(
+        &mut self,
+        world_dest: usize,
+        context: u64,
+        tag: u64,
+        data: &[f64],
+    ) -> Result<()> {
+        if self.faults.is_none() {
+            // Fast path: lossless network, zero fault overhead.
+            let avail_time = self.charge_send(data.len());
+            let _ = self.senders[world_dest].send(Envelope {
+                src: self.world_rank,
+                context,
+                tag,
+                data: data.to_vec(),
+                avail_time,
+                seq: 0,
+            });
+            return Ok(());
+        }
+        if let Some(err) = self.sticky_failure() {
+            return Err(err);
+        }
+        let sf = self
+            .faults
+            .as_mut()
+            .expect("fault state present")
+            .injector
+            .next_send();
+        if sf.crash {
+            let rank = self.world_rank;
+            return Err(self.fail(SimError::RankFailure { rank }));
+        }
+        if sf.stall > 0.0 {
+            self.clock += sf.stall;
+            self.counters.time = self.clock;
+        }
+        // Timeout/resend protocol for injected drops: attempt k is charged
+        // α + β·n plus a backoff wait of retry_timeout · 2ᵏ before resending.
+        let words = data.len();
+        let max_retries = self.params.max_retries;
+        let lost = sf.drops.min(max_retries + 1);
+        for attempt in 0..lost {
+            self.counters.msgs_sent += 1;
+            self.counters.words_sent += words as u64;
+            self.counters.dropped += 1;
+            self.counters.retries += 1;
+            let backoff = self.params.retry_timeout * (1u64 << attempt.min(30)) as f64;
+            self.clock += self.params.alpha + self.params.beta * words as f64 + backoff;
+            self.counters.time = self.clock;
+        }
+        if sf.drops > max_retries {
+            self.counters.timeouts += 1;
+            let (src, dest) = (self.world_rank, world_dest);
+            return Err(self.fail(SimError::Timeout {
+                src,
+                dest,
+                attempts: lost,
+            }));
+        }
+        let avail_time = self.charge_send(words) + sf.delay;
+        let seq = {
+            let fs = self.faults.as_mut().expect("fault state present");
+            fs.next_seq += 1;
+            fs.next_seq
+        };
+        let env = Envelope {
+            src: self.world_rank,
+            context,
+            tag,
+            data: data.to_vec(),
+            avail_time,
+            seq,
+        };
+        // Reorder bookkeeping.  A held envelope for the *same* match stream
+        // (destination, context, tag) is always released first so per-key
+        // FIFO order — which the receive matching relies on — is preserved;
+        // reordering therefore only shuffles arrival order across streams,
+        // exactly like a real network.
+        let held_prev = self.faults.as_mut().expect("fault state present").held.take();
+        let same_stream = held_prev
+            .as_ref()
+            .is_some_and(|(d, h)| *d == world_dest && h.context == context && h.tag == tag);
+        let deliver = |ep: &Endpoint, dest: usize, env: Envelope| {
+            let _ = ep.senders[dest].send(env);
+        };
+        if same_stream {
+            let (hd, he) = held_prev.expect("held envelope present");
+            deliver(self, hd, he);
+            if sf.reorder {
+                self.faults.as_mut().expect("fault state present").held =
+                    Some((world_dest, env));
+            } else {
+                // A duplicated delivery is a network artifact: it costs the
+                // sender no model time and is suppressed by seq-number dedup
+                // on receipt.  It is *counted* here, at injection time, so
+                // the counter is independent of thread-drain interleaving.
+                if sf.duplicate {
+                    self.counters.duplicates += 1;
+                    deliver(self, world_dest, env.clone());
+                }
+                deliver(self, world_dest, env);
+            }
+        } else if sf.reorder && held_prev.is_none() {
+            self.faults.as_mut().expect("fault state present").held = Some((world_dest, env));
+        } else {
+            if sf.duplicate {
+                self.counters.duplicates += 1;
+                deliver(self, world_dest, env.clone());
+            }
+            deliver(self, world_dest, env);
+            if let Some((hd, he)) = held_prev {
+                deliver(self, hd, he);
+            }
+        }
+        Ok(())
+    }
+
     /// Block until a message matching `key` is available and return it.
-    fn wait_for(&mut self, key: MatchKey) -> (Vec<f64>, f64) {
+    fn wait_for(&mut self, key: MatchKey) -> Result<(Vec<f64>, f64)> {
+        if let Some(err) = self.sticky_failure() {
+            return Err(err);
+        }
+        // Never enter a blocking wait with a reordered envelope still held:
+        // its receiver might be upstream of the message we are waiting for.
+        self.flush_held();
         loop {
             if let Some(queue) = self.pending.get_mut(&key) {
                 if let Some(msg) = queue.pop_front() {
                     if queue.is_empty() {
                         self.pending.remove(&key);
                     }
-                    return msg;
+                    return Ok(msg);
                 }
             }
-            let env = self
-                .receiver
-                .recv()
-                .expect("simnet: message channel closed unexpectedly");
+            if let Some(fs) = &self.faults {
+                if fs.failed_ranks.contains(&key.src) {
+                    let rank = key.src;
+                    return Err(self.fail(SimError::RankFailure { rank }));
+                }
+            }
+            let env = match self.receiver.recv() {
+                Ok(env) => env,
+                Err(_) => return Err(SimError::ChannelClosed),
+            };
             if env.context == POISON_CONTEXT {
                 panic!(
                     "simnet: rank {} aborted because rank {} panicked",
                     self.world_rank, env.src
                 );
+            }
+            if env.context == FAIL_CONTEXT {
+                // A peer failed permanently.  The collective in progress can
+                // no longer complete machine-wide, so abort this wait with
+                // the root cause (and cascade our own notification so ranks
+                // waiting on *us* unblock too).
+                let root = env.data.first().map(|&v| v as usize).unwrap_or(env.src);
+                if let Some(fs) = self.faults.as_mut() {
+                    fs.failed_ranks.insert(env.src);
+                    fs.failed_ranks.insert(root);
+                }
+                return Err(self.fail(SimError::RankFailure { rank: root }));
+            }
+            // Receive-side dedup: suppress redelivery of an already-seen
+            // (sender, sequence number) pair.
+            let duplicate = match self.faults.as_mut() {
+                Some(fs) => env.seq != 0 && !fs.seen.insert((env.src, env.seq)),
+                None => false,
+            };
+            if duplicate {
+                continue;
             }
             self.pending
                 .entry(env.key())
@@ -186,8 +414,7 @@ impl Communicator {
                 size: self.size(),
             });
         }
-        self.send_raw(dest, user_tag(tag), data);
-        Ok(())
+        self.send_raw(dest, user_tag(tag), data)
     }
 
     /// Receive a message with a user tag from local rank `src` (blocking).
@@ -198,7 +425,7 @@ impl Communicator {
                 size: self.size(),
             });
         }
-        Ok(self.recv_raw(src, user_tag(tag)))
+        self.recv_raw(src, user_tag(tag))
     }
 
     /// Combined exchange with a partner: send `data` to `partner` and receive
@@ -209,25 +436,20 @@ impl Communicator {
     }
 
     /// Internal send used by the collectives (separate tag namespace).
-    pub(crate) fn send_raw(&self, dest: usize, tag: u64, data: &[f64]) {
+    ///
+    /// The channel is unbounded, so a send never blocks; it can still fail
+    /// with a typed error when a fault plan injects a permanent fault
+    /// (crashed rank, exhausted retry budget) on this endpoint.
+    pub(crate) fn send_raw(&self, dest: usize, tag: u64, data: &[f64]) -> Result<()> {
         let world_dest = self.members[dest];
-        let mut ep = self.endpoint.borrow_mut();
-        let avail_time = ep.charge_send(data.len());
-        let env = Envelope {
-            src: ep.world_rank,
-            context: self.context,
-            tag,
-            data: data.to_vec(),
-            avail_time,
-        };
-        // The channel is unbounded; sending never blocks.  The receiver may
-        // already have exited if it panicked, in which case we ignore the
-        // failure (the poison mechanism will unwind everything).
-        let _ = ep.senders[world_dest].send(env);
+        self.endpoint
+            .borrow_mut()
+            .send_envelope(world_dest, self.context, tag, data)
     }
 
-    /// Internal receive used by the collectives.
-    pub(crate) fn recv_raw(&self, src: usize, tag: u64) -> Vec<f64> {
+    /// Internal receive used by the collectives.  Fails with a typed error
+    /// when a permanent fault makes the expected message impossible.
+    pub(crate) fn recv_raw(&self, src: usize, tag: u64) -> Result<Vec<f64>> {
         let world_src = self.members[src];
         let key = MatchKey {
             src: world_src,
@@ -235,9 +457,15 @@ impl Communicator {
             tag,
         };
         let mut ep = self.endpoint.borrow_mut();
-        let (data, avail) = ep.wait_for(key);
+        let (data, avail) = ep.wait_for(key)?;
         ep.charge_recv(data.len(), avail);
-        data
+        Ok(data)
+    }
+
+    /// Flush transport-internal state at the end of a rank's run (releases a
+    /// reorder-held envelope so its receiver is never starved).
+    pub(crate) fn finalize(&self) {
+        self.endpoint.borrow_mut().flush_held();
     }
 
     /// Allocate a fresh base tag for a collective operation on this
@@ -334,8 +562,8 @@ fn derive_context(parent: u64, op: u64, world_members: &[usize]) -> u64 {
     for &m in world_members {
         mix(m as u64);
     }
-    // Avoid colliding with the reserved world/poison contexts.
-    if h == POISON_CONTEXT || h == WORLD_CONTEXT {
+    // Avoid colliding with the reserved world/poison/failure contexts.
+    if h == POISON_CONTEXT || h == FAIL_CONTEXT || h == WORLD_CONTEXT {
         h ^= 0x5555_5555_5555_5555;
     }
     h

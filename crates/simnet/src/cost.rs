@@ -16,6 +16,15 @@ pub struct CostCounters {
     pub words_recv: u64,
     /// Floating-point operations charged.
     pub flops: u64,
+    /// Resend attempts made by the transport after injected message drops.
+    pub retries: u64,
+    /// Injected message drops absorbed by the retry protocol.
+    pub dropped: u64,
+    /// Injected duplicate deliveries (counted at the sending endpoint when
+    /// the duplicate is injected; suppressed by receive-side dedup).
+    pub duplicates: u64,
+    /// Sends that exhausted the retry budget and surfaced as timeouts.
+    pub timeouts: u64,
     /// Final value of the rank's virtual clock (seconds in model time).
     pub time: f64,
 }
@@ -42,7 +51,21 @@ impl CostCounters {
             words_sent: self.words_sent + other.words_sent,
             words_recv: self.words_recv + other.words_recv,
             flops: self.flops + other.flops,
+            retries: self.retries + other.retries,
+            dropped: self.dropped + other.dropped,
+            duplicates: self.duplicates + other.duplicates,
+            timeouts: self.timeouts + other.timeouts,
             time: self.time.max(other.time),
+        }
+    }
+
+    /// Element-wise sum of two counter deltas from the *same* rank, where the
+    /// time components add (unlike [`CostCounters::merge`], which takes the
+    /// max because times on different ranks do not add).
+    pub fn accumulate(&self, delta: &CostCounters) -> CostCounters {
+        CostCounters {
+            time: self.time + delta.time,
+            ..self.merge(delta)
         }
     }
 
@@ -56,6 +79,10 @@ impl CostCounters {
             words_sent: self.words_sent - earlier.words_sent,
             words_recv: self.words_recv - earlier.words_recv,
             flops: self.flops - earlier.flops,
+            retries: self.retries - earlier.retries,
+            dropped: self.dropped - earlier.dropped,
+            duplicates: self.duplicates - earlier.duplicates,
+            timeouts: self.timeouts - earlier.timeouts,
             time: self.time - earlier.time,
         }
     }
@@ -124,6 +151,22 @@ impl CostReport {
         self.per_rank.iter().map(|c| c.flops).sum()
     }
 
+    /// Total resend attempts over all ranks (non-zero only under a fault
+    /// plan that injects drops).
+    pub fn total_retries(&self) -> u64 {
+        self.per_rank.iter().map(|c| c.retries).sum()
+    }
+
+    /// Total suppressed duplicate deliveries over all ranks.
+    pub fn total_duplicates(&self) -> u64 {
+        self.per_rank.iter().map(|c| c.duplicates).sum()
+    }
+
+    /// Total sends that exhausted the retry budget over all ranks.
+    pub fn total_timeouts(&self) -> u64 {
+        self.per_rank.iter().map(|c| c.timeouts).sum()
+    }
+
     /// The model time implied by the critical-path counters,
     /// `α·max S + β·max W + γ·max F`.  This is an upper bound proxy; the
     /// measured [`CostReport::virtual_time`] tracks the actual dependency
@@ -179,6 +222,7 @@ mod tests {
             words_recv: wr,
             flops: f,
             time: t,
+            ..CostCounters::default()
         }
     }
 
@@ -237,5 +281,43 @@ mod tests {
         let report = CostReport::new(vec![], MachineParams::unit());
         assert_eq!(report.max_messages(), 0);
         assert_eq!(report.virtual_time(), 0.0);
+        assert_eq!(report.total_retries(), 0);
+        assert_eq!(report.total_timeouts(), 0);
+    }
+
+    #[test]
+    fn fault_counters_merge_accumulate_and_subtract() {
+        let a = CostCounters {
+            retries: 2,
+            dropped: 2,
+            duplicates: 1,
+            timeouts: 0,
+            time: 1.0,
+            ..CostCounters::default()
+        };
+        let b = CostCounters {
+            retries: 3,
+            dropped: 4,
+            duplicates: 0,
+            timeouts: 1,
+            time: 2.0,
+            ..CostCounters::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.retries, 5);
+        assert_eq!(m.dropped, 6);
+        assert_eq!(m.duplicates, 1);
+        assert_eq!(m.timeouts, 1);
+        assert_eq!(m.time, 2.0);
+        let acc = a.accumulate(&b);
+        assert_eq!(acc.retries, 5);
+        assert_eq!(acc.time, 3.0);
+        let d = m.since(&a);
+        assert_eq!(d.retries, 3);
+        assert_eq!(d.timeouts, 1);
+        let report = CostReport::new(vec![a, b], MachineParams::unit());
+        assert_eq!(report.total_retries(), 5);
+        assert_eq!(report.total_duplicates(), 1);
+        assert_eq!(report.total_timeouts(), 1);
     }
 }

@@ -30,6 +30,27 @@ pub enum SimError {
     },
     /// A communicator split produced an empty group for this rank.
     NotInGroup,
+    /// A point-to-point transfer exhausted its retry budget: the message was
+    /// dropped on every attempt and the sender gave up.
+    Timeout {
+        /// World rank of the sender that timed out.
+        src: usize,
+        /// World rank of the intended receiver.
+        dest: usize,
+        /// Number of transmission attempts made before giving up.
+        attempts: u32,
+    },
+    /// A rank failed permanently (crashed under a fault plan, or stopped
+    /// participating after its own permanent fault) and the operation could
+    /// not complete.
+    RankFailure {
+        /// World rank of the failed processor (the root cause, propagated
+        /// through failure notifications).
+        rank: usize,
+    },
+    /// The underlying message channel closed while a rank was waiting —
+    /// the machine is shutting down.
+    ChannelClosed,
 }
 
 impl fmt::Display for SimError {
@@ -44,6 +65,20 @@ impl fmt::Display for SimError {
             }
             SimError::RankPanicked { rank } => write!(f, "rank {rank} panicked during execution"),
             SimError::NotInGroup => write!(f, "this rank is not a member of the requested group"),
+            SimError::Timeout {
+                src,
+                dest,
+                attempts,
+            } => write!(
+                f,
+                "send from rank {src} to rank {dest} timed out after {attempts} attempts"
+            ),
+            SimError::RankFailure { rank } => {
+                write!(f, "rank {rank} failed permanently during execution")
+            }
+            SimError::ChannelClosed => {
+                write!(f, "message channel closed while waiting for a message")
+            }
         }
     }
 }
@@ -67,5 +102,16 @@ mod tests {
             reason: "x".into(),
         };
         assert!(e.to_string().contains("allgather"));
+        let e = SimError::Timeout {
+            src: 1,
+            dest: 3,
+            attempts: 7,
+        };
+        assert!(e.to_string().contains("timed out"));
+        assert!(e.to_string().contains("7"));
+        assert!(SimError::RankFailure { rank: 4 }
+            .to_string()
+            .contains("failed permanently"));
+        assert!(SimError::ChannelClosed.to_string().contains("closed"));
     }
 }

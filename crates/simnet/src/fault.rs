@@ -1,0 +1,432 @@
+//! Deterministic fault injection for the simulated machine.
+//!
+//! A [`FaultPlan`] describes *which* faults a run should experience: message
+//! drops (recovered by the transport's timeout/resend protocol), in-flight
+//! delays, duplicated deliveries, reordered deliveries, rank stalls and rank
+//! crashes.  Every fault is drawn from a seeded [`SplitMix64`] PRNG that is
+//! derived from `(plan.seed, world_rank)` and advanced once per send
+//! operation, so the fault schedule of a rank depends only on the plan and on
+//! that rank's own operation order — never on thread interleaving.  Running
+//! the same program twice under the same plan therefore injects *exactly* the
+//! same faults.
+//!
+//! Faults split into two classes:
+//!
+//! * **transient** faults (drops within the retry budget, delays, duplicates,
+//!   reorders, stalls) are absorbed by the transport layer in
+//!   [`crate::comm`]: they cost virtual time and bump the fault counters, but
+//!   every payload is still delivered exactly once, in order per match key —
+//!   so any program, collectives included, computes bit-identical results;
+//! * **permanent** faults (a crashed rank, a retry budget exhausted) surface
+//!   as [`crate::SimError::RankFailure`] / [`crate::SimError::Timeout`] from
+//!   the communication call and make the failing endpoint broadcast a failure
+//!   notification, so every other rank unblocks with a typed error instead of
+//!   hanging.
+
+use crate::error::SimError;
+use crate::message::Envelope;
+use crate::params::MachineParams;
+use std::collections::HashSet;
+
+/// A splittable, tiny, high-quality PRNG (Steele et al.'s SplitMix64).
+///
+/// Used instead of an external `rand` dependency; the fault subsystem needs
+/// nothing more than a reproducible uniform stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[1, max]` (`max ≥ 1`).
+    fn next_in_1_to(&mut self, max: u32) -> u32 {
+        1 + (self.next_u64() % max as u64) as u32
+    }
+}
+
+/// A rank crash scheduled by a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// World rank that crashes.
+    pub rank: usize,
+    /// Number of send operations the rank completes before crashing (the
+    /// crash happens *instead of* send number `after_sends`, zero-based).
+    pub after_sends: u64,
+}
+
+/// A seeded description of the faults injected into one machine run.
+///
+/// All probabilities are per *send operation*.  The default plan injects
+/// nothing; use the builder methods to enable fault classes.  Plans are plain
+/// data: the same plan given to the same program always produces the same
+/// fault schedule (see [`FaultInjector`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed from which every rank's fault stream is derived.
+    pub seed: u64,
+    /// Probability that a send is dropped at least once and must be resent.
+    pub drop_prob: f64,
+    /// Maximum number of consecutive drops of one message.  If this exceeds
+    /// [`MachineParams::max_retries`], the plan can exhaust the retry budget
+    /// and becomes a *permanent* fault plan.
+    pub max_drops_per_msg: u32,
+    /// Probability that a delivered message is delayed in flight.
+    pub delay_prob: f64,
+    /// Maximum in-flight delay (virtual seconds), drawn uniformly.
+    pub max_delay: f64,
+    /// Probability that a delivered message is duplicated on the wire.
+    pub dup_prob: f64,
+    /// Probability that a message is held back and overtaken by the sender's
+    /// next message to a different destination/stream.
+    pub reorder_prob: f64,
+    /// Probability that the sender stalls before a send operation.
+    pub stall_prob: f64,
+    /// Maximum stall duration (virtual seconds), drawn uniformly.
+    pub max_stall: f64,
+    /// Ranks that crash permanently at a given operation index.
+    pub crashes: Vec<CrashPoint>,
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults (useful as a builder starting point).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_prob: 0.0,
+            max_drops_per_msg: 1,
+            delay_prob: 0.0,
+            max_delay: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            stall_prob: 0.0,
+            max_stall: 0.0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Enable message drops: each send is dropped (and resent by the
+    /// transport) with probability `prob`, between 1 and `max_drops` times.
+    pub fn with_drops(mut self, prob: f64, max_drops: u32) -> Self {
+        self.drop_prob = prob;
+        self.max_drops_per_msg = max_drops.max(1);
+        self
+    }
+
+    /// Enable in-flight delays of up to `max_delay` virtual seconds.
+    pub fn with_delays(mut self, prob: f64, max_delay: f64) -> Self {
+        self.delay_prob = prob;
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Enable duplicated deliveries.
+    pub fn with_duplicates(mut self, prob: f64) -> Self {
+        self.dup_prob = prob;
+        self
+    }
+
+    /// Enable message reordering (a message may be overtaken by the sender's
+    /// next message to a different stream).
+    pub fn with_reordering(mut self, prob: f64) -> Self {
+        self.reorder_prob = prob;
+        self
+    }
+
+    /// Enable sender stalls of up to `max_stall` virtual seconds.
+    pub fn with_stalls(mut self, prob: f64, max_stall: f64) -> Self {
+        self.stall_prob = prob;
+        self.max_stall = max_stall;
+        self
+    }
+
+    /// Schedule a permanent crash of `rank` before its send number
+    /// `after_sends` (zero-based).
+    pub fn with_crash(mut self, rank: usize, after_sends: u64) -> Self {
+        self.crashes.push(CrashPoint { rank, after_sends });
+        self
+    }
+
+    /// Whether this plan is *transient* under the given retry budget: no rank
+    /// crashes, and no message can be dropped more often than the transport
+    /// will resend it.  Programs run under a transient plan complete with
+    /// bit-identical results; non-transient (permanent) plans make at least
+    /// one communication call return a typed error.
+    pub fn is_transient(&self, params: &MachineParams) -> bool {
+        self.crashes.is_empty()
+            && (self.drop_prob <= 0.0 || self.max_drops_per_msg <= params.max_retries)
+    }
+}
+
+/// The faults drawn for one send operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SendFaults {
+    /// Number of times the message is dropped before getting through
+    /// (each drop charges one failed attempt plus a backoff wait).
+    pub drops: u32,
+    /// Extra in-flight delay added to the message's availability time.
+    pub delay: f64,
+    /// Whether the message is duplicated on the wire.
+    pub duplicate: bool,
+    /// Whether the message is held back to be overtaken by the next send.
+    pub reorder: bool,
+    /// Stall charged to the sender before the operation.
+    pub stall: f64,
+    /// Whether the rank crashes at this operation instead of sending.
+    pub crash: bool,
+}
+
+impl SendFaults {
+    /// No faults at all.
+    pub fn none() -> Self {
+        SendFaults {
+            drops: 0,
+            delay: 0.0,
+            duplicate: false,
+            reorder: false,
+            stall: 0.0,
+            crash: false,
+        }
+    }
+}
+
+/// Per-rank deterministic fault source.
+///
+/// One injector is created per rank per run, seeded from the plan seed and
+/// the world rank.  [`FaultInjector::next_send`] advances the stream by one
+/// send operation; the sequence of [`SendFaults`] it returns depends only on
+/// `(plan, world_rank)` and the call count — never on wall-clock time, thread
+/// scheduling or other ranks.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    sends: u64,
+    crash_after: Option<u64>,
+}
+
+impl FaultInjector {
+    /// Create the injector for `world_rank` under `plan`.
+    pub fn new(plan: &FaultPlan, world_rank: usize) -> Self {
+        // Decorrelate per-rank streams: mix the rank into the seed through
+        // one SplitMix64 step (a common stream-splitting idiom).
+        let mut seeder = SplitMix64::new(plan.seed ^ (world_rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let rng = SplitMix64::new(seeder.next_u64());
+        let crash_after = plan
+            .crashes
+            .iter()
+            .filter(|c| c.rank == world_rank)
+            .map(|c| c.after_sends)
+            .min();
+        FaultInjector {
+            plan: plan.clone(),
+            rng,
+            sends: 0,
+            crash_after,
+        }
+    }
+
+    /// Draw the faults for the next send operation.
+    ///
+    /// Every probability consumes exactly one PRNG draw whether or not it
+    /// triggers, so fault schedules for different fault classes stay aligned
+    /// across plans that differ only in probabilities.
+    pub fn next_send(&mut self) -> SendFaults {
+        let op = self.sends;
+        self.sends += 1;
+        if self.crash_after.is_some_and(|after| op >= after) {
+            return SendFaults {
+                crash: true,
+                ..SendFaults::none()
+            };
+        }
+        let drop_roll = self.rng.next_f64();
+        let drops = if drop_roll < self.plan.drop_prob {
+            self.rng.next_in_1_to(self.plan.max_drops_per_msg)
+        } else {
+            0
+        };
+        let delay_roll = self.rng.next_f64();
+        let delay = if delay_roll < self.plan.delay_prob {
+            self.rng.next_f64() * self.plan.max_delay
+        } else {
+            0.0
+        };
+        let duplicate = self.rng.next_f64() < self.plan.dup_prob;
+        let reorder = self.rng.next_f64() < self.plan.reorder_prob;
+        let stall_roll = self.rng.next_f64();
+        let stall = if stall_roll < self.plan.stall_prob {
+            self.rng.next_f64() * self.plan.max_stall
+        } else {
+            0.0
+        };
+        SendFaults {
+            drops,
+            delay,
+            duplicate,
+            reorder,
+            stall,
+            crash: false,
+        }
+    }
+
+    /// Number of send operations drawn so far.
+    pub fn sends_drawn(&self) -> u64 {
+        self.sends
+    }
+}
+
+/// Mutable per-endpoint fault state (lives inside the endpoint of a rank when
+/// the machine runs under a fault plan).
+pub(crate) struct FaultState {
+    /// The deterministic fault source for this rank.
+    pub injector: FaultInjector,
+    /// Next sequence number to stamp on an outgoing envelope (1-based;
+    /// `seq = 0` is reserved for control messages).
+    pub next_seq: u64,
+    /// `(source world rank, seq)` pairs already accepted — receive-side dedup.
+    pub seen: HashSet<(usize, u64)>,
+    /// An envelope held back by a reorder fault, with its destination.
+    pub held: Option<(usize, Envelope)>,
+    /// Ranks known (from failure notifications) to have failed permanently.
+    pub failed_ranks: HashSet<usize>,
+    /// First permanent failure observed by this endpoint (sticky).
+    pub failure: Option<SimError>,
+    /// Whether this endpoint has already broadcast its failure notification.
+    pub notified: bool,
+}
+
+impl FaultState {
+    pub(crate) fn new(injector: FaultInjector) -> Self {
+        FaultState {
+            injector,
+            next_seq: 0,
+            seen: HashSet::new(),
+            held: None,
+            failed_ranks: HashSet::new(),
+            failure: None,
+            notified: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniformish() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn injector_schedules_are_reproducible() {
+        let plan = FaultPlan::new(1234)
+            .with_drops(0.3, 2)
+            .with_delays(0.2, 5.0)
+            .with_duplicates(0.1)
+            .with_reordering(0.1)
+            .with_stalls(0.05, 3.0);
+        for rank in 0..4 {
+            let mut a = FaultInjector::new(&plan, rank);
+            let mut b = FaultInjector::new(&plan, rank);
+            for _ in 0..200 {
+                assert_eq!(a.next_send(), b.next_send());
+            }
+        }
+    }
+
+    #[test]
+    fn different_ranks_get_different_streams() {
+        let plan = FaultPlan::new(99).with_drops(0.5, 3);
+        let sched = |rank: usize| -> Vec<SendFaults> {
+            let mut inj = FaultInjector::new(&plan, rank);
+            (0..50).map(|_| inj.next_send()).collect()
+        };
+        assert_ne!(sched(0), sched(1));
+    }
+
+    #[test]
+    fn crash_point_fires_at_the_right_op() {
+        let plan = FaultPlan::new(5).with_crash(2, 3);
+        let mut inj = FaultInjector::new(&plan, 2);
+        for _ in 0..3 {
+            assert!(!inj.next_send().crash);
+        }
+        assert!(inj.next_send().crash);
+        assert!(inj.next_send().crash, "crash is sticky");
+        let mut other = FaultInjector::new(&plan, 1);
+        for _ in 0..10 {
+            assert!(!other.next_send().crash);
+        }
+    }
+
+    #[test]
+    fn transience_depends_on_retry_budget() {
+        let params = MachineParams::unit(); // max_retries = 6
+        assert!(FaultPlan::new(1).is_transient(&params));
+        assert!(FaultPlan::new(1).with_drops(0.5, 3).is_transient(&params));
+        assert!(!FaultPlan::new(1).with_drops(0.5, 9).is_transient(&params));
+        assert!(!FaultPlan::new(1).with_crash(0, 5).is_transient(&params));
+        assert!(FaultPlan::new(1)
+            .with_delays(1.0, 10.0)
+            .with_duplicates(1.0)
+            .with_reordering(1.0)
+            .with_stalls(1.0, 4.0)
+            .is_transient(&params));
+    }
+
+    #[test]
+    fn probabilities_actually_fire() {
+        let plan = FaultPlan::new(2024)
+            .with_drops(0.5, 2)
+            .with_delays(0.5, 1.0)
+            .with_duplicates(0.5)
+            .with_reordering(0.5)
+            .with_stalls(0.5, 1.0);
+        let mut inj = FaultInjector::new(&plan, 0);
+        let mut saw = SendFaults::none();
+        for _ in 0..200 {
+            let f = inj.next_send();
+            saw.drops += f.drops;
+            saw.delay += f.delay;
+            saw.duplicate |= f.duplicate;
+            saw.reorder |= f.reorder;
+            saw.stall += f.stall;
+        }
+        assert!(saw.drops > 0);
+        assert!(saw.delay > 0.0);
+        assert!(saw.duplicate);
+        assert!(saw.reorder);
+        assert!(saw.stall > 0.0);
+    }
+}

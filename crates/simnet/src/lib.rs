@@ -27,7 +27,12 @@
 //!   (allgather, gather, scatter, reduce-scatter, reduce, allreduce,
 //!   broadcast, all-to-all, all-to-all-v, barrier), implemented with the
 //!   butterfly / binomial / Bruck schedules whose costs the paper quotes.
-//! * [`params::MachineParams`] — the α, β, γ constants.
+//! * [`params::MachineParams`] — the α, β, γ constants plus the retry budget
+//!   used by the fault-injection transport.
+//! * [`fault`] — deterministic, seeded fault injection: a [`fault::FaultPlan`]
+//!   attached via [`machine::Machine::with_fault_plan`] can drop, delay,
+//!   duplicate and reorder messages and stall or crash ranks, with every
+//!   fault drawn from a per-rank PRNG so runs are exactly reproducible.
 //!
 //! ## Timing model
 //!
@@ -53,7 +58,7 @@
 //! let out = Machine::new(4, MachineParams::unit())
 //!     .run(|comm| {
 //!         let mine = vec![comm.rank() as f64];
-//!         simnet::coll::allreduce(comm, &mine, simnet::coll::ReduceOp::Sum)
+//!         simnet::coll::allreduce(comm, &mine, simnet::coll::ReduceOp::Sum).unwrap()
 //!     })
 //!     .unwrap();
 //! assert!(out.results.iter().all(|v| v[0] == 6.0));
@@ -64,6 +69,7 @@ pub mod coll;
 pub mod comm;
 pub mod cost;
 pub mod error;
+pub mod fault;
 pub mod machine;
 pub mod message;
 pub mod params;
@@ -71,6 +77,7 @@ pub mod params;
 pub use comm::Communicator;
 pub use cost::{CostCounters, CostReport};
 pub use error::SimError;
+pub use fault::{CrashPoint, FaultInjector, FaultPlan, SendFaults};
 pub use machine::{Machine, RunOutput};
 pub use params::MachineParams;
 

@@ -3,6 +3,7 @@
 use crate::comm::{Communicator, Endpoint, POISON_CONTEXT};
 use crate::cost::{CostCounters, CostReport};
 use crate::error::SimError;
+use crate::fault::{FaultInjector, FaultPlan, FaultState};
 use crate::message::Envelope;
 use crate::params::MachineParams;
 use crate::Result;
@@ -15,10 +16,15 @@ use std::sync::Arc;
 /// [`Machine::run`] executes one SPMD closure on every processor (each on its
 /// own OS thread), moving real data between them, and returns both the
 /// per-rank results and the aggregated [`CostReport`].
+///
+/// A machine can optionally carry a [`FaultPlan`]
+/// ([`Machine::with_fault_plan`]): every run then injects the plan's
+/// deterministic fault schedule into the transport.
 #[derive(Debug, Clone)]
 pub struct Machine {
     procs: usize,
     params: MachineParams,
+    faults: Option<FaultPlan>,
 }
 
 /// The outcome of a machine run: one result per rank plus the cost report.
@@ -33,7 +39,23 @@ pub struct RunOutput<T> {
 impl Machine {
     /// Create a machine with `procs` processors.
     pub fn new(procs: usize, params: MachineParams) -> Self {
-        Machine { procs, params }
+        Machine {
+            procs,
+            params,
+            faults: None,
+        }
+    }
+
+    /// Attach a deterministic fault plan: every subsequent [`Machine::run`]
+    /// injects exactly the same seeded fault schedule.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The fault plan attached to this machine, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Number of processors.
@@ -84,6 +106,7 @@ impl Machine {
             let mut handles = Vec::with_capacity(p);
             for (rank, receiver) in receivers.into_iter().enumerate() {
                 let senders = Arc::clone(&senders);
+                let fault_plan = self.faults.clone();
                 let handle = scope.spawn(move || {
                     let endpoint = Endpoint {
                         world_rank: rank,
@@ -94,11 +117,17 @@ impl Machine {
                         params,
                         clock: 0.0,
                         counters: CostCounters::default(),
+                        faults: fault_plan
+                            .as_ref()
+                            .map(|plan| FaultState::new(FaultInjector::new(plan, rank))),
                     };
                     let comm = Communicator::world(endpoint);
                     let result = catch_unwind(AssertUnwindSafe(|| f(&comm)));
                     match result {
                         Ok(value) => {
+                            // Release any reorder-held envelope before the
+                            // rank retires, so its receiver is not starved.
+                            comm.finalize();
                             let counters = comm.counters();
                             Ok((value, counters))
                         }
@@ -113,6 +142,7 @@ impl Machine {
                                         tag: 0,
                                         data: Vec::new(),
                                         avail_time: 0.0,
+                                        seq: 0,
                                     });
                                 }
                             }
@@ -137,8 +167,12 @@ impl Machine {
 
         let mut results = Vec::with_capacity(p);
         let mut counters = Vec::with_capacity(p);
-        for output in rank_outputs {
-            let (value, c) = output.expect("all ranks completed");
+        for (rank, output) in rank_outputs.into_iter().enumerate() {
+            // Unreachable unless a join failed without being recorded above;
+            // surface it as a structured error rather than panicking.
+            let Some((value, c)) = output else {
+                return Err(SimError::RankPanicked { rank });
+            };
             results.push(value);
             counters.push(c);
         }
@@ -315,6 +349,148 @@ mod tests {
         let m = Machine::new(3, MachineParams::unit());
         let out = m.run(|comm| comm.subgroup(&[0, 1]).is_err()).unwrap();
         assert_eq!(out.results, vec![false, false, true]);
+    }
+
+    /// Ring exchange used by the fault-mode tests below.
+    fn ring_program(comm: &Communicator) -> Vec<f64> {
+        let rank = comm.rank();
+        let p = comm.size();
+        let next = (rank + 1) % p;
+        let prev = (rank + p - 1) % p;
+        for round in 0..4u64 {
+            comm.send(next, round, &[rank as f64, round as f64, 42.0])
+                .unwrap();
+            let got = comm.recv(prev, round).unwrap();
+            assert_eq!(got[0] as usize, prev);
+        }
+        crate::coll::allreduce(comm, &[rank as f64 + 1.0], crate::coll::ReduceOp::Sum).unwrap()
+    }
+
+    #[test]
+    fn transient_faults_are_bit_transparent() {
+        let p = 6;
+        let clean = Machine::new(p, MachineParams::unit())
+            .run(ring_program)
+            .unwrap();
+        let plan = FaultPlan::new(0xfeed_beef)
+            .with_drops(0.4, 2)
+            .with_delays(0.3, 5.0)
+            .with_duplicates(0.3)
+            .with_reordering(0.3)
+            .with_stalls(0.2, 3.0);
+        assert!(plan.is_transient(&MachineParams::unit()));
+        let faulty = Machine::new(p, MachineParams::unit())
+            .with_fault_plan(plan)
+            .run(ring_program)
+            .unwrap();
+        assert_eq!(clean.results, faulty.results);
+        // Something actually happened: drops were retried or dups suppressed.
+        let activity = faulty.report.total_retries() + faulty.report.total_duplicates();
+        assert!(activity > 0, "fault plan injected nothing");
+        assert_eq!(faulty.report.total_timeouts(), 0);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_across_repeats() {
+        let p = 5;
+        let plan = FaultPlan::new(0x5eed)
+            .with_drops(0.5, 2)
+            .with_duplicates(0.4)
+            .with_reordering(0.4);
+        let runs: Vec<_> = (0..3)
+            .map(|_| {
+                Machine::new(p, MachineParams::unit())
+                    .with_fault_plan(plan.clone())
+                    .run(ring_program)
+                    .unwrap()
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r.results, runs[0].results);
+            for (a, b) in r.report.per_rank.iter().zip(runs[0].report.per_rank.iter()) {
+                assert_eq!(a.retries, b.retries);
+                assert_eq!(a.dropped, b.dropped);
+                assert_eq!(a.duplicates, b.duplicates);
+                assert_eq!(a.time, b.time);
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_rank_surfaces_rank_failure_without_hanging() {
+        let p = 4;
+        let plan = FaultPlan::new(7).with_crash(2, 1);
+        let out = Machine::new(p, MachineParams::unit())
+            .with_fault_plan(plan)
+            .run(|comm| {
+                let rank = comm.rank();
+                let next = (rank + 1) % comm.size();
+                let prev = (rank + comm.size() - 1) % comm.size();
+                let mut err = None;
+                for round in 0..4u64 {
+                    if let Err(e) = comm.send(next, round, &[rank as f64]) {
+                        err = Some(e);
+                        break;
+                    }
+                    match comm.recv(prev, round) {
+                        Ok(_) => {}
+                        Err(e) => {
+                            err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                err
+            })
+            .unwrap();
+        // Every rank observed a typed failure rooted at rank 2.
+        for (rank, res) in out.results.iter().enumerate() {
+            let err = res.as_ref().unwrap_or_else(|| {
+                panic!("rank {rank} finished cleanly despite the crash")
+            });
+            assert!(
+                matches!(err, SimError::RankFailure { rank: 2 }),
+                "rank {rank} got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_timeout() {
+        let p = 2;
+        // Every send is dropped up to 5 times but the budget is 1 retry.
+        let plan = FaultPlan::new(99).with_drops(1.0, 5);
+        let params = MachineParams::unit().with_retry(1.0, 1);
+        assert!(!plan.is_transient(&params));
+        let out = Machine::new(p, params)
+            .with_fault_plan(plan)
+            .run(|comm| {
+                let partner = 1 - comm.rank();
+                let send = comm.send(partner, 0, &[1.0]);
+                let recv = comm.recv(partner, 0);
+                (send.err(), recv.err())
+            })
+            .unwrap();
+        let mut saw_timeout = false;
+        for (send_err, recv_err) in &out.results {
+            if let Some(SimError::Timeout { attempts, .. }) = send_err {
+                assert!(*attempts >= 1);
+                saw_timeout = true;
+            }
+            assert!(send_err.is_some() || recv_err.is_some());
+        }
+        assert!(saw_timeout, "no rank hit the retry budget");
+        assert!(out.report.total_timeouts() > 0);
+    }
+
+    #[test]
+    fn machine_without_plan_reports_zero_fault_counters() {
+        let out = Machine::new(4, MachineParams::unit())
+            .run(ring_program)
+            .unwrap();
+        assert_eq!(out.report.total_retries(), 0);
+        assert_eq!(out.report.total_duplicates(), 0);
+        assert_eq!(out.report.total_timeouts(), 0);
     }
 
     #[test]

@@ -18,15 +18,27 @@ pub struct MachineParams {
     pub beta: f64,
     /// Time charged per floating-point operation (seconds per flop).
     pub gamma: f64,
+    /// Base receive-timeout before the transport resends a dropped message
+    /// (seconds of model time); attempt `k` waits `retry_timeout · 2ᵏ`.
+    /// Only exercised when a fault plan injects drops.
+    pub retry_timeout: f64,
+    /// Maximum number of resends before a dropped message surfaces as
+    /// [`crate::SimError::Timeout`].
+    pub max_retries: u32,
 }
 
 impl MachineParams {
+    /// Default retry budget shared by the presets.
+    const DEFAULT_MAX_RETRIES: u32 = 6;
+
     /// All three constants equal to one; time then equals `S + W + F`.
     pub fn unit() -> Self {
         MachineParams {
             alpha: 1.0,
             beta: 1.0,
             gamma: 1.0,
+            retry_timeout: 8.0,
+            max_retries: Self::DEFAULT_MAX_RETRIES,
         }
     }
 
@@ -37,6 +49,8 @@ impl MachineParams {
             alpha: 1.0e-6,
             beta: 8.0e-9,
             gamma: 1.0e-10,
+            retry_timeout: 8.0e-6,
+            max_retries: Self::DEFAULT_MAX_RETRIES,
         }
     }
 
@@ -47,6 +61,8 @@ impl MachineParams {
             alpha: 2.0e-6,
             beta: 8.0e-10,
             gamma: 2.0e-11,
+            retry_timeout: 8.0e-6,
+            max_retries: Self::DEFAULT_MAX_RETRIES,
         }
     }
 
@@ -57,6 +73,8 @@ impl MachineParams {
             alpha: 1.0,
             beta: 0.0,
             gamma: 0.0,
+            retry_timeout: 8.0,
+            max_retries: Self::DEFAULT_MAX_RETRIES,
         }
     }
 
@@ -66,12 +84,27 @@ impl MachineParams {
             alpha: 0.0,
             beta: 1.0,
             gamma: 0.0,
+            retry_timeout: 8.0,
+            max_retries: Self::DEFAULT_MAX_RETRIES,
         }
     }
 
-    /// Custom parameters.
+    /// Custom α–β–γ parameters with the default retry budget.
     pub fn new(alpha: f64, beta: f64, gamma: f64) -> Self {
-        MachineParams { alpha, beta, gamma }
+        MachineParams {
+            alpha,
+            beta,
+            gamma,
+            retry_timeout: 1.0,
+            max_retries: Self::DEFAULT_MAX_RETRIES,
+        }
+    }
+
+    /// Override the retry budget (timeout base and maximum resends).
+    pub fn with_retry(mut self, retry_timeout: f64, max_retries: u32) -> Self {
+        self.retry_timeout = retry_timeout;
+        self.max_retries = max_retries;
+        self
     }
 
     /// Execution time of `(s, w, f)` counts under these parameters.
@@ -116,5 +149,13 @@ mod tests {
     #[test]
     fn default_is_cluster() {
         assert_eq!(MachineParams::default(), MachineParams::cluster());
+    }
+
+    #[test]
+    fn retry_budget_is_overridable() {
+        let p = MachineParams::unit().with_retry(2.5, 3);
+        assert_eq!(p.retry_timeout, 2.5);
+        assert_eq!(p.max_retries, 3);
+        assert!(MachineParams::cluster().max_retries > 0);
     }
 }

@@ -15,7 +15,7 @@ proptest! {
         let out = Machine::new(p, MachineParams::unit())
             .run(move |comm| {
                 let mine: Vec<f64> = (0..blk).map(|w| (comm.rank() * 100 + w) as f64).collect();
-                coll::allgather(comm, &mine)
+                coll::allgather(comm, &mine).unwrap()
             })
             .unwrap();
         for result in out.results {
@@ -35,9 +35,9 @@ proptest! {
             .run(move |comm| {
                 let len = blk * comm.size();
                 let mine: Vec<f64> = (0..len).map(|w| (comm.rank() + w) as f64).collect();
-                let via_allreduce = coll::allreduce(comm, &mine, coll::ReduceOp::Sum);
+                let via_allreduce = coll::allreduce(comm, &mine, coll::ReduceOp::Sum).unwrap();
                 let scattered = coll::reduce_scatter(comm, &mine, coll::ReduceOp::Sum).unwrap();
-                let via_pieces = coll::allgather(comm, &scattered);
+                let via_pieces = coll::allgather(comm, &scattered).unwrap();
                 via_allreduce == via_pieces
             })
             .unwrap();
@@ -104,7 +104,7 @@ proptest! {
         let p = 1usize << p_exp;
         let out = Machine::new(p, MachineParams::unit())
             .run(move |comm| {
-                coll::allgather(comm, &vec![1.0; blk]);
+                coll::allgather(comm, &vec![1.0; blk]).unwrap();
             })
             .unwrap();
         prop_assert_eq!(out.report.max_messages(), p_exp as u64);
@@ -115,7 +115,7 @@ proptest! {
     #[test]
     fn barrier_costs_only_latency(p in 1usize..12) {
         let out = Machine::new(p, MachineParams::unit())
-            .run(coll::barrier)
+            .run(|comm| coll::barrier(comm).unwrap())
             .unwrap();
         prop_assert_eq!(out.report.max_words(), 0);
         if p > 1 {

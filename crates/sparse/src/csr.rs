@@ -200,7 +200,8 @@ impl SparseTri {
         Self::finish(n, tri, diag, out_ptr, out_idx, out_val, diag_vals)
     }
 
-    /// Shared tail of the constructors: diagonal invertibility check.
+    /// Shared tail of the constructors: numerical-health checks (every
+    /// stored value finite, diagonal invertible).
     fn finish(
         n: usize,
         tri: Triangle,
@@ -210,8 +211,27 @@ impl SparseTri {
         values: Vec<f64>,
         diag_vals: Vec<f64>,
     ) -> Result<SparseTri> {
+        for i in 0..n {
+            for (&j, &v) in col_idx[row_ptr[i]..row_ptr[i + 1]]
+                .iter()
+                .zip(&values[row_ptr[i]..row_ptr[i + 1]])
+            {
+                if !v.is_finite() {
+                    return Err(SparseError::NonFiniteEntry {
+                        index: (i, j),
+                        value: v,
+                    });
+                }
+            }
+        }
         if diag == Diag::NonUnit {
             for (i, &d) in diag_vals.iter().enumerate() {
+                if !d.is_finite() {
+                    return Err(SparseError::NonFiniteEntry {
+                        index: (i, i),
+                        value: d,
+                    });
+                }
                 if d.abs() < PIVOT_TOL {
                     return Err(SparseError::SingularDiagonal { row: i, value: d });
                 }
@@ -564,6 +584,48 @@ mod tests {
             &[1.0, 2.0],
         );
         assert!(matches!(dup, Err(SparseError::DuplicateEntry { .. })));
+    }
+
+    #[test]
+    fn constructors_reject_non_finite_entries() {
+        // NaN off-diagonal via triplets.
+        let nan_off = SparseTri::from_triplets(
+            3,
+            Triangle::Lower,
+            Diag::NonUnit,
+            &[(0, 0, 1.0), (1, 1, 1.0), (2, 0, f64::NAN), (2, 2, 1.0)],
+        );
+        assert!(matches!(
+            nan_off,
+            Err(SparseError::NonFiniteEntry { index: (2, 0), .. })
+        ));
+
+        // Infinite diagonal via triplets (NonUnit: the diagonal is read).
+        let inf_diag = SparseTri::from_triplets(
+            2,
+            Triangle::Lower,
+            Diag::NonUnit,
+            &[(0, 0, 1.0), (1, 1, f64::INFINITY)],
+        );
+        assert!(matches!(
+            inf_diag,
+            Err(SparseError::NonFiniteEntry { index: (1, 1), .. })
+        ));
+
+        // Unit diagonal: a stored non-finite diagonal entry is dropped into
+        // the implicit-ones overlay... but off-diagonal NaN still rejects.
+        let unit_off = SparseTri::from_csr(
+            2,
+            Triangle::Lower,
+            Diag::Unit,
+            &[0, 0, 1],
+            &[0],
+            &[f64::NEG_INFINITY],
+        );
+        assert!(matches!(
+            unit_off,
+            Err(SparseError::NonFiniteEntry { index: (1, 0), .. })
+        ));
     }
 
     #[test]

@@ -40,6 +40,14 @@ pub enum SparseError {
         /// Human-readable description of the inconsistency.
         reason: String,
     },
+    /// A stored entry is NaN or infinite; solving with it would silently
+    /// poison the whole solution, so construction rejects it eagerly.
+    NonFiniteEntry {
+        /// The offending `(row, col)` pair.
+        index: (usize, usize),
+        /// The non-finite value.
+        value: f64,
+    },
     /// A `Diag::NonUnit` matrix is missing a diagonal entry, or stores a
     /// numerically negligible one, so the system is singular.
     SingularDiagonal {
@@ -81,6 +89,11 @@ impl fmt::Display for SparseError {
                 write!(f, "row {row}: column indices are not strictly increasing")
             }
             SparseError::MalformedCsr { reason } => write!(f, "malformed CSR input: {reason}"),
+            SparseError::NonFiniteEntry { index, value } => write!(
+                f,
+                "non-finite entry {value} at ({}, {})",
+                index.0, index.1
+            ),
             SparseError::SingularDiagonal { row, value } => {
                 write!(f, "singular diagonal at row {row}: {value}")
             }
@@ -131,6 +144,13 @@ mod tests {
                     reason: "row_ptr shrinks".to_string(),
                 },
                 "row_ptr shrinks",
+            ),
+            (
+                SparseError::NonFiniteEntry {
+                    index: (2, 1),
+                    value: f64::NAN,
+                },
+                "non-finite",
             ),
             (
                 SparseError::SingularDiagonal { row: 3, value: 0.0 },

@@ -206,7 +206,7 @@ fn measured_collective_costs_match_the_cost_model() {
     let out = Machine::new(p, MachineParams::unit())
         .run(move |comm| {
             let mine = vec![comm.rank() as f64; words / comm.size()];
-            coll::allgather(comm, &mine);
+            coll::allgather(comm, &mine).unwrap();
         })
         .unwrap();
     let model = costmodel::collectives::allgather(words as f64, p as f64);
@@ -215,7 +215,7 @@ fn measured_collective_costs_match_the_cost_model() {
 
     let out = Machine::new(p, MachineParams::unit())
         .run(move |comm| {
-            coll::allreduce(comm, &vec![1.0; words], coll::ReduceOp::Sum);
+            coll::allreduce(comm, &vec![1.0; words], coll::ReduceOp::Sum).unwrap();
         })
         .unwrap();
     let model = costmodel::collectives::allreduction(words as f64, p as f64);
@@ -235,13 +235,15 @@ fn redistribution_round_trips_between_grids() {
             let square = Grid2D::new(comm, 2, 2).unwrap();
             let a = DistMatrix::from_fn(&tall, 12, 8, |i, j| (i * 8 + j) as f64);
             // To the square grid…
-            let received = redist::remap_elements(&a, |i, j| square.rank_of(i % 2, j % 2), true);
+            let received =
+                redist::remap_elements(&a, |i, j| square.rank_of(i % 2, j % 2), true).unwrap();
             let mut on_square = DistMatrix::zeros(&square, 12, 8);
             for (i, j, v) in received {
                 on_square.local_mut()[(i / 2, j / 2)] = v;
             }
             // …and back to the tall grid.
-            let back = redist::remap_elements(&on_square, |i, _j| tall.rank_of(i % 4, 0), true);
+            let back =
+                redist::remap_elements(&on_square, |i, _j| tall.rank_of(i % 4, 0), true).unwrap();
             let mut again = DistMatrix::zeros(&tall, 12, 8);
             for (i, j, v) in back {
                 again.local_mut()[(i / 4, j)] = v;

@@ -94,10 +94,10 @@ proptest! {
         let ok = Machine::new(p, MachineParams::unit())
             .run(move |comm| {
                 let mine: Vec<f64> = (0..words).map(|w| (comm.rank() * 1000 + w) as f64).collect();
-                let all = coll::allgather(comm, &mine);
+                let all = coll::allgather(comm, &mine).unwrap();
                 let start = comm.rank() * words;
                 let round_trip_ok = all[start..start + words] == mine[..];
-                let reduced = coll::allreduce(comm, &mine, coll::ReduceOp::Sum);
+                let reduced = coll::allreduce(comm, &mine, coll::ReduceOp::Sum).unwrap();
                 let expect: f64 = (0..comm.size()).map(|r| (r * 1000) as f64).sum();
                 let reduce_ok = (reduced[0] - expect).abs() < 1e-9;
                 round_trip_ok && reduce_ok
