@@ -154,6 +154,60 @@ fn bench_sparse_deep_dag(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sparse_oneshot(c: &mut Criterion) {
+    // One-shot solves: the analysis phase runs *inside* the timed region.
+    // Each iteration clones a never-analyzed master (cloning copies the
+    // O(nnz) arrays but the empty schedule caches), so the barriered
+    // policies pay their level/merge analysis plus their barriers per
+    // solve, while the sync-free column sweep pays only its CSC storage
+    // conversion — the workload `SolveOpts::reuse(1)` routes to
+    // `SchedulePolicy::SyncFree`.  The `merged_amortized` row keeps the
+    // analysis outside the timed region (the pre-analyzed many-apply
+    // steady state) for the one-shot-vs-amortized headline.
+    let mut group = c.benchmark_group("sparse_oneshot");
+    let n = 40_000usize;
+    let l = sparse::gen::deep_narrow_lower(n, 4, 4, 3);
+    let b = sparse::gen::rhs_vec(n, 4);
+    for (name, opts) in [
+        (
+            "level",
+            sparse::SolveOpts::new()
+                .threads(4)
+                .policy(sparse::SchedulePolicy::Level),
+        ),
+        (
+            "merged",
+            sparse::SolveOpts::new()
+                .threads(4)
+                .policy(sparse::SchedulePolicy::Merged),
+        ),
+        ("syncfree", sparse::SolveOpts::new().threads(4).reuse(1)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |bench, _| {
+            let mut x = vec![0.0; n];
+            bench.iter(|| {
+                let fresh = l.clone();
+                x.copy_from_slice(&b);
+                fresh.solve_with(&opts, &mut x).unwrap();
+            });
+        });
+    }
+    let analyzed = l.clone();
+    let _ = analyzed.schedule();
+    let _ = analyzed.merged_schedule();
+    group.bench_with_input(BenchmarkId::new("merged_amortized", n), &n, |bench, _| {
+        let opts = sparse::SolveOpts::new()
+            .threads(4)
+            .policy(sparse::SchedulePolicy::Merged);
+        let mut x = vec![0.0; n];
+        bench.iter(|| {
+            x.copy_from_slice(&b);
+            analyzed.solve_with(&opts, &mut x).unwrap();
+        });
+    });
+    group.finish();
+}
+
 fn bench_trsm(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_trsm");
     for n in [64usize, 128, 256] {
@@ -180,6 +234,6 @@ fn bench_tri_invert(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_gemm, bench_gemm_naive_vs_packed, bench_gemm_par, bench_sparse_solve, bench_sparse_deep_dag, bench_trsm, bench_tri_invert
+    targets = bench_gemm, bench_gemm_naive_vs_packed, bench_gemm_par, bench_sparse_solve, bench_sparse_deep_dag, bench_sparse_oneshot, bench_trsm, bench_tri_invert
 }
 criterion_main!(kernels);

@@ -10,6 +10,15 @@
 //! checksum, so the barrier-per-level and DAG-partitioned sparse executors
 //! must agree exactly.  The worker count and policy actually used are
 //! printed to stderr only, so stdout is comparable across runs.
+//!
+//! The sync-free executor (`SPARSE_POLICY=syncfree`) is bitwise
+//! reproducible only per *fixed* worker count, so CI diffs two identical
+//! sync-free runs per `DENSE_THREADS` setting against each other (not
+//! against the level baseline) and additionally runs the in-process
+//! `--syncfree-tolerance` mode, which solves the sparse workloads under
+//! both the level and sync-free policies and asserts they agree to 1e-12
+//! — plus bitwise self-consistency of two same-worker-count sync-free
+//! solves.
 
 use catrsm::{SchedulePolicy, SolveRequest};
 use dense::{gemm, gen, tri_invert, trsm_in_place, Diag, Matrix, Side, Triangle};
@@ -31,12 +40,13 @@ fn checksum(label: &str, m: &Matrix) -> String {
 }
 
 /// Sparse scheduling-policy pin from the `SPARSE_POLICY` environment
-/// variable: `level` / `merged` pin that executor, anything else (or
-/// unset) leaves the auto heuristic in charge.
+/// variable: `level` / `merged` / `syncfree` pin that executor, anything
+/// else (or unset) leaves the auto heuristic in charge.
 fn sparse_policy() -> Option<SchedulePolicy> {
     match std::env::var("SPARSE_POLICY").ok().as_deref() {
         Some("level") => Some(SchedulePolicy::Level),
         Some("merged") => Some(SchedulePolicy::Merged),
+        Some("syncfree") => Some(SchedulePolicy::SyncFree),
         _ => None,
     }
 }
@@ -49,7 +59,81 @@ fn with_policy(req: SolveRequest) -> SolveRequest {
     }
 }
 
+/// `--syncfree-tolerance`: solve the sparse workloads under the level and
+/// sync-free policies in-process and assert they agree to 1e-12 (the
+/// FP-reduction-order caveat: sync-free is not bitwise against the
+/// barriered executors), plus bitwise self-consistency of two sync-free
+/// solves at the same worker count.
+fn syncfree_tolerance_check() {
+    const TOL: f64 = 1e-12;
+    let max_abs_diff = |a: &[f64], b: &[f64]| -> f64 {
+        assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0_f64, f64::max)
+    };
+    let check = |label: &str, level: &[f64], syncfree: &[f64], again: &[f64]| {
+        let diff = max_abs_diff(level, syncfree);
+        assert!(
+            diff < TOL,
+            "{label}: sync-free diverged from level by {diff:e} (tolerance {TOL:e})"
+        );
+        assert!(
+            syncfree == again,
+            "{label}: two same-worker-count sync-free solves must be bitwise equal"
+        );
+        println!("{label}: syncfree within {TOL:e} of level (max diff {diff:e})");
+    };
+
+    let sl = sparse::gen::random_lower(40_000, 12, 31);
+    let sb = sparse::gen::rhs_vec(40_000, 32);
+    let dl = sparse::gen::deep_narrow_lower(40_000, 4, 4, 35);
+    let db = sparse::gen::rhs_vec(40_000, 36);
+    let solve = |m: &sparse::SparseTri, b: &[f64], policy: SchedulePolicy, transposed: bool| {
+        let mut req = SolveRequest::lower().threads(4).policy(policy);
+        if transposed {
+            req = req.transposed();
+        }
+        req.solve_sparse_vec(m, b).unwrap().x
+    };
+    for (label, m, b, transposed) in [
+        ("sparse_solve_40000x12", &sl, &sb, false),
+        ("sparse_solve_t_40000x12", &sl, &sb, true),
+        ("sparse_deep_dag_40000w4", &dl, &db, false),
+    ] {
+        check(
+            label,
+            &solve(m, b, SchedulePolicy::Level, transposed),
+            &solve(m, b, SchedulePolicy::SyncFree, transposed),
+            &solve(m, b, SchedulePolicy::SyncFree, transposed),
+        );
+    }
+
+    let sbm = Matrix::from_fn(8_000, 8, |i, j| ((i * 7 + j * 3) % 17) as f64 - 8.0);
+    let su = sparse::gen::random_upper(8_000, 10, 33);
+    let multi = |policy: SchedulePolicy| {
+        SolveRequest::upper()
+            .threads(4)
+            .policy(policy)
+            .solve_sparse(&su, &sbm)
+            .unwrap()
+            .x
+    };
+    check(
+        "sparse_solve_multi_upper_8000x8",
+        multi(SchedulePolicy::Level).as_slice(),
+        multi(SchedulePolicy::SyncFree).as_slice(),
+        multi(SchedulePolicy::SyncFree).as_slice(),
+    );
+    eprintln!("syncfree tolerance check passed");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--syncfree-tolerance") {
+        syncfree_tolerance_check();
+        return;
+    }
     eprintln!("dense worker count: {}", dense::dense_threads());
     eprintln!(
         "sparse policy: {}",

@@ -292,8 +292,7 @@ pub fn it_inv_trsm(
         let diag_flat = if z == 0 {
             diag_t_face
                 .as_ref()
-                .ok_or_else(|| internal_error("it_inv_trsm", "face rank holds no diag blocks"))?
-                [i]
+                .ok_or_else(|| internal_error("it_inv_trsm", "face rank holds no diag blocks"))?[i]
                 .as_slice()
                 .to_vec()
         } else {

@@ -70,6 +70,7 @@ pub struct SolveRequest {
     opts: SolveOpts,
     threads: Option<usize>,
     policy: Option<SchedulePolicy>,
+    reuse: Option<usize>,
     algorithm: Option<Algorithm>,
     residual: bool,
 }
@@ -81,6 +82,7 @@ impl SolveRequest {
             opts: SolveOpts::new(triangle),
             threads: None,
             policy: None,
+            reuse: None,
             algorithm: None,
             residual: false,
         }
@@ -132,22 +134,41 @@ impl SolveRequest {
     }
 
     /// Pin the worker budget of the sparse executor (bypassing its
-    /// `PAR_MIN_WORK` gate).  Results are bitwise identical for every
-    /// value; dense GEMM threading remains governed by `DENSE_THREADS`.
+    /// `PAR_MIN_WORK` gate).  The barriered policies stay bitwise
+    /// identical for every value; the sync-free policy is bitwise
+    /// reproducible only per *fixed* worker count.  Dense GEMM threading
+    /// remains governed by `DENSE_THREADS`.
     pub fn threads(mut self, threads: usize) -> SolveRequest {
         self.threads = Some(threads);
         self
     }
 
     /// Pin the sparse scheduling policy ([`SchedulePolicy::Level`] —
-    /// barrier-per-level sweeps — or [`SchedulePolicy::Merged`] — the
-    /// DAG-partitioned super-level executor with point-to-point readiness).
-    /// Without a pin, `SchedulePolicy::auto` chooses from the cached
-    /// level-shape statistics at planning time; the resolved choice and its
-    /// predicted barrier count are recorded on the [`Plan`].  Results are
-    /// bitwise identical under either policy.
+    /// barrier-per-level sweeps — [`SchedulePolicy::Merged`] — the
+    /// DAG-partitioned super-level executor with point-to-point readiness
+    /// — or [`SchedulePolicy::SyncFree`] — the analysis-free CSC column
+    /// sweep with zero barriers).  Without a pin, `SchedulePolicy::auto`
+    /// chooses from the cached level-shape statistics and the declared
+    /// [`SolveRequest::reuse`] at planning time; the resolved choice and
+    /// its predicted barrier count are recorded on the [`Plan`].  The two
+    /// barriered policies are bitwise identical to each other; sync-free
+    /// matches them to rounding (~1e-12), bitwise only per fixed worker
+    /// count.
     pub fn policy(mut self, policy: SchedulePolicy) -> SolveRequest {
         self.policy = Some(policy);
+        self
+    }
+
+    /// Declare how many times this triangular factor will be applied
+    /// (sparse backend only).  One analysis pays for `reuse` solves: a
+    /// one-shot solve (`reuse(1)`) steers `SchedulePolicy::auto` to the
+    /// analysis-free sync-free executor and prices the plan's cost with
+    /// the analysis term amortized over one apply, while a large reuse
+    /// keeps the barriered schedules, whose analysis amortizes away.
+    /// Without a declaration the request keeps the historical many-apply
+    /// behavior.  Ignored when [`SolveRequest::policy`] pins a policy.
+    pub fn reuse(mut self, reuse: usize) -> SolveRequest {
+        self.reuse = Some(reuse);
         self
     }
 
@@ -204,6 +225,7 @@ impl SolveRequest {
             opts: self.opts,
             threads: self.threads,
             policy: self.policy,
+            reuse: self.reuse,
             residual: self.residual,
             predicted_flops: trsm_flops(n, k),
             predicted_cost: None,
@@ -251,23 +273,48 @@ impl SolveRequest {
         }
         let sopts = self.sparse_opts();
         let shape = a.execution_shape(&sopts, k);
+        let nnz = a.nnz() as f64;
+        let kf = k as f64;
+        // The synchronization term prices the barriers this plan will
+        // actually cross — super-levels under the merged policy, levels
+        // under the pure level schedule, none under sync-free.  A declared
+        // reuse additionally amortizes the resolved policy's analysis bill
+        // (~nnz flops for the level pass, ~2·nnz for level + merge, zero
+        // for sync-free, whose per-apply handshakes bill nnz·k sync words
+        // instead) over that many applies.
+        let predicted_cost = Some(match self.reuse {
+            None => {
+                costmodel::sparse_solve_cost(nnz, kf, shape.barriers as f64, shape.workers as f64)
+            }
+            Some(r) => {
+                let (analysis_flops, sync_words) = match shape.policy {
+                    SchedulePolicy::SyncFree => (0.0, nnz * kf),
+                    // A sequential sweep never analyzes the pattern.
+                    _ if shape.levels == 0 => (0.0, 0.0),
+                    SchedulePolicy::Level => (nnz, 0.0),
+                    SchedulePolicy::Merged => (2.0 * nnz, 0.0),
+                };
+                costmodel::sparse_solve_cost_amortized(
+                    nnz,
+                    kf,
+                    shape.barriers as f64,
+                    shape.workers as f64,
+                    analysis_flops,
+                    sync_words,
+                    r as f64,
+                )
+            }
+        });
         Ok(Plan {
             n: a.n(),
             k,
             opts: self.opts,
             threads: self.threads,
             policy: self.policy,
+            reuse: self.reuse,
             residual: self.residual,
             predicted_flops: a.solve_flops(k),
-            // The synchronization term prices the barriers this plan will
-            // actually cross — super-levels under the merged policy, levels
-            // under the pure level schedule.
-            predicted_cost: Some(costmodel::sparse_solve_cost(
-                a.nnz() as f64,
-                k as f64,
-                shape.barriers as f64,
-                shape.workers as f64,
-            )),
+            predicted_cost,
             regime: None,
             backend: PlanBackend::Sparse {
                 workers: shape.workers,
@@ -320,6 +367,7 @@ impl SolveRequest {
             opts: self.opts,
             threads: self.threads,
             policy: self.policy,
+            reuse: self.reuse,
             residual: self.residual,
             predicted_flops: FlopCount::new(predicted.flops.round() as u64),
             predicted_cost: Some(predicted),
@@ -378,6 +426,9 @@ impl SolveRequest {
         if let Some(p) = self.policy {
             o = o.policy(p);
         }
+        if let Some(r) = self.reuse {
+            o = o.reuse(r);
+        }
         o
     }
 }
@@ -397,23 +448,25 @@ pub enum PlanBackend {
         /// Panel width of the blocked substitution.
         block: usize,
     },
-    /// Level-scheduled / DAG-partitioned sparse executor.
+    /// Level-scheduled / DAG-partitioned / sync-free sparse executor.
     Sparse {
         /// Workers the executor will run with (1 = sequential sweep, which
         /// needs no analysis).
         workers: usize,
         /// The resolved scheduling policy (a pinned request, or
         /// `SchedulePolicy::auto`'s choice from the level-shape
-        /// statistics).
+        /// statistics and the declared reuse).
         policy: SchedulePolicy,
         /// Dependency levels of the schedule (0 when the solve stays
-        /// sequential and the pattern is never analyzed).
+        /// sequential or runs sync-free and the pattern is never
+        /// analyzed).
         levels: usize,
         /// Super-levels of the merged schedule (0 unless the merged policy
         /// runs).
         super_levels: usize,
         /// Barriers the executor will cross: `levels` under the level
-        /// policy, `super_levels` under the merged one.
+        /// policy, `super_levels` under the merged one, 0 under the
+        /// sync-free column sweep.
         predicted_barriers: usize,
         /// Rows in the widest level (the level executor's parallelism
         /// ceiling).
@@ -451,12 +504,16 @@ pub struct Plan {
     pub predicted_flops: FlopCount,
     /// Predicted α–β–γ critical-path cost (distributed plans, and sparse
     /// plans — whose latency term counts the barriers the resolved policy
-    /// will cross, via `costmodel::sparse_solve_cost`).
+    /// will cross, via `costmodel::sparse_solve_cost`; with a declared
+    /// [`SolveRequest::reuse`], via
+    /// `costmodel::sparse_solve_cost_amortized`, which adds the resolved
+    /// policy's analysis bill amortized over that many applies).
     pub predicted_cost: Option<Cost>,
     /// The Section VIII regime (distributed plans only).
     pub regime: Option<Regime>,
     threads: Option<usize>,
     policy: Option<SchedulePolicy>,
+    reuse: Option<usize>,
     residual: bool,
 }
 
@@ -466,10 +523,15 @@ impl Plan {
         match &self.backend {
             PlanBackend::Dense { .. } => "dense blocked substitution",
             PlanBackend::Sparse {
+                policy: SchedulePolicy::SyncFree,
+                ..
+            } => "sparse sync-free column sweep",
+            PlanBackend::Sparse {
                 workers, policy, ..
             } if *workers > 1 => match policy {
                 SchedulePolicy::Level => "sparse level-scheduled parallel sweep",
                 SchedulePolicy::Merged => "sparse DAG-partitioned parallel sweep",
+                SchedulePolicy::SyncFree => unreachable!("matched above"),
             },
             PlanBackend::Sparse { .. } => "sparse sequential sweep",
             PlanBackend::Distributed { algorithm, .. } => match algorithm {
@@ -489,6 +551,9 @@ impl Plan {
         }
         if let Some(p) = self.policy {
             o = o.policy(p);
+        }
+        if let Some(r) = self.reuse {
+            o = o.reuse(r);
         }
         o
     }
@@ -787,14 +852,16 @@ pub struct LevelReport {
     /// [`SchedulePolicy::Level`] for the sequential sweep).
     pub policy: SchedulePolicy,
     /// Dependency levels of the schedule (0 for the analysis-free
-    /// sequential sweep).
+    /// sequential and sync-free sweeps).
     pub levels: usize,
     /// Super-levels of the merged schedule (0 unless the merged policy
     /// ran).
     pub super_levels: usize,
     /// Barriers each worker actually waited on: one per level under the
     /// level policy, one per *super-level* under the merged policy — the
-    /// headline the DAG-partitioned schedule moves on deep narrow DAGs.
+    /// headline the DAG-partitioned schedule moves on deep narrow DAGs —
+    /// and **zero** under the sync-free column sweep, whose workers
+    /// coordinate only through per-row atomic counters.
     pub barriers: usize,
 }
 
@@ -1114,6 +1181,9 @@ mod tests {
                 assert_eq!(super_levels, 0);
             }
             SchedulePolicy::Merged => assert_eq!(predicted_barriers, super_levels),
+            SchedulePolicy::SyncFree => {
+                panic!("an undeclared-reuse plan must keep a barriered policy")
+            }
         }
         let cost = plan.predicted_cost.expect("sparse plans carry a cost");
         assert!(cost.latency > 0.0 && cost.flops > 0.0);
@@ -1227,6 +1297,87 @@ mod tests {
             .side(Side::Right)
             .plan_sparse(&m, 1)
             .is_err());
+    }
+
+    #[test]
+    fn one_shot_reuse_plans_syncfree_with_zero_barriers() {
+        // A declared one-shot solve must lower to the sync-free column
+        // sweep on both a random fill and a deep narrow DAG: zero levels,
+        // zero barriers in the plan *and* the measured report, no
+        // analysis ever run, and an answer matching the level-scheduled
+        // executor to rounding.
+        for m in [
+            sgen::random_lower(20_000, 8, 71),
+            sgen::deep_narrow_lower(20_000, 4, 3, 72),
+        ] {
+            let b = sgen::rhs_vec(m.n(), 73);
+            let plan = SolveRequest::lower()
+                .threads(4)
+                .reuse(1)
+                .plan_sparse(&m, 1)
+                .unwrap();
+            let PlanBackend::Sparse {
+                workers,
+                policy,
+                levels,
+                super_levels,
+                predicted_barriers,
+                ..
+            } = plan.backend
+            else {
+                panic!("expected a sparse plan");
+            };
+            assert_eq!(policy, SchedulePolicy::SyncFree);
+            assert!(workers > 1, "a pinned budget of 4 must parallelize");
+            assert_eq!(levels, 0);
+            assert_eq!(super_levels, 0);
+            assert_eq!(predicted_barriers, 0);
+            assert_eq!(plan.algorithm_name(), "sparse sync-free column sweep");
+            let cost = plan.predicted_cost.expect("sparse plans carry a cost");
+            assert_eq!(cost.latency, 0.0, "zero barriers price zero latency");
+            assert!(cost.bandwidth > 0.0, "sync words are billed instead");
+            let sol = plan.execute_sparse_vec(&m, &b).unwrap();
+            let lr = sol.report.levels.unwrap();
+            assert_eq!(lr.policy, SchedulePolicy::SyncFree);
+            assert_eq!(lr.barriers, 0, "sync-free execution crosses no barrier");
+            assert_eq!(lr.levels, 0);
+            assert_eq!(sol.report.algorithm, "sparse sync-free column sweep");
+            assert_eq!(m.analysis_count(), 0, "one-shot plans never analyze");
+            assert_eq!(m.merged_analysis_count(), 0);
+            // The answer matches the barriered executor to rounding.
+            let reference = SolveRequest::lower()
+                .threads(4)
+                .policy(SchedulePolicy::Level)
+                .solve_sparse_vec(&m, &b)
+                .unwrap();
+            let max_diff = sol
+                .x
+                .iter()
+                .zip(&reference.x)
+                .map(|(got, want)| (got - want).abs())
+                .fold(0.0_f64, f64::max);
+            assert!(max_diff < 1e-12, "sync-free vs level: {max_diff}");
+        }
+        // A declared 100-apply loop amortizes the analysis and keeps the
+        // barriered merged schedule on the barrier-sensitive deep DAG.
+        let m = sgen::deep_narrow_lower(20_000, 4, 3, 72);
+        let plan = SolveRequest::lower()
+            .threads(4)
+            .reuse(100)
+            .plan_sparse(&m, 1)
+            .unwrap();
+        let PlanBackend::Sparse {
+            policy,
+            predicted_barriers,
+            ..
+        } = plan.backend
+        else {
+            panic!("expected a sparse plan");
+        };
+        assert_eq!(policy, SchedulePolicy::Merged);
+        assert!(predicted_barriers > 0);
+        let cost = plan.predicted_cost.unwrap();
+        assert!(cost.latency > 0.0, "barriered plans bill their barriers");
     }
 
     #[test]
@@ -1465,7 +1616,10 @@ mod tests {
         for (err, repeat_diff, overlays) in out.results {
             assert!(err < 1e-8, "{err}");
             assert_eq!(repeat_diff, 0.0, "repeated solves must be bitwise equal");
-            assert_eq!(overlays, 1, "unit overlay must be built once, not per solve");
+            assert_eq!(
+                overlays, 1,
+                "unit overlay must be built once, not per solve"
+            );
         }
     }
 

@@ -37,5 +37,7 @@ pub mod rec_trsm;
 pub mod tuning;
 
 pub use cost::{Cost, Machine};
-pub use predict::{sparse_solve_cost, trsm_cost as predict_trsm_cost, AlgorithmKind};
+pub use predict::{
+    sparse_solve_cost, sparse_solve_cost_amortized, trsm_cost as predict_trsm_cost, AlgorithmKind,
+};
 pub use tuning::{plan, Regime, TrsmPlan};

@@ -89,6 +89,40 @@ pub fn sparse_solve_cost(nnz: f64, k: f64, barriers: f64, workers: f64) -> Cost 
     }
 }
 
+/// [`sparse_solve_cost`] with the **analysis phase amortized over the
+/// declared reuse** — the per-apply cost of a policy that spends
+/// `analysis_flops` once and is then applied `reuse` times.
+///
+/// This is what lets a planner price analyze-cost-vs-reuse across the three
+/// scheduling policies: the level schedule spends ~`nnz` analysis flops
+/// (one pattern pass), the merged schedule ~`2·nnz` (level pass + merge
+/// pass), and the sync-free column sweep **zero** — so on a one-shot solve
+/// (`reuse = 1`) the sync-free policy wins on the amortized-analysis term,
+/// while a 100-apply loop shrinks that term 100× and the barriered
+/// schedules win back through their smaller per-apply synchronization.
+/// `sync_words` charges the per-apply cross-worker synchronization traffic
+/// to the bandwidth term: `barriers · k` words for the barriered policies
+/// (already what [`sparse_solve_cost`] charges), `nnz · k` for the
+/// sync-free sweep, whose per-row counter/partial-sum handshakes touch
+/// every stored entry's contribution.
+pub fn sparse_solve_cost_amortized(
+    nnz: f64,
+    k: f64,
+    barriers: f64,
+    workers: f64,
+    analysis_flops: f64,
+    sync_words: f64,
+    reuse: f64,
+) -> Cost {
+    let p = workers.max(1.0);
+    let r = reuse.max(1.0);
+    Cost {
+        latency: barriers * log2c(p),
+        bandwidth: barriers * k + sync_words,
+        flops: 2.0 * nnz * k / p + analysis_flops / r,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +193,45 @@ mod tests {
         let wide = sparse_solve_cost(nnz, k, 50.0, 16.0);
         assert!(wide.flops < merged.flops);
         assert!(wide.latency > merged.latency);
+    }
+
+    #[test]
+    fn amortized_cost_prices_one_shot_syncfree_and_reused_merged() {
+        use crate::cost::Machine;
+        // The deep-DAG workload from the kernels bench: nnz ≈ 160k, one
+        // RHS, 4 workers; 10k level barriers, ~50 merged barriers, zero
+        // sync-free barriers.  Analysis: ~nnz flops for the level pass,
+        // ~2·nnz for level + merge, zero for sync-free; per-apply sync
+        // traffic: nnz·k words of counter/partial-sum handshakes for
+        // sync-free, already in `barriers·k` for the barriered policies.
+        let (nnz, k, p) = (160_000.0, 1.0, 4.0);
+        let price = |barriers: f64, analysis: f64, sync_words: f64, reuse: f64| {
+            sparse_solve_cost_amortized(nnz, k, barriers, p, analysis, sync_words, reuse)
+                .time(&Machine::unit())
+        };
+        let level = price(10_000.0, nnz, 0.0, 1.0);
+        let merged = price(50.0, 2.0 * nnz, 0.0, 1.0);
+        let syncfree = price(0.0, 0.0, nnz * k, 1.0);
+        assert!(
+            syncfree < merged && syncfree < level,
+            "one-shot: sync-free must be cheapest \
+             ({syncfree} vs merged {merged} vs level {level})"
+        );
+        let level = price(10_000.0, nnz, 0.0, 100.0);
+        let merged = price(50.0, 2.0 * nnz, 0.0, 100.0);
+        let syncfree = price(0.0, 0.0, nnz * k, 100.0);
+        assert!(
+            merged < syncfree && merged < level,
+            "100-apply: merged must be cheapest \
+             ({merged} vs syncfree {syncfree} vs level {level})"
+        );
+        // With reuse 1 the amortized barriered cost reduces to the plain
+        // formula plus the full analysis bill.
+        let plain = sparse_solve_cost(nnz, k, 50.0, p);
+        let amortized = sparse_solve_cost_amortized(nnz, k, 50.0, p, 2.0 * nnz, 0.0, 1.0);
+        assert_eq!(amortized.latency, plain.latency);
+        assert_eq!(amortized.bandwidth, plain.bandwidth);
+        assert_eq!(amortized.flops, plain.flops + 2.0 * nnz);
     }
 
     #[test]

@@ -1215,9 +1215,7 @@ mod tests {
         // Off by default: the solve runs (and propagates the NaN).
         assert!(trsm(Triangle::Lower, Diag::NonUnit, &l, &b).is_ok());
         match trsm_opts(&SolveOpts::lower().validate_finite(), &l, &b) {
-            Err(DenseError::NonFiniteEntry {
-                operand, index, ..
-            }) => {
+            Err(DenseError::NonFiniteEntry { operand, index, .. }) => {
                 assert_eq!(operand, "matrix");
                 assert_eq!(index, (4, 2));
             }

@@ -252,9 +252,12 @@ impl DistMatrix {
             }
         }
         self.unit_overlays.fetch_add(1, Ordering::Relaxed);
-        let _ = self
-            .unit_diag_cache
-            .set(Box::new(DistMatrix::wrap(self.grid.clone(), self.rows, self.cols, local)));
+        let _ = self.unit_diag_cache.set(Box::new(DistMatrix::wrap(
+            self.grid.clone(),
+            self.rows,
+            self.cols,
+            local,
+        )));
         self.unit_diag_cache
             .get()
             .expect("cache populated on the line above")
@@ -309,11 +312,10 @@ impl DistMatrix {
             if lr == 0 || lc == 0 {
                 continue;
             }
-            let block =
-                Matrix::from_vec(lr, lc, piece).map_err(|e| GridError::BadDimensions {
-                    op: "to_global",
-                    reason: e.to_string(),
-                })?;
+            let block = Matrix::from_vec(lr, lc, piece).map_err(|e| GridError::BadDimensions {
+                op: "to_global",
+                reason: e.to_string(),
+            })?;
             out.set_strided_block(x, self.grid.rows(), y, self.grid.cols(), &block);
         }
         Ok(out)
@@ -647,15 +649,14 @@ mod tests {
             let cached = u1 == u2 && a.unit_overlay_count() == 1;
             // A clone carries the cache without recomputing.
             let c = a.clone();
-            let clone_cached =
-                c.unit_diagonal().to_global() == g && c.unit_overlay_count() == 0;
+            let clone_cached = c.unit_diagonal().to_global() == g && c.unit_overlay_count() == 0;
             // Mutation invalidates: off-diagonal edits show through.
             let mut m = a.clone();
             let gi = m.global_row(0);
             let gj = m.global_col(0);
             m.local_mut()[(0, 0)] = 99.0;
-            let refreshed = m.unit_diagonal().to_global()[(gi, gj)]
-                == if gi == gj { 1.0 } else { 99.0 };
+            let refreshed =
+                m.unit_diagonal().to_global()[(gi, gj)] == if gi == gj { 1.0 } else { 99.0 };
             correct && cached && clone_cached && refreshed
         });
         assert!(results.into_iter().all(|v| v));

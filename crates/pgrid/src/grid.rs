@@ -257,9 +257,11 @@ mod tests {
             .run(|comm| {
                 let g = Grid2D::new(comm, 3, 4).unwrap();
                 let row_sum =
-                    coll::allreduce(&g.row_comm(), &[comm.rank() as f64], coll::ReduceOp::Sum).unwrap()[0];
+                    coll::allreduce(&g.row_comm(), &[comm.rank() as f64], coll::ReduceOp::Sum)
+                        .unwrap()[0];
                 let col_sum =
-                    coll::allreduce(&g.col_comm(), &[comm.rank() as f64], coll::ReduceOp::Sum).unwrap()[0];
+                    coll::allreduce(&g.col_comm(), &[comm.rank() as f64], coll::ReduceOp::Sum)
+                        .unwrap()[0];
                 (row_sum, col_sum)
             })
             .unwrap();

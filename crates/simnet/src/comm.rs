@@ -229,7 +229,12 @@ impl Endpoint {
         // FIFO order — which the receive matching relies on — is preserved;
         // reordering therefore only shuffles arrival order across streams,
         // exactly like a real network.
-        let held_prev = self.faults.as_mut().expect("fault state present").held.take();
+        let held_prev = self
+            .faults
+            .as_mut()
+            .expect("fault state present")
+            .held
+            .take();
         let same_stream = held_prev
             .as_ref()
             .is_some_and(|(d, h)| *d == world_dest && h.context == context && h.tag == tag);
@@ -240,8 +245,7 @@ impl Endpoint {
             let (hd, he) = held_prev.expect("held envelope present");
             deliver(self, hd, he);
             if sf.reorder {
-                self.faults.as_mut().expect("fault state present").held =
-                    Some((world_dest, env));
+                self.faults.as_mut().expect("fault state present").held = Some((world_dest, env));
             } else {
                 // A duplicated delivery is a network artifact: it costs the
                 // sender no model time and is suppressed by seq-number dedup

@@ -228,7 +228,8 @@ impl FaultInjector {
     pub fn new(plan: &FaultPlan, world_rank: usize) -> Self {
         // Decorrelate per-rank streams: mix the rank into the seed through
         // one SplitMix64 step (a common stream-splitting idiom).
-        let mut seeder = SplitMix64::new(plan.seed ^ (world_rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut seeder =
+            SplitMix64::new(plan.seed ^ (world_rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let rng = SplitMix64::new(seeder.next_u64());
         let crash_after = plan
             .crashes

@@ -445,9 +445,9 @@ mod tests {
             .unwrap();
         // Every rank observed a typed failure rooted at rank 2.
         for (rank, res) in out.results.iter().enumerate() {
-            let err = res.as_ref().unwrap_or_else(|| {
-                panic!("rank {rank} finished cleanly despite the crash")
-            });
+            let err = res
+                .as_ref()
+                .unwrap_or_else(|| panic!("rank {rank} finished cleanly despite the crash"));
             assert!(
                 matches!(err, SimError::RankFailure { rank: 2 }),
                 "rank {rank} got {err:?}"

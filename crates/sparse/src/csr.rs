@@ -14,6 +14,7 @@
 //! at most once per matrix and reused across every subsequent solve, which
 //! is the access pattern of preconditioner applies inside iterative solvers.
 
+use crate::csc::SparseTriCsc;
 use crate::error::SparseError;
 use crate::schedule::{MergedSchedule, Schedule};
 use crate::Result;
@@ -59,6 +60,9 @@ pub struct SparseTri {
     /// per matrix so repeated `Aᵀ·x = b` solves reuse both the transposed
     /// CSR arrays and the schedule cached on them.
     transpose_cache: OnceLock<Box<SparseTri>>,
+    /// Lazily computed CSC mirror (see [`SparseTri::csc`]): built once per
+    /// matrix so repeated sync-free solves reuse the column-major arrays.
+    csc_cache: OnceLock<Box<SparseTriCsc>>,
 }
 
 impl SparseTri {
@@ -250,6 +254,7 @@ impl SparseTri {
             analyses: AtomicUsize::new(0),
             merged_analyses: AtomicUsize::new(0),
             transpose_cache: OnceLock::new(),
+            csc_cache: OnceLock::new(),
         })
     }
 
@@ -405,6 +410,7 @@ impl SparseTri {
             analyses: AtomicUsize::new(0),
             merged_analyses: AtomicUsize::new(0),
             transpose_cache: OnceLock::new(),
+            csc_cache: OnceLock::new(),
         }
     }
 
@@ -419,6 +425,19 @@ impl SparseTri {
     pub fn transposed(&self) -> &SparseTri {
         self.transpose_cache
             .get_or_init(|| Box::new(self.transpose()))
+    }
+
+    /// The cached CSC mirror of this matrix, built on first use (one O(nnz)
+    /// counting sort) and reused for the lifetime of the matrix.
+    ///
+    /// This is what the sync-free executor
+    /// ([`crate::SchedulePolicy::SyncFree`]) sweeps.  It is a storage
+    /// conversion, not a dependency analysis — building it does not bump
+    /// [`SparseTri::analysis_count`], and one-shot sync-free solves stay
+    /// genuinely analysis-free.
+    pub fn csc(&self) -> &SparseTriCsc {
+        self.csc_cache
+            .get_or_init(|| Box::new(SparseTriCsc::from_csr(self)))
     }
 }
 
@@ -440,6 +459,7 @@ impl Clone for SparseTri {
             analyses: AtomicUsize::new(0),
             merged_analyses: AtomicUsize::new(0),
             transpose_cache: self.transpose_cache.clone(),
+            csc_cache: self.csc_cache.clone(),
         }
     }
 }
@@ -673,6 +693,20 @@ mod tests {
         let _ = m.transposed().schedule();
         let _ = m.transposed().schedule();
         assert_eq!(m.transposed().analysis_count(), 1);
+    }
+
+    #[test]
+    fn csc_mirror_is_cached_and_does_not_count_as_analysis() {
+        let m = small_lower();
+        let c1 = m.csc() as *const SparseTriCsc;
+        let c2 = m.csc() as *const SparseTriCsc;
+        assert_eq!(c1, c2, "CSC mirror must be built once and cached");
+        assert_eq!(m.csc().to_dense(), m.to_dense());
+        assert_eq!(
+            m.analysis_count(),
+            0,
+            "building the CSC mirror is storage conversion, not analysis"
+        );
     }
 
     #[test]

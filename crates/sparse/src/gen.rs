@@ -7,6 +7,7 @@
 //! reproducible per `(n, parameters, seed)` tuple — the determinism CI job
 //! hashes solves of these matrices across `DENSE_THREADS` settings.
 
+use crate::csc::SparseTriCsc;
 use crate::csr::SparseTri;
 use dense::{Diag, Triangle};
 use rand::rngs::StdRng;
@@ -112,6 +113,27 @@ pub fn random_upper(n: usize, fill: usize, seed: u64) -> SparseTri {
     random_lower(n, fill, seed).transpose()
 }
 
+/// [`random_lower`] built directly in CSC form — the same matrix per
+/// `(n, fill, seed)` tuple, constructed through
+/// [`SparseTriCsc::from_triplets`] (row-major generation order, so the
+/// constructor's column-major sort is genuinely exercised).
+///
+/// This is the sync-free executor's native test input; `to_csr()` of the
+/// result equals [`random_lower`] exactly.
+pub fn random_lower_csc(n: usize, fill: usize, seed: u64) -> SparseTriCsc {
+    let csr = random_lower(n, fill, seed);
+    let mut ents: Vec<(usize, usize, f64)> = Vec::with_capacity(csr.nnz());
+    for i in 0..n {
+        ents.push((i, i, csr.diag_value(i)));
+        let (cols, vals) = csr.row_entries(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            ents.push((i, j, v));
+        }
+    }
+    SparseTriCsc::from_triplets(n, Triangle::Lower, Diag::NonUnit, &ents)
+        .expect("random_lower_csc: generated structure is valid by construction")
+}
+
 /// A right-hand-side vector with `O(1)` entries, matching `dense::gen::rhs`
 /// seeding conventions.
 pub fn rhs_vec(n: usize, seed: u64) -> Vec<f64> {
@@ -182,6 +204,15 @@ mod tests {
             m.to_dense(),
             deep_narrow_lower(n, width, deps, 2).to_dense()
         );
+    }
+
+    #[test]
+    fn random_lower_csc_matches_the_csr_generator() {
+        let csc = random_lower_csc(150, 5, 13);
+        let csr = random_lower(150, 5, 13);
+        assert_eq!(csc.to_dense(), csr.to_dense());
+        assert_eq!(csc.nnz(), csr.nnz());
+        assert_eq!(csc.to_csr().to_dense(), csr.to_dense());
     }
 
     #[test]

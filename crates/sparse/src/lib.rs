@@ -31,9 +31,15 @@
 //!   workers): barrier-separated level sweeps under
 //!   [`SchedulePolicy::Level`], super-level sweeps with per-row
 //!   point-to-point readiness under [`SchedulePolicy::Merged`]
-//!   (auto-chosen from the level-shape statistics, pinnable through
-//!   [`SolveOpts::policy`]) — **bitwise identical** at every worker count
-//!   and under either policy;
+//!   (auto-chosen from the level-shape statistics and the declared
+//!   [`SolveOpts::reuse`], pinnable through [`SolveOpts::policy`]) —
+//!   **bitwise identical** at every worker count and under either policy;
+//! * [`SparseTriCsc`] — validated CSC storage (the cached
+//!   [`SparseTri::csc`] mirror) and the **sync-free** executor behind
+//!   [`SchedulePolicy::SyncFree`]: an analysis-free column sweep with
+//!   per-row atomic in-degree counters, zero levels and zero barriers —
+//!   the one-shot-solve fast path, bitwise reproducible per fixed worker
+//!   count (not across worker counts; see [`csc`] for the caveat);
 //! * [`gen`] — seeded generators for tests and benches.
 //!
 //! Every solve reports a [`dense::FlopCount`] under the dense crate's
@@ -58,15 +64,17 @@
 //! l.solve_with(&SolveOpts::new().transposed(), &mut xt).unwrap(); // Lᵀ·x = b
 //! ```
 
+pub mod csc;
 pub mod csr;
 pub mod error;
 pub mod gen;
 pub mod schedule;
 pub mod solve;
 
+pub use csc::SparseTriCsc;
 pub use csr::SparseTri;
 pub use error::SparseError;
-pub use schedule::{MergedSchedule, Schedule, SchedulePolicy, SUPER_MIN_WEIGHT};
+pub use schedule::{MergedSchedule, Schedule, SchedulePolicy, ANALYZE_REUSE_MIN, SUPER_MIN_WEIGHT};
 pub use solve::{ExecutionShape, SolveOpts, PAR_MIN_WORK};
 
 /// Result alias used throughout the crate.

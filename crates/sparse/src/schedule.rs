@@ -179,11 +179,18 @@ impl Schedule {
 ///   levels merged into super-levels that clear [`SUPER_MIN_WEIGHT`], one
 ///   barrier per *super-level*, and per-row point-to-point readiness flags
 ///   inside each super-level.
+/// * [`SchedulePolicy::SyncFree`] — the analysis-free CSC column sweep
+///   (Liu et al., Euro-Par'16): per-row atomic in-degree counters and
+///   per-worker partial-sum accumulators, **zero** levels, **zero**
+///   barriers.  Runs on the cached CSC mirror of the matrix.
 ///
-/// Both executors are **bitwise identical** to the sequential sweep (and to
-/// each other) at every worker count; the policy is purely a
-/// synchronization-overhead knob.  Callers normally leave the choice to
-/// [`SchedulePolicy::auto`] via `SolveOpts::policy(None)`.
+/// The two barriered executors are **bitwise identical** to the sequential
+/// sweep (and to each other) at every worker count.  The sync-free executor
+/// is bitwise reproducible only *per fixed worker count* — changing the
+/// worker count re-associates its per-row floating-point reductions, so it
+/// agrees with the others to rounding (1e-12 in the test suites), not
+/// bitwise.  Callers normally leave the choice to [`SchedulePolicy::auto`]
+/// via `SolveOpts::policy(None)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulePolicy {
     /// Barrier-separated level sweeps (one barrier per dependency level).
@@ -191,30 +198,47 @@ pub enum SchedulePolicy {
     /// Merged super-levels with point-to-point readiness inside each
     /// (one barrier per super-level).
     Merged,
+    /// Analysis-free sync-free CSC column sweep (no levels, no barriers;
+    /// deterministic per fixed worker count only).
+    SyncFree,
 }
 
 impl SchedulePolicy {
-    /// Stable lower-case name (`"level"` / `"merged"`), used by reports,
-    /// bench labels and the `SPARSE_POLICY` CI knob.
+    /// Stable lower-case name (`"level"` / `"merged"` / `"syncfree"`), used
+    /// by reports, bench labels and the `SPARSE_POLICY` CI knob.
     pub fn name(&self) -> &'static str {
         match self {
             SchedulePolicy::Level => "level",
             SchedulePolicy::Merged => "merged",
+            SchedulePolicy::SyncFree => "syncfree",
         }
     }
 
-    /// Picks the executor from the level-shape statistics: the merged
-    /// schedule pays when there are many levels to merge
-    /// ([`MERGE_MIN_LEVELS`]) and they are skinny relative to the worker
-    /// count (mean width below `workers ·` [`MERGE_WIDTH_FACTOR`] — wide
-    /// levels amortize their barrier over lots of parallel rows, skinny
-    /// ones do not).  Fully sequential patterns (an unbroken chain) stay on
-    /// [`SchedulePolicy::Level`], whose width cap degrades them to the
-    /// analysis-free sequential sweep.
+    /// Picks the executor from the level-shape statistics and the caller's
+    /// declared reuse.
     ///
-    /// Depends only on the cached analysis and `workers`, never on timing,
-    /// so the choice is itself deterministic and plan-reportable.
-    pub fn auto(schedule: &Schedule, workers: usize) -> SchedulePolicy {
+    /// A solve that will be applied fewer than [`ANALYZE_REUSE_MIN`] times
+    /// (`reuse: Some(r)` with `r < 4`) cannot amortize a dependency
+    /// analysis at all, so it goes straight to the analysis-free
+    /// [`SchedulePolicy::SyncFree`] column sweep.  `reuse: None` declares
+    /// nothing and is treated as "apply many times" — the historical
+    /// behavior, which iterative-solver callers rely on.
+    ///
+    /// Above the reuse threshold the analyzed schedules pay for themselves
+    /// and the choice falls to the level shape: the merged schedule wins
+    /// when there are many levels to merge ([`MERGE_MIN_LEVELS`]) and they
+    /// are skinny relative to the worker count (mean width below `workers ·`
+    /// [`MERGE_WIDTH_FACTOR`] — wide levels amortize their barrier over
+    /// lots of parallel rows, skinny ones do not).  Fully sequential
+    /// patterns (an unbroken chain) stay on [`SchedulePolicy::Level`],
+    /// whose width cap degrades them to the analysis-free sequential sweep.
+    ///
+    /// Depends only on the cached analysis, `workers` and `reuse`, never on
+    /// timing, so the choice is itself deterministic and plan-reportable.
+    pub fn auto(schedule: &Schedule, workers: usize, reuse: Option<usize>) -> SchedulePolicy {
+        if reuse.is_some_and(|r| r < ANALYZE_REUSE_MIN) {
+            return SchedulePolicy::SyncFree;
+        }
         if schedule.is_sequential() {
             return SchedulePolicy::Level;
         }
@@ -242,6 +266,14 @@ pub const MERGE_MIN_LEVELS: usize = 64;
 /// [`SchedulePolicy::auto`] calls a level shape *skinny* when the mean
 /// level width is below `workers ·` this factor.
 pub const MERGE_WIDTH_FACTOR: usize = 16;
+
+/// Minimum declared reuse for a dependency analysis to be worth running:
+/// below this many applies of the same matrix, [`SchedulePolicy::auto`]
+/// picks the analysis-free [`SchedulePolicy::SyncFree`] sweep.  The level
+/// analysis costs roughly one solve's worth of pattern traversal (the
+/// merged analysis a second), so a handful of applies amortizes it and
+/// anything less does not.
+pub const ANALYZE_REUSE_MIN: usize = 4;
 
 /// The DAG-partitioned companion of a [`Schedule`]: consecutive levels
 /// merged into **super-levels** whose aggregate row/nnz weight clears
@@ -526,22 +558,57 @@ mod tests {
         let chain = crate::gen::banded_lower(2000, 1, 1);
         assert!(chain.schedule().is_sequential());
         assert_eq!(
-            SchedulePolicy::auto(chain.schedule(), 4),
+            SchedulePolicy::auto(chain.schedule(), 4, None),
             SchedulePolicy::Level
         );
         // Deep narrow DAG: many skinny levels -> Merged.
         let deep = crate::gen::deep_narrow_lower(8000, 4, 3, 7);
         assert_eq!(
-            SchedulePolicy::auto(deep.schedule(), 4),
+            SchedulePolicy::auto(deep.schedule(), 4, None),
             SchedulePolicy::Merged
         );
         // One wide level: too few levels to merge -> Level.
         let wide = lower(&[], 500);
         assert_eq!(
-            SchedulePolicy::auto(wide.schedule(), 4),
+            SchedulePolicy::auto(wide.schedule(), 4, None),
             SchedulePolicy::Level
         );
         assert_eq!(SchedulePolicy::Level.name(), "level");
         assert_eq!(SchedulePolicy::Merged.name(), "merged");
+        assert_eq!(SchedulePolicy::SyncFree.name(), "syncfree");
+    }
+
+    #[test]
+    fn auto_policy_prices_analysis_against_reuse() {
+        let deep = crate::gen::deep_narrow_lower(8000, 4, 3, 7);
+        // One-shot (and anything under the amortization threshold): the
+        // analysis can never pay for itself -> SyncFree, whatever the shape.
+        for r in [0usize, 1, ANALYZE_REUSE_MIN - 1] {
+            assert_eq!(
+                SchedulePolicy::auto(deep.schedule(), 4, Some(r)),
+                SchedulePolicy::SyncFree
+            );
+        }
+        // At or above the threshold the shape decides again.
+        assert_eq!(
+            SchedulePolicy::auto(deep.schedule(), 4, Some(ANALYZE_REUSE_MIN)),
+            SchedulePolicy::Merged
+        );
+        assert_eq!(
+            SchedulePolicy::auto(deep.schedule(), 4, Some(100)),
+            SchedulePolicy::Merged
+        );
+        // Undeclared reuse keeps the historical many-apply behavior.
+        assert_eq!(
+            SchedulePolicy::auto(deep.schedule(), 4, None),
+            SchedulePolicy::Merged
+        );
+        // Even a chain goes sync-free on a one-shot: the sequential column
+        // sweep it degrades to is still analysis-free.
+        let chain = crate::gen::banded_lower(2000, 1, 1);
+        assert_eq!(
+            SchedulePolicy::auto(chain.schedule(), 4, Some(1)),
+            SchedulePolicy::SyncFree
+        );
     }
 }

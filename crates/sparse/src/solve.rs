@@ -2,15 +2,15 @@
 //!
 //! Every solve funnels through **one options-driven entry point** —
 //! [`SparseTri::solve_with`] / [`SparseTri::solve_multi_with`] with a
-//! [`SolveOpts`] — which picks between three execution strategies sharing
-//! one row-elimination kernel:
+//! [`SolveOpts`] — which picks between four execution strategies:
 //!
 //! * a worker budget of 1 (pinned, or implicit under [`PAR_MIN_WORK`]) runs
 //!   the sequential baseline: rows in dependency order (ascending for
 //!   lower, descending for upper), no analysis needed;
-//! * a larger budget runs one of two parallel executors, chosen by
+//! * a larger budget runs one of three parallel executors, chosen by
 //!   [`SchedulePolicy`] (pinned through [`SolveOpts::policy`], or
-//!   [`SchedulePolicy::auto`] from the level-shape statistics):
+//!   [`SchedulePolicy::auto`] from the level-shape statistics and the
+//!   declared [`SolveOpts::reuse`]):
 //!   - **`Level`** — the cached [`crate::Schedule`]'s levels run as
 //!     barrier-separated sweeps on the [`dense::run_region`] worker pool,
 //!     each level's rows split into one contiguous chunk per worker (one
@@ -20,8 +20,13 @@
 //!     inside a super-level workers track readiness point-to-point: a
 //!     per-row atomic flag set (release) when the row is eliminated, each
 //!     worker spinning/yielding (acquire) only on the same-super-level
-//!     rows its own rows consume — the sync-free-GPU-solver style that
-//!     cuts barrier counts by orders of magnitude on deep narrow DAGs;
+//!     rows its own rows consume — cutting barrier counts by orders of
+//!     magnitude on deep narrow DAGs;
+//!   - **`SyncFree`** — the analysis-free column sweep of
+//!     [`crate::csc`] on the cached [`SparseTri::csc`] mirror: per-row
+//!     atomic in-degree counters and per-worker partial-sum accumulators,
+//!     **zero** levels and **zero** barriers, the right call for one-shot
+//!     solves where neither analysis would ever pay for itself;
 //! * [`dense::Transpose::Yes`] solves `Aᵀ·x = b` on the cached
 //!   [`SparseTri::transposed`] matrix (and its cached schedules), so
 //!   transposed applies — the `Lᵀ` half of an `ILU`/`IC` preconditioner —
@@ -36,14 +41,19 @@
 //! front end.
 //!
 //! Because a row's result depends only on rows in earlier levels — which
-//! are complete before the row runs, in every executor — and the per-row
-//! arithmetic is a fixed-order sweep over the CSR entries, the sequential
-//! and parallel executors are **bitwise identical** at every worker count.
-//! `DENSE_THREADS` is a throughput knob here exactly as it is for the dense
-//! GEMM.  Every solve reports a [`FlopCount`] under the same conventions as
-//! the dense kernels (multiply + subtract = 2 flops per stored off-diagonal
-//! entry, one division per explicit diagonal), so simulated machines can
-//! charge sparse applies to the same γ·F term.
+//! are complete before the row runs — and the per-row arithmetic is a
+//! fixed-order sweep over the CSR entries, the sequential and **barriered**
+//! parallel executors (`Level`, `Merged`) are **bitwise identical** at
+//! every worker count; `DENSE_THREADS` is a throughput knob there exactly
+//! as it is for the dense GEMM.  The **sync-free** executor is bitwise
+//! reproducible only *per fixed worker count*: its per-row reductions
+//! re-associate when the worker count changes, so it agrees with the other
+//! executors to rounding (1e-12 in the test suites), not bitwise — see
+//! [`crate::csc`] for the full caveat.  Every solve reports a [`FlopCount`]
+//! under the same conventions as the dense kernels (multiply + subtract = 2
+//! flops per stored off-diagonal entry, one division per explicit
+//! diagonal), so simulated machines can charge sparse applies to the same
+//! γ·F term.
 
 use crate::csr::SparseTri;
 use crate::error::SparseError;
@@ -67,12 +77,22 @@ pub struct SolveOpts {
     pub transpose: Transpose,
     /// Worker budget: `None` applies the implicit [`PAR_MIN_WORK`] gate and
     /// the `DENSE_THREADS` pool size; `Some(t)` pins exactly `t` workers.
-    /// Results are bitwise identical for every value.
+    /// Results are bitwise identical for every value under the barriered
+    /// policies (and under [`SchedulePolicy::SyncFree`], reproducible per
+    /// fixed value — see [`crate::csc`]).
     pub threads: Option<usize>,
     /// Scheduling policy of the parallel executor: `None` lets
-    /// [`SchedulePolicy::auto`] choose from the level-shape statistics;
-    /// `Some(p)` pins it.  Results are bitwise identical either way.
+    /// [`SchedulePolicy::auto`] choose from the level-shape statistics and
+    /// the declared [`SolveOpts::reuse`]; `Some(p)` pins it.
     pub policy: Option<SchedulePolicy>,
+    /// How many times this matrix will be applied (this solve included):
+    /// the analyze-cost-vs-reuse signal [`SchedulePolicy::auto`] prices.
+    /// `None` declares nothing and is treated as "apply many times" (the
+    /// historical behavior); `Some(r)` below
+    /// [`crate::schedule::ANALYZE_REUSE_MIN`] routes the solve to the
+    /// analysis-free [`SchedulePolicy::SyncFree`] executor without ever
+    /// touching the cached schedules.  Ignored when `policy` is pinned.
+    pub reuse: Option<usize>,
 }
 
 impl SolveOpts {
@@ -104,6 +124,15 @@ impl SolveOpts {
         self.policy = Some(policy);
         self
     }
+
+    /// Declare how many times this matrix will be applied (this solve
+    /// included), letting [`SchedulePolicy::auto`] price the analysis cost
+    /// against it: one-shot solves (`reuse(1)`) go sync-free, many-apply
+    /// loops keep the analyzed schedules.
+    pub fn reuse(mut self, reuse: usize) -> SolveOpts {
+        self.reuse = Some(reuse);
+        self
+    }
 }
 
 /// The fully resolved shape of one sparse solve — the worker count, policy
@@ -120,17 +149,18 @@ pub struct ExecutionShape {
     /// a sequential solve nominally reports [`SchedulePolicy::Level`]).
     pub policy: SchedulePolicy,
     /// Dependency levels of the schedule (0 when the solve stays
-    /// sequential and the pattern is never analyzed).
+    /// sequential or runs sync-free and the pattern is never analyzed).
     pub levels: usize,
     /// Super-levels of the merged schedule (0 unless the merged policy
     /// runs).
     pub super_levels: usize,
     /// Barriers each worker waits on: `levels` under
     /// [`SchedulePolicy::Level`], `super_levels` under
-    /// [`SchedulePolicy::Merged`], 0 sequentially.
+    /// [`SchedulePolicy::Merged`], 0 sequentially and under
+    /// [`SchedulePolicy::SyncFree`].
     pub barriers: usize,
     /// Rows in the widest level (the level executor's parallelism ceiling;
-    /// 0 when sequential).
+    /// 0 when sequential or sync-free).
     pub max_level_width: usize,
 }
 
@@ -154,25 +184,29 @@ impl ExecutionShape {
 /// the gate (results are bitwise identical either way).
 pub const PAR_MIN_WORK: usize = 64 * 1024;
 
-/// Shared mutable solution vector handed to the level-sweep workers.
+/// Shared mutable buffer pointer handed to solve workers (the solution
+/// vector in the level sweeps, the solution and partial-sum slabs in the
+/// sync-free sweep).
 ///
-/// Plain `&mut [f64]` cannot be shared across workers; the level-set
-/// invariant is what makes the sharing sound (see the SAFETY comment at the
-/// use site), so the pointer is wrapped and the invariant documented there.
-struct SharedX(*mut f64);
+/// Plain `&mut [f64]` cannot be shared across workers; each executor's
+/// disjoint-access invariant is what makes the sharing sound (see the
+/// SAFETY comments at the use sites), so the pointer is wrapped and the
+/// invariant documented there.
+pub(crate) struct SharedPtr(pub(crate) *mut f64);
 
-// SAFETY: workers access disjoint rows within a level (disjoint chunk
-// ranges of the level's row list) and only read rows finalized in earlier
-// levels, with a barrier between levels providing the happens-before edge.
-unsafe impl Send for SharedX {}
-unsafe impl Sync for SharedX {}
+// SAFETY: every executor partitions the buffer so that concurrently
+// accessed regions are disjoint per worker, with barriers or acquire/
+// release counter handshakes providing the happens-before edges for
+// cross-worker reads — documented at each use site.
+unsafe impl Send for SharedPtr {}
+unsafe impl Sync for SharedPtr {}
 
-impl SharedX {
+impl SharedPtr {
     /// Accessor (rather than direct field use) so closures capture the
     /// `Sync` wrapper as a whole instead of edition-2021 field-precise
     /// capturing the raw pointer, which is not `Sync`.
     #[inline]
-    fn get(&self) -> *mut f64 {
+    pub(crate) fn get(&self) -> *mut f64 {
         self.0
     }
 }
@@ -242,7 +276,7 @@ impl SpinBarrier {
 /// scheduling quantum busy-waiting for a worker that needs the CPU to make
 /// the very progress being waited on.
 #[inline]
-fn wait_ready(flag: &AtomicU32, epoch: u32) {
+pub(crate) fn wait_ready(flag: &AtomicU32, epoch: u32) {
     let mut spins = 0u32;
     while flag.load(Ordering::Acquire) != epoch {
         if spins < 32 {
@@ -295,7 +329,7 @@ fn with_done_flags<R>(n: usize, f: impl FnOnce(&[AtomicU32], u32) -> R) -> R {
 /// `[lo, hi)` bounds of worker `w`'s contiguous share of `len` items split
 /// across `workers` (first `len % workers` workers take one extra item).
 /// Depends only on `(len, workers, w)`, never on timing.
-fn chunk_bounds(len: usize, workers: usize, w: usize) -> (usize, usize) {
+pub(crate) fn chunk_bounds(len: usize, workers: usize, w: usize) -> (usize, usize) {
     let base = len / workers;
     let extra = len % workers;
     let lo = w * base + w.min(extra);
@@ -365,18 +399,38 @@ impl SparseTri {
     /// the (cached) analysis, `budget` and the pin — never on timing.
     ///
     /// A budget of 1 never touches the schedules, keeping sequential
-    /// solves analysis-free.
-    fn resolve_shape(&self, budget: usize, policy: Option<SchedulePolicy>) -> ExecutionShape {
+    /// solves analysis-free — and so does any resolution to
+    /// [`SchedulePolicy::SyncFree`] (pinned, or auto-chosen from a small
+    /// declared `reuse`), which is decided *before* the analysis so
+    /// one-shot solves never pay for the level sets they skipped.
+    fn resolve_shape(
+        &self,
+        budget: usize,
+        policy: Option<SchedulePolicy>,
+        reuse: Option<usize>,
+    ) -> ExecutionShape {
         if budget <= 1 {
             return ExecutionShape::sequential();
         }
+        // Sync-free fast path: both arms match what `SchedulePolicy::auto`
+        // would decide, but are checked before `self.schedule()` so the
+        // analysis never runs.  (`auto` short-circuits on small reuse
+        // before looking at the schedule, so the outcomes agree.)
+        if policy == Some(SchedulePolicy::SyncFree)
+            || (policy.is_none() && reuse.is_some_and(|r| r < crate::schedule::ANALYZE_REUSE_MIN))
+        {
+            return self.syncfree_shape(budget);
+        }
         let sched = self.schedule();
-        let policy = policy.unwrap_or_else(|| SchedulePolicy::auto(sched, budget));
+        let policy = policy.unwrap_or_else(|| SchedulePolicy::auto(sched, budget, reuse));
         let workers = match policy {
             // Workers beyond the widest level would never receive a row.
             SchedulePolicy::Level => budget.min(sched.max_level_width()),
             // The merged executor's ceiling is the widest *super*-level.
             SchedulePolicy::Merged => budget.min(self.merged_schedule().max_super_width()),
+            // Unreachable through `auto` (small reuse short-circuits
+            // above), kept for totality.
+            SchedulePolicy::SyncFree => return self.syncfree_shape(budget),
         };
         if workers <= 1 {
             // The width cap degraded the solve to the sequential sweep:
@@ -391,6 +445,7 @@ impl SparseTri {
                 let s = self.merged_schedule().num_super_levels();
                 (s, s)
             }
+            SchedulePolicy::SyncFree => unreachable!("resolved above"),
         };
         ExecutionShape {
             workers,
@@ -399,6 +454,20 @@ impl SparseTri {
             super_levels,
             barriers,
             max_level_width: sched.max_level_width(),
+        }
+    }
+
+    /// The shape of a sync-free solve: no levels, no barriers, no analysis
+    /// — only a worker count (capped at `n`; more workers than columns
+    /// would own empty chunks).
+    fn syncfree_shape(&self, budget: usize) -> ExecutionShape {
+        ExecutionShape {
+            workers: budget.min(self.n().max(1)),
+            policy: SchedulePolicy::SyncFree,
+            levels: 0,
+            super_levels: 0,
+            barriers: 0,
+            max_level_width: 0,
         }
     }
 
@@ -412,12 +481,13 @@ impl SparseTri {
         k: usize,
         threads: usize,
         policy: Option<SchedulePolicy>,
+        reuse: Option<usize>,
     ) -> FlopCount {
         let n = self.n();
         if n == 0 || k == 0 {
             return FlopCount::ZERO;
         }
-        let shape = self.resolve_shape(threads, policy);
+        let shape = self.resolve_shape(threads, policy, reuse);
         if shape.workers <= 1 {
             // Sequential sweep in dependency order; no analysis required.
             match self.triangle() {
@@ -442,6 +512,7 @@ impl SparseTri {
             match shape.policy {
                 SchedulePolicy::Level => self.run_level_parallel(x, stride, k, shape.workers),
                 SchedulePolicy::Merged => self.run_merged_parallel(x, stride, k, shape.workers),
+                SchedulePolicy::SyncFree => self.csc().run_syncfree(x, stride, k, shape.workers),
             }
         }
         self.solve_flops(k)
@@ -451,7 +522,7 @@ impl SparseTri {
     /// level, each level's rows split into one contiguous chunk per worker.
     fn run_level_parallel(&self, x: *mut f64, stride: usize, k: usize, workers: usize) {
         let sched = self.schedule();
-        let shared = SharedX(x);
+        let shared = SharedPtr(x);
         let barrier = SpinBarrier::new(workers);
         run_region(workers, |w| {
             for l in 0..sched.num_levels() {
@@ -497,7 +568,7 @@ impl SparseTri {
         let sched = self.schedule();
         let merged = self.merged_schedule();
         let rows = sched.rows();
-        let shared = SharedX(x);
+        let shared = SharedPtr(x);
         let barrier = SpinBarrier::new(workers);
         // One readiness flag per row, `== epoch` meaning eliminated; the
         // buffer is thread-locally cached and epoch-versioned so the
@@ -555,7 +626,7 @@ impl SparseTri {
     pub fn execution_shape(&self, opts: &SolveOpts, k: usize) -> ExecutionShape {
         let exec = self.executor(opts.transpose);
         let budget = opts.threads.unwrap_or_else(|| exec.implicit_threads(k));
-        exec.resolve_shape(budget, opts.policy)
+        exec.resolve_shape(budget, opts.policy, opts.reuse)
     }
 
     /// The worker count a solve with these options and `k` right-hand sides
@@ -581,7 +652,7 @@ impl SparseTri {
         }
         let exec = self.executor(opts.transpose);
         let threads = opts.threads.unwrap_or_else(|| exec.implicit_threads(1));
-        Ok(exec.run_solve(x.as_mut_ptr(), 1, 1, threads, opts.policy))
+        Ok(exec.run_solve(x.as_mut_ptr(), 1, 1, threads, opts.policy, opts.reuse))
     }
 
     /// Solves `op(A)·X = B` in place for a block of right-hand sides under
@@ -598,7 +669,14 @@ impl SparseTri {
         let k = x.cols();
         let exec = self.executor(opts.transpose);
         let threads = opts.threads.unwrap_or_else(|| exec.implicit_threads(k));
-        Ok(exec.run_solve(x.as_mut_slice().as_mut_ptr(), k, k, threads, opts.policy))
+        Ok(exec.run_solve(
+            x.as_mut_slice().as_mut_ptr(),
+            k,
+            k,
+            threads,
+            opts.policy,
+            opts.reuse,
+        ))
     }
 
     /// Solves `A · x = b` for one right-hand side, level-parallel on the
@@ -1176,6 +1254,157 @@ mod tests {
             )
             .unwrap();
         assert_eq!(fresh.merged_analysis_count(), 0);
+    }
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn syncfree_policy_matches_sequential_to_tolerance() {
+        // The one-shot workloads from the acceptance criteria: a wide
+        // random pattern and a deep narrow DAG, both solved sync-free
+        // through the CSR entry points against the sequential sweep.
+        for (m, seed) in [
+            (crate::gen::random_lower(3000, 8, 47), 48u64),
+            (crate::gen::deep_narrow_lower(6000, 4, 3, 49), 50u64),
+        ] {
+            let b = crate::gen::rhs_vec(m.n(), seed);
+            let mut seq = b.clone();
+            m.solve_with(&SolveOpts::new().threads(1), &mut seq)
+                .unwrap();
+            for threads in [2usize, 4] {
+                let mut x = b.clone();
+                m.solve_with(
+                    &SolveOpts::new()
+                        .threads(threads)
+                        .policy(SchedulePolicy::SyncFree),
+                    &mut x,
+                )
+                .unwrap();
+                let diff = max_abs_diff(&x, &seq);
+                assert!(
+                    diff < 1e-12,
+                    "sync-free at {threads} workers diverged {diff:e}"
+                );
+                // Bitwise self-consistency at the same worker count.
+                let mut again = b.clone();
+                m.solve_with(
+                    &SolveOpts::new()
+                        .threads(threads)
+                        .policy(SchedulePolicy::SyncFree),
+                    &mut again,
+                )
+                .unwrap();
+                assert_eq!(x, again, "sync-free not repeatable at {threads} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn syncfree_shape_reports_zero_barriers_and_skips_analysis() {
+        for m in [
+            crate::gen::random_lower(3000, 8, 51),
+            crate::gen::deep_narrow_lower(6000, 4, 3, 53),
+        ] {
+            let shape = m.execution_shape(
+                &SolveOpts::new().threads(4).policy(SchedulePolicy::SyncFree),
+                1,
+            );
+            assert_eq!(shape.policy, SchedulePolicy::SyncFree);
+            assert_eq!(shape.workers, 4);
+            assert_eq!(shape.barriers, 0, "sync-free must report zero barriers");
+            assert_eq!(shape.levels, 0);
+            assert_eq!(shape.super_levels, 0);
+            assert_eq!(shape.max_level_width, 0);
+            // Planning and running sync-free never analyzes the pattern.
+            let mut x = crate::gen::rhs_vec(m.n(), 54);
+            m.solve_with(
+                &SolveOpts::new().threads(4).policy(SchedulePolicy::SyncFree),
+                &mut x,
+            )
+            .unwrap();
+            assert_eq!(
+                m.analysis_count(),
+                0,
+                "a sync-free solve must stay analysis-free"
+            );
+            assert_eq!(m.merged_analysis_count(), 0);
+        }
+    }
+
+    #[test]
+    fn auto_prices_one_shot_against_reuse_loop() {
+        // Acceptance criterion: on the deep DAG, auto picks SyncFree for a
+        // declared one-shot solve but Merged for a 100-apply reuse loop.
+        let m = crate::gen::deep_narrow_lower(8000, 4, 3, 55);
+        let one_shot = m.execution_shape(&SolveOpts::new().threads(4).reuse(1), 1);
+        assert_eq!(one_shot.policy, SchedulePolicy::SyncFree);
+        assert_eq!(one_shot.barriers, 0);
+        assert_eq!(
+            m.analysis_count(),
+            0,
+            "planning the one-shot must not analyze"
+        );
+        let reused = m.execution_shape(&SolveOpts::new().threads(4).reuse(100), 1);
+        assert_eq!(reused.policy, SchedulePolicy::Merged);
+        assert!(reused.barriers > 0);
+        // Undeclared reuse keeps the historical auto choice (Merged here).
+        let undeclared = m.execution_shape(&SolveOpts::new().threads(4), 1);
+        assert_eq!(undeclared.policy, SchedulePolicy::Merged);
+        // And the one-shot path actually executes correctly end to end.
+        let b = crate::gen::rhs_vec(m.n(), 56);
+        let mut seq = b.clone();
+        m.solve_with(&SolveOpts::new().threads(1), &mut seq)
+            .unwrap();
+        let mut x = b.clone();
+        m.solve_with(&SolveOpts::new().threads(4).reuse(1), &mut x)
+            .unwrap();
+        assert!(max_abs_diff(&x, &seq) < 1e-12);
+    }
+
+    #[test]
+    fn syncfree_transposed_and_multi_rhs_work_through_opts() {
+        let m = test_lower(1200, 6);
+        let b: Vec<f64> = (0..1200)
+            .map(|i| ((i * 19 + 7) % 31) as f64 - 15.0)
+            .collect();
+        let mut seq = b.clone();
+        m.solve_with(&SolveOpts::new().transposed().threads(1), &mut seq)
+            .unwrap();
+        let mut x = b.clone();
+        m.solve_with(
+            &SolveOpts::new()
+                .transposed()
+                .threads(4)
+                .policy(SchedulePolicy::SyncFree),
+            &mut x,
+        )
+        .unwrap();
+        assert!(max_abs_diff(&x, &seq) < 1e-12);
+        // Multi-RHS sync-free vs the barriered multi-RHS solve.
+        let k = 3;
+        let bm = Matrix::from_fn(1200, k, |i, j| ((i * 3 + j * 7) % 17) as f64 - 8.0);
+        let mut seq_m = bm.clone();
+        m.solve_multi_with(&SolveOpts::new().threads(1), &mut seq_m)
+            .unwrap();
+        let mut xm = bm.clone();
+        m.solve_multi_with(
+            &SolveOpts::new().threads(4).policy(SchedulePolicy::SyncFree),
+            &mut xm,
+        )
+        .unwrap();
+        for c in 0..k {
+            for i in 0..1200 {
+                assert!(
+                    (xm[(i, c)] - seq_m[(i, c)]).abs() < 1e-12,
+                    "sync-free multi-RHS diverged at ({i}, {c})"
+                );
+            }
+        }
     }
 
     #[test]

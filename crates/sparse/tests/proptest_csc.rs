@@ -1,0 +1,180 @@
+//! Property-based tests for the CSC triangular storage
+//! ([`sparse::SparseTriCsc`]): the format the sync-free executor runs on.
+//!
+//! Three families of properties:
+//!
+//! * **round trip** — CSR→CSC→CSR and triplet→CSC→dense conversions
+//!   preserve every entry exactly (conversions reorder storage, never
+//!   values);
+//! * **validation** — duplicate triplets, out-of-order raw CSC columns,
+//!   and NaN/infinite entries are rejected with their typed
+//!   [`sparse::SparseError`] variants;
+//! * **structure** — the cached in-degree counts (the sync-free executor's
+//!   readiness counters) equal the CSR row lengths, and the transpose
+//!   round-trips.
+
+use dense::{Diag, Triangle};
+use proptest::prelude::*;
+use sparse::{gen, SparseError, SparseTriCsc};
+
+/// Row-major triplets of a generated CSR matrix (diagonal first per row,
+/// so the CSC constructor's column-major sort is genuinely exercised).
+fn csr_triplets(m: &sparse::SparseTri) -> Vec<(usize, usize, f64)> {
+    let mut ents = Vec::with_capacity(m.nnz());
+    for i in 0..m.n() {
+        ents.push((i, i, m.diag_value(i)));
+        let (cols, vals) = m.row_entries(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            ents.push((i, j, v));
+        }
+    }
+    ents
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CSR→CSC→CSR round-trips every entry exactly, for both triangles.
+    #[test]
+    fn csr_csc_round_trip_is_exact(
+        n in 1usize..200,
+        fill in 0usize..9,
+        upper in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let csr = if upper {
+            gen::random_upper(n, fill, seed)
+        } else {
+            gen::random_lower(n, fill, seed)
+        };
+        let csc = SparseTriCsc::from_csr(&csr);
+        prop_assert_eq!(csc.n(), csr.n());
+        prop_assert_eq!(csc.nnz(), csr.nnz());
+        prop_assert_eq!(csc.triangle(), csr.triangle());
+        prop_assert_eq!(csc.to_dense(), csr.to_dense());
+        let back = csc.to_csr();
+        prop_assert_eq!(back.to_dense(), csr.to_dense());
+        // The values survive bitwise, not just to tolerance: densify both
+        // and compare bits via total equality (Matrix PartialEq is ==).
+        for i in 0..n {
+            prop_assert_eq!(back.diag_value(i).to_bits(), csr.diag_value(i).to_bits());
+        }
+    }
+
+    /// Triplet construction in row-major order equals the CSR-mirror
+    /// construction: the column-major sort is a pure reordering.
+    #[test]
+    fn triplet_and_csr_constructions_agree(
+        n in 1usize..150,
+        fill in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let csr = gen::random_lower(n, fill, seed);
+        let from_csr = SparseTriCsc::from_csr(&csr);
+        let from_triplets = SparseTriCsc::from_triplets(
+            n,
+            Triangle::Lower,
+            Diag::NonUnit,
+            &csr_triplets(&csr),
+        )
+        .unwrap();
+        prop_assert_eq!(from_triplets.to_dense(), from_csr.to_dense());
+        prop_assert_eq!(from_triplets.nnz(), from_csr.nnz());
+    }
+
+    /// A duplicated `(row, col)` triplet is rejected with
+    /// `DuplicateEntry`, wherever the duplicate lands in input order.
+    #[test]
+    fn duplicate_triplets_are_rejected(
+        n in 2usize..100,
+        fill in 1usize..6,
+        seed in any::<u64>(),
+        dup_sel in any::<u64>(),
+    ) {
+        let csr = gen::random_lower(n, fill, seed);
+        let mut ents = csr_triplets(&csr);
+        let dup = ents[dup_sel as usize % ents.len()];
+        ents.push((dup.0, dup.1, dup.2 + 1.0));
+        let err = SparseTriCsc::from_triplets(n, Triangle::Lower, Diag::NonUnit, &ents)
+            .unwrap_err();
+        prop_assert!(
+            matches!(err, SparseError::DuplicateEntry { index } if index == (dup.0, dup.1)),
+            "expected DuplicateEntry at {:?}, got {err:?}",
+            (dup.0, dup.1)
+        );
+    }
+
+    /// Raw CSC input with a column's row indices out of order is rejected
+    /// with `UnsortedColumn` naming that column.
+    #[test]
+    fn out_of_order_raw_csc_is_rejected(
+        seed in any::<u64>(),
+    ) {
+        // Column 0 stores rows {0, 2, 1}: out of order below the diagonal.
+        let v = (seed % 7) as f64 + 1.0;
+        let col_ptr = vec![0usize, 3, 4, 5];
+        let row_idx = vec![0usize, 2, 1, 1, 2];
+        let values = vec![2.0, v, 0.5, 2.0, 2.0];
+        let err = SparseTriCsc::from_csc(
+            3,
+            Triangle::Lower,
+            Diag::NonUnit,
+            &col_ptr,
+            &row_idx,
+            &values,
+        )
+        .unwrap_err();
+        prop_assert!(
+            matches!(err, SparseError::UnsortedColumn { col: 0 }),
+            "expected UnsortedColumn {{ col: 0 }}, got {err:?}"
+        );
+    }
+
+    /// A NaN or infinite value anywhere in the triplets is rejected with
+    /// `NonFiniteEntry` before any storage is built.
+    #[test]
+    fn non_finite_entries_are_rejected(
+        n in 1usize..100,
+        fill in 0usize..6,
+        seed in any::<u64>(),
+        poison_sel in any::<u64>(),
+        use_nan in any::<bool>(),
+    ) {
+        let csr = gen::random_lower(n, fill, seed);
+        let mut ents = csr_triplets(&csr);
+        let p = poison_sel as usize % ents.len();
+        ents[p].2 = if use_nan { f64::NAN } else { f64::INFINITY };
+        let err = SparseTriCsc::from_triplets(n, Triangle::Lower, Diag::NonUnit, &ents)
+            .unwrap_err();
+        prop_assert!(
+            matches!(err, SparseError::NonFiniteEntry { .. }),
+            "expected NonFiniteEntry, got {err:?}"
+        );
+    }
+
+    /// The cached in-degree counters — the sync-free executor's readiness
+    /// counts — equal the off-diagonal CSR row lengths, and the transpose
+    /// round-trips exactly.
+    #[test]
+    fn in_degrees_match_csr_rows_and_transpose_round_trips(
+        n in 1usize..150,
+        fill in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let csr = gen::random_lower(n, fill, seed);
+        let csc = SparseTriCsc::from_csr(&csr);
+        let indeg = csc.in_degrees();
+        for (i, &d) in indeg.iter().enumerate() {
+            prop_assert_eq!(
+                d as usize,
+                csr.row_entries(i).0.len(),
+                "row {} in-degree",
+                i
+            );
+        }
+        let t = csc.transpose();
+        prop_assert_eq!(t.triangle(), Triangle::Upper);
+        prop_assert_eq!(t.to_dense(), csc.to_dense().transpose());
+        prop_assert_eq!(t.transpose().to_dense(), csc.to_dense());
+    }
+}

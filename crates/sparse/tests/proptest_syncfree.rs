@@ -1,0 +1,169 @@
+//! Property-based differential suite for the sync-free CSC executor
+//! (`SchedulePolicy::SyncFree`): the lock-free column sweep must agree
+//! with the sequential CSR sweep and the densified `dense::trsv` to 1e-12
+//! on every pattern the generators produce — random fills, deep narrow
+//! DAGs, both triangles, transposed applies, multi-RHS blocks — and must
+//! be **bitwise repeatable per fixed worker count** (the weaker guarantee
+//! it trades for zero analysis and zero barriers).
+
+use dense::Matrix;
+use proptest::prelude::*;
+use sparse::{gen, SchedulePolicy, SolveOpts};
+
+/// Max |a - b| over two equal-length vectors.
+fn vec_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn syncfree_opts(threads: usize) -> SolveOpts {
+    SolveOpts::new()
+        .threads(threads)
+        .policy(SchedulePolicy::SyncFree)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sync-free agrees with the sequential CSR sweep and the densified
+    /// `dense::trsv` to 1e-12 at every worker count, and two runs at the
+    /// same worker count are bitwise equal.
+    #[test]
+    fn syncfree_matches_sequential_and_dense(
+        n in 2usize..300,
+        fill in 0usize..9,
+        upper in any::<bool>(),
+        threads in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let m = if upper {
+            gen::random_upper(n, fill, seed)
+        } else {
+            gen::random_lower(n, fill, seed)
+        };
+        let b = gen::rhs_vec(n, seed ^ 0x5f);
+        let seq = m.solve(&b).unwrap();
+        let xd = dense::trsv(m.triangle(), m.diag(), &m.to_dense(), &b).unwrap();
+        for t in [1usize, 4, threads] {
+            let mut x = b.clone();
+            m.solve_with(&syncfree_opts(t), &mut x).unwrap();
+            prop_assert!(
+                vec_abs_diff(&x, &seq) < 1e-12,
+                "sync-free ({t} workers) vs sequential diverged beyond 1e-12"
+            );
+            prop_assert!(
+                vec_abs_diff(&x, &xd) < 1e-12,
+                "sync-free ({t} workers) vs dense trsv diverged beyond 1e-12"
+            );
+            let mut again = b.clone();
+            m.solve_with(&syncfree_opts(t), &mut again).unwrap();
+            prop_assert!(
+                x == again,
+                "two sync-free runs at {t} workers must be bitwise equal"
+            );
+        }
+    }
+
+    /// The barrier-sensitive deep narrow DAG: the shape the sync-free
+    /// executor exists for (one-shot solves that would otherwise pay one
+    /// barrier per skinny level) stays within 1e-12 of sequential.
+    #[test]
+    fn syncfree_solves_deep_narrow_dags(
+        blocks in 2usize..120,
+        width in 1usize..6,
+        deps in 1usize..5,
+        threads in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let n = blocks * width;
+        let m = gen::deep_narrow_lower(n, width, deps, seed);
+        let b = gen::rhs_vec(n, seed ^ 0xdee9);
+        let seq = m.solve(&b).unwrap();
+        let mut x = b.clone();
+        m.solve_with(&syncfree_opts(threads), &mut x).unwrap();
+        prop_assert!(
+            vec_abs_diff(&x, &seq) < 1e-12,
+            "sync-free diverged beyond 1e-12 on a deep narrow DAG"
+        );
+    }
+
+    /// Transposed sync-free applies (running on the cached CSC transpose)
+    /// agree with the sequential transposed solve.
+    #[test]
+    fn syncfree_transposed_matches_sequential(
+        n in 2usize..200,
+        fill in 0usize..8,
+        upper in any::<bool>(),
+        threads in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let m = if upper {
+            gen::random_upper(n, fill, seed)
+        } else {
+            gen::random_lower(n, fill, seed)
+        };
+        let b = gen::rhs_vec(n, seed ^ 0x7a);
+        let mut seq = b.clone();
+        m.solve_with(&SolveOpts::new().transposed().threads(1), &mut seq).unwrap();
+        let mut x = b.clone();
+        m.solve_with(&syncfree_opts(threads).transposed(), &mut x).unwrap();
+        prop_assert!(
+            vec_abs_diff(&x, &seq) < 1e-12,
+            "transposed sync-free diverged beyond 1e-12"
+        );
+    }
+
+    /// Blocked right-hand sides: the multi-RHS sync-free sweep agrees
+    /// with the densified `dense::trsm` and with per-column single-RHS
+    /// sync-free solves.
+    #[test]
+    fn syncfree_multi_rhs_matches_dense_trsm(
+        n in 2usize..150,
+        k in 1usize..10,
+        fill in 0usize..7,
+        threads in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let m = gen::random_lower(n, fill, seed);
+        let b = Matrix::from_fn(n, k, |i, j| {
+            (((i * 31 + j * 17 + seed as usize) % 23) as f64) / 11.5 - 1.0
+        });
+        let mut x = b.clone();
+        m.solve_multi_with(&syncfree_opts(threads), &mut x).unwrap();
+        let xd = dense::trsm(m.triangle(), m.diag(), &m.to_dense(), &b).unwrap();
+        prop_assert!(
+            x.max_abs_diff(&xd).unwrap() < 1e-12,
+            "sync-free multi-RHS vs dense trsm diverged beyond 1e-12"
+        );
+    }
+
+    /// `SolveOpts::reuse` routing: a declared one-shot lands on the
+    /// sync-free shape (zero barriers, zero levels, no analysis), while a
+    /// large declared reuse keeps a barriered policy — and both still
+    /// solve the system.
+    #[test]
+    fn reuse_declaration_routes_between_executors(
+        n in 8usize..200,
+        fill in 1usize..6,
+        threads in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let m = gen::random_lower(n, fill, seed);
+        let b = gen::rhs_vec(n, seed ^ 0x0e5);
+        let one_shot = SolveOpts::new().threads(threads).reuse(1);
+        let shape = m.execution_shape(&one_shot, 1);
+        prop_assert_eq!(shape.policy, SchedulePolicy::SyncFree);
+        prop_assert_eq!(shape.barriers, 0);
+        prop_assert_eq!(shape.levels, 0);
+        let mut x = b.clone();
+        m.solve_with(&one_shot, &mut x).unwrap();
+        prop_assert_eq!(m.analysis_count(), 0, "one-shot solves must not analyze");
+        let seq = m.solve(&b).unwrap();
+        prop_assert!(vec_abs_diff(&x, &seq) < 1e-12);
+        let many = SolveOpts::new().threads(threads).reuse(100);
+        let shape = m.execution_shape(&many, 1);
+        prop_assert!(shape.policy != SchedulePolicy::SyncFree);
+    }
+}

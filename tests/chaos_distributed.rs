@@ -91,14 +91,8 @@ fn transient_plans() -> Vec<(&'static str, FaultPlan)> {
                 .with_reordering(0.25)
                 .with_delays(0.25, 3.0),
         ),
-        (
-            "stalls",
-            FaultPlan::new(0xD3D3).with_stalls(0.2, 2.0),
-        ),
-        (
-            "heavy-drops",
-            FaultPlan::new(0xD4D4).with_drops(0.6, 3),
-        ),
+        ("stalls", FaultPlan::new(0xD3D3).with_stalls(0.2, 2.0)),
+        ("heavy-drops", FaultPlan::new(0xD4D4).with_drops(0.6, 3)),
         (
             "everything",
             FaultPlan::new(0xD5D5)
@@ -118,11 +112,7 @@ fn transient_plans_are_bit_transparent_for_every_algorithm() {
         let clean = solve_on(&Machine::new(4, params), alg, 77);
         for (name, plan) in transient_plans() {
             assert!(plan.is_transient(&params), "{name} must be transient");
-            let faulty = solve_on(
-                &Machine::new(4, params).with_fault_plan(plan),
-                alg,
-                77,
-            );
+            let faulty = solve_on(&Machine::new(4, params).with_fault_plan(plan), alg, 77);
             for (rank, (c, f)) in clean.iter().zip(faulty.iter()).enumerate() {
                 let c = c.as_ref().expect("clean run solves");
                 let f = f
@@ -141,9 +131,15 @@ fn transient_plans_are_bit_transparent_for_every_algorithm() {
 #[test]
 fn transient_recovery_work_reaches_the_solve_report() {
     let params = MachineParams::unit();
-    let plan = FaultPlan::new(0xBEEF).with_drops(0.4, 2).with_duplicates(0.4);
+    let plan = FaultPlan::new(0xBEEF)
+        .with_drops(0.4, 2)
+        .with_duplicates(0.4);
     for alg in algorithms() {
-        let out = solve_on(&Machine::new(4, params).with_fault_plan(plan.clone()), alg, 13);
+        let out = solve_on(
+            &Machine::new(4, params).with_fault_plan(plan.clone()),
+            alg,
+            13,
+        );
         let (mut retries, mut dropped, mut dups) = (0u64, 0u64, 0u64);
         for res in &out {
             let (_, r, d, u, _) = res.as_ref().expect("transient plan must solve");
@@ -197,13 +193,10 @@ fn crashed_rank_fails_every_algorithm_cleanly() {
                     let b_g = dense::matmul(&l_g, &x_g);
                     let l = DistMatrix::from_global(&grid, &l_g);
                     let b = DistMatrix::from_global(&grid, &b_g);
-                    match SolveRequest::lower()
+                    SolveRequest::lower()
                         .algorithm(alg)
                         .solve_distributed(&l, &b)
-                    {
-                        Ok(_) => None,
-                        Err(e) => Some(e),
-                    }
+                        .err()
                 })
                 .expect("crash must surface as rank-level errors, not a run failure");
             let mut failures = 0;
