@@ -208,6 +208,57 @@ fn bench_sparse_oneshot(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_trace_overhead(c: &mut Criterion) {
+    // Traced vs untraced rows for the two paths the `obs` layer
+    // instruments most densely: the level-scheduled sparse solve
+    // (per-level spans, barrier-wait counters) and the multithreaded
+    // packed GEMM (per-worker pack/kernel time).  The untraced rows must
+    // coincide with the plain `sparse_solve` / `gemm_par` groups — the
+    // disabled recorder is one relaxed atomic load per region — while the
+    // traced rows price live span recording.
+    let mut group = c.benchmark_group("trace_overhead");
+    let n = 40_000usize;
+    let l = sparse::gen::random_lower(n, 12, 3);
+    let b = sparse::gen::rhs_vec(n, 4);
+    let _ = l.schedule(); // analyze once, outside the timed region
+    let gn = 256usize;
+    let a = gen::uniform(gn, gn, 1);
+    let gb = gen::uniform(gn, gn, 2);
+    for (label, enabled) in [("untraced", false), ("traced", true)] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("sparse_solve_{label}"), n),
+            &n,
+            |bench, _| {
+                obs::set_enabled(enabled);
+                obs::clear();
+                let opts = sparse::SolveOpts::new().threads(4);
+                let mut x = vec![0.0; n];
+                bench.iter(|| {
+                    x.copy_from_slice(&b);
+                    l.solve_with(&opts, &mut x).unwrap();
+                });
+                obs::set_enabled(false);
+                obs::clear();
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("gemm_par_{label}"), gn),
+            &gn,
+            |bench, _| {
+                obs::set_enabled(enabled);
+                obs::clear();
+                let mut out = Matrix::zeros(gn, gn);
+                bench.iter(|| {
+                    gemm_with_threads(1.0, &a, &gb, 0.0, &mut out, 4).unwrap();
+                });
+                obs::set_enabled(false);
+                obs::clear();
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_trsm(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_trsm");
     for n in [64usize, 128, 256] {
@@ -234,6 +285,6 @@ fn bench_tri_invert(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_gemm, bench_gemm_naive_vs_packed, bench_gemm_par, bench_sparse_solve, bench_sparse_deep_dag, bench_sparse_oneshot, bench_trsm, bench_tri_invert
+    targets = bench_gemm, bench_gemm_naive_vs_packed, bench_gemm_par, bench_sparse_solve, bench_sparse_deep_dag, bench_sparse_oneshot, bench_trace_overhead, bench_trsm, bench_tri_invert
 }
 criterion_main!(kernels);

@@ -19,6 +19,11 @@
 //! both the level and sync-free policies and asserts they agree to 1e-12
 //! — plus bitwise self-consistency of two same-worker-count sync-free
 //! solves.
+//!
+//! The in-process `--trace-transparency` mode runs a representative
+//! workload with the `obs` tracing layer disabled and again with it
+//! enabled, and asserts every result is bitwise identical: observability
+//! must never perturb the numerics.
 
 use catrsm::{SchedulePolicy, SolveRequest};
 use dense::{gemm, gen, tri_invert, trsm_in_place, Diag, Matrix, Side, Triangle};
@@ -129,9 +134,100 @@ fn syncfree_tolerance_check() {
     eprintln!("syncfree tolerance check passed");
 }
 
+/// `--trace-transparency`: run a representative workload (dense TRSM,
+/// sparse solves under all three scheduling policies, a distributed solve
+/// on the simulated machine) once with tracing disabled and once with
+/// tracing enabled, and assert every result is **bitwise identical** —
+/// the observability layer must be a pure observer that never touches
+/// floating-point data or scheduling decisions.
+fn trace_transparency_check() {
+    use catrsm::SolvePlan;
+    use pgrid::{DistMatrix, Grid2D};
+    use simnet::{Machine, MachineParams};
+
+    fn workload() -> Vec<String> {
+        let mut out = Vec::new();
+
+        let l = gen::well_conditioned_lower(384, 21);
+        let rhs = gen::rhs(384, 96, 22);
+        let x = SolveRequest::lower().solve_dense(&l, &rhs).unwrap().x;
+        out.push(checksum("dense_trsm_384x96", &x));
+
+        let sl = sparse::gen::random_lower(20_000, 8, 31);
+        let sb = sparse::gen::rhs_vec(20_000, 32);
+        for policy in [
+            SchedulePolicy::Level,
+            SchedulePolicy::Merged,
+            SchedulePolicy::SyncFree,
+        ] {
+            let sx = SolveRequest::lower()
+                .threads(4)
+                .policy(policy)
+                .solve_sparse_vec(&sl, &sb)
+                .unwrap()
+                .x;
+            out.push(checksum_slice(
+                &format!("sparse_20000_{}", policy.name()),
+                &sx,
+            ));
+        }
+
+        let (n, k) = (64usize, 16usize);
+        let run = Machine::new(4, MachineParams::cluster())
+            .run(move |comm| {
+                let grid = Grid2D::new(comm, 2, 2).expect("grid");
+                let l_global = gen::well_conditioned_lower(n, 41);
+                let b_global = gen::rhs(n, k, 42);
+                let l = DistMatrix::from_global(&grid, &l_global);
+                let b = DistMatrix::from_global(&grid, &b_global);
+                let plan: SolvePlan = SolveRequest::lower()
+                    .plan_distributed(n, k, comm.size())
+                    .expect("distributed plan");
+                let sol = plan.execute_distributed(&l, &b).expect("distributed solve");
+                sol.x.to_global()
+            })
+            .expect("machine run");
+        let xg = run.results.into_iter().next().expect("rank 0");
+        out.push(checksum("distributed_64x16", &xg));
+        out
+    }
+
+    obs::set_enabled(false);
+    obs::clear();
+    let baseline = workload();
+
+    obs::set_enabled(true);
+    obs::clear();
+    let traced = workload();
+    let dump = obs::collect_all();
+    obs::set_enabled(false);
+    obs::clear();
+
+    assert!(
+        !dump.is_empty(),
+        "the tracing-enabled run must record events"
+    );
+    assert_eq!(baseline.len(), traced.len());
+    for (off, on) in baseline.iter().zip(&traced) {
+        assert_eq!(
+            off, on,
+            "enabling tracing changed a result checksum (must be a pure observer)"
+        );
+        println!("{on}  [trace-transparent]");
+    }
+    eprintln!(
+        "trace transparency check passed ({} events recorded while tracing)",
+        dump.len()
+    );
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--syncfree-tolerance") {
         syncfree_tolerance_check();
+        return;
+    }
+    if std::env::args().any(|a| a == "--trace-transparency") {
+        trace_transparency_check();
         return;
     }
     eprintln!("dense worker count: {}", dense::dense_threads());

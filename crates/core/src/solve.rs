@@ -219,6 +219,7 @@ impl SolveRequest {
     /// right-hand sides (`k` counts columns of `B` for left solves, rows
     /// for right solves).
     pub fn plan_dense(&self, n: usize, k: usize) -> Result<Plan> {
+        let _span = obs::span_with("planner", "plan_dense", "n", n as u64);
         Ok(Plan {
             n,
             k,
@@ -245,6 +246,7 @@ impl SolveRequest {
     /// executor will actually use and — when it parallelizes — the shape
     /// of the level schedule it will sweep.
     pub fn plan_sparse(&self, a: &SparseTri, k: usize) -> Result<Plan> {
+        let _span = obs::span_with("planner", "plan_sparse", "n", a.n() as u64);
         if self.opts.side == Side::Right {
             return Err(config_error(
                 "plan_sparse",
@@ -338,6 +340,7 @@ impl SolveRequest {
     /// `p1 × p1 × p2` grid and block size — all recorded on the plan, so
     /// the choice is inspectable before (and after) execution.
     pub fn plan_distributed(&self, n: usize, k: usize, p: usize) -> Result<Plan> {
+        let _span = obs::span_with("planner", "plan_distributed", "n", n as u64);
         if self.opts.side == Side::Right {
             return Err(config_error(
                 "plan_distributed",
@@ -605,6 +608,7 @@ impl Plan {
             phases: None,
             levels: None,
             residual: None,
+            trace: None,
         }
     }
 
@@ -627,8 +631,14 @@ impl Plan {
             return Err(config_error("plan", "not a dense plan"));
         };
         self.check_dense_operand(a)?;
-        let flops = dense::trsm_in_place_opts(&self.opts, a, b)?;
-        Ok(self.report("dense blocked substitution", flops))
+        let mark = obs::enabled().then(obs::mark);
+        let flops = {
+            let _span = obs::span_with("core", "execute", "n", self.n as u64);
+            dense::trsm_in_place_opts(&self.opts, a, b)?
+        };
+        let mut report = self.report("dense blocked substitution", flops);
+        attach_trace(&mut report, mark);
+        Ok(report)
     }
 
     /// Execute this dense plan for one right-hand-side vector.
@@ -650,8 +660,14 @@ impl Plan {
             return Err(config_error("plan", "not a dense plan"));
         };
         self.check_dense_operand(a)?;
-        let flops = dense::trsv_in_place_opts(&self.opts, a, x)?;
-        Ok(self.report("dense substitution (single RHS)", flops))
+        let mark = obs::enabled().then(obs::mark);
+        let flops = {
+            let _span = obs::span_with("core", "execute", "n", self.n as u64);
+            dense::trsv_in_place_opts(&self.opts, a, x)?
+        };
+        let mut report = self.report("dense substitution (single RHS)", flops);
+        attach_trace(&mut report, mark);
+        Ok(report)
     }
 
     // -- sparse ------------------------------------------------------------
@@ -675,9 +691,14 @@ impl Plan {
         self.check_sparse_operand(a)?;
         let sopts = self.sparse_opts();
         let k = x.cols();
-        let flops = a.solve_multi_with(&sopts, x)?;
+        let mark = obs::enabled().then(obs::mark);
+        let flops = {
+            let _span = obs::span_with("core", "execute", "n", self.n as u64);
+            a.solve_multi_with(&sopts, x)?
+        };
         let mut report = self.report(self.algorithm_name(), flops);
         report.levels = Some(self.level_report(a, k));
+        attach_trace(&mut report, mark);
         Ok(report)
     }
 
@@ -701,9 +722,14 @@ impl Plan {
         };
         self.check_sparse_operand(a)?;
         let sopts = self.sparse_opts();
-        let flops = a.solve_with(&sopts, x)?;
+        let mark = obs::enabled().then(obs::mark);
+        let flops = {
+            let _span = obs::span_with("core", "execute", "n", self.n as u64);
+            a.solve_with(&sopts, x)?
+        };
         let mut report = self.report(self.algorithm_name(), flops);
         report.levels = Some(self.level_report(a, 1));
+        attach_trace(&mut report, mark);
         Ok(report)
     }
 
@@ -751,7 +777,9 @@ impl Plan {
             ));
         }
         let comm = l.grid().comm();
+        let mark = obs::enabled().then(obs::mark);
         let before = comm.counters();
+        let span = obs::span_with("core", "execute", "n", self.n as u64);
 
         // Apply op(A): the *cached* transpose if requested (one keyed
         // all-to-all on the first transposed solve of this matrix, reused
@@ -780,17 +808,117 @@ impl Plan {
                 (reverse_rows(&x_rev)?, phases)
             }
         };
+        drop(span);
         let delta = comm.counters().since(&before);
 
         let mut report = self.report(self.algorithm_name(), FlopCount::new(delta.flops));
         report.comm = Some(delta);
         report.phases = phases;
+        attach_trace(&mut report, mark);
         if self.residual {
             // Residual verification communicates; it runs outside the
             // measured window on the op-applied matrix.
             report.residual = Some(verify::residual(solve_mat, &x, b)?);
         }
         Ok(Solution { x, report })
+    }
+
+    // -- cost drift --------------------------------------------------------
+
+    /// Line up this plan's *predicted* α–β–γ cost against what `report`
+    /// measured, priced on `machine`.
+    ///
+    /// Every backend contributes a total row.  Distributed reports measure
+    /// messages, words and flops from this rank's communication-counter
+    /// delta, with the virtual-clock advance attached as the measured time
+    /// — so predicted and measured times are in the same model seconds
+    /// whenever `machine` matches the simulated `MachineParams`.  Sparse
+    /// reports measure the barriers actually crossed and each worker's
+    /// flop share; dense reports measure flops only.  Iterative
+    /// inversion-based solves additionally contribute one row per Section
+    /// VII phase (inversion / solve / update), with the per-phase formulas
+    /// of `costmodel::itinv` on the predicted side.
+    pub fn drift_report(
+        &self,
+        report: &SolveReport,
+        machine: costmodel::Machine,
+    ) -> costmodel::DriftReport {
+        let mut out = costmodel::DriftReport::new(machine);
+        let predicted = self.predicted_cost.unwrap_or(Cost {
+            latency: 0.0,
+            bandwidth: 0.0,
+            flops: self.predicted_flops.get() as f64,
+        });
+        match &self.backend {
+            PlanBackend::Dense { .. } => {
+                out.push(costmodel::DriftRow::new(
+                    self.algorithm_name(),
+                    predicted,
+                    Cost::new(0.0, 0.0, report.flops.get() as f64),
+                ));
+            }
+            PlanBackend::Sparse { workers, .. } => {
+                let (barriers, w) = report.levels.map_or((0.0, *workers as f64), |lr| {
+                    (lr.barriers as f64, lr.workers as f64)
+                });
+                let w = w.max(1.0);
+                let measured = Cost::new(
+                    barriers * costmodel::cost::log2c(w),
+                    barriers * self.k as f64,
+                    report.flops.get() as f64 / w,
+                );
+                out.push(costmodel::DriftRow::new(
+                    self.algorithm_name(),
+                    predicted,
+                    measured,
+                ));
+            }
+            PlanBackend::Distributed { algorithm, .. } => {
+                let mut row = costmodel::DriftRow::new(
+                    self.algorithm_name(),
+                    predicted,
+                    report.comm.as_ref().map_or(Cost::ZERO, counters_cost),
+                );
+                if let Some(c) = report.comm {
+                    row = row.with_seconds(c.time);
+                }
+                out.push(row);
+                if let (Algorithm::IterativeInversion(cfg), Some(ph)) = (algorithm, &report.phases)
+                {
+                    let (n, k) = (self.n as f64, self.k as f64);
+                    let (p1, p2, n0) = (cfg.p1 as f64, cfg.p2 as f64, cfg.n0 as f64);
+                    // The inversion sub-grids are r1 × r1 × r2 with
+                    // r1²·r2 = p·n0/n (Section VII-A); derive a feasible
+                    // shape the same way the tuned planner does.
+                    let q = (p1 * p1 * p2 * n0 / n).max(1.0);
+                    let r1 = q.sqrt().floor().max(1.0);
+                    let r2 = (q / (r1 * r1)).max(1.0);
+                    for (name, pred, meas) in [
+                        (
+                            "itinv: inversion",
+                            costmodel::itinv::inversion_phase(n, n0, r1, r2),
+                            &ph.inversion,
+                        ),
+                        (
+                            "itinv: solve",
+                            costmodel::itinv::solve_phase(n, k, n0, p1, p2),
+                            &ph.solve,
+                        ),
+                        (
+                            "itinv: update",
+                            costmodel::itinv::update_phase(n, k, n0, p1, p2),
+                            &ph.update,
+                        ),
+                    ] {
+                        out.push(
+                            costmodel::DriftRow::new(name, pred, counters_cost(meas))
+                                .with_seconds(meas.time),
+                        );
+                    }
+                }
+            }
+        }
+        out
     }
 }
 
@@ -887,6 +1015,13 @@ pub struct SolveReport {
     pub levels: Option<LevelReport>,
     /// Relative residual, when requested.
     pub residual: Option<f64>,
+    /// Aggregated tracing report for this execution, attached when the
+    /// [`obs`] tracing layer was enabled while the plan ran (`None`
+    /// otherwise — the disabled path records nothing and allocates
+    /// nothing).  The aggregation covers every event recorded machine-wide
+    /// during this call's window, so under the simulated machine a rank's
+    /// report may include spans recorded by concurrently executing ranks.
+    pub trace: Option<obs::TraceReport>,
 }
 
 impl SolveReport {
@@ -919,6 +1054,20 @@ impl SolveReport {
 // ---------------------------------------------------------------------------
 // Internal helpers
 // ---------------------------------------------------------------------------
+
+/// Attach the aggregated trace recorded since `mark` (no-op when tracing
+/// was off at the start of the execution).
+fn attach_trace(report: &mut SolveReport, mark: Option<obs::Mark>) {
+    if let Some(m) = mark {
+        report.trace = Some(obs::TraceReport::from_dump(&obs::collect_since(&m)));
+    }
+}
+
+/// Measured α–β–γ counts of one rank's communication-counter delta: the
+/// full-duplex message maximum, the word maximum, and the charged flops.
+fn counters_cost(c: &CostCounters) -> Cost {
+    Cost::new(c.latency() as f64, c.bandwidth() as f64, c.flops as f64)
+}
 
 /// Run one resolved algorithm on an effective lower-triangular system.
 fn run_lower(

@@ -1,0 +1,274 @@
+//! Predicted-vs-measured cost drift reports.
+//!
+//! The paper's workflow is *a priori*: pick algorithms and parameters from
+//! the closed-form α–β–γ formulas, then run.  That workflow is only
+//! trustworthy while the formulas keep tracking reality, so this module
+//! provides the bookkeeping to line the two up: each [`DriftRow`] pairs a
+//! phase's **predicted** [`Cost`] (from the formulas in this crate) with the
+//! **measured** counts for the same phase (message/word/flop counters from
+//! `simnet`, or wall-clock time from the tracing layer), and
+//! [`DriftReport::render`] prints them side by side with a drift ratio.
+//!
+//! The module is deliberately passive — plain data plus formatting, no
+//! dependencies — so both the staged solver (`catrsm`) and the experiment
+//! harness can build reports from whatever measurements they have.
+//!
+//! ```
+//! use costmodel::drift::{DriftReport, DriftRow};
+//! use costmodel::{Cost, Machine};
+//!
+//! let mut report = DriftReport::new(Machine::cluster());
+//! report.push(DriftRow::new(
+//!     "recursive trsm",
+//!     Cost::new(100.0, 5.0e5, 1.0e8),
+//!     Cost::new(128.0, 5.4e5, 1.1e8),
+//! ));
+//! let table = report.render();
+//! assert!(table.contains("recursive trsm"));
+//! ```
+
+use crate::cost::{Cost, Machine};
+use std::fmt;
+
+/// One phase's predicted-vs-measured cost pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftRow {
+    /// Phase label (algorithm or executor name).
+    pub phase: String,
+    /// The model's predicted leading-order cost.
+    pub predicted: Cost,
+    /// The measured counts for the same phase (messages, words, flops).
+    pub measured: Cost,
+    /// Measured wall-clock (or virtual-clock) seconds, when a timing source
+    /// was available; `None` when only counters were measured.
+    pub measured_seconds: Option<f64>,
+}
+
+impl DriftRow {
+    /// Build a row from predicted and measured counts.
+    pub fn new(phase: impl Into<String>, predicted: Cost, measured: Cost) -> Self {
+        DriftRow {
+            phase: phase.into(),
+            predicted,
+            measured,
+            measured_seconds: None,
+        }
+    }
+
+    /// Attach a measured time in seconds to the row.
+    pub fn with_seconds(mut self, seconds: f64) -> Self {
+        self.measured_seconds = Some(seconds);
+        self
+    }
+
+    /// The predicted execution time `α·S + β·W + γ·F` on `machine`.
+    pub fn predicted_time(&self, machine: &Machine) -> f64 {
+        self.predicted.time(machine)
+    }
+
+    /// The measured counts priced on the same machine — the apples-to-apples
+    /// time the model *would* predict if its counts were exactly the measured
+    /// ones.  Comparing this against [`DriftRow::predicted_time`] isolates
+    /// count drift from machine-constant drift.
+    pub fn measured_time(&self, machine: &Machine) -> f64 {
+        self.measured_seconds
+            .unwrap_or_else(|| self.measured.time(machine))
+    }
+
+    /// Drift ratio `measured / predicted` of the phase time on `machine`
+    /// (`1.0` = the model is exact, `> 1` = the model under-predicts).
+    /// Returns [`f64::INFINITY`] when the prediction is zero but the
+    /// measurement is not.
+    pub fn drift(&self, machine: &Machine) -> f64 {
+        let p = self.predicted_time(machine);
+        let m = self.measured_time(machine);
+        if p == 0.0 {
+            if m == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            m / p
+        }
+    }
+}
+
+/// A predicted-vs-measured comparison over the phases of one solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// The machine constants used to price both sides.
+    pub machine: Machine,
+    /// One row per phase, in execution order.
+    pub rows: Vec<DriftRow>,
+}
+
+impl DriftReport {
+    /// Create an empty report priced on `machine`.
+    pub fn new(machine: Machine) -> Self {
+        DriftReport {
+            machine,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a phase row.
+    pub fn push(&mut self, row: DriftRow) {
+        self.rows.push(row);
+    }
+
+    /// Sum of the predicted costs over all phases.
+    pub fn total_predicted(&self) -> Cost {
+        self.rows.iter().map(|r| r.predicted).sum()
+    }
+
+    /// Sum of the measured costs over all phases.
+    pub fn total_measured(&self) -> Cost {
+        self.rows.iter().map(|r| r.measured).sum()
+    }
+
+    /// Overall drift ratio `measured / predicted` of the total time.
+    pub fn total_drift(&self) -> f64 {
+        let p: f64 = self
+            .rows
+            .iter()
+            .map(|r| r.predicted_time(&self.machine))
+            .sum();
+        let m: f64 = self
+            .rows
+            .iter()
+            .map(|r| r.measured_time(&self.machine))
+            .sum();
+        if p == 0.0 {
+            if m == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            m / p
+        }
+    }
+
+    /// Render the report as an aligned plain-text table: one line per phase
+    /// with predicted and measured `S`/`W`/`F`, both times, and the drift
+    /// ratio, followed by a totals line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.phase.len())
+            .chain(std::iter::once("TOTAL".len()))
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        out.push_str(&format!(
+            "{:<width$}  {:>9} {:>9}  {:>9} {:>9}  {:>9} {:>9}  {:>10} {:>10}  {:>6}\n",
+            "phase",
+            "S pred",
+            "S meas",
+            "W pred",
+            "W meas",
+            "F pred",
+            "F meas",
+            "t pred",
+            "t meas",
+            "drift",
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<width$}  {:>9.2e} {:>9.2e}  {:>9.2e} {:>9.2e}  {:>9.2e} {:>9.2e}  {:>10.3e} {:>10.3e}  {:>6.2}\n",
+                r.phase,
+                r.predicted.latency,
+                r.measured.latency,
+                r.predicted.bandwidth,
+                r.measured.bandwidth,
+                r.predicted.flops,
+                r.measured.flops,
+                r.predicted_time(&self.machine),
+                r.measured_time(&self.machine),
+                r.drift(&self.machine),
+            ));
+        }
+        let tp = self.total_predicted();
+        let tm = self.total_measured();
+        let tp_time: f64 = self
+            .rows
+            .iter()
+            .map(|r| r.predicted_time(&self.machine))
+            .sum();
+        let tm_time: f64 = self
+            .rows
+            .iter()
+            .map(|r| r.measured_time(&self.machine))
+            .sum();
+        out.push_str(&format!(
+            "{:<width$}  {:>9.2e} {:>9.2e}  {:>9.2e} {:>9.2e}  {:>9.2e} {:>9.2e}  {:>10.3e} {:>10.3e}  {:>6.2}\n",
+            "TOTAL",
+            tp.latency,
+            tm.latency,
+            tp.bandwidth,
+            tm.bandwidth,
+            tp.flops,
+            tm.flops,
+            tp_time,
+            tm_time,
+            self.total_drift(),
+        ));
+        out
+    }
+}
+
+impl fmt::Display for DriftReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_ratio_is_measured_over_predicted() {
+        let m = Machine::unit();
+        let row = DriftRow::new("p", Cost::new(1.0, 2.0, 3.0), Cost::new(2.0, 4.0, 6.0));
+        assert_eq!(row.predicted_time(&m), 6.0);
+        assert_eq!(row.measured_time(&m), 12.0);
+        assert_eq!(row.drift(&m), 2.0);
+        // An attached wall time overrides the counter-priced estimate.
+        let timed = row.clone().with_seconds(3.0);
+        assert_eq!(timed.measured_time(&m), 3.0);
+        assert_eq!(timed.drift(&m), 0.5);
+        // Zero-predicted phases do not divide by zero.
+        let zero = DriftRow::new("z", Cost::ZERO, Cost::ZERO);
+        assert_eq!(zero.drift(&m), 1.0);
+        let inf = DriftRow::new("i", Cost::ZERO, Cost::new(1.0, 0.0, 0.0));
+        assert_eq!(inf.drift(&m), f64::INFINITY);
+    }
+
+    #[test]
+    fn report_totals_and_render() {
+        let mut rep = DriftReport::new(Machine::unit());
+        rep.push(DriftRow::new(
+            "alpha",
+            Cost::new(1.0, 0.0, 0.0),
+            Cost::new(1.0, 0.0, 0.0),
+        ));
+        rep.push(DriftRow::new(
+            "beta",
+            Cost::new(0.0, 10.0, 0.0),
+            Cost::new(0.0, 20.0, 0.0),
+        ));
+        assert_eq!(rep.total_predicted(), Cost::new(1.0, 10.0, 0.0));
+        assert_eq!(rep.total_measured(), Cost::new(1.0, 20.0, 0.0));
+        assert!((rep.total_drift() - 21.0 / 11.0).abs() < 1e-12);
+        let table = rep.render();
+        assert!(table.contains("alpha"));
+        assert!(table.contains("beta"));
+        assert!(table.contains("TOTAL"));
+        assert!(table.lines().count() == 4);
+        assert_eq!(rep.to_string(), table);
+    }
+}

@@ -29,6 +29,7 @@
 pub mod collectives;
 pub mod compare;
 pub mod cost;
+pub mod drift;
 pub mod inversion;
 pub mod itinv;
 pub mod mm;
@@ -37,6 +38,7 @@ pub mod rec_trsm;
 pub mod tuning;
 
 pub use cost::{Cost, Machine};
+pub use drift::{DriftReport, DriftRow};
 pub use predict::{
     sparse_solve_cost, sparse_solve_cost_amortized, trsm_cost as predict_trsm_cost, AlgorithmKind,
 };

@@ -137,11 +137,12 @@ fn gemm_parallel(
 ) {
     let kdim = op_dims(a, a_trans).1;
     let n = op_dims(b, b_trans).1;
+    let _region = obs::span_with("dense", "gemm_parallel", "threads", threads as u64);
     with_packed_a(alpha, a, a_trans, |apack| {
         let chunks = panel_chunks(n, NR, threads);
         let mut jobs = Vec::with_capacity(chunks.len());
         let mut rest = c.reborrow();
-        for (j0, chunk_cols) in chunks {
+        for (w, (j0, chunk_cols)) in chunks.into_iter().enumerate() {
             let (chunk, tail) = rest.split_cols_at_mut(chunk_cols);
             rest = tail;
             // Columns `j0 ..` of `op(B)` are rows `j0 ..` of a transposed
@@ -151,7 +152,10 @@ fn gemm_parallel(
             } else {
                 b.subview(0, j0, kdim, chunk_cols)
             };
-            jobs.push(move || gemm_chunk_shared_a(apack, b_chunk, b_trans, chunk));
+            jobs.push(move || {
+                let _worker = obs::span_with("dense", "gemm_worker", "worker", w as u64);
+                gemm_chunk_shared_a(apack, b_chunk, b_trans, chunk)
+            });
         }
         threads::join_all(jobs);
     });
@@ -191,6 +195,12 @@ fn gemm_chunk_shared_a(apack: &PackedA<'_>, b: MatRef<'_>, b_trans: bool, mut c:
     let c_ptr = c.as_mut_ptr();
     let (bk, bj) = op_strides(b, b_trans);
     let b_ptr = b.as_ptr();
+    // Pack-vs-microkernel attribution: accumulated locally and emitted as
+    // two counters at chunk end, so the hot loop records no events.  When
+    // tracing is off the only residue is a branch on a local bool.
+    let tracing = obs::enabled();
+    let mut pack_ns = 0u64;
+    let mut kernel_ns = 0u64;
     with_gemm_scratch(|_, bpack| {
         let mut jc = 0;
         while jc < n {
@@ -206,7 +216,9 @@ fn gemm_chunk_shared_a(apack: &PackedA<'_>, b: MatRef<'_>, b_trans: bool, mut c:
                 // is exclusively owned by this worker (disjoint column
                 // chunks via `split_cols_at_mut`).
                 unsafe {
+                    let t0 = if tracing { obs::now_ns() } else { 0 };
                     pack_b(b_ptr.add(pc * bk + jc * bj), bk, bj, kc, nc, bpack);
+                    let t1 = if tracing { obs::now_ns() } else { 0 };
                     let mut ic = 0;
                     let mut ic_idx = 0;
                     while ic < m {
@@ -223,6 +235,11 @@ fn gemm_chunk_shared_a(apack: &PackedA<'_>, b: MatRef<'_>, b_trans: bool, mut c:
                         ic += MC;
                         ic_idx += 1;
                     }
+                    if tracing {
+                        let t2 = obs::now_ns();
+                        pack_ns += t1.saturating_sub(t0);
+                        kernel_ns += t2.saturating_sub(t1);
+                    }
                 }
                 pc += KC;
                 pc_idx += 1;
@@ -230,6 +247,10 @@ fn gemm_chunk_shared_a(apack: &PackedA<'_>, b: MatRef<'_>, b_trans: bool, mut c:
             jc += NC;
         }
     });
+    if tracing {
+        obs::counter("dense", "pack_ns", "ns", pack_ns, "", 0);
+        obs::counter("dense", "kernel_ns", "ns", kernel_ns, "", 0);
+    }
 }
 
 /// The row-partitioned multithreaded driver for tall-skinny products
@@ -252,10 +273,11 @@ fn gemm_parallel_rows(
     threads: usize,
 ) {
     let (m, kdim) = op_dims(a, a_trans);
+    let _region = obs::span_with("dense", "gemm_parallel_rows", "threads", threads as u64);
     let chunks = panel_chunks(m, MR, threads);
     let mut jobs = Vec::with_capacity(chunks.len());
     let mut rest = c.reborrow();
-    for (i0, chunk_rows) in chunks {
+    for (w, (i0, chunk_rows)) in chunks.into_iter().enumerate() {
         let (chunk, tail) = rest.split_rows_at_mut(chunk_rows);
         rest = tail;
         // Rows `i0 ..` of `op(A)` are columns `i0 ..` of a transposed
@@ -265,7 +287,10 @@ fn gemm_parallel_rows(
         } else {
             a.subview(i0, 0, chunk_rows, kdim)
         };
-        jobs.push(move || gemm_chunk_rows(alpha, a_chunk, a_trans, b, b_trans, chunk));
+        jobs.push(move || {
+            let _worker = obs::span_with("dense", "gemm_worker", "worker", w as u64);
+            gemm_chunk_rows(alpha, a_chunk, a_trans, b, b_trans, chunk)
+        });
     }
     threads::join_all(jobs);
 }
@@ -368,6 +393,11 @@ unsafe fn gemm_packed(
     c_rs: usize,
 ) {
     let macro_kernel = select_macro_kernel();
+    // Same pack-vs-microkernel attribution as `gemm_chunk_shared_a`: local
+    // accumulators, two counter events at the end, nothing in the hot loop.
+    let tracing = obs::enabled();
+    let mut pack_ns = 0u64;
+    let mut kernel_ns = 0u64;
     with_gemm_scratch(|apack, bpack| {
         let mut jc = 0;
         while jc < n {
@@ -375,12 +405,23 @@ unsafe fn gemm_packed(
             let mut pc = 0;
             while pc < kdim {
                 let kc = KC.min(kdim - pc);
+                let t0 = if tracing { obs::now_ns() } else { 0 };
                 pack_b(b.add(pc * bk + jc * bj), bk, bj, kc, nc, bpack);
+                if tracing {
+                    pack_ns += obs::now_ns().saturating_sub(t0);
+                }
                 let mut ic = 0;
                 while ic < m {
                     let mc = MC.min(m - ic);
+                    let t1 = if tracing { obs::now_ns() } else { 0 };
                     pack_a(alpha, a.add(ic * ai + pc * ak), ai, ak, mc, kc, apack);
+                    let t2 = if tracing { obs::now_ns() } else { 0 };
                     macro_kernel(mc, nc, kc, apack, bpack, c.add(ic * c_rs + jc), c_rs);
+                    if tracing {
+                        let t3 = obs::now_ns();
+                        pack_ns += t2.saturating_sub(t1);
+                        kernel_ns += t3.saturating_sub(t2);
+                    }
                     ic += MC;
                 }
                 pc += KC;
@@ -388,6 +429,10 @@ unsafe fn gemm_packed(
             jc += NC;
         }
     });
+    if tracing {
+        obs::counter("dense", "pack_ns", "ns", pack_ns, "", 0);
+        obs::counter("dense", "kernel_ns", "ns", kernel_ns, "", 0);
+    }
 }
 
 /// Signature shared by the macro-kernel instantiations.

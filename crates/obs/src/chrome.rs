@@ -1,0 +1,331 @@
+//! Hand-rolled Chrome trace-event JSON exporter and validator (no
+//! dependencies — the container has no registry access).
+//!
+//! [`to_chrome_json`] renders a [`TraceDump`] in the
+//! [trace-event format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! understood by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev):
+//! an object with a `traceEvents` array of `B`/`E`/`i`/`C` phase records.
+//! Wall-lane threads render under `pid` [`WALL_PID`]; each simulated
+//! rank's virtual-clock lane renders under `pid` [`SIM_PID`] with
+//! `tid` = rank, so the two time bases never share a track.
+//!
+//! [`validate`] checks the invariants CI's `trace-audit` job relies on:
+//! parseable shape, balanced begin/end per track, and per-track monotone
+//! timestamps.
+
+use crate::{Event, EventKind, Lane, TraceDump};
+use std::fmt::Write as _;
+
+/// Chrome `pid` under which wall-clock lanes are grouped.
+pub const WALL_PID: u64 = 1;
+/// Chrome `pid` under which simulated virtual-clock lanes are grouped
+/// (`tid` = simulated world rank).
+pub const SIM_PID: u64 = 2;
+
+fn phase(kind: EventKind) -> char {
+    match kind {
+        EventKind::Begin => 'B',
+        EventKind::End => 'E',
+        EventKind::Instant => 'i',
+        EventKind::Counter => 'C',
+    }
+}
+
+fn write_event(out: &mut String, pid: u64, tid: u64, ev: &Event) {
+    // ts is in microseconds; keep nanosecond precision as fractional µs.
+    let ts_us = ev.ts_ns as f64 / 1000.0;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{:.3},\"pid\":{},\"tid\":{}",
+        ev.name,
+        ev.cat,
+        phase(ev.kind),
+        ts_us,
+        pid,
+        tid
+    );
+    if ev.kind == EventKind::Instant {
+        out.push_str(",\"s\":\"t\"");
+    }
+    if !ev.arg_name.is_empty() || !ev.arg2_name.is_empty() {
+        out.push_str(",\"args\":{");
+        let mut first = true;
+        if !ev.arg_name.is_empty() {
+            let _ = write!(out, "\"{}\":{}", ev.arg_name, ev.arg);
+            first = false;
+        }
+        if !ev.arg2_name.is_empty() {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", ev.arg2_name, ev.arg2);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Render a dump as a Chrome trace-event JSON string.  Event and argument
+/// names in this workspace are static identifiers (no quotes/backslashes),
+/// so no string escaping is required.
+pub fn to_chrome_json(dump: &TraceDump) -> String {
+    let mut out = String::with_capacity(128 * dump.len() + 64);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for thread in &dump.threads {
+        let (pid, tid) = match thread.lane {
+            Lane::Wall => (WALL_PID, thread.tid),
+            Lane::Sim { rank } => (SIM_PID, rank as u64),
+        };
+        for ev in &thread.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_event(&mut out, pid, tid, ev);
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// One validation failure found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Human-readable description of the failed invariant.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A parsed-back trace record used during validation.
+struct RawEvent {
+    ph: char,
+    name: String,
+    ts: f64,
+    pid: u64,
+    tid: u64,
+}
+
+/// Extract a string field value (`"key":"value"`) from one JSON object.
+fn field_str(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = obj.find(&pat)? + pat.len();
+    let end = obj[start..].find('"')? + start;
+    Some(obj[start..end].to_string())
+}
+
+/// Extract a numeric field value (`"key":123.4`) from one JSON object.
+fn field_num(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Split the `traceEvents` array body into top-level `{...}` objects.
+/// The exporter never nests objects more than one level (`args`), and no
+/// string values contain braces, so brace counting is sufficient.
+fn split_objects(body: &str) -> Vec<&str> {
+    let mut objs = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, b) in body.bytes().enumerate() {
+        match b {
+            b'{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    objs.push(&body[start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    objs
+}
+
+/// Validate a Chrome-trace JSON string: schema sanity (the `traceEvents`
+/// wrapper, required fields, known phases), balanced `B`/`E` per
+/// `(pid, tid)` track, and monotone non-decreasing timestamps per track.
+/// Returns every violation found (empty = valid).
+pub fn validate(json: &str) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let err = |msg: String| ValidationError { message: msg };
+
+    let Some(arr_start) = json.find("\"traceEvents\":[") else {
+        return vec![err("missing \"traceEvents\" array".into())];
+    };
+    let body_start = arr_start + "\"traceEvents\":[".len();
+    let Some(body_len) = json[body_start..].rfind(']') else {
+        return vec![err("unterminated \"traceEvents\" array".into())];
+    };
+    let body = &json[body_start..body_start + body_len];
+
+    let mut events = Vec::new();
+    for (i, obj) in split_objects(body).into_iter().enumerate() {
+        let ph = match field_str(obj, "ph") {
+            Some(p) if p.len() == 1 => p.chars().next().unwrap(),
+            _ => {
+                errors.push(err(format!("event {i}: missing/invalid \"ph\"")));
+                continue;
+            }
+        };
+        if !matches!(ph, 'B' | 'E' | 'i' | 'C') {
+            errors.push(err(format!("event {i}: unknown phase {ph:?}")));
+            continue;
+        }
+        let name = field_str(obj, "name").unwrap_or_default();
+        if name.is_empty() {
+            errors.push(err(format!("event {i}: missing \"name\"")));
+        }
+        if field_str(obj, "cat").is_none() {
+            errors.push(err(format!("event {i}: missing \"cat\"")));
+        }
+        let (Some(ts), Some(pid), Some(tid)) = (
+            field_num(obj, "ts"),
+            field_num(obj, "pid"),
+            field_num(obj, "tid"),
+        ) else {
+            errors.push(err(format!("event {i}: missing ts/pid/tid")));
+            continue;
+        };
+        events.push(RawEvent {
+            ph,
+            name,
+            ts,
+            pid: pid as u64,
+            tid: tid as u64,
+        });
+    }
+    if events.is_empty() {
+        errors.push(err("trace contains no events".into()));
+        return errors;
+    }
+
+    // Per-track checks: monotone timestamps, balanced and well-nested B/E.
+    let mut tracks: std::collections::BTreeMap<(u64, u64), (f64, Vec<String>)> =
+        std::collections::BTreeMap::new();
+    for ev in &events {
+        let track = tracks
+            .entry((ev.pid, ev.tid))
+            .or_insert((f64::MIN, Vec::new()));
+        if ev.ts < track.0 {
+            errors.push(err(format!(
+                "track ({},{}): timestamp regression at {:?} ({} < {})",
+                ev.pid, ev.tid, ev.name, ev.ts, track.0
+            )));
+        }
+        track.0 = track.0.max(ev.ts);
+        match ev.ph {
+            'B' => track.1.push(ev.name.clone()),
+            'E' => match track.1.pop() {
+                Some(open) if open == ev.name => {}
+                Some(open) => errors.push(err(format!(
+                    "track ({},{}): end {:?} does not match open span {:?}",
+                    ev.pid, ev.tid, ev.name, open
+                ))),
+                None => errors.push(err(format!(
+                    "track ({},{}): end {:?} without begin",
+                    ev.pid, ev.tid, ev.name
+                ))),
+            },
+            _ => {}
+        }
+    }
+    for ((pid, tid), (_, open)) in &tracks {
+        if !open.is_empty() {
+            errors.push(err(format!(
+                "track ({pid},{tid}): {} unclosed span(s), first {:?}",
+                open.len(),
+                open[0]
+            )));
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ThreadEvents, TraceDump};
+
+    fn ev(kind: EventKind, name: &'static str, ts: u64) -> Event {
+        Event {
+            kind,
+            cat: "t",
+            name,
+            ts_ns: ts,
+            arg_name: if kind == EventKind::Counter { "v" } else { "" },
+            arg: 5,
+            arg2_name: "",
+            arg2: 0,
+        }
+    }
+
+    fn dump() -> TraceDump {
+        TraceDump {
+            threads: vec![
+                ThreadEvents {
+                    tid: 1,
+                    lane: Lane::Wall,
+                    events: vec![
+                        ev(EventKind::Begin, "solve", 0),
+                        ev(EventKind::Counter, "rows", 500),
+                        ev(EventKind::End, "solve", 1_000),
+                    ],
+                },
+                ThreadEvents {
+                    tid: 9,
+                    lane: Lane::Sim { rank: 3 },
+                    events: vec![ev(EventKind::Instant, "send", 2_000)],
+                },
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn export_is_valid_and_lane_separated() {
+        let json = to_chrome_json(&dump());
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"pid\":2,\"tid\":3"));
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+        let errors = validate(&json);
+        assert!(errors.is_empty(), "unexpected errors: {errors:?}");
+    }
+
+    #[test]
+    fn validator_catches_unbalanced_spans() {
+        let mut d = dump();
+        d.threads[0].events.pop(); // lose the End
+        let errors = validate(&to_chrome_json(&d));
+        assert!(errors.iter().any(|e| e.message.contains("unclosed")));
+    }
+
+    #[test]
+    fn validator_catches_timestamp_regression() {
+        let mut d = dump();
+        d.threads[0].events[2].ts_ns = 100; // End before Counter's ts
+        let errors = validate(&to_chrome_json(&d));
+        assert!(errors.iter().any(|e| e.message.contains("regression")));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(!validate("{}").is_empty());
+        assert!(!validate("{\"traceEvents\":[]}").is_empty());
+    }
+}

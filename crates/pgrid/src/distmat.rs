@@ -211,6 +211,7 @@ impl DistMatrix {
         if let Some(t) = self.transpose_cache.get() {
             return Ok(t);
         }
+        let _span = obs::span_with("pgrid", "transpose_redist", "rows", self.rows as u64);
         // The endpoint is per-rank single-threaded, so compute-then-set
         // cannot race; a concurrent set is impossible here.
         let t = Box::new(crate::redist::transpose(self, true)?);
@@ -239,6 +240,7 @@ impl DistMatrix {
         if let Some(u) = self.unit_diag_cache.get() {
             return u;
         }
+        let _span = obs::span_with("pgrid", "unit_overlay", "rows", self.rows as u64);
         let mut local = self.local.clone();
         let pr = self.grid.rows();
         let pc = self.grid.cols();
@@ -303,6 +305,7 @@ impl DistMatrix {
     /// Fallible form of [`DistMatrix::to_global`]: propagates transport
     /// errors (fault-injected timeouts, rank failures) as typed errors.
     pub fn try_to_global(&self) -> Result<Matrix> {
+        let _span = obs::span_with("pgrid", "to_global", "rows", self.rows as u64);
         let pieces = coll::allgatherv(self.grid.comm(), self.local.as_slice())?;
         let mut out = Matrix::zeros(self.rows, self.cols);
         for (rank, piece) in pieces.into_iter().enumerate() {

@@ -37,6 +37,7 @@ pub fn exchange_keyed(
     log_latency: bool,
 ) -> Result<Vec<Vec<(u64, f64)>>> {
     debug_assert_eq!(outgoing.len(), comm.size());
+    let _span = obs::span_with("pgrid", "exchange_keyed", "ranks", comm.size() as u64);
     let blocks: Vec<Vec<f64>> = outgoing
         .iter()
         .map(|pairs| {

@@ -61,11 +61,28 @@ pub(crate) struct Endpoint {
 }
 
 impl Endpoint {
+    /// Virtual clock in integer nanoseconds, for sim-lane trace events.
+    fn clock_ns(&self) -> u64 {
+        (self.clock * 1e9) as u64
+    }
+
     fn charge_send(&mut self, words: usize) -> f64 {
         self.counters.msgs_sent += 1;
         self.counters.words_sent += words as u64;
         self.clock += self.params.alpha + self.params.beta * words as f64;
         self.counters.time = self.clock;
+        if obs::enabled() {
+            obs::sim_instant(
+                self.world_rank,
+                "simnet",
+                "send",
+                self.clock_ns(),
+                "words",
+                words as u64,
+                "",
+                0,
+            );
+        }
         self.clock
     }
 
@@ -76,6 +93,18 @@ impl Endpoint {
             self.clock = avail_time;
         }
         self.counters.time = self.clock;
+        if obs::enabled() {
+            obs::sim_instant(
+                self.world_rank,
+                "simnet",
+                "recv",
+                self.clock_ns(),
+                "words",
+                words as u64,
+                "",
+                0,
+            );
+        }
     }
 
     fn charge_flops(&mut self, flops: u64) {
@@ -200,6 +229,28 @@ impl Endpoint {
             let backoff = self.params.retry_timeout * (1u64 << attempt.min(30)) as f64;
             self.clock += self.params.alpha + self.params.beta * words as f64 + backoff;
             self.counters.time = self.clock;
+            if obs::enabled() {
+                obs::sim_instant(
+                    self.world_rank,
+                    "simnet",
+                    "retry",
+                    self.clock_ns(),
+                    "attempt",
+                    attempt as u64 + 1,
+                    "words",
+                    words as u64,
+                );
+                obs::sim_instant(
+                    self.world_rank,
+                    "simnet",
+                    "backoff",
+                    self.clock_ns(),
+                    "backoff_ns",
+                    (backoff * 1e9) as u64,
+                    "",
+                    0,
+                );
+            }
         }
         if sf.drops > max_retries {
             self.counters.timeouts += 1;

@@ -13,7 +13,7 @@
 //! `x[j]` is final, the column's entries are exactly the contributions
 //! `a_ij · x[j]` owed to later rows, so the solve needs **no dependency
 //! analysis and no barriers** — just a per-row atomic counter that says how
-//! many contributions have landed.  [`SparseTriCsc::run_syncfree`] is that
+//! many contributions have landed.  `SparseTriCsc::run_syncfree` is that
 //! executor (also reachable from [`SparseTri`] through
 //! `SchedulePolicy::SyncFree`, via the cached [`SparseTri::csc`] mirror):
 //!
@@ -47,7 +47,9 @@
 
 use crate::csr::SparseTri;
 use crate::error::SparseError;
-use crate::solve::{chunk_bounds, wait_ready, SharedPtr, SolveOpts, PAR_MIN_WORK};
+use crate::solve::{
+    chunk_bounds, wait_ready, wait_ready_counted, SharedPtr, SolveOpts, PAR_MIN_WORK,
+};
 use crate::Result;
 // Same pivot tolerance as the CSR constructors, so the two storage forms
 // accept exactly the same matrices.
@@ -580,13 +582,24 @@ impl SparseTriCsc {
         let mut partial = vec![0.0f64; workers * n * k];
         let slab = SharedPtr(partial.as_mut_ptr());
         let shared = SharedPtr(x);
+        let tracing = obs::enabled();
+        let _span = obs::span_with("sparse", "syncfree_exec", "workers", workers as u64);
         run_region(workers, |w| {
             let (lo, hi) = chunk_bounds(n, workers, w);
+            // Spin iterations and slab-segment reductions accumulate
+            // locally and are emitted as one counter each per worker at
+            // region end (`TraceReport::{spin_iters, slab_reductions}`).
+            let mut spins = 0u64;
+            let mut reductions = 0u64;
             let sweep = |j: usize| {
                 // Wait (acquire) until every contribution to row `j` has
                 // landed; the release increments below pair with this, so
                 // all slab writes for row `j` are visible.
-                wait_ready(&known[j], indeg[j]);
+                if tracing {
+                    spins += wait_ready_counted(&known[j], indeg[j]);
+                } else {
+                    wait_ready(&known[j], indeg[j]);
+                }
                 // SAFETY: row `j` of `x` is written only by this worker
                 // (contiguous chunk ownership of columns = rows); the slab
                 // rows reduced here are final per the counter handshake,
@@ -604,6 +617,9 @@ impl SparseTriCsc {
                         for (xjc, pc) in xj.iter_mut().zip(p) {
                             *xjc -= pc;
                         }
+                    }
+                    if tracing {
+                        reductions += workers as u64;
                     }
                     if self.diag == Diag::NonUnit {
                         let d = self.diag_vals[j];
@@ -629,6 +645,17 @@ impl SparseTriCsc {
             match self.tri {
                 Triangle::Lower => (lo..hi).for_each(sweep),
                 Triangle::Upper => (lo..hi).rev().for_each(sweep),
+            }
+            if tracing {
+                obs::counter("sparse", "spin_iters", "iters", spins, "worker", w as u64);
+                obs::counter(
+                    "sparse",
+                    "slab_reductions",
+                    "count",
+                    reductions,
+                    "worker",
+                    w as u64,
+                );
             }
         });
     }

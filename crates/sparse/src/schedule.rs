@@ -65,6 +65,7 @@ impl Schedule {
     /// dependencies are resolved before the row itself, so one pass
     /// suffices.
     pub fn analyze(mat: &SparseTri) -> Schedule {
+        let _span = obs::span_with("sparse", "schedule_analyze", "n", mat.n() as u64);
         let n = mat.n();
         let row_ptr = mat.row_ptr();
         let col_idx = mat.col_idx();
@@ -311,6 +312,7 @@ impl MergedSchedule {
     /// nnz) given the cached level analysis; most callers want the cached
     /// [`SparseTri::merged_schedule`] instead.
     pub fn build(schedule: &Schedule, mat: &SparseTri) -> MergedSchedule {
+        let _span = obs::span_with("sparse", "merged_build", "n", mat.n() as u64);
         let n = mat.n();
         assert!(n < u32::MAX as usize, "row ids must fit in u32");
         let num_levels = schedule.num_levels();

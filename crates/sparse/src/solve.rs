@@ -288,6 +288,32 @@ pub(crate) fn wait_ready(flag: &AtomicU32, epoch: u32) {
     }
 }
 
+/// [`wait_ready`] that counts loop iterations (spins + yields) for the
+/// tracing layer.  Only called when tracing is enabled, so the plain
+/// variant's disabled path stays untouched.
+#[inline]
+pub(crate) fn wait_ready_counted(flag: &AtomicU32, epoch: u32) -> u64 {
+    let mut iters = 0u64;
+    let mut spins = 0u32;
+    while flag.load(Ordering::Acquire) != epoch {
+        iters += 1;
+        if spins < 32 {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    iters
+}
+
+/// Per-(super-)level timeline spans are emitted (by worker 0) only when the
+/// schedule has at most this many levels: a 10 000-level DAG would flood
+/// the trace buffers with events nobody can render, while the per-worker
+/// aggregate counters (`barrier_wait_ns`, `spin_iters`) stay cheap at any
+/// depth.
+pub(crate) const MAX_LEVEL_SPANS: usize = 1024;
+
 thread_local! {
     /// Readiness flags reused across merged-policy solves on this thread,
     /// paired with the epoch of the most recent solve that used them (see
@@ -524,9 +550,22 @@ impl SparseTri {
         let sched = self.schedule();
         let shared = SharedPtr(x);
         let barrier = SpinBarrier::new(workers);
+        let tracing = obs::enabled();
+        let level_spans = tracing && sched.num_levels() <= MAX_LEVEL_SPANS;
+        let _span = obs::span_with("sparse", "level_exec", "levels", sched.num_levels() as u64);
         run_region(workers, |w| {
+            // Barrier-wait time accumulates locally and is emitted as one
+            // counter per worker at region end, so the per-level loop
+            // records nothing; worker 0 additionally emits a per-level
+            // timeline span on shallow schedules.
+            let mut wait_ns = 0u64;
             for l in 0..sched.num_levels() {
                 let rows = sched.level_rows(l);
+                let lspan = if level_spans && w == 0 {
+                    Some(obs::span_with("sparse", "level", "rows", rows.len() as u64))
+                } else {
+                    None
+                };
                 let (lo, hi) = chunk_bounds(rows.len(), workers, w);
                 for &i in &rows[lo..hi] {
                     // SAFETY: `chunk_bounds` hands each worker a
@@ -538,7 +577,22 @@ impl SparseTri {
                     // (and, for level 0, via the region spawn).
                     unsafe { self.eliminate_row(shared.get(), stride, k, i) };
                 }
+                let t0 = if tracing { obs::now_ns() } else { 0 };
                 barrier.wait();
+                if tracing {
+                    wait_ns += obs::now_ns().saturating_sub(t0);
+                }
+                drop(lspan);
+            }
+            if tracing {
+                obs::counter(
+                    "sparse",
+                    "barrier_wait_ns",
+                    "ns",
+                    wait_ns,
+                    "worker",
+                    w as u64,
+                );
             }
         });
     }
@@ -575,17 +629,53 @@ impl SparseTri {
         // apply-many hot path allocates and zeroes nothing per solve.
         // Rows of earlier super-levels never have their flags consulted,
         // so no per-super-level reset is needed either.
+        let tracing = obs::enabled();
+        let super_spans = tracing && merged.num_super_levels() <= MAX_LEVEL_SPANS;
+        let _span = obs::span_with(
+            "sparse",
+            "merged_exec",
+            "super_levels",
+            merged.num_super_levels() as u64,
+        );
         with_done_flags(self.n(), |done, epoch| {
             run_region(workers, |w| {
+                // Same counter convention as the level executor, plus the
+                // point-to-point spin count; worker 0 also emits one
+                // `super_rows` counter per super-level (its row count,
+                // surfaced into `TraceReport::super_level_rows`).
+                let mut wait_ns = 0u64;
+                let mut spins = 0u64;
                 for s in 0..merged.num_super_levels() {
                     let srange = merged.super_range(s);
                     let srows = &rows[srange];
+                    let sspan = if super_spans && w == 0 {
+                        obs::counter(
+                            "sparse",
+                            "super_rows",
+                            "rows",
+                            srows.len() as u64,
+                            "super",
+                            s as u64,
+                        );
+                        Some(obs::span_with(
+                            "sparse",
+                            "super_level",
+                            "rows",
+                            srows.len() as u64,
+                        ))
+                    } else {
+                        None
+                    };
                     let (lo, hi) = chunk_bounds(srows.len(), workers, w);
                     for &i in &srows[lo..hi] {
                         let (cols, _) = self.row_entries(i);
                         for &j in cols {
                             if merged.super_of(j) == s as u32 {
-                                wait_ready(&done[j], epoch);
+                                if tracing {
+                                    spins += wait_ready_counted(&done[j], epoch);
+                                } else {
+                                    wait_ready(&done[j], epoch);
+                                }
                             }
                         }
                         // SAFETY: row `i` is written by exactly this worker
@@ -598,7 +688,23 @@ impl SparseTri {
                         unsafe { self.eliminate_row(shared.get(), stride, k, i) };
                         done[i].store(epoch, Ordering::Release);
                     }
+                    let t0 = if tracing { obs::now_ns() } else { 0 };
                     barrier.wait();
+                    if tracing {
+                        wait_ns += obs::now_ns().saturating_sub(t0);
+                    }
+                    drop(sspan);
+                }
+                if tracing {
+                    obs::counter(
+                        "sparse",
+                        "barrier_wait_ns",
+                        "ns",
+                        wait_ns,
+                        "worker",
+                        w as u64,
+                    );
+                    obs::counter("sparse", "spin_iters", "iters", spins, "worker", w as u64);
                 }
             });
         });

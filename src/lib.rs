@@ -4,6 +4,8 @@
 //! cross-crate integration tests (`tests/`); the actual functionality lives
 //! in the workspace crates, re-exported here for convenience:
 //!
+//! * [`obs`] — the solver-wide tracing and metrics layer (span recorder,
+//!   Chrome-trace exporter, aggregated `TraceReport`s),
 //! * [`dense`] — local dense kernels (the BLAS substitute),
 //! * [`sparse`] — level-scheduled parallel sparse triangular solves
 //!   (CSR storage, dependency-DAG analysis, multi-RHS executors),
@@ -19,6 +21,7 @@
 pub use catrsm;
 pub use costmodel;
 pub use dense;
+pub use obs;
 pub use pgrid;
 pub use simnet;
 pub use sparse;
