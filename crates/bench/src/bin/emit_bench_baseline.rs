@@ -24,6 +24,14 @@
 //! asserted `disabled_vs_plain` ratio (disabled-mode tracing must cost
 //! ≤ 2% on the instrumented hot path).
 //!
+//! Schema v7 adds a `solve_service` array: open-loop load-generator runs
+//! against the `serve::SolveService` at two target hit ratios, recording
+//! requests/sec, p50/p99 latency, the measured cache hit ratio, and the
+//! fused-batch statistics, each row stamped with `hw_threads`.  The
+//! machine-independent invariants (zero errors, bounded queue depth,
+//! plan builds ≤ distinct keys) are asserted on every machine; the
+//! absolute-throughput floor only where `hw_threads >= 4`.
+//!
 //! Flags:
 //!
 //! * `--fast` — CI mode: fewer samples, smaller sizes, no speedup
@@ -455,6 +463,55 @@ fn main() {
     // cost on the instrumented hot path.
     let trace_disabled_vs_plain = trace_sparse_off / sparse_t4;
 
+    // --- Solve-service throughput (schema v7). ----------------------------
+    // Open-loop load against a fresh SolveService per scenario: a hot
+    // workload (90% of requests reuse a closed set of 8 fingerprints) and
+    // a colder one (50%).  The arrival rate is set high enough that the
+    // service, not the pacing, bounds throughput on slow machines, so the
+    // rps figure is a real capacity measurement there and a rate-limited
+    // one on fast machines — either way comparable against the same
+    // schema.  The machine-independent invariants are asserted on every
+    // machine (CI's container has one core); only the absolute floor is
+    // gated on `hw_threads >= 4`.
+    let service_requests = if opts.fast { 150 } else { 600 };
+    let service_scenarios = [("service_hot90", 0.9f64), ("service_mixed50", 0.5f64)];
+    let mut service_rows: Vec<String> = Vec::new();
+    let mut service_headline_rps = 0.0f64;
+    for (scenario, hit_ratio) in service_scenarios {
+        let cfg = harness::service_load::LoadConfig {
+            requests: service_requests,
+            rate: 50_000.0,
+            hit_ratio,
+            seed: 0xBE7C,
+            ..Default::default()
+        };
+        let report = harness::service_load::run_load(&cfg);
+        report
+            .check(&cfg)
+            .unwrap_or_else(|why| panic!("{scenario}: service invariant violated: {why}"));
+        if hit_ratio == 0.9 {
+            service_headline_rps = report.rps;
+        }
+        let s = &report.stats;
+        service_rows.push(format!(
+            "    {{ \"scenario\": \"{scenario}\", \"requests\": {}, \"n\": {}, \
+             \"hit_ratio_target\": {hit_ratio:.2}, \"hit_ratio\": {:.3}, \
+             \"rps\": {:.0}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"plan_builds\": {}, \"batches\": {}, \"fused_requests\": {}, \
+             \"max_batch_width\": {}, \"hw_threads\": {hw_threads} }}",
+            report.requests,
+            cfg.n,
+            s.hit_ratio(),
+            report.rps,
+            report.p50_us,
+            report.p99_us,
+            s.plan_builds,
+            s.batches,
+            s.fused_requests,
+            s.max_batch_width
+        ));
+    }
+
     {
         let k = 16usize;
         let bm = Matrix::from_fn(sparse_n, k, |i, j| ((i * 5 + j * 11) % 13) as f64 - 6.0);
@@ -525,7 +582,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"catrsm-bench-kernels/v6\",");
+    let _ = writeln!(json, "  \"schema\": \"catrsm-bench-kernels/v7\",");
     let _ = writeln!(json, "  \"hw_threads\": {hw_threads},");
     let _ = writeln!(
         json,
@@ -583,6 +640,14 @@ fn main() {
         trace_gemm_off * 1e3,
         trace_gemm_on * 1e3
     );
+    // Solve-service rows (schema v7): one per load scenario, each stamped
+    // with the measuring machine's hardware parallelism.
+    json.push_str("  \"solve_service\": [\n");
+    for (i, row) in service_rows.iter().enumerate() {
+        let comma = if i + 1 < service_rows.len() { "," } else { "" };
+        let _ = writeln!(json, "{row}{comma}");
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
@@ -658,6 +723,15 @@ fn main() {
                 "acceptance: the analysis-free sync-free sweep must beat a one-shot \
                  level-scheduled solve by >= 1.5x on the deep DAG, got \
                  {oneshot_syncfree_vs_level:.2}x"
+            );
+            // Absolute solve-service throughput floor, multicore machines
+            // only: the hot workload (n=256, fill=4, 90% cache hits) must
+            // clear 500 req/s — a deliberately loose bound that catches
+            // the cache or batching path falling off a cliff, not noise.
+            assert!(
+                service_headline_rps >= 500.0,
+                "acceptance: solve service must sustain >= 500 req/s on the hot \
+                 workload with {hw_threads} hw threads, got {service_headline_rps:.0}"
             );
         } else {
             eprintln!(

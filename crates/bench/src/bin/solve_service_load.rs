@@ -1,0 +1,99 @@
+//! Open-loop load generator for the solve service.
+//!
+//! Drives a seeded Poisson arrival process against a fresh
+//! [`serve::SolveService`], drawing from a closed set of hot matrix
+//! fingerprints with a configurable target hit ratio, and reports
+//! requests/sec, p50/p99 latency, and the service's cache/fusion
+//! statistics.
+//!
+//! ```text
+//! solve_service_load [--requests N] [--rate R] [--matrices M]
+//!                    [--hit-ratio H] [--window W] [--n N] [--fill F]
+//!                    [--seed S] [--assert]
+//! ```
+//!
+//! `--assert` additionally checks the machine-independent invariants
+//! (zero request errors, queue depth bounded by the admission window,
+//! plan builds bounded by distinct keys, hit ratio near target) and
+//! exits non-zero on violation — this is what the CI `service-soak` job
+//! runs; wall-clock throughput is deliberately never asserted.
+
+use harness::service_load::{run_load, LoadConfig};
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = LoadConfig::default();
+    if let Some(v) = parse_flag(&args, "--requests") {
+        cfg.requests = v;
+    }
+    if let Some(v) = parse_flag(&args, "--rate") {
+        cfg.rate = v;
+    }
+    if let Some(v) = parse_flag(&args, "--matrices") {
+        cfg.matrices = v;
+    }
+    if let Some(v) = parse_flag(&args, "--hit-ratio") {
+        cfg.hit_ratio = v;
+    }
+    if let Some(v) = parse_flag(&args, "--window") {
+        cfg.window = v;
+    }
+    if let Some(v) = parse_flag(&args, "--n") {
+        cfg.n = v;
+    }
+    if let Some(v) = parse_flag(&args, "--fill") {
+        cfg.fill = v;
+    }
+    if let Some(v) = parse_flag(&args, "--seed") {
+        cfg.seed = v;
+    }
+
+    harness::banner("solve-service open-loop load");
+    eprintln!("dense worker count: {}", dense::dense_threads());
+    println!(
+        "requests={} rate={}/s matrices={} hit_ratio={} window={} n={} fill={} seed={}",
+        cfg.requests, cfg.rate, cfg.matrices, cfg.hit_ratio, cfg.window, cfg.n, cfg.fill, cfg.seed
+    );
+
+    let report = run_load(&cfg);
+    let s = &report.stats;
+    println!(
+        "throughput: {:.0} req/s over {:.3}s ({} requests)",
+        report.rps, report.duration_secs, report.requests
+    );
+    println!(
+        "latency: p50={:.1}us p99={:.1}us",
+        report.p50_us, report.p99_us
+    );
+    println!(
+        "cache: hits={} misses={} evictions={} hit_ratio={:.3} plan_builds={} (steady-state {})",
+        s.hits,
+        s.misses,
+        s.evictions,
+        s.hit_ratio(),
+        s.plan_builds,
+        report.steady_plan_builds
+    );
+    println!(
+        "batching: batches={} fused_requests={} max_width={} max_queue_depth={}",
+        s.batches, s.fused_requests, s.max_batch_width, s.max_queue_depth
+    );
+    println!("distinct keys presented: {}", report.distinct_keys);
+
+    if args.iter().any(|a| a == "--assert") {
+        match report.check(&cfg) {
+            Ok(()) => println!("invariants: OK"),
+            Err(why) => {
+                eprintln!("invariant violated: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

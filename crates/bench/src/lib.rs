@@ -8,6 +8,8 @@
 //! prediction of the `costmodel` crate.  The helpers here remove the
 //! boilerplate so each binary reads like the experiment it reproduces.
 
+pub mod service_load;
+
 use catrsm::it_inv_trsm::{it_inv_trsm, ItInvConfig, PhaseBreakdown};
 use catrsm::rec_trsm::{rec_trsm, RecTrsmConfig};
 use catrsm::wavefront::wavefront_trsm;

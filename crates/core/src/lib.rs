@@ -81,7 +81,10 @@ pub use error::TrsmError;
 pub use it_inv_trsm::{ItInvConfig, PhaseBreakdown};
 pub use mm3d::MmConfig;
 pub use planner::Plan;
-pub use solve::{LevelReport, Plan as SolvePlan, PlanBackend, Solution, SolveReport, SolveRequest};
+pub use solve::{
+    plan_build_count, LevelReport, Plan as SolvePlan, PlanBackend, Solution, SolveReport,
+    SolveRequest,
+};
 pub use sparse::SchedulePolicy;
 
 /// Result alias used throughout the crate.

@@ -52,6 +52,24 @@ use pgrid::DistMatrix;
 use simnet::CostCounters;
 use sparse::{SchedulePolicy, SparseTri};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide count of plans built (every `plan_dense` / `plan_sparse` /
+/// `plan_distributed` lowering, whether called directly or through the
+/// one-shot `solve_*` conveniences).
+///
+/// The counterpart of [`SparseTri::analysis_count`] one stage earlier in
+/// the pipeline: a plan cache (the `serve` crate) asserts steady-state
+/// behavior by snapshotting this before a traffic window and checking it
+/// stayed flat — repeat traffic must hit cached `Arc<Plan>`s, not re-plan.
+static PLAN_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of [`Plan`]s lowered by this process so far (monotone).
+/// Relaxed ordering: callers only compare snapshots taken on the same
+/// thread or across a join.
+pub fn plan_build_count() -> usize {
+    PLAN_BUILDS.load(Ordering::Relaxed)
+}
 
 // ---------------------------------------------------------------------------
 // SolveRequest
@@ -213,6 +231,36 @@ impl SolveRequest {
         self.opts
     }
 
+    /// The pinned sparse worker budget, if [`SolveRequest::threads`] set
+    /// one.  (Accessor for plan-cache keying: two requests lower to
+    /// interchangeable plans only when their pins agree.)
+    pub fn pinned_threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The pinned sparse scheduling policy, if [`SolveRequest::policy`]
+    /// set one.
+    pub fn pinned_policy(&self) -> Option<SchedulePolicy> {
+        self.policy
+    }
+
+    /// The declared apply count, if [`SolveRequest::reuse`] set one.
+    pub fn declared_reuse(&self) -> Option<usize> {
+        self.reuse
+    }
+
+    /// The pinned distributed algorithm, if [`SolveRequest::algorithm`]
+    /// set one (`Algorithm::Auto` is stored as `None`).
+    pub fn pinned_algorithm(&self) -> Option<Algorithm> {
+        self.algorithm
+    }
+
+    /// Whether [`SolveRequest::with_residual`] asked for a post-solve
+    /// residual.
+    pub fn wants_residual(&self) -> bool {
+        self.residual
+    }
+
     // -- lowering ----------------------------------------------------------
 
     /// Lower to a dense-backend plan for an `n×n` operand and `k`
@@ -220,6 +268,7 @@ impl SolveRequest {
     /// for right solves).
     pub fn plan_dense(&self, n: usize, k: usize) -> Result<Plan> {
         let _span = obs::span_with("planner", "plan_dense", "n", n as u64);
+        PLAN_BUILDS.fetch_add(1, Ordering::Relaxed);
         Ok(Plan {
             n,
             k,
@@ -247,6 +296,7 @@ impl SolveRequest {
     /// of the level schedule it will sweep.
     pub fn plan_sparse(&self, a: &SparseTri, k: usize) -> Result<Plan> {
         let _span = obs::span_with("planner", "plan_sparse", "n", a.n() as u64);
+        PLAN_BUILDS.fetch_add(1, Ordering::Relaxed);
         if self.opts.side == Side::Right {
             return Err(config_error(
                 "plan_sparse",
@@ -341,6 +391,7 @@ impl SolveRequest {
     /// the choice is inspectable before (and after) execution.
     pub fn plan_distributed(&self, n: usize, k: usize, p: usize) -> Result<Plan> {
         let _span = obs::span_with("planner", "plan_distributed", "n", n as u64);
+        PLAN_BUILDS.fetch_add(1, Ordering::Relaxed);
         if self.opts.side == Side::Right {
             return Err(config_error(
                 "plan_distributed",
@@ -702,6 +753,46 @@ impl Plan {
         Ok(report)
     }
 
+    /// Execute this sparse plan into a caller-owned output buffer: `x` is
+    /// overwritten with a copy of `b` (reusing its allocation when the
+    /// shapes already match) and solved in place.
+    ///
+    /// This is the shared-plan steady-state path: the plan and the operand
+    /// are only ever *borrowed* (callers typically hold them behind
+    /// `Arc<Plan>` / `Arc<SparseTri>`, both `Send + Sync`), nothing is
+    /// cloned, and when `x` is a reused arena of the right shape nothing
+    /// is allocated either — the one copy is `B` into `x`.
+    pub fn execute_sparse_into(
+        &self,
+        a: &SparseTri,
+        b: &Matrix,
+        x: &mut Matrix,
+    ) -> Result<SolveReport> {
+        if x.dims() == b.dims() {
+            x.as_mut_slice().copy_from_slice(b.as_slice());
+        } else {
+            *x = b.clone();
+        }
+        self.execute_sparse_in_place(a, x)
+    }
+
+    /// Dense counterpart of [`Plan::execute_sparse_into`]: copy `b` into
+    /// the caller-owned `x` (reusing its allocation when shapes match) and
+    /// solve in place without cloning the operand.
+    pub fn execute_dense_into(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        x: &mut Matrix,
+    ) -> Result<SolveReport> {
+        if x.dims() == b.dims() {
+            x.as_mut_slice().copy_from_slice(b.as_slice());
+        } else {
+            *x = b.clone();
+        }
+        self.execute_dense_in_place(a, x)
+    }
+
     /// Execute this sparse plan for one right-hand-side vector.
     pub fn execute_sparse_vec(&self, a: &SparseTri, b: &[f64]) -> Result<Solution<Vec<f64>>> {
         let mut x = b.to_vec();
@@ -921,6 +1012,18 @@ impl Plan {
         out
     }
 }
+
+// Shared-plan audit: one lowered plan serves concurrent requests — the
+// `serve` crate hands the same `Arc<Plan>` to every thread that hits its
+// cache — so the plan and everything it embeds must be `Send + Sync`.
+// Asserted at compile time here: caching a `Rc`, `Cell`, or raw pointer on
+// the plan would fail this build, not a downstream crate's.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Plan>();
+    assert_send_sync::<SolveRequest>();
+    assert_send_sync::<SolveReport>();
+};
 
 impl fmt::Display for Plan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

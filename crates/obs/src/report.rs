@@ -45,8 +45,11 @@ pub struct CounterStat {
 /// conventions so callers don't need to know event names:
 /// `barrier_wait_ns` / `spin_iters` from the sparse executors,
 /// `super_level_rows` from the merged executor (satellite: previously
-/// computed but dropped), and `slab_reductions` from the sync-free CSC
-/// executor.
+/// computed but dropped), `slab_reductions` from the sync-free CSC
+/// executor, and the serve crate's cache/batching conventions
+/// (`plan_cache_hit` / `plan_cache_miss` / `plan_cache_evict` /
+/// `batch_width`), so Chrome traces of a running solve service expose
+/// cache and fusion behavior per request window.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceReport {
     /// Per-(category, name) span statistics, sorted by category then name.
@@ -67,6 +70,19 @@ pub struct TraceReport {
     /// sync-free executor, indexed by worker (from `"slab_reductions"`
     /// counters: arg = reductions, arg2 = worker).
     pub slab_reductions: Vec<u64>,
+    /// Plan-cache hits in the window (sum of the serve crate's
+    /// `"plan_cache_hit"` counters).
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses in the window (`"plan_cache_miss"` counters —
+    /// each one paid a fresh `planner` lowering).
+    pub plan_cache_misses: u64,
+    /// Plan-cache LRU evictions in the window (`"plan_cache_evict"`
+    /// counters).
+    pub plan_cache_evictions: u64,
+    /// Width of every fused batch executed in the window, in submission
+    /// order per thread (from `"batch_width"` counters: arg = requests
+    /// fused into one execute).
+    pub batch_widths: Vec<u64>,
     /// Events dropped during the window (buffer full or collector
     /// contention); non-zero means the timeline is incomplete.
     pub dropped: u64,
@@ -83,6 +99,10 @@ impl TraceReport {
         let mut spin_iters = 0u64;
         let mut super_level_rows: Vec<u64> = Vec::new();
         let mut slab_reductions: Vec<u64> = Vec::new();
+        let mut plan_cache_hits = 0u64;
+        let mut plan_cache_misses = 0u64;
+        let mut plan_cache_evictions = 0u64;
+        let mut batch_widths: Vec<u64> = Vec::new();
 
         for thread in &dump.threads {
             let mut stack: Vec<(&str, &str, u64)> = Vec::new();
@@ -139,6 +159,10 @@ impl TraceReport {
                                 }
                                 slab_reductions[idx] += ev.arg;
                             }
+                            "plan_cache_hit" => plan_cache_hits += ev.arg,
+                            "plan_cache_miss" => plan_cache_misses += ev.arg,
+                            "plan_cache_evict" => plan_cache_evictions += ev.arg,
+                            "batch_width" => batch_widths.push(ev.arg),
                             _ => {}
                         }
                     }
@@ -153,6 +177,10 @@ impl TraceReport {
             spin_iters,
             super_level_rows,
             slab_reductions,
+            plan_cache_hits,
+            plan_cache_misses,
+            plan_cache_evictions,
+            batch_widths,
             dropped: dump.dropped,
         }
     }
@@ -240,6 +268,12 @@ mod tests {
                     ev(EventKind::Counter, "spin_iters", 55, 7, 0),
                     ev(EventKind::Counter, "super_rows", 60, 42, 1),
                     ev(EventKind::Counter, "slab_reductions", 65, 3, 2),
+                    ev(EventKind::Counter, "plan_cache_hit", 70, 1, 0),
+                    ev(EventKind::Counter, "plan_cache_hit", 72, 1, 0),
+                    ev(EventKind::Counter, "plan_cache_miss", 74, 1, 0),
+                    ev(EventKind::Counter, "plan_cache_evict", 76, 1, 0),
+                    ev(EventKind::Counter, "batch_width", 80, 4, 0),
+                    ev(EventKind::Counter, "batch_width", 85, 7, 0),
                     ev(EventKind::End, "outer", 100, 0, 0),
                 ],
             }],
@@ -252,6 +286,10 @@ mod tests {
         assert_eq!(r.spin_iters, 7);
         assert_eq!(r.super_level_rows, vec![0, 42]);
         assert_eq!(r.slab_reductions, vec![0, 0, 3]);
+        assert_eq!(r.plan_cache_hits, 2);
+        assert_eq!(r.plan_cache_misses, 1);
+        assert_eq!(r.plan_cache_evictions, 1);
+        assert_eq!(r.batch_widths, vec![4, 7]);
         assert_eq!(r.counter("t", "spin_iters").unwrap().max, 7);
         assert!(r.summary().contains("outer"));
     }

@@ -1,0 +1,197 @@
+//! A small LRU map for cached plans.
+//!
+//! Capacity-bounded, recency-evicting, and deliberately simple: the
+//! service serves a *closed set* of hot fingerprints (an iterative
+//! solver's handful of factors), so capacities are tens to hundreds and
+//! an `O(capacity)` eviction scan is cheaper than maintaining an
+//! intrusive list.  Hit / miss / eviction totals are kept on the cache
+//! itself so the service can report them without threading counters
+//! through every call site.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A least-recently-used map with hit/miss/eviction accounting.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, Entry<V>>,
+    capacity: usize,
+    /// Logical clock; bumped on every touch, stamped onto entries.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        let capacity = capacity.max(1);
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up `key`, refreshing its recency and counting a hit or miss.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                self.hits += 1;
+                Some(&e.value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching recency or the hit/miss totals.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|e| &e.value)
+    }
+
+    /// Insert `key → value`, evicting the least-recently-used entry when
+    /// the cache is full.  Returns the evicted pair, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.map.get_mut(&key) {
+            e.value = value;
+            e.last_used = tick;
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() >= self.capacity {
+            if let Some(old_key) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                let old = self.map.remove(&old_key).expect("key just observed");
+                self.evictions += 1;
+                evicted = Some((old_key, old.value));
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+        evicted
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime eviction count.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c: LruCache<u32, &'static str> = LruCache::new(4);
+        assert!(c.get(&1).is_none());
+        c.insert(1, "one");
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(c.get(&1).is_some());
+        let evicted = c.insert(4, 40);
+        assert_eq!(evicted, Some((2, 20)));
+        assert_eq!(c.len(), 3);
+        assert!(c.peek(&2).is_none());
+        assert!(c.peek(&1).is_some() && c.peek(&3).is_some() && c.peek(&4).is_some());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(c.insert(1, 11).is_none()); // refresh, no eviction
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(&1), Some(&11));
+        // Now 2 is LRU (1 was just refreshed).
+        assert_eq!(c.insert(3, 30), Some((2, 20)));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert(1, 10);
+        assert_eq!(c.insert(2, 20), Some((1, 10)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_pressure_is_bounded_by_capacity() {
+        let mut c: LruCache<u32, u32> = LruCache::new(8);
+        for i in 0..100u32 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.evictions(), 92);
+        // The survivors are exactly the 8 most recent inserts.
+        for i in 92..100 {
+            assert!(c.peek(&i).is_some());
+        }
+    }
+}

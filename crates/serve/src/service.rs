@@ -1,0 +1,649 @@
+//! The long-lived [`SolveService`]: a fingerprint-keyed plan cache plus a
+//! batched execution engine in front of the staged
+//! `SolveRequest → Plan → Solution` API.
+//!
+//! # What the service amortizes
+//!
+//! A cold solve pays three stages: the `planner` lowering, the sparse
+//! dependency analysis (level / merged schedule, or the CSC mirror), and
+//! the execute itself.  Repeat traffic — the analyze-once/apply-many
+//! regime of the sparse triangular-solve literature — should pay only the
+//! third.  The service keys an LRU of lowered [`Arc<SolvePlan>`]s by
+//! operand *content fingerprint* × request shape ([`PlanKey`]), and pins
+//! the first-seen operand as the **canonical** one for its fingerprint:
+//! cache hits execute against the canonical operand, whose `OnceLock`'d
+//! schedule caches are already warm, even when the client rebuilt its
+//! matrix object from scratch.  Steady state therefore performs zero
+//! plan builds ([`catrsm::plan_build_count`] stays flat) and zero
+//! analyses ([`sparse::SparseTri::analysis_count`] stays flat).
+//!
+//! # Batching
+//!
+//! Submitted single-RHS jobs queue until [`SolveService::flush`], which
+//! groups them by plan key and fuses each group (up to the admission
+//! window) into one multi-RHS execute: sparse groups pack their vectors
+//! into a reusable arena matrix and run one `solve_multi` sweep — the
+//! per-row elimination handles each RHS column independently, so under
+//! the barriered policies the fused answer is bitwise identical to `w`
+//! separate solves — while dense groups run side by side on the
+//! `DENSE_THREADS` worker pool, each system solved independently.  The
+//! arenas and the job's own RHS buffer are reused, so a warm service
+//! allocates nothing per request.
+
+use crate::cache::LruCache;
+use crate::fingerprint::{fingerprint_dense, fingerprint_sparse, Fingerprint, Fnv, PlanKey};
+use catrsm::{Result, Solution, SolvePlan, SolveReport, SolveRequest, TrsmError};
+use dense::Matrix;
+use sparse::SparseTri;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Configuration of a [`SolveService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Plan-cache capacity (entries = fingerprint × request-shape pairs).
+    pub plan_cache_capacity: usize,
+    /// Admission window: the most requests fused into one batched execute.
+    pub admission_window: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            plan_cache_capacity: 64,
+            admission_window: 16,
+        }
+    }
+}
+
+/// A solve operand held by shared ownership, so cached analyses serve
+/// concurrent requests without cloning matrix data.
+#[derive(Debug, Clone)]
+pub enum Operand {
+    /// Dense triangular operand.
+    Dense(Arc<Matrix>),
+    /// Sparse CSR triangular operand (carries its own cached analyses).
+    Sparse(Arc<SparseTri>),
+}
+
+impl Operand {
+    /// Content fingerprint of this operand under the request's declared
+    /// triangle/diagonal.
+    fn fingerprint(&self, request: &SolveRequest) -> Fingerprint {
+        match self {
+            Operand::Dense(a) => fingerprint_dense(a, request.opts().triangle, request.opts().diag),
+            Operand::Sparse(a) => fingerprint_sparse(a),
+        }
+    }
+
+    /// Operand dimension.
+    pub fn n(&self) -> usize {
+        match self {
+            Operand::Dense(a) => a.rows(),
+            Operand::Sparse(a) => a.n(),
+        }
+    }
+
+    /// Stored entries (dense operands count the full square).
+    fn nnz(&self) -> usize {
+        match self {
+            Operand::Dense(a) => a.rows() * a.cols(),
+            Operand::Sparse(a) => a.nnz(),
+        }
+    }
+}
+
+/// One submission: a request shape, a shared operand, and one RHS vector.
+#[derive(Debug, Clone)]
+pub struct ServiceRequest {
+    /// The solve description (triangle, transpose, pins, reuse, …).
+    pub request: SolveRequest,
+    /// The operand, by shared ownership.
+    pub operand: Operand,
+    /// The right-hand side (length `n`).
+    pub rhs: Vec<f64>,
+}
+
+/// Identifies one queued submission; completions carry it back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(pub u64);
+
+/// The outcome of one queued submission after a flush.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The ticket [`SolveService::submit`] returned for this job.
+    pub ticket: Ticket,
+    /// The solution vector (the submitted RHS buffer, reused — `B` on
+    /// submit, `X` here).  On error it holds the untouched RHS.
+    pub x: Vec<f64>,
+    /// The execution report, or the error that failed this job.
+    pub result: std::result::Result<SolveReport, TrsmError>,
+}
+
+/// A point-in-time snapshot of the service's accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted (immediate solves + queued submissions).
+    pub requests: u64,
+    /// Requests whose execution returned an error.
+    pub errors: u64,
+    /// Plan-cache hits.
+    pub hits: u64,
+    /// Plan-cache misses (each one lowered a fresh plan).
+    pub misses: u64,
+    /// Plan-cache LRU evictions.
+    pub evictions: u64,
+    /// Plans lowered by this service (== misses: every miss builds once).
+    pub plan_builds: u64,
+    /// Fused batched executes performed by `flush`.
+    pub batches: u64,
+    /// Requests that rode a fused execute of width ≥ 2.
+    pub fused_requests: u64,
+    /// Widest fused execute so far.
+    pub max_batch_width: u64,
+    /// Deepest the submission queue has been.
+    pub max_queue_depth: u64,
+}
+
+impl ServiceStats {
+    /// Cache-hit ratio over the lookups so far (0 when none happened).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A cached lowering: the plan plus the canonical operand it runs on.
+#[derive(Clone)]
+struct CachedPlan {
+    plan: Arc<SolvePlan>,
+    operand: Operand,
+}
+
+/// One queued single-RHS job, resolved against the cache at submit time.
+struct PendingJob {
+    ticket: Ticket,
+    key: PlanKey,
+    plan: Arc<SolvePlan>,
+    operand: Operand,
+    rhs: Vec<f64>,
+    residual: bool,
+    result: Option<std::result::Result<SolveReport, TrsmError>>,
+}
+
+#[derive(Default)]
+struct Inner {
+    queue: VecDeque<PendingJob>,
+    /// Reusable pack buffer for fused sparse batches (`n × w`,
+    /// column-interleaved row-major).  Capacity persists across flushes.
+    arena: Vec<f64>,
+    next_ticket: u64,
+    requests: u64,
+    errors: u64,
+    plan_builds: u64,
+    batches: u64,
+    fused_requests: u64,
+    max_batch_width: u64,
+    max_queue_depth: u64,
+}
+
+/// A long-lived, thread-safe solve front end; see the module docs.
+///
+/// Shared by reference (or `Arc`) across client threads: immediate
+/// [`SolveService::solve`] calls run concurrently outside the internal
+/// lock, all of them against the same cached plans and warmed operand
+/// analyses.
+pub struct SolveService {
+    cache: Mutex<LruCache<PlanKey, CachedPlan>>,
+    inner: Mutex<Inner>,
+    config: ServiceConfig,
+}
+
+// One cached plan serves concurrent requests: everything the service
+// shares across threads must be Send + Sync (audited at compile time in
+// the operand crates too; see `catrsm::solve` and `sparse::csr`).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SolveService>();
+    assert_send_sync::<Operand>();
+};
+
+impl SolveService {
+    /// A service with the given cache capacity and admission window.
+    pub fn new(config: ServiceConfig) -> SolveService {
+        SolveService {
+            cache: Mutex::new(LruCache::new(config.plan_cache_capacity)),
+            inner: Mutex::new(Inner::default()),
+            config,
+        }
+    }
+
+    /// A service with the default configuration.
+    pub fn with_defaults() -> SolveService {
+        SolveService::new(ServiceConfig::default())
+    }
+
+    /// The configuration this service runs with.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Resolve `(request, operand)` against the plan cache: hit returns
+    /// the cached plan *and the canonical operand*; miss lowers a fresh
+    /// plan (for `k` right-hand sides) and pins the submitted operand as
+    /// canonical for this fingerprint.
+    fn lookup(
+        &self,
+        request: &SolveRequest,
+        operand: &Operand,
+        k: usize,
+    ) -> Result<(PlanKey, CachedPlan)> {
+        let fp = operand.fingerprint(request);
+        let key = PlanKey::new(fp, operand.n(), operand.nnz(), request);
+        let mut cache = self.cache.lock().expect("plan cache poisoned");
+        if let Some(entry) = cache.get(&key) {
+            obs::counter("serve", "plan_cache_hit", "hits", 1, "", 0);
+            return Ok((key, entry.clone()));
+        }
+        obs::counter("serve", "plan_cache_miss", "misses", 1, "", 0);
+        // Build under the cache lock: a thundering herd on one cold key
+        // should analyze once, not once per thread.
+        let plan = match operand {
+            Operand::Dense(a) => request.plan_dense(a.rows(), k)?,
+            Operand::Sparse(a) => request.plan_sparse(a, k)?,
+        };
+        self.inner
+            .lock()
+            .expect("service state poisoned")
+            .plan_builds += 1;
+        let entry = CachedPlan {
+            plan: Arc::new(plan),
+            operand: operand.clone(),
+        };
+        if cache.insert(key, entry.clone()).is_some() {
+            obs::counter("serve", "plan_cache_evict", "evictions", 1, "", 0);
+        }
+        Ok((key, entry))
+    }
+
+    /// Solve one multi-RHS system immediately (no queueing) through the
+    /// plan cache.  Concurrent callers share cached plans and analyses;
+    /// execution runs outside the service locks.
+    pub fn solve(
+        &self,
+        request: &SolveRequest,
+        operand: &Operand,
+        b: &Matrix,
+    ) -> Result<Solution<Matrix>> {
+        self.inner.lock().expect("service state poisoned").requests += 1;
+        let (_, entry) = self.lookup(request, operand, b.cols())?;
+        let out = match &entry.operand {
+            Operand::Dense(a) => entry.plan.execute_dense(a, b),
+            Operand::Sparse(a) => entry.plan.execute_sparse(a, b),
+        };
+        if out.is_err() {
+            self.inner.lock().expect("service state poisoned").errors += 1;
+        }
+        out
+    }
+
+    /// Solve one single-RHS system immediately through the plan cache.
+    pub fn solve_vec(
+        &self,
+        request: &SolveRequest,
+        operand: &Operand,
+        b: &[f64],
+    ) -> Result<Solution<Vec<f64>>> {
+        self.inner.lock().expect("service state poisoned").requests += 1;
+        let (_, entry) = self.lookup(request, operand, 1)?;
+        let out = match &entry.operand {
+            Operand::Dense(a) => entry.plan.execute_dense_vec(a, b),
+            Operand::Sparse(a) => entry.plan.execute_sparse_vec(a, b),
+        };
+        if out.is_err() {
+            self.inner.lock().expect("service state poisoned").errors += 1;
+        }
+        out
+    }
+
+    /// Lower (or fetch) a distributed plan through the same LRU, keyed by
+    /// `(n, k, p)` and the request shape.  Distributed planning has no
+    /// local operand to fingerprint — the plan depends only on the
+    /// problem shape — so the caller executes the shared plan against its
+    /// own `DistMatrix` inside the simulated machine.
+    pub fn plan_distributed(
+        &self,
+        request: &SolveRequest,
+        n: usize,
+        k: usize,
+        p: usize,
+    ) -> Result<Arc<SolvePlan>> {
+        let mut h = Fnv::new();
+        h.write_u64(0xD157); // backend tag: distributed shape
+        h.write_u64(n as u64);
+        h.write_u64(k as u64);
+        h.write_u64(p as u64);
+        let key = PlanKey::new(Fingerprint(h.finish()), n, n * n, request);
+        let mut cache = self.cache.lock().expect("plan cache poisoned");
+        if let Some(entry) = cache.get(&key) {
+            obs::counter("serve", "plan_cache_hit", "hits", 1, "", 0);
+            return Ok(Arc::clone(&entry.plan));
+        }
+        obs::counter("serve", "plan_cache_miss", "misses", 1, "", 0);
+        let plan = Arc::new(request.plan_distributed(n, k, p)?);
+        self.inner
+            .lock()
+            .expect("service state poisoned")
+            .plan_builds += 1;
+        // Distributed entries reuse the cache slot shape with a
+        // zero-sized stand-in operand; they are never batch-executed.
+        let stand_in = Operand::Dense(Arc::new(Matrix::zeros(0, 0)));
+        if cache
+            .insert(
+                key,
+                CachedPlan {
+                    plan: Arc::clone(&plan),
+                    operand: stand_in,
+                },
+            )
+            .is_some()
+        {
+            obs::counter("serve", "plan_cache_evict", "evictions", 1, "", 0);
+        }
+        Ok(plan)
+    }
+
+    /// Queue one single-RHS job for the next [`SolveService::flush`].
+    /// Planning (and its errors) happen here; execution errors surface on
+    /// the job's [`Completion`].
+    pub fn submit(&self, sreq: ServiceRequest) -> Result<Ticket> {
+        let ServiceRequest {
+            request,
+            operand,
+            rhs,
+        } = sreq;
+        if rhs.len() != operand.n() {
+            return Err(catrsm::error::config_error(
+                "serve",
+                format!(
+                    "rhs length {} does not match the n = {} operand",
+                    rhs.len(),
+                    operand.n()
+                ),
+            ));
+        }
+        let (key, entry) = self.lookup(&request, &operand, 1)?;
+        let mut inner = self.inner.lock().expect("service state poisoned");
+        inner.requests += 1;
+        let ticket = Ticket(inner.next_ticket);
+        inner.next_ticket += 1;
+        inner.queue.push_back(PendingJob {
+            ticket,
+            key,
+            plan: entry.plan,
+            operand: entry.operand,
+            rhs,
+            residual: request.wants_residual(),
+            result: None,
+        });
+        let depth = inner.queue.len() as u64;
+        inner.max_queue_depth = inner.max_queue_depth.max(depth);
+        Ok(ticket)
+    }
+
+    /// Jobs currently queued (submitted, not yet flushed).
+    pub fn queue_depth(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("service state poisoned")
+            .queue
+            .len()
+    }
+
+    /// Execute everything queued: group jobs by plan key, fuse each group
+    /// (up to the admission window) into one execute, and return the
+    /// completions in submission order.
+    pub fn flush(&self) -> Vec<Completion> {
+        // Take the work and the arena; execution runs outside the locks
+        // so concurrent `solve` / `submit` calls keep flowing.
+        let (mut jobs, mut arena) = {
+            let mut inner = self.inner.lock().expect("service state poisoned");
+            let jobs: Vec<PendingJob> = inner.queue.drain(..).collect();
+            (jobs, std::mem::take(&mut inner.arena))
+        };
+
+        // Group by plan key, preserving submission order within a group.
+        // Few distinct keys per window (a closed hot set), so a linear
+        // scan beats building a map.
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut group_keys: Vec<PlanKey> = Vec::new();
+        for (idx, job) in jobs.iter().enumerate() {
+            match group_keys.iter().position(|k| *k == job.key) {
+                Some(g) => groups[g].push(idx),
+                None => {
+                    group_keys.push(job.key);
+                    groups.push(vec![idx]);
+                }
+            }
+        }
+
+        let mut batches = 0u64;
+        let mut fused_requests = 0u64;
+        let mut max_batch_width = 0u64;
+        for group in &groups {
+            for window in group.chunks(self.config.admission_window.max(1)) {
+                // Jobs that asked for a residual need their B preserved;
+                // they execute individually (still on the cached plan).
+                let (fused, singles): (Vec<usize>, Vec<usize>) =
+                    window.iter().partition(|&&i| !jobs[i].residual);
+                for &i in &singles {
+                    run_single(&mut jobs[i]);
+                }
+                match fused.len() {
+                    0 => {}
+                    1 => run_single(&mut jobs[fused[0]]),
+                    w => {
+                        batches += 1;
+                        fused_requests += w as u64;
+                        max_batch_width = max_batch_width.max(w as u64);
+                        obs::counter("serve", "batch_width", "requests", w as u64, "", 0);
+                        run_fused(&mut jobs, &fused, &mut arena);
+                    }
+                }
+            }
+        }
+
+        let errors = jobs
+            .iter()
+            .filter(|j| matches!(j.result, Some(Err(_))))
+            .count() as u64;
+        {
+            let mut inner = self.inner.lock().expect("service state poisoned");
+            inner.arena = arena;
+            inner.errors += errors;
+            inner.batches += batches;
+            inner.fused_requests += fused_requests;
+            inner.max_batch_width = inner.max_batch_width.max(max_batch_width);
+        }
+
+        jobs.sort_by_key(|j| j.ticket);
+        jobs.into_iter()
+            .map(|j| Completion {
+                ticket: j.ticket,
+                x: j.rhs,
+                result: j.result.expect("every drained job was executed"),
+            })
+            .collect()
+    }
+
+    /// Submit one job and flush immediately: the single-job convenience
+    /// for callers that don't batch.
+    pub fn submit_and_flush(&self, sreq: ServiceRequest) -> Result<Completion> {
+        let ticket = self.submit(sreq)?;
+        let mut done = self.flush();
+        let pos = done
+            .iter()
+            .position(|c| c.ticket == ticket)
+            .expect("flush returns every queued job");
+        Ok(done.swap_remove(pos))
+    }
+
+    /// Current accounting snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let cache = self.cache.lock().expect("plan cache poisoned");
+        let inner = self.inner.lock().expect("service state poisoned");
+        ServiceStats {
+            requests: inner.requests,
+            errors: inner.errors,
+            hits: cache.hits(),
+            misses: cache.misses(),
+            evictions: cache.evictions(),
+            plan_builds: inner.plan_builds,
+            batches: inner.batches,
+            fused_requests: inner.fused_requests,
+            max_batch_width: inner.max_batch_width,
+            max_queue_depth: inner.max_queue_depth,
+        }
+    }
+
+    /// Entries currently in the plan cache.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().expect("plan cache poisoned").len()
+    }
+}
+
+/// Execute one job on its own (single RHS, in place in the job's buffer).
+/// Residual-requesting jobs take the copying path: the in-place executes
+/// consume `B` and therefore skip the residual.
+fn run_single(job: &mut PendingJob) {
+    if job.residual {
+        let out = match &job.operand {
+            Operand::Dense(a) => job.plan.execute_dense_vec(a, &job.rhs),
+            Operand::Sparse(a) => job.plan.execute_sparse_vec(a, &job.rhs),
+        };
+        job.result = Some(match out {
+            Ok(sol) => {
+                job.rhs = sol.x;
+                Ok(sol.report)
+            }
+            Err(e) => Err(e),
+        });
+        return;
+    }
+    let out = match &job.operand {
+        Operand::Dense(a) => job.plan.execute_dense_vec_in_place(a, &mut job.rhs),
+        Operand::Sparse(a) => job.plan.execute_sparse_vec_in_place(a, &mut job.rhs),
+    };
+    job.result = Some(out);
+}
+
+/// Execute a fused group: all jobs share one plan and one canonical
+/// operand.  Sparse groups pack into the arena and run one multi-RHS
+/// sweep; dense groups run side by side on the worker pool.
+fn run_fused(jobs: &mut [PendingJob], fused: &[usize], arena: &mut Vec<f64>) {
+    let operand = jobs[fused[0]].operand.clone();
+    let plan = Arc::clone(&jobs[fused[0]].plan);
+    match operand {
+        Operand::Sparse(a) => run_fused_sparse(jobs, fused, &a, &plan, arena),
+        Operand::Dense(a) => run_fused_dense(jobs, fused, &a, &plan),
+    }
+}
+
+/// One `solve_multi` execute over `w` packed right-hand sides.  The row
+/// kernel treats each RHS column independently, so under the barriered
+/// policies this is bitwise identical to `w` separate solves; under
+/// sync-free it is bitwise reproducible per fixed worker count and within
+/// ~1e-12 of the unfused answer (the fused `nnz·w` work product can cross
+/// the `PAR_MIN_WORK` gate a single RHS would not).
+fn run_fused_sparse(
+    jobs: &mut [PendingJob],
+    fused: &[usize],
+    a: &SparseTri,
+    plan: &SolvePlan,
+    arena: &mut Vec<f64>,
+) {
+    let n = a.n();
+    let w = fused.len();
+    arena.clear();
+    arena.resize(n * w, 0.0);
+    for (c, &i) in fused.iter().enumerate() {
+        for (r, &v) in jobs[i].rhs.iter().enumerate() {
+            arena[r * w + c] = v;
+        }
+    }
+    let packed = std::mem::take(arena);
+    let mut x = match Matrix::from_vec(n, w, packed) {
+        Ok(m) => m,
+        Err(e) => {
+            let err: TrsmError = e.into();
+            for &i in fused {
+                jobs[i].result = Some(Err(err.clone()));
+            }
+            return;
+        }
+    };
+    let out = plan.execute_sparse_in_place(a, &mut x);
+    match out {
+        Ok(report) => {
+            for (c, &i) in fused.iter().enumerate() {
+                let slice = x.as_slice();
+                for (r, v) in jobs[i].rhs.iter_mut().enumerate() {
+                    *v = slice[r * w + c];
+                }
+                // Every fused job reports the batch execute it rode in
+                // (the flop count covers the whole batch).
+                jobs[i].result = Some(Ok(report.clone()));
+            }
+        }
+        Err(e) => {
+            for &i in fused {
+                jobs[i].result = Some(Err(e.clone()));
+            }
+        }
+    }
+    // Recover the pack buffer's allocation for the next batch.
+    *arena = x.into_vec();
+}
+
+/// Side-by-side dense execution: each job is an independent system, so
+/// the jobs split across the worker pool and every solve stays bitwise
+/// identical to running alone (no cross-job arithmetic).
+fn run_fused_dense(jobs: &mut [PendingJob], fused: &[usize], a: &Matrix, plan: &SolvePlan) {
+    let workers = dense::dense_threads().min(fused.len()).max(1);
+    if workers == 1 {
+        for &i in fused {
+            run_single(&mut jobs[i]);
+        }
+        return;
+    }
+    // Split the fused jobs into disjoint per-worker slices.  Collect
+    // mutable references first so each worker owns its share.
+    let mut picked: Vec<&mut PendingJob> = Vec::with_capacity(fused.len());
+    let mut rest = &mut *jobs;
+    let mut taken = 0usize;
+    for &i in fused {
+        // `fused` is strictly increasing (built by an in-order scan), so
+        // successive split_at_mut calls carve disjoint slices.
+        let (_, tail) = rest.split_at_mut(i - taken);
+        let (job, tail) = tail.split_first_mut().expect("index in range");
+        picked.push(job);
+        rest = tail;
+        taken = i + 1;
+    }
+    let per = picked.len().div_ceil(workers);
+    crossbeam::thread::scope(|s| {
+        for chunk in picked.chunks_mut(per) {
+            s.spawn(move |_| {
+                for job in chunk.iter_mut() {
+                    let out = plan.execute_dense_vec_in_place(a, &mut job.rhs);
+                    job.result = Some(out);
+                }
+            });
+        }
+    })
+    .expect("dense batch workers panicked");
+}

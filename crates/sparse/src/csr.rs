@@ -475,6 +475,21 @@ impl std::fmt::Debug for SparseTri {
     }
 }
 
+// Shared-analysis audit: a cached matrix serves concurrent solves — the
+// serve crate's plan cache hands one `Arc<SparseTri>` to every request
+// that hits, and the first solve's `OnceLock::get_or_init` may race with
+// others.  That is only sound if the matrix *and every cache it embeds*
+// (level schedule, merged schedule, transpose mirror, CSC mirror) are
+// `Send + Sync`; asserted at compile time so a future cache field built on
+// `Cell`/`Rc` fails this build rather than a downstream crate's.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SparseTri>();
+    assert_send_sync::<crate::schedule::Schedule>();
+    assert_send_sync::<crate::schedule::MergedSchedule>();
+    assert_send_sync::<crate::csc::SparseTriCsc>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -725,5 +740,35 @@ mod tests {
         let s = format!("{:?}", small_lower());
         assert!(s.contains("SparseTri"));
         assert!(s.contains("nnz"));
+    }
+
+    #[test]
+    fn concurrent_solves_share_one_analysis() {
+        use crate::solve::SolveOpts;
+        use std::sync::Arc;
+        // One shared matrix, four racing solver threads: the OnceLock
+        // caches must hand every thread the same analysis (exactly one
+        // build even when the first uses race), and the barriered answer
+        // must be bitwise identical across threads.
+        let m = Arc::new(crate::gen::random_lower(600, 6, 9));
+        let b = crate::gen::rhs_vec(600, 10);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            let mut x = b.clone();
+            handles.push(std::thread::spawn(move || {
+                m.solve_with(&SolveOpts::new().threads(2), &mut x).unwrap();
+                x
+            }));
+        }
+        let results: Vec<Vec<f64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(r, &results[0], "concurrent solves must agree bitwise");
+        }
+        assert_eq!(
+            m.analysis_count(),
+            1,
+            "four racing threads must share one schedule analysis"
+        );
     }
 }

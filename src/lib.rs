@@ -16,13 +16,17 @@
 //! * [`catrsm`] — the paper's algorithms: 3D matrix multiplication,
 //!   recursive TRSM, distributed triangular inversion, the block-diagonal
 //!   inverter, the iterative inversion-based TRSM, and the Cholesky/LU
-//!   applications.
+//!   applications,
+//! * [`serve`] — the long-lived solve service: a fingerprint-keyed plan
+//!   cache with canonical-operand pinning plus a batching engine that
+//!   fuses compatible single-RHS requests.
 
 pub use catrsm;
 pub use costmodel;
 pub use dense;
 pub use obs;
 pub use pgrid;
+pub use serve;
 pub use simnet;
 pub use sparse;
 
@@ -43,6 +47,7 @@ pub mod prelude {
     pub use catrsm::{LevelReport, PlanBackend, Solution, SolvePlan, SolveReport, SolveRequest};
     pub use dense::{gen, Diag, Matrix, Side, Transpose, Triangle};
     pub use pgrid::{DistMatrix, Grid2D};
+    pub use serve::{Operand, ServiceConfig, ServiceRequest, SolveService};
     pub use simnet::{coll, Machine, MachineParams};
     pub use sparse::{MergedSchedule, Schedule, SchedulePolicy, SparseTri};
 }
