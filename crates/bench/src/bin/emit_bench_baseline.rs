@@ -32,6 +32,13 @@
 //! plan builds ≤ distinct keys) are asserted on every machine; the
 //! absolute-throughput floor only where `hw_threads >= 4`.
 //!
+//! Schema v8 adds a `dist_parallel` array: wall-clock medians of a full
+//! 2×2-grid distributed solve per algorithm with the simulator's rank
+//! gate at 1 and at 4 workers (`Machine::with_rank_workers`), plus the
+//! resulting speedup, each row stamped with `hw_threads`.  The speedup
+//! floor is asserted only in full mode on machines with ≥ 4 hardware
+//! threads; elsewhere the rows are recorded for trajectory only.
+//!
 //! Flags:
 //!
 //! * `--fast` — CI mode: fewer samples, smaller sizes, no speedup
@@ -44,8 +51,10 @@
 //!   not be more than [`CHECK_TOLERANCE`]× slower than the baseline.
 //!   Regressions list to stderr and exit non-zero.
 
-use catrsm::{SchedulePolicy, SolveRequest};
+use catrsm::{Algorithm, ItInvConfig, SchedulePolicy, SolveRequest};
 use dense::{gemm_with_threads, gen, reference, tri_invert, trmm, trsm, Diag, Matrix, Triangle};
+use pgrid::{DistMatrix, Grid2D};
+use simnet::{Machine, MachineParams};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -512,6 +521,61 @@ fn main() {
         ));
     }
 
+    // --- Distributed solve under the rank gate (schema v8). ----------------
+    // Wall-clock of a full 2×2-grid solve per algorithm, with the
+    // simulator's compute gate admitting 1 rank and then 4 ranks at once.
+    // Virtual time and results are bitwise identical either way (the
+    // determinism tests own that claim); the rows here price the real-core
+    // execution the gate unlocks.
+    let dist_n = if opts.fast { 256 } else { 512 };
+    let dist_k = 64usize;
+    let dist_algos: [(&str, Algorithm); 3] = [
+        ("recursive", Algorithm::Recursive { base_size: 64 }),
+        (
+            "itinv",
+            Algorithm::IterativeInversion(ItInvConfig {
+                p1: 2,
+                p2: 1,
+                n0: 128,
+                inv_base: 32,
+            }),
+        ),
+        ("wavefront", Algorithm::Wavefront),
+    ];
+    let mut dist_rows: Vec<String> = Vec::new();
+    let mut dist_recursive_speedup = 0.0f64;
+    for (name, alg) in dist_algos {
+        let solve_wall = |workers: usize| {
+            let machine = Machine::new(4, MachineParams::unit()).with_rank_workers(workers);
+            machine
+                .run(move |comm| {
+                    let grid = Grid2D::new(comm, 2, 2).unwrap();
+                    let l_g = gen::well_conditioned_lower(dist_n, 21);
+                    let b_g = gen::rhs(dist_n, dist_k, 22);
+                    let l = DistMatrix::from_global(&grid, &l_g);
+                    let b = DistMatrix::from_global(&grid, &b_g);
+                    SolveRequest::lower()
+                        .algorithm(alg)
+                        .solve_distributed(&l, &b)
+                        .unwrap();
+                })
+                .unwrap();
+        };
+        let t1 = time_median(samples, || solve_wall(1));
+        let t4 = time_median(samples, || solve_wall(4));
+        let dist_speedup = t1 / t4;
+        if name == "recursive" {
+            dist_recursive_speedup = dist_speedup;
+        }
+        dist_rows.push(format!(
+            "    {{ \"algorithm\": \"{name}\", \"n\": {dist_n}, \"k\": {dist_k}, \
+             \"grid\": \"2x2\", \"t1_ms\": {:.4}, \"t4_ms\": {:.4}, \
+             \"speedup\": {dist_speedup:.3}, \"hw_threads\": {hw_threads} }}",
+            t1 * 1e3,
+            t4 * 1e3
+        ));
+    }
+
     {
         let k = 16usize;
         let bm = Matrix::from_fn(sparse_n, k, |i, j| ((i * 5 + j * 11) % 13) as f64 - 6.0);
@@ -582,7 +646,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"catrsm-bench-kernels/v7\",");
+    let _ = writeln!(json, "  \"schema\": \"catrsm-bench-kernels/v8\",");
     let _ = writeln!(json, "  \"hw_threads\": {hw_threads},");
     let _ = writeln!(
         json,
@@ -648,6 +712,14 @@ fn main() {
         let _ = writeln!(json, "{row}{comma}");
     }
     json.push_str("  ],\n");
+    // Distributed rank-gate rows (schema v8): one per algorithm, wall
+    // clock at 1 and 4 admitted ranks on the same 4-rank machine.
+    json.push_str("  \"dist_parallel\": [\n");
+    for (i, row) in dist_rows.iter().enumerate() {
+        let comma = if i + 1 < dist_rows.len() { "," } else { "" };
+        let _ = writeln!(json, "{row}{comma}");
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
@@ -676,7 +748,8 @@ fn main() {
          merged vs level at 4 threads: {deep_merged_vs_level:.2}x; one-shot syncfree vs \
          level: {oneshot_syncfree_vs_level:.2}x; tracing disabled/plain \
          {trace_disabled_vs_plain:.3}x, enabled {trace_sparse_enabled_ratio:.2}x sparse \
-         {trace_gemm_enabled_ratio:.2}x gemm; on {hw_threads} hw thread(s))",
+         {trace_gemm_enabled_ratio:.2}x gemm; dist 2x2 n={dist_n} rank gate 4 vs 1: \
+         {dist_recursive_speedup:.2}x recursive; on {hw_threads} hw thread(s))",
         opts.out, deep_policy_barriers[0], deep_policy_barriers[1]
     );
 
@@ -732,6 +805,15 @@ fn main() {
                 service_headline_rps >= 500.0,
                 "acceptance: solve service must sustain >= 500 req/s on the hot \
                  workload with {hw_threads} hw threads, got {service_headline_rps:.0}"
+            );
+            // The rank gate must buy real wall-clock on the distributed
+            // path: 4 admitted ranks vs 1 on the compute-heavy recursive
+            // solve.  A loose floor — the 2×2 grid caps the ideal at 4x
+            // and communication serializes part of the critical path.
+            assert!(
+                dist_recursive_speedup >= 1.3,
+                "acceptance: 4 rank workers must beat 1 by >= 1.3x on the recursive \
+                 2x2 solve at n={dist_n}, got {dist_recursive_speedup:.2}x"
             );
         } else {
             eprintln!(

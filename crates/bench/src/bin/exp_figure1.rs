@@ -4,8 +4,14 @@
 //! The figure is reproduced as an ASCII strip per processor count: for a
 //! sweep of `n/k` ratios the selected regime and the cuboid dimensions
 //! `p1 × p1 × p2` are printed (and written to CSV for plotting).
+//!
+//! The sweep is run under both cost-model revisions — the source paper's
+//! Section VIII model (`ipdps17`) and the reexamined bandwidth bound
+//! (`tang24`, after arXiv:2407.00871) — and every point where the regime
+//! boundary moves between the two is flagged in a side-by-side diff.
 
-use costmodel::tuning::{self, Regime};
+use costmodel::tuning;
+use costmodel::{CostModelRev, Regime};
 use harness::{banner, write_csv};
 
 fn glyph(regime: Regime) -> char {
@@ -24,40 +30,57 @@ fn main() {
     banner("F1: layout selection vs. relative matrix size (paper Figure 1)");
     let k = 1 << 14;
     let mut rows = Vec::new();
+    let mut moves = Vec::new();
     for p in [64usize, 256, 4096, 65536] {
         println!("\np = {p}   (k = {k}, n sweeps over n/k from 2^-8 to 2^8)");
         println!(
-            "{:>10} {:>10} | {:>6} | {:>24} | layout",
-            "n", "n/k", "regime", "grid p1 x p1 x p2"
+            "{:>10} {:>10} | {:>7} {:>7} | {:>24} | layout (ipdps17)",
+            "n", "n/k", "ipdps17", "tang24", "grid p1 x p1 x p2"
         );
-        let mut strip = String::new();
+        let mut strips = [String::new(), String::new()];
         for exp in -8i32..=8 {
             let n = if exp >= 0 {
                 k << exp as usize
             } else {
                 k >> (-exp) as usize
             };
-            let plan = tuning::plan(n, k, p);
-            strip.push(glyph(plan.regime));
+            let mut regimes = [Regime::OneLargeDim; 2];
+            for (slot, rev) in CostModelRev::ALL.into_iter().enumerate() {
+                let plan = tuning::plan_rev(rev, n, k, p);
+                regimes[slot] = plan.regime;
+                strips[slot].push(glyph(plan.regime));
+                rows.push(format!(
+                    "{},{p},{n},{k},{},{},{},{},{},{}",
+                    rev.name(),
+                    n as f64 / k as f64,
+                    glyph(plan.regime),
+                    plan.p1,
+                    plan.p2,
+                    plan.n0,
+                    plan.r1
+                ));
+            }
+            let plan = tuning::plan_rev(CostModelRev::Ipdps17, n, k, p);
+            let moved = regimes[0] != regimes[1];
             println!(
-                "{:>10} {:>10.4} | {:>6} | {:>24} | {}",
+                "{:>10} {:>10.4} | {:>7} {:>7} | {:>24} | {}{}",
                 n,
                 n as f64 / k as f64,
-                glyph(plan.regime),
+                glyph(regimes[0]),
+                glyph(regimes[1]),
                 cuboid(plan.p1, plan.p2),
-                plan.regime.name()
+                plan.regime.name(),
+                if moved { "   <-- boundary moved" } else { "" }
             );
-            rows.push(format!(
-                "{p},{n},{k},{},{},{},{},{},{}",
-                n as f64 / k as f64,
-                glyph(plan.regime),
-                plan.p1,
-                plan.p2,
-                plan.n0,
-                plan.r1
-            ));
+            if moved {
+                moves.push((p, n, regimes[0], regimes[1]));
+            }
         }
-        println!("  n/k from 2^-8 to 2^8:  [{strip}]   (1 = 1D slab, 3 = 3D cuboid, 2 = 2D face)");
+        println!(
+            "  n/k from 2^-8 to 2^8, ipdps17:  [{}]   (1 = 1D slab, 3 = 3D cuboid, 2 = 2D face)",
+            strips[0]
+        );
+        println!("  n/k from 2^-8 to 2^8, tang24:   [{}]", strips[1]);
     }
     println!(
         "\nASCII rendering of the three layouts (paper Figure 1):\n\
@@ -69,11 +92,37 @@ fn main() {
          +--+--+--+--+            +------+------+                  +------+------+\n\
          whole L inverted         diagonal blocks of size n0       small n0 blocks inverted\n"
     );
-    let path = write_csv("exp_figure1", "p,n,k,n_over_k,regime,p1,p2,n0,r1", &rows);
-    println!("CSV written to {}", path.display());
+
+    banner("F1b: regime-boundary moves, ipdps17 -> tang24");
+    if moves.is_empty() {
+        println!("no sweep point changed regime between the two revisions");
+    } else {
+        println!(
+            "{:>8} {:>10} | {:>10} -> {:<10}",
+            "p", "n", "ipdps17", "tang24"
+        );
+        for (p, n, from, to) in &moves {
+            println!("{p:>8} {n:>10} | {:>10} -> {:<10}", from.name(), to.name());
+        }
+        println!(
+            "{} of {} sweep points moved: tightening the boundary constant from 4\n\
+             to 2 shrinks the 3D window from [4k/p, 4k sqrt(p)] to [2k/p, 2k sqrt(p)],\n\
+             handing its edges to the 1D slab and 2D face layouts.",
+            moves.len(),
+            4 * 17
+        );
+    }
+
+    let path = write_csv(
+        "exp_figure1",
+        "rev,p,n,k,n_over_k,regime,p1,p2,n0,r1",
+        &rows,
+    );
+    println!("\nCSV written to {}", path.display());
     println!(
         "Expectation (paper): for every p the strip reads 1…1 3…3 2…2 — the\n\
          layout moves from a 1D slab through the 3D cuboid to the 2D face as\n\
-         n/k grows, with the 3D window spanning [4/p, 4·sqrt(p)]."
+         n/k grows, with the 3D window spanning [4/p, 4·sqrt(p)] under the\n\
+         source model and [2/p, 2·sqrt(p)] under the tang24 reexamination."
     );
 }

@@ -77,6 +77,7 @@ pub mod wavefront;
 #[allow(deprecated)]
 pub use api::{solve_lower, solve_upper};
 pub use api::{transpose_dist, Algorithm};
+pub use costmodel::CostModelRev;
 pub use error::TrsmError;
 pub use it_inv_trsm::{ItInvConfig, PhaseBreakdown};
 pub use mm3d::MmConfig;

@@ -96,7 +96,15 @@ pub fn choose_mm_p1(n: usize, k: usize, q: usize) -> usize {
 /// algorithm internally re-grids the processors as `p1 × p1 × p2`, so the
 /// only hard requirement is that the returned `p1² · p2 = p`.
 pub fn plan(n: usize, k: usize, p: usize) -> Plan {
-    let model = tuning::plan(n, k, p);
+    plan_rev(costmodel::CostModelRev::Ipdps17, n, k, p)
+}
+
+/// [`plan`] under an explicit cost-model revision: the real-valued targets
+/// (regime, `p1`, `n0`) come from `tuning::plan_rev`, so a `Tang24` caller
+/// gets grids placed by the corrected bandwidth bound's regime boundaries.
+/// The integer feasibility rounding below is revision-independent.
+pub fn plan_rev(rev: costmodel::CostModelRev, n: usize, k: usize, p: usize) -> Plan {
+    let model = tuning::plan_rev(rev, n, k, p);
 
     // p1: power of two with p1² | p, close to the model's target.
     let mut p1 = 1usize;

@@ -45,7 +45,7 @@ use crate::rec_trsm::{rec_trsm, RecTrsmConfig};
 use crate::verify;
 use crate::wavefront::wavefront_trsm;
 use crate::Result;
-use costmodel::{AlgorithmKind, Cost, Regime};
+use costmodel::{AlgorithmKind, Cost, CostModelRev, Regime};
 use dense::flops::trsm_flops;
 use dense::{Diag, FlopCount, Matrix, Side, SolveOpts, Transpose, Triangle};
 use pgrid::DistMatrix;
@@ -91,6 +91,7 @@ pub struct SolveRequest {
     reuse: Option<usize>,
     algorithm: Option<Algorithm>,
     residual: bool,
+    cost_rev: CostModelRev,
 }
 
 impl SolveRequest {
@@ -103,6 +104,7 @@ impl SolveRequest {
             reuse: None,
             algorithm: None,
             residual: false,
+            cost_rev: CostModelRev::default(),
         }
     }
 
@@ -200,6 +202,17 @@ impl SolveRequest {
         self
     }
 
+    /// Select the cost-model revision the distributed planner prices and
+    /// classifies with: [`CostModelRev::Ipdps17`] (the default — the
+    /// paper's original leading-order bounds) or [`CostModelRev::Tang24`]
+    /// (the reexamination's corrected recursive bandwidth terms, which
+    /// move the regime boundaries and hence where `Algorithm::Auto` places
+    /// the processor grid).  Dense and sparse lowering ignore it.
+    pub fn cost_model(mut self, rev: CostModelRev) -> SolveRequest {
+        self.cost_rev = rev;
+        self
+    }
+
     /// Run a pre-solve numerical-health scan on the dense backends: NaN or
     /// infinite entries in the operand triangle or the right-hand side are
     /// rejected with `DenseError::NonFiniteEntry` before any arithmetic
@@ -259,6 +272,12 @@ impl SolveRequest {
     /// residual.
     pub fn wants_residual(&self) -> bool {
         self.residual
+    }
+
+    /// The cost-model revision [`SolveRequest::cost_model`] selected
+    /// (defaults to [`CostModelRev::Ipdps17`]).
+    pub fn cost_model_rev(&self) -> CostModelRev {
+        self.cost_rev
     }
 
     // -- lowering ----------------------------------------------------------
@@ -400,7 +419,7 @@ impl SolveRequest {
         }
         let (algorithm, params, kind) = match self.algorithm {
             None => {
-                let params = planner::plan(n, k, p);
+                let params = planner::plan_rev(self.cost_rev, n, k, p);
                 (
                     Algorithm::IterativeInversion(params.it_inv),
                     Some(params),
@@ -414,7 +433,8 @@ impl SolveRequest {
             Some(alg @ Algorithm::Recursive { .. }) => (alg, None, AlgorithmKind::Recursive),
             Some(alg @ Algorithm::Wavefront) => (alg, None, AlgorithmKind::Wavefront),
         };
-        let predicted = costmodel::predict_trsm_cost(kind, n as f64, k as f64, p as f64);
+        let predicted =
+            costmodel::predict_trsm_cost_rev(self.cost_rev, kind, n as f64, k as f64, p as f64);
         Ok(Plan {
             n,
             k,
@@ -425,7 +445,12 @@ impl SolveRequest {
             residual: self.residual,
             predicted_flops: FlopCount::new(predicted.flops.round() as u64),
             predicted_cost: Some(predicted),
-            regime: Some(costmodel::tuning::classify(n as f64, k as f64, p as f64)),
+            regime: Some(costmodel::classify_rev(
+                self.cost_rev,
+                n as f64,
+                k as f64,
+                p as f64,
+            )),
             backend: PlanBackend::Distributed {
                 algorithm,
                 p,
@@ -1151,6 +1176,15 @@ impl SolveReport {
     /// `Result` (0 on a successful solve).
     pub fn timeouts(&self) -> u64 {
         self.comm.map_or(0, |c| c.timeouts)
+    }
+
+    /// Virtual seconds of local compute this rank performed *under* a
+    /// posted send during a distributed solve — the communication the
+    /// machine's overlap model hid.  Nonzero only when the machine ran
+    /// with [`simnet::MachineParams::with_overlap`]; always 0 under the
+    /// default blocking-send timing.
+    pub fn overlap_seconds(&self) -> f64 {
+        self.comm.as_ref().map_or(0.0, |c| c.overlap)
     }
 }
 

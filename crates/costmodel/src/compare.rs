@@ -15,7 +15,8 @@
 //! `Θ((n/k)^{1/6}·p^{2/3})` in the 3D regime.
 
 use crate::cost::{log2c, Cost};
-use crate::tuning::{classify, Regime};
+use crate::predict::CostModelRev;
+use crate::tuning::{classify_rev, Regime};
 
 /// One row of the Section IX table: the asymptotic cost of the standard
 /// (recursive) algorithm and of the new method for a concrete input.
@@ -38,7 +39,20 @@ pub struct ConclusionRow {
 /// The "standard" column of the conclusion table (note the extra `log p`
 /// latency factor relative to `T_RT2D/3D`, which the table includes).
 pub fn standard_cost(n: f64, k: f64, p: f64) -> Cost {
-    match classify(n, k, p) {
+    standard_cost_rev(CostModelRev::Ipdps17, n, k, p)
+}
+
+/// [`standard_cost`] under an explicit cost-model revision.
+///
+/// `Tang24` applies the reexamination's corrected bandwidth bound for the
+/// recursive algorithm: the 2D regime's panel broadcasts move
+/// `(n² + nk·log p)/√p` words (the `n²/√p` term was dropped by the original
+/// leading-order analysis), and the 3D cuboid pays an extra `n²/p^{2/3}` of
+/// triangular-panel traffic on top of the `(n²k/p)^{2/3}` matmul volume.
+/// Latency and flop terms are unchanged; the regime is chosen by
+/// [`classify_rev`] with the revision's rebalanced boundary constant.
+pub fn standard_cost_rev(rev: CostModelRev, n: f64, k: f64, p: f64) -> Cost {
+    match classify_rev(rev, n, k, p) {
         Regime::OneLargeDim => Cost {
             latency: log2c(p),
             bandwidth: n * n,
@@ -46,12 +60,18 @@ pub fn standard_cost(n: f64, k: f64, p: f64) -> Cost {
         },
         Regime::TwoLargeDims => Cost {
             latency: p.sqrt() * log2c(p),
-            bandwidth: n * k / p.sqrt(),
+            bandwidth: match rev {
+                CostModelRev::Ipdps17 => n * k / p.sqrt(),
+                CostModelRev::Tang24 => (n * n + n * k * log2c(p)) / p.sqrt(),
+            },
             flops: n * n * k / p,
         },
         Regime::ThreeLargeDims => Cost {
             latency: (n * p / k).powf(2.0 / 3.0) * log2c(p),
-            bandwidth: (n * n * k / p).powf(2.0 / 3.0),
+            bandwidth: match rev {
+                CostModelRev::Ipdps17 => (n * n * k / p).powf(2.0 / 3.0),
+                CostModelRev::Tang24 => (n * n * k / p).powf(2.0 / 3.0) + n * n / p.powf(2.0 / 3.0),
+            },
             flops: n * n * k / p,
         },
     }
@@ -59,7 +79,17 @@ pub fn standard_cost(n: f64, k: f64, p: f64) -> Cost {
 
 /// The "new method" column of the conclusion table.
 pub fn new_cost(n: f64, k: f64, p: f64) -> Cost {
-    match classify(n, k, p) {
+    new_cost_rev(CostModelRev::Ipdps17, n, k, p)
+}
+
+/// [`new_cost`] under an explicit cost-model revision.
+///
+/// The reexamination's correction targets the recursive algorithm's
+/// broadcast volume; the inversion-based method's per-regime terms are
+/// unchanged, but the regime boundaries (and hence which formula applies)
+/// shift with the revision's constant.
+pub fn new_cost_rev(rev: CostModelRev, n: f64, k: f64, p: f64) -> Cost {
+    match classify_rev(rev, n, k, p) {
         Regime::OneLargeDim => Cost {
             latency: log2c(p) * log2c(p),
             bandwidth: n * n,
@@ -80,13 +110,18 @@ pub fn new_cost(n: f64, k: f64, p: f64) -> Cost {
 
 /// Evaluate one conclusion-table row for `(n, k, p)`.
 pub fn conclusion_row(n: f64, k: f64, p: f64) -> ConclusionRow {
+    conclusion_row_rev(CostModelRev::Ipdps17, n, k, p)
+}
+
+/// [`conclusion_row`] under an explicit cost-model revision.
+pub fn conclusion_row_rev(rev: CostModelRev, n: f64, k: f64, p: f64) -> ConclusionRow {
     ConclusionRow {
         n,
         k,
         p,
-        regime: classify(n, k, p),
-        standard: standard_cost(n, k, p),
-        new: new_cost(n, k, p),
+        regime: classify_rev(rev, n, k, p),
+        standard: standard_cost_rev(rev, n, k, p),
+        new: new_cost_rev(rev, n, k, p),
     }
 }
 
@@ -171,6 +206,46 @@ mod tests {
             ratio > 0.2 && ratio < 5.0,
             "constant factor drifted: {ratio}"
         );
+    }
+
+    #[test]
+    fn tang24_charges_extra_recursive_bandwidth_in_2d_and_3d() {
+        // 2D regime: the corrected bound adds n²/√p (plus a log factor on
+        // the nk/√p term), so the recursive method loses its bandwidth tie.
+        let (n2, k2, p2) = (1.0e6, 64.0, 256.0);
+        let a = conclusion_row_rev(CostModelRev::Ipdps17, n2, k2, p2);
+        let b = conclusion_row_rev(CostModelRev::Tang24, n2, k2, p2);
+        assert_eq!(a.regime, Regime::TwoLargeDims);
+        assert_eq!(b.regime, Regime::TwoLargeDims);
+        assert_eq!(a.standard.bandwidth, a.new.bandwidth);
+        assert!(b.standard.bandwidth > b.new.bandwidth);
+        assert!(b.standard.bandwidth > a.standard.bandwidth);
+
+        // 3D regime: the extra n²/p^{2/3} term breaks the tie the same way.
+        let (n3, k3, p3) = (65536.0, 8192.0, 4096.0);
+        let a = conclusion_row_rev(CostModelRev::Ipdps17, n3, k3, p3);
+        let b = conclusion_row_rev(CostModelRev::Tang24, n3, k3, p3);
+        assert_eq!(a.regime, Regime::ThreeLargeDims);
+        assert_eq!(b.regime, Regime::ThreeLargeDims);
+        assert!(b.standard.bandwidth > b.new.bandwidth);
+
+        // Latency and flops are untouched by the revision.
+        assert_eq!(a.standard.latency, b.standard.latency);
+        assert_eq!(a.standard.flops, b.standard.flops);
+    }
+
+    #[test]
+    fn ipdps17_rev_is_byte_identical_to_the_unsuffixed_api() {
+        for (n, k, p) in [
+            (32.0, 8192.0, 512.0),
+            (4096.0, 1024.0, 64.0),
+            (1.0e6, 64.0, 256.0),
+        ] {
+            assert_eq!(
+                conclusion_row(n, k, p),
+                conclusion_row_rev(CostModelRev::Ipdps17, n, k, p)
+            );
+        }
     }
 
     #[test]

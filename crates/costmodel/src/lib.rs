@@ -37,9 +37,11 @@ pub mod predict;
 pub mod rec_trsm;
 pub mod tuning;
 
+pub use compare::{conclusion_row_rev, standard_cost_rev};
 pub use cost::{Cost, Machine};
 pub use drift::{DriftReport, DriftRow};
 pub use predict::{
-    sparse_solve_cost, sparse_solve_cost_amortized, trsm_cost as predict_trsm_cost, AlgorithmKind,
+    sparse_solve_cost, sparse_solve_cost_amortized, trsm_cost as predict_trsm_cost,
+    trsm_cost_rev as predict_trsm_cost_rev, AlgorithmKind, CostModelRev,
 };
-pub use tuning::{plan, Regime, TrsmPlan};
+pub use tuning::{classify_rev, plan, plan_rev, Regime, TrsmPlan};

@@ -10,9 +10,57 @@
 //! expressions by algorithm kind, so a plan's prediction and the
 //! experiment harness print from the same formulas.
 
-use crate::compare::standard_cost;
+use crate::compare::standard_cost_rev;
 use crate::cost::{log2c, Cost};
-use crate::tuning::it_trsm_cost;
+use crate::tuning::it_trsm_cost_rev;
+
+/// Which revision of the analytical cost model to evaluate.
+///
+/// Tang's 2024 reexamination of this paper's recursive-TRSM bandwidth
+/// analysis (arXiv:2407.00871) argues the original W bound understates the
+/// recursive algorithm's communication in the 2D and 3D regimes.  The exact
+/// corrected expressions are reconstructed here from the reexamination's
+/// argument (the triangular-solve panel broadcasts move `Θ(n²/√p)` words in
+/// the 2D layout and an extra `Θ(n²/p^{2/3})` in the 3D cuboid, terms the
+/// original leading-order analysis dropped), with the regime-boundary
+/// constant rebalanced from 4 to 2 so the boundaries again equalise the
+/// neighbouring regimes' dominant terms under the corrected W.
+///
+/// Every `_rev` function in this crate takes the revision explicitly; the
+/// original unsuffixed entry points are unchanged and equal to
+/// [`CostModelRev::Ipdps17`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostModelRev {
+    /// The source paper's Section IV / VIII / IX expressions, verbatim.
+    #[default]
+    Ipdps17,
+    /// The corrected recursive-TRSM bandwidth bound and rebalanced regime
+    /// boundaries after the 2024 reexamination.
+    Tang24,
+}
+
+impl CostModelRev {
+    /// Both revisions, in publication order.
+    pub const ALL: [CostModelRev; 2] = [CostModelRev::Ipdps17, CostModelRev::Tang24];
+
+    /// Human-readable name used by experiment output and diff tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CostModelRev::Ipdps17 => "ipdps17",
+            CostModelRev::Tang24 => "tang24",
+        }
+    }
+
+    /// The constant `c` in the regime boundaries `n < c·k/p` (1D) and
+    /// `n > c·k·√p` (2D): 4 in the source paper's Section VIII, 2 after the
+    /// reexamination rebalances the boundaries under the corrected W bound.
+    pub fn regime_constant(&self) -> f64 {
+        match self {
+            CostModelRev::Ipdps17 => 4.0,
+            CostModelRev::Tang24 => 2.0,
+        }
+    }
+}
 
 /// Which distributed TRSM algorithm a cost prediction refers to.
 ///
@@ -58,9 +106,17 @@ pub fn wavefront_cost(n: f64, k: f64, p: f64) -> Cost {
 /// Predicted critical-path cost of solving `L·X = B` (`n×n`, `k`
 /// right-hand sides, `p` processors) with the given algorithm family.
 pub fn trsm_cost(kind: AlgorithmKind, n: f64, k: f64, p: f64) -> Cost {
+    trsm_cost_rev(CostModelRev::Ipdps17, kind, n, k, p)
+}
+
+/// [`trsm_cost`] under an explicit cost-model revision: `Ipdps17` evaluates
+/// the source paper's expressions verbatim, `Tang24` the corrected
+/// recursive-TRSM bandwidth bound and rebalanced regime boundaries.  The
+/// wavefront baseline has no regime structure and is identical under both.
+pub fn trsm_cost_rev(rev: CostModelRev, kind: AlgorithmKind, n: f64, k: f64, p: f64) -> Cost {
     match kind {
-        AlgorithmKind::Recursive => standard_cost(n, k, p),
-        AlgorithmKind::IterativeInversion => it_trsm_cost(n, k, p),
+        AlgorithmKind::Recursive => standard_cost_rev(rev, n, k, p),
+        AlgorithmKind::IterativeInversion => it_trsm_cost_rev(rev, n, k, p),
         AlgorithmKind::Wavefront => wavefront_cost(n, k, p),
     }
 }
@@ -126,7 +182,8 @@ pub fn sparse_solve_cost_amortized(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tuning::classify;
+    use crate::compare::standard_cost;
+    use crate::tuning::{classify, it_trsm_cost};
 
     #[test]
     fn dispatch_matches_the_underlying_formulas() {

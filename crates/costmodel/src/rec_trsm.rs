@@ -7,7 +7,8 @@
 //! the baseline against the iterative inversion-based algorithm.
 
 use crate::cost::{log2c, Cost};
-use crate::tuning::{classify, Regime};
+use crate::predict::CostModelRev;
+use crate::tuning::{classify_rev, Regime};
 
 /// Processor-grid shape `(pr, pc)` the recursive algorithm selects:
 /// `pc = max(√p, min(p, √(p·k/n)))`, `pr = p / pc`.
@@ -51,10 +52,32 @@ pub fn rec_trsm_3d(n: f64, k: f64, p: f64) -> Cost {
 /// (`n < 4k/p` → 1D, `n > 4k√p` → 2D, otherwise 3D), so that it can be
 /// compared term-by-term with the iterative algorithm.
 pub fn rec_trsm_cost(n: f64, k: f64, p: f64) -> Cost {
-    match classify(n, k, p) {
+    rec_trsm_cost_rev(CostModelRev::Ipdps17, n, k, p)
+}
+
+/// [`rec_trsm_cost`] under an explicit cost-model revision.
+///
+/// `Tang24` replaces the 2D and 3D bandwidth terms with the reexamination's
+/// corrected bounds (`(n² + nk·log p)/√p` and `(n²k/p)^{2/3} + n²/p^{2/3}`)
+/// and moves the regime boundaries via [`classify_rev`]; the 1D cost and all
+/// latency/flop terms are unchanged.
+pub fn rec_trsm_cost_rev(rev: CostModelRev, n: f64, k: f64, p: f64) -> Cost {
+    match classify_rev(rev, n, k, p) {
         Regime::OneLargeDim => rec_trsm_1d(n, k, p),
-        Regime::TwoLargeDims => rec_trsm_2d(n, k, p),
-        Regime::ThreeLargeDims => rec_trsm_3d(n, k, p),
+        Regime::TwoLargeDims => {
+            let mut c = rec_trsm_2d(n, k, p);
+            if rev == CostModelRev::Tang24 {
+                c.bandwidth = (n * n + n * k * log2c(p)) / p.sqrt();
+            }
+            c
+        }
+        Regime::ThreeLargeDims => {
+            let mut c = rec_trsm_3d(n, k, p);
+            if rev == CostModelRev::Tang24 {
+                c.bandwidth = (n * n * k / p).powf(2.0 / 3.0) + n * n / p.powf(2.0 / 3.0);
+            }
+            c
+        }
     }
 }
 
@@ -87,6 +110,18 @@ mod tests {
         assert_eq!(rec_trsm_cost(65536.0, k, p), rec_trsm_2d(65536.0, k, p));
         // Otherwise 3D.
         assert_eq!(rec_trsm_cost(2048.0, k, p), rec_trsm_3d(2048.0, k, p));
+    }
+
+    #[test]
+    fn tang24_raises_recursive_bandwidth_without_touching_latency() {
+        let (n, k, p) = (65536.0, 1024.0, 64.0);
+        let a = rec_trsm_cost_rev(CostModelRev::Ipdps17, n, k, p);
+        let b = rec_trsm_cost_rev(CostModelRev::Tang24, n, k, p);
+        assert!(b.bandwidth > a.bandwidth);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.flops, b.flops);
+        // The unsuffixed function is the Ipdps17 revision.
+        assert_eq!(rec_trsm_cost(n, k, p), a);
     }
 
     #[test]

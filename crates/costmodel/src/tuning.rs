@@ -13,6 +13,7 @@
 //!   `p1 = (p·n/(4k))^{1/3}`, `n0 = Θ(min(√(nk), n))`.
 
 use crate::cost::{log2c, Cost};
+use crate::predict::CostModelRev;
 
 /// The layout regime of Section VIII / Figure 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,9 +39,18 @@ impl Regime {
 
 /// Classify `(n, k, p)` into the Section VIII regime.
 pub fn classify(n: f64, k: f64, p: f64) -> Regime {
-    if n < 4.0 * k / p {
+    classify_rev(CostModelRev::Ipdps17, n, k, p)
+}
+
+/// [`classify`] under an explicit cost-model revision: the boundary constant
+/// is 4 in the source paper and 2 after the 2024 reexamination rebalances
+/// the boundaries under the corrected recursive-TRSM bandwidth bound, so
+/// `Tang24` widens the 1D and 2D regimes at the 3D regime's expense.
+pub fn classify_rev(rev: CostModelRev, n: f64, k: f64, p: f64) -> Regime {
+    let c = rev.regime_constant();
+    if n < c * k / p {
         Regime::OneLargeDim
-    } else if n > 4.0 * k * p.sqrt() {
+    } else if n > c * k * p.sqrt() {
         Regime::TwoLargeDims
     } else {
         Regime::ThreeLargeDims
@@ -74,10 +84,18 @@ pub struct TrsmPlan {
 
 /// Compute the Section VIII optimal parameters for `(n, k, p)`.
 pub fn plan(n: usize, k: usize, p: usize) -> TrsmPlan {
+    plan_rev(CostModelRev::Ipdps17, n, k, p)
+}
+
+/// [`plan`] under an explicit cost-model revision: the regime is chosen by
+/// [`classify_rev`] and the 3D cuboid face `p1 = (p·n/(c·k))^{1/3}` uses the
+/// revision's boundary constant `c`, so the grid stays continuous across the
+/// (shifted) regime boundaries.
+pub fn plan_rev(rev: CostModelRev, n: usize, k: usize, p: usize) -> TrsmPlan {
     let nf = n as f64;
     let kf = k as f64;
     let pf = p as f64;
-    let regime = classify(nf, kf, pf);
+    let regime = classify_rev(rev, nf, kf, pf);
     let (p1, p2, n0) = match regime {
         Regime::OneLargeDim => (1.0, pf, nf),
         Regime::TwoLargeDims => {
@@ -85,7 +103,8 @@ pub fn plan(n: usize, k: usize, p: usize) -> TrsmPlan {
             (pf.sqrt(), 1.0, n0)
         }
         Regime::ThreeLargeDims => {
-            let p1 = (pf * nf / (4.0 * kf)).powf(1.0 / 3.0).clamp(1.0, pf.sqrt());
+            let c = rev.regime_constant();
+            let p1 = (pf * nf / (c * kf)).powf(1.0 / 3.0).clamp(1.0, pf.sqrt());
             let p2 = (pf / (p1 * p1)).max(1.0);
             let n0 = (nf * kf).sqrt().min(nf).max(1.0);
             (p1, p2, n0)
@@ -137,7 +156,15 @@ pub fn it_trsm_3d(n: f64, k: f64, p: f64) -> Cost {
 
 /// Total cost of the tuned iterative algorithm, dispatched by regime.
 pub fn it_trsm_cost(n: f64, k: f64, p: f64) -> Cost {
-    match classify(n, k, p) {
+    it_trsm_cost_rev(CostModelRev::Ipdps17, n, k, p)
+}
+
+/// [`it_trsm_cost`] under an explicit cost-model revision.  The per-regime
+/// expressions of the iterative algorithm stand under the reexamination
+/// (its correction targets the *recursive* algorithm's bandwidth); what
+/// changes is which regime an input falls into, via [`classify_rev`].
+pub fn it_trsm_cost_rev(rev: CostModelRev, n: f64, k: f64, p: f64) -> Cost {
+    match classify_rev(rev, n, k, p) {
         Regime::OneLargeDim => it_trsm_1d(n, k, p),
         Regime::TwoLargeDims => it_trsm_2d(n, k, p),
         Regime::ThreeLargeDims => it_trsm_3d(n, k, p),
@@ -157,6 +184,51 @@ mod tests {
         assert_eq!(classify(32768.0, k, p), Regime::ThreeLargeDims); // 4k√p = 32768
         assert_eq!(classify(40000.0, k, p), Regime::TwoLargeDims);
         assert!(classify(32.0, k, p).name().contains("1 large"));
+    }
+
+    #[test]
+    fn tang24_moves_the_regime_boundaries_inward() {
+        let p = 64.0;
+        let k = 1024.0;
+        // 1D/3D boundary: 4k/p = 64 under Ipdps17, 2k/p = 32 under Tang24 —
+        // n = 48 flips from 1D to 3D.
+        assert_eq!(classify(48.0, k, p), Regime::OneLargeDim);
+        assert_eq!(
+            classify_rev(CostModelRev::Tang24, 48.0, k, p),
+            Regime::ThreeLargeDims
+        );
+        // 3D/2D boundary: 4k√p = 32768 vs 2k√p = 16384 — n = 20000 flips
+        // from 3D to 2D.
+        assert_eq!(classify(20000.0, k, p), Regime::ThreeLargeDims);
+        assert_eq!(
+            classify_rev(CostModelRev::Tang24, 20000.0, k, p),
+            Regime::TwoLargeDims
+        );
+        // Ipdps17 is byte-identical to the unsuffixed entry points.
+        for n in [10.0, 48.0, 2048.0, 20000.0, 1.0e6] {
+            assert_eq!(
+                classify(n, k, p),
+                classify_rev(CostModelRev::Ipdps17, n, k, p)
+            );
+        }
+    }
+
+    #[test]
+    fn plan_rev_matches_plan_under_ipdps17_and_shifts_under_tang24() {
+        for (n, k, p) in [
+            (16usize, 65536usize, 64usize),
+            (4096, 1024, 64),
+            (1 << 20, 16, 256),
+        ] {
+            assert_eq!(plan(n, k, p), plan_rev(CostModelRev::Ipdps17, n, k, p));
+        }
+        // Deep in the 3D regime under both revisions: the cuboid face grows
+        // with the smaller boundary constant (p1 = (pn/(c·k))^{1/3}).
+        let a = plan_rev(CostModelRev::Ipdps17, 4096, 1024, 64);
+        let b = plan_rev(CostModelRev::Tang24, 4096, 1024, 64);
+        assert_eq!(a.regime, Regime::ThreeLargeDims);
+        assert_eq!(b.regime, Regime::ThreeLargeDims);
+        assert!(b.p1 > a.p1);
     }
 
     #[test]

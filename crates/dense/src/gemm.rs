@@ -30,6 +30,12 @@ use crate::Result;
 /// Explicit [`gemm_with_threads`] callers bypass this gate.
 pub const PAR_MIN_MADDS: usize = 128 * 128 * 128;
 
+/// Lower parallelisation gate used when a thread-local worker budget is in
+/// effect ([`crate::threads::with_thread_budget`]): a simulated rank's block
+/// products are far smaller than standalone GEMMs but there are many of
+/// them, so the break-even point sits much lower than [`PAR_MIN_MADDS`].
+pub const BUDGET_MIN_MADDS: usize = 32 * 32 * 32;
+
 /// `C ← alpha * A * B + beta * C`.
 ///
 /// `A` is `m×p`, `B` is `p×n`, `C` must be `m×n`.  Returns the number of
@@ -173,7 +179,17 @@ fn gemm_views_opt(
 
     let threads = threads.map(|t| t.max(1)).unwrap_or_else(|| {
         let madds = m.saturating_mul(n).saturating_mul(p);
-        if madds >= PAR_MIN_MADDS {
+        // A thread-local budget (a simulated rank's share of the pool)
+        // replaces the standalone-caller gate with a much lower one: rank
+        // block products are small but numerous, and their worker threads
+        // already exist.
+        if let Some(budget) = crate::threads::thread_budget() {
+            if madds >= BUDGET_MIN_MADDS {
+                budget
+            } else {
+                1
+            }
+        } else if madds >= PAR_MIN_MADDS {
             dense_threads()
         } else {
             1

@@ -75,7 +75,7 @@ pub use gemm::{
     gemm_views_with_threads, gemm_with_threads, matmul,
 };
 pub use matrix::{MatMut, MatRef, Matrix};
-pub use threads::{dense_threads, run_region};
+pub use threads::{dense_threads, run_region, thread_budget, with_thread_budget};
 pub use trinv::{tri_invert, tri_invert_blocked, tri_invert_in_place};
 pub use trmm::trmm;
 pub use trsm::{

@@ -17,10 +17,41 @@
 //! GEMM's column partitioning) produce bitwise-identical results for every
 //! worker count; `DENSE_THREADS` is a throughput knob, not a semantics knob.
 
+use std::cell::Cell;
 use std::sync::OnceLock;
 
 /// Upper bound on the worker count accepted from `DENSE_THREADS`.
 pub const MAX_THREADS: usize = 64;
+
+thread_local! {
+    /// Per-thread worker-budget override installed by [`with_thread_budget`].
+    static THREAD_BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with a thread-local worker budget in effect: implicit
+/// (`threads = None`) GEMM calls issued from *this thread* inside `f` may
+/// use up to `budget` workers in place of the global
+/// [`crate::gemm::PAR_MIN_MADDS`]-gated [`dense_threads`] resolution.
+///
+/// This is how the simulated machine gives each rank its share of the pool:
+/// a rank computing alongside `w − 1` other ranks should split block
+/// products over `workers ⁄ ranks` threads, not claim the whole pool (nor be
+/// locked out of it by the gate sized for standalone callers).  The budget
+/// is a throughput knob only — kernel results are bitwise identical at every
+/// worker count — and it does not propagate into spawned workers, so nested
+/// parallel regions are unaffected.  The previous budget (usually none) is
+/// restored when `f` returns.
+pub fn with_thread_budget<R>(budget: usize, f: impl FnOnce() -> R) -> R {
+    let previous = THREAD_BUDGET.replace(Some(budget.clamp(1, MAX_THREADS)));
+    let result = f();
+    THREAD_BUDGET.set(previous);
+    result
+}
+
+/// The calling thread's worker-budget override, if one is in effect.
+pub fn thread_budget() -> Option<usize> {
+    THREAD_BUDGET.get()
+}
 
 /// Number of workers parallel dense kernels use.
 ///
@@ -161,6 +192,31 @@ mod tests {
         for (i, &v) in data.iter().enumerate() {
             assert_eq!(v, (i / 16) as u64 + 1);
         }
+    }
+
+    #[test]
+    fn thread_budget_is_scoped_and_clamped() {
+        assert_eq!(thread_budget(), None);
+        let inner = with_thread_budget(3, || {
+            assert_eq!(thread_budget(), Some(3));
+            with_thread_budget(0, thread_budget)
+        });
+        assert_eq!(inner, Some(1), "budget of 0 clamps to 1");
+        assert_eq!(thread_budget(), None, "budget restored after the scope");
+        with_thread_budget(MAX_THREADS + 7, || {
+            assert_eq!(thread_budget(), Some(MAX_THREADS));
+        });
+    }
+
+    #[test]
+    fn thread_budget_does_not_leak_into_workers() {
+        with_thread_budget(4, || {
+            run_region(2, |w| {
+                if w != 0 {
+                    assert_eq!(thread_budget(), None);
+                }
+            });
+        });
     }
 
     #[test]

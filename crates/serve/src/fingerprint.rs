@@ -158,6 +158,7 @@ pub struct PlanKey {
     policy: Option<sparse::SchedulePolicy>,
     reuse: Option<usize>,
     algorithm: Option<catrsm::Algorithm>,
+    cost_rev: catrsm::CostModelRev,
 }
 
 impl PlanKey {
@@ -172,6 +173,7 @@ impl PlanKey {
             policy: request.pinned_policy(),
             reuse: request.declared_reuse(),
             algorithm: request.pinned_algorithm(),
+            cost_rev: request.cost_model_rev(),
         }
     }
 
@@ -219,6 +221,10 @@ impl PlanKey {
             }
             Some(catrsm::Algorithm::Wavefront) => h.write_u64(3),
         }
+        h.write_u64(match self.cost_rev {
+            catrsm::CostModelRev::Ipdps17 => 0,
+            catrsm::CostModelRev::Tang24 => 1,
+        });
         h.finish()
     }
 }

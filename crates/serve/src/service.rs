@@ -164,6 +164,61 @@ struct CachedPlan {
     operand: Operand,
 }
 
+/// Upper bound on independent plan-cache shards.  A power of two a notch
+/// above the worker counts this crate targets, so concurrent clients
+/// hashing to different keys almost never contend on the same lock.
+const CACHE_SHARDS: usize = 8;
+
+/// The plan cache, split into up to [`CACHE_SHARDS`] independently locked
+/// LRUs.
+///
+/// A key always hashes to the same shard, so the thundering-herd guarantee
+/// (one cold key analyzes once, under the lock) is preserved per key; what
+/// sharding removes is cross-key convoying — two clients working different
+/// fingerprints no longer serialize on one global mutex.  The configured
+/// capacity is distributed exactly across the shards (never fewer shards
+/// than one slot each: a capacity below [`CACHE_SHARDS`] gets one shard
+/// per slot), and the accounting methods aggregate across shards.
+struct ShardedPlanCache {
+    shards: Vec<Mutex<LruCache<PlanKey, CachedPlan>>>,
+}
+
+impl ShardedPlanCache {
+    fn new(capacity: usize) -> ShardedPlanCache {
+        let capacity = capacity.max(1);
+        let count = CACHE_SHARDS.min(capacity);
+        let (base, rem) = (capacity / count, capacity % count);
+        ShardedPlanCache {
+            shards: (0..count)
+                .map(|i| Mutex::new(LruCache::new(base + usize::from(i < rem))))
+                .collect(),
+        }
+    }
+
+    /// The shard owning `key` (stable: depends only on the key's hash).
+    fn shard(&self, key: &PlanKey) -> &Mutex<LruCache<PlanKey, CachedPlan>> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache poisoned").len())
+            .sum()
+    }
+
+    /// Aggregate `(hits, misses, evictions)` across every shard.
+    fn totals(&self) -> (u64, u64, u64) {
+        self.shards.iter().fold((0, 0, 0), |acc, s| {
+            let c = s.lock().expect("plan cache poisoned");
+            (acc.0 + c.hits(), acc.1 + c.misses(), acc.2 + c.evictions())
+        })
+    }
+}
+
 /// One queued single-RHS job, resolved against the cache at submit time.
 struct PendingJob {
     ticket: Ticket,
@@ -198,7 +253,7 @@ struct Inner {
 /// lock, all of them against the same cached plans and warmed operand
 /// analyses.
 pub struct SolveService {
-    cache: Mutex<LruCache<PlanKey, CachedPlan>>,
+    cache: ShardedPlanCache,
     inner: Mutex<Inner>,
     config: ServiceConfig,
 }
@@ -216,7 +271,7 @@ impl SolveService {
     /// A service with the given cache capacity and admission window.
     pub fn new(config: ServiceConfig) -> SolveService {
         SolveService {
-            cache: Mutex::new(LruCache::new(config.plan_cache_capacity)),
+            cache: ShardedPlanCache::new(config.plan_cache_capacity),
             inner: Mutex::new(Inner::default()),
             config,
         }
@@ -244,14 +299,16 @@ impl SolveService {
     ) -> Result<(PlanKey, CachedPlan)> {
         let fp = operand.fingerprint(request);
         let key = PlanKey::new(fp, operand.n(), operand.nnz(), request);
-        let mut cache = self.cache.lock().expect("plan cache poisoned");
+        let mut cache = self.cache.shard(&key).lock().expect("plan cache poisoned");
         if let Some(entry) = cache.get(&key) {
             obs::counter("serve", "plan_cache_hit", "hits", 1, "", 0);
             return Ok((key, entry.clone()));
         }
         obs::counter("serve", "plan_cache_miss", "misses", 1, "", 0);
-        // Build under the cache lock: a thundering herd on one cold key
-        // should analyze once, not once per thread.
+        // Build under the key's shard lock: a thundering herd on one cold
+        // key should analyze once, not once per thread (equal keys always
+        // land on the same shard), while traffic on other keys keeps
+        // flowing through the other shards.
         let plan = match operand {
             Operand::Dense(a) => request.plan_dense(a.rows(), k)?,
             Operand::Sparse(a) => request.plan_sparse(a, k)?,
@@ -328,7 +385,7 @@ impl SolveService {
         h.write_u64(k as u64);
         h.write_u64(p as u64);
         let key = PlanKey::new(Fingerprint(h.finish()), n, n * n, request);
-        let mut cache = self.cache.lock().expect("plan cache poisoned");
+        let mut cache = self.cache.shard(&key).lock().expect("plan cache poisoned");
         if let Some(entry) = cache.get(&key) {
             obs::counter("serve", "plan_cache_hit", "hits", 1, "", 0);
             return Ok(Arc::clone(&entry.plan));
@@ -492,16 +549,16 @@ impl SolveService {
         Ok(done.swap_remove(pos))
     }
 
-    /// Current accounting snapshot.
+    /// Current accounting snapshot (cache totals aggregated over shards).
     pub fn stats(&self) -> ServiceStats {
-        let cache = self.cache.lock().expect("plan cache poisoned");
+        let (hits, misses, evictions) = self.cache.totals();
         let inner = self.inner.lock().expect("service state poisoned");
         ServiceStats {
             requests: inner.requests,
             errors: inner.errors,
-            hits: cache.hits(),
-            misses: cache.misses(),
-            evictions: cache.evictions(),
+            hits,
+            misses,
+            evictions,
             plan_builds: inner.plan_builds,
             batches: inner.batches,
             fused_requests: inner.fused_requests,
@@ -510,9 +567,9 @@ impl SolveService {
         }
     }
 
-    /// Entries currently in the plan cache.
+    /// Entries currently in the plan cache (summed over shards).
     pub fn cached_plans(&self) -> usize {
-        self.cache.lock().expect("plan cache poisoned").len()
+        self.cache.len()
     }
 }
 
@@ -646,4 +703,32 @@ fn run_fused_dense(jobs: &mut [PendingJob], fused: &[usize], a: &Matrix, plan: &
         }
     })
     .expect("dense batch workers panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard_caps(capacity: usize) -> Vec<usize> {
+        ShardedPlanCache::new(capacity)
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().capacity())
+            .collect()
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_the_configured_total() {
+        for capacity in [1, 2, 7, 8, 9, 10, 16, 64, 100] {
+            let caps = shard_caps(capacity);
+            assert_eq!(caps.iter().sum::<usize>(), capacity, "capacity {capacity}");
+            assert!(caps.len() <= CACHE_SHARDS);
+            assert!(caps.iter().all(|&c| c >= 1));
+            // Balanced within one slot.
+            let (min, max) = (caps.iter().min().unwrap(), caps.iter().max().unwrap());
+            assert!(max - min <= 1);
+        }
+        assert_eq!(shard_caps(3).len(), 3);
+        assert_eq!(shard_caps(64).len(), CACHE_SHARDS);
+    }
 }

@@ -14,6 +14,7 @@
 use crate::cost::CostCounters;
 use crate::error::SimError;
 use crate::fault::FaultState;
+use crate::gate::RankGate;
 use crate::message::{Envelope, MatchKey};
 use crate::params::MachineParams;
 use crate::Result;
@@ -58,6 +59,15 @@ pub(crate) struct Endpoint {
     /// plan, in which case every fault-handling branch below is skipped and
     /// the transport is exactly the zero-overhead lossless network.
     pub faults: Option<FaultState>,
+    /// Completion horizon of overlapped (in-flight) sends.  Only advanced
+    /// when [`MachineParams::overlap`] is on; the rank's clock catches up to
+    /// it at finalization, so a posted transfer is never lost from the
+    /// virtual time even if no computation follows it.
+    pub inflight_until: f64,
+    /// Compute-concurrency gate shared by all ranks of the machine (`None`
+    /// when rank execution is unbounded).  A rank releases its slot while
+    /// blocked in a receive and takes it back before resuming computation.
+    pub gate: Option<Arc<RankGate>>,
 }
 
 impl Endpoint {
@@ -69,7 +79,20 @@ impl Endpoint {
     fn charge_send(&mut self, words: usize) -> f64 {
         self.counters.msgs_sent += 1;
         self.counters.words_sent += words as u64;
-        self.clock += self.params.alpha + self.params.beta * words as f64;
+        let transfer = self.params.alpha + self.params.beta * words as f64;
+        let avail = if self.params.overlap {
+            // Overlap mode: the transfer occupies the single outgoing link in
+            // the background, after any earlier in-flight send.  The sender's
+            // own clock does not advance — subsequent local flops hide under
+            // the transfer (`charge_flops` accounts the saving) and the clock
+            // catches up to the in-flight horizon at finalization.
+            let avail = self.clock.max(self.inflight_until) + transfer;
+            self.inflight_until = avail;
+            avail
+        } else {
+            self.clock += transfer;
+            self.clock
+        };
         self.counters.time = self.clock;
         if obs::enabled() {
             obs::sim_instant(
@@ -83,7 +106,7 @@ impl Endpoint {
                 0,
             );
         }
-        self.clock
+        avail
     }
 
     fn charge_recv(&mut self, words: usize, avail_time: f64) {
@@ -109,8 +132,40 @@ impl Endpoint {
 
     fn charge_flops(&mut self, flops: u64) {
         self.counters.flops += flops;
+        let start = self.clock;
         self.clock += self.params.gamma * flops as f64;
+        if self.params.overlap && self.inflight_until > start {
+            // This computation ran while a posted send was still on the
+            // wire: the hidden portion is the saving of charging
+            // `max(comm, comp)` instead of `comm + comp` for the phase.
+            let hidden = self.clock.min(self.inflight_until) - start;
+            if hidden > 0.0 {
+                self.counters.overlap += hidden;
+                if obs::enabled() {
+                    obs::sim_instant(
+                        self.world_rank,
+                        "simnet",
+                        "overlap",
+                        self.clock_ns(),
+                        "hidden_ns",
+                        (hidden * 1e9) as u64,
+                        "",
+                        0,
+                    );
+                }
+            }
+        }
         self.counters.time = self.clock;
+    }
+
+    /// Catch the clock up to the in-flight send horizon: a rank cannot
+    /// retire (or observe a phase boundary as complete) before its last
+    /// posted transfer has left the wire.
+    fn drain_inflight(&mut self) {
+        if self.inflight_until > self.clock {
+            self.clock = self.inflight_until;
+            self.counters.time = self.clock;
+        }
     }
 
     /// The sticky failure of this endpoint, if a permanent fault already hit.
@@ -346,9 +401,26 @@ impl Endpoint {
                     return Err(self.fail(SimError::RankFailure { rank }));
                 }
             }
-            let env = match self.receiver.recv() {
+            // Fast path: a message is already queued — no need to touch the
+            // compute gate.  Otherwise give the compute slot back while
+            // blocked so another rank can run, and take it back before
+            // resuming (the released window contains no panic point, so the
+            // thread-level RAII permit stays balanced).
+            let env = match self.receiver.try_recv() {
                 Ok(env) => env,
-                Err(_) => return Err(SimError::ChannelClosed),
+                Err(_) => {
+                    if let Some(gate) = &self.gate {
+                        gate.release();
+                    }
+                    let received = self.receiver.recv();
+                    if let Some(gate) = &self.gate {
+                        gate.acquire();
+                    }
+                    match received {
+                        Ok(env) => env,
+                        Err(_) => return Err(SimError::ChannelClosed),
+                    }
+                }
             };
             if env.context == POISON_CONTEXT {
                 panic!(
@@ -517,10 +589,13 @@ impl Communicator {
         Ok(data)
     }
 
-    /// Flush transport-internal state at the end of a rank's run (releases a
-    /// reorder-held envelope so its receiver is never starved).
+    /// Flush transport-internal state at the end of a rank's run: releases a
+    /// reorder-held envelope so its receiver is never starved, and catches
+    /// the clock up to any still-in-flight overlapped send.
     pub(crate) fn finalize(&self) {
-        self.endpoint.borrow_mut().flush_held();
+        let mut ep = self.endpoint.borrow_mut();
+        ep.flush_held();
+        ep.drain_inflight();
     }
 
     /// Allocate a fresh base tag for a collective operation on this

@@ -27,6 +27,10 @@ pub struct CostCounters {
     pub timeouts: u64,
     /// Final value of the rank's virtual clock (seconds in model time).
     pub time: f64,
+    /// Virtual seconds of computation hidden under in-flight communication
+    /// (non-zero only when [`crate::MachineParams::overlap`] is on): the
+    /// total saving of charging `max(comm, comp)` instead of `comm + comp`.
+    pub overlap: f64,
 }
 
 impl CostCounters {
@@ -56,6 +60,7 @@ impl CostCounters {
             duplicates: self.duplicates + other.duplicates,
             timeouts: self.timeouts + other.timeouts,
             time: self.time.max(other.time),
+            overlap: self.overlap + other.overlap,
         }
     }
 
@@ -84,6 +89,7 @@ impl CostCounters {
             duplicates: self.duplicates - earlier.duplicates,
             timeouts: self.timeouts - earlier.timeouts,
             time: self.time - earlier.time,
+            overlap: self.overlap - earlier.overlap,
         }
     }
 }
@@ -165,6 +171,18 @@ impl CostReport {
     /// Total sends that exhausted the retry budget over all ranks.
     pub fn total_timeouts(&self) -> u64 {
         self.per_rank.iter().map(|c| c.timeouts).sum()
+    }
+
+    /// Total virtual seconds of computation hidden under in-flight
+    /// communication, over all ranks (non-zero only when
+    /// [`MachineParams::overlap`] is on).
+    pub fn total_overlap(&self) -> f64 {
+        self.per_rank.iter().map(|c| c.overlap).sum()
+    }
+
+    /// Largest per-rank overlap saving (virtual seconds).
+    pub fn max_overlap(&self) -> f64 {
+        self.per_rank.iter().map(|c| c.overlap).fold(0.0, f64::max)
     }
 
     /// The model time implied by the critical-path counters,
@@ -274,6 +292,26 @@ mod tests {
         assert_eq!(report.counter_time(), (4 + 40 + 50) as f64);
         assert!(report.to_string().contains("2 ranks"));
         assert!(report.summary().contains("p="));
+    }
+
+    #[test]
+    fn overlap_adds_in_merge_and_subtracts_in_since() {
+        let a = CostCounters {
+            overlap: 1.5,
+            time: 4.0,
+            ..CostCounters::default()
+        };
+        let b = CostCounters {
+            overlap: 2.0,
+            time: 3.0,
+            ..CostCounters::default()
+        };
+        assert_eq!(a.merge(&b).overlap, 3.5);
+        assert_eq!(a.accumulate(&b).overlap, 3.5);
+        assert_eq!(b.merge(&a).since(&a).overlap, 2.0);
+        let report = CostReport::new(vec![a, b], MachineParams::unit());
+        assert_eq!(report.total_overlap(), 3.5);
+        assert_eq!(report.max_overlap(), 2.0);
     }
 
     #[test]

@@ -45,9 +45,29 @@
 //!   per round, matching the collective cost formulas in the paper.
 //! * `charge_flops(f)` charges `γ·f`.
 //!
+//! With [`params::MachineParams::overlap`] enabled, a posted send instead
+//! advances an in-flight horizon in the background: subsequent local flops
+//! hide under the transfer (the rank pays `max(comm, comp)` per such phase
+//! rather than `comm + comp`), the hidden time is surfaced in
+//! [`cost::CostCounters::overlap`], and the clock catches up to the horizon
+//! at rank finalization.  The default (`overlap: false`) keeps the strict
+//! sequential charging above.
+//!
 //! Message and word counters are kept for both directions; reported `S` and
 //! `W` are the per-rank maximum of sent and received, maximised over ranks,
 //! which is the paper's "along the critical path" convention.
+//!
+//! ## Execution model
+//!
+//! Ranks are real OS threads, but the host rarely has a core per simulated
+//! processor: a counting gate bounds how many ranks *compute* at once to
+//! [`machine::Machine::rank_workers`] (default: the dense worker pool's
+//! width), a blocked receiver always returns its compute slot before
+//! sleeping, and each rank's local GEMM/TRSM calls get a proportional share
+//! of the pool through [`dense::with_thread_budget`].  Scheduling never
+//! leaks into results: all numerics depend only on rank-local state and
+//! message payloads, delivered in per-stream FIFO order regardless of thread
+//! interleaving, so runs are bitwise deterministic at every worker count.
 //!
 //! ## Example
 //!
@@ -70,6 +90,7 @@ pub mod comm;
 pub mod cost;
 pub mod error;
 pub mod fault;
+mod gate;
 pub mod machine;
 pub mod message;
 pub mod params;

@@ -4,6 +4,7 @@ use crate::comm::{Communicator, Endpoint, POISON_CONTEXT};
 use crate::cost::{CostCounters, CostReport};
 use crate::error::SimError;
 use crate::fault::{FaultInjector, FaultPlan, FaultState};
+use crate::gate::RankGate;
 use crate::message::Envelope;
 use crate::params::MachineParams;
 use crate::Result;
@@ -17,6 +18,14 @@ use std::sync::Arc;
 /// own OS thread), moving real data between them, and returns both the
 /// per-rank results and the aggregated [`CostReport`].
 ///
+/// Rank execution is throttled to the host's real cores: at most
+/// `rank_workers` ranks (default [`dense::dense_threads`], override with
+/// [`Machine::with_rank_workers`]) *compute* concurrently, with blocked
+/// receivers giving their compute slot back, and each rank's local dense
+/// kernels get a proportional share of the worker pool via
+/// [`dense::with_thread_budget`].  Both knobs only affect scheduling, never
+/// results — runs are bitwise deterministic at every worker count.
+///
 /// A machine can optionally carry a [`FaultPlan`]
 /// ([`Machine::with_fault_plan`]): every run then injects the plan's
 /// deterministic fault schedule into the transport.
@@ -25,6 +34,7 @@ pub struct Machine {
     procs: usize,
     params: MachineParams,
     faults: Option<FaultPlan>,
+    rank_workers: Option<usize>,
 }
 
 /// The outcome of a machine run: one result per rank plus the cost report.
@@ -43,6 +53,7 @@ impl Machine {
             procs,
             params,
             faults: None,
+            rank_workers: None,
         }
     }
 
@@ -51,6 +62,23 @@ impl Machine {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
         self
+    }
+
+    /// Override how many ranks may *compute* concurrently (the default is
+    /// [`dense::dense_threads`], i.e. the dense worker pool's width).  This
+    /// is a scheduling knob only: results are bitwise identical at every
+    /// value, so tests can compare `with_rank_workers(1)` against
+    /// `with_rank_workers(4)` in one process regardless of `DENSE_THREADS`.
+    pub fn with_rank_workers(mut self, workers: usize) -> Self {
+        self.rank_workers = Some(workers.max(1));
+        self
+    }
+
+    /// The effective bound on concurrently-computing ranks.
+    pub fn rank_workers(&self) -> usize {
+        self.rank_workers
+            .unwrap_or_else(dense::dense_threads)
+            .max(1)
     }
 
     /// The fault plan attached to this machine, if any.
@@ -84,6 +112,13 @@ impl Machine {
         let p = self.procs;
         let params = self.params;
 
+        // Rank scheduling: bound concurrently-computing ranks to the worker
+        // pool's width (no gate needed when every rank fits), and give each
+        // rank's local dense kernels a proportional share of the pool.
+        let workers = self.rank_workers();
+        let gate = (workers < p).then(|| Arc::new(RankGate::new(workers)));
+        let share = (workers / p.min(workers)).max(1);
+
         // Build the all-to-all channel fabric.
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
@@ -107,7 +142,16 @@ impl Machine {
             for (rank, receiver) in receivers.into_iter().enumerate() {
                 let senders = Arc::clone(&senders);
                 let fault_plan = self.faults.clone();
+                let gate = gate.clone();
                 let handle = scope.spawn(move || {
+                    // Take a compute slot before running user code; the RAII
+                    // permit is returned when the thread retires (or unwinds)
+                    // and temporarily given back inside blocking receives.
+                    let _permit = gate.as_ref().map(|g| g.acquire_permit());
+                    // One span per rank thread: each rank records on its own
+                    // wall lane, so the trace shows which ranks actually ran
+                    // concurrently.
+                    let _span = obs::span_with("simnet", "rank", "rank", rank as u64);
                     let endpoint = Endpoint {
                         world_rank: rank,
                         world_size: p,
@@ -120,9 +164,13 @@ impl Machine {
                         faults: fault_plan
                             .as_ref()
                             .map(|plan| FaultState::new(FaultInjector::new(plan, rank))),
+                        inflight_until: 0.0,
+                        gate: gate.clone(),
                     };
                     let comm = Communicator::world(endpoint);
-                    let result = catch_unwind(AssertUnwindSafe(|| f(&comm)));
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        dense::with_thread_budget(share, || f(&comm))
+                    }));
                     match result {
                         Ok(value) => {
                             // Release any reorder-held envelope before the
@@ -265,6 +313,109 @@ mod tests {
         // Sender: 100 flops + (α + β·1) = 102.  Receiver clock catches up to 102.
         assert!((out.results[0] - 102.0).abs() < 1e-12);
         assert!((out.results[1] - 102.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_hides_flops_under_a_posted_send() {
+        // Rank 0 posts a 9-word send (α + β·9 = 10 time units) and then does
+        // 6 flops.  Without overlap the clock reads 10 + 6 = 16; with
+        // overlap the flops hide entirely under the transfer, so the final
+        // clock is max(10, 6) = 10 and the saving (6) lands in `overlap`.
+        let program = |comm: &Communicator| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &[0.0; 9]).unwrap();
+                comm.charge_flops(6);
+            } else {
+                let _ = comm.recv(0, 0).unwrap();
+            }
+        };
+        let plain = Machine::new(2, MachineParams::unit()).run(program).unwrap();
+        assert!((plain.report.per_rank[0].time - 16.0).abs() < 1e-12);
+        assert_eq!(plain.report.per_rank[0].overlap, 0.0);
+
+        let params = MachineParams::unit().with_overlap(true);
+        let overlapped = Machine::new(2, params).run(program).unwrap();
+        assert!((overlapped.report.per_rank[0].time - 10.0).abs() < 1e-12);
+        assert!((overlapped.report.per_rank[0].overlap - 6.0).abs() < 1e-12);
+        // The receiver still sees the message at the transfer's completion.
+        assert!((overlapped.report.per_rank[1].time - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_drains_inflight_sends_at_finalize() {
+        // A rank that posts a send and immediately retires must still pay
+        // the transfer: its final clock is the in-flight horizon.
+        let params = MachineParams::unit().with_overlap(true);
+        let out = Machine::new(2, params)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 0, &[0.0; 4]).unwrap();
+                } else {
+                    let _ = comm.recv(0, 0).unwrap();
+                }
+            })
+            .unwrap();
+        assert!((out.report.per_rank[0].time - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_serializes_back_to_back_sends_on_the_link() {
+        // Two posted sends share one outgoing link: the second transfer
+        // starts when the first completes, so the horizon is 2·(α + β·4).
+        let params = MachineParams::unit().with_overlap(true);
+        let out = Machine::new(2, params)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 0, &[0.0; 4]).unwrap();
+                    comm.send(1, 1, &[0.0; 4]).unwrap();
+                } else {
+                    let _ = comm.recv(0, 0).unwrap();
+                    let _ = comm.recv(0, 1).unwrap();
+                }
+            })
+            .unwrap();
+        assert!((out.report.per_rank[0].time - 10.0).abs() < 1e-12);
+        assert!((out.report.per_rank[1].time - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_workers_do_not_change_results_or_virtual_time() {
+        let run = |workers: usize| {
+            Machine::new(6, MachineParams::unit())
+                .with_rank_workers(workers)
+                .run(ring_program)
+                .unwrap()
+        };
+        let one = run(1);
+        for workers in [2, 4, 16] {
+            let w = run(workers);
+            assert_eq!(one.results, w.results);
+            for (a, b) in one.report.per_rank.iter().zip(w.report.per_rank.iter()) {
+                assert_eq!(a, b, "counters diverged at {workers} rank workers");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_workers_accessor_clamps_and_defaults() {
+        let m = Machine::new(4, MachineParams::unit());
+        assert!(m.rank_workers() >= 1);
+        assert_eq!(m.clone().with_rank_workers(3).rank_workers(), 3);
+        assert_eq!(m.with_rank_workers(0).rank_workers(), 1);
+    }
+
+    #[test]
+    fn panic_under_a_rank_gate_still_unblocks_everyone() {
+        // One compute slot for four ranks: the panicking rank must return
+        // its permit during unwind or the others would never be scheduled.
+        let m = Machine::new(4, MachineParams::unit()).with_rank_workers(1);
+        let res: Result<RunOutput<()>> = m.run(|comm| {
+            if comm.rank() == 2 {
+                panic!("boom");
+            }
+            let _ = comm.recv(2, 0);
+        });
+        assert!(matches!(res, Err(SimError::RankPanicked { .. })));
     }
 
     #[test]

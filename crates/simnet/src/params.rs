@@ -25,6 +25,14 @@ pub struct MachineParams {
     /// Maximum number of resends before a dropped message surfaces as
     /// [`crate::SimError::Timeout`].
     pub max_retries: u32,
+    /// When `true`, a posted send occupies the network *in the background*:
+    /// its `α + β·w` transfer time advances an in-flight horizon instead of
+    /// the sender's clock, and subsequent local computation hides under it —
+    /// the rank is charged `max(comm, comp)` instead of `comm + comp` for
+    /// such phases.  Hidden time is surfaced in
+    /// [`crate::CostCounters::overlap`].  Defaults to `false`, which keeps
+    /// the strict sequential charging of the paper's α–β–γ model.
+    pub overlap: bool,
 }
 
 impl MachineParams {
@@ -39,6 +47,7 @@ impl MachineParams {
             gamma: 1.0,
             retry_timeout: 8.0,
             max_retries: Self::DEFAULT_MAX_RETRIES,
+            overlap: false,
         }
     }
 
@@ -51,6 +60,7 @@ impl MachineParams {
             gamma: 1.0e-10,
             retry_timeout: 8.0e-6,
             max_retries: Self::DEFAULT_MAX_RETRIES,
+            overlap: false,
         }
     }
 
@@ -63,6 +73,7 @@ impl MachineParams {
             gamma: 2.0e-11,
             retry_timeout: 8.0e-6,
             max_retries: Self::DEFAULT_MAX_RETRIES,
+            overlap: false,
         }
     }
 
@@ -75,6 +86,7 @@ impl MachineParams {
             gamma: 0.0,
             retry_timeout: 8.0,
             max_retries: Self::DEFAULT_MAX_RETRIES,
+            overlap: false,
         }
     }
 
@@ -86,6 +98,7 @@ impl MachineParams {
             gamma: 0.0,
             retry_timeout: 8.0,
             max_retries: Self::DEFAULT_MAX_RETRIES,
+            overlap: false,
         }
     }
 
@@ -97,6 +110,7 @@ impl MachineParams {
             gamma,
             retry_timeout: 1.0,
             max_retries: Self::DEFAULT_MAX_RETRIES,
+            overlap: false,
         }
     }
 
@@ -104,6 +118,14 @@ impl MachineParams {
     pub fn with_retry(mut self, retry_timeout: f64, max_retries: u32) -> Self {
         self.retry_timeout = retry_timeout;
         self.max_retries = max_retries;
+        self
+    }
+
+    /// Enable (or disable) communication/computation overlap: posted sends
+    /// run in the background and local flops hide under them, charging
+    /// `max(comm, comp)` per overlappable phase instead of `comm + comp`.
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
         self
     }
 
@@ -149,6 +171,19 @@ mod tests {
     #[test]
     fn default_is_cluster() {
         assert_eq!(MachineParams::default(), MachineParams::cluster());
+    }
+
+    #[test]
+    fn overlap_defaults_off_and_is_overridable() {
+        assert!(!MachineParams::unit().overlap);
+        assert!(!MachineParams::cluster().overlap);
+        assert!(MachineParams::unit().with_overlap(true).overlap);
+        assert!(
+            !MachineParams::unit()
+                .with_overlap(true)
+                .with_overlap(false)
+                .overlap
+        );
     }
 
     #[test]

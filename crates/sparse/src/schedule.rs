@@ -290,10 +290,21 @@ pub const ANALYZE_REUSE_MIN: usize = 4;
 /// the super-level they are currently sweeping.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MergedSchedule {
-    /// Super-level boundaries as indices into the parent schedule's
-    /// flattened row array: super-level `s` covers flat positions
-    /// `super_ptr[s] .. super_ptr[s + 1]`.
+    /// Super-level boundaries as indices into the flattened row arrays
+    /// (both [`MergedSchedule::rows`] and the parent [`Schedule::rows`] —
+    /// the reordering below permutes rows only *within* these boundaries):
+    /// super-level `s` covers flat positions `super_ptr[s] .. super_ptr[s +
+    /// 1]`.
     super_ptr: Vec<usize>,
+    /// The merged executor's own sweep order: the parent schedule's
+    /// flattened row array with each super-level's rows reordered by
+    /// `(level ascending, fan-out descending, row id)`.  Level stays the
+    /// primary key, so every dependency still sits at a strictly earlier
+    /// flat position — the executor's deadlock-freedom invariant — while
+    /// within a level the rows that unblock the most same-super-level
+    /// dependents are eliminated (and their readiness flags published)
+    /// first, shortening the point-to-point spins.
+    rows: Vec<usize>,
     /// Per row (indexed by row id), the super-level containing it.
     super_of: Vec<u32>,
     /// Levels of the parent schedule (what the merging compressed).
@@ -319,6 +330,7 @@ impl MergedSchedule {
         let mut super_ptr = Vec::with_capacity(16);
         super_ptr.push(0usize);
         let mut super_of = vec![0u32; n];
+        let mut level_of = vec![0u32; n];
         let mut weight = 0usize;
         for l in 0..num_levels {
             let range = schedule.level_range(l);
@@ -329,6 +341,7 @@ impl MergedSchedule {
             let s = super_ptr.len() - 1;
             for &i in &schedule.rows()[range.clone()] {
                 super_of[i] = s as u32;
+                level_of[i] = l as u32;
             }
             if weight >= SUPER_MIN_WEIGHT && l + 1 < num_levels {
                 super_ptr.push(range.end);
@@ -338,8 +351,33 @@ impl MergedSchedule {
         if n > 0 {
             super_ptr.push(n);
         }
+
+        // In-super-level fan-out: how many rows of the *same* super-level
+        // consume each row (only those spins exist — earlier super-levels
+        // are settled by the barrier).
+        let mut fan_out = vec![0u32; n];
+        for i in 0..n {
+            let (cols, _) = mat.row_entries(i);
+            for &j in cols {
+                if super_of[j] == super_of[i] {
+                    fan_out[j] += 1;
+                }
+            }
+        }
+
+        // The executor's sweep order: within each super-level sort by
+        // (level asc, fan-out desc, row id).  The key is a total order, so
+        // the permutation — like everything else here — depends only on the
+        // pattern.
+        let mut rows = schedule.rows().to_vec();
+        for s in 0..super_ptr.len().saturating_sub(1) {
+            rows[super_ptr[s]..super_ptr[s + 1]]
+                .sort_unstable_by_key(|&i| (level_of[i], u32::MAX - fan_out[i], i));
+        }
+
         MergedSchedule {
             super_ptr,
+            rows,
             super_of,
             levels: num_levels,
         }
@@ -358,11 +396,21 @@ impl MergedSchedule {
         self.levels
     }
 
-    /// The range super-level `s` occupies in the parent schedule's
-    /// flattened [`Schedule::rows`] array.
+    /// The range super-level `s` occupies in the flattened row arrays
+    /// (this schedule's reordered [`MergedSchedule::rows`] and the parent
+    /// [`Schedule::rows`] — the boundaries are shared).
     #[inline]
     pub fn super_range(&self, s: usize) -> std::ops::Range<usize> {
         self.super_ptr[s]..self.super_ptr[s + 1]
+    }
+
+    /// The merged executor's sweep order: all rows, super-level by
+    /// super-level, each super-level internally reordered by `(level asc,
+    /// in-super-level fan-out desc, row id)`.  A permutation of `0..n` that
+    /// keeps every dependency at a strictly earlier flat position.
+    #[inline]
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
     }
 
     /// The super-level containing row `i`.
@@ -529,6 +577,76 @@ mod tests {
         }
         assert_eq!(covered, m.n());
         assert_eq!(g.num_levels(), s.num_levels());
+    }
+
+    #[test]
+    fn merged_sweep_order_reorders_within_super_levels_only() {
+        let m = crate::gen::deep_narrow_lower(6000, 3, 2, 5);
+        let s = Schedule::analyze(&m);
+        let g = MergedSchedule::build(&s, &m);
+        // Level of each row, for the invariant checks below.
+        let mut level_of = vec![0usize; m.n()];
+        for l in 0..s.num_levels() {
+            for &r in s.level_rows(l) {
+                level_of[r] = l;
+            }
+        }
+        let mut flat_pos = vec![0usize; m.n()];
+        for (p, &i) in g.rows().iter().enumerate() {
+            flat_pos[i] = p;
+        }
+        for sl in 0..g.num_super_levels() {
+            let r = g.super_range(sl);
+            // Same row set per super-level as the parent schedule…
+            let mut a: Vec<usize> = s.rows()[r.clone()].to_vec();
+            let mut b: Vec<usize> = g.rows()[r.clone()].to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "super-level {sl} must be a permutation");
+            // …with level still the primary order inside it.
+            for w in g.rows()[r].windows(2) {
+                assert!(
+                    level_of[w[0]] <= level_of[w[1]],
+                    "level order violated between rows {} and {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        // The executor's deadlock-freedom invariant: every dependency sits
+        // at a strictly earlier flat position in the sweep order.
+        for i in 0..m.n() {
+            let (cols, _) = m.row_entries(i);
+            for &j in cols {
+                assert!(
+                    flat_pos[j] < flat_pos[i],
+                    "dependency {j} of row {i} not earlier in the sweep"
+                );
+            }
+        }
+        // Pattern-only analysis: rebuilding gives the identical permutation.
+        assert_eq!(g.rows(), MergedSchedule::build(&s, &m).rows());
+    }
+
+    #[test]
+    fn high_fan_out_rows_move_to_the_front_of_their_level() {
+        // One super-level (total weight << SUPER_MIN_WEIGHT), two levels.
+        // Every level-1 row consumes row 9, one also consumes row 0 — so
+        // within level 0 the sweep must hoist 9 ahead of 0..=8, while the
+        // zero-fan-out rows keep their row-id order behind it.
+        let mut ents: Vec<(usize, usize, f64)> = (10..20).map(|i| (i, 9, 1.0)).collect();
+        ents.push((10, 0, 1.0));
+        let m = lower(&ents, 20);
+        let s = Schedule::analyze(&m);
+        let g = MergedSchedule::build(&s, &m);
+        assert_eq!(g.num_super_levels(), 1);
+        assert_eq!(s.level_rows(0), (0..10).collect::<Vec<_>>().as_slice());
+        assert_eq!(
+            &g.rows()[..10],
+            &[9, 0, 1, 2, 3, 4, 5, 6, 7, 8],
+            "fan-out 10 beats fan-out 1 beats fan-out 0"
+        );
+        assert_eq!(&g.rows()[10..], (10..20).collect::<Vec<_>>().as_slice());
     }
 
     #[test]

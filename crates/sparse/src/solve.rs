@@ -600,28 +600,30 @@ impl SparseTri {
     /// The DAG-partitioned executor: one barrier per *super-level*, with
     /// point-to-point readiness inside each.
     ///
-    /// Each super-level's rows (a contiguous range of the level-ordered
-    /// flattened row list) are split into one contiguous chunk per worker.
-    /// A worker sweeps its chunk in flat order; before eliminating a row it
-    /// spins/yields on the readiness flags of the row's dependencies that
-    /// live in the *same* super-level (dependencies in earlier super-levels
-    /// are complete — the inter-super-level barrier guarantees it), and
+    /// Each super-level's rows (a contiguous range of the merged
+    /// schedule's [`crate::MergedSchedule::rows`] sweep order, which reorders
+    /// rows *within* the super-level by level then descending fan-out) are
+    /// split into one contiguous chunk per worker.  A worker sweeps its
+    /// chunk in flat order; before eliminating a row it spins/yields on
+    /// the readiness flags of the row's dependencies that live in the
+    /// *same* super-level (dependencies in earlier super-levels are
+    /// complete — the inter-super-level barrier guarantees it), and
     /// publishes its own flag with release ordering afterwards.
     ///
     /// Deadlock-freedom: every dependency sits at a strictly earlier flat
-    /// position (it is in a strictly earlier level), each worker's chunk is
-    /// processed in ascending flat order, and a worker at flat position `p`
-    /// only ever waits on positions `< p` — so along any wait chain the
-    /// positions strictly decrease, and the earliest unfinished row is
-    /// always runnable.
+    /// position (it is in a strictly earlier level, and level remains the
+    /// sweep order's primary sort key within a super-level), each worker's
+    /// chunk is processed in ascending flat order, and a worker at flat
+    /// position `p` only ever waits on positions `< p` — so along any wait
+    /// chain the positions strictly decrease, and the earliest unfinished
+    /// row is always runnable.
     ///
     /// Bitwise determinism: the row → worker assignment and the per-row
     /// arithmetic order are both timing-independent; the flags only ever
     /// delay a worker, never reorder arithmetic.
     fn run_merged_parallel(&self, x: *mut f64, stride: usize, k: usize, workers: usize) {
-        let sched = self.schedule();
         let merged = self.merged_schedule();
-        let rows = sched.rows();
+        let rows = merged.rows();
         let shared = SharedPtr(x);
         let barrier = SpinBarrier::new(workers);
         // One readiness flag per row, `== epoch` meaning eliminated; the

@@ -1,0 +1,318 @@
+//! Parallel rank execution: the `Machine::with_rank_workers` compute gate
+//! must be a pure throughput knob.
+//!
+//! Three claims, matching the execution-model section of the simnet README:
+//!
+//! * **determinism matrix** — every distributed algorithm returns
+//!   bitwise-identical solutions and identical per-rank α–β–γ counters at
+//!   every rank-worker count (the CI `distributed-parallel` job re-runs
+//!   this binary under `DENSE_THREADS=1` and `=4` on top);
+//! * **chaos under parallel ranks** — the full fault taxonomy keeps its
+//!   contract when ranks execute concurrently under a bounded gate:
+//!   transient plans stay bit-transparent, permanent plans fail typed on
+//!   every affected rank, and nothing ever hangs;
+//! * **overlap + trace acceptance** — with `MachineParams::with_overlap`
+//!   a recursive-TRSM solve hides compute under posted sends (a nonzero
+//!   overlap counter), rank spans land on distinct wall lanes in the obs
+//!   trace, and the answer still matches the single-worker run bitwise.
+
+use catrsm::{Algorithm, ItInvConfig, TrsmError};
+use catrsm_suite::obs;
+use catrsm_suite::prelude::*;
+use simnet::{FaultPlan, SimError};
+
+const N: usize = 32;
+const K: usize = 8;
+
+/// The transport-level error at the root of a solve failure.
+fn root_sim_error(e: &TrsmError) -> Option<&SimError> {
+    match e {
+        TrsmError::Sim(s) => Some(s),
+        TrsmError::Grid(pgrid::GridError::Sim(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// The three distributed algorithms, configured for a 4-rank 2×2 grid.
+fn algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Recursive { base_size: 16 },
+        Algorithm::IterativeInversion(ItInvConfig {
+            p1: 2,
+            p2: 1,
+            n0: 16,
+            inv_base: 8,
+        }),
+        Algorithm::Wavefront,
+    ]
+}
+
+/// One distributed solve per rank: the collected global solution plus this
+/// rank's measured overlap, or the typed error rendered to a string.
+fn solve_on(machine: &Machine, alg: Algorithm, seed: u64) -> Vec<Result<(Matrix, f64), String>> {
+    machine
+        .run(move |comm| {
+            let grid = Grid2D::new(comm, 2, 2).unwrap();
+            let l_g = gen::well_conditioned_lower(N, seed);
+            let x_g = gen::rhs(N, K, seed + 1);
+            let b_g = dense::matmul(&l_g, &x_g);
+            let l = DistMatrix::from_global(&grid, &l_g);
+            let b = DistMatrix::from_global(&grid, &b_g);
+            SolveRequest::lower()
+                .algorithm(alg)
+                .solve_distributed(&l, &b)
+                .map(|sol| (sol.x.to_global(), sol.report.overlap_seconds()))
+                .map_err(|e| e.to_string())
+        })
+        .expect("machine-level run must not fail: rank errors are typed")
+        .results
+}
+
+/// Satellite: the determinism matrix.  Every algorithm, every rank-worker
+/// count — bitwise-identical solutions, identical per-rank counters,
+/// identical virtual finish time.
+#[test]
+fn rank_worker_count_is_bitwise_invisible_for_every_algorithm() {
+    let params = MachineParams::cluster();
+    for alg in algorithms() {
+        let base = Machine::new(4, params)
+            .with_rank_workers(1)
+            .run(run_one(alg))
+            .expect("serial-gate run");
+        for workers in [2usize, 4] {
+            let out = Machine::new(4, params)
+                .with_rank_workers(workers)
+                .run(run_one(alg))
+                .expect("parallel-gate run");
+            assert_eq!(
+                base.results, out.results,
+                "{alg:?}: solution bits changed at {workers} rank workers"
+            );
+            assert_eq!(
+                base.report.per_rank, out.report.per_rank,
+                "{alg:?}: per-rank counters changed at {workers} rank workers"
+            );
+            assert_eq!(
+                base.report.virtual_time(),
+                out.report.virtual_time(),
+                "{alg:?}: virtual time changed at {workers} rank workers"
+            );
+        }
+    }
+}
+
+/// One solve closure for the determinism matrix (returns the global
+/// solution's bit pattern).
+fn run_one(alg: Algorithm) -> impl Fn(&simnet::Communicator) -> Vec<u64> + Send + Sync + Clone {
+    move |comm| {
+        let grid = Grid2D::new(comm, 2, 2).unwrap();
+        let l_g = gen::well_conditioned_lower(N, 17);
+        let x_g = gen::rhs(N, K, 18);
+        let b_g = dense::matmul(&l_g, &x_g);
+        let l = DistMatrix::from_global(&grid, &l_g);
+        let b = DistMatrix::from_global(&grid, &b_g);
+        let sol = SolveRequest::lower()
+            .algorithm(alg)
+            .solve_distributed(&l, &b)
+            .expect("clean solve");
+        sol.x
+            .to_global()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect()
+    }
+}
+
+/// Eight transient fault plans — every class plus combinations — for the
+/// parallel-rank chaos sweep (the two permanent plans below complete the
+/// ten-plan suite).
+fn transient_plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("drops", FaultPlan::new(0xA0A0).with_drops(0.3, 2)),
+        ("duplicates", FaultPlan::new(0xA1A1).with_duplicates(0.3)),
+        ("reorder", FaultPlan::new(0xA2A2).with_reordering(0.25)),
+        ("delays", FaultPlan::new(0xA3A3).with_delays(0.4, 2.0)),
+        ("stalls", FaultPlan::new(0xA4A4).with_stalls(0.2, 2.0)),
+        ("heavy-drops", FaultPlan::new(0xA5A5).with_drops(0.6, 3)),
+        (
+            "dup+reorder",
+            FaultPlan::new(0xA6A6)
+                .with_duplicates(0.25)
+                .with_reordering(0.25),
+        ),
+        (
+            "everything",
+            FaultPlan::new(0xA7A7)
+                .with_drops(0.25, 2)
+                .with_duplicates(0.2)
+                .with_reordering(0.2)
+                .with_delays(0.2, 2.0)
+                .with_stalls(0.1, 1.0),
+        ),
+    ]
+}
+
+/// Satellite: transient chaos under parallel ranks.  A faulty run with a
+/// 4-worker gate must reproduce the fault-free single-worker run bit for
+/// bit, for every algorithm and every transient plan.
+#[test]
+fn chaos_transient_plans_stay_bit_transparent_under_parallel_ranks() {
+    let params = MachineParams::unit();
+    for alg in algorithms() {
+        let clean = solve_on(&Machine::new(4, params).with_rank_workers(1), alg, 41);
+        for (name, plan) in transient_plans() {
+            assert!(plan.is_transient(&params), "{name} must be transient");
+            let faulty = solve_on(
+                &Machine::new(4, params)
+                    .with_fault_plan(plan)
+                    .with_rank_workers(4),
+                alg,
+                41,
+            );
+            for (rank, (c, f)) in clean.iter().zip(faulty.iter()).enumerate() {
+                let c = c.as_ref().expect("clean run solves");
+                let f = f
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{alg:?}/{name} rank {rank} failed: {e}"));
+                assert_eq!(
+                    c.0, f.0,
+                    "{alg:?}/{name} rank {rank}: solution not bit-identical under parallel ranks"
+                );
+            }
+        }
+    }
+}
+
+/// Satellite: permanent chaos under parallel ranks.  A crashed rank and an
+/// exhausted retry budget must fail typed on every affected rank — the
+/// compute gate (permits released around blocking receives and on panic)
+/// must never convert a failure cascade into a hang.
+#[test]
+fn chaos_permanent_plans_fail_typed_under_parallel_ranks() {
+    for alg in algorithms() {
+        // Plan 9/10: rank 1 crashes after its third send.
+        let params = MachineParams::unit();
+        let crash = FaultPlan::new(0xBAD1).with_crash(1, 3);
+        assert!(!crash.is_transient(&params));
+        let out = Machine::new(4, params)
+            .with_fault_plan(crash)
+            .with_rank_workers(2)
+            .run(move |comm| {
+                let grid = Grid2D::new(comm, 2, 2).unwrap();
+                let l_g = gen::well_conditioned_lower(N, 5);
+                let x_g = gen::rhs(N, K, 6);
+                let b_g = dense::matmul(&l_g, &x_g);
+                let l = DistMatrix::from_global(&grid, &l_g);
+                let b = DistMatrix::from_global(&grid, &b_g);
+                SolveRequest::lower()
+                    .algorithm(alg)
+                    .solve_distributed(&l, &b)
+                    .err()
+            })
+            .expect("crash must surface as rank-level errors, not a run failure");
+        let failures = out
+            .results
+            .iter()
+            .flatten()
+            .map(|err| {
+                assert!(
+                    matches!(root_sim_error(err), Some(SimError::RankFailure { rank: 1 })),
+                    "{alg:?}/crash: untyped failure {err:?}"
+                );
+            })
+            .count();
+        assert!(failures > 0, "{alg:?}: the crash plan never fired");
+        assert!(
+            out.report.virtual_time().is_finite() && out.report.virtual_time() < 1.0e6,
+            "{alg:?}/crash: virtual time {} not bounded",
+            out.report.virtual_time()
+        );
+
+        // Plan 10/10: every transfer exhausts a one-retry budget.
+        let params = MachineParams::unit().with_retry(1.0e-3, 1);
+        let exhaust = FaultPlan::new(0xBAD2).with_drops(1.0, 5);
+        assert!(!exhaust.is_transient(&params));
+        let out = solve_on(
+            &Machine::new(4, params)
+                .with_fault_plan(exhaust)
+                .with_rank_workers(4),
+            alg,
+            9,
+        );
+        for (rank, res) in out.iter().enumerate() {
+            let err = res
+                .as_ref()
+                .err()
+                .unwrap_or_else(|| panic!("{alg:?}: rank {rank} solved under a permanent plan"));
+            assert!(
+                err.contains("simulator error"),
+                "{alg:?}: rank {rank} error not rooted in the transport: {err}"
+            );
+        }
+    }
+}
+
+/// Acceptance: a 2×2 grid recursive-TRSM solve with a 4-worker gate and
+/// the overlap timing model (a) runs rank spans on more than one wall
+/// lane, (b) hides a nonzero amount of compute under posted sends, and
+/// (c) still matches the 1-worker run bitwise.
+#[test]
+fn overlap_and_distinct_lanes_with_parallel_rank_workers() {
+    let alg = Algorithm::Recursive { base_size: 16 };
+    let params = MachineParams::cluster().with_overlap(true);
+
+    obs::set_enabled(true);
+    let mark = obs::mark();
+    let traced = solve_on(&Machine::new(4, params).with_rank_workers(4), alg, 77);
+    let dump = obs::collect_since(&mark);
+    obs::set_enabled(false);
+
+    // (a) rank spans on more than one wall lane: with 4 workers admitted,
+    // every rank thread records its own wall buffer.
+    let rank_lanes = dump
+        .threads
+        .iter()
+        .filter(|t| {
+            matches!(t.lane, obs::Lane::Wall)
+                && t.events
+                    .iter()
+                    .any(|e| e.cat == "simnet" && e.name == "rank")
+        })
+        .count();
+    assert!(
+        rank_lanes > 1,
+        "expected rank spans on >1 wall lane, got {rank_lanes}"
+    );
+
+    // (b) the overlap model hid compute under at least one posted send,
+    // and the hiding shows up both in the report counter and the trace.
+    let total_overlap: f64 = traced
+        .iter()
+        .map(|r| r.as_ref().expect("traced solve").1)
+        .sum();
+    assert!(
+        total_overlap > 0.0,
+        "recursive TRSM under overlap params must hide some compute"
+    );
+    let overlap_instants = dump
+        .threads
+        .iter()
+        .flat_map(|t| &t.events)
+        .filter(|e| e.cat == "simnet" && e.name == "overlap")
+        .count();
+    assert!(
+        overlap_instants > 0,
+        "overlap instants missing from the sim lanes"
+    );
+
+    // (c) bitwise identical to the single-worker run on the same machine.
+    let serial = solve_on(&Machine::new(4, params).with_rank_workers(1), alg, 77);
+    for (rank, (a, b)) in traced.iter().zip(serial.iter()).enumerate() {
+        assert_eq!(
+            a.as_ref().expect("traced").0,
+            b.as_ref().expect("serial").0,
+            "rank {rank}: worker count changed overlap-mode bits"
+        );
+    }
+}
